@@ -1,0 +1,252 @@
+// Package weaksets' root benchmark suite: one testing.B benchmark per
+// experiment E1–E9 (see DESIGN.md §4 and EXPERIMENTS.md for the full
+// tables; cmd/weakbench prints them), plus micro-benchmarks of the
+// substrate hot paths. Experiment benchmarks run the trimmed (Quick)
+// sweeps; use cmd/weakbench for the full grids.
+package weaksets
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/core"
+	"weaksets/internal/experiments"
+	"weaksets/internal/repo"
+	"weaksets/internal/sim"
+	"weaksets/internal/spec"
+)
+
+func benchConfig(seed int64) experiments.Config {
+	return experiments.Config{Seed: seed, Scale: 0.01, Quick: true}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := exp.Run(benchConfig(int64(i)))
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows()) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkE1FirstYield regenerates E1: time-to-first-element and
+// completion per semantics (§1.1 claims).
+func BenchmarkE1FirstYield(b *testing.B) { runExperiment(b, "E1") }
+
+// BenchmarkE2Availability regenerates E2: completion and coverage under
+// partitions (§3, §3.4 claims).
+func BenchmarkE2Availability(b *testing.B) { runExperiment(b, "E2") }
+
+// BenchmarkE3LockCost regenerates E3: writer stall under reader locks
+// (§3.1 claim).
+func BenchmarkE3LockCost(b *testing.B) { runExperiment(b, "E3") }
+
+// BenchmarkE4Staleness regenerates E4: lost mutations and stale yields
+// (§3.2, §3.4 claims).
+func BenchmarkE4Staleness(b *testing.B) { runExperiment(b, "E4") }
+
+// BenchmarkE5Prefetch regenerates E5: dynamic-set ls vs sequential stat
+// (§1.1 claim).
+func BenchmarkE5Prefetch(b *testing.B) { runExperiment(b, "E5") }
+
+// BenchmarkE6Conformance regenerates E6: the implementation-vs-spec
+// conformance matrix (§3 lattice).
+func BenchmarkE6Conformance(b *testing.B) { runExperiment(b, "E6") }
+
+// BenchmarkE7GrowRace regenerates E7: grow-only termination race (§3.3
+// claim).
+func BenchmarkE7GrowRace(b *testing.B) { runExperiment(b, "E7") }
+
+// BenchmarkE8Ghosts regenerates E8: ghost-copy accounting (§3.3 claim).
+func BenchmarkE8Ghosts(b *testing.B) { runExperiment(b, "E8") }
+
+// BenchmarkE9QuorumDirectory regenerates E9: single vs majority-quorum
+// directory availability (§3.3 quorum variant).
+func BenchmarkE9QuorumDirectory(b *testing.B) { runExperiment(b, "E9") }
+
+// BenchmarkKernelStep measures the pure semantic kernel: one decision over
+// a 64-element pre-state.
+func BenchmarkKernelStep(b *testing.B) {
+	members := make([]spec.ElemID, 64)
+	for i := range members {
+		members[i] = spec.ElemID(fmt.Sprintf("e%03d", i))
+	}
+	pre := spec.NewState(members, members)
+	yielded := make(map[spec.ElemID]bool)
+	for i := 0; i < 32; i++ {
+		yielded[members[i]] = true
+	}
+	for _, sem := range core.AllSemantics() {
+		sem := sem
+		b.Run(sem.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				d := core.Step(sem, pre, pre, yielded)
+				if d.Kind != core.DecideYield {
+					b.Fatalf("decision = %v", d.Kind)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelRun measures a full model-level iterator run checked
+// against its own figure — the unit of work behind the conformance matrix.
+func BenchmarkModelRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env := spec.NewEnv(sim.NewRand(int64(i)), 8, spec.ConstraintTrue)
+		run, _ := core.RunModel(core.Optimistic, env, core.ModelConfig{
+			MaxSteps:        100,
+			HealAfterBlocks: 3,
+			FreezeAfter:     40,
+		})
+		if err := spec.CheckRun(spec.Fig6, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCRoundTrip measures one repository Get over the simulated
+// network with the clock disabled (pure substrate overhead).
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	c, err := cluster.New(cluster.Config{StorageNodes: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	ref, err := c.Client.Put(ctx, c.Storage[0], repo.Object{ID: "x", Data: make([]byte, 256)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Client.Get(ctx, ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIteratorLogical measures a full 32-element optimistic iteration
+// with the clock disabled: the per-element protocol overhead.
+func BenchmarkIteratorLogical(b *testing.B) {
+	c, err := cluster.New(cluster.Config{StorageNodes: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Client.CreateCollection(ctx, cluster.DirNode, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		ref, err := c.Client.Put(ctx, c.StorageFor(i), repo.Object{
+			ID:   repo.ObjectID(fmt.Sprintf("e%03d", i)),
+			Data: make([]byte, 128),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Client.Add(ctx, cluster.DirNode, "bench", ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+	set, err := core.NewSet(c.Client, cluster.DirNode, "bench", core.Options{Semantics: core.Optimistic})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		elems, err := set.Collect(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(elems) != 32 {
+			b.Fatalf("yielded %d", len(elems))
+		}
+	}
+}
+
+// BenchmarkDynSetLogical measures a 32-element dynamic-set drain with the
+// clock disabled.
+func BenchmarkDynSetLogical(b *testing.B) {
+	c, err := cluster.New(cluster.Config{StorageNodes: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Client.CreateCollection(ctx, cluster.DirNode, "bench"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		ref, err := c.Client.Put(ctx, c.StorageFor(i), repo.Object{
+			ID:   repo.ObjectID(fmt.Sprintf("e%03d", i)),
+			Data: make([]byte, 128),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Client.Add(ctx, cluster.DirNode, "bench", ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := core.OpenDyn(ctx, c.Client, cluster.DirNode, "bench", core.DynOptions{Width: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for ds.Next(ctx) {
+			n++
+		}
+		_ = ds.Close()
+		if n != 32 {
+			b.Fatalf("yielded %d", n)
+		}
+	}
+}
+
+// BenchmarkSpecCheck measures checking a 200-invocation run against Fig 6.
+func BenchmarkSpecCheck(b *testing.B) {
+	env := spec.NewEnv(sim.NewRand(1), 16, spec.ConstraintTrue)
+	run, _ := core.RunModel(core.Optimistic, env, core.ModelConfig{
+		MaxSteps:        200,
+		HealAfterBlocks: 2,
+		FreezeAfter:     100,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := spec.CheckRun(spec.Fig6, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLatencyScaling sanity-checks the scaled clock itself: a 10ms
+// virtual sleep at 100x compression should cost ~100µs wall.
+func BenchmarkLatencyScaling(b *testing.B) {
+	scale := sim.TimeScale(0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scale.Sleep(10 * time.Millisecond)
+	}
+}

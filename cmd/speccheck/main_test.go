@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunMatrix(t *testing.T) {
+	if err := run([]string{"-seeds", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSpecs(t *testing.T) {
+	if err := run([]string{"-specs"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExhaustive(t *testing.T) {
+	if err := run([]string{"-seeds", "5", "-exhaustive", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

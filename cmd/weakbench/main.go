@@ -1,0 +1,91 @@
+// Command weakbench runs the weak-sets evaluation: every experiment E1–E8
+// from DESIGN.md §4 (the evaluation the paper promises in §5), printing one
+// table per experiment.
+//
+// Usage:
+//
+//	weakbench [-run E1,E5] [-quick] [-seed 42] [-scale 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"weaksets/internal/experiments"
+	"weaksets/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "weakbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("weakbench", flag.ContinueOnError)
+	var (
+		runIDs    = fs.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick     = fs.Bool("quick", false, "trimmed sweeps")
+		ablations = fs.Bool("ablations", false, "also run the design-choice ablations and extensions A1-A4")
+		seed      = fs.Int64("seed", 42, "random seed")
+		scale     = fs.Float64("scale", 0.01, "virtual-to-real time scale (0.01 = 100x compression)")
+		csvOut    = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		list      = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range append(experiments.All(), experiments.Ablations()...) {
+			fmt.Printf("%s  %s\n", e.ID, e.Claim)
+		}
+		return nil
+	}
+
+	cfg := experiments.Config{
+		Seed:  *seed,
+		Scale: sim.TimeScale(*scale),
+		Quick: *quick,
+	}
+
+	selected := experiments.All()
+	if *ablations {
+		selected = append(selected, experiments.Ablations()...)
+	}
+	if *runIDs != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*runIDs, ",") {
+			exp, ok := experiments.Find(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			selected = append(selected, exp)
+		}
+	}
+
+	for i, exp := range selected {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== %s — %s\n", exp.ID, exp.Claim)
+		start := time.Now()
+		table, err := exp.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		if *csvOut {
+			if err := table.RenderCSV(os.Stdout); err != nil {
+				return fmt.Errorf("%s: render csv: %w", exp.ID, err)
+			}
+		} else {
+			table.Render(os.Stdout)
+			fmt.Printf("(%s ran in %v wall time; durations in tables are virtual)\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	return nil
+}

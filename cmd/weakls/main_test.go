@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunHealthy(t *testing.T) {
+	if err := run([]string{"-files", "8", "-cut", "0", "-scale", "0.002"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPartition(t *testing.T) {
+	if err := run([]string{"-files", "8", "-cut", "2", "-scale", "0.002", "-pattern", "/pub/doc00?.txt"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoPattern(t *testing.T) {
+	if err := run([]string{"-files", "4", "-cut", "0", "-scale", "0.002", "-pattern", ""}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Command weakquery runs database-like predicate queries (§1.1 of the
+// paper) over a simulated wide-area corpus, under any weak-set semantics
+// or on a dynamic set, with optional partitions — a workbench for feeling
+// out the design space from the command line.
+//
+// Usage:
+//
+//	weakquery -corpus restaurants -n 40 -q 'cuisine == "chinese"'
+//	weakquery -corpus library -q 'author == "wing" && year >= 1990' -sem snapshot
+//	weakquery -corpus faces -q 'dept == "cs"' -dynamic -cut 2
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/core"
+	"weaksets/internal/metrics"
+	"weaksets/internal/query"
+	"weaksets/internal/sim"
+	"weaksets/internal/wais"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "weakquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("weakquery", flag.ContinueOnError)
+	var (
+		corpusName = fs.String("corpus", "restaurants", "corpus: restaurants | library | faces")
+		n          = fs.Int("n", 40, "corpus size (restaurants/faces)")
+		q          = fs.String("q", `cuisine == "chinese"`, "predicate expression")
+		semName    = fs.String("sem", "optimistic", "semantics (see weakbench tables) when not -dynamic")
+		dynamic    = fs.Bool("dynamic", false, "run on a dynamic set (parallel, closest-first)")
+		width      = fs.Int("width", 8, "dynamic-set prefetch width")
+		cut        = fs.Int("cut", 0, "storage nodes to partition away")
+		scale      = fs.Float64("scale", 0.01, "virtual-to-real time scale")
+		seed       = fs.Int64("seed", 11, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := cluster.New(cluster.Config{
+		StorageNodes: 6,
+		Seed:         *seed,
+		Scale:        sim.TimeScale(*scale),
+		Latency:      sim.Fixed(15 * time.Millisecond),
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	var corpus wais.Corpus
+	switch *corpusName {
+	case "restaurants":
+		corpus, err = wais.BuildRestaurants(ctx, c, *n)
+	case "faces":
+		corpus, err = wais.BuildFaces(ctx, c, *n)
+	case "library":
+		corpus, err = wais.BuildLibrary(ctx, c, []string{"wing", "steere", "liskov", "lamport"}, 10)
+	default:
+		return fmt.Errorf("unknown corpus %q", *corpusName)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus %q: %d objects over %d nodes\n", *corpusName, len(corpus.Refs), len(c.Storage))
+
+	for i := 0; i < *cut && i < len(c.Storage); i++ {
+		c.Net.Isolate(c.Storage[len(c.Storage)-1-i])
+	}
+	if *cut > 0 {
+		fmt.Printf("partitioned away %d node(s)\n", *cut)
+	}
+
+	qry, err := query.New(c.Client, corpus.Dir, corpus.Coll, *q)
+	if err != nil {
+		return err
+	}
+	opts := query.Options{}
+	mode := ""
+	if *dynamic {
+		opts.Dynamic = true
+		opts.DynOptions = core.DynOptions{Width: *width}
+		mode = fmt.Sprintf("dynamic set (width %d)", *width)
+	} else {
+		sem, ok := core.SemanticsByName(*semName)
+		if !ok {
+			return fmt.Errorf("unknown semantics %q", *semName)
+		}
+		opts.Semantics = sem
+		opts.SetOptions = core.Options{
+			LockServer: c.LockNode,
+			MaxBlock:   2 * time.Second,
+		}
+		mode = sem.String()
+	}
+
+	fmt.Printf("query %s under %s:\n", qry.Predicate(), mode)
+	elapsed := sim.TimeScale(*scale).Stopwatch()
+	matches := 0
+	examined, err := qry.Stream(ctx, opts, func(r query.Result) bool {
+		matches++
+		if matches <= 10 {
+			fmt.Printf("  %-16s @ %-4s %v\n", r.Element.Ref.ID, r.Element.Ref.Node, r.Element.Attrs)
+		} else if matches == 11 {
+			fmt.Println("  ...")
+		}
+		return true
+	})
+	total := elapsed()
+
+	fmt.Printf("%d matches of %d examined in %s (virtual)\n", matches, examined, metrics.FmtDur(total))
+	switch {
+	case err == nil:
+		fmt.Println("outcome: returns (normal termination)")
+	case errors.Is(err, core.ErrFailure):
+		fmt.Println("outcome: fails — the paper's failure exception (unreachable members remain)")
+	case errors.Is(err, core.ErrBlocked):
+		fmt.Println("outcome: blocked — optimistic patience exhausted waiting for a repair")
+	default:
+		return err
+	}
+	return nil
+}

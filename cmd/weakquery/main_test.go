@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunDefaultQuery(t *testing.T) {
+	if err := run([]string{"-n", "10", "-scale", "0.002"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDynamicWithCut(t *testing.T) {
+	if err := run([]string{"-n", "10", "-dynamic", "-cut", "1", "-scale", "0.002"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLibrarySnapshot(t *testing.T) {
+	if err := run([]string{"-corpus", "library", "-q", `author == "wing"`, "-sem", "snapshot", "-scale", "0.002"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	if err := run([]string{"-corpus", "nope"}); err == nil {
+		t.Fatal("bad corpus accepted")
+	}
+	if err := run([]string{"-sem", "nope", "-scale", "0.002"}); err == nil {
+		t.Fatal("bad semantics accepted")
+	}
+	if err := run([]string{"-q", `broken ==`, "-scale", "0.002"}); err == nil {
+		t.Fatal("bad predicate accepted")
+	}
+}

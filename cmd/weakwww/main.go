@@ -1,0 +1,107 @@
+// Command weakwww serves weak-set queries over real HTTP — the library's
+// World-Wide-Web face (§1 of the paper). It builds the three motivating
+// corpora on a simulated wide-area cluster, optionally keeps a background
+// editor mutating them, and exposes the httpgw endpoints:
+//
+//	weakwww -addr 127.0.0.1:8080
+//	curl 'http://127.0.0.1:8080/semantics'
+//	curl 'http://127.0.0.1:8080/specs/fig6'
+//	curl 'http://127.0.0.1:8080/collections/menus'
+//	curl 'http://127.0.0.1:8080/query?coll=menus&q=cuisine=="chinese"&sem=optimistic'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/httpgw"
+	"weaksets/internal/sim"
+	"weaksets/internal/wais"
+	"weaksets/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "weakwww:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("weakwww", flag.ContinueOnError)
+	var (
+		addr   = fs.String("addr", "127.0.0.1:8080", "listen address")
+		scale  = fs.Float64("scale", 0.01, "virtual-to-real time scale")
+		mutate = fs.Bool("mutate", true, "keep a background editor mutating the menus")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	c, err := cluster.New(cluster.Config{
+		StorageNodes: 6,
+		Seed:         2026,
+		Scale:        sim.TimeScale(*scale),
+		Latency:      sim.Fixed(15 * time.Millisecond),
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	menus, err := wais.BuildRestaurants(ctx, c, 30)
+	if err != nil {
+		return err
+	}
+	if _, err := wais.BuildFaces(ctx, c, 25); err != nil {
+		return err
+	}
+	if _, err := wais.BuildLibrary(ctx, c, []string{"wing", "steere", "liskov"}, 8); err != nil {
+		return err
+	}
+	fmt.Println("corpora ready: menus (30), faces (25), lis (24)")
+
+	if *mutate {
+		mut := workload.NewMutator(workload.MutatorConfig{
+			Client:      c.ClientAt(c.Storage[0]),
+			Dir:         menus.Dir,
+			Coll:        menus.Coll,
+			AddEvery:    2 * time.Second,
+			RemoveEvery: 5 * time.Second,
+			ObjectNodes: c.Storage,
+			ObjectSize:  512,
+			IDPrefix:    "new-restaurant",
+			Initial:     menus.Refs,
+			Rand:        sim.NewRand(5),
+		})
+		mut.Start(ctx)
+		defer mut.Stop()
+		fmt.Println("background editor running (menus change every few virtual seconds)")
+	}
+
+	gw := httpgw.New(c.Client, cluster.DirNode, c.LockNode)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+	}()
+	fmt.Printf("serving on http://%s  (ctrl-c to stop)\n", *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module weaksets
+
+go 1.22

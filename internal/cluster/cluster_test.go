@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"weaksets/internal/repo"
+)
+
+func TestNewClusterDefaults(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if len(c.Storage) != 4 {
+		t.Fatalf("storage = %v", c.Storage)
+	}
+	if !c.Net.HasNode(HomeNode) || !c.Net.HasNode(DirNode) {
+		t.Fatal("well-known nodes missing")
+	}
+	if c.Client.Node() != HomeNode {
+		t.Fatalf("client homed at %s", c.Client.Node())
+	}
+	if c.LockNode != DirNode {
+		t.Fatalf("lock node = %s", c.LockNode)
+	}
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	c, err := New(Config{StorageNodes: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Client.CreateCollection(ctx, DirNode, "c"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Client.Put(ctx, c.StorageFor(0), repo.Object{ID: "x", Data: []byte("v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Add(ctx, DirNode, "c", ref); err != nil {
+		t.Fatal(err)
+	}
+	members, _, err := c.Client.List(ctx, DirNode, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestStorageForWraps(t *testing.T) {
+	c, err := New(Config{StorageNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.StorageFor(0) != c.StorageFor(3) {
+		t.Fatal("StorageFor does not wrap")
+	}
+}
+
+func TestClientAt(t *testing.T) {
+	c, err := New(Config{StorageNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	alt := c.ClientAt(c.Storage[0])
+	if alt.Node() != c.Storage[0] {
+		t.Fatalf("alt client homed at %s", alt.Node())
+	}
+	// A client on an isolated node cannot reach the directory.
+	c.Net.Isolate(c.Storage[0])
+	if _, _, err := alt.List(context.Background(), DirNode, "nope"); err == nil {
+		t.Fatal("isolated client reached the directory")
+	}
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/repo"
+	"weaksets/internal/sim"
+)
+
+// FetchOrder selects how a dynamic set orders its prefetches.
+type FetchOrder int
+
+// Fetch orders. ClosestFirst is the paper's heuristic ("fetching 'closer'
+// files first", §1.1) and the useful default, so it is the zero value.
+const (
+	// OrderClosestFirst fetches members in ascending estimated round-trip
+	// time.
+	OrderClosestFirst FetchOrder = iota
+	// OrderListing fetches members in listing (ID) order.
+	OrderListing
+)
+
+// DynOptions configures a dynamic set.
+type DynOptions struct {
+	// Width is the number of parallel fetchers. Defaults to 4.
+	Width int
+	// Order selects the prefetch order. Defaults to closest-first.
+	Order FetchOrder
+	// Refresh, when positive, re-reads the membership at this virtual
+	// period so additions made during the iteration are picked up (the
+	// Fig. 6 "misses no additions" property). The set then only terminates
+	// when Close is called or the context ends.
+	Refresh time.Duration
+	// RetryUnreachable keeps retrying members whose nodes are unreachable
+	// (optimistic blocking). When false such members are reported via
+	// Skipped instead — the practical mode for `ls`-like commands that
+	// should return "all accessible files despite network failures"
+	// (§1.1).
+	RetryUnreachable bool
+	// RetryEvery is the virtual pause between retry sweeps. Defaults to
+	// 50ms.
+	RetryEvery time.Duration
+	// Buffer is the capacity of the results channel. Defaults to Width.
+	Buffer int
+	// FallbackCache, when set, keeps fetched objects cached and serves an
+	// unreachable member's cached copy — delivered with Element.Stale set —
+	// instead of skipping or retrying it. This is the disconnected-
+	// operation extension: strictly weaker than Fig. 6 (the cached copy is
+	// not reachable), so it is opt-in and visible per element.
+	FallbackCache *repo.Cache
+}
+
+func (o DynOptions) withDefaults() DynOptions {
+	if o.Width <= 0 {
+		o.Width = 4
+	}
+	if o.RetryEvery <= 0 {
+		o.RetryEvery = 50 * time.Millisecond
+	}
+	if o.Buffer <= 0 {
+		o.Buffer = o.Width
+	}
+	return o
+}
+
+// DynSet is a dynamic set (Steere's abstraction, §1.1): an open handle on a
+// weak-set query whose members are fetched in parallel, nearest first, and
+// handed to the consumer in completion order — so the first element arrives
+// after roughly one round trip regardless of set size, and slow or
+// unreachable members never block fast ones. Its observable behaviour is
+// the Fig. 6 optimistic semantics.
+//
+// Usage mirrors Iterator:
+//
+//	ds, err := core.OpenDyn(ctx, client, dir, name, opts)
+//	for ds.Next(ctx) { e := ds.Element() }
+//	err = ds.Err()
+//	_ = ds.Close()
+type DynSet struct {
+	client *repo.Client
+	dir    netsim.NodeID
+	name   string
+	opts   DynOptions
+	scale  sim.TimeScale
+
+	cancel  context.CancelFunc
+	results chan Element
+	done    chan struct{}
+
+	mu      sync.Mutex
+	seen    map[repo.ObjectID]bool
+	skipped map[repo.ObjectID]repo.Ref
+	retry   []repo.Ref
+
+	cur Element
+	err error
+}
+
+// OpenDyn opens a dynamic set over the collection and starts prefetching.
+// The initial membership read happens synchronously so an unreachable
+// directory surfaces here.
+func OpenDyn(ctx context.Context, client *repo.Client, dir netsim.NodeID, name string, opts DynOptions) (*DynSet, error) {
+	opts = opts.withDefaults()
+	members, _, err := client.List(ctx, dir, name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: open dynamic set %q: %v", ErrFailure, name, err)
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	d := &DynSet{
+		client:  client,
+		dir:     dir,
+		name:    name,
+		opts:    opts,
+		scale:   client.Bus().Network().Scale(),
+		cancel:  cancel,
+		results: make(chan Element, opts.Buffer),
+		done:    make(chan struct{}),
+		seen:    make(map[repo.ObjectID]bool, len(members)),
+		skipped: make(map[repo.ObjectID]repo.Ref),
+	}
+	pending := d.admit(members)
+	go d.coordinate(ictx, pending)
+	return d, nil
+}
+
+// admit filters already-seen refs and marks the rest seen, returning the
+// newly admitted ones.
+func (d *DynSet) admit(refs []repo.Ref) []repo.Ref {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []repo.Ref
+	for _, ref := range refs {
+		if d.seen[ref.ID] {
+			continue
+		}
+		d.seen[ref.ID] = true
+		out = append(out, ref)
+	}
+	return out
+}
+
+// order sorts pending fetches per the configured policy, farthest last so
+// the coordinator can pop from the tail.
+func (d *DynSet) order(pending []repo.Ref) {
+	switch d.opts.Order {
+	case OrderListing:
+		sort.Slice(pending, func(i, j int) bool { return pending[i].ID > pending[j].ID })
+	default:
+		sort.Slice(pending, func(i, j int) bool {
+			ri, rj := d.client.EstimateRTT(pending[i]), d.client.EstimateRTT(pending[j])
+			if ri != rj {
+				return ri > rj
+			}
+			return pending[i].ID > pending[j].ID
+		})
+	}
+}
+
+// coordinate drives the prefetch pipeline until everything admitted is
+// fetched (or skipped), then — if Refresh is enabled — keeps polling for
+// additions until cancelled.
+func (d *DynSet) coordinate(ctx context.Context, pending []repo.Ref) {
+	defer close(d.done)
+	defer close(d.results)
+
+	sem := make(chan struct{}, d.opts.Width)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+
+	for {
+		d.order(pending)
+		for len(pending) > 0 {
+			ref := pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				d.fetch(ctx, ref)
+			}()
+		}
+		// Let in-flight fetches finish; they may enqueue retries.
+		wg.Wait()
+		if ctx.Err() != nil {
+			return
+		}
+
+		d.mu.Lock()
+		retries := d.retry
+		d.retry = nil
+		d.mu.Unlock()
+
+		switch {
+		case len(retries) > 0:
+			if !d.pause(ctx, d.opts.RetryEvery) {
+				return
+			}
+			pending = retries
+		case d.opts.Refresh > 0:
+			if !d.pause(ctx, d.opts.Refresh) {
+				return
+			}
+			members, _, err := d.client.List(ctx, d.dir, d.name)
+			if err == nil {
+				pending = d.admit(members)
+			}
+		default:
+			return
+		}
+	}
+}
+
+// fetch retrieves one member and routes the outcome: success to the
+// consumer, deletion to the void, unreachability to the fallback cache,
+// retry, or skipped.
+func (d *DynSet) fetch(ctx context.Context, ref repo.Ref) {
+	var (
+		obj   repo.Object
+		stale bool
+		err   error
+	)
+	if d.opts.FallbackCache != nil {
+		obj, stale, err = d.opts.FallbackCache.GetThrough(ctx, d.client, ref)
+	} else {
+		obj, err = d.client.Get(ctx, ref)
+	}
+	switch {
+	case err == nil:
+		e := Element{Ref: ref, Data: obj.Data, Attrs: obj.Attrs, Stale: obj.Tombstone || stale}
+		select {
+		case d.results <- e:
+		case <-ctx.Done():
+		}
+	case errors.Is(err, repo.ErrNotFound):
+		// Deleted while we were iterating; Fig. 6 permits missing it.
+	default:
+		d.mu.Lock()
+		if d.opts.RetryUnreachable {
+			d.retry = append(d.retry, ref)
+		} else {
+			d.skipped[ref.ID] = ref
+		}
+		d.mu.Unlock()
+	}
+}
+
+func (d *DynSet) pause(ctx context.Context, virtual time.Duration) bool {
+	return d.scale.SleepCtxFloor(ctx, virtual, 100*time.Microsecond)
+}
+
+// Next blocks until the next prefetched element is available. It returns
+// false when the set is exhausted, closed, or the context ends.
+func (d *DynSet) Next(ctx context.Context) bool {
+	select {
+	case e, ok := <-d.results:
+		if !ok {
+			return false
+		}
+		d.cur = e
+		return true
+	case <-ctx.Done():
+		if d.err == nil {
+			d.err = ctx.Err()
+		}
+		return false
+	}
+}
+
+// Element returns the element delivered by the last successful Next.
+func (d *DynSet) Element() Element { return d.cur }
+
+// Err reports a consumer-side error (context cancellation). Exhaustion is
+// not an error; unreachable members are reported by Skipped.
+func (d *DynSet) Err() error { return d.err }
+
+// Skipped lists members that were unreachable and not retried — the
+// partial-result report an `ls` built on dynamic sets shows the user.
+func (d *DynSet) Skipped() []repo.Ref {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]repo.Ref, 0, len(d.skipped))
+	for _, ref := range d.skipped {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Close stops prefetching and waits for the pipeline to drain. It is
+// idempotent and safe to call while a Next is blocked (that Next returns
+// false).
+func (d *DynSet) Close() error {
+	d.cancel()
+	<-d.done
+	return nil
+}

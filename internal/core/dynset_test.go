@@ -1,0 +1,382 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/repo"
+	"weaksets/internal/sim"
+)
+
+func collectDyn(t *testing.T, ds *DynSet, limit int) []Element {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var out []Element
+	for len(out) < limit && ds.Next(ctx) {
+		out = append(out, ds.Element())
+	}
+	return out
+}
+
+func TestDynSetYieldsEverything(t *testing.T) {
+	w := newTestWorld(t, 10)
+	ds, err := OpenDyn(context.Background(), w.c.Client, cluster.DirNode, "set", DynOptions{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	got := collectDyn(t, ds, 100)
+	if len(got) != 10 {
+		t.Fatalf("yielded %d, want 10", len(got))
+	}
+	seen := make(map[string]bool)
+	for _, e := range got {
+		if seen[string(e.Ref.ID)] {
+			t.Fatalf("duplicate element %s", e.Ref.ID)
+		}
+		seen[string(e.Ref.ID)] = true
+		if len(e.Data) == 0 {
+			t.Fatalf("element %s missing data", e.Ref.ID)
+		}
+	}
+	if err := ds.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynSetSkipsUnreachable(t *testing.T) {
+	w := newTestWorld(t, 8)
+	w.c.Net.Isolate(w.c.Storage[0]) // e000 and e004 unreachable
+	ds, err := OpenDyn(context.Background(), w.c.Client, cluster.DirNode, "set", DynOptions{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	got := collectDyn(t, ds, 100)
+	if len(got) != 6 {
+		t.Fatalf("yielded %d, want 6", len(got))
+	}
+	skipped := ds.Skipped()
+	if len(skipped) != 2 {
+		t.Fatalf("skipped %v, want 2 refs", skipped)
+	}
+	for _, ref := range skipped {
+		if ref.Node != w.c.Storage[0] {
+			t.Fatalf("skipped ref on wrong node: %v", ref)
+		}
+	}
+}
+
+func TestDynSetRetryUnreachableBlocksUntilRepair(t *testing.T) {
+	w := newTestWorld(t, 4)
+	victim := w.c.Storage[1]
+	w.c.Net.Isolate(victim)
+	ds, err := OpenDyn(context.Background(), w.c.Client, cluster.DirNode, "set", DynOptions{
+		Width:            2,
+		RetryUnreachable: true,
+		RetryEvery:       time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		w.c.Net.Rejoin(victim)
+	}()
+	got := collectDyn(t, ds, 100)
+	if len(got) != 4 {
+		t.Fatalf("yielded %d, want 4 after repair", len(got))
+	}
+	if len(ds.Skipped()) != 0 {
+		t.Fatalf("skipped = %v, want none in retry mode", ds.Skipped())
+	}
+}
+
+func TestDynSetRefreshSeesAdditions(t *testing.T) {
+	w := newTestWorld(t, 3)
+	ds, err := OpenDyn(context.Background(), w.c.Client, cluster.DirNode, "set", DynOptions{
+		Width:   2,
+		Refresh: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	first3 := collectDyn(t, ds, 3)
+	if len(first3) != 3 {
+		t.Fatalf("initial batch %d, want 3", len(first3))
+	}
+	added := w.addElement(t, 77)
+	more := collectDyn(t, ds, 1)
+	if len(more) != 1 || more[0].Ref.ID != added.ID {
+		t.Fatalf("refresh missed addition: %v", more)
+	}
+}
+
+func TestDynSetOpenFailsOnUnreachableDir(t *testing.T) {
+	w := newTestWorld(t, 2)
+	w.c.Net.Isolate(cluster.DirNode)
+	_, err := OpenDyn(context.Background(), w.c.Client, cluster.DirNode, "set", DynOptions{})
+	if !errors.Is(err, ErrFailure) {
+		t.Fatalf("err = %v, want ErrFailure", err)
+	}
+}
+
+func TestDynSetCloseWhileBlocked(t *testing.T) {
+	w := newTestWorld(t, 4)
+	w.c.Net.Isolate(w.c.Storage[0])
+	ds, err := OpenDyn(context.Background(), w.c.Client, cluster.DirNode, "set", DynOptions{
+		Width:            2,
+		RetryUnreachable: true,
+		RetryEvery:       time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the three reachable elements.
+	got := collectDyn(t, ds, 3)
+	if len(got) != 3 {
+		t.Fatalf("got %d", len(got))
+	}
+	done := make(chan bool, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done <- ds.Next(ctx)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned true after Close with nothing pending")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next never unblocked after Close")
+	}
+	// Idempotent.
+	if err := ds.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynSetNextContextCancel(t *testing.T) {
+	w := newTestWorld(t, 1)
+	ds, err := OpenDyn(context.Background(), w.c.Client, cluster.DirNode, "set", DynOptions{
+		Width:   1,
+		Refresh: time.Millisecond, // keeps the stream open after draining
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if !ds.Next(context.Background()) {
+		t.Fatal("first Next failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if ds.Next(ctx) {
+		t.Fatal("Next yielded with nothing pending")
+	}
+	if !errors.Is(ds.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err = %v", ds.Err())
+	}
+}
+
+func TestDynSetClosestFirstOrdering(t *testing.T) {
+	// Distinguish near and far storage with very different latencies and a
+	// real (scaled) clock; with Width 1 the fetch order is fully
+	// determined by the ordering policy.
+	c, err := cluster.New(cluster.Config{
+		StorageNodes: 2,
+		Seed:         1,
+		Scale:        0.001, // 1000x compression
+		Latency:      sim.Fixed(10 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Client.CreateCollection(ctx, cluster.DirNode, "d"); err != nil {
+		t.Fatal(err)
+	}
+	near, far := c.Storage[0], c.Storage[1]
+	c.Net.SetLinkLatency(cluster.HomeNode, near, sim.Fixed(time.Millisecond))
+	c.Net.SetLinkLatency(cluster.HomeNode, far, sim.Fixed(80*time.Millisecond))
+	farRef, err := c.Client.Put(ctx, far, repo.Object{ID: "aa-far", Data: []byte("far")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nearRef, err := c.Client.Put(ctx, near, repo.Object{ID: "zz-near", Data: []byte("near")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Add(ctx, cluster.DirNode, "d", farRef); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Add(ctx, cluster.DirNode, "d", nearRef); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := OpenDyn(ctx, c.Client, cluster.DirNode, "d", DynOptions{Width: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	var order []string
+	for ds.Next(ctx) {
+		order = append(order, string(ds.Element().Ref.ID))
+	}
+	// Closest-first: the near object (later in ID order) must come first.
+	if len(order) != 2 || order[0] != "zz-near" {
+		t.Fatalf("order = %v, want zz-near first", order)
+	}
+
+	// Listing order fetches by ID instead.
+	ds2, err := OpenDyn(ctx, c.Client, cluster.DirNode, "d", DynOptions{Width: 1, Order: OrderListing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	order = nil
+	for ds2.Next(ctx) {
+		order = append(order, string(ds2.Element().Ref.ID))
+	}
+	if len(order) != 2 || order[0] != "aa-far" {
+		t.Fatalf("listing order = %v, want aa-far first", order)
+	}
+}
+
+func TestDynSetParallelSpeedup(t *testing.T) {
+	// With 8 elements at 20ms one-way latency, width 8 must be much
+	// faster than width 1. Uses the scaled clock (100x) so sleeps dominate
+	// scheduler noise even when test packages run in parallel.
+	c, err := cluster.New(cluster.Config{
+		StorageNodes: 4,
+		Seed:         2,
+		Scale:        0.01,
+		Latency:      sim.Fixed(20 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Client.CreateCollection(ctx, cluster.DirNode, "d"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		ref, err := c.Client.Put(ctx, c.StorageFor(i), repo.Object{ID: repo.ObjectID(fmt.Sprintf("p%02d", i)), Data: []byte("x")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Client.Add(ctx, cluster.DirNode, "d", ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := func(width int) time.Duration {
+		start := time.Now()
+		ds, err := OpenDyn(ctx, c.Client, cluster.DirNode, "d", DynOptions{Width: width})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ds.Close()
+		n := 0
+		for ds.Next(ctx) {
+			n++
+		}
+		if n != 8 {
+			t.Fatalf("width %d yielded %d", width, n)
+		}
+		return time.Since(start)
+	}
+	seq := run(1)
+	par := run(8)
+	if par >= seq {
+		t.Fatalf("no speedup: width1=%v width8=%v", seq, par)
+	}
+}
+
+func TestDynSetFallbackCacheServesDisconnected(t *testing.T) {
+	w := newTestWorld(t, 6)
+	ctx := context.Background()
+	cache := repo.NewCache(16)
+
+	// First pass warms the cache.
+	ds, err := OpenDyn(ctx, w.c.Client, cluster.DirNode, "set", DynOptions{
+		Width:         3,
+		FallbackCache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectDyn(t, ds, 100)
+	_ = ds.Close()
+	if len(got) != 6 || cache.Len() != 6 {
+		t.Fatalf("warmup yielded %d, cached %d", len(got), cache.Len())
+	}
+
+	// Disconnect a storage node; the second pass still yields everything,
+	// with the disconnected node's elements marked stale.
+	w.c.Net.Isolate(w.c.Storage[0])
+	ds2, err := OpenDyn(ctx, w.c.Client, cluster.DirNode, "set", DynOptions{
+		Width:         3,
+		FallbackCache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	staleCount, freshCount := 0, 0
+	ctx2, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	for ds2.Next(ctx2) {
+		if ds2.Element().Stale {
+			staleCount++
+			if ds2.Element().Ref.Node != w.c.Storage[0] {
+				t.Fatalf("stale element from reachable node: %v", ds2.Element().Ref)
+			}
+		} else {
+			freshCount++
+		}
+	}
+	if staleCount != 2 || freshCount != 4 {
+		t.Fatalf("stale=%d fresh=%d, want 2/4", staleCount, freshCount)
+	}
+	if len(ds2.Skipped()) != 0 {
+		t.Fatalf("skipped = %v, cache should have answered", ds2.Skipped())
+	}
+	if st := cache.Stats(); st.StaleServes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDynSetFallbackCacheColdMissStillSkips(t *testing.T) {
+	w := newTestWorld(t, 4)
+	w.c.Net.Isolate(w.c.Storage[0])
+	ds, err := OpenDyn(context.Background(), w.c.Client, cluster.DirNode, "set", DynOptions{
+		Width:         2,
+		FallbackCache: repo.NewCache(8), // cold: nothing to serve
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	got := collectDyn(t, ds, 100)
+	if len(got) != 3 {
+		t.Fatalf("yielded %d, want 3", len(got))
+	}
+	if len(ds.Skipped()) != 1 {
+		t.Fatalf("skipped = %v", ds.Skipped())
+	}
+}

@@ -1,0 +1,19 @@
+package core
+
+import "errors"
+
+// Errors surfaced by weak-set iterators.
+var (
+	// ErrFailure is the set-level form of the paper's failure exception:
+	// the iterator terminated exceptionally because elements known to be in
+	// the set could not be reached (pessimistic semantics), or the run
+	// could not even be started.
+	ErrFailure = errors.New("weakset: failure")
+	// ErrBlocked reports that an optimistic iterator exceeded its MaxBlock
+	// budget waiting for a repair. With an unbounded budget the iterator
+	// blocks until the context is cancelled, per the paper: "it may never
+	// return if a failure is detected" (§3.4).
+	ErrBlocked = errors.New("weakset: blocked waiting for unreachable elements")
+	// ErrClosed reports use of an iterator after Close.
+	ErrClosed = errors.New("weakset: iterator closed")
+)

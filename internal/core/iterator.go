@@ -1,0 +1,346 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"weaksets/internal/locksvc"
+	"weaksets/internal/netsim"
+	"weaksets/internal/repo"
+	"weaksets/internal/sim"
+	"weaksets/internal/spec"
+)
+
+// maxConsecutiveFetchFailures is a liveness guard: a pessimistic iterator
+// whose element fetches keep failing on a lossy-but-reachable link retries
+// (the element is still reachable, so the spec says yield), but after this
+// many consecutive transport failures it gives up with ErrFailure rather
+// than spin forever.
+const maxConsecutiveFetchFailures = 64
+
+// Iterator is one run of the elements iterator. It follows the rows
+// pattern:
+//
+//	it, err := set.Elements(ctx)
+//	...
+//	for it.Next(ctx) {
+//	    e := it.Element()
+//	}
+//	err = it.Err()        // nil on normal termination
+//	_ = it.Close(ctx)     // releases locks/pins/ghost windows
+//
+// An Iterator is not safe for concurrent use: like the paper's iterators it
+// is a control abstraction suspended and resumed by a single caller.
+type Iterator struct {
+	set    *Set
+	client *repo.Client
+	opts   Options
+	scale  sim.TimeScale
+	owner  string
+
+	// Resources held for the run.
+	lock      *locksvc.Client
+	hasLock   bool
+	pin       int64
+	growToken int64
+	released  bool
+
+	// first is s_first for snapshot-based semantics.
+	first map[spec.ElemID]bool
+	// refs maps every element ID this run has seen to its location.
+	refs map[spec.ElemID]repo.Ref
+
+	yielded    map[spec.ElemID]bool
+	blockedFor time.Duration
+	fetchFails int
+	listFails  int
+
+	elem   Element
+	err    error
+	done   bool
+	closed bool
+}
+
+func lockName(coll string) string { return "coll/" + coll }
+
+// setup acquires the per-run resources and, for snapshot-based semantics,
+// s_first.
+func (it *Iterator) setup(ctx context.Context) error {
+	s := it.set
+	switch it.opts.Semantics {
+	case ImmutablePerRun:
+		it.lock = s.lockClient(it.owner)
+		if _, err := it.lock.Acquire(ctx, it.opts.LockServer, lockName(s.name), locksvc.Read, it.opts.LockTTL); err != nil {
+			return fmt.Errorf("acquire read lock: %w", err)
+		}
+		it.hasLock = true
+	case Snapshot:
+		pin, err := it.client.Pin(ctx, s.dir, s.name)
+		if err != nil {
+			return fmt.Errorf("pin snapshot: %w", err)
+		}
+		it.pin = pin
+	case GrowOnlyPerRun:
+		token, err := it.client.BeginGrow(ctx, s.dir, s.name)
+		if err != nil {
+			return fmt.Errorf("open grow window: %w", err)
+		}
+		it.growToken = token
+	}
+
+	if it.opts.Semantics.UsesSnapshot() {
+		var (
+			members []repo.Ref
+			err     error
+		)
+		if it.pin != 0 {
+			members, _, err = it.client.ListPinned(ctx, s.dir, s.name, it.pin)
+		} else {
+			members, _, err = it.client.List(ctx, s.dir, s.name)
+		}
+		if err != nil {
+			return fmt.Errorf("read s_first: %w", err)
+		}
+		it.first = make(map[spec.ElemID]bool, len(members))
+		for _, ref := range members {
+			id := spec.ElemID(ref.ID)
+			it.first[id] = true
+			it.refs[id] = ref
+		}
+	}
+	return nil
+}
+
+// release frees the run's resources exactly once, best-effort.
+func (it *Iterator) release(ctx context.Context) {
+	if it.released {
+		return
+	}
+	it.released = true
+	s := it.set
+	if it.hasLock {
+		_ = it.lock.Release(ctx, it.opts.LockServer, lockName(s.name))
+		it.hasLock = false
+	}
+	if it.pin != 0 {
+		_ = it.client.Unpin(ctx, s.dir, s.name, it.pin)
+		it.pin = 0
+	}
+	if it.growToken != 0 {
+		_, _ = it.client.EndGrow(ctx, s.dir, s.name, it.growToken)
+		it.growToken = 0
+	}
+}
+
+// preState assembles the invocation's pre-state: membership (s_first for
+// snapshot semantics, a fresh read otherwise) plus the reachability of each
+// member judged from the client's node.
+func (it *Iterator) preState(ctx context.Context) (spec.State, error) {
+	members := it.first
+	if !it.opts.Semantics.UsesSnapshot() {
+		var (
+			refs []repo.Ref
+			err  error
+		)
+		if it.opts.Quorum.enabled() {
+			refs, _, err = readQuorum(ctx, it.client, it.opts.Quorum, it.set.name)
+		} else {
+			refs, _, err = it.client.List(ctx, it.set.dir, it.set.name)
+		}
+		if err != nil {
+			return spec.State{}, err
+		}
+		members = make(map[spec.ElemID]bool, len(refs))
+		for _, ref := range refs {
+			id := spec.ElemID(ref.ID)
+			members[id] = true
+			it.refs[id] = ref
+		}
+	}
+	st := spec.State{
+		Members: make(map[spec.ElemID]bool, len(members)),
+		Reach:   make(map[spec.ElemID]bool, len(members)),
+	}
+	for id := range members {
+		st.Members[id] = true
+		if it.client.Reachable(it.refs[id]) {
+			st.Reach[id] = true
+		}
+	}
+	return st, nil
+}
+
+// Next advances the iterator: it either yields the next element (true) or
+// terminates (false). After false, Err distinguishes normal termination
+// (nil) from the failure exception, a blocking timeout, or context
+// cancellation.
+func (it *Iterator) Next(ctx context.Context) bool {
+	if it.done || it.closed {
+		return false
+	}
+	firstState := spec.State{Members: it.first}
+	for {
+		if err := ctx.Err(); err != nil {
+			it.terminate(err)
+			return false
+		}
+		pre, err := it.preState(ctx)
+		if err != nil {
+			switch {
+			case ctx.Err() != nil:
+				it.terminate(ctx.Err())
+			case it.opts.Semantics == Optimistic && netsim.IsFailure(err):
+				// The directory itself is unreachable; optimistically wait
+				// for repair.
+				if !it.blockPause(ctx) {
+					return false
+				}
+				continue
+			case errors.Is(err, netsim.ErrDropped) && it.listFails < maxConsecutiveFetchFailures:
+				// A dropped message is transient by definition (the link is
+				// up); retry rather than report the failure exception.
+				it.listFails++
+				continue
+			default:
+				it.terminate(fmt.Errorf("%w: read membership: %v", ErrFailure, err))
+			}
+			return false
+		}
+		it.listFails = 0
+
+		d := Step(it.opts.Semantics, firstState, pre, it.yielded)
+		switch d.Kind {
+		case DecideYield:
+			if it.fetch(ctx, pre, d.Elem) {
+				return true
+			}
+			if it.done {
+				return false
+			}
+			// Fetch raced with a mutation or a failure: re-observe the
+			// world and decide again.
+			continue
+
+		case DecideReturn:
+			it.record(pre, spec.Returned, "", false)
+			it.done = true
+			return false
+
+		case DecideFail:
+			it.record(pre, spec.Failed, "", false)
+			it.terminate(fmt.Errorf("%w: %s: unreachable members remain", ErrFailure, it.opts.Semantics))
+			return false
+
+		case DecideBlock:
+			it.record(pre, spec.Blocked, "", false)
+			if !it.blockPause(ctx) {
+				return false
+			}
+		}
+	}
+}
+
+// fetch retrieves the chosen element's object. It returns true when the
+// iterator yielded; false means the caller should re-observe (or the
+// iterator terminated — check it.done).
+func (it *Iterator) fetch(ctx context.Context, pre spec.State, elem spec.ElemID) bool {
+	ref := it.refs[elem]
+	obj, err := it.client.Get(ctx, ref)
+	switch {
+	case err == nil:
+		it.yield(pre, ref, Element{Ref: ref, Data: obj.Data, Attrs: obj.Attrs, Stale: obj.Tombstone})
+		return true
+
+	case errors.Is(err, repo.ErrNotFound):
+		it.fetchFails = 0
+		switch it.opts.Semantics {
+		case Immutable, ImmutablePerRun, Snapshot:
+			// The snapshot still lists the member but its data is gone —
+			// Fig. 4's tolerated anomaly. Yield the identity as stale.
+			it.yield(pre, ref, Element{Ref: ref, Stale: true})
+			return true
+		case Optimistic:
+			// Concurrently deleted; the next membership read drops it.
+			return false
+		default:
+			// Grow-only: a member's data vanished, so the grow-only
+			// discipline was broken under us. Pessimistic failure.
+			it.record(pre, spec.Failed, "", false)
+			it.terminate(fmt.Errorf("%w: member %q data missing: %v", ErrFailure, elem, err))
+			return false
+		}
+
+	default:
+		// Transport failure. The element may have become unreachable (the
+		// kernel will see that next time) or the message was dropped (the
+		// kernel will choose it again). Guard liveness on lossy links.
+		it.fetchFails++
+		if it.fetchFails >= maxConsecutiveFetchFailures && it.opts.Semantics != Optimistic {
+			it.record(pre, spec.Failed, "", false)
+			it.terminate(fmt.Errorf("%w: fetching %q kept failing: %v", ErrFailure, elem, err))
+		}
+		return false
+	}
+}
+
+func (it *Iterator) yield(pre spec.State, ref repo.Ref, e Element) {
+	it.record(pre, spec.Suspended, spec.ElemID(ref.ID), true)
+	it.yielded[spec.ElemID(ref.ID)] = true
+	it.elem = e
+	it.blockedFor = 0
+	it.fetchFails = 0
+}
+
+// blockPause sleeps one optimistic retry interval. It returns false when
+// the iterator must stop (budget exhausted or context cancelled).
+func (it *Iterator) blockPause(ctx context.Context) bool {
+	it.blockedFor += it.opts.BlockRetry
+	if it.opts.MaxBlock > 0 && it.blockedFor > it.opts.MaxBlock {
+		it.terminate(fmt.Errorf("%w: waited %v", ErrBlocked, it.opts.MaxBlock))
+		return false
+	}
+	// Logical-time runs (zero scale) still pause briefly so the
+	// environment can make progress.
+	if !it.scale.SleepCtxFloor(ctx, it.opts.BlockRetry, 100*time.Microsecond) {
+		it.terminate(ctx.Err())
+		return false
+	}
+	return true
+}
+
+func (it *Iterator) record(pre spec.State, outcome spec.Outcome, yield spec.ElemID, hasYield bool) {
+	if it.opts.Recorder != nil {
+		it.opts.Recorder.Record(pre, outcome, yield, hasYield)
+	}
+}
+
+func (it *Iterator) terminate(err error) {
+	it.done = true
+	if it.err == nil {
+		it.err = err
+	}
+}
+
+// Element returns the element yielded by the last successful Next.
+func (it *Iterator) Element() Element { return it.elem }
+
+// Err reports how the run ended: nil for normal termination (`returns`),
+// ErrFailure for the failure exception (`fails`), ErrBlocked for an
+// exhausted optimistic budget, or the context's error.
+func (it *Iterator) Err() error { return it.err }
+
+// Yielded reports how many elements the run has yielded.
+func (it *Iterator) Yielded() int { return len(it.yielded) }
+
+// Close releases the run's lock, pin, or grow window. It is idempotent.
+func (it *Iterator) Close(ctx context.Context) error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	it.done = true
+	it.release(ctx)
+	return nil
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/locksvc"
+	"weaksets/internal/repo"
+	"weaksets/internal/sim"
+	"weaksets/internal/spec"
+)
+
+// TestIteratorSurvivesLossyLinks checks that moderate message loss slows
+// iterators down but does not break any semantics: drops are transient, so
+// the element stays reachable and the spec says keep trying.
+func TestIteratorSurvivesLossyLinks(t *testing.T) {
+	c, err := cluster.New(cluster.Config{StorageNodes: 3, Seed: 21, DropProb: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := createPopulated(ctx, c, "lossy", 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range []Semantics{Snapshot, GrowOnly, Optimistic} {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			s, err := NewSet(c.Client, cluster.DirNode, "lossy", Options{
+				Semantics:  sem,
+				BlockRetry: time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Setup RPCs themselves can be dropped; retry the open a few
+			// times like a real client would.
+			var elems []Element
+			for attempt := 0; attempt < 10; attempt++ {
+				elems, err = s.Collect(ctx)
+				if err == nil {
+					break
+				}
+			}
+			if err != nil {
+				t.Fatalf("collect kept failing: %v", err)
+			}
+			if len(elems) != 10 {
+				t.Fatalf("yielded %d, want 10", len(elems))
+			}
+		})
+	}
+}
+
+// TestPessimisticGivesUpOnBlackholeLink checks the liveness guard: if
+// fetches keep failing while the element remains "reachable" (a lossy
+// one-way path the detector can't see), the pessimistic iterator
+// eventually fails rather than spinning forever.
+func TestPessimisticGivesUpOnBlackholeLink(t *testing.T) {
+	c, err := cluster.New(cluster.Config{StorageNodes: 2, Seed: 4, DropProb: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	// Build the collection through a lossless path: direct server access
+	// is impossible, so temporarily disable drops by... building before
+	// enabling is impossible too (DropProb is fixed). Instead, the
+	// directory is the client's own node: self-sends never drop.
+	if err := c.Client.CreateCollection(ctx, cluster.HomeNode, "bh"); err != nil {
+		t.Fatal(err)
+	}
+	// Object on home too, so Put succeeds; then a second member hosted on
+	// s0 is added with a ref only (no Put needed for membership).
+	ref, err := c.Client.Put(ctx, cluster.HomeNode, repo.Object{ID: "local", Data: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Add(ctx, cluster.HomeNode, "bh", ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Add(ctx, cluster.HomeNode, "bh", repo.Ref{ID: "remote", Node: c.Storage[0]}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewSet(c.Client, cluster.HomeNode, "bh", Options{Semantics: GrowOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Collect(ctx)
+	if !errors.Is(err, ErrFailure) {
+		t.Fatalf("err = %v, want ErrFailure after repeated fetch failures", err)
+	}
+}
+
+// TestCrashRestartPreservesState checks the fail-stop-with-stable-storage
+// model: a crashed storage node keeps its objects and serves them again
+// after restart.
+func TestCrashRestartPreservesState(t *testing.T) {
+	w := newTestWorld(t, 4)
+	ctx := context.Background()
+	victim := w.c.Storage[0]
+	w.c.Net.Crash(victim)
+
+	s := w.set(t, Options{Semantics: GrowOnly})
+	if _, err := s.Collect(ctx); !errors.Is(err, ErrFailure) {
+		t.Fatalf("err = %v, want ErrFailure while crashed", err)
+	}
+
+	w.c.Net.Restart(victim)
+	elems, err := s.Collect(ctx)
+	if err != nil {
+		t.Fatalf("collect after restart: %v", err)
+	}
+	if len(elems) != 4 {
+		t.Fatalf("yielded %d after restart, want 4", len(elems))
+	}
+}
+
+// TestLeaseExpiryUnblocksWriters models the disconnected-reader problem
+// the paper warns about (§3.1): a reader that vanishes mid-run loses its
+// lease, so writers are not blocked forever.
+func TestLeaseExpiryUnblocksWriters(t *testing.T) {
+	w := newTestWorld(t, 3)
+	ctx := context.Background()
+	s := w.set(t, Options{
+		Semantics: ImmutablePerRun,
+		LockTTL:   time.Millisecond, // floored to 50ms real by the server
+	})
+	it, err := s.Elements(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reader "disconnects": never calls Next or Close again.
+	_ = it
+
+	writer := locksvc.NewClient(w.c.Bus, cluster.HomeNode, "impatient-writer")
+	writer.RetryEvery = time.Millisecond
+	deadline := time.Now().Add(5 * time.Second)
+	granted := false
+	for time.Now().Before(deadline) {
+		granted, err = writer.TryAcquire(ctx, w.c.LockNode, lockName("set"), locksvc.Write, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if granted {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !granted {
+		t.Fatal("writer never acquired the lock after the reader vanished")
+	}
+}
+
+// TestCollectReturnsPartialOnFailure checks that a failing run still hands
+// back everything yielded before the failure — the paper's partial
+// information property applies even to pessimistic runs.
+func TestCollectReturnsPartialOnFailure(t *testing.T) {
+	w := newTestWorld(t, 8)
+	w.c.Net.Isolate(w.c.Storage[1])
+	s := w.set(t, Options{Semantics: Immutable})
+	got, err := s.Collect(context.Background())
+	if !errors.Is(err, ErrFailure) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("partial results = %d, want 6", len(got))
+	}
+}
+
+// TestSnapshotPinReleasedOnClose verifies resource hygiene: pins do not
+// leak across runs.
+func TestSnapshotPinReleasedOnClose(t *testing.T) {
+	w := newTestWorld(t, 3)
+	ctx := context.Background()
+	s := w.set(t, Options{Semantics: Snapshot})
+	for i := 0; i < 5; i++ {
+		it, err := s.Elements(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for it.Next(ctx) {
+		}
+		if err := it.Close(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := w.c.Client.Stats(ctx, cluster.DirNode, "set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pins != 0 {
+		t.Fatalf("pins leaked: %d", stats.Pins)
+	}
+	if stats.Tokens != 0 {
+		t.Fatalf("tokens leaked: %d", stats.Tokens)
+	}
+}
+
+// TestGrowWindowReleasedOnEarlyClose verifies a grow window closes even
+// when the iterator is abandoned mid-run.
+func TestGrowWindowReleasedOnEarlyClose(t *testing.T) {
+	w := newTestWorld(t, 6)
+	ctx := context.Background()
+	s := w.set(t, Options{Semantics: GrowOnlyPerRun})
+	it, err := s.Elements(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !it.Next(ctx) {
+		t.Fatal("first next failed")
+	}
+	if err := it.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := w.c.Client.Stats(ctx, cluster.DirNode, "set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tokens != 0 {
+		t.Fatalf("grow window leaked: %+v", stats)
+	}
+}
+
+// TestEmptySetAllSemantics: iterating an empty set terminates immediately
+// everywhere.
+func TestEmptySetAllSemantics(t *testing.T) {
+	w := newTestWorld(t, 0)
+	for _, sem := range AllSemantics() {
+		s := w.set(t, Options{Semantics: sem})
+		elems, err := s.Collect(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", sem, err)
+		}
+		if len(elems) != 0 {
+			t.Fatalf("%s yielded %d from empty set", sem, len(elems))
+		}
+	}
+}
+
+// TestKernelQuickProperties drives the kernels over random states with
+// testing/quick, checking structural invariants of every decision.
+func TestKernelQuickProperties(t *testing.T) {
+	check := func(seed int64, semIdx uint8, size uint8) bool {
+		sems := AllSemantics()
+		sem := sems[int(semIdx)%len(sems)]
+		n := int(size%12) + 1
+		rng := sim.NewRand(seed)
+		var members, reach []spec.ElemID
+		for i := 0; i < n; i++ {
+			id := spec.ElemID(fmt.Sprintf("e%02d", i))
+			if rng.Float64() < 0.7 {
+				members = append(members, id)
+			}
+			if rng.Float64() < 0.7 {
+				reach = append(reach, id)
+			}
+		}
+		pre := spec.NewState(members, reach)
+		first := pre.Clone()
+		yielded := make(map[spec.ElemID]bool)
+		for _, id := range members {
+			if rng.Float64() < 0.4 {
+				yielded[id] = true
+			}
+		}
+		d := Step(sem, first, pre, yielded)
+		switch d.Kind {
+		case DecideYield:
+			// Never a duplicate, always a member of the governing set,
+			// always reachable.
+			if yielded[d.Elem] {
+				return false
+			}
+			if !pre.Reach[d.Elem] {
+				return false
+			}
+			if sem.UsesSnapshot() {
+				return first.Members[d.Elem]
+			}
+			return pre.Members[d.Elem]
+		case DecideBlock:
+			return sem == Optimistic
+		case DecideFail:
+			return sem != Optimistic
+		case DecideReturn:
+			return true
+		default:
+			return false
+		}
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func createPopulated(ctx context.Context, c *cluster.Cluster, coll string, n int) error {
+	if err := c.Client.CreateCollection(ctx, cluster.DirNode, coll); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		var (
+			ref repo.Ref
+			err error
+		)
+		obj := repo.Object{ID: repo.ObjectID(fmt.Sprintf("%s-%03d", coll, i)), Data: []byte("d")}
+		// Lossy worlds need retries even for setup.
+		for attempt := 0; attempt < 20; attempt++ {
+			ref, err = c.Client.Put(ctx, c.StorageFor(i), obj)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return err
+		}
+		for attempt := 0; attempt < 20; attempt++ {
+			err = c.Client.Add(ctx, cluster.DirNode, coll, ref)
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"sort"
+
+	"weaksets/internal/spec"
+)
+
+// DecisionKind classifies what the iterator must do at one invocation.
+type DecisionKind int
+
+// Decision kinds.
+const (
+	// DecideYield suspends after yielding Decision.Elem.
+	DecideYield DecisionKind = iota + 1
+	// DecideReturn terminates the iterator normally.
+	DecideReturn
+	// DecideFail terminates with the failure exception (pessimistic
+	// semantics only).
+	DecideFail
+	// DecideBlock waits for a repair and retries (optimistic semantics
+	// only).
+	DecideBlock
+)
+
+// String implements fmt.Stringer.
+func (k DecisionKind) String() string {
+	switch k {
+	case DecideYield:
+		return "yield"
+	case DecideReturn:
+		return "return"
+	case DecideFail:
+		return "fail"
+	case DecideBlock:
+		return "block"
+	default:
+		return "decision(?)"
+	}
+}
+
+// Decision is the outcome of one kernel step.
+type Decision struct {
+	Kind DecisionKind
+	Elem spec.ElemID // set when Kind == DecideYield
+}
+
+// Step is the pure semantic kernel: given the membership at the first
+// invocation (first; used only by snapshot-based semantics), the current
+// pre-state (membership plus reachability), and the yielded history object,
+// it decides the invocation's outcome exactly as the corresponding figure's
+// ensures clause dictates. Among eligible elements it picks the
+// lexicographically smallest, making runs deterministic for a fixed
+// environment.
+func Step(sem Semantics, first spec.State, pre spec.State, yielded map[spec.ElemID]bool) Decision {
+	switch sem {
+	case Immutable, ImmutablePerRun, Snapshot:
+		return stepSnapshot(first.Members, pre, yielded)
+	case GrowOnly, GrowOnlyPerRun:
+		return stepGrowPessimistic(pre, yielded)
+	case Optimistic:
+		return stepOptimistic(pre, yielded)
+	default:
+		return Decision{Kind: DecideFail}
+	}
+}
+
+// stepSnapshot implements the shared ensures clause of Figures 3 and 4:
+// everything is judged against s_first, with reachability sampled now.
+func stepSnapshot(first map[spec.ElemID]bool, pre spec.State, yielded map[spec.ElemID]bool) Decision {
+	reachFirst := pre.ReachableOf(first)
+	if isStrictSubset(yielded, reachFirst) {
+		return Decision{Kind: DecideYield, Elem: pickMin(reachFirst, yielded)}
+	}
+	if sameSet(yielded, reachFirst) && isStrictSubset(yielded, first) {
+		return Decision{Kind: DecideFail}
+	}
+	return Decision{Kind: DecideReturn}
+}
+
+// stepGrowPessimistic implements Fig. 5: judged against the current
+// pre-state; anything known-but-unreachable is a failure.
+func stepGrowPessimistic(pre spec.State, yielded map[spec.ElemID]bool) Decision {
+	reachPre := pre.ReachableMembers()
+	if isStrictSubset(yielded, reachPre) {
+		return Decision{Kind: DecideYield, Elem: pickMin(reachPre, yielded)}
+	}
+	if sameSet(yielded, pre.Members) {
+		return Decision{Kind: DecideReturn}
+	}
+	return Decision{Kind: DecideFail}
+}
+
+// stepOptimistic implements Fig. 6: while any member remains unyielded the
+// iterator must make progress or wait; it never fails.
+func stepOptimistic(pre spec.State, yielded map[spec.ElemID]bool) Decision {
+	anyUnyielded := false
+	for e := range pre.Members {
+		if !yielded[e] {
+			anyUnyielded = true
+			break
+		}
+	}
+	if !anyUnyielded {
+		return Decision{Kind: DecideReturn}
+	}
+	reach := pre.ReachableMembers()
+	if elem, ok := pickMinOK(reach, yielded); ok {
+		return Decision{Kind: DecideYield, Elem: elem}
+	}
+	return Decision{Kind: DecideBlock}
+}
+
+// sameSet reports a == b.
+func sameSet(a, b map[spec.ElemID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for e := range a {
+		if !b[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// isStrictSubset reports a ⊊ b.
+func isStrictSubset(a, b map[spec.ElemID]bool) bool {
+	if len(a) >= len(b) {
+		return false
+	}
+	for e := range a {
+		if !b[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// pickMin returns the smallest element of candidates not already yielded.
+// Callers guarantee one exists.
+func pickMin(candidates, yielded map[spec.ElemID]bool) spec.ElemID {
+	elem, _ := pickMinOK(candidates, yielded)
+	return elem
+}
+
+func pickMinOK(candidates, yielded map[spec.ElemID]bool) (spec.ElemID, bool) {
+	eligible := make([]spec.ElemID, 0, len(candidates))
+	for e := range candidates {
+		if !yielded[e] {
+			eligible = append(eligible, e)
+		}
+	}
+	if len(eligible) == 0 {
+		return "", false
+	}
+	sort.Slice(eligible, func(i, j int) bool { return eligible[i] < eligible[j] })
+	return eligible[0], true
+}

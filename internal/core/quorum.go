@@ -1,0 +1,95 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/repo"
+)
+
+// The paper notes for the pessimistic grow-only point: "Alternatively, one
+// could easily specify the iterator to use a quorum or token-based scheme
+// by changing the last line" (§3.3). This file supplies that variant: when
+// a Set is given membership replicas, each membership read queries all of
+// them in parallel and succeeds once a quorum responds, taking the
+// freshest (highest-version) response. The directory then tolerates
+// minority replica failures instead of being a single point of failure —
+// E9 measures the availability this buys.
+
+// QuorumConfig configures replicated membership reads.
+type QuorumConfig struct {
+	// Replicas are the nodes holding copies of the collection, primary
+	// included. Empty means single-node reads from the Set's directory.
+	Replicas []netsim.NodeID
+	// Quorum is how many replicas must respond. Zero means a majority of
+	// Replicas.
+	Quorum int
+}
+
+func (q QuorumConfig) enabled() bool { return len(q.Replicas) > 0 }
+
+func (q QuorumConfig) need() int {
+	if q.Quorum > 0 {
+		return q.Quorum
+	}
+	return len(q.Replicas)/2 + 1
+}
+
+// readQuorum reads the collection membership from a quorum of replicas,
+// returning the freshest response. It fails with the last error when fewer
+// than the quorum respond.
+func readQuorum(ctx context.Context, client *repo.Client, cfg QuorumConfig, coll string) ([]repo.Ref, uint64, error) {
+	type reply struct {
+		members []repo.Ref
+		version uint64
+		err     error
+	}
+	replies := make(chan reply, len(cfg.Replicas))
+	var wg sync.WaitGroup
+	for _, node := range cfg.Replicas {
+		node := node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			members, version, err := client.List(ctx, node, coll)
+			replies <- reply{members: members, version: version, err: err}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(replies)
+	}()
+
+	var (
+		best    []repo.Ref
+		bestVer uint64
+		got     int
+		hasBest bool
+		lastErr error
+	)
+	need := cfg.need()
+	for r := range replies {
+		if r.err != nil {
+			lastErr = r.err
+			continue
+		}
+		got++
+		if !hasBest || r.version > bestVer {
+			best, bestVer, hasBest = r.members, r.version, true
+		}
+		if got >= need {
+			// A quorum has answered; the remaining goroutines drain into
+			// the buffered channel on their own time.
+			return best, bestVer, nil
+		}
+	}
+	if got >= need {
+		return best, bestVer, nil
+	}
+	if lastErr == nil {
+		lastErr = netsim.ErrUnreachable
+	}
+	return nil, 0, fmt.Errorf("membership quorum %d/%d of %d replicas: %w", got, need, len(cfg.Replicas), lastErr)
+}

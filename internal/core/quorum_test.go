@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/netsim"
+)
+
+// quorumWorld replicates the test collection onto two storage nodes so
+// membership has three copies: dir (primary), s0 and s1.
+func newQuorumWorld(t *testing.T, n int) (*testWorld, QuorumConfig) {
+	t.Helper()
+	w := newTestWorld(t, n)
+	replicas := []netsim.NodeID{w.c.Storage[0], w.c.Storage[1]}
+	if err := w.c.Servers[cluster.DirNode].ReplicateCollection("set", replicas); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until both replicas hold the membership.
+	ctx := context.Background()
+	deadline := time.Now().Add(2 * time.Second)
+	for _, r := range replicas {
+		for {
+			members, _, err := w.c.Client.List(ctx, r, "set")
+			if err == nil && len(members) == n {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %s never caught up", r)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cfg := QuorumConfig{Replicas: []netsim.NodeID{cluster.DirNode, w.c.Storage[0], w.c.Storage[1]}}
+	return w, cfg
+}
+
+func TestQuorumReadHealthy(t *testing.T) {
+	w, cfg := newQuorumWorld(t, 6)
+	members, _, err := readQuorum(context.Background(), w.c.Client, cfg, "set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 6 {
+		t.Fatalf("members = %d", len(members))
+	}
+	if cfg.need() != 2 {
+		t.Fatalf("majority of 3 = %d", cfg.need())
+	}
+}
+
+func TestQuorumReadSurvivesMinorityFailure(t *testing.T) {
+	w, cfg := newQuorumWorld(t, 6)
+	// The primary directory goes down; the two replicas still form a
+	// majority.
+	w.c.Net.Crash(cluster.DirNode)
+	members, _, err := readQuorum(context.Background(), w.c.Client, cfg, "set")
+	if err != nil {
+		t.Fatalf("quorum read with minority down: %v", err)
+	}
+	if len(members) != 6 {
+		t.Fatalf("members = %d", len(members))
+	}
+}
+
+func TestQuorumReadFailsWithoutQuorum(t *testing.T) {
+	w, cfg := newQuorumWorld(t, 6)
+	w.c.Net.Crash(cluster.DirNode)
+	w.c.Net.Isolate(w.c.Storage[0])
+	_, _, err := readQuorum(context.Background(), w.c.Client, cfg, "set")
+	if err == nil {
+		t.Fatal("quorum read succeeded with a single replica")
+	}
+	if !netsim.IsFailure(errors.Unwrap(err)) && !netsim.IsFailure(err) {
+		t.Fatalf("err = %v, want a transport failure cause", err)
+	}
+}
+
+func TestQuorumReadPicksFreshest(t *testing.T) {
+	w, _ := newQuorumWorld(t, 4)
+	ctx := context.Background()
+	// Make replica s1 stale: cut it off, mutate the primary, and read a
+	// quorum formed by {dir, s1}: the primary's fresher version must win.
+	w.c.Net.Isolate(w.c.Storage[1])
+	w.addElement(t, 99)
+	w.c.Net.Rejoin(w.c.Storage[1])
+	members, version, err := readQuorum(ctx, w.c.Client, QuorumConfig{
+		Replicas: []netsim.NodeID{cluster.DirNode, w.c.Storage[1]},
+		Quorum:   2,
+	}, "set")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 5 {
+		t.Fatalf("quorum returned stale view: %d members at version %d", len(members), version)
+	}
+}
+
+func TestGrowOnlyQuorumToleratesPrimaryOutage(t *testing.T) {
+	w, cfg := newQuorumWorld(t, 6)
+	ctx := context.Background()
+	w.c.Net.Crash(cluster.DirNode)
+
+	// Without quorum the pessimistic iterator cannot even read membership.
+	plain := w.set(t, Options{Semantics: GrowOnly})
+	if _, err := plain.Collect(ctx); !errors.Is(err, ErrFailure) {
+		t.Fatalf("single-directory read should fail: %v", err)
+	}
+
+	// With quorum reads it completes: the members live on storage nodes
+	// that are still up, and membership comes from the replica majority.
+	q := w.set(t, Options{Semantics: GrowOnly, Quorum: cfg})
+	elems, err := q.Collect(ctx)
+	if err != nil {
+		t.Fatalf("quorum grow-only failed: %v", err)
+	}
+	if len(elems) != 6 {
+		t.Fatalf("yielded %d, want 6", len(elems))
+	}
+}
+
+func TestOptimisticQuorumBlocksWithoutQuorumThenRecovers(t *testing.T) {
+	w, cfg := newQuorumWorld(t, 4)
+	ctx := context.Background()
+	// Take out two of three membership replicas: no quorum, the
+	// optimistic iterator blocks.
+	w.c.Net.Crash(cluster.DirNode)
+	w.c.Net.Isolate(w.c.Storage[0])
+	s := w.set(t, Options{Semantics: Optimistic, Quorum: cfg, BlockRetry: time.Millisecond})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		// Repair: the quorum re-forms and s0's element becomes fetchable.
+		w.c.Net.Restart(cluster.DirNode)
+		w.c.Net.Rejoin(w.c.Storage[0])
+	}()
+	elems, err := s.Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 4 {
+		t.Fatalf("yielded %d", len(elems))
+	}
+}
+
+func TestQuorumConfigDefaults(t *testing.T) {
+	var cfg QuorumConfig
+	if cfg.enabled() {
+		t.Fatal("zero config enabled")
+	}
+	cfg = QuorumConfig{Replicas: []netsim.NodeID{"a", "b", "c", "d", "e"}}
+	if cfg.need() != 3 {
+		t.Fatalf("majority of 5 = %d", cfg.need())
+	}
+	cfg.Quorum = 5
+	if cfg.need() != 5 {
+		t.Fatalf("explicit quorum = %d", cfg.need())
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"weaksets/internal/locksvc"
+	"weaksets/internal/netsim"
+	"weaksets/internal/repo"
+	"weaksets/internal/spec"
+)
+
+// Element is one yielded member of a weak set: its repository location and
+// the object state fetched for it.
+type Element struct {
+	Ref   repo.Ref
+	Data  []byte
+	Attrs map[string]string
+	// Stale marks an element whose membership was observed (e.g. in a
+	// pinned snapshot) but whose object data had already been deleted when
+	// fetched — the Fig. 4 "you may see elements that have been removed"
+	// case.
+	Stale bool
+}
+
+// ID returns the element's object ID.
+func (e Element) ID() repo.ObjectID { return e.Ref.ID }
+
+// Options configures a weak set.
+type Options struct {
+	// Semantics selects the design-space point. Required.
+	Semantics Semantics
+	// LockServer is the node running the lock service; required for
+	// ImmutablePerRun.
+	LockServer netsim.NodeID
+	// LockTTL bounds how long a run's read lease survives a vanished
+	// client. Defaults to 5s virtual.
+	LockTTL time.Duration
+	// BlockRetry is the optimistic iterator's poll interval while waiting
+	// for a repair. Defaults to 20ms virtual.
+	BlockRetry time.Duration
+	// MaxBlock bounds the total time an optimistic iterator will block
+	// waiting for repairs before giving up with ErrBlocked. Zero means
+	// block until the context is cancelled (the paper's semantics).
+	MaxBlock time.Duration
+	// Recorder, when set, receives every invocation for conformance
+	// checking against the executable specifications.
+	Recorder *spec.Recorder
+	// Quorum, when configured, makes the current-state semantics
+	// (GrowOnly, GrowOnlyPerRun, Optimistic) read membership from a quorum
+	// of directory replicas instead of the single directory node — the
+	// §3.3 "quorum scheme" variant. Snapshot-based semantics ignore it
+	// (pins are primary-resident).
+	Quorum QuorumConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.LockTTL == 0 {
+		o.LockTTL = 5 * time.Second
+	}
+	if o.BlockRetry == 0 {
+		o.BlockRetry = 20 * time.Millisecond
+	}
+	return o
+}
+
+var iterSeq atomic.Int64
+
+// Set is a weak set bound to a collection in the distributed repository.
+// The collection lives on the directory node dir; its members may live
+// anywhere. Set is safe for concurrent use; each Elements call produces an
+// independent iterator run.
+type Set struct {
+	client *repo.Client
+	dir    netsim.NodeID
+	name   string
+	opts   Options
+}
+
+// NewSet binds a weak set to collection name on directory node dir, read
+// through client.
+func NewSet(client *repo.Client, dir netsim.NodeID, name string, opts Options) (*Set, error) {
+	if !opts.Semantics.Valid() {
+		return nil, fmt.Errorf("weakset %q: invalid semantics %d", name, int(opts.Semantics))
+	}
+	if opts.Semantics == ImmutablePerRun && opts.LockServer == "" {
+		return nil, fmt.Errorf("weakset %q: %s requires a LockServer", name, opts.Semantics)
+	}
+	return &Set{client: client, dir: dir, name: name, opts: opts.withDefaults()}, nil
+}
+
+// Semantics reports the set's design-space point.
+func (s *Set) Semantics() Semantics { return s.opts.Semantics }
+
+// Name reports the underlying collection name.
+func (s *Set) Name() string { return s.name }
+
+// Dir reports the directory node holding the collection.
+func (s *Set) Dir() netsim.NodeID { return s.dir }
+
+// Create creates the underlying collection (the paper's `create`
+// procedure).
+func (s *Set) Create(ctx context.Context) error {
+	return s.client.CreateCollection(ctx, s.dir, s.name)
+}
+
+// Add inserts a member (the paper's `add` procedure).
+func (s *Set) Add(ctx context.Context, ref repo.Ref) error {
+	return s.client.Add(ctx, s.dir, s.name, ref)
+}
+
+// Remove removes a member and deletes its object data unless an open
+// grow-only window deferred it (the paper's `remove` procedure).
+func (s *Set) Remove(ctx context.Context, ref repo.Ref) error {
+	return s.client.DeleteMember(ctx, s.dir, s.name, ref)
+}
+
+// Size reports the current membership count (the paper's `size`
+// procedure). Like everything here it is only as fresh as the moment of
+// the RPC.
+func (s *Set) Size(ctx context.Context) (int, error) {
+	members, _, err := s.client.List(ctx, s.dir, s.name)
+	if err != nil {
+		return 0, err
+	}
+	return len(members), nil
+}
+
+// Elements begins a run of the elements iterator (the paper's `elements`
+// iterator). Per-semantics setup happens here: ImmutablePerRun acquires the
+// run's read lock, Snapshot pins an atomic membership snapshot,
+// GrowOnlyPerRun opens the ghost window. The returned iterator must be
+// Closed to release those resources.
+func (s *Set) Elements(ctx context.Context) (*Iterator, error) {
+	it := &Iterator{
+		set:     s,
+		client:  s.client,
+		opts:    s.opts,
+		scale:   s.client.Bus().Network().Scale(),
+		yielded: make(map[spec.ElemID]bool),
+		refs:    make(map[spec.ElemID]repo.Ref),
+		owner:   fmt.Sprintf("%s-iter-%d", s.client.Node(), iterSeq.Add(1)),
+	}
+	if err := it.setup(ctx); err != nil {
+		it.release(context.Background())
+		return nil, fmt.Errorf("%w: open %s elements on %q: %v", ErrFailure, s.opts.Semantics, s.name, err)
+	}
+	return it, nil
+}
+
+// Collect runs a full iteration and returns everything yielded. On
+// iterator failure it returns the elements yielded so far together with
+// the error.
+func (s *Set) Collect(ctx context.Context) ([]Element, error) {
+	it, err := s.Elements(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = it.Close(context.Background()) }()
+	var out []Element
+	for it.Next(ctx) {
+		out = append(out, it.Element())
+	}
+	return out, it.Err()
+}
+
+// lockClient builds the per-run lock client for ImmutablePerRun.
+func (s *Set) lockClient(owner string) *locksvc.Client {
+	return locksvc.NewClient(s.client.Bus(), s.client.Node(), owner)
+}

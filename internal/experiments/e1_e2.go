@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"weaksets/internal/core"
+	"weaksets/internal/metrics"
+	"weaksets/internal/netsim"
+	"weaksets/internal/sim"
+)
+
+// E1FirstYield measures time-to-first-element and time-to-completion for
+// every semantics plus the dynamic set, across set sizes and WAN round-trip
+// times. Paper claim (§1.1): "We can return information to the user more
+// quickly by yielding partial information about the contents of a
+// directory" and "we can implement such file system commands more
+// efficiently by fetching files in parallel".
+//
+// Expected shape: first-yield is ~one round trip for every semantics,
+// independent of set size; completion grows linearly with size for the
+// sequential iterators and is divided by roughly the prefetch width for
+// the dynamic set.
+func E1FirstYield(cfg Config) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	sizes := []int{16, 64, 256}
+	rtts := []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond}
+	if cfg.Quick {
+		sizes = []int{12, 48}
+		rtts = []time.Duration{10 * time.Millisecond, 50 * time.Millisecond}
+	}
+	const dynWidth = 8
+
+	table := metrics.NewTable(
+		"E1: time to first element and completion (healthy network)",
+		"elements", "rtt", "method", "first", "total", "rpcs", "outcome",
+	)
+	ctx := context.Background()
+	for _, size := range sizes {
+		for _, rtt := range rtts {
+			w, err := buildWorld(worldSpec{
+				seed:     cfg.Seed,
+				scale:    cfg.Scale,
+				latency:  sim.Fixed(rtt / 2),
+				elements: size,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, sem := range core.AllSemantics() {
+				w.c.Bus.ResetStats()
+				res := w.runSet(ctx, sem, core.Options{})
+				table.AddRow(itoa(size), metrics.FmtDur(rtt), sem.String(),
+					metrics.FmtDur(res.first), metrics.FmtDur(res.total),
+					itoa(int(w.c.Bus.Stats().Calls)), fmtErr(res.err))
+			}
+			w.c.Bus.ResetStats()
+			res := w.runDyn(ctx, core.DynOptions{Width: dynWidth})
+			table.AddRow(itoa(size), metrics.FmtDur(rtt), "dynamic-w8",
+				metrics.FmtDur(res.first), metrics.FmtDur(res.total),
+				itoa(int(w.c.Bus.Stats().Calls)), fmtErr(res.err))
+			w.close()
+		}
+	}
+	return table, nil
+}
+
+// E2Availability measures, under increasing partition probability, the
+// fraction of queries that complete and the fraction of the set they
+// retrieve, for a pessimistic iterator, an optimistic iterator with a
+// bounded patience, and a dynamic set in skip mode. Paper claim (§3, §3.4):
+// the pessimistic approach "would be most appropriate to return a failure"
+// while the optimistic approach "allows access to the data even though it
+// may be stale"; dynamic sets fetch "all accessible files despite network
+// failures".
+//
+// Expected shape: pessimistic completion collapses roughly as
+// (1-p)^nodes; the optimistic/dynamic coverage degrades gracefully with p
+// and those queries keep returning the reachable fraction.
+func E2Availability(cfg Config) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	ps := []float64{0, 0.05, 0.1, 0.2, 0.4}
+	trials := 20
+	if cfg.Quick {
+		ps = []float64{0, 0.2}
+		trials = 6
+	}
+	const (
+		elements = 24
+		storage  = 8
+		oneWay   = 10 * time.Millisecond
+	)
+
+	table := metrics.NewTable(
+		"E2: availability under partitions",
+		"p(node cut)", "method", "completed", "avg coverage",
+	)
+	ctx := context.Background()
+	rng := sim.NewRand(cfg.Seed + 1)
+
+	type method struct {
+		name string
+		run  func(w *world) queryResult
+	}
+	methods := []method{
+		{name: "grow-only (pessimistic)", run: func(w *world) queryResult {
+			return w.runSet(ctx, core.GrowOnly, core.Options{})
+		}},
+		{name: "optimistic (500ms patience)", run: func(w *world) queryResult {
+			return w.runSet(ctx, core.Optimistic, core.Options{
+				BlockRetry: 25 * time.Millisecond,
+				MaxBlock:   500 * time.Millisecond,
+			})
+		}},
+		{name: "dynamic (skip unreachable)", run: func(w *world) queryResult {
+			return w.runDyn(ctx, core.DynOptions{Width: 8})
+		}},
+	}
+
+	for _, p := range ps {
+		w, err := buildWorld(worldSpec{
+			seed:     cfg.Seed,
+			scale:    cfg.Scale,
+			latency:  sim.Fixed(oneWay),
+			storage:  storage,
+			elements: elements,
+		})
+		if err != nil {
+			return nil, err
+		}
+		completed := make([]int, len(methods))
+		coverage := make([]float64, len(methods))
+		for trial := 0; trial < trials; trial++ {
+			// Cut each storage node independently with probability p.
+			for _, node := range w.c.Storage {
+				if rng.Float64() < p {
+					w.c.Net.Isolate(node)
+				}
+			}
+			for i, m := range methods {
+				res := m.run(w)
+				if res.err == nil {
+					completed[i]++
+				}
+				coverage[i] += float64(res.yielded) / elements
+			}
+			w.c.Net.Heal()
+		}
+		for i, m := range methods {
+			table.AddRow(metrics.FmtRatio(p), m.name,
+				metrics.FmtPct(float64(completed[i])/float64(trials)),
+				metrics.FmtPct(coverage[i]/float64(trials)))
+		}
+
+		// Transient outages: the same cuts heal 2s (virtual) into the
+		// query — longer than the time the pessimistic iterator needs to
+		// drain the reachable elements, so it fails before the repair,
+		// while the optimistic one blocks and completes — the paper's "in
+		// a later invocation inaccessible objects will become accessible
+		// again (because the failure has been repaired)" (§3).
+		if p > 0 {
+			transient := []struct {
+				name string
+				run  func(w *world) queryResult
+			}{
+				{name: "grow-only + 2s outage", run: func(w *world) queryResult {
+					return w.runSet(ctx, core.GrowOnly, core.Options{})
+				}},
+				{name: "optimistic + 2s outage", run: func(w *world) queryResult {
+					return w.runSet(ctx, core.Optimistic, core.Options{
+						BlockRetry: 25 * time.Millisecond,
+					})
+				}},
+			}
+			tCompleted := make([]int, len(transient))
+			tCoverage := make([]float64, len(transient))
+			for trial := 0; trial < trials; trial++ {
+				for i, m := range transient {
+					for _, node := range w.c.Storage {
+						if rng.Float64() < p {
+							w.c.Net.Isolate(node)
+						}
+					}
+					sched := netsim.NewSchedule(w.c.Net, netsim.HealAt(2*time.Second))
+					sched.Start(ctx)
+					res := m.run(w)
+					sched.Wait()
+					if res.err == nil {
+						tCompleted[i]++
+					}
+					tCoverage[i] += float64(res.yielded) / elements
+				}
+			}
+			for i, m := range transient {
+				table.AddRow(metrics.FmtRatio(p), m.name,
+					metrics.FmtPct(float64(tCompleted[i])/float64(trials)),
+					metrics.FmtPct(tCoverage[i]/float64(trials)))
+			}
+		}
+		w.close()
+	}
+	return table, nil
+}

@@ -1,0 +1,249 @@
+// Package httpgw exposes weak-set queries over HTTP — the wide-area
+// information-system face of the library (§1: "weak sets are more
+// generally abstractions useful for … wide-area information systems and
+// their applications, e.g., the World Wide Web"). A gateway node serves:
+//
+//	GET /semantics                     the design space + §4 taxonomy
+//	GET /specs/{figure}                the formal spec text
+//	GET /collections/{coll}            membership listing (one round trip)
+//	GET /query?coll=&q=&sem=           streamed NDJSON query results
+//
+// Query results stream one JSON object per element as it is yielded — the
+// HTTP rendition of the paper's incremental retrieval — and end with a
+// summary record carrying the iterator's outcome (`returns`, `fails`,
+// `blocked`).
+package httpgw
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"weaksets/internal/core"
+	"weaksets/internal/netsim"
+	"weaksets/internal/query"
+	"weaksets/internal/repo"
+	"weaksets/internal/spec"
+)
+
+// Gateway serves the HTTP surface for one repository client.
+type Gateway struct {
+	client   *repo.Client
+	dir      netsim.NodeID
+	lockNode netsim.NodeID
+	mux      *http.ServeMux
+	// QueryTimeout bounds each query's virtual patience via context.
+	// Defaults to 30s wall.
+	QueryTimeout time.Duration
+}
+
+// New builds a gateway reading through client, with collections hosted on
+// dir and the lock service on lockNode.
+func New(client *repo.Client, dir, lockNode netsim.NodeID) *Gateway {
+	g := &Gateway{
+		client:       client,
+		dir:          dir,
+		lockNode:     lockNode,
+		mux:          http.NewServeMux(),
+		QueryTimeout: 30 * time.Second,
+	}
+	g.mux.HandleFunc("GET /semantics", g.handleSemantics)
+	g.mux.HandleFunc("GET /specs/{figure}", g.handleSpec)
+	g.mux.HandleFunc("GET /collections/{coll}", g.handleCollection)
+	g.mux.HandleFunc("GET /query", g.handleQuery)
+	return g
+}
+
+// Handler returns the gateway's HTTP handler.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// semanticsInfo is one design-space point in the /semantics listing.
+type semanticsInfo struct {
+	Name        string `json:"name"`
+	Figure      string `json:"figure"`
+	Constraint  string `json:"constraint"`
+	Consistency string `json:"consistency"`
+	Currency    string `json:"currency"`
+	Snapshot    bool   `json:"usesSnapshot"`
+}
+
+func (g *Gateway) handleSemantics(w http.ResponseWriter, _ *http.Request) {
+	out := make([]semanticsInfo, 0, len(core.AllSemantics()))
+	for _, sem := range core.AllSemantics() {
+		cons, curr := spec.Taxonomy(sem.Figure())
+		out = append(out, semanticsInfo{
+			Name:        sem.String(),
+			Figure:      sem.Figure().String(),
+			Constraint:  sem.Constraint().String(),
+			Consistency: cons.String(),
+			Currency:    curr.String(),
+			Snapshot:    sem.UsesSnapshot(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func (g *Gateway) handleSpec(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("figure")
+	for _, fig := range spec.Figures() {
+		if fig.String() == name || strings.EqualFold(name, strings.SplitN(fig.String(), "-", 2)[0]) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, spec.Render(fig))
+			return
+		}
+	}
+	jsonError(w, http.StatusNotFound, "unknown figure %q", name)
+}
+
+// memberInfo is one member in a collection listing.
+type memberInfo struct {
+	ID        string `json:"id"`
+	Node      string `json:"node"`
+	Reachable bool   `json:"reachable"`
+}
+
+func (g *Gateway) handleCollection(w http.ResponseWriter, r *http.Request) {
+	coll := r.PathValue("coll")
+	members, version, err := g.client.List(r.Context(), g.dir, coll)
+	if err != nil {
+		status := http.StatusBadGateway
+		if errors.Is(err, repo.ErrNoCollection) {
+			status = http.StatusNotFound
+		}
+		jsonError(w, status, "list %q: %v", coll, err)
+		return
+	}
+	out := struct {
+		Collection string       `json:"collection"`
+		Version    uint64       `json:"version"`
+		Members    []memberInfo `json:"members"`
+	}{Collection: coll, Version: version, Members: make([]memberInfo, 0, len(members))}
+	for _, ref := range members {
+		out.Members = append(out.Members, memberInfo{
+			ID:        string(ref.ID),
+			Node:      string(ref.Node),
+			Reachable: g.client.Reachable(ref),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+// elementRecord is one streamed query result.
+type elementRecord struct {
+	Kind  string            `json:"kind"` // "element"
+	ID    string            `json:"id"`
+	Node  string            `json:"node"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	Bytes int               `json:"bytes"`
+	Stale bool              `json:"stale,omitempty"`
+}
+
+// summaryRecord terminates a query stream.
+type summaryRecord struct {
+	Kind     string `json:"kind"` // "summary"
+	Outcome  string `json:"outcome"`
+	Matches  int    `json:"matches"`
+	Examined int    `json:"examined"`
+	Error    string `json:"error,omitempty"`
+}
+
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	coll := q.Get("coll")
+	if coll == "" {
+		jsonError(w, http.StatusBadRequest, "missing coll parameter")
+		return
+	}
+	predicate := q.Get("q")
+	if predicate == "" {
+		predicate = `true_ == "" || true_ != ""` // match everything
+	}
+	qry, err := query.New(g.client, g.dir, coll, predicate)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "bad predicate: %v", err)
+		return
+	}
+
+	opts := query.Options{}
+	semName := q.Get("sem")
+	if semName == "" {
+		semName = "dynamic"
+	}
+	if semName == "dynamic" {
+		opts.Dynamic = true
+		width := 8
+		if ws := q.Get("width"); ws != "" {
+			if parsed, err := strconv.Atoi(ws); err == nil && parsed > 0 {
+				width = parsed
+			}
+		}
+		opts.DynOptions = core.DynOptions{Width: width}
+	} else {
+		sem, ok := core.SemanticsByName(semName)
+		if !ok {
+			jsonError(w, http.StatusBadRequest, "unknown semantics %q", semName)
+			return
+		}
+		opts.Semantics = sem
+		opts.SetOptions = core.Options{
+			LockServer: g.lockNode,
+			MaxBlock:   10 * time.Second,
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), g.QueryTimeout)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	matches := 0
+	examined, runErr := qry.Stream(ctx, opts, func(res query.Result) bool {
+		matches++
+		e := res.Element
+		_ = enc.Encode(elementRecord{
+			Kind:  "element",
+			ID:    string(e.Ref.ID),
+			Node:  string(e.Ref.Node),
+			Attrs: e.Attrs,
+			Bytes: len(e.Data),
+			Stale: e.Stale,
+		})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	})
+
+	summary := summaryRecord{Kind: "summary", Matches: matches, Examined: examined}
+	switch {
+	case runErr == nil:
+		summary.Outcome = "returns"
+	case errors.Is(runErr, core.ErrFailure):
+		summary.Outcome = "fails"
+		summary.Error = runErr.Error()
+	case errors.Is(runErr, core.ErrBlocked):
+		summary.Outcome = "blocked"
+		summary.Error = runErr.Error()
+	default:
+		summary.Outcome = "error"
+		summary.Error = runErr.Error()
+	}
+	_ = enc.Encode(summary)
+}

@@ -1,0 +1,245 @@
+package httpgw
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/wais"
+)
+
+type gwWorld struct {
+	c      *cluster.Cluster
+	corpus wais.Corpus
+	srv    *httptest.Server
+}
+
+func newGWWorld(t *testing.T) *gwWorld {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{StorageNodes: 4, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	corpus, err := wais.BuildRestaurants(context.Background(), c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := New(c.Client, cluster.DirNode, c.LockNode)
+	srv := httptest.NewServer(gw.Handler())
+	t.Cleanup(srv.Close)
+	return &gwWorld{c: c, corpus: corpus, srv: srv}
+}
+
+func (w *gwWorld) get(t *testing.T, path string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(w.srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestSemanticsEndpoint(t *testing.T) {
+	w := newGWWorld(t)
+	resp, body := w.get(t, "/semantics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 {
+		t.Fatalf("semantics = %d", len(out))
+	}
+	last := out[5]
+	if last["name"] != "optimistic" || last["consistency"] != "none" || last["currency"] != "first-bound" {
+		t.Fatalf("optimistic row = %v", last)
+	}
+}
+
+func TestSpecEndpoint(t *testing.T) {
+	w := newGWWorld(t)
+	resp, body := w.get(t, "/specs/Fig6-optimistic")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "remembers yielded") {
+		t.Fatalf("spec body:\n%s", body)
+	}
+	// Short form resolves too.
+	resp, _ = w.get(t, "/specs/fig3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("short-form status = %d", resp.StatusCode)
+	}
+	resp, _ = w.get(t, "/specs/fig99")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown figure status = %d", resp.StatusCode)
+	}
+}
+
+func TestCollectionEndpoint(t *testing.T) {
+	w := newGWWorld(t)
+	w.c.Net.Isolate(w.c.Storage[0])
+	resp, body := w.get(t, "/collections/menus")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Collection string `json:"collection"`
+		Version    uint64 `json:"version"`
+		Members    []struct {
+			ID        string `json:"id"`
+			Node      string `json:"node"`
+			Reachable bool   `json:"reachable"`
+		} `json:"members"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Members) != 20 || out.Version == 0 {
+		t.Fatalf("listing = %+v", out)
+	}
+	unreachable := 0
+	for _, m := range out.Members {
+		if !m.Reachable {
+			unreachable++
+			if m.Node != string(w.c.Storage[0]) {
+				t.Fatalf("wrong unreachable node: %+v", m)
+			}
+		}
+	}
+	if unreachable != 5 {
+		t.Fatalf("unreachable = %d, want 5 of 20", unreachable)
+	}
+
+	resp, _ = w.get(t, "/collections/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing collection status = %d", resp.StatusCode)
+	}
+}
+
+// streamRecords parses an NDJSON query response.
+func streamRecords(t *testing.T, body []byte) (elements []map[string]any, summary map[string]any) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(string(body)))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch rec["kind"] {
+		case "element":
+			elements = append(elements, rec)
+		case "summary":
+			summary = rec
+		default:
+			t.Fatalf("unknown record kind %v", rec["kind"])
+		}
+	}
+	if summary == nil {
+		t.Fatalf("no summary record in:\n%s", body)
+	}
+	return elements, summary
+}
+
+func TestQueryStreaming(t *testing.T) {
+	w := newGWWorld(t)
+	resp, body := w.get(t, `/query?coll=menus&q=cuisine=="chinese"&sem=optimistic`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Fatalf("content type = %q", got)
+	}
+	elements, summary := streamRecords(t, body)
+	if len(elements) != 4 {
+		t.Fatalf("elements = %d, want 4 chinese of 20", len(elements))
+	}
+	if summary["outcome"] != "returns" || summary["matches"] != float64(4) || summary["examined"] != float64(20) {
+		t.Fatalf("summary = %v", summary)
+	}
+}
+
+func TestQueryDynamicDefault(t *testing.T) {
+	w := newGWWorld(t)
+	resp, body := w.get(t, "/query?coll=menus")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	elements, summary := streamRecords(t, body)
+	if len(elements) != 20 {
+		t.Fatalf("elements = %d, want all 20", len(elements))
+	}
+	if summary["outcome"] != "returns" {
+		t.Fatalf("summary = %v", summary)
+	}
+}
+
+func TestQueryFailureOutcome(t *testing.T) {
+	w := newGWWorld(t)
+	w.c.Net.Isolate(w.c.Storage[1])
+	resp, body := w.get(t, "/query?coll=menus&sem=grow-only")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	_, summary := streamRecords(t, body)
+	if summary["outcome"] != "fails" {
+		t.Fatalf("summary = %v", summary)
+	}
+	if summary["error"] == "" {
+		t.Fatal("failure summary missing error text")
+	}
+}
+
+func TestQueryBadRequests(t *testing.T) {
+	w := newGWWorld(t)
+	tests := []struct {
+		path string
+		want int
+	}{
+		{"/query", http.StatusBadRequest},
+		{"/query?coll=menus&q=%3D%3Dbroken", http.StatusBadRequest},
+		{"/query?coll=menus&sem=nonsense", http.StatusBadRequest},
+	}
+	for _, tt := range tests {
+		resp, body := w.get(t, tt.path)
+		if resp.StatusCode != tt.want {
+			t.Errorf("%s: status = %d want %d (%s)", tt.path, resp.StatusCode, tt.want, body)
+		}
+		var out map[string]string
+		if err := json.Unmarshal(body, &out); err != nil || out["error"] == "" {
+			t.Errorf("%s: error body = %s", tt.path, body)
+		}
+	}
+}
+
+func TestQueryAllSemanticsOverHTTP(t *testing.T) {
+	w := newGWWorld(t)
+	for _, sem := range []string{"immutable", "immutable-per-run", "snapshot", "grow-only", "grow-only-per-run", "optimistic", "dynamic"} {
+		sem := sem
+		t.Run(sem, func(t *testing.T) {
+			resp, body := w.get(t, fmt.Sprintf(`/query?coll=menus&q=cuisine!=""&sem=%s`, sem))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d", resp.StatusCode)
+			}
+			elements, summary := streamRecords(t, body)
+			if len(elements) != 20 || summary["outcome"] != "returns" {
+				t.Fatalf("elements=%d summary=%v", len(elements), summary)
+			}
+		})
+	}
+}

@@ -1,0 +1,215 @@
+// Package metrics provides the small measurement toolkit the experiment
+// harness uses: duration histograms with quantiles, counters, and aligned
+// ASCII table rendering for the per-experiment reports.
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram accumulates duration samples. It is safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean reports the arithmetic mean, or 0 with no samples.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range h.samples {
+		total += s
+	}
+	return total / time.Duration(len(h.samples))
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1), or 0 with no samples.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (h *Histogram) Max() time.Duration { return h.Quantile(1) }
+
+// Min reports the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() time.Duration { return h.Quantile(0) }
+
+// FmtDur renders a duration in milliseconds with a sensible precision for
+// tables.
+func FmtDur(d time.Duration) string {
+	ms := float64(d) / float64(time.Millisecond)
+	switch {
+	case ms == 0:
+		return "0"
+	case ms < 10:
+		return fmt.Sprintf("%.2fms", ms)
+	case ms < 100:
+		return fmt.Sprintf("%.1fms", ms)
+	default:
+		return fmt.Sprintf("%.0fms", ms)
+	}
+}
+
+// FmtRatio renders a unitless ratio.
+func FmtRatio(r float64) string { return fmt.Sprintf("%.2f", r) }
+
+// FmtPct renders a fraction as a percentage.
+func FmtPct(f float64) string { return fmt.Sprintf("%.0f%%", 100*f) }
+
+// Table accumulates rows and renders them as an aligned ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+
+	mu   sync.Mutex
+	rows [][]string
+}
+
+// NewTable creates a table with a title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row := append([]string(nil), cells...)
+	for len(row) < len(t.Headers) {
+		row = append(row, "")
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns a copy of the accumulated rows.
+func (t *Table) Rows() [][]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	var sb strings.Builder
+	for i, h := range t.Headers {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(pad(h, widths[i]))
+	}
+	fmt.Fprintln(w, sb.String())
+	sb.Reset()
+	for i := range t.Headers {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	fmt.Fprintln(w, sb.String())
+	for _, row := range t.rows {
+		sb.Reset()
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if i < len(widths) {
+				sb.WriteString(pad(cell, widths[i]))
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		fmt.Fprintln(w, sb.String())
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// RenderCSV writes the table as CSV (header row first). Cells containing
+// commas or quotes are quoted per RFC 4180.
+func (t *Table) RenderCSV(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram not all zero")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 49*time.Millisecond || p50 > 52*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 98*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				h.Record(time.Millisecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0"},
+		{1500 * time.Microsecond, "1.50ms"},
+		{42 * time.Millisecond, "42.0ms"},
+		{1200 * time.Millisecond, "1200ms"},
+	}
+	for _, tt := range tests {
+		if got := FmtDur(tt.d); got != tt.want {
+			t.Errorf("FmtDur(%v) = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := FmtRatio(1.234); got != "1.23" {
+		t.Fatalf("FmtRatio = %q", got)
+	}
+	if got := FmtPct(0.5); got != "50%" {
+		t.Fatalf("FmtPct = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("E0: demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b") // short row padded
+	out := tb.String()
+	if !strings.Contains(out, "E0: demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "name ") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("separator line = %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "alpha") {
+		t.Fatalf("row line = %q", lines[3])
+	}
+	if rows := tb.Rows(); len(rows) != 2 || rows[1][1] != "" {
+		t.Fatalf("Rows() = %v", rows)
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("longvalue", "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Column b must start at the same offset in header and row.
+	hIdx := strings.Index(lines[0], "b")
+	rIdx := strings.Index(lines[2], "x")
+	if hIdx != rIdx {
+		t.Fatalf("misaligned: header b at %d, row x at %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "x,y")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}

@@ -1,0 +1,146 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one scheduled network change: at virtual time At, Apply runs
+// against the network.
+type Event struct {
+	// At is the virtual time offset from schedule start.
+	At time.Duration
+	// Name labels the event in logs and tests.
+	Name string
+	// Apply performs the change.
+	Apply func(n *Network)
+}
+
+// Convenience event constructors.
+
+// IsolateAt schedules a node isolation.
+func IsolateAt(at time.Duration, node NodeID) Event {
+	return Event{
+		At:    at,
+		Name:  fmt.Sprintf("isolate %s", node),
+		Apply: func(n *Network) { n.Isolate(node) },
+	}
+}
+
+// RejoinAt schedules a node rejoin.
+func RejoinAt(at time.Duration, node NodeID) Event {
+	return Event{
+		At:    at,
+		Name:  fmt.Sprintf("rejoin %s", node),
+		Apply: func(n *Network) { n.Rejoin(node) },
+	}
+}
+
+// CrashAt schedules a node crash.
+func CrashAt(at time.Duration, node NodeID) Event {
+	return Event{
+		At:    at,
+		Name:  fmt.Sprintf("crash %s", node),
+		Apply: func(n *Network) { n.Crash(node) },
+	}
+}
+
+// RestartAt schedules a node restart.
+func RestartAt(at time.Duration, node NodeID) Event {
+	return Event{
+		At:    at,
+		Name:  fmt.Sprintf("restart %s", node),
+		Apply: func(n *Network) { n.Restart(node) },
+	}
+}
+
+// HealAt schedules a full heal.
+func HealAt(at time.Duration) Event {
+	return Event{
+		At:    at,
+		Name:  "heal",
+		Apply: func(n *Network) { n.Heal() },
+	}
+}
+
+// Schedule replays a sequence of timed network events against a network,
+// in virtual time. It gives failure scenarios a declarative form:
+//
+//	sched := netsim.NewSchedule(net,
+//	    netsim.IsolateAt(100*time.Millisecond, "s3"),
+//	    netsim.RejoinAt(400*time.Millisecond, "s3"),
+//	)
+//	sched.Start(ctx)
+//	defer sched.Stop()
+type Schedule struct {
+	net    *Network
+	events []Event
+
+	mu      sync.Mutex
+	applied []string
+	cancel  context.CancelFunc
+	done    chan struct{}
+}
+
+// NewSchedule builds a schedule; events are sorted by time.
+func NewSchedule(n *Network, events ...Event) *Schedule {
+	sorted := append([]Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	return &Schedule{
+		net:    n,
+		events: sorted,
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the replay goroutine.
+func (s *Schedule) Start(ctx context.Context) {
+	ictx, cancel := context.WithCancel(ctx)
+	s.cancel = cancel
+	go s.run(ictx)
+}
+
+// Stop halts the replay and waits for it to exit. Events not yet reached
+// are not applied.
+func (s *Schedule) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	<-s.done
+}
+
+// Wait blocks until every event was applied or the context ended.
+func (s *Schedule) Wait() {
+	<-s.done
+}
+
+// Applied lists the names of the events applied so far, in order.
+func (s *Schedule) Applied() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.applied...)
+}
+
+func (s *Schedule) run(ctx context.Context) {
+	defer close(s.done)
+	scale := s.net.Scale()
+	var elapsed time.Duration
+	for _, ev := range s.events {
+		if wait := ev.At - elapsed; wait > 0 {
+			if !scale.SleepCtx(ctx, wait) {
+				return
+			}
+			elapsed = ev.At
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		ev.Apply(s.net)
+		s.mu.Lock()
+		s.applied = append(s.applied, ev.Name)
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestScheduleAppliesInOrder(t *testing.T) {
+	n := New(Config{Scale: 0.01}) // 100x: 10ms virtual = 100µs real
+	n.AddNode("a")
+	n.AddNode("b")
+	sched := NewSchedule(n,
+		// Deliberately out of order; NewSchedule sorts.
+		RejoinAt(20*time.Millisecond, "b"),
+		IsolateAt(10*time.Millisecond, "b"),
+	)
+	sched.Start(context.Background())
+	sched.Wait()
+
+	applied := sched.Applied()
+	if len(applied) != 2 || applied[0] != "isolate b" || applied[1] != "rejoin b" {
+		t.Fatalf("applied = %v", applied)
+	}
+	if !n.Reachable("a", "b") {
+		t.Fatal("final state should be healed")
+	}
+}
+
+func TestScheduleTiming(t *testing.T) {
+	n := New(Config{Scale: 0.01})
+	n.AddNode("a")
+	n.AddNode("b")
+	sched := NewSchedule(n, IsolateAt(50*time.Millisecond, "b"))
+	sched.Start(context.Background())
+
+	// Immediately after start the event must not have fired yet.
+	if !n.Reachable("a", "b") {
+		t.Fatal("event fired too early")
+	}
+	sched.Wait()
+	if n.Reachable("a", "b") {
+		t.Fatal("event never fired")
+	}
+}
+
+func TestScheduleStopHaltsReplay(t *testing.T) {
+	n := New(Config{Scale: 0.01})
+	n.AddNode("a")
+	n.AddNode("b")
+	sched := NewSchedule(n,
+		IsolateAt(5*time.Millisecond, "b"),
+		CrashAt(10*time.Second, "a"), // far in the future
+	)
+	sched.Start(context.Background())
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Reachable("a", "b") && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	sched.Stop()
+	if n.Crashed("a") {
+		t.Fatal("stopped schedule applied a future event")
+	}
+	if got := sched.Applied(); len(got) != 1 {
+		t.Fatalf("applied = %v", got)
+	}
+}
+
+func TestScheduleCrashRestartHeal(t *testing.T) {
+	n := New(Config{Scale: 0.01})
+	n.AddNode("a")
+	n.AddNode("b")
+	sched := NewSchedule(n,
+		CrashAt(0, "b"),
+		RestartAt(10*time.Millisecond, "b"),
+		IsolateAt(20*time.Millisecond, "a"),
+		HealAt(30*time.Millisecond),
+	)
+	sched.Start(context.Background())
+	sched.Wait()
+	if got := sched.Applied(); len(got) != 4 || got[3] != "heal" {
+		t.Fatalf("applied = %v", got)
+	}
+	if !n.Reachable("a", "b") {
+		t.Fatal("final state should be fully connected")
+	}
+}
+
+func TestScheduleContextCancellation(t *testing.T) {
+	n := New(Config{Scale: 0.01})
+	n.AddNode("a")
+	ctx, cancel := context.WithCancel(context.Background())
+	sched := NewSchedule(n, CrashAt(time.Hour, "a"))
+	sched.Start(ctx)
+	cancel()
+	done := make(chan struct{})
+	go func() {
+		sched.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("schedule did not exit on context cancellation")
+	}
+}

@@ -1,0 +1,38 @@
+package query_test
+
+import (
+	"fmt"
+	"log"
+
+	"weaksets/internal/query"
+)
+
+// ExampleCompile shows the predicate expression language.
+func ExampleCompile() {
+	p, err := query.Compile(`cuisine == "chinese" && year >= 1990`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.Eval(map[string]string{"cuisine": "chinese", "year": "1994"}))
+	fmt.Println(p.Eval(map[string]string{"cuisine": "chinese", "year": "1985"}))
+	fmt.Println(p.Eval(map[string]string{"cuisine": "thai", "year": "1994"}))
+
+	// Output:
+	// true
+	// false
+	// false
+}
+
+// ExamplePredicate_Eval demonstrates grouping, negation, substring match
+// and numeric-vs-lexicographic comparison.
+func ExamplePredicate_Eval() {
+	p := query.MustCompile(`(dept == "cs" || dept == "ml") && !(title ~= "draft") && rank < 10`)
+	fmt.Println(p.Eval(map[string]string{"dept": "cs", "title": "weak sets", "rank": "9"}))
+	fmt.Println(p.Eval(map[string]string{"dept": "cs", "title": "weak sets draft", "rank": "9"}))
+	fmt.Println(p.Eval(map[string]string{"dept": "cs", "title": "weak sets", "rank": "10"}))
+
+	// Output:
+	// true
+	// false
+	// false
+}

@@ -1,0 +1,376 @@
+// Package query provides the database-like queries the paper motivates
+// over weak sets (§1.1: "by supporting a set-like abstraction, we can
+// support database-like queries, e.g., finding all files that satisfy a
+// given predicate"). A predicate is parsed from a small expression
+// language over object attributes:
+//
+//	cuisine == "chinese"
+//	author == "wing" && year >= 1990
+//	(dept == "cs" || dept == "ml") && user != "user007"
+//
+// and evaluated client-side against elements streamed by a weak set or
+// dynamic set — so a query inherits exactly the consistency semantics of
+// the iterator it runs on.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ErrParse wraps every syntax error.
+var ErrParse = errors.New("query: parse error")
+
+// Predicate is a compiled boolean expression over attribute maps.
+type Predicate struct {
+	root node
+	src  string
+}
+
+// String returns the source text the predicate was compiled from.
+func (p *Predicate) String() string { return p.src }
+
+// Eval evaluates the predicate against an attribute map. Missing
+// attributes compare as empty strings (and as NaN-like failures for
+// numeric comparisons, which are false).
+func (p *Predicate) Eval(attrs map[string]string) bool {
+	return p.root.eval(attrs)
+}
+
+// Compile parses the expression.
+func Compile(src string) (*Predicate, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	pr := &parser{toks: toks, src: src}
+	root, err := pr.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !pr.atEnd() {
+		return nil, fmt.Errorf("%w: trailing input at %q", ErrParse, pr.peek().text)
+	}
+	return &Predicate{root: root, src: src}, nil
+}
+
+// MustCompile is Compile panicking on error, for constant predicates.
+func MustCompile(src string) *Predicate {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// node is an expression tree node.
+type node interface {
+	eval(attrs map[string]string) bool
+}
+
+type andNode struct{ l, r node }
+
+func (n andNode) eval(a map[string]string) bool { return n.l.eval(a) && n.r.eval(a) }
+
+type orNode struct{ l, r node }
+
+func (n orNode) eval(a map[string]string) bool { return n.l.eval(a) || n.r.eval(a) }
+
+type notNode struct{ inner node }
+
+func (n notNode) eval(a map[string]string) bool { return !n.inner.eval(a) }
+
+type cmpOp int
+
+const (
+	opEq cmpOp = iota + 1
+	opNeq
+	opLt
+	opLte
+	opGt
+	opGte
+	opContains
+)
+
+type cmpNode struct {
+	key string
+	op  cmpOp
+	val string
+}
+
+func (n cmpNode) eval(a map[string]string) bool {
+	have := a[n.key]
+	switch n.op {
+	case opEq:
+		return have == n.val
+	case opNeq:
+		return have != n.val
+	case opContains:
+		return strings.Contains(have, n.val)
+	}
+	// Ordered comparisons: numeric when both sides parse, else
+	// lexicographic.
+	hf, herr := strconv.ParseFloat(have, 64)
+	vf, verr := strconv.ParseFloat(n.val, 64)
+	if herr == nil && verr == nil {
+		switch n.op {
+		case opLt:
+			return hf < vf
+		case opLte:
+			return hf <= vf
+		case opGt:
+			return hf > vf
+		case opGte:
+			return hf >= vf
+		}
+	}
+	switch n.op {
+	case opLt:
+		return have < n.val
+	case opLte:
+		return have <= n.val
+	case opGt:
+		return have > n.val
+	case opGte:
+		return have >= n.val
+	}
+	return false
+}
+
+// lexer
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota + 1
+	tokString
+	tokNumber
+	tokOp     // == != < <= > >= ~=
+	tokAnd    // &&
+	tokOr     // ||
+	tokNot    // !
+	tokLParen // (
+	tokRParen // )
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")"})
+			i++
+		case c == '&':
+			if i+1 >= len(src) || src[i+1] != '&' {
+				return nil, fmt.Errorf("%w: expected && at offset %d", ErrParse, i)
+			}
+			toks = append(toks, token{kind: tokAnd, text: "&&"})
+			i += 2
+		case c == '|':
+			if i+1 >= len(src) || src[i+1] != '|' {
+				return nil, fmt.Errorf("%w: expected || at offset %d", ErrParse, i)
+			}
+			toks = append(toks, token{kind: tokOr, text: "||"})
+			i += 2
+		case c == '!':
+			if i+1 < len(src) && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: "!="})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokNot, text: "!"})
+				i++
+			}
+		case c == '=':
+			if i+1 >= len(src) || src[i+1] != '=' {
+				return nil, fmt.Errorf("%w: expected == at offset %d (single = not allowed)", ErrParse, i)
+			}
+			toks = append(toks, token{kind: tokOp, text: "=="})
+			i += 2
+		case c == '~':
+			if i+1 >= len(src) || src[i+1] != '=' {
+				return nil, fmt.Errorf("%w: expected ~= at offset %d", ErrParse, i)
+			}
+			toks = append(toks, token{kind: tokOp, text: "~="})
+			i += 2
+		case c == '<' || c == '>':
+			op := string(c)
+			i++
+			if i < len(src) && src[i] == '=' {
+				op += "="
+				i++
+			}
+			toks = append(toks, token{kind: tokOp, text: op})
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("%w: unterminated string at offset %d", ErrParse, i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String()})
+			i = j + 1
+		case unicode.IsDigit(rune(c)) || c == '-' && i+1 < len(src) && unicode.IsDigit(rune(src[i+1])):
+			j := i + 1
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j]})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("%w: unexpected character %q at offset %d", ErrParse, c, i)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '-'
+}
+
+// parser: or := and ( '||' and )* ; and := unary ( '&&' unary )* ;
+// unary := '!' unary | '(' or ')' | cmp ; cmp := ident op value
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) atEnd() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() token {
+	if p.atEnd() {
+		return token{}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) parseOr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for !p.atEnd() && p.peek().kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = orNode{l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for !p.atEnd() && p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = andNode{l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (node, error) {
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{inner: inner}, nil
+	case tokLParen:
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind != tokRParen {
+			return nil, fmt.Errorf("%w: missing )", ErrParse)
+		}
+		p.next()
+		return inner, nil
+	case tokIdent:
+		return p.parseCmp()
+	default:
+		return nil, fmt.Errorf("%w: unexpected token %q", ErrParse, p.peek().text)
+	}
+}
+
+func (p *parser) parseCmp() (node, error) {
+	key := p.next().text
+	op := p.next()
+	if op.kind != tokOp {
+		return nil, fmt.Errorf("%w: expected comparison after %q, got %q", ErrParse, key, op.text)
+	}
+	val := p.next()
+	if val.kind != tokString && val.kind != tokNumber && val.kind != tokIdent {
+		return nil, fmt.Errorf("%w: expected value after %q %s", ErrParse, key, op.text)
+	}
+	var kind cmpOp
+	switch op.text {
+	case "==":
+		kind = opEq
+	case "!=":
+		kind = opNeq
+	case "<":
+		kind = opLt
+	case "<=":
+		kind = opLte
+	case ">":
+		kind = opGt
+	case ">=":
+		kind = opGte
+	case "~=":
+		kind = opContains
+	default:
+		return nil, fmt.Errorf("%w: unknown operator %q", ErrParse, op.text)
+	}
+	return cmpNode{key: key, op: kind, val: val.text}, nil
+}

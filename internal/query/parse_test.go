@@ -1,0 +1,193 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func attrs(pairs ...string) map[string]string {
+	m := make(map[string]string, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		m[pairs[i]] = pairs[i+1]
+	}
+	return m
+}
+
+func TestCompileAndEval(t *testing.T) {
+	tests := []struct {
+		src   string
+		attrs map[string]string
+		want  bool
+	}{
+		{`cuisine == "chinese"`, attrs("cuisine", "chinese"), true},
+		{`cuisine == "chinese"`, attrs("cuisine", "thai"), false},
+		{`cuisine != "chinese"`, attrs("cuisine", "thai"), true},
+		{`cuisine == 'chinese'`, attrs("cuisine", "chinese"), true},
+		{`year >= 1990`, attrs("year", "1991"), true},
+		{`year >= 1990`, attrs("year", "1990"), true},
+		{`year >= 1990`, attrs("year", "1989"), false},
+		{`year < 1990`, attrs("year", "1989"), true},
+		{`year <= 1989`, attrs("year", "1989"), true},
+		{`year > 1990`, attrs("year", "1989"), false},
+		// Numeric comparison, not lexicographic: "9" < "10".
+		{`rank < 10`, attrs("rank", "9"), true},
+		// Lexicographic fallback when not numeric.
+		{`name < "m"`, attrs("name", "alice"), true},
+		{`name < "m"`, attrs("name", "zed"), false},
+		// Bare identifiers as values.
+		{`cuisine == chinese`, attrs("cuisine", "chinese"), true},
+		// Substring match.
+		{`title ~= "weak"`, attrs("title", "specifying weak sets"), true},
+		{`title ~= "strong"`, attrs("title", "specifying weak sets"), false},
+		// Conjunction, disjunction, negation, grouping.
+		{`a == 1 && b == 2`, attrs("a", "1", "b", "2"), true},
+		{`a == 1 && b == 2`, attrs("a", "1", "b", "3"), false},
+		{`a == 1 || b == 2`, attrs("a", "0", "b", "2"), true},
+		{`!(a == 1)`, attrs("a", "2"), true},
+		{`!(a == 1) && !(a == 2)`, attrs("a", "3"), true},
+		{`(a == 1 || b == 2) && c == 3`, attrs("b", "2", "c", "3"), true},
+		{`(a == 1 || b == 2) && c == 3`, attrs("b", "2", "c", "4"), false},
+		// Precedence: && binds tighter than ||.
+		{`a == 1 || b == 2 && c == 3`, attrs("a", "1"), true},
+		{`a == 1 || b == 2 && c == 3`, attrs("b", "2", "c", "4"), false},
+		// Missing attributes compare as empty strings.
+		{`missing == ""`, attrs(), true},
+		{`missing != "x"`, attrs(), true},
+		// Escapes in strings.
+		{`name == "a\"b"`, attrs("name", `a"b`), true},
+		// Negative numbers.
+		{`delta >= -5`, attrs("delta", "-3"), true},
+		{`delta < -5`, attrs("delta", "-3"), false},
+		// Identifier charset includes dots and dashes.
+		{`fs.type == dir`, attrs("fs.type", "dir"), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			p, err := Compile(tt.src)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if got := p.Eval(tt.attrs); got != tt.want {
+				t.Fatalf("eval(%v) = %v, want %v", tt.attrs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`a =`,
+		`a = 1`, // single =
+		`a == `,
+		`a &`,
+		`a |`,
+		`(a == 1`,
+		`a == 1)`,
+		`a == 1 &&`,
+		`== 1`,
+		`a == "unterminated`,
+		`a @ 1`,
+		`a == 1 b == 2`,
+		`~a`,
+	}
+	for _, src := range bad {
+		t.Run(src, func(t *testing.T) {
+			if _, err := Compile(src); !errors.Is(err, ErrParse) {
+				t.Fatalf("Compile(%q) = %v, want parse error", src, err)
+			}
+		})
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile did not panic")
+		}
+	}()
+	MustCompile(`a ==`)
+}
+
+func TestPredicateString(t *testing.T) {
+	src := `a == 1 && b == 2`
+	if got := MustCompile(src).String(); got != src {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestEvalNeverPanics(t *testing.T) {
+	// Property: any predicate that compiles evaluates without panicking on
+	// arbitrary attribute maps.
+	preds := []*Predicate{
+		MustCompile(`a == 1 && (b != 2 || c >= 3) && !(d ~= "x")`),
+		MustCompile(`k < "zzz" || k > 10`),
+	}
+	f := func(k1, v1, k2, v2 string) bool {
+		m := map[string]string{k1: v1, k2: v2}
+		for _, p := range preds {
+			_ = p.Eval(m)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// Property: !(a && b) == (!a || !b) for the compiled forms.
+	lhs := MustCompile(`!(x == 1 && y == 2)`)
+	rhs := MustCompile(`!(x == 1) || !(y == 2)`)
+	f := func(x, y uint8) bool {
+		m := attrs("x", itox(x%3), "y", itox(y%3))
+		return lhs.Eval(m) == rhs.Eval(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itox(v uint8) string {
+	return string(rune('0' + v))
+}
+
+func TestLexerOffsets(t *testing.T) {
+	_, err := Compile(`a == 1 && b @ 2`)
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("err = %v, want offset info", err)
+	}
+}
+
+// FuzzCompile checks the parser is total: any input either fails with
+// ErrParse or compiles to a predicate whose Eval never panics.
+func FuzzCompile(f *testing.F) {
+	seeds := []string{
+		`a == 1`,
+		`cuisine == "chinese" && year >= 1990`,
+		`!(a != b) || c ~= "x"`,
+		`((a == 1))`,
+		`a == "\""`,
+		`key-with-dash.dotted == v_1`,
+		``,
+		`&& ||`,
+		`a == `,
+		`🦀 == 1`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src)
+		if err != nil {
+			if !errors.Is(err, ErrParse) {
+				t.Fatalf("non-parse error: %v", err)
+			}
+			return
+		}
+		_ = p.Eval(map[string]string{"a": "1", "cuisine": "chinese"})
+		_ = p.Eval(nil)
+	})
+}

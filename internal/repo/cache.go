@@ -1,0 +1,147 @@
+package repo
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"weaksets/internal/netsim"
+)
+
+// The paper's target environment is "a network of (possibly mobile)
+// workstations" where "disconnecting a mobile client from the network
+// while traveling is an induced failure" (§1.1), and it notes an iterator
+// "might keep a cached version" of the set (§3). Cache is that cached
+// version for element data: an LRU of fetched objects that can answer when
+// the owner is unreachable — the disconnected-operation move of the Coda
+// work this paper grew out of. Serving a cached copy of an unreachable
+// element is *weaker than Fig. 6* (which only yields reachable elements),
+// so the weak-set iterators never use it implicitly; dynamic sets offer it
+// as an explicit opt-in (DynOptions.FallbackCache), delivering such
+// elements marked Stale.
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	// Stores counts successful fetches written into the cache.
+	Stores int64
+	// StaleServes counts unreachable fetches answered from the cache.
+	StaleServes int64
+	// Misses counts unreachable fetches the cache could not answer.
+	Misses int64
+	// Evictions counts entries dropped by the capacity bound.
+	Evictions int64
+}
+
+// Cache is a bounded LRU of fetched objects, safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[ObjectID]*list.Element
+	order   *list.List // front = most recently used
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	id  ObjectID
+	obj Object
+}
+
+// NewCache creates a cache bounded to capacity entries (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[ObjectID]*list.Element, capacity),
+		order:   list.New(),
+	}
+}
+
+// Put stores a fetched object, evicting the least recently used entry when
+// over capacity.
+func (c *Cache) Put(obj Object) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[obj.ID]; ok {
+		el.Value = cacheEntry{id: obj.ID, obj: obj.Clone()}
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[obj.ID] = c.order.PushFront(cacheEntry{id: obj.ID, obj: obj.Clone()})
+	c.stats.Stores++
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		entry, ok := oldest.Value.(cacheEntry)
+		if ok {
+			delete(c.entries, entry.id)
+		}
+		c.stats.Evictions++
+	}
+}
+
+// Get returns the cached copy of id, if any, marking it recently used.
+func (c *Cache) Get(id ObjectID) (Object, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[id]
+	if !ok {
+		return Object{}, false
+	}
+	c.order.MoveToFront(el)
+	entry, ok := el.Value.(cacheEntry)
+	if !ok {
+		return Object{}, false
+	}
+	return entry.obj.Clone(), true
+}
+
+// Len reports the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Cache) countStale() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.StaleServes++
+}
+
+func (c *Cache) countMiss() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Misses++
+}
+
+// GetThrough fetches ref through client, keeping the cache warm: a
+// successful fetch is stored; a transport failure is answered from the
+// cache when possible (served=true, stale=true) and otherwise returns the
+// original error. Application errors (e.g. ErrNotFound) pass through —
+// a deleted object must not be resurrected from cache.
+func (c *Cache) GetThrough(ctx context.Context, client *Client, ref Ref) (obj Object, stale bool, err error) {
+	obj, err = client.Get(ctx, ref)
+	switch {
+	case err == nil:
+		c.Put(obj)
+		return obj, false, nil
+	case netsim.IsFailure(err):
+		if cached, ok := c.Get(ref.ID); ok {
+			c.countStale()
+			return cached, true, nil
+		}
+		c.countMiss()
+		return Object{}, false, err
+	default:
+		return Object{}, false, err
+	}
+}

@@ -1,0 +1,145 @@
+package repo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCachePutGetLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put(Object{ID: "a", Data: []byte("1")})
+	c.Put(Object{ID: "b", Data: []byte("2")})
+	// Touch a so b becomes the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put(Object{ID: "c", Data: []byte("3")})
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Stores != 3 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheUpdateInPlace(t *testing.T) {
+	c := NewCache(4)
+	c.Put(Object{ID: "a", Data: []byte("old")})
+	c.Put(Object{ID: "a", Data: []byte("new")})
+	got, ok := c.Get("a")
+	if !ok || string(got.Data) != "new" {
+		t.Fatalf("got %v %q", ok, got.Data)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCacheClonesEntries(t *testing.T) {
+	c := NewCache(2)
+	obj := Object{ID: "a", Data: []byte("abc")}
+	c.Put(obj)
+	obj.Data[0] = 'X'
+	got, _ := c.Get("a")
+	if string(got.Data) != "abc" {
+		t.Fatal("cache aliased the stored object")
+	}
+	got.Data[0] = 'Y'
+	again, _ := c.Get("a")
+	if string(again.Data) != "abc" {
+		t.Fatal("cache aliased the returned object")
+	}
+}
+
+func TestCacheMinimumCapacity(t *testing.T) {
+	c := NewCache(0)
+	c.Put(Object{ID: "a"})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestGetThrough(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.mustPut(t, "s1", "obj", "payload")
+	cache := NewCache(8)
+
+	// Healthy: fetch succeeds and warms the cache.
+	obj, stale, err := cache.GetThrough(ctx, w.client, ref)
+	if err != nil || stale {
+		t.Fatalf("obj=%v stale=%v err=%v", obj, stale, err)
+	}
+	if cache.Len() != 1 {
+		t.Fatal("fetch did not warm the cache")
+	}
+
+	// Disconnected: the cached copy is served, marked stale.
+	w.net.Isolate("s1")
+	obj, stale, err = cache.GetThrough(ctx, w.client, ref)
+	if err != nil {
+		t.Fatalf("disconnected serve failed: %v", err)
+	}
+	if !stale || string(obj.Data) != "payload" {
+		t.Fatalf("obj=%q stale=%v", obj.Data, stale)
+	}
+
+	// Disconnected miss: error propagates.
+	cold := Ref{ID: "never-fetched", Node: "s1"}
+	if _, _, err := cache.GetThrough(ctx, w.client, cold); err == nil {
+		t.Fatal("cold disconnected fetch succeeded")
+	}
+	st := cache.Stats()
+	if st.StaleServes != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestGetThroughDoesNotResurrectDeleted(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.mustPut(t, "s1", "gone", "x")
+	cache := NewCache(8)
+	if _, _, err := cache.GetThrough(ctx, w.client, ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.Delete(ctx, ref); err != nil {
+		t.Fatal(err)
+	}
+	// The node is reachable and reports NotFound: the cache must not mask
+	// the deletion.
+	if _, _, err := cache.GetThrough(ctx, w.client, ref); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				id := ObjectID(fmt.Sprintf("o%d", (g*7+i)%32))
+				c.Put(Object{ID: id, Data: []byte{byte(i)}})
+				c.Get(id)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if c.Len() > 16 {
+		t.Fatalf("len = %d exceeds capacity", c.Len())
+	}
+}

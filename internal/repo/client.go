@@ -1,0 +1,162 @@
+package repo
+
+import (
+	"context"
+	"time"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/rpc"
+)
+
+// Client is a node-local handle on the distributed repository. It issues
+// RPCs from its home node, so reachability is always judged from the
+// client's point in the (possibly partitioned) network.
+type Client struct {
+	bus  *rpc.Bus
+	node netsim.NodeID
+}
+
+// NewClient creates a client that issues calls from node.
+func NewClient(bus *rpc.Bus, node netsim.NodeID) *Client {
+	return &Client{bus: bus, node: node}
+}
+
+// Node reports the client's home node.
+func (c *Client) Node() netsim.NodeID { return c.node }
+
+// Bus exposes the underlying RPC bus.
+func (c *Client) Bus() *rpc.Bus { return c.bus }
+
+// Reachable reports whether the node holding ref is currently reachable
+// from the client — the paper's reachable() oracle evaluated at the
+// client's node.
+func (c *Client) Reachable(ref Ref) bool {
+	return c.bus.Network().Reachable(c.node, ref.Node)
+}
+
+// NodeReachable reports whether an arbitrary node is reachable from the
+// client.
+func (c *Client) NodeReachable(n netsim.NodeID) bool {
+	return c.bus.Network().Reachable(c.node, n)
+}
+
+// EstimateRTT estimates the round trip to the node holding ref, used for
+// closest-first fetch ordering.
+func (c *Client) EstimateRTT(ref Ref) time.Duration {
+	return c.bus.Network().EstimateRTT(c.node, ref.Node)
+}
+
+// Get fetches an object from the node recorded in ref.
+func (c *Client) Get(ctx context.Context, ref Ref) (Object, error) {
+	return rpc.Invoke[Object](ctx, c.bus, c.node, ref.Node, MethodGet, GetReq{ID: ref.ID})
+}
+
+// Put stores an object on the given node and returns its ref.
+func (c *Client) Put(ctx context.Context, node netsim.NodeID, obj Object) (Ref, error) {
+	if _, err := rpc.Invoke[PutResp](ctx, c.bus, c.node, node, MethodPut, PutReq{Obj: obj}); err != nil {
+		return Ref{}, err
+	}
+	return Ref{ID: obj.ID, Node: node}, nil
+}
+
+// Delete removes an object's data from its node.
+func (c *Client) Delete(ctx context.Context, ref Ref) error {
+	_, _, err := c.bus.Call(ctx, c.node, ref.Node, MethodDelete, DeleteReq{ID: ref.ID})
+	return err
+}
+
+// CreateCollection creates an empty collection on the directory node dir.
+func (c *Client) CreateCollection(ctx context.Context, dir netsim.NodeID, name string) error {
+	_, _, err := c.bus.Call(ctx, c.node, dir, MethodCreate, CreateReq{Name: name})
+	return err
+}
+
+// List reads a collection's current membership from dir.
+func (c *Client) List(ctx context.Context, dir netsim.NodeID, name string) ([]Ref, uint64, error) {
+	resp, err := rpc.Invoke[ListResp](ctx, c.bus, c.node, dir, MethodList, ListReq{Name: name})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Members, resp.Version, nil
+}
+
+// ListPinned reads a pinned snapshot of a collection.
+func (c *Client) ListPinned(ctx context.Context, dir netsim.NodeID, name string, pin int64) ([]Ref, uint64, error) {
+	resp, err := rpc.Invoke[ListResp](ctx, c.bus, c.node, dir, MethodList, ListReq{Name: name, Pin: pin})
+	if err != nil {
+		return nil, 0, err
+	}
+	return resp.Members, resp.Version, nil
+}
+
+// Add inserts a member into a collection.
+func (c *Client) Add(ctx context.Context, dir netsim.NodeID, name string, ref Ref) error {
+	_, err := rpc.Invoke[MutateResp](ctx, c.bus, c.node, dir, MethodAdd, AddReq{Name: name, Ref: ref})
+	return err
+}
+
+// Remove removes a member from a collection. It reports whether the
+// removal was deferred by an open grow-only window.
+func (c *Client) Remove(ctx context.Context, dir netsim.NodeID, name string, id ObjectID) (deferred bool, err error) {
+	resp, err := rpc.Invoke[RemoveResp](ctx, c.bus, c.node, dir, MethodRemove, RemoveReq{Name: name, ID: id})
+	if err != nil {
+		return false, err
+	}
+	return resp.Deferred, nil
+}
+
+// DeleteMember removes ref from the collection and, unless the server
+// deferred the removal (grow-only window), deletes the object's data too.
+// This is the paper's model of element deletion: the membership change and
+// the object's disappearance are separate, non-atomic steps.
+func (c *Client) DeleteMember(ctx context.Context, dir netsim.NodeID, name string, ref Ref) error {
+	deferred, err := c.Remove(ctx, dir, name, ref.ID)
+	if err != nil {
+		return err
+	}
+	if deferred {
+		return nil
+	}
+	return c.Delete(ctx, ref)
+}
+
+// Pin takes an atomic snapshot of the collection's membership and returns
+// its handle.
+func (c *Client) Pin(ctx context.Context, dir netsim.NodeID, name string) (int64, error) {
+	resp, err := rpc.Invoke[PinResp](ctx, c.bus, c.node, dir, MethodPin, PinReq{Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Pin, nil
+}
+
+// Unpin releases a snapshot.
+func (c *Client) Unpin(ctx context.Context, dir netsim.NodeID, name string, pin int64) error {
+	_, _, err := c.bus.Call(ctx, c.node, dir, MethodUnpin, UnpinReq{Name: name, Pin: pin})
+	return err
+}
+
+// BeginGrow opens a grow-only window on the collection; until the matching
+// EndGrow, deletions are deferred as ghosts.
+func (c *Client) BeginGrow(ctx context.Context, dir netsim.NodeID, name string) (int64, error) {
+	resp, err := rpc.Invoke[BeginGrowResp](ctx, c.bus, c.node, dir, MethodBeginGrow, BeginGrowReq{Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Token, nil
+}
+
+// EndGrow closes a grow-only window; when the last window closes the
+// server garbage-collects ghosts and reports how many it reclaimed.
+func (c *Client) EndGrow(ctx context.Context, dir netsim.NodeID, name string, token int64) (reclaimed int, err error) {
+	resp, err := rpc.Invoke[EndGrowResp](ctx, c.bus, c.node, dir, MethodEndGrow, EndGrowReq{Name: name, Token: token})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Reclaimed, nil
+}
+
+// Stats fetches collection counters from dir.
+func (c *Client) Stats(ctx context.Context, dir netsim.NodeID, name string) (StatsResp, error) {
+	return rpc.Invoke[StatsResp](ctx, c.bus, c.node, dir, MethodStats, StatsReq{Name: name})
+}

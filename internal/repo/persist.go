@@ -1,0 +1,135 @@
+package repo
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"weaksets/internal/netsim"
+)
+
+// The paper frames weak sets over *persistent* object repositories (§1.2).
+// This file gives a Server durable state: a snapshot of its objects and
+// collection memberships that survives a process restart. Run-scoped soft
+// state — pins, grow windows, ghosts — is deliberately not persisted: it
+// belongs to iterator runs, and a restarted node correctly forgets runs
+// that died with it (their leases expire; their pins were per-run).
+
+// persistedCollection is the durable subset of a collection.
+type persistedCollection struct {
+	Name           string
+	Version        uint64
+	ReplicaVersion uint64
+	Members        []Ref
+	Replicas       []netsim.NodeID
+}
+
+// persistedState is the gob image of a server.
+type persistedState struct {
+	Node        netsim.NodeID
+	Objects     map[ObjectID]Object
+	Collections []persistedCollection
+}
+
+// SaveSnapshot writes the server's durable state to w.
+func (s *Server) SaveSnapshot(w io.Writer) error {
+	s.mu.Lock()
+	state := persistedState{
+		Node:    s.node,
+		Objects: make(map[ObjectID]Object, len(s.objects)),
+	}
+	for id, obj := range s.objects {
+		state.Objects[id] = obj.Clone()
+	}
+	for name, c := range s.collections {
+		pc := persistedCollection{
+			Name:           name,
+			Version:        c.version,
+			ReplicaVersion: c.replicaVersion,
+			Members:        make([]Ref, 0, len(c.members)),
+			Replicas:       append([]netsim.NodeID(nil), c.replicas...),
+		}
+		for _, ref := range c.members {
+			pc.Members = append(pc.Members, ref)
+		}
+		state.Collections = append(state.Collections, pc)
+	}
+	s.mu.Unlock()
+
+	if err := gob.NewEncoder(w).Encode(&state); err != nil {
+		return fmt.Errorf("repo: save snapshot of %s: %w", s.node, err)
+	}
+	return nil
+}
+
+// LoadSnapshot replaces the server's durable state with the snapshot read
+// from r. The snapshot must have been taken from a server with the same
+// node identity.
+func (s *Server) LoadSnapshot(r io.Reader) error {
+	var state persistedState
+	if err := gob.NewDecoder(r).Decode(&state); err != nil {
+		return fmt.Errorf("repo: load snapshot: %w", err)
+	}
+	if state.Node != s.node {
+		return fmt.Errorf("repo: load snapshot: node mismatch: snapshot %s, server %s", state.Node, s.node)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects = make(map[ObjectID]Object, len(state.Objects))
+	for id, obj := range state.Objects {
+		s.objects[id] = obj.Clone()
+	}
+	s.collections = make(map[string]*collection, len(state.Collections))
+	for _, pc := range state.Collections {
+		c := &collection{
+			name:           pc.Name,
+			version:        pc.Version,
+			replicaVersion: pc.ReplicaVersion,
+			members:        make(map[ObjectID]Ref, len(pc.Members)),
+			ghosts:         make(map[ObjectID]Ref),
+			pendingDelete:  make(map[ObjectID]Ref),
+			pins:           make(map[int64][]Ref),
+			tokens:         make(map[int64]bool),
+			replicas:       append([]netsim.NodeID(nil), pc.Replicas...),
+		}
+		for _, ref := range pc.Members {
+			c.members[ref.ID] = ref
+		}
+		s.collections[pc.Name] = c
+	}
+	return nil
+}
+
+// SaveFile writes the snapshot to a file (atomically via rename).
+func (s *Server) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("repo: save %s: %w", path, err)
+	}
+	if err := s.SaveSnapshot(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("repo: save %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("repo: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile reads a snapshot from a file.
+func (s *Server) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("repo: load %s: %w", path, err)
+	}
+	defer f.Close()
+	return s.LoadSnapshot(f)
+}

@@ -1,0 +1,181 @@
+package repo
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"weaksets/internal/netsim"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	r1 := w.mustPut(t, "dir", "o1", "alpha")
+	if err := w.client.Add(ctx, "dir", "c", r1); err != nil {
+		t.Fatal(err)
+	}
+	r2 := w.mustPut(t, "dir", "o2", "beta")
+	if err := w.client.Add(ctx, "dir", "c", r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Remove(ctx, "dir", "c", "o2"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := w.dirSrv.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": wipe by loading into a fresh server with the same
+	// identity (the world's dir server is re-used here; LoadSnapshot
+	// replaces its state wholesale after we corrupt it).
+	if err := w.client.Delete(ctx, r1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Remove(ctx, "dir", "c", "o1"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := w.dirSrv.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := w.client.Get(ctx, r1)
+	if err != nil {
+		t.Fatalf("object lost across snapshot: %v", err)
+	}
+	if string(obj.Data) != "alpha" {
+		t.Fatalf("data = %q", obj.Data)
+	}
+	members, version, err := w.client.List(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0].ID != "o1" {
+		t.Fatalf("members = %v", members)
+	}
+	if version != 3 {
+		t.Fatalf("version = %d, want 3 (two adds + one remove)", version)
+	}
+}
+
+func TestSnapshotDropsSoftState(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	ref := w.mustPut(t, "s1", "m", "x")
+	if err := w.client.Add(ctx, "dir", "c", ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Pin(ctx, "dir", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.BeginGrow(ctx, "dir", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.DeleteMember(ctx, "dir", "c", ref); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := w.dirSrv.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.dirSrv.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := w.client.Stats(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Pins != 0 || stats.Tokens != 0 || stats.Ghosts != 0 {
+		t.Fatalf("soft state survived restart: %+v", stats)
+	}
+	// The ghosted member was removed from live membership before the
+	// snapshot, so after restart it is simply gone.
+	if stats.Members != 0 {
+		t.Fatalf("members = %d", stats.Members)
+	}
+}
+
+func TestSnapshotNodeMismatch(t *testing.T) {
+	w := newWorld(t)
+	var buf bytes.Buffer
+	if err := w.dirSrv.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.s1Srv.LoadSnapshot(&buf); err == nil {
+		t.Fatal("cross-node snapshot accepted")
+	}
+}
+
+func TestSnapshotGarbage(t *testing.T) {
+	w := newWorld(t)
+	if err := w.dirSrv.LoadSnapshot(bytes.NewBufferString("not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	ref := w.mustPut(t, "dir", "o", "data")
+	if err := w.client.Add(ctx, "dir", "c", ref); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dir.snapshot")
+	if err := w.dirSrv.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Wipe and restore.
+	if _, err := w.client.Remove(ctx, "dir", "c", "o"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.dirSrv.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	members, _, err := w.client.List(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	w := newWorld(t)
+	if err := w.dirSrv.LoadFile(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSnapshotPreservesReplicaConfig(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	if err := w.dirSrv.ReplicateCollection("c", []netsim.NodeID{"s2"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.dirSrv.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.dirSrv.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A post-restart mutation must still reach the replica.
+	ref := w.mustPut(t, "s1", "after", "x")
+	if err := w.client.Add(ctx, "dir", "c", ref); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool {
+		members, _, err := w.client.List(ctx, "s2", "c")
+		return err == nil && len(members) == 1
+	})
+}

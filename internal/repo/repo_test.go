@@ -1,0 +1,495 @@
+package repo
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/rpc"
+)
+
+type world struct {
+	net    *netsim.Network
+	bus    *rpc.Bus
+	client *Client
+	dirSrv *Server
+	s1Srv  *Server
+	s2Srv  *Server
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	n := netsim.New(netsim.Config{})
+	for _, id := range []netsim.NodeID{"home", "dir", "s1", "s2"} {
+		n.AddNode(id)
+	}
+	b := rpc.NewBus(n)
+	w := &world{net: n, bus: b, client: NewClient(b, "home")}
+	var err error
+	if w.dirSrv, err = NewServer(b, "dir"); err != nil {
+		t.Fatal(err)
+	}
+	if w.s1Srv, err = NewServer(b, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if w.s2Srv, err = NewServer(b, "s2"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		w.dirSrv.Close()
+		w.s1Srv.Close()
+		w.s2Srv.Close()
+	})
+	return w
+}
+
+func (w *world) mustPut(t *testing.T, node netsim.NodeID, id ObjectID, data string) Ref {
+	t.Helper()
+	ref, err := w.client.Put(context.Background(), node, Object{ID: id, Data: []byte(data)})
+	if err != nil {
+		t.Fatalf("put %q: %v", id, err)
+	}
+	return ref
+}
+
+func (w *world) mustColl(t *testing.T, name string) {
+	t.Helper()
+	if err := w.client.CreateCollection(context.Background(), "dir", name); err != nil {
+		t.Fatalf("create collection: %v", err)
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.mustPut(t, "s1", "obj1", "hello")
+
+	obj, err := w.client.Get(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(obj.Data) != "hello" {
+		t.Fatalf("data = %q", obj.Data)
+	}
+	if obj.Version != 1 {
+		t.Fatalf("version = %d, want 1", obj.Version)
+	}
+
+	if err := w.client.Delete(ctx, ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Get(ctx, ref); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutIncrementsVersion(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.mustPut(t, "s1", "v", "one")
+	w.mustPut(t, "s1", "v", "two")
+	obj, err := w.client.Get(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Version != 2 || string(obj.Data) != "two" {
+		t.Fatalf("obj = %+v", obj)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	w := newWorld(t)
+	if _, err := w.client.Get(context.Background(), Ref{ID: "nope", Node: "s1"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestObjectCloneIsolation(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref, err := w.client.Put(ctx, "s1", Object{
+		ID:    "iso",
+		Data:  []byte("abc"),
+		Attrs: map[string]string{"k": "v"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.client.Get(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Data[0] = 'X'
+	got.Attrs["k"] = "mutated"
+	again, err := w.client.Get(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again.Data) != "abc" || again.Attrs["k"] != "v" {
+		t.Fatal("server state aliased by client mutation")
+	}
+}
+
+func TestCollectionMembership(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	r1 := w.mustPut(t, "s1", "m1", "a")
+	r2 := w.mustPut(t, "s2", "m2", "b")
+
+	if err := w.client.Add(ctx, "dir", "c", r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.Add(ctx, "dir", "c", r2); err != nil {
+		t.Fatal(err)
+	}
+	members, version, err := w.client.List(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 2 {
+		t.Fatalf("members = %v", members)
+	}
+	if members[0].ID != "m1" || members[1].ID != "m2" {
+		t.Fatalf("listing not sorted: %v", members)
+	}
+	if version != 2 {
+		t.Fatalf("version = %d, want 2", version)
+	}
+
+	if _, err := w.client.Remove(ctx, "dir", "c", "m1"); err != nil {
+		t.Fatal(err)
+	}
+	members, _, err = w.client.List(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0].ID != "m2" {
+		t.Fatalf("members after remove = %v", members)
+	}
+}
+
+func TestCollectionErrors(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if _, _, err := w.client.List(ctx, "dir", "nope"); !errors.Is(err, ErrNoCollection) {
+		t.Fatalf("err = %v, want ErrNoCollection", err)
+	}
+	w.mustColl(t, "dup")
+	if err := w.client.CreateCollection(ctx, "dir", "dup"); !errors.Is(err, ErrCollectionExists) {
+		t.Fatalf("err = %v, want ErrCollectionExists", err)
+	}
+	if _, err := w.client.Remove(ctx, "dir", "dup", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPinSnapshotIsolation(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	r1 := w.mustPut(t, "s1", "m1", "a")
+	if err := w.client.Add(ctx, "dir", "c", r1); err != nil {
+		t.Fatal(err)
+	}
+
+	pin, err := w.client.Pin(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate after the pin.
+	r2 := w.mustPut(t, "s1", "m2", "b")
+	if err := w.client.Add(ctx, "dir", "c", r2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Remove(ctx, "dir", "c", "m1"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, _, err := w.client.ListPinned(ctx, "dir", "c", pin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 || snap[0].ID != "m1" {
+		t.Fatalf("pinned view = %v, want [m1]", snap)
+	}
+	live, _, err := w.client.List(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 1 || live[0].ID != "m2" {
+		t.Fatalf("live view = %v, want [m2]", live)
+	}
+
+	if err := w.client.Unpin(ctx, "dir", "c", pin); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.client.ListPinned(ctx, "dir", "c", pin); !errors.Is(err, ErrBadPin) {
+		t.Fatalf("err = %v, want ErrBadPin", err)
+	}
+}
+
+func TestGrowWindowDefersDeletion(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	r1 := w.mustPut(t, "s1", "m1", "a")
+	if err := w.client.Add(ctx, "dir", "c", r1); err != nil {
+		t.Fatal(err)
+	}
+
+	token, err := w.client.BeginGrow(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete during the window: membership must keep listing the ghost and
+	// the data must remain fetchable.
+	if err := w.client.DeleteMember(ctx, "dir", "c", r1); err != nil {
+		t.Fatal(err)
+	}
+	members, _, err := w.client.List(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 || members[0].ID != "m1" {
+		t.Fatalf("ghost not listed: %v", members)
+	}
+	if _, err := w.client.Get(ctx, r1); err != nil {
+		t.Fatalf("ghost data gone during window: %v", err)
+	}
+	stats, err := w.client.Stats(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ghosts != 1 || stats.Tokens != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	reclaimed, err := w.client.EndGrow(ctx, "dir", "c", token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed != 1 {
+		t.Fatalf("reclaimed = %d, want 1", reclaimed)
+	}
+	members, _, err = w.client.List(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 0 {
+		t.Fatalf("ghost survived window close: %v", members)
+	}
+	// Object data is deleted asynchronously by the directory server.
+	w.dirSrv.Close() // waits for the async delete
+	if _, err := w.client.Get(ctx, r1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ghost object not reclaimed: %v", err)
+	}
+}
+
+func TestGrowWindowReviveCancelsDelete(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	r1 := w.mustPut(t, "s1", "m1", "a")
+	if err := w.client.Add(ctx, "dir", "c", r1); err != nil {
+		t.Fatal(err)
+	}
+	token, err := w.client.BeginGrow(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.DeleteMember(ctx, "dir", "c", r1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-add before the window closes: the delete must not fire.
+	if err := w.client.Add(ctx, "dir", "c", r1); err != nil {
+		t.Fatal(err)
+	}
+	reclaimed, err := w.client.EndGrow(ctx, "dir", "c", token)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reclaimed != 0 {
+		t.Fatalf("reclaimed = %d, want 0", reclaimed)
+	}
+	if _, err := w.client.Get(ctx, r1); err != nil {
+		t.Fatalf("revived member's data was deleted: %v", err)
+	}
+}
+
+func TestNestedGrowWindows(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	r1 := w.mustPut(t, "s1", "m1", "a")
+	if err := w.client.Add(ctx, "dir", "c", r1); err != nil {
+		t.Fatal(err)
+	}
+	t1, err := w.client.BeginGrow(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := w.client.BeginGrow(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.DeleteMember(ctx, "dir", "c", r1); err != nil {
+		t.Fatal(err)
+	}
+	// Closing one window keeps the ghost alive for the other.
+	if _, err := w.client.EndGrow(ctx, "dir", "c", t1); err != nil {
+		t.Fatal(err)
+	}
+	members, _, err := w.client.List(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 {
+		t.Fatalf("ghost reclaimed while a window was open: %v", members)
+	}
+	if _, err := w.client.EndGrow(ctx, "dir", "c", t2); err != nil {
+		t.Fatal(err)
+	}
+	if members, _, _ = w.client.List(ctx, "dir", "c"); len(members) != 0 {
+		t.Fatalf("ghost survived: %v", members)
+	}
+	if _, err := w.client.EndGrow(ctx, "dir", "c", t2); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("err = %v, want ErrBadToken", err)
+	}
+}
+
+func TestDeleteMemberWithoutWindowDeletesData(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	ref := w.mustPut(t, "s2", "m", "x")
+	if err := w.client.Add(ctx, "dir", "c", ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.client.DeleteMember(ctx, "dir", "c", ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.client.Get(ctx, ref); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("data survived: %v", err)
+	}
+}
+
+func TestReplicationPropagatesAndLags(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	ref := w.mustPut(t, "s1", "m1", "a")
+	if err := w.client.Add(ctx, "dir", "c", ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.dirSrv.ReplicateCollection("c", []netsim.NodeID{"s2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the push (async, zero scale so nearly immediate).
+	waitFor(t, time.Second, func() bool {
+		members, _, err := w.client.List(ctx, "s2", "c")
+		return err == nil && len(members) == 1
+	})
+
+	// Partition the replica; mutate the primary; the replica must lag.
+	w.net.Isolate("s2")
+	r2 := w.mustPut(t, "s1", "m2", "b")
+	if err := w.client.Add(ctx, "dir", "c", r2); err != nil {
+		t.Fatal(err)
+	}
+	w.net.Rejoin("s2")
+	members, _, err := w.client.List(ctx, "s2", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 1 {
+		t.Fatalf("replica should be stale, got %v", members)
+	}
+
+	// The next mutation re-pushes the full membership and catches it up.
+	r3 := w.mustPut(t, "s1", "m3", "c")
+	if err := w.client.Add(ctx, "dir", "c", r3); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, time.Second, func() bool {
+		members, _, err := w.client.List(ctx, "s2", "c")
+		return err == nil && len(members) == 3
+	})
+}
+
+func TestReplicaIgnoresStaleSync(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	// Push version 5 then version 3 directly; replica must keep 5.
+	if _, err := rpc.Invoke[struct{}](ctx, w.bus, "home", "s1", MethodSync, SyncReq{
+		Name:    "r",
+		Members: []Ref{{ID: "new", Node: "s2"}},
+		Version: 5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rpc.Invoke[struct{}](ctx, w.bus, "home", "s1", MethodSync, SyncReq{
+		Name:    "r",
+		Members: []Ref{{ID: "old", Node: "s2"}},
+		Version: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	members, version, err := w.client.List(ctx, "s1", "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 5 || len(members) != 1 || members[0].ID != "new" {
+		t.Fatalf("replica applied stale sync: v%d %v", version, members)
+	}
+}
+
+func waitFor(t *testing.T, limit time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(limit)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+func TestClientAccessors(t *testing.T) {
+	w := newWorld(t)
+	if w.client.Node() != "home" {
+		t.Fatalf("node = %s", w.client.Node())
+	}
+	if w.client.Bus() != w.bus {
+		t.Fatal("bus accessor wrong")
+	}
+	ref := Ref{ID: "x", Node: "s1"}
+	if !w.client.Reachable(ref) || !w.client.NodeReachable("s2") {
+		t.Fatal("healthy nodes unreachable")
+	}
+	if w.client.EstimateRTT(ref) <= 0 {
+		t.Fatal("rtt estimate not positive")
+	}
+	w.net.Isolate("s1")
+	if w.client.Reachable(ref) {
+		t.Fatal("isolated node reachable")
+	}
+	if w.s1Srv.Node() != "s1" {
+		t.Fatalf("server node = %s", w.s1Srv.Node())
+	}
+	if w.s1Srv.ObjectCount() != 0 {
+		t.Fatalf("object count = %d", w.s1Srv.ObjectCount())
+	}
+}
+
+func TestSaveFileFailures(t *testing.T) {
+	w := newWorld(t)
+	if err := w.dirSrv.SaveFile("/nonexistent-dir/snap"); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+}

@@ -1,0 +1,178 @@
+// Package repo implements the distributed object repository over which weak
+// sets are defined: "a file system is a special kind of persistent object
+// repository where files are objects and directories are collections"
+// (§1.2). Objects live on individual nodes; a collection is itself an
+// object, held on one node (optionally replicated), whose members may
+// reside on entirely different nodes — which is exactly the situation in
+// which an accessible collection can contain inaccessible members (§2.1,
+// Fig. 2).
+//
+// The repository also provides the mechanisms the paper says the stronger
+// semantics need:
+//
+//   - pins: atomic membership snapshots for the Fig. 4 "loss of mutations"
+//     semantics;
+//   - grow tokens: deletion deferral with "ghost" copies garbage-collected
+//     on iterator termination, for the Fig. 5 grow-only semantics (§3.3);
+//   - lazy replication of collections, so reads can observe stale
+//     membership ("cached data may be stale", §3).
+package repo
+
+import (
+	"errors"
+
+	"weaksets/internal/netsim"
+)
+
+// ObjectID names an object uniquely across the whole repository.
+type ObjectID string
+
+// Ref locates an object: its ID plus the node that stores it.
+type Ref struct {
+	ID   ObjectID
+	Node netsim.NodeID
+}
+
+// Object is a stored value. Attrs carry queryable metadata (e.g.
+// cuisine=chinese for the restaurant scenario).
+type Object struct {
+	ID      ObjectID
+	Data    []byte
+	Attrs   map[string]string
+	Version uint64
+	// Tombstone marks an object that was deleted but whose identity is
+	// still visible through a pinned snapshot.
+	Tombstone bool
+}
+
+// Clone returns a deep copy of the object so callers can't alias server
+// state.
+func (o Object) Clone() Object {
+	c := o
+	if o.Data != nil {
+		c.Data = append([]byte(nil), o.Data...)
+	}
+	if o.Attrs != nil {
+		c.Attrs = make(map[string]string, len(o.Attrs))
+		for k, v := range o.Attrs {
+			c.Attrs[k] = v
+		}
+	}
+	return c
+}
+
+// Errors reported by repository servers. They are application-level: they
+// travel back over a successful RPC and do not satisfy netsim.IsFailure.
+var (
+	// ErrNotFound reports a missing object.
+	ErrNotFound = errors.New("repo: object not found")
+	// ErrNoCollection reports an unknown collection name.
+	ErrNoCollection = errors.New("repo: no such collection")
+	// ErrCollectionExists reports a duplicate CreateCollection.
+	ErrCollectionExists = errors.New("repo: collection already exists")
+	// ErrBadPin reports an unknown pin handle.
+	ErrBadPin = errors.New("repo: no such pin")
+	// ErrBadToken reports an unknown grow token.
+	ErrBadToken = errors.New("repo: no such grow token")
+)
+
+// RPC method names served by every repository server.
+const (
+	MethodGet       = "repo.Get"
+	MethodPut       = "repo.Put"
+	MethodDelete    = "repo.Delete"
+	MethodCreate    = "repo.CreateCollection"
+	MethodList      = "repo.List"
+	MethodAdd       = "repo.Add"
+	MethodRemove    = "repo.Remove"
+	MethodPin       = "repo.Pin"
+	MethodUnpin     = "repo.Unpin"
+	MethodBeginGrow = "repo.BeginGrow"
+	MethodEndGrow   = "repo.EndGrow"
+	MethodStats     = "repo.CollStats"
+	MethodSync      = "repo.Sync"
+)
+
+// Wire types. Every request and response is a value type copied at the RPC
+// boundary.
+type (
+	// GetReq fetches an object by ID.
+	GetReq struct{ ID ObjectID }
+	// PutReq stores (or overwrites) an object.
+	PutReq struct{ Obj Object }
+	// PutResp reports the stored version.
+	PutResp struct{ Version uint64 }
+	// DeleteReq removes an object's data.
+	DeleteReq struct{ ID ObjectID }
+	// CreateReq creates an empty collection.
+	CreateReq struct{ Name string }
+	// ListReq reads a collection's membership; Pin selects a snapshot
+	// (0 means the live membership).
+	ListReq struct {
+		Name string
+		Pin  int64
+	}
+	// ListResp carries the membership and the collection version it
+	// reflects.
+	ListResp struct {
+		Members []Ref
+		Version uint64
+	}
+	// AddReq inserts a member.
+	AddReq struct {
+		Name string
+		Ref  Ref
+	}
+	// RemoveReq removes a member.
+	RemoveReq struct {
+		Name string
+		ID   ObjectID
+	}
+	// RemoveResp reports whether the removal was deferred by an active grow
+	// token; when Deferred is true the server owns eventual deletion of the
+	// object data.
+	RemoveResp struct {
+		Deferred bool
+		Version  uint64
+	}
+	// MutateResp reports the new collection version.
+	MutateResp struct{ Version uint64 }
+	// PinReq snapshots a collection's membership.
+	PinReq struct{ Name string }
+	// PinResp returns the snapshot handle.
+	PinResp struct{ Pin int64 }
+	// UnpinReq releases a snapshot.
+	UnpinReq struct {
+		Name string
+		Pin  int64
+	}
+	// BeginGrowReq starts a grow-only window on the collection.
+	BeginGrowReq struct{ Name string }
+	// BeginGrowResp returns the token ending the window.
+	BeginGrowResp struct{ Token int64 }
+	// EndGrowReq closes a grow-only window.
+	EndGrowReq struct {
+		Name  string
+		Token int64
+	}
+	// EndGrowResp reports how many ghost objects were reclaimed when the
+	// last token drained.
+	EndGrowResp struct{ Reclaimed int }
+	// StatsReq asks for collection counters.
+	StatsReq struct{ Name string }
+	// StatsResp reports collection counters for experiments (ghost
+	// accounting, E8).
+	StatsResp struct {
+		Members int
+		Ghosts  int
+		Pins    int
+		Tokens  int
+		Version uint64
+	}
+	// SyncReq is the replication push: full membership at a version.
+	SyncReq struct {
+		Name    string
+		Members []Ref
+		Version uint64
+	}
+)

@@ -1,0 +1,233 @@
+// Package rpc provides the remote-procedure-call layer the paper's model of
+// computation assumes: "processes (e.g., clients and servers) communicate
+// via remote procedure calls" (§2.1). Calls traverse the simulated network
+// in both directions, so a partition that forms after the request is
+// delivered but before the response returns still surfaces as the paper's
+// "failure" exception — and, as in real systems, the server-side effects of
+// such a call may have happened even though the caller saw a failure.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"weaksets/internal/netsim"
+)
+
+// Errors reported by the RPC layer itself. Transport-level failures from
+// netsim (ErrUnreachable, ErrDropped) pass through and satisfy
+// netsim.IsFailure.
+var (
+	// ErrNoServer reports a destination node with no registered server.
+	ErrNoServer = errors.New("rpc: no server registered at destination")
+	// ErrNoMethod reports an unknown method on the destination server.
+	ErrNoMethod = errors.New("rpc: no such method")
+)
+
+// Handler services one method. It runs on the server's goroutine context;
+// implementations must be safe for concurrent use.
+type Handler func(from netsim.NodeID, req any) (any, error)
+
+// Server is the per-node dispatch table.
+type Server struct {
+	node netsim.NodeID
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewServer creates a server bound to the given node.
+func NewServer(node netsim.NodeID) *Server {
+	return &Server{
+		node:     node,
+		handlers: make(map[string]Handler),
+	}
+}
+
+// Node reports the node this server is bound to.
+func (s *Server) Node() netsim.NodeID { return s.node }
+
+// Handle registers a handler for method, replacing any previous handler.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+func (s *Server) lookup(method string) (Handler, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.handlers[method]
+	return h, ok
+}
+
+// Dispatch invokes the handler for method directly, bypassing any
+// transport. It is the hook alternative transports (e.g. the TCP server in
+// internal/tcprpc) use to serve the same dispatch table.
+func (s *Server) Dispatch(from netsim.NodeID, method string, req any) (any, error) {
+	h, ok := s.lookup(method)
+	if !ok {
+		return nil, fmt.Errorf("rpc %s at %s: %w", method, s.node, ErrNoMethod)
+	}
+	return h(from, req)
+}
+
+// Methods lists the registered method names (sorted), for transports that
+// need to advertise or proxy the full surface.
+func (s *Server) Methods() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.handlers))
+	for m := range s.handlers {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats aggregates bus-level counters for experiments that report message
+// costs.
+type Stats struct {
+	Calls    int64
+	Failures int64
+}
+
+// Bus connects servers over a netsim.Network.
+type Bus struct {
+	net *netsim.Network
+
+	mu      sync.RWMutex
+	servers map[netsim.NodeID][]*Server
+	stats   Stats
+	byMeth  map[string]int64
+}
+
+// NewBus creates a bus over the given network.
+func NewBus(n *netsim.Network) *Bus {
+	return &Bus{
+		net:     n,
+		servers: make(map[netsim.NodeID][]*Server),
+		byMeth:  make(map[string]int64),
+	}
+}
+
+// Network exposes the underlying network (reachability oracle, time scale).
+func (b *Bus) Network() *netsim.Network { return b.net }
+
+// Register attaches a server to the bus. The server's node must already be
+// registered with the network. Several servers (services) may share a node;
+// method dispatch tries them in registration order.
+func (b *Bus) Register(s *Server) error {
+	if !b.net.HasNode(s.Node()) {
+		return fmt.Errorf("rpc: register server: %w: %s", netsim.ErrNoSuchNode, s.Node())
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.servers[s.Node()] = append(b.servers[s.Node()], s)
+	return nil
+}
+
+// Stats returns a snapshot of the bus counters.
+func (b *Bus) Stats() Stats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.stats
+}
+
+// MethodCalls reports how many calls were attempted for the given method.
+func (b *Bus) MethodCalls(method string) int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.byMeth[method]
+}
+
+// ResetStats zeroes all counters.
+func (b *Bus) ResetStats() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats = Stats{}
+	b.byMeth = make(map[string]int64)
+}
+
+func (b *Bus) record(method string, failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Calls++
+	b.byMeth[method]++
+	if failed {
+		b.stats.Failures++
+	}
+}
+
+// Call performs a synchronous RPC from node `from` to node `to`. The
+// request travels the network, the handler runs, and the response travels
+// back; either leg can fail with the paper's failure exception. Application
+// errors returned by the handler are returned as-is (they rode back on a
+// successful response). Latency is the virtual time the call occupied.
+func (b *Bus) Call(ctx context.Context, from, to netsim.NodeID, method string, req any) (resp any, latency time.Duration, err error) {
+	defer func() { b.record(method, netsim.IsFailure(err)) }()
+
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	lat, err := b.net.Transmit(from, to)
+	latency += lat
+	if err != nil {
+		return nil, latency, fmt.Errorf("rpc %s %s->%s: request: %w", method, from, to, err)
+	}
+
+	b.mu.RLock()
+	srvs := append([]*Server(nil), b.servers[to]...)
+	b.mu.RUnlock()
+	if len(srvs) == 0 {
+		return nil, latency, fmt.Errorf("rpc %s %s->%s: %w", method, from, to, ErrNoServer)
+	}
+	var (
+		h  Handler
+		ok bool
+	)
+	for _, srv := range srvs {
+		if h, ok = srv.lookup(method); ok {
+			break
+		}
+	}
+	if !ok {
+		return nil, latency, fmt.Errorf("rpc %s %s->%s: %w", method, from, to, ErrNoMethod)
+	}
+
+	out, appErr := h(from, req)
+
+	if err := ctx.Err(); err != nil {
+		return nil, latency, err
+	}
+	lat, err = b.net.Transmit(to, from)
+	latency += lat
+	if err != nil {
+		// The handler ran but the caller cannot know: classic partial
+		// effect under partition.
+		return nil, latency, fmt.Errorf("rpc %s %s->%s: response: %w", method, from, to, err)
+	}
+	return out, latency, appErr
+}
+
+// Invoke is a typed convenience wrapper around Bus.Call that asserts the
+// response type.
+func Invoke[Resp any](ctx context.Context, b *Bus, from, to netsim.NodeID, method string, req any) (Resp, error) {
+	var zero Resp
+	out, _, err := b.Call(ctx, from, to, method, req)
+	if err != nil {
+		return zero, err
+	}
+	if out == nil {
+		return zero, nil
+	}
+	typed, ok := out.(Resp)
+	if !ok {
+		return zero, fmt.Errorf("rpc %s: unexpected response type %T", method, out)
+	}
+	return typed, nil
+}

@@ -1,0 +1,286 @@
+// Package sim provides deterministic simulation utilities shared by the
+// weak-sets substrates: a concurrency-safe seeded random source, latency
+// distributions, and a time scale that maps "virtual" wide-area durations
+// onto much shorter wall-clock sleeps so that experiments modelling
+// hundred-millisecond WAN round trips run in microseconds while preserving
+// real goroutine-level parallelism.
+package sim
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Rand is a seeded pseudo-random source that is safe for concurrent use.
+// The zero value is not usable; construct with NewRand.
+type Rand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRand returns a Rand seeded with seed. Equal seeds yield equal streams.
+func NewRand(seed int64) *Rand {
+	return &Rand{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Int63n returns a uniform random int64 in [0, n). n must be positive.
+func (r *Rand) Int63n(n int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Int63n(n)
+}
+
+// Intn returns a uniform random int in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Intn(n)
+}
+
+// Float64 returns a uniform random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Float64()
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with mean 1.
+func (r *Rand) ExpFloat64() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.ExpFloat64()
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Perm(n)
+}
+
+// Fork derives an independent Rand whose stream is a deterministic function
+// of the parent's state. Useful for giving each node or worker its own
+// source without cross-goroutine contention.
+func (r *Rand) Fork() *Rand {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return NewRand(r.rng.Int63())
+}
+
+// Dist is a distribution over durations, used to model link latencies and
+// service times. Implementations must be safe for concurrent use given a
+// concurrency-safe Rand.
+type Dist interface {
+	// Sample draws one duration from the distribution.
+	Sample(r *Rand) time.Duration
+	// Mean reports the distribution's mean, used for "closest first"
+	// scheduling estimates.
+	Mean() time.Duration
+}
+
+// Fixed is a degenerate distribution that always returns D.
+type Fixed time.Duration
+
+var _ Dist = Fixed(0)
+
+// Sample implements Dist.
+func (f Fixed) Sample(*Rand) time.Duration { return time.Duration(f) }
+
+// Mean implements Dist.
+func (f Fixed) Mean() time.Duration { return time.Duration(f) }
+
+// Uniform samples uniformly from [Lo, Hi].
+type Uniform struct {
+	Lo, Hi time.Duration
+}
+
+var _ Dist = Uniform{}
+
+// Sample implements Dist.
+func (u Uniform) Sample(r *Rand) time.Duration {
+	if u.Hi <= u.Lo {
+		return u.Lo
+	}
+	return u.Lo + time.Duration(r.Int63n(int64(u.Hi-u.Lo)+1))
+}
+
+// Mean implements Dist.
+func (u Uniform) Mean() time.Duration { return (u.Lo + u.Hi) / 2 }
+
+// Exponential samples an exponential distribution with the given mean,
+// truncated at Cap (or 8x the mean when Cap is zero) so a single unlucky
+// draw cannot stall a whole experiment.
+type Exponential struct {
+	MeanD time.Duration
+	Cap   time.Duration
+}
+
+var _ Dist = Exponential{}
+
+// Sample implements Dist.
+func (e Exponential) Sample(r *Rand) time.Duration {
+	cap := e.Cap
+	if cap == 0 {
+		cap = 8 * e.MeanD
+	}
+	d := time.Duration(float64(e.MeanD) * r.ExpFloat64())
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() time.Duration { return e.MeanD }
+
+// Zipf ranks N items by popularity with exponent S >= 1 and is used to skew
+// object placement and access. It is not a Dist; see ZipfRank.
+type Zipf struct {
+	n int
+	s float64
+	// cdf[i] is the cumulative probability of ranks 0..i.
+	cdf []float64
+}
+
+// NewZipf builds a Zipf ranker over n items with exponent s (s >= 1 gives
+// the classic heavy head). n must be positive.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		n = 1
+	}
+	if s < 0 {
+		s = 0
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{n: n, s: s, cdf: cdf}
+}
+
+// Rank draws a rank in [0, n) with Zipf-skewed probability.
+func (z *Zipf) Rank(r *Rand) int {
+	u := r.Float64()
+	// Binary search for the first cdf entry >= u.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TimeScale maps virtual durations (the durations the model reasons about,
+// e.g. a 50ms WAN round trip) onto wall-clock sleeps. A scale of 0.001 runs
+// a 50ms virtual delay as a 50µs sleep. A scale of 0 disables sleeping
+// entirely (useful in unit tests that only care about logical outcomes).
+type TimeScale float64
+
+// DefaultScale runs virtual time 1000x faster than real time.
+const DefaultScale TimeScale = 0.001
+
+// spinThreshold is the stretch of a wait that is finished by spinning
+// rather than sleeping: OS timers on typical hosts have ~1ms granularity,
+// which would swamp scaled-down WAN latencies (a 10ms virtual hop at 100x
+// compression is a 100µs wait).
+const spinThreshold = 2 * time.Millisecond
+
+// Sleep blocks for the scaled equivalent of virtual duration d, accurate
+// to a few microseconds: it sleeps coarsely and spins (with Gosched) for
+// the final stretch.
+func (s TimeScale) Sleep(d time.Duration) {
+	sleepUntil(nil, time.Now().Add(s.Real(d)))
+}
+
+// SleepCtx is Sleep with cancellation: it returns false if ctx ended
+// before the scaled duration elapsed. A non-positive scale returns true
+// immediately.
+func (s TimeScale) SleepCtx(ctx context.Context, d time.Duration) bool {
+	return sleepUntil(ctx, time.Now().Add(s.Real(d)))
+}
+
+// SleepCtxFloor is SleepCtx with a minimum real wait, for poll loops that
+// must not spin hot when the scale is zero (logical time).
+func (s TimeScale) SleepCtxFloor(ctx context.Context, d, floor time.Duration) bool {
+	real := s.Real(d)
+	if real < floor {
+		real = floor
+	}
+	return sleepUntil(ctx, time.Now().Add(real))
+}
+
+// sleepUntil waits until deadline, using coarse timer sleeps for the bulk
+// and a Gosched spin for the final spinThreshold so short waits stay
+// precise. It returns false if ctx (when non-nil) ended first.
+func sleepUntil(ctx context.Context, deadline time.Time) bool {
+	for {
+		if ctx != nil && ctx.Err() != nil {
+			return false
+		}
+		rem := time.Until(deadline)
+		switch {
+		case rem <= 0:
+			return true
+		case rem > spinThreshold+time.Millisecond:
+			coarse := rem - spinThreshold
+			if ctx == nil {
+				time.Sleep(coarse)
+				continue
+			}
+			timer := time.NewTimer(coarse)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return false
+			}
+			timer.Stop()
+		default:
+			for time.Now().Before(deadline) {
+				if ctx != nil && ctx.Err() != nil {
+					return false
+				}
+				runtime.Gosched()
+			}
+			return true
+		}
+	}
+}
+
+// Real converts a virtual duration to the wall-clock duration it occupies.
+func (s TimeScale) Real(d time.Duration) time.Duration {
+	if s <= 0 || d <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) * float64(s))
+}
+
+// Virtual converts an observed wall-clock duration back to virtual time.
+func (s TimeScale) Virtual(d time.Duration) time.Duration {
+	if s <= 0 || d <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) / float64(s))
+}
+
+// Stopwatch measures virtual elapsed time under this scale. The returned
+// function reports the virtual duration since the call to Stopwatch.
+func (s TimeScale) Stopwatch() func() time.Duration {
+	start := time.Now()
+	return func() time.Duration {
+		return s.Virtual(time.Since(start))
+	}
+}

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"context"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Int63n(1000), b.Int63n(1000); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestRandDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := true
+	for i := 0; i < 20; i++ {
+		if a.Int63n(1<<30) != b.Int63n(1<<30) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandFork(t *testing.T) {
+	parent := NewRand(7)
+	f1 := parent.Fork()
+	parent2 := NewRand(7)
+	f2 := parent2.Fork()
+	for i := 0; i < 50; i++ {
+		if f1.Intn(100) != f2.Intn(100) {
+			t.Fatal("forked streams are not deterministic")
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(3)
+	p := r.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 {
+			t.Fatalf("perm value %d out of range", v)
+		}
+		if seen[v] {
+			t.Fatalf("perm value %d duplicated", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("perm covered %d values, want 10", len(seen))
+	}
+}
+
+func TestFixedDist(t *testing.T) {
+	d := Fixed(25 * time.Millisecond)
+	r := NewRand(1)
+	for i := 0; i < 10; i++ {
+		if got := d.Sample(r); got != 25*time.Millisecond {
+			t.Fatalf("Fixed sample = %v", got)
+		}
+	}
+	if d.Mean() != 25*time.Millisecond {
+		t.Fatalf("Fixed mean = %v", d.Mean())
+	}
+}
+
+func TestUniformDistBounds(t *testing.T) {
+	d := Uniform{Lo: 10 * time.Millisecond, Hi: 20 * time.Millisecond}
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		s := d.Sample(r)
+		if s < d.Lo || s > d.Hi {
+			t.Fatalf("sample %v outside [%v, %v]", s, d.Lo, d.Hi)
+		}
+	}
+	if got, want := d.Mean(), 15*time.Millisecond; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	d := Uniform{Lo: 5 * time.Millisecond, Hi: 5 * time.Millisecond}
+	if got := d.Sample(NewRand(1)); got != 5*time.Millisecond {
+		t.Fatalf("degenerate uniform sample = %v", got)
+	}
+}
+
+func TestExponentialCapped(t *testing.T) {
+	d := Exponential{MeanD: 10 * time.Millisecond}
+	r := NewRand(9)
+	for i := 0; i < 5000; i++ {
+		s := d.Sample(r)
+		if s < 0 || s > 80*time.Millisecond {
+			t.Fatalf("sample %v outside [0, 8*mean]", s)
+		}
+	}
+}
+
+func TestExponentialRoughMean(t *testing.T) {
+	d := Exponential{MeanD: 10 * time.Millisecond}
+	r := NewRand(11)
+	var total time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		total += d.Sample(r)
+	}
+	mean := total / n
+	if mean < 7*time.Millisecond || mean > 13*time.Millisecond {
+		t.Fatalf("empirical mean %v far from 10ms", mean)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(10, 1.2)
+	r := NewRand(5)
+	counts := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		counts[z.Rank(r)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("rank 0 (%d) should dominate rank 9 (%d)", counts[0], counts[9])
+	}
+	if counts[0] < 3*counts[9] {
+		t.Fatalf("skew too weak: head %d vs tail %d", counts[0], counts[9])
+	}
+}
+
+func TestZipfRankInRange(t *testing.T) {
+	check := func(seed int64) bool {
+		z := NewZipf(7, 1.0)
+		r := NewRand(seed)
+		for i := 0; i < 100; i++ {
+			rank := z.Rank(r)
+			if rank < 0 || rank >= 7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfDegenerate(t *testing.T) {
+	z := NewZipf(0, 1)
+	if got := z.Rank(NewRand(1)); got != 0 {
+		t.Fatalf("degenerate zipf rank = %d", got)
+	}
+}
+
+func TestTimeScaleRealVirtualRoundTrip(t *testing.T) {
+	s := TimeScale(0.001)
+	virtual := 50 * time.Millisecond
+	real := s.Real(virtual)
+	if real != 50*time.Microsecond {
+		t.Fatalf("Real(50ms) = %v, want 50µs", real)
+	}
+	back := s.Virtual(real)
+	if back != virtual {
+		t.Fatalf("Virtual(Real(d)) = %v, want %v", back, virtual)
+	}
+}
+
+func TestTimeScaleZeroDisablesSleep(t *testing.T) {
+	var s TimeScale
+	start := time.Now()
+	s.Sleep(10 * time.Hour)
+	if time.Since(start) > time.Second {
+		t.Fatal("zero scale slept")
+	}
+	if s.Real(time.Hour) != 0 {
+		t.Fatal("zero scale Real != 0")
+	}
+	if s.Virtual(time.Hour) != 0 {
+		t.Fatal("zero scale Virtual != 0")
+	}
+}
+
+func TestTimeScaleNegativeDurations(t *testing.T) {
+	s := TimeScale(0.5)
+	if s.Real(-time.Second) != 0 {
+		t.Fatal("negative duration should map to 0")
+	}
+}
+
+func TestTimeScaleStopwatch(t *testing.T) {
+	s := TimeScale(0.001)
+	elapsed := s.Stopwatch()
+	time.Sleep(2 * time.Millisecond)
+	v := elapsed()
+	if v < 1*time.Second {
+		t.Fatalf("stopwatch reported %v, want >= ~2s virtual", v)
+	}
+}
+
+func TestQuickRealMonotone(t *testing.T) {
+	s := TimeScale(0.01)
+	f := func(a, b uint32) bool {
+		da, db := time.Duration(a)*time.Microsecond, time.Duration(b)*time.Microsecond
+		if da <= db {
+			return s.Real(da) <= s.Real(db)
+		}
+		return s.Real(da) >= s.Real(db)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSleepPrecision(t *testing.T) {
+	// The spin-finished sleep must be far more accurate than the OS timer
+	// granularity (~1ms on many hosts): ask for 300µs, expect < 900µs.
+	s := TimeScale(1)
+	const target = 300 * time.Microsecond
+	var worst time.Duration
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		s.Sleep(target)
+		got := time.Since(start)
+		if got > worst {
+			worst = got
+		}
+		if got < target {
+			t.Fatalf("slept %v, less than asked %v", got, target)
+		}
+	}
+	// Generous bound: the point is beating the ~1ms OS timer floor, not
+	// microsecond perfection (coverage instrumentation and CI load slow
+	// the spin loop).
+	if worst > 2*time.Millisecond {
+		t.Fatalf("worst sleep %v; spin-finish is not working", worst)
+	}
+}
+
+func TestSleepCtxCancel(t *testing.T) {
+	s := TimeScale(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		done <- s.SleepCtx(ctx, 10*time.Second)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("SleepCtx reported completion despite cancel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("SleepCtx ignored cancellation")
+	}
+}
+
+func TestSleepCtxCompletes(t *testing.T) {
+	s := TimeScale(1)
+	if !s.SleepCtx(context.Background(), time.Millisecond) {
+		t.Fatal("SleepCtx returned false without cancellation")
+	}
+}
+
+func TestSleepCtxFloor(t *testing.T) {
+	var s TimeScale // zero scale: Real() is 0, floor must still apply
+	start := time.Now()
+	if !s.SleepCtxFloor(context.Background(), time.Hour, 2*time.Millisecond) {
+		t.Fatal("returned false")
+	}
+	if got := time.Since(start); got < 2*time.Millisecond {
+		t.Fatalf("floored sleep %v < 2ms", got)
+	}
+	// Pre-cancelled context returns immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if s.SleepCtxFloor(ctx, time.Hour, time.Hour) {
+		t.Fatal("cancelled SleepCtxFloor returned true")
+	}
+}

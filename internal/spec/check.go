@@ -1,0 +1,274 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Figure names one of the paper's specification points.
+type Figure int
+
+// The specification points of the design space.
+const (
+	// Fig1 is the immutable set ignoring failures (Figure 1).
+	Fig1 Figure = iota + 1
+	// Fig3 is the immutable set with failures, pessimistic (Figure 3).
+	Fig3
+	// Fig4 is the mutable set with loss of mutations: everything is
+	// evaluated against the snapshot at the first invocation (Figure 4).
+	Fig4
+	// Fig5 is the grow-only set with pessimistic failure handling
+	// (Figure 5).
+	Fig5
+	// Fig6 is the growing and shrinking set with optimistic failure
+	// handling — the weakest point, the one implemented as dynamic sets
+	// (Figure 6).
+	Fig6
+)
+
+// String implements fmt.Stringer.
+func (f Figure) String() string {
+	switch f {
+	case Fig1:
+		return "Fig1-immutable-nofail"
+	case Fig3:
+		return "Fig3-immutable"
+	case Fig4:
+		return "Fig4-snapshot"
+	case Fig5:
+		return "Fig5-growonly"
+	case Fig6:
+		return "Fig6-optimistic"
+	default:
+		return fmt.Sprintf("figure(%d)", int(f))
+	}
+}
+
+// Figures lists every checkable ensures-clause specification.
+func Figures() []Figure { return []Figure{Fig1, Fig3, Fig4, Fig5, Fig6} }
+
+// ErrViolation is the sentinel wrapped by every conformance violation.
+var ErrViolation = errors.New("spec: violation")
+
+// Violation describes where and how a run diverges from a figure's ensures
+// clause.
+type Violation struct {
+	Fig    Figure
+	Index  int // invocation index within the run
+	Reason string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s: invocation %d: %s", v.Fig, v.Index, v.Reason)
+}
+
+// Unwrap lets errors.Is(err, ErrViolation) match.
+func (v *Violation) Unwrap() error { return ErrViolation }
+
+func violatef(fig Figure, i int, format string, args ...any) error {
+	return &Violation{Fig: fig, Index: i, Reason: fmt.Sprintf(format, args...)}
+}
+
+// CheckRun verifies a recorded run against the ensures clause of the given
+// figure. A nil result means the run conforms. CheckRun checks only the
+// iterator's obligations; use the Constraint checkers for the environment's
+// obligations (the constraint clause).
+func CheckRun(fig Figure, run Run) error {
+	first := run.First().Members
+	for i, inv := range run.Invocations {
+		if err := CheckInvocation(fig, first, run.Yielded(i), i, inv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvocation verifies a single invocation against the figure's
+// ensures clause, given s_first's membership and the `yielded` history
+// object as of this invocation. It is the per-step form CheckRun is built
+// from, and the hook the exhaustive model checker uses to validate every
+// reachable kernel decision.
+func CheckInvocation(fig Figure, first map[ElemID]bool, yielded map[ElemID]bool, i int, inv Invocation) error {
+	switch fig {
+	case Fig1:
+		return checkFig1Inv(first, yielded, i, inv)
+	case Fig3, Fig4:
+		// Figures 3 and 4 share their ensures clause verbatim; they differ
+		// only in the constraint clause (immutability vs `true`).
+		return checkSnapshotInv(fig, first, yielded, i, inv)
+	case Fig5:
+		return checkFig5Inv(yielded, i, inv)
+	case Fig6:
+		return checkFig6Inv(yielded, i, inv)
+	default:
+		return fmt.Errorf("spec: unknown figure %d", int(fig))
+	}
+}
+
+// checkFig1Inv verifies the failure-free immutable iterator:
+//
+//	if yielded_pre ⊊ s_first
+//	then yielded_post − yielded_pre = {e} ∧ yielded_post ⊆ s_first ∧ suspends
+//	else returns
+func checkFig1Inv(first, yielded map[ElemID]bool, i int, inv Invocation) error {
+	if strictSubset(yielded, first) {
+		if inv.Outcome != Suspended || !inv.HasYield {
+			return violatef(Fig1, i, "expected suspend+yield while yielded %s ⊊ first %s, got %s",
+				formatSet(yielded), formatSet(first), inv.Outcome)
+		}
+		if yielded[inv.Yield] {
+			return violatef(Fig1, i, "duplicate yield of %q", inv.Yield)
+		}
+		if !first[inv.Yield] {
+			return violatef(Fig1, i, "yielded %q outside s_first %s", inv.Yield, formatSet(first))
+		}
+		return nil
+	}
+	if inv.Outcome != Returned {
+		return violatef(Fig1, i, "expected return once yielded = s_first, got %s", inv.Outcome)
+	}
+	if inv.HasYield {
+		return violatef(Fig1, i, "yield on returning invocation")
+	}
+	return nil
+}
+
+// checkSnapshotInv verifies the shared ensures clause of Figures 3 and 4,
+// everything evaluated against s_first with reachability sampled at the
+// invocation's pre-state:
+//
+//	if yielded_pre ⊂ reachable(s_first)
+//	then yield e ∈ reachable(s_first) − yielded_pre, yielded_post ⊆ s_first, suspends
+//	else if yielded_pre = reachable(s_first) ∧ yielded_pre ⊂ s_first then fails
+//	else returns  (yielded_pre = s_first)
+func checkSnapshotInv(fig Figure, first, yielded map[ElemID]bool, i int, inv Invocation) error {
+	reachFirst := inv.Pre.ReachableOf(first)
+	switch {
+	case strictSubset(yielded, reachFirst):
+		if inv.Outcome != Suspended || !inv.HasYield {
+			return violatef(fig, i, "expected suspend+yield while yielded %s ⊊ reachable(first) %s, got %s",
+				formatSet(yielded), formatSet(reachFirst), inv.Outcome)
+		}
+		if yielded[inv.Yield] {
+			return violatef(fig, i, "duplicate yield of %q", inv.Yield)
+		}
+		if !first[inv.Yield] {
+			return violatef(fig, i, "yielded %q outside s_first %s", inv.Yield, formatSet(first))
+		}
+		if !reachFirst[inv.Yield] {
+			return violatef(fig, i, "yielded %q not in reachable(s_first) %s", inv.Yield, formatSet(reachFirst))
+		}
+	case setsEqual(yielded, reachFirst) && strictSubset(yielded, first):
+		if inv.Outcome != Failed {
+			return violatef(fig, i, "expected fail: yielded = reachable(first) %s ⊊ first %s, got %s",
+				formatSet(reachFirst), formatSet(first), inv.Outcome)
+		}
+		if inv.HasYield {
+			return violatef(fig, i, "yield on failing invocation")
+		}
+	default:
+		if inv.Outcome != Returned {
+			return violatef(fig, i, "expected return (yielded %s vs first %s), got %s",
+				formatSet(yielded), formatSet(first), inv.Outcome)
+		}
+		if inv.HasYield {
+			return violatef(fig, i, "yield on returning invocation")
+		}
+	}
+	return nil
+}
+
+// checkFig5Inv verifies the grow-only pessimistic iterator, everything
+// evaluated against the *current* pre-state:
+//
+//	if yielded_pre ⊂ reachable(s_pre)
+//	then yield e ∈ reachable(s_pre) − yielded_pre, yielded_post ⊆ s_pre, suspends
+//	else if yielded_pre = s_pre then returns
+//	else fails
+func checkFig5Inv(yielded map[ElemID]bool, i int, inv Invocation) error {
+	pre := inv.Pre.Members
+	reachPre := inv.Pre.ReachableOf(pre)
+	switch {
+	case strictSubset(yielded, reachPre):
+		if inv.Outcome != Suspended || !inv.HasYield {
+			return violatef(Fig5, i, "expected suspend+yield while yielded %s ⊊ reachable(pre) %s, got %s",
+				formatSet(yielded), formatSet(reachPre), inv.Outcome)
+		}
+		if yielded[inv.Yield] {
+			return violatef(Fig5, i, "duplicate yield of %q", inv.Yield)
+		}
+		if !pre[inv.Yield] {
+			return violatef(Fig5, i, "yielded %q outside s_pre %s", inv.Yield, formatSet(pre))
+		}
+		if !reachPre[inv.Yield] {
+			return violatef(Fig5, i, "yielded %q not reachable in pre-state", inv.Yield)
+		}
+	case setsEqual(yielded, pre):
+		if inv.Outcome != Returned {
+			return violatef(Fig5, i, "expected return once yielded = s_pre %s, got %s", formatSet(pre), inv.Outcome)
+		}
+		if inv.HasYield {
+			return violatef(Fig5, i, "yield on returning invocation")
+		}
+	default:
+		if inv.Outcome != Failed {
+			return violatef(Fig5, i, "expected fail (yielded %s, pre %s, reachable %s), got %s",
+				formatSet(yielded), formatSet(pre), formatSet(reachPre), inv.Outcome)
+		}
+		if inv.HasYield {
+			return violatef(Fig5, i, "yield on failing invocation")
+		}
+	}
+	return nil
+}
+
+// checkFig6Inv verifies the optimistic grow-and-shrink iterator:
+//
+//	if ∃ e ∈ s_pre : e ∉ yielded_pre
+//	then yield e' with yielded_post − yielded_pre = {e'} ∧ e' ∈ reachable(s_pre), suspends
+//	else returns
+//
+// The iterator never fails; when the unyielded elements are all
+// unreachable it blocks (recorded as a Blocked attempt), which is legal
+// exactly when no reachable unyielded element exists.
+func checkFig6Inv(yielded map[ElemID]bool, i int, inv Invocation) error {
+	pre := inv.Pre.Members
+	unyielded := difference(pre, yielded)
+	reachUnyielded := inv.Pre.ReachableOf(unyielded)
+	switch {
+	case len(unyielded) > 0:
+		switch inv.Outcome {
+		case Suspended:
+			if !inv.HasYield {
+				return violatef(Fig6, i, "suspend without yield")
+			}
+			if yielded[inv.Yield] {
+				return violatef(Fig6, i, "duplicate yield of %q", inv.Yield)
+			}
+			if !pre[inv.Yield] {
+				return violatef(Fig6, i, "yielded %q outside s_pre %s", inv.Yield, formatSet(pre))
+			}
+			if !inv.Pre.Reach[inv.Yield] {
+				return violatef(Fig6, i, "yielded %q not in reachable(s_pre)", inv.Yield)
+			}
+		case Blocked:
+			if len(reachUnyielded) > 0 {
+				return violatef(Fig6, i, "blocked although reachable unyielded elements exist: %s",
+					formatSet(reachUnyielded))
+			}
+		case Failed:
+			return violatef(Fig6, i, "optimistic iterator must not fail")
+		case Returned:
+			return violatef(Fig6, i, "returned although unyielded elements exist: %s", formatSet(unyielded))
+		}
+	default:
+		if inv.Outcome != Returned {
+			return violatef(Fig6, i, "expected return once every member is yielded, got %s", inv.Outcome)
+		}
+		if inv.HasYield {
+			return violatef(Fig6, i, "yield on returning invocation")
+		}
+	}
+	return nil
+}

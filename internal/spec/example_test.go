@@ -1,0 +1,57 @@
+package spec_test
+
+import (
+	"fmt"
+
+	"weaksets/internal/spec"
+)
+
+// ExampleCheckRun checks a hand-written run of the optimistic iterator:
+// it yields the reachable a, blocks while b is unreachable, then finishes
+// after the repair.
+func ExampleCheckRun() {
+	broken := spec.NewState([]spec.ElemID{"a", "b"}, []spec.ElemID{"a"})
+	healed := spec.NewState([]spec.ElemID{"a", "b"}, []spec.ElemID{"a", "b"})
+	run := spec.Run{Invocations: []spec.Invocation{
+		{Pre: broken, Outcome: spec.Suspended, Yield: "a", HasYield: true},
+		{Pre: broken, Outcome: spec.Blocked},
+		{Pre: healed, Outcome: spec.Suspended, Yield: "b", HasYield: true},
+		{Pre: healed, Outcome: spec.Returned},
+	}}
+
+	fmt.Println("Fig6:", spec.CheckRun(spec.Fig6, run))
+	// The same behaviour violates the pessimistic Fig 5: it blocked where
+	// Fig 5 demands the failure exception.
+	fmt.Println("Fig5 conforms:", spec.CheckRun(spec.Fig5, run) == nil)
+
+	// Output:
+	// Fig6: <nil>
+	// Fig5 conforms: false
+}
+
+// ExampleCheckStates verifies constraint clauses over observed states.
+func ExampleCheckStates() {
+	grew := []spec.State{
+		spec.NewState([]spec.ElemID{"a"}, nil),
+		spec.NewState([]spec.ElemID{"a", "b"}, nil),
+	}
+	fmt.Println("grow-only ok:", spec.CheckStates(spec.ConstraintGrowOnly, grew) == nil)
+	fmt.Println("immutable ok:", spec.CheckStates(spec.ConstraintImmutable, grew) == nil)
+
+	// Output:
+	// grow-only ok: true
+	// immutable ok: false
+}
+
+// ExampleTaxonomy prints the §4 classification of the design points.
+func ExampleTaxonomy() {
+	for _, fig := range []spec.Figure{spec.Fig3, spec.Fig4, spec.Fig6} {
+		cons, curr := spec.Taxonomy(fig)
+		fmt.Printf("%s: %s, %s\n", fig, cons, curr)
+	}
+
+	// Output:
+	// Fig3-immutable: strong (serializable), first-vintage
+	// Fig4-snapshot: weak, first-vintage
+	// Fig6-optimistic: none, first-bound
+}

@@ -1,0 +1,110 @@
+package spec
+
+import (
+	"fmt"
+
+	"weaksets/internal/sim"
+)
+
+// Env is a model of the environment: the abstract set plus per-element
+// reachability, mutated randomly under a chosen constraint discipline. It
+// drives the model-level conformance harness: kernels observe Env states,
+// the Env mutates between invocations, and the recorded run is checked
+// against the figures.
+type Env struct {
+	rng        *sim.Rand
+	universe   []ElemID
+	state      State
+	discipline Constraint
+	// PMutate is the per-step probability that the membership changes.
+	PMutate float64
+	// PFlipReach is the per-step probability that one element's
+	// reachability flips.
+	PFlipReach float64
+}
+
+// NewEnv creates a model environment over a universe of n elements, with
+// roughly half of them initial members and everything initially reachable.
+func NewEnv(rng *sim.Rand, n int, discipline Constraint) *Env {
+	e := &Env{
+		rng:        rng,
+		discipline: discipline,
+		PMutate:    0.4,
+		PFlipReach: 0.3,
+	}
+	members := make([]ElemID, 0, n)
+	reach := make([]ElemID, 0, n)
+	for i := 0; i < n; i++ {
+		id := ElemID(fmt.Sprintf("e%02d", i))
+		e.universe = append(e.universe, id)
+		reach = append(reach, id)
+		if rng.Float64() < 0.5 {
+			members = append(members, id)
+		}
+	}
+	e.state = NewState(members, reach)
+	return e
+}
+
+// State returns a snapshot of the current model state.
+func (e *Env) State() State { return e.state.Clone() }
+
+// Universe returns the element universe.
+func (e *Env) Universe() []ElemID { return append([]ElemID(nil), e.universe...) }
+
+// SetReach forces one element's reachability (failure injection).
+func (e *Env) SetReach(id ElemID, reachable bool) {
+	if reachable {
+		e.state.Reach[id] = true
+	} else {
+		delete(e.state.Reach, id)
+	}
+}
+
+// Add inserts an element, respecting no discipline checks (callers choose
+// legality).
+func (e *Env) Add(id ElemID) { e.state.Members[id] = true }
+
+// Remove deletes an element.
+func (e *Env) Remove(id ElemID) { delete(e.state.Members, id) }
+
+// Step performs one random environment transition respecting the Env's
+// constraint discipline: immutable environments never change membership,
+// grow-only environments only add, unconstrained environments add and
+// remove. Reachability may flip under any discipline — failures are outside
+// the constraint clause.
+func (e *Env) Step() {
+	if e.rng.Float64() < e.PFlipReach {
+		id := e.universe[e.rng.Intn(len(e.universe))]
+		if e.state.Reach[id] {
+			delete(e.state.Reach, id)
+		} else {
+			e.state.Reach[id] = true
+		}
+	}
+	if e.rng.Float64() >= e.PMutate {
+		return
+	}
+	switch e.discipline {
+	case ConstraintImmutable, ConstraintImmutablePerRun:
+		return
+	case ConstraintGrowOnly, ConstraintGrowOnlyPerRun:
+		id := e.universe[e.rng.Intn(len(e.universe))]
+		e.state.Members[id] = true
+	default:
+		id := e.universe[e.rng.Intn(len(e.universe))]
+		if e.state.Members[id] {
+			delete(e.state.Members, id)
+		} else {
+			e.state.Members[id] = true
+		}
+	}
+}
+
+// HealAll makes every element reachable — the "failure has been repaired"
+// transition the optimistic semantics waits for.
+func (e *Env) HealAll() {
+	for _, id := range e.universe {
+		e.state.Reach[id] = true
+	}
+}

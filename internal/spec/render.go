@@ -1,0 +1,76 @@
+package spec
+
+// Render returns the formal text of a figure's specification,
+// transliterated from the paper into ASCII. It is documentation the
+// checkers are tested against — speccheck -specs prints these so a reader
+// can compare the executable checks with the paper's clauses side by side.
+func Render(fig Figure) string {
+	switch fig {
+	case Fig1:
+		return `Figure 1 — immutable set, failures ignored
+constraint  s_i = s_j                       % set is immutable
+elements = iter(s: set) yields (e: elem)
+  remembers yielded: set initially {}
+  ensures
+    if yielded_pre ⊂ s_first                % still more to yield
+    then yielded_post − yielded_pre = {e}
+         ∧ yielded_post ⊆ s_first
+         ∧ suspends
+    else returns                            % yielded_pre = s_first`
+	case Fig3:
+		return `Figure 3 — immutable set with failures (pessimistic)
+constraint  s_i = s_j
+elements = iter(s: set) yields (e: elem) signals (failure)
+  remembers yielded: set initially {}
+  ensures
+    if yielded_pre ⊂ reachable(s_first)
+    then yielded_post − yielded_pre = {e}
+         ∧ yielded_post ⊆ s_first
+         ∧ e ∈ reachable(s_first)
+         ∧ suspends
+    else if yielded_pre = reachable(s_first) ∧ yielded_pre ⊂ s_first
+    then fails
+    else returns                            % yielded_pre = s_first`
+	case Fig4:
+		return `Figure 4 — mutable set, loss of some mutations
+constraint  true                            % the set may change arbitrarily
+elements = iter(s: set) yields (e: elem) signals (failure)
+  remembers yielded: set initially {}
+  ensures
+    if yielded_pre ⊂ reachable(s_first)
+    then yielded_post − yielded_pre = {e}
+         ∧ yielded_post ⊆ s_first
+         ∧ e ∈ reachable(s_first)
+         ∧ suspends
+    else if yielded_pre = reachable(s_first) ∧ yielded_pre ⊂ s_first
+    then fails
+    else returns                            % yielded_pre = s_first`
+	case Fig5:
+		return `Figure 5 — growing-only set, pessimistic failure handling
+constraint  s_i ⊆ s_j
+elements = iter(s: set) yields (e: elem) signals (failure)
+  remembers yielded: set initially {}
+  ensures
+    if yielded_pre ⊂ reachable(s_pre)
+    then yielded_post − yielded_pre = {e}
+         ∧ yielded_post ⊆ s_pre
+         ∧ e ∈ reachable(s_pre)
+         ∧ suspends
+    else if yielded_pre = s_pre
+    then returns
+    else fails`
+	case Fig6:
+		return `Figure 6 — growing and shrinking set, optimistic failure handling
+constraint  true
+elements = iter(s: set) yields (e: elem)
+  remembers yielded: set initially {}
+  ensures
+    if ∃ e ∈ s_pre : e ∉ yielded_pre
+    then yielded_post − yielded_pre = {e}
+         ∧ e ∈ reachable(s_pre)
+         ∧ suspends                          % blocks while nothing reachable
+    else returns`
+	default:
+		return "unknown figure"
+	}
+}

@@ -1,0 +1,222 @@
+// Package spec mechanizes the paper's specification framework (§2): states
+// and computations, history objects (the iterator's `remembers yielded`
+// clause), the novel reachable() construct distinguishing an element's
+// existence from its accessibility, the three iterator outcomes (suspends,
+// returns, fails — plus the blocking the Fig. 6 optimistic semantics
+// exhibits), per-figure conformance checkers for the `ensures` clauses, and
+// checkers for the `constraint` clauses over computations.
+//
+// The checkers are the executable form of Figures 1, 3, 4, 5 and 6 and of
+// the two relaxed constraint variants described in prose (§3.1, §3.3). They
+// are used two ways: model-level property tests drive the semantic kernels
+// over synthetic states and verify exact conformance, and live iterators
+// can record their runs for best-effort conformance checking against the
+// real distributed substrate.
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ElemID identifies an element of the abstract set.
+type ElemID string
+
+// State is the value of the world at one instant, as the specifications see
+// it: the set's membership plus the reachability of each element. Elements
+// absent from Reach are unreachable. Reach may mention elements outside
+// Members (e.g. deleted elements whose nodes are still up); reachable(S)σ
+// always intersects with a membership set.
+type State struct {
+	Members map[ElemID]bool
+	Reach   map[ElemID]bool
+}
+
+// NewState builds a state from member and reachable element lists.
+func NewState(members, reach []ElemID) State {
+	s := State{
+		Members: make(map[ElemID]bool, len(members)),
+		Reach:   make(map[ElemID]bool, len(reach)),
+	}
+	for _, e := range members {
+		s.Members[e] = true
+	}
+	for _, e := range reach {
+		s.Reach[e] = true
+	}
+	return s
+}
+
+// Clone deep-copies the state.
+func (s State) Clone() State {
+	c := State{
+		Members: make(map[ElemID]bool, len(s.Members)),
+		Reach:   make(map[ElemID]bool, len(s.Reach)),
+	}
+	for e := range s.Members {
+		c.Members[e] = true
+	}
+	for e := range s.Reach {
+		c.Reach[e] = true
+	}
+	return c
+}
+
+// ReachableMembers is the paper's reachable(x)σ applied to this state's
+// membership: the subset of Members that is accessible.
+func (s State) ReachableMembers() map[ElemID]bool {
+	out := make(map[ElemID]bool)
+	for e := range s.Members {
+		if s.Reach[e] {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+// ReachableOf restricts an arbitrary membership set (e.g. s_first) by this
+// state's reachability — reachable(s_first) evaluated "now".
+func (s State) ReachableOf(members map[ElemID]bool) map[ElemID]bool {
+	out := make(map[ElemID]bool)
+	for e := range members {
+		if s.Reach[e] {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+// SameMembers reports whether two states have equal membership.
+func (s State) SameMembers(o State) bool {
+	return setsEqual(s.Members, o.Members)
+}
+
+// MembersSubsetOf reports s.Members ⊆ o.Members.
+func (s State) MembersSubsetOf(o State) bool {
+	return subset(s.Members, o.Members)
+}
+
+// Set-algebra helpers shared by the checkers.
+
+func setsEqual(a, b map[ElemID]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for e := range a {
+		if !b[e] {
+			return false
+		}
+	}
+	return true
+}
+
+func subset(a, b map[ElemID]bool) bool {
+	for e := range a {
+		if !b[e] {
+			return false
+		}
+	}
+	return true
+}
+
+func strictSubset(a, b map[ElemID]bool) bool {
+	return subset(a, b) && len(a) < len(b)
+}
+
+func difference(a, b map[ElemID]bool) map[ElemID]bool {
+	out := make(map[ElemID]bool)
+	for e := range a {
+		if !b[e] {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+func formatSet(s map[ElemID]bool) string {
+	ids := make([]string, 0, len(s))
+	for e := range s {
+		ids = append(ids, string(e))
+	}
+	sort.Strings(ids)
+	return "{" + strings.Join(ids, ",") + "}"
+}
+
+// Outcome is the result of one iterator invocation, per §2.1: suspends
+// (yielded control normally, not yet terminated), returns (terminated
+// normally), fails (terminated with the failure exception). Blocked is the
+// additional observable of the Fig. 6 optimistic semantics: the invocation
+// did not complete because it is waiting for an unreachable element to
+// become reachable again.
+type Outcome int
+
+// Invocation outcomes.
+const (
+	Suspended Outcome = iota + 1
+	Returned
+	Failed
+	Blocked
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Suspended:
+		return "suspends"
+	case Returned:
+		return "returns"
+	case Failed:
+		return "fails"
+	case Blocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Invocation records one call (or resumption, or blocked poll) of the
+// elements iterator: the pre-state it observed, and what it did.
+type Invocation struct {
+	Pre      State
+	Yield    ElemID
+	HasYield bool
+	Outcome  Outcome
+}
+
+// Run is one complete use of the iterator: the first call through
+// termination (or as far as it got). First-state s_first is the pre-state
+// of the first invocation, per the paper's footnote 1.
+type Run struct {
+	Invocations []Invocation
+}
+
+// First returns s_first, the set's value in the state in which the iterator
+// was first called. It returns an empty state for an empty run.
+func (r Run) First() State {
+	if len(r.Invocations) == 0 {
+		return NewState(nil, nil)
+	}
+	return r.Invocations[0].Pre
+}
+
+// Yielded reconstructs the iterator's `yielded` history object just before
+// invocation i.
+func (r Run) Yielded(i int) map[ElemID]bool {
+	out := make(map[ElemID]bool)
+	for j := 0; j < i && j < len(r.Invocations); j++ {
+		if r.Invocations[j].HasYield {
+			out[r.Invocations[j].Yield] = true
+		}
+	}
+	return out
+}
+
+// Terminated reports whether the run reached a terminal outcome.
+func (r Run) Terminated() bool {
+	if len(r.Invocations) == 0 {
+		return false
+	}
+	last := r.Invocations[len(r.Invocations)-1].Outcome
+	return last == Returned || last == Failed
+}

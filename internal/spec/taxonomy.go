@@ -1,0 +1,77 @@
+package spec
+
+// The paper situates its design points in Garcia-Molina and Wiederhold's
+// taxonomy of read-only queries (§4): consistency is "the degree to which
+// application constraints on data can be satisfied" (set membership here)
+// and currency is "the version of the data returned by the query"
+// (mutability here). This file encodes that mapping so tools can label the
+// semantics the way the related-work literature would.
+
+// Consistency is the Garcia-Molina/Wiederhold consistency degree.
+type Consistency int
+
+// Consistency degrees.
+const (
+	// ConsistencyStrong is serializable behaviour.
+	ConsistencyStrong Consistency = iota + 1
+	// ConsistencyWeak permits bounded anomalies.
+	ConsistencyWeak
+	// ConsistencyNone makes no cross-element promises.
+	ConsistencyNone
+)
+
+// String implements fmt.Stringer.
+func (c Consistency) String() string {
+	switch c {
+	case ConsistencyStrong:
+		return "strong (serializable)"
+	case ConsistencyWeak:
+		return "weak"
+	case ConsistencyNone:
+		return "none"
+	default:
+		return "consistency(?)"
+	}
+}
+
+// Currency is the Garcia-Molina/Wiederhold currency class.
+type Currency int
+
+// Currency classes.
+const (
+	// CurrencyFirstVintage: the query sees the data as of its first
+	// operation.
+	CurrencyFirstVintage Currency = iota + 1
+	// CurrencyFirstBound: the query sees data no older than its first
+	// operation, but possibly newer.
+	CurrencyFirstBound
+)
+
+// String implements fmt.Stringer.
+func (c Currency) String() string {
+	switch c {
+	case CurrencyFirstVintage:
+		return "first-vintage"
+	case CurrencyFirstBound:
+		return "first-bound"
+	default:
+		return "currency(?)"
+	}
+}
+
+// Taxonomy classifies a figure per §4: "The specification in Figure 3
+// corresponds to a strong consistency (serializable), first-vintage query;
+// the one in Figure 4, to weak consistency, first-vintage. The other two
+// are both no consistency, first-bound under their taxonomy."
+func Taxonomy(fig Figure) (Consistency, Currency) {
+	switch fig {
+	case Fig1, Fig3:
+		return ConsistencyStrong, CurrencyFirstVintage
+	case Fig4:
+		return ConsistencyWeak, CurrencyFirstVintage
+	case Fig5, Fig6:
+		return ConsistencyNone, CurrencyFirstBound
+	default:
+		return 0, 0
+	}
+}

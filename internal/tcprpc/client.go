@@ -1,0 +1,111 @@
+package tcprpc
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClientClosed reports calls on a closed client.
+var ErrClientClosed = errors.New("tcprpc: client closed")
+
+// Client is a TCP connection to a Server. Calls are serialized on one
+// persistent gob stream; a transport error drops the connection and the
+// next call redials. Client is safe for concurrent use.
+type Client struct {
+	addr string
+	from string
+	// DialTimeout bounds connection establishment. Defaults to 5s.
+	DialTimeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	seq    uint64
+	closed bool
+}
+
+// Dial creates a client for the server at addr. `from` identifies the
+// caller to handlers (the node name handlers see). The connection is
+// established lazily on first call.
+func Dial(addr, from string) *Client {
+	registerWireTypes()
+	return &Client{addr: addr, from: from, DialTimeout: 5 * time.Second}
+}
+
+// Close shuts the connection down; in-flight calls fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.dropLocked()
+}
+
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+		c.enc = nil
+		c.dec = nil
+	}
+}
+
+func (c *Client) ensureLocked() error {
+	if c.closed {
+		return ErrClientClosed
+	}
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("tcprpc: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// Call performs one RPC. The context's deadline, if any, is applied to the
+// socket for this call.
+func (c *Client) Call(ctx context.Context, method string, req any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.ensureLocked(); err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = c.conn.SetDeadline(deadline)
+	} else {
+		_ = c.conn.SetDeadline(time.Time{})
+	}
+
+	c.seq++
+	out := request{Seq: c.seq, From: c.from, Method: method, Body: req}
+	if err := c.enc.Encode(&out); err != nil {
+		c.dropLocked()
+		return nil, fmt.Errorf("tcprpc: send %s: %w", method, err)
+	}
+	var in response
+	if err := c.dec.Decode(&in); err != nil {
+		c.dropLocked()
+		return nil, fmt.Errorf("tcprpc: recv %s: %w", method, err)
+	}
+	if in.Seq != out.Seq {
+		c.dropLocked()
+		return nil, fmt.Errorf("tcprpc: %s: response out of sequence (%d != %d)", method, in.Seq, out.Seq)
+	}
+	if in.IsErr {
+		return nil, decodeErr(in.ErrText, in.ErrCode)
+	}
+	return in.Body, nil
+}

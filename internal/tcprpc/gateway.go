@@ -1,0 +1,52 @@
+package tcprpc
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/rpc"
+)
+
+// Gateway splices a TCP-served remote server into a simulated cluster: it
+// registers an rpc.Server on the given node whose handlers forward every
+// listed method over the wire. To the rest of the cluster — weak sets,
+// dynamic sets, queries — the remote process is just another node, still
+// subject to the simulated network's latency and partitions on the local
+// leg.
+type Gateway struct {
+	client *Client
+	node   netsim.NodeID
+	// CallTimeout bounds each forwarded call. Defaults to 10s.
+	CallTimeout time.Duration
+}
+
+// NewGateway registers the gateway on bus at node, proxying methods to the
+// remote client. The node must already exist in the bus's network.
+func NewGateway(bus *rpc.Bus, node netsim.NodeID, client *Client, methods []string) (*Gateway, error) {
+	g := &Gateway{
+		client:      client,
+		node:        node,
+		CallTimeout: 10 * time.Second,
+	}
+	srv := rpc.NewServer(node)
+	for _, method := range methods {
+		method := method
+		srv.Handle(method, func(from netsim.NodeID, req any) (any, error) {
+			ctx, cancel := context.WithTimeout(context.Background(), g.CallTimeout)
+			defer cancel()
+			return g.client.Call(ctx, method, req)
+		})
+	}
+	if err := bus.Register(srv); err != nil {
+		return nil, fmt.Errorf("tcprpc: gateway at %s: %w", node, err)
+	}
+	return g, nil
+}
+
+// Node reports the cluster node the gateway impersonates.
+func (g *Gateway) Node() netsim.NodeID { return g.node }
+
+// Close closes the underlying connection.
+func (g *Gateway) Close() { g.client.Close() }

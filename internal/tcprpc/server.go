@@ -1,0 +1,117 @@
+package tcprpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/rpc"
+)
+
+// Server serves an rpc.Server's dispatch table over TCP.
+type Server struct {
+	lis      net.Listener
+	dispatch *rpc.Server
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving dispatch on addr ("127.0.0.1:0" for an ephemeral
+// port) and returns immediately; use Addr for the bound address and Close
+// to stop.
+func Serve(addr string, dispatch *rpc.Server) (*Server, error) {
+	registerWireTypes()
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcprpc: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		lis:      lis,
+		dispatch: dispatch,
+		conns:    make(map[net.Conn]bool),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the listener's address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting, closes every connection, and waits for the
+// serving goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	_ = s.lis.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Peer went away mid-frame or sent garbage; either way the
+				// stream is unusable.
+				return
+			}
+			return
+		}
+		body, err := s.dispatch.Dispatch(netsim.NodeID(req.From), req.Method, req.Body)
+		resp := response{Seq: req.Seq, Body: body}
+		if err != nil {
+			resp.IsErr = true
+			resp.ErrText, resp.ErrCode = encodeErr(err)
+			resp.Body = nil
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Package tcprpc carries the same RPC surface as internal/rpc over real
+// TCP sockets with gob encoding. It exists to show the weak-set stack is
+// not tied to the simulator: a repository server can be served from a
+// separate process over the wire, and a Gateway splices such a remote
+// server into a simulated cluster as an ordinary node, so weak sets and
+// dynamic sets iterate over it unchanged.
+//
+// The protocol is a persistent gob stream per connection carrying
+// sequence-numbered request/response envelopes. Well-known sentinel errors
+// (repo.ErrNotFound and friends) are mapped to wire codes so errors.Is
+// keeps working across the socket.
+package tcprpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"weaksets/internal/locksvc"
+	"weaksets/internal/repo"
+	"weaksets/internal/rpc"
+)
+
+// request is one call envelope.
+type request struct {
+	Seq    uint64
+	From   string
+	Method string
+	Body   any
+}
+
+// response is one reply envelope.
+type response struct {
+	Seq     uint64
+	Body    any
+	ErrText string
+	ErrCode string
+	IsErr   bool
+}
+
+// sentinelCodes maps well-known errors onto stable wire codes.
+var sentinelCodes = []struct {
+	code string
+	err  error
+}{
+	{code: "repo.not_found", err: repo.ErrNotFound},
+	{code: "repo.no_collection", err: repo.ErrNoCollection},
+	{code: "repo.collection_exists", err: repo.ErrCollectionExists},
+	{code: "repo.bad_pin", err: repo.ErrBadPin},
+	{code: "repo.bad_token", err: repo.ErrBadToken},
+	{code: "lock.not_held", err: locksvc.ErrNotHeld},
+	{code: "rpc.no_method", err: rpc.ErrNoMethod},
+}
+
+// encodeErr maps err onto (text, code) for the wire.
+func encodeErr(err error) (string, string) {
+	if err == nil {
+		return "", ""
+	}
+	for _, s := range sentinelCodes {
+		if errors.Is(err, s.err) {
+			return err.Error(), s.code
+		}
+	}
+	return err.Error(), ""
+}
+
+// decodeErr reconstructs an error from the wire so sentinel matching
+// works on the client side.
+func decodeErr(text, code string) error {
+	if code != "" {
+		for _, s := range sentinelCodes {
+			if s.code == code {
+				return fmt.Errorf("%s (remote: %w)", text, s.err)
+			}
+		}
+	}
+	return errors.New(text)
+}
+
+// registerWireTypes registers every concrete type that can ride in a
+// request or response body. gob requires this once per process; the
+// encoder/decoder constructors call it.
+func registerWireTypes() {
+	gob.Register(struct{}{})
+	// Repository wire types.
+	gob.Register(repo.GetReq{})
+	gob.Register(repo.PutReq{})
+	gob.Register(repo.PutResp{})
+	gob.Register(repo.DeleteReq{})
+	gob.Register(repo.CreateReq{})
+	gob.Register(repo.ListReq{})
+	gob.Register(repo.ListResp{})
+	gob.Register(repo.AddReq{})
+	gob.Register(repo.RemoveReq{})
+	gob.Register(repo.RemoveResp{})
+	gob.Register(repo.MutateResp{})
+	gob.Register(repo.PinReq{})
+	gob.Register(repo.PinResp{})
+	gob.Register(repo.UnpinReq{})
+	gob.Register(repo.BeginGrowReq{})
+	gob.Register(repo.BeginGrowResp{})
+	gob.Register(repo.EndGrowReq{})
+	gob.Register(repo.EndGrowResp{})
+	gob.Register(repo.StatsReq{})
+	gob.Register(repo.StatsResp{})
+	gob.Register(repo.SyncReq{})
+	gob.Register(repo.Object{})
+	// Lock service wire types.
+	gob.Register(locksvc.AcquireReq{})
+	gob.Register(locksvc.AcquireResp{})
+	gob.Register(locksvc.ReleaseReq{})
+}
+
+// RepoMethods is the full repository method surface, for gateways that
+// proxy a remote repository server.
+func RepoMethods() []string {
+	return []string{
+		repo.MethodGet,
+		repo.MethodPut,
+		repo.MethodDelete,
+		repo.MethodCreate,
+		repo.MethodList,
+		repo.MethodAdd,
+		repo.MethodRemove,
+		repo.MethodPin,
+		repo.MethodUnpin,
+		repo.MethodBeginGrow,
+		repo.MethodEndGrow,
+		repo.MethodStats,
+		repo.MethodSync,
+	}
+}

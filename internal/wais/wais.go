@@ -1,0 +1,155 @@
+// Package wais builds wide-area information-system corpora matching the
+// paper's three motivating scenarios (§1): the .face files of everyone on a
+// home page, a library information system's papers-by-author query, and
+// the on-line menus of a city's restaurants. Objects are scattered over
+// storage nodes — optionally Zipf-skewed, since real repositories
+// concentrate on popular servers — and collected into a repository
+// collection a weak set can iterate.
+package wais
+
+import (
+	"context"
+	"fmt"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/netsim"
+	"weaksets/internal/repo"
+	"weaksets/internal/sim"
+)
+
+// Corpus is a built scenario: the collection and its member refs.
+type Corpus struct {
+	Dir  netsim.NodeID
+	Coll string
+	Refs []repo.Ref
+}
+
+// Spec describes a corpus to build.
+type Spec struct {
+	// Coll names the collection (created on the cluster's DirNode).
+	Coll string
+	// N is the number of objects.
+	N int
+	// Size is each object's payload size in bytes.
+	Size int
+	// IDFmt formats object IDs from their index; defaults to
+	// "<coll>-%04d".
+	IDFmt string
+	// Attrs, when set, supplies per-object attributes.
+	Attrs func(i int) map[string]string
+	// ZipfPlacement, when > 0, skews object placement over the storage
+	// nodes with this exponent; otherwise placement is round-robin.
+	ZipfPlacement float64
+}
+
+// Build creates the objects and collection described by sp.
+func Build(ctx context.Context, c *cluster.Cluster, sp Spec) (Corpus, error) {
+	if sp.IDFmt == "" {
+		sp.IDFmt = sp.Coll + "-%04d"
+	}
+	if err := c.Client.CreateCollection(ctx, cluster.DirNode, sp.Coll); err != nil {
+		return Corpus{}, fmt.Errorf("wais: %w", err)
+	}
+	var zipf *sim.Zipf
+	if sp.ZipfPlacement > 0 {
+		zipf = sim.NewZipf(len(c.Storage), sp.ZipfPlacement)
+	}
+	refs := make([]repo.Ref, 0, sp.N)
+	for i := 0; i < sp.N; i++ {
+		node := c.StorageFor(i)
+		if zipf != nil {
+			node = c.Storage[zipf.Rank(c.Rand)]
+		}
+		obj := repo.Object{
+			ID:   repo.ObjectID(fmt.Sprintf(sp.IDFmt, i)),
+			Data: make([]byte, sp.Size),
+		}
+		if sp.Attrs != nil {
+			obj.Attrs = sp.Attrs(i)
+		}
+		ref, err := c.Client.Put(ctx, node, obj)
+		if err != nil {
+			return Corpus{}, fmt.Errorf("wais: put %q: %w", obj.ID, err)
+		}
+		if err := c.Client.Add(ctx, cluster.DirNode, sp.Coll, ref); err != nil {
+			return Corpus{}, fmt.Errorf("wais: add %q: %w", obj.ID, err)
+		}
+		refs = append(refs, ref)
+	}
+	return Corpus{Dir: cluster.DirNode, Coll: sp.Coll, Refs: refs}, nil
+}
+
+// Departments used by the faces scenario.
+var Departments = []string{"cs", "ece", "ml", "ri", "hcii"}
+
+// BuildFaces builds the "display the .face files of all people listed on
+// the home page" scenario: n small image objects tagged with a department.
+func BuildFaces(ctx context.Context, c *cluster.Cluster, n int) (Corpus, error) {
+	return Build(ctx, c, Spec{
+		Coll: "faces",
+		N:    n,
+		Size: 1024,
+		Attrs: func(i int) map[string]string {
+			return map[string]string{
+				"dept": Departments[i%len(Departments)],
+				"user": fmt.Sprintf("user%03d", i),
+			}
+		},
+	})
+}
+
+// BuildLibrary builds the library-information-system scenario: papers by a
+// set of authors, Zipf-placed on storage nodes (popular archives hold
+// more). The collection holds every paper; Attrs["author"] supports the
+// papers-by-author query.
+func BuildLibrary(ctx context.Context, c *cluster.Cluster, authors []string, papersPerAuthor int) (Corpus, error) {
+	n := len(authors) * papersPerAuthor
+	return Build(ctx, c, Spec{
+		Coll:          "lis",
+		N:             n,
+		Size:          4096,
+		ZipfPlacement: 1.2,
+		Attrs: func(i int) map[string]string {
+			return map[string]string{
+				"author": authors[i/papersPerAuthor],
+				"year":   fmt.Sprintf("%d", 1980+i%15),
+			}
+		},
+	})
+}
+
+// Cuisines used by the restaurants scenario.
+var Cuisines = []string{"chinese", "thai", "italian", "diner", "indian"}
+
+// BuildRestaurants builds the "menus of all Chinese restaurants in
+// Pittsburgh" scenario: n menu objects tagged with a cuisine.
+func BuildRestaurants(ctx context.Context, c *cluster.Cluster, n int) (Corpus, error) {
+	return Build(ctx, c, Spec{
+		Coll: "menus",
+		N:    n,
+		Size: 2048,
+		Attrs: func(i int) map[string]string {
+			return map[string]string{
+				"cuisine": Cuisines[i%len(Cuisines)],
+				"name":    fmt.Sprintf("restaurant-%03d", i),
+			}
+		},
+	})
+}
+
+// FilterAttr selects the refs whose object attribute matches. It reads
+// each object, so it models the client-side predicate evaluation a weak
+// set query performs.
+func FilterAttr(ctx context.Context, client *repo.Client, refs []repo.Ref, key, want string) ([]repo.Ref, error) {
+	var out []repo.Ref
+	for _, ref := range refs {
+		obj, err := client.Get(ctx, ref)
+		if err != nil {
+			return out, err
+		}
+		if obj.Attrs[key] == want {
+			out = append(out, ref)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package wais
+
+import (
+	"context"
+	"testing"
+
+	"weaksets/internal/cluster"
+)
+
+func newCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{StorageNodes: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestBuildGeneric(t *testing.T) {
+	c := newCluster(t)
+	ctx := context.Background()
+	corpus, err := Build(ctx, c, Spec{Coll: "g", N: 10, Size: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Refs) != 10 {
+		t.Fatalf("refs = %d", len(corpus.Refs))
+	}
+	members, _, err := c.Client.List(ctx, corpus.Dir, corpus.Coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 10 {
+		t.Fatalf("members = %d", len(members))
+	}
+	obj, err := c.Client.Get(ctx, corpus.Refs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obj.Data) != 16 {
+		t.Fatalf("data size = %d", len(obj.Data))
+	}
+}
+
+func TestBuildFaces(t *testing.T) {
+	c := newCluster(t)
+	ctx := context.Background()
+	corpus, err := BuildFaces(ctx, c, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := c.Client.Get(ctx, corpus.Refs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Attrs["dept"] == "" || obj.Attrs["user"] == "" {
+		t.Fatalf("attrs = %v", obj.Attrs)
+	}
+}
+
+func TestBuildLibraryZipfPlacement(t *testing.T) {
+	c := newCluster(t)
+	ctx := context.Background()
+	corpus, err := BuildLibrary(ctx, c, []string{"wing", "steere", "liskov"}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Refs) != 60 {
+		t.Fatalf("refs = %d", len(corpus.Refs))
+	}
+	// Zipf placement must skew: the most-loaded node should hold clearly
+	// more than the least-loaded one.
+	counts := make(map[string]int)
+	for _, ref := range corpus.Refs {
+		counts[string(ref.Node)]++
+	}
+	max, min := 0, len(corpus.Refs)
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+		if n < min {
+			min = n
+		}
+	}
+	if max <= min {
+		t.Fatalf("placement not skewed: %v", counts)
+	}
+	// The papers-by-author query finds exactly that author's papers.
+	papers, err := FilterAttr(ctx, c.Client, corpus.Refs, "author", "wing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(papers) != 20 {
+		t.Fatalf("papers by wing = %d, want 20", len(papers))
+	}
+}
+
+func TestBuildRestaurantsFilter(t *testing.T) {
+	c := newCluster(t)
+	ctx := context.Background()
+	corpus, err := BuildRestaurants(ctx, c, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chinese, err := FilterAttr(ctx, c.Client, corpus.Refs, "cuisine", "chinese")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chinese) != 5 {
+		t.Fatalf("chinese = %d, want 5 of 25", len(chinese))
+	}
+}
+
+func TestBuildDuplicateCollection(t *testing.T) {
+	c := newCluster(t)
+	ctx := context.Background()
+	if _, err := Build(ctx, c, Spec{Coll: "dup", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(ctx, c, Spec{Coll: "dup", N: 1}); err == nil {
+		t.Fatal("duplicate collection accepted")
+	}
+}
+
+func TestFilterAttrUnreachable(t *testing.T) {
+	c := newCluster(t)
+	ctx := context.Background()
+	corpus, err := Build(ctx, c, Spec{Coll: "f", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Net.Isolate(c.Storage[0])
+	if _, err := FilterAttr(ctx, c.Client, corpus.Refs, "k", "v"); err == nil {
+		t.Fatal("filter over partition succeeded")
+	}
+}

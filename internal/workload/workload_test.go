@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/repo"
+	"weaksets/internal/sim"
+)
+
+func newCluster(t *testing.T, scale sim.TimeScale) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{StorageNodes: 3, Seed: 5, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Client.CreateCollection(context.Background(), cluster.DirNode, "w"); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMutatorAddsAndRemoves(t *testing.T) {
+	c := newCluster(t, 0.0001) // 10ms virtual -> 1µs real
+	m := NewMutator(MutatorConfig{
+		Client:      c.Client,
+		Dir:         cluster.DirNode,
+		Coll:        "w",
+		AddEvery:    5 * time.Millisecond,
+		RemoveEvery: 20 * time.Millisecond,
+		ObjectNodes: c.Storage,
+		ObjectSize:  32,
+		IDPrefix:    "t",
+		Rand:        sim.NewRand(1),
+	})
+	m.Start(context.Background())
+	time.Sleep(30 * time.Millisecond) // plenty of virtual time
+	m.Stop()
+
+	added, removed := m.Added(), m.Removed()
+	if len(added) == 0 {
+		t.Fatal("no additions")
+	}
+	if len(removed) == 0 {
+		t.Fatal("no removals")
+	}
+	if len(removed) >= len(added) {
+		t.Fatalf("removed %d >= added %d despite 4x slower removal", len(removed), len(added))
+	}
+	// Events are timestamped monotonically.
+	for i := 1; i < len(added); i++ {
+		if added[i].At < added[i-1].At {
+			t.Fatal("addition timestamps not monotone")
+		}
+	}
+	// Live membership equals additions minus removals.
+	members, _, err := c.Client.List(context.Background(), cluster.DirNode, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != len(added)-len(removed) {
+		t.Fatalf("members = %d, added-removed = %d", len(members), len(added)-len(removed))
+	}
+}
+
+func TestMutatorAddOnly(t *testing.T) {
+	c := newCluster(t, 0.0001)
+	m := NewMutator(MutatorConfig{
+		Client:      c.Client,
+		Dir:         cluster.DirNode,
+		Coll:        "w",
+		AddEvery:    2 * time.Millisecond,
+		ObjectNodes: c.Storage,
+		IDPrefix:    "g",
+		Rand:        sim.NewRand(2),
+	})
+	m.Start(context.Background())
+	time.Sleep(20 * time.Millisecond)
+	m.Stop()
+	if len(m.Added()) == 0 {
+		t.Fatal("no additions")
+	}
+	if len(m.Removed()) != 0 {
+		t.Fatal("removals despite RemoveEvery=0")
+	}
+}
+
+func TestMutatorNoOpsConfigured(t *testing.T) {
+	c := newCluster(t, 0)
+	m := NewMutator(MutatorConfig{
+		Client:      c.Client,
+		Dir:         cluster.DirNode,
+		Coll:        "w",
+		ObjectNodes: c.Storage,
+		Rand:        sim.NewRand(3),
+	})
+	m.Start(context.Background())
+	m.Stop() // must return promptly: nothing to do
+}
+
+func TestMutatorRemovesFromInitialPool(t *testing.T) {
+	c := newCluster(t, 0.0001)
+	ctx := context.Background()
+	ref, err := c.Client.Put(ctx, c.Storage[0], repo.Object{ID: "seed", Data: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Add(ctx, cluster.DirNode, "w", ref); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMutator(MutatorConfig{
+		Client:      c.Client,
+		Dir:         cluster.DirNode,
+		Coll:        "w",
+		RemoveEvery: time.Millisecond,
+		ObjectNodes: c.Storage,
+		Initial:     []repo.Ref{ref},
+		Rand:        sim.NewRand(4),
+	})
+	m.Start(ctx)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(m.Removed()) > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Stop()
+	if len(m.Removed()) != 1 {
+		t.Fatalf("removed = %d, want 1", len(m.Removed()))
+	}
+	members, _, err := c.Client.List(ctx, cluster.DirNode, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 0 {
+		t.Fatalf("members = %v", members)
+	}
+}
+
+func TestFlakyInjectsAndHeals(t *testing.T) {
+	c := newCluster(t, 0.0001)
+	f := NewFlaky(FlakyConfig{
+		Net:       c.Net,
+		Victims:   c.Storage,
+		Every:     time.Millisecond,
+		OutageFor: 2 * time.Millisecond,
+		POutage:   1.0,
+		Rand:      sim.NewRand(5),
+	})
+	f.Start(context.Background())
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && f.Outages() < 3 {
+		time.Sleep(time.Millisecond)
+	}
+	f.Stop()
+	if f.Outages() < 3 {
+		t.Fatalf("outages = %d, want >= 3", f.Outages())
+	}
+	// Stop heals everything.
+	for _, v := range c.Storage {
+		if !c.Net.Reachable(cluster.HomeNode, v) {
+			t.Fatalf("node %s still isolated after Stop", v)
+		}
+	}
+}
+
+func TestFlakyZeroProbabilityNeverInjects(t *testing.T) {
+	c := newCluster(t, 0.0001)
+	f := NewFlaky(FlakyConfig{
+		Net:       c.Net,
+		Victims:   c.Storage,
+		Every:     time.Millisecond,
+		OutageFor: time.Millisecond,
+		POutage:   0,
+		Rand:      sim.NewRand(6),
+	})
+	f.Start(context.Background())
+	time.Sleep(10 * time.Millisecond)
+	f.Stop()
+	if f.Outages() != 0 {
+		t.Fatalf("outages = %d, want 0", f.Outages())
+	}
+}
