@@ -1,0 +1,37 @@
+# Pre-PR gate for the weak-sets repo. `make check` is what every change
+# must pass before review: vet, build, the full test suite under the race
+# detector, and a smoke run of the storage-engine contention benchmark.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-store bench sweep clean
+
+check: vet build race bench-store
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Smoke the engine comparison: a few hundred iterations per engine is
+# enough to catch regressions in the parallel List/Get hot path.
+bench-store:
+	$(GO) test -run xxx -bench BenchmarkStoreContention -benchtime 2000x .
+
+# Full root benchmark suite (slow).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Regenerate BENCH_store.json from the full contention sweep.
+sweep:
+	$(GO) run ./cmd/weakbench -store
+
+clean:
+	$(GO) clean ./...

@@ -17,6 +17,7 @@ import (
 	"weaksets/internal/repo"
 	"weaksets/internal/sim"
 	"weaksets/internal/spec"
+	"weaksets/internal/store"
 )
 
 func benchConfig(seed int64) experiments.Config {
@@ -248,5 +249,53 @@ func BenchmarkLatencyScaling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		scale.Sleep(10 * time.Millisecond)
+	}
+}
+
+// BenchmarkStoreContention compares the storage engines on the read-heavy
+// parallel mix the directory node serves (List + Get with occasional
+// writes). The single-mutex baseline serializes every List; the sharded
+// engine answers List from an atomic copy-on-write snapshot, so its
+// throughput should scale with GOMAXPROCS. cmd/weakbench -store runs the
+// full worker sweep and writes BENCH_store.json.
+func BenchmarkStoreContention(b *testing.B) {
+	const (
+		objects = 1024
+		members = 256
+	)
+	for _, engine := range []string{"locked", "sharded"} {
+		b.Run(engine, func(b *testing.B) {
+			st, err := store.NewEngine(engine, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := store.SeedContention(st, store.ContentionConfig{Objects: objects, Members: members}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					i++
+					switch {
+					case i%64 == 0:
+						id := store.ObjectID(fmt.Sprintf("o%04d", i%objects))
+						if _, err := st.PutObject(store.Object{ID: id, Data: []byte("w")}); err != nil {
+							b.Fatal(err)
+						}
+					case i%8 < 5:
+						if _, _, err := st.List("bench"); err != nil {
+							b.Fatal(err)
+						}
+					default:
+						id := store.ObjectID(fmt.Sprintf("o%04d", i%objects))
+						if _, err := st.GetObject(id); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		})
 	}
 }

@@ -1,21 +1,28 @@
 // Command weakbench runs the weak-sets evaluation: every experiment E1–E8
 // from DESIGN.md §4 (the evaluation the paper promises in §5), printing one
-// table per experiment.
+// table per experiment. With -store it instead sweeps the storage-engine
+// contention benchmark (locked vs sharded across worker counts) and writes
+// the machine-readable results to BENCH_store.json.
 //
 // Usage:
 //
 //	weakbench [-run E1,E5] [-quick] [-seed 42] [-scale 0.01]
+//	weakbench -store [-store-json BENCH_store.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"weaksets/internal/experiments"
+	"weaksets/internal/metrics"
 	"weaksets/internal/sim"
+	"weaksets/internal/store"
 )
 
 func main() {
@@ -35,9 +42,16 @@ func run(args []string) error {
 		scale     = fs.Float64("scale", 0.01, "virtual-to-real time scale (0.01 = 100x compression)")
 		csvOut    = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		list      = fs.Bool("list", false, "list experiments and exit")
+		storeRun  = fs.Bool("store", false, "run the storage-engine contention sweep instead of experiments")
+		storeJSON = fs.String("store-json", "BENCH_store.json", "where -store writes its machine-readable results")
+		storeQk   = fs.Bool("store-quick", false, "trim the -store sweep (fewer ops per worker)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *storeRun {
+		return runStoreSweep(*storeJSON, *storeQk)
 	}
 
 	if *list {
@@ -88,4 +102,94 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// storeReport is the BENCH_store.json document: one contention sweep over
+// both engines at increasing worker counts.
+type storeReport struct {
+	GOMAXPROCS int                      `json:"gomaxprocs"`
+	Config     store.ContentionConfig   `json:"config"`
+	Results    []store.ContentionResult `json:"results"`
+}
+
+// runStoreSweep measures locked vs sharded throughput on the read-heavy
+// List+Get mix at 1..GOMAXPROCS workers and writes the results to
+// jsonPath. The sharded engine should scale with workers; the
+// single-mutex baseline should flatten.
+func runStoreSweep(jsonPath string, quick bool) error {
+	base := store.ContentionConfig{
+		Objects:      1024,
+		Members:      256,
+		OpsPerWorker: 100000,
+		WriteEvery:   64,
+	}
+	if quick {
+		base.OpsPerWorker = 20000
+	}
+
+	// Sweep past GOMAXPROCS so lock contention shows even on small
+	// machines: oversubscribed workers still pile up on the global mutex.
+	procs := runtime.GOMAXPROCS(0)
+	maxWorkers := procs
+	if maxWorkers < 8 {
+		maxWorkers = 8
+	}
+	var workerCounts []int
+	for w := 1; w < maxWorkers; w *= 2 {
+		workerCounts = append(workerCounts, w)
+	}
+	workerCounts = append(workerCounts, maxWorkers)
+
+	report := storeReport{GOMAXPROCS: procs, Config: base}
+	table := metrics.NewTable(
+		fmt.Sprintf("Store contention: List+Get mix, 1/%d writes (GOMAXPROCS=%d)", base.WriteEvery, procs),
+		"engine", "workers", "ops/sec", "list p50", "list p99", "get p50", "get p99")
+	for _, engine := range []string{"locked", "sharded"} {
+		for _, workers := range workerCounts {
+			cfg := base
+			cfg.Engine = engine
+			cfg.Workers = workers
+			res, err := store.RunContention(cfg)
+			if err != nil {
+				return fmt.Errorf("store sweep %s/%d: %w", engine, workers, err)
+			}
+			report.Results = append(report.Results, res)
+			perOp := map[string]store.OpStats{}
+			for _, op := range res.PerOp {
+				perOp[op.Op] = op
+			}
+			table.AddRow(
+				engine,
+				fmt.Sprintf("%d", workers),
+				fmt.Sprintf("%.0f", res.OpsPerSec),
+				fmtLat(perOp["list"].P50),
+				fmtLat(perOp["list"].P99),
+				fmtLat(perOp["get"].P50),
+				fmtLat(perOp["get"].P99),
+			)
+		}
+	}
+	table.Render(os.Stdout)
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return fmt.Errorf("store sweep: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return fmt.Errorf("store sweep: encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store sweep: %w", err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", jsonPath, len(report.Results))
+	return nil
+}
+
+// fmtLat renders an engine-op latency; these are sub-millisecond, so use
+// microseconds rather than the table default.
+func fmtLat(d time.Duration) string {
+	return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
 }

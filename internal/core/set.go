@@ -10,6 +10,7 @@ import (
 	"weaksets/internal/netsim"
 	"weaksets/internal/repo"
 	"weaksets/internal/spec"
+	"weaksets/internal/store"
 )
 
 // Element is one yielded member of a weak set: its repository location and
@@ -164,6 +165,20 @@ func (s *Set) Collect(ctx context.Context) ([]Element, error) {
 		out = append(out, it.Element())
 	}
 	return out, it.Err()
+}
+
+// Stats fetches the directory's counters for this set's collection:
+// membership size, ghost copies, pinned snapshots, and open grow
+// windows — the observability hook behind the E8 ghost accounting.
+func (s *Set) Stats(ctx context.Context) (repo.StatsResp, error) {
+	return s.client.Stats(ctx, s.dir, s.name)
+}
+
+// StoreStats fetches the storage-engine instrumentation of the
+// directory node serving this set: per-operation counts and latency
+// quantiles from the engine the collection lives in.
+func (s *Set) StoreStats(ctx context.Context) (store.EngineStats, error) {
+	return s.client.StoreStats(ctx, s.dir)
 }
 
 // lockClient builds the per-run lock client for ImmutablePerRun.

@@ -7,6 +7,7 @@
 //	GET /specs/{figure}                the formal spec text
 //	GET /collections/{coll}            membership listing (one round trip)
 //	GET /query?coll=&q=&sem=           streamed NDJSON query results
+//	GET /stats[?coll=]                 directory storage-engine counters
 //
 // Query results stream one JSON object per element as it is yielded — the
 // HTTP rendition of the paper's incremental retrieval — and end with a
@@ -56,6 +57,7 @@ func New(client *repo.Client, dir, lockNode netsim.NodeID) *Gateway {
 	g.mux.HandleFunc("GET /specs/{figure}", g.handleSpec)
 	g.mux.HandleFunc("GET /collections/{coll}", g.handleCollection)
 	g.mux.HandleFunc("GET /query", g.handleQuery)
+	g.mux.HandleFunc("GET /stats", g.handleStats)
 	return g
 }
 
@@ -159,6 +161,86 @@ type summaryRecord struct {
 	Matches  int    `json:"matches"`
 	Examined int    `json:"examined"`
 	Error    string `json:"error,omitempty"`
+}
+
+// opInfo is one engine operation in the /stats body; latencies are
+// reported in milliseconds for dashboard friendliness.
+type opInfo struct {
+	Op     string  `json:"op"`
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// collStatsInfo is the optional per-collection block of /stats.
+type collStatsInfo struct {
+	Collection string `json:"collection"`
+	Members    int    `json:"members"`
+	Ghosts     int    `json:"ghosts"`
+	Pins       int    `json:"pins"`
+	Tokens     int    `json:"tokens"`
+	Version    uint64 `json:"version"`
+}
+
+// handleStats reports the directory node's storage-engine counters —
+// per-operation counts and latency quantiles — plus, with ?coll=, one
+// collection's membership counters.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	es, err := g.client.StoreStats(r.Context(), g.dir)
+	if err != nil {
+		jsonError(w, http.StatusBadGateway, "store stats: %v", err)
+		return
+	}
+	out := struct {
+		Node        string         `json:"node"`
+		Engine      string         `json:"engine"`
+		Shards      int            `json:"shards"`
+		Objects     int            `json:"objects"`
+		Collections int            `json:"collections"`
+		Ops         []opInfo       `json:"ops"`
+		Collection  *collStatsInfo `json:"collectionStats,omitempty"`
+	}{
+		Node:        string(g.dir),
+		Engine:      es.Engine,
+		Shards:      es.Shards,
+		Objects:     es.Objects,
+		Collections: es.Collections,
+		Ops:         make([]opInfo, 0, len(es.Ops)),
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, op := range es.Ops {
+		out.Ops = append(out.Ops, opInfo{
+			Op:     op.Op,
+			Count:  op.Count,
+			Errors: op.Errors,
+			MeanMs: ms(op.Mean),
+			P50Ms:  ms(op.P50),
+			P99Ms:  ms(op.P99),
+		})
+	}
+	if coll := r.URL.Query().Get("coll"); coll != "" {
+		cs, err := g.client.Stats(r.Context(), g.dir, coll)
+		if err != nil {
+			status := http.StatusBadGateway
+			if errors.Is(err, repo.ErrNoCollection) {
+				status = http.StatusNotFound
+			}
+			jsonError(w, status, "stats %q: %v", coll, err)
+			return
+		}
+		out.Collection = &collStatsInfo{
+			Collection: coll,
+			Members:    cs.Members,
+			Ghosts:     cs.Ghosts,
+			Pins:       cs.Pins,
+			Tokens:     cs.Tokens,
+			Version:    cs.Version,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
 }
 
 func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {

@@ -243,3 +243,57 @@ func TestQueryAllSemanticsOverHTTP(t *testing.T) {
 		})
 	}
 }
+
+func TestStatsEndpoint(t *testing.T) {
+	w := newGWWorld(t)
+	// Drive some traffic so the engine has counters to report.
+	if _, body := w.get(t, "/collections/menus"); len(body) == 0 {
+		t.Fatal("empty listing")
+	}
+
+	resp, body := w.get(t, "/stats?coll=menus")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Node    string `json:"node"`
+		Engine  string `json:"engine"`
+		Shards  int    `json:"shards"`
+		Objects int    `json:"objects"`
+		Ops     []struct {
+			Op    string  `json:"op"`
+			Count int64   `json:"count"`
+			P99Ms float64 `json:"p99Ms"`
+		} `json:"ops"`
+		Collection *struct {
+			Collection string `json:"collection"`
+			Members    int    `json:"members"`
+		} `json:"collectionStats"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Engine != "sharded" || out.Shards < 1 {
+		t.Fatalf("engine = %q shards = %d", out.Engine, out.Shards)
+	}
+	lists := int64(0)
+	for _, op := range out.Ops {
+		if op.Op == "list" {
+			lists = op.Count
+		}
+	}
+	if lists == 0 {
+		t.Fatalf("no list ops counted: %s", body)
+	}
+	if out.Collection == nil || out.Collection.Members != 20 {
+		t.Fatalf("collection stats = %+v", out.Collection)
+	}
+
+	// Unknown collection → 404; bare /stats (no coll) → 200.
+	if resp, _ := w.get(t, "/stats?coll=nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing coll status = %d", resp.StatusCode)
+	}
+	if resp, _ := w.get(t, "/stats"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("bare stats status = %d", resp.StatusCode)
+	}
+}

@@ -13,57 +13,126 @@ import (
 	"time"
 )
 
+// DefaultReservoir is the sample bound a zero-value Histogram uses.
+const DefaultReservoir = 4096
+
 // Histogram accumulates duration samples. It is safe for concurrent use.
+// Count, Sum, Mean, Min, and Max are exact over every recorded sample;
+// quantiles are computed over a bounded reservoir (Vitter's algorithm R)
+// so memory stays fixed no matter how long the run. Below the bound the
+// reservoir holds every sample and quantiles are exact too. The zero
+// value is ready to use with the DefaultReservoir bound; NewHistogram
+// picks a custom bound.
 type Histogram struct {
 	mu      sync.Mutex
+	limit   int
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
 	samples []time.Duration
+	rng     uint64
+}
+
+// NewHistogram creates a histogram whose reservoir keeps at most the
+// given number of samples (values < 1 select DefaultReservoir).
+func NewHistogram(reservoir int) *Histogram {
+	if reservoir < 1 {
+		reservoir = DefaultReservoir
+	}
+	return &Histogram{limit: reservoir}
+}
+
+func (h *Histogram) bound() int {
+	if h.limit < 1 {
+		return DefaultReservoir
+	}
+	return h.limit
 }
 
 // Record adds one sample.
 func (h *Histogram) Record(d time.Duration) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.samples = append(h.samples, d)
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	bound := h.bound()
+	if len(h.samples) < bound {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Reservoir full: replace a random slot so every sample seen so far
+	// had equal probability bound/count of surviving.
+	if idx := h.randN(h.count); idx < int64(bound) {
+		h.samples[idx] = d
+	}
 }
 
-// Count reports the number of samples.
+// randN returns a pseudo-random int in [0, n) from an embedded
+// xorshift64* stream (no global rand, deterministic per histogram).
+func (h *Histogram) randN(n int64) int64 {
+	if h.rng == 0 {
+		h.rng = 0x9E3779B97F4A7C15
+	}
+	h.rng ^= h.rng >> 12
+	h.rng ^= h.rng << 25
+	h.rng ^= h.rng >> 27
+	return int64((h.rng * 0x2545F4914F6CDD1D) % uint64(n))
+}
+
+// Count reports the number of samples recorded (exact, not bounded by
+// the reservoir).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.count)
 }
 
-// Mean reports the arithmetic mean, or 0 with no samples.
+// Sum reports the exact total of all recorded samples.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean reports the exact arithmetic mean, or 0 with no samples.
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	var total time.Duration
-	for _, s := range h.samples {
-		total += s
-	}
-	return total / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.count)
+}
+
+// Samples returns a copy of the current reservoir contents.
+func (h *Histogram) Samples() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]time.Duration(nil), h.samples...)
 }
 
 // Quantile reports the q-quantile (0 <= q <= 1), or 0 with no samples.
+// Min and max are exact; interior quantiles come from the reservoir.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	sorted := append([]time.Duration(nil), h.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	if q <= 0 {
-		return sorted[0]
+		return h.min
 	}
 	if q >= 1 {
-		return sorted[len(sorted)-1]
+		return h.max
 	}
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	return QuantileOf(h.samples, q)
 }
 
 // Max reports the largest sample, or 0 with no samples.
@@ -71,6 +140,24 @@ func (h *Histogram) Max() time.Duration { return h.Quantile(1) }
 
 // Min reports the smallest sample, or 0 with no samples.
 func (h *Histogram) Min() time.Duration { return h.Quantile(0) }
+
+// QuantileOf reports the q-quantile of an unsorted sample set, or 0 when
+// empty. It is the merge hook for callers that stripe samples across
+// several histograms and want quantiles over the union.
+func QuantileOf(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	switch {
+	case q <= 0:
+		return sorted[0]
+	case q >= 1:
+		return sorted[len(sorted)-1]
+	}
+	return sorted[int(q*float64(len(sorted)-1))]
+}
 
 // FmtDur renders a duration in milliseconds with a sensible precision for
 // tables.

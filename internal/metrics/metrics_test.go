@@ -59,6 +59,78 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogram(64)
+	for i := 1; i <= 10000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	// Exact stats survive past the bound.
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 50005000*time.Microsecond {
+		t.Fatalf("sum = %v", got)
+	}
+	if got := h.Mean(); got != 50005*time.Microsecond/10 {
+		t.Fatalf("mean = %v", got)
+	}
+	if h.Min() != time.Microsecond || h.Max() != 10000*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	// Memory stays at the bound.
+	if got := len(h.Samples()); got != 64 {
+		t.Fatalf("reservoir holds %d samples, want 64", got)
+	}
+	// Reservoir quantiles are approximate but must land inside the
+	// recorded range and be ordered.
+	p50, p99 := h.Quantile(0.5), h.Quantile(0.99)
+	if p50 < time.Microsecond || p99 > 10000*time.Microsecond || p50 > p99 {
+		t.Fatalf("quantiles out of range: p50=%v p99=%v", p50, p99)
+	}
+	// With uniform input, the median estimate should be roughly central —
+	// a loose band since the reservoir is only 64 wide.
+	if p50 < 1000*time.Microsecond || p50 > 9000*time.Microsecond {
+		t.Fatalf("p50 = %v, implausible for uniform 1..10000µs", p50)
+	}
+}
+
+func TestHistogramDefaultBound(t *testing.T) {
+	var h Histogram // zero value uses DefaultReservoir
+	n := DefaultReservoir + 500
+	for i := 0; i < n; i++ {
+		h.Record(time.Millisecond)
+	}
+	if h.Count() != n {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := len(h.Samples()); got != DefaultReservoir {
+		t.Fatalf("reservoir holds %d, want %d", got, DefaultReservoir)
+	}
+	if nh := NewHistogram(0); nh.bound() != DefaultReservoir {
+		t.Fatalf("NewHistogram(0) bound = %d", nh.bound())
+	}
+}
+
+func TestQuantileOf(t *testing.T) {
+	if got := QuantileOf(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	samples := []time.Duration{30, 10, 20, 40, 50}
+	if got := QuantileOf(samples, 0); got != 10 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := QuantileOf(samples, 0.5); got != 30 {
+		t.Fatalf("q0.5 = %v", got)
+	}
+	if got := QuantileOf(samples, 1); got != 50 {
+		t.Fatalf("q1 = %v", got)
+	}
+	// Input must not be reordered.
+	if samples[0] != 30 {
+		t.Fatalf("QuantileOf mutated its input: %v", samples)
+	}
+}
+
 func TestFmtDur(t *testing.T) {
 	tests := []struct {
 		d    time.Duration

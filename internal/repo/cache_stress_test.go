@@ -1,0 +1,169 @@
+package repo
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCacheStressRaw hammers a small-capacity cache from many goroutines
+// mixing Put, Get, Len, and Stats, then checks the counter algebra. Run
+// with -race this doubles as the data-race check for the LRU internals.
+func TestCacheStressRaw(t *testing.T) {
+	const (
+		capacity = 32
+		workers  = 8
+		iters    = 2000
+		keySpace = 128
+	)
+	c := NewCache(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := ObjectID(fmt.Sprintf("k%03d", (i*7+w*13)%keySpace))
+				switch i % 3 {
+				case 0:
+					c.Put(Object{ID: id, Data: []byte{byte(w)}})
+				case 1:
+					if obj, ok := c.Get(id); ok && obj.ID != id {
+						t.Errorf("got %q for key %q", obj.ID, id)
+						return
+					}
+				default:
+					if c.Len() > capacity {
+						t.Errorf("len %d exceeds cap %d", c.Len(), capacity)
+						return
+					}
+					c.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if c.Len() > capacity {
+		t.Fatalf("final len %d exceeds cap %d", c.Len(), capacity)
+	}
+	// Every store either still resides in the cache or was evicted:
+	// Stores − Evictions must equal the live entry count exactly.
+	if live := st.Stores - st.Evictions; live != int64(c.Len()) {
+		t.Fatalf("stores(%d) − evictions(%d) = %d, but len = %d",
+			st.Stores, st.Evictions, live, c.Len())
+	}
+	if st.StaleServes != 0 || st.Misses != 0 {
+		t.Fatalf("raw Put/Get produced fetch counters: %+v", st)
+	}
+}
+
+// TestCacheStressGetThrough drives GetThrough concurrently across a
+// connect → partition → heal cycle and checks the stale-serve accounting:
+// while the owner is unreachable every attempt is either answered stale
+// from the cache or counted as a miss, never both, never neither.
+func TestCacheStressGetThrough(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	const (
+		nObjects = 24
+		capacity = 16 // smaller than nObjects: some entries must evict
+		workers  = 6
+		iters    = 120
+	)
+	refs := make([]Ref, nObjects)
+	for i := range refs {
+		refs[i] = w.mustPut(t, "s1", ObjectID(fmt.Sprintf("o%02d", i)), "payload")
+	}
+	c := NewCache(capacity)
+
+	// Phase 1: connected. Every fetch succeeds and warms the cache.
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ref := refs[(i+g*17)%nObjects]
+				obj, stale, err := c.GetThrough(ctx, w.client, ref)
+				if err != nil || stale {
+					t.Errorf("connected fetch %q: stale=%v err=%v", ref.ID, stale, err)
+					return
+				}
+				if obj.ID != ref.ID {
+					t.Errorf("fetched %q for ref %q", obj.ID, ref.ID)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	warm := c.Stats()
+	if warm.StaleServes != 0 || warm.Misses != 0 {
+		t.Fatalf("connected phase recorded failures: %+v", warm)
+	}
+	if c.Len() != capacity || warm.Evictions != warm.Stores-int64(capacity) {
+		t.Fatalf("warm cache: len=%d stats=%+v", c.Len(), warm)
+	}
+
+	// Phase 2: owner unreachable. Each attempt must resolve to exactly one
+	// of stale-serve (cache hit) or miss (cache cold for that ID).
+	w.net.Isolate("s1")
+	var attempts, served atomic.Int64
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ref := refs[(i*5+g*29)%nObjects]
+				attempts.Add(1)
+				obj, stale, err := c.GetThrough(ctx, w.client, ref)
+				switch {
+				case err == nil && stale:
+					served.Add(1)
+					if obj.ID != ref.ID {
+						t.Errorf("stale serve returned %q for %q", obj.ID, ref.ID)
+						return
+					}
+				case err == nil:
+					t.Errorf("fresh fetch of %q through a partition", ref.ID)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	part := c.Stats()
+	if part.Stores != warm.Stores || part.Evictions != warm.Evictions {
+		t.Fatalf("partitioned phase stored entries: %+v", part)
+	}
+	if got := part.StaleServes + part.Misses; got != attempts.Load() {
+		t.Fatalf("staleServes(%d) + misses(%d) = %d, want %d attempts",
+			part.StaleServes, part.Misses, got, attempts.Load())
+	}
+	if part.StaleServes != served.Load() {
+		t.Fatalf("counted %d stale serves, observed %d", part.StaleServes, served.Load())
+	}
+	if part.StaleServes == 0 {
+		t.Fatal("no stale serves despite a warm cache")
+	}
+
+	// Phase 3: healed. Fetches succeed again and store fresh copies.
+	w.net.Heal()
+	if obj, stale, err := c.GetThrough(ctx, w.client, refs[0]); err != nil || stale || obj.ID != refs[0].ID {
+		t.Fatalf("healed fetch: %+v stale=%v err=%v", obj, stale, err)
+	}
+	healed := c.Stats()
+	if healed.StaleServes != part.StaleServes || healed.Misses != part.Misses {
+		t.Fatalf("healed fetch counted as failure: %+v", healed)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"weaksets/internal/netsim"
 	"weaksets/internal/rpc"
+	"weaksets/internal/store"
 )
 
 // Client is a node-local handle on the distributed repository. It issues
@@ -159,4 +160,14 @@ func (c *Client) EndGrow(ctx context.Context, dir netsim.NodeID, name string, to
 // Stats fetches collection counters from dir.
 func (c *Client) Stats(ctx context.Context, dir netsim.NodeID, name string) (StatsResp, error) {
 	return rpc.Invoke[StatsResp](ctx, c.bus, c.node, dir, MethodStats, StatsReq{Name: name})
+}
+
+// StoreStats fetches a node's storage-engine instrumentation: per-
+// operation counts, error counts, and latency quantiles.
+func (c *Client) StoreStats(ctx context.Context, node netsim.NodeID) (store.EngineStats, error) {
+	resp, err := rpc.Invoke[StoreStatsResp](ctx, c.bus, c.node, node, MethodStoreStats, StoreStatsReq{})
+	if err != nil {
+		return store.EngineStats{}, err
+	}
+	return resp.Stats, nil
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"weaksets/internal/netsim"
+	"weaksets/internal/store"
 )
 
 // The paper frames weak sets over *persistent* object repositories (§1.2).
@@ -34,28 +35,23 @@ type persistedState struct {
 
 // SaveSnapshot writes the server's durable state to w.
 func (s *Server) SaveSnapshot(w io.Writer) error {
-	s.mu.Lock()
+	st := s.store.Export()
 	state := persistedState{
 		Node:    s.node,
-		Objects: make(map[ObjectID]Object, len(s.objects)),
+		Objects: make(map[ObjectID]Object, len(st.Objects)),
 	}
-	for id, obj := range s.objects {
-		state.Objects[id] = obj.Clone()
+	for _, obj := range st.Objects {
+		state.Objects[obj.ID] = obj
 	}
-	for name, c := range s.collections {
-		pc := persistedCollection{
-			Name:           name,
-			Version:        c.version,
-			ReplicaVersion: c.replicaVersion,
-			Members:        make([]Ref, 0, len(c.members)),
-			Replicas:       append([]netsim.NodeID(nil), c.replicas...),
-		}
-		for _, ref := range c.members {
-			pc.Members = append(pc.Members, ref)
-		}
-		state.Collections = append(state.Collections, pc)
+	for _, cs := range st.Collections {
+		state.Collections = append(state.Collections, persistedCollection{
+			Name:           cs.Name,
+			Version:        cs.Version,
+			ReplicaVersion: cs.ReplicaVersion,
+			Members:        cs.Members,
+			Replicas:       cs.Replicas,
+		})
 	}
-	s.mu.Unlock()
 
 	if err := gob.NewEncoder(w).Encode(&state); err != nil {
 		return fmt.Errorf("repo: save snapshot of %s: %w", s.node, err)
@@ -74,30 +70,20 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 	if state.Node != s.node {
 		return fmt.Errorf("repo: load snapshot: node mismatch: snapshot %s, server %s", state.Node, s.node)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.objects = make(map[ObjectID]Object, len(state.Objects))
-	for id, obj := range state.Objects {
-		s.objects[id] = obj.Clone()
+	st := store.State{Objects: make([]Object, 0, len(state.Objects))}
+	for _, obj := range state.Objects {
+		st.Objects = append(st.Objects, obj)
 	}
-	s.collections = make(map[string]*collection, len(state.Collections))
 	for _, pc := range state.Collections {
-		c := &collection{
-			name:           pc.Name,
-			version:        pc.Version,
-			replicaVersion: pc.ReplicaVersion,
-			members:        make(map[ObjectID]Ref, len(pc.Members)),
-			ghosts:         make(map[ObjectID]Ref),
-			pendingDelete:  make(map[ObjectID]Ref),
-			pins:           make(map[int64][]Ref),
-			tokens:         make(map[int64]bool),
-			replicas:       append([]netsim.NodeID(nil), pc.Replicas...),
-		}
-		for _, ref := range pc.Members {
-			c.members[ref.ID] = ref
-		}
-		s.collections[pc.Name] = c
+		st.Collections = append(st.Collections, store.CollectionState{
+			Name:           pc.Name,
+			Version:        pc.Version,
+			ReplicaVersion: pc.ReplicaVersion,
+			Members:        append([]Ref(nil), pc.Members...),
+			Replicas:       append([]netsim.NodeID(nil), pc.Replicas...),
+		})
 	}
+	s.store.Import(st)
 	return nil
 }
 

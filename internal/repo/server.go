@@ -3,76 +3,44 @@ package repo
 import (
 	"context"
 	"fmt"
-	"sort"
 	"sync"
 
 	"weaksets/internal/netsim"
 	"weaksets/internal/rpc"
+	"weaksets/internal/store"
 )
 
-// collection is the server-side state of one collection.
-type collection struct {
-	name    string
-	version uint64
-	members map[ObjectID]Ref
-	// ghosts holds members removed while a grow-only window was open; they
-	// are still listed so that, during the window, the set only grows
-	// (§3.3: "create copies of any deleted objects and then garbage collect
-	// these 'ghost' copies upon termination").
-	ghosts map[ObjectID]Ref
-	// pendingDelete are object refs whose data must be deleted once the
-	// last grow token drains (unless the member was re-added meanwhile).
-	pendingDelete map[ObjectID]Ref
-	pins          map[int64][]Ref
-	nextPin       int64
-	tokens        map[int64]bool
-	nextToken     int64
-	// replicas are nodes receiving lazy pushes of this collection.
-	replicas []netsim.NodeID
-	// replicaVersion, on a replica, is the version of the last applied
-	// sync; pushes with older versions are ignored.
-	replicaVersion uint64
-}
-
-func (c *collection) listedMembers() []Ref {
-	out := make([]Ref, 0, len(c.members)+len(c.ghosts))
-	for _, r := range c.members {
-		out = append(out, r)
-	}
-	for id, r := range c.ghosts {
-		if _, live := c.members[id]; !live {
-			out = append(out, r)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
-
-// Server is one node's repository: an object store plus the collections
-// this node is the directory for.
+// Server is one node's repository: a storage engine plus the RPC surface
+// over it. The engine (internal/store) owns all object and collection
+// state — membership, pins, ghosts, grow tokens — while the server owns
+// only the network side: request decoding, replication pushes, and
+// remote deletes.
 type Server struct {
-	bus  *rpc.Bus
-	node netsim.NodeID
-	rpc  *rpc.Server
-
-	mu          sync.Mutex
-	objects     map[ObjectID]Object
-	collections map[string]*collection
+	bus   *rpc.Bus
+	node  netsim.NodeID
+	rpc   *rpc.Server
+	store store.Store
 
 	wg     sync.WaitGroup
 	closed chan struct{}
 }
 
-// NewServer creates and registers a repository server on node. The node
-// must already exist in the bus's network.
+// NewServer creates and registers a repository server on node, backed by
+// the default sharded storage engine. The node must already exist in the
+// bus's network.
 func NewServer(bus *rpc.Bus, node netsim.NodeID) (*Server, error) {
+	return NewServerWithStore(bus, node, store.NewSharded(store.Config{}))
+}
+
+// NewServerWithStore creates a repository server over a caller-supplied
+// storage engine.
+func NewServerWithStore(bus *rpc.Bus, node netsim.NodeID, st store.Store) (*Server, error) {
 	s := &Server{
-		bus:         bus,
-		node:        node,
-		rpc:         rpc.NewServer(node),
-		objects:     make(map[ObjectID]Object),
-		collections: make(map[string]*collection),
-		closed:      make(chan struct{}),
+		bus:    bus,
+		node:   node,
+		rpc:    rpc.NewServer(node),
+		store:  st,
+		closed: make(chan struct{}),
 	}
 	s.register()
 	if err := bus.Register(s.rpc); err != nil {
@@ -83,6 +51,9 @@ func NewServer(bus *rpc.Bus, node netsim.NodeID) (*Server, error) {
 
 // Node reports the node this server runs on.
 func (s *Server) Node() netsim.NodeID { return s.node }
+
+// Store exposes the server's storage engine (stats, tests).
+func (s *Server) Store() store.Store { return s.store }
 
 // Close stops background replication pushes and waits for them to finish.
 func (s *Server) Close() {
@@ -107,6 +78,7 @@ func (s *Server) register() {
 	s.rpc.Handle(MethodBeginGrow, s.handleBeginGrow)
 	s.rpc.Handle(MethodEndGrow, s.handleEndGrow)
 	s.rpc.Handle(MethodStats, s.handleStats)
+	s.rpc.Handle(MethodStoreStats, s.handleStoreStats)
 	s.rpc.Handle(MethodSync, s.handleSync)
 }
 
@@ -115,13 +87,11 @@ func (s *Server) handleGet(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj, found := s.objects[r.ID]
-	if !found {
-		return nil, fmt.Errorf("get %q: %w", r.ID, ErrNotFound)
+	obj, err := s.store.GetObject(r.ID)
+	if err != nil {
+		return nil, err
 	}
-	return obj.Clone(), nil
+	return obj, nil
 }
 
 func (s *Server) handlePut(_ netsim.NodeID, req any) (any, error) {
@@ -129,13 +99,11 @@ func (s *Server) handlePut(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	obj := r.Obj.Clone()
-	obj.Version = s.objects[obj.ID].Version + 1
-	obj.Tombstone = false
-	s.objects[obj.ID] = obj
-	return PutResp{Version: obj.Version}, nil
+	v, err := s.store.PutObject(r.Obj)
+	if err != nil {
+		return nil, err
+	}
+	return PutResp{Version: v}, nil
 }
 
 func (s *Server) handleDelete(_ netsim.NodeID, req any) (any, error) {
@@ -143,12 +111,9 @@ func (s *Server) handleDelete(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, found := s.objects[r.ID]; !found {
-		return nil, fmt.Errorf("delete %q: %w", r.ID, ErrNotFound)
+	if err := s.store.DeleteObject(r.ID); err != nil {
+		return nil, err
 	}
-	delete(s.objects, r.ID)
 	return struct{}{}, nil
 }
 
@@ -157,28 +122,10 @@ func (s *Server) handleCreate(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.collections[r.Name]; exists {
-		return nil, fmt.Errorf("create %q: %w", r.Name, ErrCollectionExists)
-	}
-	s.collections[r.Name] = &collection{
-		name:          r.Name,
-		members:       make(map[ObjectID]Ref),
-		ghosts:        make(map[ObjectID]Ref),
-		pendingDelete: make(map[ObjectID]Ref),
-		pins:          make(map[int64][]Ref),
-		tokens:        make(map[int64]bool),
+	if err := s.store.CreateCollection(r.Name); err != nil {
+		return nil, err
 	}
 	return struct{}{}, nil
-}
-
-func (s *Server) coll(name string) (*collection, error) {
-	c, ok := s.collections[name]
-	if !ok {
-		return nil, fmt.Errorf("collection %q: %w", name, ErrNoCollection)
-	}
-	return c, nil
 }
 
 func (s *Server) handleList(_ netsim.NodeID, req any) (any, error) {
@@ -186,20 +133,20 @@ func (s *Server) handleList(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, err := s.coll(r.Name)
+	var (
+		members []Ref
+		version uint64
+		err     error
+	)
+	if r.Pin != 0 {
+		members, version, err = s.store.ListPinned(r.Name, r.Pin)
+	} else {
+		members, version, err = s.store.List(r.Name)
+	}
 	if err != nil {
 		return nil, err
 	}
-	if r.Pin != 0 {
-		snap, found := c.pins[r.Pin]
-		if !found {
-			return nil, fmt.Errorf("list %q pin %d: %w", r.Name, r.Pin, ErrBadPin)
-		}
-		return ListResp{Members: append([]Ref(nil), snap...), Version: c.version}, nil
-	}
-	return ListResp{Members: c.listedMembers(), Version: c.version}, nil
+	return ListResp{Members: members, Version: version}, nil
 }
 
 func (s *Server) handleAdd(_ netsim.NodeID, req any) (any, error) {
@@ -207,20 +154,10 @@ func (s *Server) handleAdd(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	c, err := s.coll(r.Name)
+	v, err := s.store.Add(r.Name, r.Ref)
 	if err != nil {
-		s.mu.Unlock()
 		return nil, err
 	}
-	c.members[r.Ref.ID] = r.Ref
-	// Re-adding a ghosted member revives it: the deferred delete must not
-	// fire.
-	delete(c.ghosts, r.Ref.ID)
-	delete(c.pendingDelete, r.Ref.ID)
-	c.version++
-	v := c.version
-	s.mu.Unlock()
 	s.pushReplicas(r.Name)
 	return MutateResp{Version: v}, nil
 }
@@ -230,28 +167,10 @@ func (s *Server) handleRemove(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	c, err := s.coll(r.Name)
+	_, deferred, v, err := s.store.Remove(r.Name, r.ID)
 	if err != nil {
-		s.mu.Unlock()
 		return nil, err
 	}
-	ref, member := c.members[r.ID]
-	if !member {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("remove %q from %q: %w", r.ID, r.Name, ErrNotFound)
-	}
-	deferred := len(c.tokens) > 0
-	if deferred {
-		// Grow-only window open: keep a ghost so the set, as listed, only
-		// grows for the duration of the window.
-		c.ghosts[r.ID] = ref
-		c.pendingDelete[r.ID] = ref
-	}
-	delete(c.members, r.ID)
-	c.version++
-	v := c.version
-	s.mu.Unlock()
 	s.pushReplicas(r.Name)
 	return RemoveResp{Deferred: deferred, Version: v}, nil
 }
@@ -261,20 +180,11 @@ func (s *Server) handlePin(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, err := s.coll(r.Name)
+	pin, err := s.store.Pin(r.Name)
 	if err != nil {
 		return nil, err
 	}
-	c.nextPin++
-	snap := make([]Ref, 0, len(c.members))
-	for _, ref := range c.members {
-		snap = append(snap, ref)
-	}
-	sort.Slice(snap, func(i, j int) bool { return snap[i].ID < snap[j].ID })
-	c.pins[c.nextPin] = snap
-	return PinResp{Pin: c.nextPin}, nil
+	return PinResp{Pin: pin}, nil
 }
 
 func (s *Server) handleUnpin(_ netsim.NodeID, req any) (any, error) {
@@ -282,16 +192,9 @@ func (s *Server) handleUnpin(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, err := s.coll(r.Name)
-	if err != nil {
+	if err := s.store.Unpin(r.Name, r.Pin); err != nil {
 		return nil, err
 	}
-	if _, found := c.pins[r.Pin]; !found {
-		return nil, fmt.Errorf("unpin %q pin %d: %w", r.Name, r.Pin, ErrBadPin)
-	}
-	delete(c.pins, r.Pin)
 	return struct{}{}, nil
 }
 
@@ -300,15 +203,11 @@ func (s *Server) handleBeginGrow(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, err := s.coll(r.Name)
+	token, err := s.store.BeginGrow(r.Name)
 	if err != nil {
 		return nil, err
 	}
-	c.nextToken++
-	c.tokens[c.nextToken] = true
-	return BeginGrowResp{Token: c.nextToken}, nil
+	return BeginGrowResp{Token: token}, nil
 }
 
 func (s *Server) handleEndGrow(_ netsim.NodeID, req any) (any, error) {
@@ -316,30 +215,10 @@ func (s *Server) handleEndGrow(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	c, err := s.coll(r.Name)
+	reclaim, err := s.store.EndGrow(r.Name, r.Token)
 	if err != nil {
-		s.mu.Unlock()
 		return nil, err
 	}
-	if !c.tokens[r.Token] {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("end grow %q token %d: %w", r.Name, r.Token, ErrBadToken)
-	}
-	delete(c.tokens, r.Token)
-	var reclaim []Ref
-	if len(c.tokens) == 0 {
-		// Last token drained: garbage collect the ghosts (§3.3).
-		for id, ref := range c.pendingDelete {
-			if _, live := c.members[id]; !live {
-				reclaim = append(reclaim, ref)
-			}
-		}
-		c.ghosts = make(map[ObjectID]Ref)
-		c.pendingDelete = make(map[ObjectID]Ref)
-	}
-	s.mu.Unlock()
-
 	for _, ref := range reclaim {
 		s.asyncDelete(ref)
 	}
@@ -354,19 +233,24 @@ func (s *Server) handleStats(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, err := s.coll(r.Name)
+	c, err := s.store.CollStats(r.Name)
 	if err != nil {
 		return nil, err
 	}
 	return StatsResp{
-		Members: len(c.members),
-		Ghosts:  len(c.ghosts),
-		Pins:    len(c.pins),
-		Tokens:  len(c.tokens),
-		Version: c.version,
+		Members: c.Members,
+		Ghosts:  c.Ghosts,
+		Pins:    c.Pins,
+		Tokens:  c.Tokens,
+		Version: c.Version,
 	}, nil
+}
+
+func (s *Server) handleStoreStats(_ netsim.NodeID, req any) (any, error) {
+	if _, ok := req.(StoreStatsReq); !ok {
+		return nil, fmt.Errorf("repo: bad request type %T", req)
+	}
+	return StoreStatsResp{Stats: s.store.Stats()}, nil
 }
 
 // handleSync applies a replication push. Stale pushes (version <= last
@@ -376,43 +260,16 @@ func (s *Server) handleSync(_ netsim.NodeID, req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, found := s.collections[r.Name]
-	if !found {
-		c = &collection{
-			name:          r.Name,
-			members:       make(map[ObjectID]Ref),
-			ghosts:        make(map[ObjectID]Ref),
-			pendingDelete: make(map[ObjectID]Ref),
-			pins:          make(map[int64][]Ref),
-			tokens:        make(map[int64]bool),
-		}
-		s.collections[r.Name] = c
-	}
-	if r.Version <= c.replicaVersion {
-		return struct{}{}, nil
-	}
-	c.replicaVersion = r.Version
-	c.version = r.Version
-	c.members = make(map[ObjectID]Ref, len(r.Members))
-	for _, ref := range r.Members {
-		c.members[ref.ID] = ref
-	}
+	s.store.ApplySync(r.Name, r.Members, r.Version)
 	return struct{}{}, nil
 }
 
 // ReplicateCollection registers replica nodes for a collection and pushes
 // the current membership to them immediately.
 func (s *Server) ReplicateCollection(name string, replicas []netsim.NodeID) error {
-	s.mu.Lock()
-	c, err := s.coll(name)
-	if err != nil {
-		s.mu.Unlock()
+	if err := s.store.SetReplicas(name, replicas); err != nil {
 		return err
 	}
-	c.replicas = append([]netsim.NodeID(nil), replicas...)
-	s.mu.Unlock()
 	s.pushReplicas(name)
 	return nil
 }
@@ -422,19 +279,11 @@ func (s *Server) ReplicateCollection(name string, replicas []netsim.NodeID) erro
 // at least one link latency — the stale-read window the optimistic
 // semantics tolerate.
 func (s *Server) pushReplicas(name string) {
-	s.mu.Lock()
-	c, found := s.collections[name]
-	if !found || len(c.replicas) == 0 {
-		s.mu.Unlock()
+	members, version, replicas, ok := s.store.SyncState(name)
+	if !ok || len(replicas) == 0 {
 		return
 	}
-	req := SyncReq{
-		Name:    name,
-		Members: c.listedMembers(),
-		Version: c.version,
-	}
-	replicas := append([]netsim.NodeID(nil), c.replicas...)
-	s.mu.Unlock()
+	req := SyncReq{Name: name, Members: members, Version: version}
 
 	select {
 	case <-s.closed:
@@ -457,9 +306,7 @@ func (s *Server) pushReplicas(name string) {
 // blocking the caller.
 func (s *Server) asyncDelete(ref Ref) {
 	if ref.Node == s.node {
-		s.mu.Lock()
-		delete(s.objects, ref.ID)
-		s.mu.Unlock()
+		_ = s.store.DeleteObject(ref.ID)
 		return
 	}
 	select {
@@ -476,7 +323,5 @@ func (s *Server) asyncDelete(ref Ref) {
 
 // ObjectCount reports the number of objects stored locally (test hook).
 func (s *Server) ObjectCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.objects)
+	return s.store.ObjectCount()
 }

@@ -19,78 +19,54 @@
 package repo
 
 import (
-	"errors"
-
-	"weaksets/internal/netsim"
+	"weaksets/internal/store"
 )
 
+// The repository's data model lives in internal/store (the storage
+// engine); these aliases keep repo.Ref and friends working everywhere.
+
 // ObjectID names an object uniquely across the whole repository.
-type ObjectID string
+type ObjectID = store.ObjectID
 
 // Ref locates an object: its ID plus the node that stores it.
-type Ref struct {
-	ID   ObjectID
-	Node netsim.NodeID
-}
+type Ref = store.Ref
 
 // Object is a stored value. Attrs carry queryable metadata (e.g.
 // cuisine=chinese for the restaurant scenario).
-type Object struct {
-	ID      ObjectID
-	Data    []byte
-	Attrs   map[string]string
-	Version uint64
-	// Tombstone marks an object that was deleted but whose identity is
-	// still visible through a pinned snapshot.
-	Tombstone bool
-}
+type Object = store.Object
 
-// Clone returns a deep copy of the object so callers can't alias server
-// state.
-func (o Object) Clone() Object {
-	c := o
-	if o.Data != nil {
-		c.Data = append([]byte(nil), o.Data...)
-	}
-	if o.Attrs != nil {
-		c.Attrs = make(map[string]string, len(o.Attrs))
-		for k, v := range o.Attrs {
-			c.Attrs[k] = v
-		}
-	}
-	return c
-}
-
-// Errors reported by repository servers. They are application-level: they
-// travel back over a successful RPC and do not satisfy netsim.IsFailure.
+// Errors reported by repository servers, re-exported from the storage
+// engine. They are application-level: they travel back over a successful
+// RPC and do not satisfy netsim.IsFailure.
 var (
 	// ErrNotFound reports a missing object.
-	ErrNotFound = errors.New("repo: object not found")
+	ErrNotFound = store.ErrNotFound
 	// ErrNoCollection reports an unknown collection name.
-	ErrNoCollection = errors.New("repo: no such collection")
+	ErrNoCollection = store.ErrNoCollection
 	// ErrCollectionExists reports a duplicate CreateCollection.
-	ErrCollectionExists = errors.New("repo: collection already exists")
+	ErrCollectionExists = store.ErrCollectionExists
 	// ErrBadPin reports an unknown pin handle.
-	ErrBadPin = errors.New("repo: no such pin")
+	ErrBadPin = store.ErrBadPin
 	// ErrBadToken reports an unknown grow token.
-	ErrBadToken = errors.New("repo: no such grow token")
+	ErrBadToken = store.ErrBadToken
 )
 
 // RPC method names served by every repository server.
 const (
-	MethodGet       = "repo.Get"
-	MethodPut       = "repo.Put"
-	MethodDelete    = "repo.Delete"
-	MethodCreate    = "repo.CreateCollection"
-	MethodList      = "repo.List"
-	MethodAdd       = "repo.Add"
-	MethodRemove    = "repo.Remove"
-	MethodPin       = "repo.Pin"
-	MethodUnpin     = "repo.Unpin"
-	MethodBeginGrow = "repo.BeginGrow"
-	MethodEndGrow   = "repo.EndGrow"
-	MethodStats     = "repo.CollStats"
-	MethodSync      = "repo.Sync"
+	MethodGet        = "repo.Get"
+	MethodPut        = "repo.Put"
+	MethodDelete     = "repo.Delete"
+	MethodCreate     = "repo.CreateCollection"
+	MethodList       = "repo.List"
+	MethodAdd        = "repo.Add"
+	MethodRemove     = "repo.Remove"
+	MethodPin        = "repo.Pin"
+	MethodUnpin      = "repo.Unpin"
+	MethodBeginGrow  = "repo.BeginGrow"
+	MethodEndGrow    = "repo.EndGrow"
+	MethodStats      = "repo.CollStats"
+	MethodStoreStats = "repo.StoreStats"
+	MethodSync       = "repo.Sync"
 )
 
 // Wire types. Every request and response is a value type copied at the RPC
@@ -169,6 +145,11 @@ type (
 		Tokens  int
 		Version uint64
 	}
+	// StoreStatsReq asks a node for its storage-engine instrumentation.
+	StoreStatsReq struct{}
+	// StoreStatsResp carries the engine's per-operation counters and
+	// latency quantiles.
+	StoreStatsResp struct{ Stats store.EngineStats }
 	// SyncReq is the replication push: full membership at a version.
 	SyncReq struct {
 		Name    string

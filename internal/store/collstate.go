@@ -1,0 +1,195 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"weaksets/internal/netsim"
+)
+
+// collState is the unsynchronised bookkeeping for one collection,
+// shared by the engines: Locked serialises access with its global
+// mutex, Sharded with a per-collection RWMutex. None of these methods
+// lock.
+type collState struct {
+	name    string
+	version uint64
+	members map[ObjectID]Ref
+	// ghosts holds members removed while a grow-only window was open;
+	// they are still listed so that, during the window, the set only
+	// grows (§3.3: "create copies of any deleted objects and then
+	// garbage collect these 'ghost' copies upon termination").
+	ghosts map[ObjectID]Ref
+	// pendingDelete are object refs whose data must be deleted once the
+	// last grow token drains (unless the member was re-added meanwhile).
+	pendingDelete map[ObjectID]Ref
+	pins          map[int64][]Ref
+	nextPin       int64
+	tokens        map[int64]bool
+	nextToken     int64
+	// replicas are nodes receiving lazy pushes of this collection.
+	replicas []netsim.NodeID
+	// replicaVersion, on a replica, is the version of the last applied
+	// sync; pushes with older versions are ignored.
+	replicaVersion uint64
+}
+
+func newCollState(name string) *collState {
+	return &collState{
+		name:          name,
+		members:       make(map[ObjectID]Ref),
+		ghosts:        make(map[ObjectID]Ref),
+		pendingDelete: make(map[ObjectID]Ref),
+		pins:          make(map[int64][]Ref),
+		tokens:        make(map[int64]bool),
+	}
+}
+
+// listedMembers is the collection as observed by List: live members
+// plus ghosts, sorted by ID.
+func (c *collState) listedMembers() []Ref {
+	out := make([]Ref, 0, len(c.members)+len(c.ghosts))
+	for _, r := range c.members {
+		out = append(out, r)
+	}
+	for id, r := range c.ghosts {
+		if _, live := c.members[id]; !live {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// memberSnapshot is the live membership only, sorted by ID — what a pin
+// captures.
+func (c *collState) memberSnapshot() []Ref {
+	snap := make([]Ref, 0, len(c.members))
+	for _, ref := range c.members {
+		snap = append(snap, ref)
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i].ID < snap[j].ID })
+	return snap
+}
+
+func (c *collState) add(ref Ref) uint64 {
+	c.members[ref.ID] = ref
+	// Re-adding a ghosted member revives it: the deferred delete must
+	// not fire.
+	delete(c.ghosts, ref.ID)
+	delete(c.pendingDelete, ref.ID)
+	c.version++
+	return c.version
+}
+
+func (c *collState) remove(id ObjectID) (Ref, bool, uint64, error) {
+	ref, member := c.members[id]
+	if !member {
+		return Ref{}, false, 0, fmt.Errorf("remove %q from %q: %w", id, c.name, ErrNotFound)
+	}
+	deferred := len(c.tokens) > 0
+	if deferred {
+		// Grow-only window open: keep a ghost so the set, as listed,
+		// only grows for the duration of the window.
+		c.ghosts[id] = ref
+		c.pendingDelete[id] = ref
+	}
+	delete(c.members, id)
+	c.version++
+	return ref, deferred, c.version, nil
+}
+
+func (c *collState) pin() int64 {
+	c.nextPin++
+	c.pins[c.nextPin] = c.memberSnapshot()
+	return c.nextPin
+}
+
+func (c *collState) listPinned(pin int64) ([]Ref, error) {
+	snap, found := c.pins[pin]
+	if !found {
+		return nil, fmt.Errorf("list %q pin %d: %w", c.name, pin, ErrBadPin)
+	}
+	return append([]Ref(nil), snap...), nil
+}
+
+func (c *collState) unpin(pin int64) error {
+	if _, found := c.pins[pin]; !found {
+		return fmt.Errorf("unpin %q pin %d: %w", c.name, pin, ErrBadPin)
+	}
+	delete(c.pins, pin)
+	return nil
+}
+
+func (c *collState) beginGrow() int64 {
+	c.nextToken++
+	c.tokens[c.nextToken] = true
+	return c.nextToken
+}
+
+func (c *collState) endGrow(token int64) ([]Ref, error) {
+	if !c.tokens[token] {
+		return nil, fmt.Errorf("end grow %q token %d: %w", c.name, token, ErrBadToken)
+	}
+	delete(c.tokens, token)
+	var reclaim []Ref
+	if len(c.tokens) == 0 {
+		// Last token drained: garbage collect the ghosts (§3.3).
+		for id, ref := range c.pendingDelete {
+			if _, live := c.members[id]; !live {
+				reclaim = append(reclaim, ref)
+			}
+		}
+		c.ghosts = make(map[ObjectID]Ref)
+		c.pendingDelete = make(map[ObjectID]Ref)
+	}
+	return reclaim, nil
+}
+
+func (c *collState) stats() CollStats {
+	return CollStats{
+		Members: len(c.members),
+		Ghosts:  len(c.ghosts),
+		Pins:    len(c.pins),
+		Tokens:  len(c.tokens),
+		Version: c.version,
+	}
+}
+
+// applySync applies a replication push and reports whether it changed
+// the collection (stale pushes are ignored).
+func (c *collState) applySync(members []Ref, version uint64) bool {
+	if version <= c.replicaVersion {
+		return false
+	}
+	c.replicaVersion = version
+	c.version = version
+	c.members = make(map[ObjectID]Ref, len(members))
+	for _, ref := range members {
+		c.members[ref.ID] = ref
+	}
+	return true
+}
+
+// exportState captures the durable image of the collection.
+func (c *collState) exportState() CollectionState {
+	return CollectionState{
+		Name:           c.name,
+		Version:        c.version,
+		ReplicaVersion: c.replicaVersion,
+		Members:        c.memberSnapshot(),
+		Replicas:       append([]netsim.NodeID(nil), c.replicas...),
+	}
+}
+
+// collFromState rebuilds a collection from its durable image.
+func collFromState(cs CollectionState) *collState {
+	c := newCollState(cs.Name)
+	c.version = cs.Version
+	c.replicaVersion = cs.ReplicaVersion
+	c.replicas = append([]netsim.NodeID(nil), cs.Replicas...)
+	for _, ref := range cs.Members {
+		c.members[ref.ID] = ref
+	}
+	return c
+}

@@ -1,0 +1,150 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ContentionConfig sizes one contention measurement: Workers goroutines
+// hammer one engine with a read-heavy List/Get mix (the iterator hot
+// path) plus an optional write fraction.
+type ContentionConfig struct {
+	// Engine selects "locked" or "sharded".
+	Engine string `json:"engine"`
+	// Shards configures the sharded engine (0 = DefaultShards).
+	Shards int `json:"shards"`
+	// Objects is the size of the seeded object table. Defaults to 1024.
+	Objects int `json:"objects"`
+	// Members is the seeded collection size. Defaults to 256.
+	Members int `json:"members"`
+	// Workers is the number of concurrent client goroutines.
+	Workers int `json:"workers"`
+	// OpsPerWorker is how many operations each worker issues. Defaults
+	// to 20000.
+	OpsPerWorker int `json:"ops_per_worker"`
+	// WriteEvery makes every n-th operation a write (alternating object
+	// Put and membership Add); 0 disables writes.
+	WriteEvery int `json:"write_every"`
+}
+
+func (cfg ContentionConfig) withDefaults() ContentionConfig {
+	if cfg.Objects <= 0 {
+		cfg.Objects = 1024
+	}
+	if cfg.Members <= 0 {
+		cfg.Members = 256
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.OpsPerWorker <= 0 {
+		cfg.OpsPerWorker = 20000
+	}
+	return cfg
+}
+
+// ContentionResult is one contention measurement.
+type ContentionResult struct {
+	Engine    string        `json:"engine"`
+	Workers   int           `json:"workers"`
+	TotalOps  int64         `json:"total_ops"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+	PerOp     []OpStats     `json:"per_op"`
+}
+
+// NewEngine builds an engine by name ("locked" or "sharded").
+func NewEngine(name string, shards int) (Store, error) {
+	switch name {
+	case "locked":
+		return NewLocked(), nil
+	case "sharded", "":
+		return NewSharded(Config{Shards: shards}), nil
+	}
+	return nil, fmt.Errorf("store: unknown engine %q", name)
+}
+
+// contentionCollection is the collection name the runner seeds.
+const contentionCollection = "bench"
+
+// SeedContention fills an engine with the benchmark corpus: Objects
+// objects ("o0000"...) and a collection "bench" whose first Members
+// objects are members. It returns the object IDs.
+func SeedContention(st Store, cfg ContentionConfig) ([]ObjectID, error) {
+	cfg = cfg.withDefaults()
+	ids := make([]ObjectID, cfg.Objects)
+	for i := range ids {
+		ids[i] = ObjectID(fmt.Sprintf("o%04d", i))
+		if _, err := st.PutObject(Object{ID: ids[i], Data: make([]byte, 64)}); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.CreateCollection(contentionCollection); err != nil {
+		return nil, err
+	}
+	members := cfg.Members
+	if members > len(ids) {
+		members = len(ids)
+	}
+	for i := 0; i < members; i++ {
+		if _, err := st.Add(contentionCollection, Ref{ID: ids[i], Node: "bench"}); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}
+
+// RunContention builds, seeds, and hammers one engine, returning
+// throughput plus the engine's own per-operation latency stats.
+func RunContention(cfg ContentionConfig) (ContentionResult, error) {
+	cfg = cfg.withDefaults()
+	st, err := NewEngine(cfg.Engine, cfg.Shards)
+	if err != nil {
+		return ContentionResult{}, err
+	}
+	ids, err := SeedContention(st, cfg)
+	if err != nil {
+		return ContentionResult{}, err
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cfg.OpsPerWorker; i++ {
+				switch {
+				case cfg.WriteEvery > 0 && i%cfg.WriteEvery == 0:
+					if (i/cfg.WriteEvery)%2 == 0 {
+						id := ids[(i*31+w*7)%len(ids)]
+						_, _ = st.PutObject(Object{ID: id, Data: make([]byte, 64)})
+					} else {
+						id := ids[(i*31+w*7)%cfg.Members]
+						_, _ = st.Add(contentionCollection, Ref{ID: id, Node: "bench"})
+					}
+				case i%8 < 5:
+					_, _, _ = st.List(contentionCollection)
+				default:
+					_, _ = st.GetObject(ids[(i*17+w*3)%len(ids)])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	total := int64(cfg.Workers) * int64(cfg.OpsPerWorker)
+	res := ContentionResult{
+		Engine:    cfg.Engine,
+		Workers:   cfg.Workers,
+		TotalOps:  total,
+		Elapsed:   elapsed,
+		OpsPerSec: float64(total) / elapsed.Seconds(),
+		PerOp:     st.Stats().Ops,
+	}
+	if res.Engine == "" {
+		res.Engine = "sharded"
+	}
+	return res, nil
+}

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"weaksets/internal/netsim"
+)
+
+// Locked is the original storage engine: one mutex in front of the
+// object table and every collection. It is kept as the contention
+// baseline — BenchmarkStoreContention and cmd/weakbench -store compare
+// the sharded engine against it — and as the simplest correct
+// implementation of the Store contract.
+type Locked struct {
+	ins instruments
+
+	mu      sync.Mutex
+	objects map[ObjectID]Object
+	colls   map[string]*collState
+}
+
+// NewLocked creates an empty single-mutex engine.
+func NewLocked() *Locked {
+	return &Locked{
+		objects: make(map[ObjectID]Object),
+		colls:   make(map[string]*collState),
+	}
+}
+
+func (s *Locked) coll(name string) (*collState, error) {
+	c, ok := s.colls[name]
+	if !ok {
+		return nil, fmt.Errorf("collection %q: %w", name, ErrNoCollection)
+	}
+	return c, nil
+}
+
+// GetObject implements Store.
+func (s *Locked) GetObject(id ObjectID) (obj Object, err error) {
+	defer s.ins.observe(OpGet, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, found := s.objects[id]
+	if !found {
+		return Object{}, fmt.Errorf("get %q: %w", id, ErrNotFound)
+	}
+	return obj.Clone(), nil
+}
+
+// PutObject implements Store.
+func (s *Locked) PutObject(obj Object) (version uint64, err error) {
+	defer s.ins.observe(OpPut, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stored := obj.Clone()
+	stored.Version = s.objects[obj.ID].Version + 1
+	stored.Tombstone = false
+	s.objects[obj.ID] = stored
+	return stored.Version, nil
+}
+
+// DeleteObject implements Store.
+func (s *Locked) DeleteObject(id ObjectID) (err error) {
+	defer s.ins.observe(OpDelete, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, found := s.objects[id]; !found {
+		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
+	}
+	delete(s.objects, id)
+	return nil
+}
+
+// ObjectCount implements Store.
+func (s *Locked) ObjectCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}
+
+// CreateCollection implements Store.
+func (s *Locked) CreateCollection(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.colls[name]; exists {
+		return fmt.Errorf("create %q: %w", name, ErrCollectionExists)
+	}
+	s.colls[name] = newCollState(name)
+	return nil
+}
+
+// List implements Store.
+func (s *Locked) List(name string) (members []Ref, version uint64, err error) {
+	defer s.ins.observe(OpList, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return c.listedMembers(), c.version, nil
+}
+
+// ListPinned implements Store.
+func (s *Locked) ListPinned(name string, pin int64) (members []Ref, version uint64, err error) {
+	defer s.ins.observe(OpListPinned, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap, err := c.listPinned(pin)
+	if err != nil {
+		return nil, 0, err
+	}
+	return snap, c.version, nil
+}
+
+// Add implements Store.
+func (s *Locked) Add(name string, ref Ref) (version uint64, err error) {
+	defer s.ins.observe(OpAdd, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return 0, err
+	}
+	return c.add(ref), nil
+}
+
+// Remove implements Store.
+func (s *Locked) Remove(name string, id ObjectID) (ref Ref, deferred bool, version uint64, err error) {
+	defer s.ins.observe(OpRemove, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return Ref{}, false, 0, err
+	}
+	return c.remove(id)
+}
+
+// Pin implements Store.
+func (s *Locked) Pin(name string) (pin int64, err error) {
+	defer s.ins.observe(OpPin, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return 0, err
+	}
+	return c.pin(), nil
+}
+
+// Unpin implements Store.
+func (s *Locked) Unpin(name string, pin int64) (err error) {
+	defer s.ins.observe(OpUnpin, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return err
+	}
+	return c.unpin(pin)
+}
+
+// BeginGrow implements Store.
+func (s *Locked) BeginGrow(name string) (token int64, err error) {
+	defer s.ins.observe(OpBeginGrow, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return 0, err
+	}
+	return c.beginGrow(), nil
+}
+
+// EndGrow implements Store.
+func (s *Locked) EndGrow(name string, token int64) (reclaim []Ref, err error) {
+	defer s.ins.observe(OpEndGrow, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.endGrow(token)
+}
+
+// CollStats implements Store.
+func (s *Locked) CollStats(name string) (CollStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return CollStats{}, err
+	}
+	return c.stats(), nil
+}
+
+// SetReplicas implements Store.
+func (s *Locked) SetReplicas(name string, replicas []netsim.NodeID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return err
+	}
+	c.replicas = append([]netsim.NodeID(nil), replicas...)
+	return nil
+}
+
+// SyncState implements Store.
+func (s *Locked) SyncState(name string) (members []Ref, version uint64, replicas []netsim.NodeID, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, found := s.colls[name]
+	if !found {
+		return nil, 0, nil, false
+	}
+	return c.listedMembers(), c.version, append([]netsim.NodeID(nil), c.replicas...), true
+}
+
+// ApplySync implements Store.
+func (s *Locked) ApplySync(name string, members []Ref, version uint64) {
+	var err error
+	defer s.ins.observe(OpSync, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, found := s.colls[name]
+	if !found {
+		c = newCollState(name)
+		s.colls[name] = c
+	}
+	c.applySync(members, version)
+}
+
+// Export implements Store.
+func (s *Locked) Export() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := State{Objects: make([]Object, 0, len(s.objects))}
+	for _, obj := range s.objects {
+		st.Objects = append(st.Objects, obj.Clone())
+	}
+	for _, c := range s.colls {
+		st.Collections = append(st.Collections, c.exportState())
+	}
+	return st
+}
+
+// Import implements Store.
+func (s *Locked) Import(st State) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects = make(map[ObjectID]Object, len(st.Objects))
+	for _, obj := range st.Objects {
+		s.objects[obj.ID] = obj.Clone()
+	}
+	s.colls = make(map[string]*collState, len(st.Collections))
+	for _, cs := range st.Collections {
+		s.colls[cs.Name] = collFromState(cs)
+	}
+}
+
+// Stats implements Store.
+func (s *Locked) Stats() EngineStats {
+	s.mu.Lock()
+	objects, colls := len(s.objects), len(s.colls)
+	s.mu.Unlock()
+	return EngineStats{
+		Engine:      "locked",
+		Shards:      1,
+		Objects:     objects,
+		Collections: colls,
+		Ops:         s.ins.opStats(),
+	}
+}
+
+var _ Store = (*Locked)(nil)

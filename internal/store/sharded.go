@@ -1,0 +1,395 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weaksets/internal/netsim"
+)
+
+// Config sizes a sharded engine.
+type Config struct {
+	// Shards is the number of object shards, rounded up to a power of
+	// two. Defaults to 16.
+	Shards int
+}
+
+// DefaultShards is the object-shard count used when Config.Shards is 0.
+const DefaultShards = 16
+
+// Sharded is the default storage engine. Objects are hash-partitioned
+// across independently RW-locked shards, so reads and writes only
+// contend within one shard. Each collection carries its own RWMutex for
+// mutation and soft state (pins, tokens), and publishes its listing as
+// an immutable copy-on-write snapshot behind an atomic.Pointer: List
+// never takes a lock at all, and a reader always observes one
+// consistent membership image no matter how writers race — the same
+// snapshot/mutation separation the paper's Fig. 4 semantics make at the
+// iterator level.
+type Sharded struct {
+	ins instruments
+
+	shards []*objShard
+	mask   uint32
+
+	collMu sync.RWMutex
+	colls  map[string]*shardedColl
+}
+
+type objShard struct {
+	mu      sync.RWMutex
+	objects map[ObjectID]Object
+}
+
+// listing is one immutable published membership image. Its members
+// slice is never mutated after publication; List hands out copies.
+type listing struct {
+	members []Ref
+	version uint64
+}
+
+type shardedColl struct {
+	mu      sync.RWMutex // guards st (writes) and soft state reads
+	st      *collState
+	listing atomic.Pointer[listing]
+}
+
+// publish recomputes and swaps in the listing snapshot; callers hold
+// c.mu for writing.
+func (c *shardedColl) publish() {
+	c.listing.Store(&listing{members: c.st.listedMembers(), version: c.st.version})
+}
+
+// NewSharded creates an empty sharded engine.
+func NewSharded(cfg Config) *Sharded {
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Sharded{
+		shards: make([]*objShard, size),
+		mask:   uint32(size - 1),
+		colls:  make(map[string]*shardedColl),
+	}
+	for i := range s.shards {
+		s.shards[i] = &objShard{objects: make(map[ObjectID]Object)}
+	}
+	return s
+}
+
+func (s *Sharded) shardFor(id ObjectID) *objShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return s.shards[h.Sum32()&s.mask]
+}
+
+func (s *Sharded) coll(name string) (*shardedColl, error) {
+	s.collMu.RLock()
+	c, ok := s.colls[name]
+	s.collMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("collection %q: %w", name, ErrNoCollection)
+	}
+	return c, nil
+}
+
+// GetObject implements Store.
+func (s *Sharded) GetObject(id ObjectID) (obj Object, err error) {
+	defer s.ins.observe(OpGet, time.Now(), &err)
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	obj, found := sh.objects[id]
+	if !found {
+		return Object{}, fmt.Errorf("get %q: %w", id, ErrNotFound)
+	}
+	return obj.Clone(), nil
+}
+
+// PutObject implements Store.
+func (s *Sharded) PutObject(obj Object) (version uint64, err error) {
+	defer s.ins.observe(OpPut, time.Now(), &err)
+	sh := s.shardFor(obj.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	stored := obj.Clone()
+	stored.Version = sh.objects[obj.ID].Version + 1
+	stored.Tombstone = false
+	sh.objects[obj.ID] = stored
+	return stored.Version, nil
+}
+
+// DeleteObject implements Store.
+func (s *Sharded) DeleteObject(id ObjectID) (err error) {
+	defer s.ins.observe(OpDelete, time.Now(), &err)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, found := sh.objects[id]; !found {
+		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
+	}
+	delete(sh.objects, id)
+	return nil
+}
+
+// ObjectCount implements Store.
+func (s *Sharded) ObjectCount() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += len(sh.objects)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// CreateCollection implements Store.
+func (s *Sharded) CreateCollection(name string) error {
+	s.collMu.Lock()
+	defer s.collMu.Unlock()
+	if _, exists := s.colls[name]; exists {
+		return fmt.Errorf("create %q: %w", name, ErrCollectionExists)
+	}
+	c := &shardedColl{st: newCollState(name)}
+	c.publish()
+	s.colls[name] = c
+	return nil
+}
+
+// List implements Store. It is lock-free: the published snapshot is
+// immutable, so the only cost is copying the member slice out.
+func (s *Sharded) List(name string) (members []Ref, version uint64, err error) {
+	defer s.ins.observe(OpList, time.Now(), &err)
+	c, err := s.coll(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	l := c.listing.Load()
+	return append([]Ref(nil), l.members...), l.version, nil
+}
+
+// ListPinned implements Store.
+func (s *Sharded) ListPinned(name string, pin int64) (members []Ref, version uint64, err error) {
+	defer s.ins.observe(OpListPinned, time.Now(), &err)
+	c, err := s.coll(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	snap, err := c.st.listPinned(pin)
+	if err != nil {
+		return nil, 0, err
+	}
+	return snap, c.st.version, nil
+}
+
+// Add implements Store.
+func (s *Sharded) Add(name string, ref Ref) (version uint64, err error) {
+	defer s.ins.observe(OpAdd, time.Now(), &err)
+	c, err := s.coll(name)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.st.add(ref)
+	c.publish()
+	return v, nil
+}
+
+// Remove implements Store.
+func (s *Sharded) Remove(name string, id ObjectID) (ref Ref, deferred bool, version uint64, err error) {
+	defer s.ins.observe(OpRemove, time.Now(), &err)
+	c, err := s.coll(name)
+	if err != nil {
+		return Ref{}, false, 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ref, deferred, version, err = c.st.remove(id)
+	if err != nil {
+		return Ref{}, false, 0, err
+	}
+	c.publish()
+	return ref, deferred, version, nil
+}
+
+// Pin implements Store.
+func (s *Sharded) Pin(name string) (pin int64, err error) {
+	defer s.ins.observe(OpPin, time.Now(), &err)
+	c, err := s.coll(name)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.pin(), nil
+}
+
+// Unpin implements Store.
+func (s *Sharded) Unpin(name string, pin int64) (err error) {
+	defer s.ins.observe(OpUnpin, time.Now(), &err)
+	c, err := s.coll(name)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.unpin(pin)
+}
+
+// BeginGrow implements Store.
+func (s *Sharded) BeginGrow(name string) (token int64, err error) {
+	defer s.ins.observe(OpBeginGrow, time.Now(), &err)
+	c, err := s.coll(name)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.beginGrow(), nil
+}
+
+// EndGrow implements Store.
+func (s *Sharded) EndGrow(name string, token int64) (reclaim []Ref, err error) {
+	defer s.ins.observe(OpEndGrow, time.Now(), &err)
+	c, err := s.coll(name)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reclaim, err = c.st.endGrow(token)
+	if err != nil {
+		return nil, err
+	}
+	// Draining the last token clears the ghosts out of the listing.
+	c.publish()
+	return reclaim, nil
+}
+
+// CollStats implements Store.
+func (s *Sharded) CollStats(name string) (CollStats, error) {
+	c, err := s.coll(name)
+	if err != nil {
+		return CollStats{}, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.st.stats(), nil
+}
+
+// SetReplicas implements Store.
+func (s *Sharded) SetReplicas(name string, replicas []netsim.NodeID) error {
+	c, err := s.coll(name)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st.replicas = append([]netsim.NodeID(nil), replicas...)
+	return nil
+}
+
+// SyncState implements Store. The membership and version come from the
+// published snapshot, so a push always carries a consistent image.
+func (s *Sharded) SyncState(name string) (members []Ref, version uint64, replicas []netsim.NodeID, ok bool) {
+	s.collMu.RLock()
+	c, found := s.colls[name]
+	s.collMu.RUnlock()
+	if !found {
+		return nil, 0, nil, false
+	}
+	l := c.listing.Load()
+	c.mu.RLock()
+	replicas = append([]netsim.NodeID(nil), c.st.replicas...)
+	c.mu.RUnlock()
+	return append([]Ref(nil), l.members...), l.version, replicas, true
+}
+
+// ApplySync implements Store.
+func (s *Sharded) ApplySync(name string, members []Ref, version uint64) {
+	var err error
+	defer s.ins.observe(OpSync, time.Now(), &err)
+	s.collMu.Lock()
+	c, found := s.colls[name]
+	if !found {
+		c = &shardedColl{st: newCollState(name)}
+		c.publish()
+		s.colls[name] = c
+	}
+	s.collMu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.st.applySync(members, version) {
+		c.publish()
+	}
+}
+
+// Export implements Store.
+func (s *Sharded) Export() State {
+	var st State
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, obj := range sh.objects {
+			st.Objects = append(st.Objects, obj.Clone())
+		}
+		sh.mu.RUnlock()
+	}
+	s.collMu.RLock()
+	defer s.collMu.RUnlock()
+	for _, c := range s.colls {
+		c.mu.RLock()
+		st.Collections = append(st.Collections, c.st.exportState())
+		c.mu.RUnlock()
+	}
+	return st
+}
+
+// Import implements Store.
+func (s *Sharded) Import(st State) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.objects = make(map[ObjectID]Object)
+		sh.mu.Unlock()
+	}
+	for _, obj := range st.Objects {
+		sh := s.shardFor(obj.ID)
+		sh.mu.Lock()
+		sh.objects[obj.ID] = obj.Clone()
+		sh.mu.Unlock()
+	}
+	s.collMu.Lock()
+	defer s.collMu.Unlock()
+	s.colls = make(map[string]*shardedColl, len(st.Collections))
+	for _, cs := range st.Collections {
+		c := &shardedColl{st: collFromState(cs)}
+		c.publish()
+		s.colls[cs.Name] = c
+	}
+}
+
+// Stats implements Store.
+func (s *Sharded) Stats() EngineStats {
+	s.collMu.RLock()
+	colls := len(s.colls)
+	s.collMu.RUnlock()
+	return EngineStats{
+		Engine:      "sharded",
+		Shards:      len(s.shards),
+		Objects:     s.ObjectCount(),
+		Collections: colls,
+		Ops:         s.ins.opStats(),
+	}
+}
+
+var _ Store = (*Sharded)(nil)

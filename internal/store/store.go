@@ -1,0 +1,190 @@
+package store
+
+import (
+	"sync/atomic"
+	"time"
+
+	"weaksets/internal/metrics"
+	"weaksets/internal/netsim"
+)
+
+// Store is the storage engine behind one repository node. All methods
+// are safe for concurrent use. Engines own the full pin/ghost/grow-token
+// bookkeeping; the RPC layer (internal/repo) is a thin adapter that owns
+// only the network side (replication pushes, remote deletes).
+type Store interface {
+	// Objects.
+
+	// GetObject returns a deep copy of the object, or ErrNotFound.
+	GetObject(id ObjectID) (Object, error)
+	// PutObject stores (or overwrites) an object, bumping its version,
+	// and reports the stored version.
+	PutObject(obj Object) (version uint64, err error)
+	// DeleteObject removes an object's data, or reports ErrNotFound.
+	DeleteObject(id ObjectID) error
+	// ObjectCount reports the number of objects stored (test hook).
+	ObjectCount() int
+
+	// Collections.
+
+	// CreateCollection creates an empty collection.
+	CreateCollection(name string) error
+	// List reads the collection's current listing — live members plus
+	// ghosts held by open grow windows — sorted by ID.
+	List(name string) (members []Ref, version uint64, err error)
+	// ListPinned reads a pinned snapshot.
+	ListPinned(name string, pin int64) (members []Ref, version uint64, err error)
+	// Add inserts a member, reviving any ghost with the same ID.
+	Add(name string, ref Ref) (version uint64, err error)
+	// Remove removes a member. With a grow window open the removal is
+	// deferred: a ghost keeps the member listed and deferred is true,
+	// meaning the engine owns eventual deletion of the object data.
+	Remove(name string, id ObjectID) (ref Ref, deferred bool, version uint64, err error)
+	// Pin snapshots the live membership and returns its handle.
+	Pin(name string) (pin int64, err error)
+	// Unpin releases a snapshot.
+	Unpin(name string, pin int64) error
+	// BeginGrow opens a grow-only window and returns its token.
+	BeginGrow(name string) (token int64, err error)
+	// EndGrow closes a grow-only window. When the last token drains it
+	// garbage-collects the ghosts (§3.3) and returns the refs whose
+	// object data should now be deleted.
+	EndGrow(name string, token int64) (reclaim []Ref, err error)
+	// CollStats reports one collection's counters.
+	CollStats(name string) (CollStats, error)
+
+	// Replication bookkeeping (the push itself is the adapter's job).
+
+	// SetReplicas records the nodes receiving lazy pushes of the
+	// collection.
+	SetReplicas(name string, replicas []netsim.NodeID) error
+	// SyncState reads what a replication push needs: the current
+	// listing, its version, and the replica set. ok is false for an
+	// unknown collection.
+	SyncState(name string) (members []Ref, version uint64, replicas []netsim.NodeID, ok bool)
+	// ApplySync applies a replication push, creating the collection if
+	// needed and ignoring stale pushes (version <= last applied) — which
+	// is what makes replicas observably lag.
+	ApplySync(name string, members []Ref, version uint64)
+
+	// Persistence.
+
+	// Export returns the durable image of the engine.
+	Export() State
+	// Import replaces the engine's state with a durable image.
+	Import(State)
+
+	// Stats reports the engine's instrumentation snapshot.
+	Stats() EngineStats
+}
+
+// Op identifies one instrumented engine operation.
+type Op int
+
+// The instrumented operations, in wire/report order.
+const (
+	OpGet Op = iota
+	OpPut
+	OpDelete
+	OpList
+	OpListPinned
+	OpAdd
+	OpRemove
+	OpPin
+	OpUnpin
+	OpBeginGrow
+	OpEndGrow
+	OpSync
+	opCount
+)
+
+var opNames = [opCount]string{
+	"get", "put", "delete", "list", "listPinned", "add", "remove",
+	"pin", "unpin", "beginGrow", "endGrow", "sync",
+}
+
+func (o Op) String() string {
+	if o < 0 || o >= opCount {
+		return "unknown"
+	}
+	return opNames[o]
+}
+
+// OpStats is one operation's counters and latency summary.
+type OpStats struct {
+	Op     string        `json:"op"`
+	Count  int64         `json:"count"`
+	Errors int64         `json:"errors"`
+	Mean   time.Duration `json:"mean_ns"`
+	P50    time.Duration `json:"p50_ns"`
+	P99    time.Duration `json:"p99_ns"`
+}
+
+// EngineStats is an engine's instrumentation snapshot.
+type EngineStats struct {
+	Engine      string    `json:"engine"`
+	Shards      int       `json:"shards"`
+	Objects     int       `json:"objects"`
+	Collections int       `json:"collections"`
+	Ops         []OpStats `json:"ops"`
+}
+
+// latStripes spreads each operation's latency reservoir over several
+// histograms so recording on the hot read path doesn't serialise behind
+// one histogram mutex; Stats merges the stripes.
+const latStripes = 8
+
+type opRec struct {
+	count atomic.Int64
+	errs  atomic.Int64
+	lat   [latStripes]metrics.Histogram
+}
+
+// instruments is the shared per-operation counter/latency block engines
+// embed. The zero value is ready to use.
+type instruments struct {
+	ops [opCount]opRec
+}
+
+// observe records one completed operation. It is designed to be called
+// as `defer s.ins.observe(op, time.Now(), &err)` with a named error
+// return, so the deferred call sees the final error.
+func (in *instruments) observe(op Op, start time.Time, errp *error) {
+	rec := &in.ops[op]
+	n := rec.count.Add(1)
+	if errp != nil && *errp != nil {
+		rec.errs.Add(1)
+	}
+	rec.lat[n&(latStripes-1)].Record(time.Since(start))
+}
+
+// opStats merges the stripes into one summary per operation that has
+// run at least once.
+func (in *instruments) opStats() []OpStats {
+	out := make([]OpStats, 0, opCount)
+	for op := Op(0); op < opCount; op++ {
+		rec := &in.ops[op]
+		n := rec.count.Load()
+		if n == 0 {
+			continue
+		}
+		var (
+			samples []time.Duration
+			sum     time.Duration
+		)
+		for i := range rec.lat {
+			samples = append(samples, rec.lat[i].Samples()...)
+			sum += rec.lat[i].Sum()
+		}
+		st := OpStats{
+			Op:     op.String(),
+			Count:  n,
+			Errors: rec.errs.Load(),
+			Mean:   sum / time.Duration(n),
+			P50:    metrics.QuantileOf(samples, 0.5),
+			P99:    metrics.QuantileOf(samples, 0.99),
+		}
+		out = append(out, st)
+	}
+	return out
+}

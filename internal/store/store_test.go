@@ -1,0 +1,433 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"weaksets/internal/netsim"
+)
+
+// engines runs a subtest against both Store implementations so the
+// sharded engine is held to exactly the baseline's contract.
+func engines(t *testing.T, f func(t *testing.T, st Store)) {
+	t.Helper()
+	for _, tc := range []struct {
+		name string
+		mk   func() Store
+	}{
+		{"locked", func() Store { return NewLocked() }},
+		{"sharded", func() Store { return NewSharded(Config{Shards: 4}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) { f(t, tc.mk()) })
+	}
+}
+
+func mustPut(t *testing.T, st Store, id ObjectID) Ref {
+	t.Helper()
+	if _, err := st.PutObject(Object{ID: id, Data: []byte("data-" + id)}); err != nil {
+		t.Fatalf("put %q: %v", id, err)
+	}
+	return Ref{ID: id, Node: "n1"}
+}
+
+func mustColl(t *testing.T, st Store, name string) {
+	t.Helper()
+	if err := st.CreateCollection(name); err != nil {
+		t.Fatalf("create %q: %v", name, err)
+	}
+}
+
+func memberIDs(refs []Ref) []ObjectID {
+	out := make([]ObjectID, len(refs))
+	for i, r := range refs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		v, err := st.PutObject(Object{ID: "a", Data: []byte("one")})
+		if err != nil || v != 1 {
+			t.Fatalf("put = %d, %v", v, err)
+		}
+		v, err = st.PutObject(Object{ID: "a", Data: []byte("two")})
+		if err != nil || v != 2 {
+			t.Fatalf("overwrite = %d, %v", v, err)
+		}
+		obj, err := st.GetObject("a")
+		if err != nil || string(obj.Data) != "two" || obj.Version != 2 {
+			t.Fatalf("get = %+v, %v", obj, err)
+		}
+		if st.ObjectCount() != 1 {
+			t.Fatalf("count = %d", st.ObjectCount())
+		}
+		if err := st.DeleteObject("a"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.GetObject("a"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("get deleted = %v", err)
+		}
+		if err := st.DeleteObject("a"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("double delete = %v", err)
+		}
+	})
+}
+
+func TestObjectCloneIsolation(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		orig := Object{ID: "iso", Data: []byte("abc"), Attrs: map[string]string{"k": "v"}}
+		if _, err := st.PutObject(orig); err != nil {
+			t.Fatal(err)
+		}
+		orig.Data[0] = 'X' // caller mutates after Put
+		got, err := st.GetObject("iso")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got.Data) != "abc" {
+			t.Fatalf("engine aliased caller data: %q", got.Data)
+		}
+		got.Attrs["k"] = "mutated" // caller mutates the returned copy
+		again, _ := st.GetObject("iso")
+		if again.Attrs["k"] != "v" {
+			t.Fatalf("engine aliased returned attrs: %q", again.Attrs["k"])
+		}
+	})
+}
+
+func TestCollectionMembership(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		mustColl(t, st, "c")
+		if err := st.CreateCollection("c"); !errors.Is(err, ErrCollectionExists) {
+			t.Fatalf("duplicate create = %v", err)
+		}
+		if _, _, err := st.List("nope"); !errors.Is(err, ErrNoCollection) {
+			t.Fatalf("list missing = %v", err)
+		}
+		r1, r2 := mustPut(t, st, "b"), mustPut(t, st, "a")
+		if v, err := st.Add("c", r1); err != nil || v != 1 {
+			t.Fatalf("add = %d, %v", v, err)
+		}
+		if v, err := st.Add("c", r2); err != nil || v != 2 {
+			t.Fatalf("add = %d, %v", v, err)
+		}
+		members, v, err := st.List("c")
+		if err != nil || v != 2 {
+			t.Fatalf("list = v%d, %v", v, err)
+		}
+		if len(members) != 2 || members[0].ID != "a" || members[1].ID != "b" {
+			t.Fatalf("members = %v (want sorted a,b)", memberIDs(members))
+		}
+		if _, deferred, v, err := st.Remove("c", "a"); err != nil || deferred || v != 3 {
+			t.Fatalf("remove = deferred=%v v=%d %v", deferred, v, err)
+		}
+		if _, _, _, err := st.Remove("c", "a"); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("remove missing = %v", err)
+		}
+		members, _, _ = st.List("c")
+		if len(members) != 1 || members[0].ID != "b" {
+			t.Fatalf("members = %v", memberIDs(members))
+		}
+	})
+}
+
+func TestPins(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		mustColl(t, st, "c")
+		st.Add("c", mustPut(t, st, "a"))
+		pin, err := st.Pin("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Add("c", mustPut(t, st, "b"))
+		snap, _, err := st.ListPinned("c", pin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snap) != 1 || snap[0].ID != "a" {
+			t.Fatalf("pinned = %v (want just a)", memberIDs(snap))
+		}
+		if _, _, err := st.ListPinned("c", 999); !errors.Is(err, ErrBadPin) {
+			t.Fatalf("bad pin = %v", err)
+		}
+		if err := st.Unpin("c", pin); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Unpin("c", pin); !errors.Is(err, ErrBadPin) {
+			t.Fatalf("double unpin = %v", err)
+		}
+	})
+}
+
+func TestGrowWindowGhosts(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		mustColl(t, st, "c")
+		ra, rb := mustPut(t, st, "a"), mustPut(t, st, "b")
+		st.Add("c", ra)
+		st.Add("c", rb)
+
+		tok, err := st.BeginGrow("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, deferred, _, err := st.Remove("c", "a")
+		if err != nil || !deferred {
+			t.Fatalf("remove in window: deferred=%v err=%v", deferred, err)
+		}
+		// The ghost keeps "a" listed: the set only grows during the window.
+		members, _, _ := st.List("c")
+		if len(members) != 2 {
+			t.Fatalf("window listing = %v (ghost missing)", memberIDs(members))
+		}
+		cs, _ := st.CollStats("c")
+		if cs.Ghosts != 1 || cs.Tokens != 1 {
+			t.Fatalf("stats = %+v", cs)
+		}
+
+		if _, err := st.EndGrow("c", 999); !errors.Is(err, ErrBadToken) {
+			t.Fatalf("bad token = %v", err)
+		}
+		reclaim, err := st.EndGrow("c", tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reclaim) != 1 || reclaim[0].ID != "a" {
+			t.Fatalf("reclaim = %v", memberIDs(reclaim))
+		}
+		members, _, _ = st.List("c")
+		if len(members) != 1 || members[0].ID != "b" {
+			t.Fatalf("post-GC listing = %v", memberIDs(members))
+		}
+	})
+}
+
+func TestGrowWindowReAddRevives(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		mustColl(t, st, "c")
+		ra := mustPut(t, st, "a")
+		st.Add("c", ra)
+		tok, _ := st.BeginGrow("c")
+		st.Remove("c", "a")
+		st.Add("c", ra) // revive: the deferred delete must not fire
+		reclaim, err := st.EndGrow("c", tok)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reclaim) != 0 {
+			t.Fatalf("revived member reclaimed: %v", memberIDs(reclaim))
+		}
+	})
+}
+
+func TestNestedGrowWindows(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		mustColl(t, st, "c")
+		st.Add("c", mustPut(t, st, "a"))
+		t1, _ := st.BeginGrow("c")
+		t2, _ := st.BeginGrow("c")
+		st.Remove("c", "a")
+		if reclaim, err := st.EndGrow("c", t1); err != nil || len(reclaim) != 0 {
+			t.Fatalf("first token drained ghosts early: %v %v", reclaim, err)
+		}
+		// Ghost still listed while t2 is open.
+		if members, _, _ := st.List("c"); len(members) != 1 {
+			t.Fatalf("ghost dropped early: %v", memberIDs(members))
+		}
+		if reclaim, _ := st.EndGrow("c", t2); len(reclaim) != 1 {
+			t.Fatalf("last token reclaim = %v", memberIDs(reclaim))
+		}
+	})
+}
+
+func TestApplySyncStaleIgnored(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		st.ApplySync("c", []Ref{{ID: "x", Node: "n1"}}, 5)
+		members, v, err := st.List("c")
+		if err != nil || v != 5 || len(members) != 1 {
+			t.Fatalf("sync created: %v v=%d %v", memberIDs(members), v, err)
+		}
+		// Stale push ignored.
+		st.ApplySync("c", []Ref{{ID: "y", Node: "n1"}}, 3)
+		members, v, _ = st.List("c")
+		if v != 5 || members[0].ID != "x" {
+			t.Fatalf("stale push applied: %v v=%d", memberIDs(members), v)
+		}
+		// Newer push applied.
+		st.ApplySync("c", []Ref{{ID: "y", Node: "n1"}}, 9)
+		members, v, _ = st.List("c")
+		if v != 9 || members[0].ID != "y" {
+			t.Fatalf("fresh push dropped: %v v=%d", memberIDs(members), v)
+		}
+	})
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		mustColl(t, st, "c")
+		st.Add("c", mustPut(t, st, "a"))
+		st.Add("c", mustPut(t, st, "b"))
+		st.Remove("c", "b")
+		st.SetReplicas("c", []netsim.NodeID{"r1", "r2"})
+
+		img := st.Export()
+
+		fresh := NewSharded(Config{Shards: 2})
+		fresh.Import(img)
+		members, v, err := fresh.List("c")
+		if err != nil || v != 3 {
+			t.Fatalf("imported list = v%d %v", v, err)
+		}
+		if len(members) != 1 || members[0].ID != "a" {
+			t.Fatalf("imported members = %v", memberIDs(members))
+		}
+		if fresh.ObjectCount() != 2 {
+			t.Fatalf("imported objects = %d", fresh.ObjectCount())
+		}
+		_, _, replicas, ok := fresh.SyncState("c")
+		if !ok || len(replicas) != 2 {
+			t.Fatalf("imported replicas = %v ok=%v", replicas, ok)
+		}
+	})
+}
+
+func TestEngineStatsPopulated(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		mustColl(t, st, "c")
+		st.Add("c", mustPut(t, st, "a"))
+		for i := 0; i < 10; i++ {
+			if _, _, err := st.List("c"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.GetObject("missing") // one error
+		es := st.Stats()
+		if es.Objects != 1 || es.Collections != 1 {
+			t.Fatalf("stats = %+v", es)
+		}
+		byOp := map[string]OpStats{}
+		for _, op := range es.Ops {
+			byOp[op.Op] = op
+		}
+		if byOp["list"].Count != 10 {
+			t.Fatalf("list count = %d", byOp["list"].Count)
+		}
+		if byOp["get"].Errors != 1 {
+			t.Fatalf("get errors = %d", byOp["get"].Errors)
+		}
+		if byOp["list"].P99 <= 0 {
+			t.Fatalf("list p99 = %v", byOp["list"].P99)
+		}
+	})
+}
+
+// TestListingSnapshotIsolation pins down the copy-on-write contract: a
+// listing handed out by List must not change when the collection
+// mutates afterwards.
+func TestListingSnapshotIsolation(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		mustColl(t, st, "c")
+		st.Add("c", mustPut(t, st, "a"))
+		before, v, _ := st.List("c")
+		st.Add("c", mustPut(t, st, "b"))
+		st.Remove("c", "a")
+		if len(before) != 1 || before[0].ID != "a" || v != 1 {
+			t.Fatalf("earlier listing mutated: %v v=%d", memberIDs(before), v)
+		}
+		// Mutating the returned slice must not corrupt the engine.
+		before[0].ID = "corrupted"
+		after, _, _ := st.List("c")
+		if len(after) != 1 || after[0].ID != "b" {
+			t.Fatalf("engine state corrupted through listing: %v", memberIDs(after))
+		}
+	})
+}
+
+// TestConcurrentReadersWriters exercises the parallel hot path under
+// -race: readers run List/Get/CollStats while writers add, remove,
+// put, and cycle grow windows.
+func TestConcurrentReadersWriters(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		mustColl(t, st, "c")
+		ids := make([]ObjectID, 64)
+		for i := range ids {
+			ids[i] = ObjectID(fmt.Sprintf("o%02d", i))
+			st.PutObject(Object{ID: ids[i], Data: []byte("x")})
+			st.Add("c", Ref{ID: ids[i], Node: "n1"})
+		}
+		var wg sync.WaitGroup
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					if members, _, err := st.List("c"); err != nil || len(members) == 0 {
+						t.Errorf("list: %d members, %v", len(members), err)
+						return
+					}
+					st.GetObject(ids[(i*7+r)%len(ids)])
+					st.CollStats("c")
+				}
+			}(r)
+		}
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					id := ids[(i+w*31)%len(ids)]
+					st.PutObject(Object{ID: id, Data: []byte("y")})
+					if i%4 == 0 {
+						tok, _ := st.BeginGrow("c")
+						st.Remove("c", id)
+						st.Add("c", Ref{ID: id, Node: "n1"})
+						st.EndGrow("c", tok)
+					} else {
+						st.Add("c", Ref{ID: id, Node: "n1"})
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		members, _, err := st.List("c")
+		if err != nil || len(members) != len(ids) {
+			t.Fatalf("final members = %d, %v", len(members), err)
+		}
+	})
+}
+
+func TestNewEngine(t *testing.T) {
+	if _, err := NewEngine("locked", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine("sharded", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine("bogus", 0); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+}
+
+func TestRunContention(t *testing.T) {
+	for _, engine := range []string{"locked", "sharded"} {
+		res, err := RunContention(ContentionConfig{
+			Engine:       engine,
+			Objects:      64,
+			Members:      32,
+			Workers:      2,
+			OpsPerWorker: 500,
+			WriteEvery:   10,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", engine, err)
+		}
+		if res.TotalOps != 1000 || res.OpsPerSec <= 0 {
+			t.Fatalf("%s: result = %+v", engine, res)
+		}
+		if len(res.PerOp) == 0 {
+			t.Fatalf("%s: no per-op stats", engine)
+		}
+	}
+}

@@ -104,6 +104,8 @@ func registerWireTypes() {
 	gob.Register(repo.EndGrowResp{})
 	gob.Register(repo.StatsReq{})
 	gob.Register(repo.StatsResp{})
+	gob.Register(repo.StoreStatsReq{})
+	gob.Register(repo.StoreStatsResp{})
 	gob.Register(repo.SyncReq{})
 	gob.Register(repo.Object{})
 	// Lock service wire types.
@@ -128,6 +130,7 @@ func RepoMethods() []string {
 		repo.MethodBeginGrow,
 		repo.MethodEndGrow,
 		repo.MethodStats,
+		repo.MethodStoreStats,
 		repo.MethodSync,
 	}
 }
