@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-store bench sweep clean
+.PHONY: check vet build test race bench-store bench-iter bench sweep sweep-iter clean
 
-check: vet build race bench-store
+check: vet build race bench-store bench-iter
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,11 @@ race:
 bench-store:
 	$(GO) test -run xxx -bench BenchmarkStoreContention -benchtime 2000x .
 
+# Smoke the iterator fetch pipeline: batched vs per-object over a spread
+# collection catches regressions in the elements hot path.
+bench-iter:
+	$(GO) test -run xxx -bench BenchmarkIterFetch -benchtime 20x .
+
 # Full root benchmark suite (slow).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -32,6 +37,10 @@ bench:
 # Regenerate BENCH_store.json from the full contention sweep.
 sweep:
 	$(GO) run ./cmd/weakbench -store
+
+# Regenerate BENCH_iter.json from the full fetch-pipeline sweep.
+sweep-iter:
+	$(GO) run ./cmd/weakbench -iter
 
 clean:
 	$(GO) clean ./...

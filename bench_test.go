@@ -252,6 +252,56 @@ func BenchmarkLatencyScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkIterFetch compares the iterator's batched fetch pipeline
+// against the one-Get-per-element baseline: a 64-element snapshot
+// iteration spread over 4 storage nodes. cmd/weakbench -iter runs the
+// full sweep under simulated WAN latency and writes BENCH_iter.json.
+func BenchmarkIterFetch(b *testing.B) {
+	for _, mode := range []string{"per-object", "batched"} {
+		b.Run(mode, func(b *testing.B) {
+			c, err := cluster.New(cluster.Config{StorageNodes: 4, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			ctx := context.Background()
+			if err := c.Client.CreateCollection(ctx, cluster.DirNode, "bench"); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 64; i++ {
+				ref, err := c.Client.Put(ctx, c.StorageFor(i), repo.Object{
+					ID:   repo.ObjectID(fmt.Sprintf("e%03d", i)),
+					Data: make([]byte, 128),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.Client.Add(ctx, cluster.DirNode, "bench", ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+			set, err := core.NewSet(c.Client, cluster.DirNode, "bench", core.Options{
+				Semantics: core.Snapshot,
+				Fetch:     core.FetchOptions{Disable: mode == "per-object"},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				elems, err := set.Collect(ctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(elems) != 64 {
+					b.Fatalf("yielded %d", len(elems))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStoreContention compares the storage engines on the read-heavy
 // parallel mix the directory node serves (List + Get with occasional
 // writes). The single-mutex baseline serializes every List; the sharded

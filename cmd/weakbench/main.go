@@ -2,25 +2,33 @@
 // from DESIGN.md §4 (the evaluation the paper promises in §5), printing one
 // table per experiment. With -store it instead sweeps the storage-engine
 // contention benchmark (locked vs sharded across worker counts) and writes
-// the machine-readable results to BENCH_store.json.
+// the machine-readable results to BENCH_store.json. With -iter it sweeps
+// the iterator fetch pipeline (batched vs one-Get-per-element) and writes
+// BENCH_iter.json.
 //
 // Usage:
 //
 //	weakbench [-run E1,E5] [-quick] [-seed 42] [-scale 0.01]
 //	weakbench -store [-store-json BENCH_store.json]
+//	weakbench -iter [-iter-json BENCH_iter.json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"weaksets/internal/cluster"
+	"weaksets/internal/core"
 	"weaksets/internal/experiments"
 	"weaksets/internal/metrics"
+	"weaksets/internal/repo"
 	"weaksets/internal/sim"
 	"weaksets/internal/store"
 )
@@ -45,13 +53,33 @@ func run(args []string) error {
 		storeRun  = fs.Bool("store", false, "run the storage-engine contention sweep instead of experiments")
 		storeJSON = fs.String("store-json", "BENCH_store.json", "where -store writes its machine-readable results")
 		storeQk   = fs.Bool("store-quick", false, "trim the -store sweep (fewer ops per worker)")
+		iterRun   = fs.Bool("iter", false, "run the batched-iterator fetch sweep instead of experiments")
+		iterJSON  = fs.String("iter-json", "BENCH_iter.json", "where -iter writes its machine-readable results")
+		iterQk    = fs.Bool("iter-quick", false, "trim the -iter sweep (smaller sets)")
+		iterScale = fs.Float64("iter-scale", 0.1, "time scale for -iter (gentler compression than -scale so CPU stays subdominant to the simulated WAN latency)")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	if *storeRun {
 		return runStoreSweep(*storeJSON, *storeQk)
+	}
+	if *iterRun {
+		return runIterSweep(*iterJSON, *iterQk, *seed, sim.TimeScale(*iterScale))
 	}
 
 	if *list {
@@ -192,4 +220,180 @@ func runStoreSweep(jsonPath string, quick bool) error {
 // microseconds rather than the table default.
 func fmtLat(d time.Duration) string {
 	return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+}
+
+// iterResult is one row of the -iter sweep: one iterator run over a
+// populated collection with a fixed fetch configuration.
+type iterResult struct {
+	Semantics   string        `json:"semantics"`
+	Elements    int           `json:"elements"`
+	Mode        string        `json:"mode"` // "batched" or "per-object"
+	Yielded     int           `json:"yielded"`
+	Virtual     time.Duration `json:"virtualNs"`
+	ElemsPerSec float64       `json:"elemsPerSec"` // per virtual second
+	GetRPCs     int64         `json:"getRPCs"`
+	BatchRPCs   int64         `json:"getBatchRPCs"`
+	ListRPCs    int64         `json:"listRPCs"`
+}
+
+// iterReport is the BENCH_iter.json document. Speedup maps
+// "semantics/elements" to batched-over-baseline elements/sec.
+type iterReport struct {
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	Engine       string             `json:"engine"`
+	StorageNodes int                `json:"storageNodes"`
+	Seed         int64              `json:"seed"`
+	Scale        float64            `json:"scale"`
+	LatencyMs    float64            `json:"oneWayLatencyMs"`
+	Batch        int                `json:"batch"`
+	Inflight     int                `json:"inflight"`
+	Results      []iterResult       `json:"results"`
+	Speedup      map[string]float64 `json:"speedup"`
+}
+
+// runIterSweep measures the elements hot path: elements/sec (in virtual
+// time) for the batched, pipelined fetch pipeline against the
+// one-Get-per-element baseline, per semantics and set size, with members
+// spread round-robin across the storage nodes. RPC counts come from the
+// bus, so the round-trip savings are visible next to the throughput.
+func runIterSweep(jsonPath string, quick bool, seed int64, scale sim.TimeScale) error {
+	sizes := []int{100, 1000}
+	if quick {
+		sizes = []int{64}
+	}
+	const (
+		storageNodes = 4
+		latency      = 10 * time.Millisecond
+	)
+	fetch := core.FetchOptions{}.WithDefaults()
+	if scale == 0 {
+		scale = sim.DefaultScale
+	}
+
+	report := iterReport{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		StorageNodes: storageNodes,
+		Seed:         seed,
+		Scale:        float64(scale),
+		LatencyMs:    float64(latency) / float64(time.Millisecond),
+		Batch:        fetch.Batch,
+		Inflight:     fetch.Inflight,
+		Speedup:      map[string]float64{},
+	}
+	table := metrics.NewTable(
+		fmt.Sprintf("Iterator fetch pipeline: batch=%d inflight=%d, %d storage nodes, %v one-way",
+			fetch.Batch, fetch.Inflight, storageNodes, latency),
+		"semantics", "elements", "mode", "virtual time", "elems/sec", "Get", "GetBatch", "speedup")
+
+	ctx := context.Background()
+	for _, size := range sizes {
+		c, err := cluster.New(cluster.Config{
+			StorageNodes: storageNodes,
+			Seed:         seed,
+			Scale:        scale,
+			Latency:      sim.Fixed(latency),
+		})
+		if err != nil {
+			return fmt.Errorf("iter sweep: %w", err)
+		}
+		coll := fmt.Sprintf("iter%d", size)
+		if err := c.Client.CreateCollection(ctx, cluster.DirNode, coll); err != nil {
+			c.Close()
+			return fmt.Errorf("iter sweep: %w", err)
+		}
+		for i := 0; i < size; i++ {
+			obj := repo.Object{ID: repo.ObjectID(fmt.Sprintf("e%04d", i)), Data: make([]byte, 256)}
+			ref, err := c.Client.Put(ctx, c.StorageFor(i), obj)
+			if err == nil {
+				err = c.Client.Add(ctx, cluster.DirNode, coll, ref)
+			}
+			if err != nil {
+				c.Close()
+				return fmt.Errorf("iter sweep: populate: %w", err)
+			}
+		}
+		if report.Engine == "" {
+			es, err := c.Client.StoreStats(ctx, cluster.DirNode)
+			if err != nil {
+				c.Close()
+				return fmt.Errorf("iter sweep: %w", err)
+			}
+			report.Engine = es.Engine
+		}
+
+		for _, sem := range []core.Semantics{core.Snapshot, core.GrowOnly} {
+			base := 0.0
+			for _, mode := range []string{"per-object", "batched"} {
+				set, err := core.NewSet(c.Client, cluster.DirNode, coll, core.Options{
+					Semantics: sem,
+					Fetch:     core.FetchOptions{Disable: mode == "per-object"},
+				})
+				if err != nil {
+					c.Close()
+					return fmt.Errorf("iter sweep: %w", err)
+				}
+				gets := c.Bus.MethodCalls(repo.MethodGet)
+				batches := c.Bus.MethodCalls(repo.MethodGetBatch)
+				lists := c.Bus.MethodCalls(repo.MethodList)
+				elapsed := scale.Stopwatch()
+				elems, err := set.Collect(ctx)
+				virtual := elapsed()
+				if err != nil {
+					c.Close()
+					return fmt.Errorf("iter sweep: %s/%s/%d: %w", sem, mode, size, err)
+				}
+				res := iterResult{
+					Semantics: sem.String(),
+					Elements:  size,
+					Mode:      mode,
+					Yielded:   len(elems),
+					Virtual:   virtual,
+					GetRPCs:   c.Bus.MethodCalls(repo.MethodGet) - gets,
+					BatchRPCs: c.Bus.MethodCalls(repo.MethodGetBatch) - batches,
+					ListRPCs:  c.Bus.MethodCalls(repo.MethodList) - lists,
+				}
+				if virtual > 0 {
+					res.ElemsPerSec = float64(res.Yielded) / virtual.Seconds()
+				}
+				report.Results = append(report.Results, res)
+
+				speedup := "-"
+				if mode == "per-object" {
+					base = res.ElemsPerSec
+				} else if base > 0 {
+					ratio := res.ElemsPerSec / base
+					report.Speedup[fmt.Sprintf("%s/%d", sem, size)] = ratio
+					speedup = fmt.Sprintf("%.1fx", ratio)
+				}
+				table.AddRow(
+					sem.String(),
+					fmt.Sprintf("%d", size),
+					mode,
+					virtual.Round(time.Millisecond).String(),
+					fmt.Sprintf("%.0f", res.ElemsPerSec),
+					fmt.Sprintf("%d", res.GetRPCs),
+					fmt.Sprintf("%d", res.BatchRPCs),
+					speedup,
+				)
+			}
+		}
+		c.Close()
+	}
+	table.Render(os.Stdout)
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return fmt.Errorf("iter sweep: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return fmt.Errorf("iter sweep: encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("iter sweep: %w", err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", jsonPath, len(report.Results))
+	return nil
 }

@@ -48,6 +48,11 @@ type DynOptions struct {
 	RetryEvery time.Duration
 	// Buffer is the capacity of the results channel. Defaults to Width.
 	Buffer int
+	// Batch caps how many same-node members ride in one GetBatch RPC.
+	// Defaults to 16; any value ≤ 1 (use -1 or 1 explicitly) keeps the
+	// one-Get-per-member path. FallbackCache forces the per-member path
+	// too, since the cache interposes on individual Gets.
+	Batch int
 	// FallbackCache, when set, keeps fetched objects cached and serves an
 	// unreachable member's cached copy — delivered with Element.Stale set —
 	// instead of skipping or retrying it. This is the disconnected-
@@ -66,7 +71,15 @@ func (o DynOptions) withDefaults() DynOptions {
 	if o.Buffer <= 0 {
 		o.Buffer = o.Width
 	}
+	if o.Batch == 0 {
+		o.Batch = 16
+	}
 	return o
+}
+
+// batched reports whether the dynamic set fetches per-node batches.
+func (o DynOptions) batched() bool {
+	return o.Batch > 1 && o.FallbackCache == nil
 }
 
 // DynSet is a dynamic set (Steere's abstraction, §1.1): an open handle on a
@@ -145,23 +158,6 @@ func (d *DynSet) admit(refs []repo.Ref) []repo.Ref {
 	return out
 }
 
-// order sorts pending fetches per the configured policy, farthest last so
-// the coordinator can pop from the tail.
-func (d *DynSet) order(pending []repo.Ref) {
-	switch d.opts.Order {
-	case OrderListing:
-		sort.Slice(pending, func(i, j int) bool { return pending[i].ID > pending[j].ID })
-	default:
-		sort.Slice(pending, func(i, j int) bool {
-			ri, rj := d.client.EstimateRTT(pending[i]), d.client.EstimateRTT(pending[j])
-			if ri != rj {
-				return ri > rj
-			}
-			return pending[i].ID > pending[j].ID
-		})
-	}
-}
-
 // coordinate drives the prefetch pipeline until everything admitted is
 // fetched (or skipped), then — if Refresh is enabled — keeps polling for
 // additions until cancelled.
@@ -174,10 +170,18 @@ func (d *DynSet) coordinate(ctx context.Context, pending []repo.Ref) {
 	defer wg.Wait()
 
 	for {
-		d.order(pending)
-		for len(pending) > 0 {
-			ref := pending[len(pending)-1]
-			pending = pending[:len(pending)-1]
+		sortForFetch(d.client, pending, d.opts.Order)
+		var jobs [][]repo.Ref
+		if d.opts.batched() {
+			jobs = chunkByNode(pending, d.opts.Batch)
+		} else {
+			for _, ref := range pending {
+				jobs = append(jobs, []repo.Ref{ref})
+			}
+		}
+		pending = nil
+		for _, job := range jobs {
+			job := job
 			select {
 			case sem <- struct{}{}:
 			case <-ctx.Done():
@@ -187,7 +191,11 @@ func (d *DynSet) coordinate(ctx context.Context, pending []repo.Ref) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				d.fetch(ctx, ref)
+				if len(job) == 1 {
+					d.fetch(ctx, job[0])
+				} else {
+					d.fetchBatch(ctx, job)
+				}
 			}()
 		}
 		// Let in-flight fetches finish; they may enqueue retries.
@@ -252,6 +260,43 @@ func (d *DynSet) fetch(ctx context.Context, ref repo.Ref) {
 			d.skipped[ref.ID] = ref
 		}
 		d.mu.Unlock()
+	}
+}
+
+// fetchBatch retrieves one per-node chunk in a single round trip and
+// routes each member like fetch does. A transport failure fails the whole
+// round trip: every member of the chunk goes to retry or skipped at the
+// cost of one RPC, not one per member.
+func (d *DynSet) fetchBatch(ctx context.Context, refs []repo.Ref) {
+	ids := make([]repo.ObjectID, len(refs))
+	for i, ref := range refs {
+		ids[i] = ref.ID
+	}
+	objs, _, err := d.client.GetBatch(ctx, refs[0].Node, ids)
+	if err != nil {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.opts.RetryUnreachable {
+			d.retry = append(d.retry, refs...)
+		} else {
+			for _, ref := range refs {
+				d.skipped[ref.ID] = ref
+			}
+		}
+		return
+	}
+	for _, ref := range refs {
+		obj, ok := objs[ref.ID]
+		if !ok {
+			// Deleted while we were iterating; Fig. 6 permits missing it.
+			continue
+		}
+		e := Element{Ref: ref, Data: obj.Data, Attrs: obj.Attrs, Stale: obj.Tombstone}
+		select {
+		case d.results <- e:
+		case <-ctx.Done():
+			return
+		}
 	}
 }
 

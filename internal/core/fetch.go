@@ -1,0 +1,281 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/repo"
+)
+
+// This file is the shared fetch pipeline behind both iterator flavours:
+// the closest-first ordering heuristic (§1.1, "fetching 'closer' files
+// first"), per-node batch grouping, and the Iterator's bounded-concurrency
+// prefetcher. Batching is a transport optimisation only — every yield is
+// still decided by the spec kernel against a freshly observed pre-state,
+// so the Fig. 3–6 semantics are untouched.
+
+// FetchOptions tunes the Iterator's batched fetch path.
+type FetchOptions struct {
+	// Disable turns batching off: every element costs one Get round trip.
+	// Kept for comparison benchmarks and as an escape hatch.
+	Disable bool
+	// Batch caps how many ids ride in one GetBatch RPC. Defaults to 64.
+	Batch int
+	// Inflight bounds concurrent batch RPCs. Defaults to 4.
+	Inflight int
+	// Order selects the prefetch order. Defaults to closest-first.
+	Order FetchOrder
+}
+
+// WithDefaults resolves the zero values to the effective defaults.
+func (o FetchOptions) WithDefaults() FetchOptions {
+	if o.Batch <= 0 {
+		o.Batch = 64
+	}
+	if o.Inflight <= 0 {
+		o.Inflight = 4
+	}
+	return o
+}
+
+// sortForFetch orders refs for fetching: ascending estimated round-trip
+// time (closest first) or listing (ID) order. Ties break on ID so the
+// order is deterministic for a fixed network.
+func sortForFetch(client *repo.Client, refs []repo.Ref, order FetchOrder) {
+	switch order {
+	case OrderListing:
+		sort.Slice(refs, func(i, j int) bool { return refs[i].ID < refs[j].ID })
+	default:
+		sort.Slice(refs, func(i, j int) bool {
+			ri, rj := client.EstimateRTT(refs[i]), client.EstimateRTT(refs[j])
+			if ri != rj {
+				return ri < rj
+			}
+			return refs[i].ID < refs[j].ID
+		})
+	}
+}
+
+// chunkByNode splits fetch-ordered refs into per-node batches of at most
+// size ids, in first-appearance order — so the closest node's batch is
+// first and launches first.
+func chunkByNode(refs []repo.Ref, size int) [][]repo.Ref {
+	var chunks [][]repo.Ref
+	idx := make(map[netsim.NodeID]int)
+	for _, ref := range refs {
+		i, ok := idx[ref.Node]
+		if !ok || len(chunks[i]) >= size {
+			chunks = append(chunks, nil)
+			i = len(chunks) - 1
+			idx[ref.Node] = i
+		}
+		chunks[i] = append(chunks[i], ref)
+	}
+	return chunks
+}
+
+// fetchResult is one prefetched object, stamped with the client's mutation
+// epoch at the moment the batch was issued.
+type fetchResult struct {
+	obj     repo.Object
+	missing bool
+	err     error
+	epoch   uint64
+}
+
+// prefetcher overlaps an Iterator's element fetches: the candidates the
+// kernel could yield are grouped into per-node batches, issued
+// closest-first under a bounded in-flight budget, and parked in a ready
+// map until the kernel actually asks for them.
+//
+// Two properties keep it semantics-preserving:
+//
+//   - every yield is still re-validated by Step against a fresh pre-state,
+//     so a prefetched object whose node has since partitioned is never
+//     yielded under pessimistic semantics;
+//   - results carry the client's mutation epoch; a result fetched before
+//     this client's own later mutation is discarded and refetched,
+//     preserving read-your-writes (a member the client itself deleted
+//     still surfaces as the Fig. 4 stale-yield anomaly, never as live
+//     cached data).
+type prefetcher struct {
+	client *repo.Client
+	order  FetchOrder
+	batch  int
+
+	// ctx outlives individual Next calls so batches pipeline across
+	// yields; close cancels it and waits out the workers.
+	ctx    context.Context
+	cancel context.CancelFunc
+	sem    chan struct{}
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	ready   map[repo.ObjectID]fetchResult
+	pending map[repo.ObjectID]bool
+	// want/wantCh is the single waiter: Iterator is a single-caller
+	// control abstraction, so at most one fetch blocks at a time.
+	want   repo.ObjectID
+	wantCh chan fetchResult
+}
+
+func newPrefetcher(client *repo.Client, o FetchOptions) *prefetcher {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &prefetcher{
+		client:  client,
+		order:   o.Order,
+		batch:   o.Batch,
+		ctx:     ctx,
+		cancel:  cancel,
+		sem:     make(chan struct{}, o.Inflight),
+		ready:   make(map[repo.ObjectID]fetchResult),
+		pending: make(map[repo.ObjectID]bool),
+	}
+}
+
+// errMissing marks an id the holding node had no data for; it unwraps to
+// repo.ErrNotFound so the iterator's stale/skip handling applies.
+func errMissing(id repo.ObjectID) error {
+	return fmt.Errorf("prefetch %q: %w", id, repo.ErrNotFound)
+}
+
+// fetch returns ref's object, batching it together with the other
+// candidates the kernel could yield next. It blocks until ref's batch
+// lands; other batches keep filling the ready map meanwhile. A transport
+// error is returned once per failed round trip, not once per batched id.
+//
+// candidates is consulted lazily, only when ref is not already ready: on
+// the steady-state hit path a Next costs one map lookup here, not an O(n)
+// replan.
+func (p *prefetcher) fetch(ctx context.Context, ref repo.Ref, candidates func() []repo.Ref) (repo.Object, error) {
+	for {
+		p.mu.Lock()
+		if res, ok := p.ready[ref.ID]; ok {
+			delete(p.ready, ref.ID)
+			p.mu.Unlock()
+			if res.epoch != p.client.Mutations() {
+				continue // fetched before our own mutation: refetch
+			}
+			if res.missing {
+				return repo.Object{}, errMissing(ref.ID)
+			}
+			return res.obj, nil
+		}
+		p.planLocked(candidates())
+		if !p.pending[ref.ID] {
+			// The batch for ref could not be launched (closed prefetcher);
+			// fall back to a direct Get.
+			p.mu.Unlock()
+			return p.client.Get(ctx, ref)
+		}
+		ch := make(chan fetchResult, 1)
+		p.want, p.wantCh = ref.ID, ch
+		p.mu.Unlock()
+
+		select {
+		case res := <-ch:
+			if res.epoch != p.client.Mutations() {
+				continue
+			}
+			switch {
+			case res.err != nil:
+				return repo.Object{}, res.err
+			case res.missing:
+				return repo.Object{}, errMissing(ref.ID)
+			default:
+				return res.obj, nil
+			}
+		case <-ctx.Done():
+			p.mu.Lock()
+			p.want, p.wantCh = "", nil
+			p.mu.Unlock()
+			return repo.Object{}, ctx.Err()
+		}
+	}
+}
+
+// planLocked launches batches for every candidate that is neither ready
+// nor already in flight. Caller holds p.mu.
+func (p *prefetcher) planLocked(candidates []repo.Ref) {
+	if p.ctx.Err() != nil {
+		return
+	}
+	need := make([]repo.Ref, 0, len(candidates))
+	for _, ref := range candidates {
+		if p.pending[ref.ID] {
+			continue
+		}
+		if _, ok := p.ready[ref.ID]; ok {
+			continue
+		}
+		need = append(need, ref)
+	}
+	if len(need) == 0 {
+		return
+	}
+	sortForFetch(p.client, need, p.order)
+	for _, chunk := range chunkByNode(need, p.batch) {
+		for _, ref := range chunk {
+			p.pending[ref.ID] = true
+		}
+		p.wg.Add(1)
+		go p.run(chunk)
+	}
+}
+
+// run issues one per-node batch and routes the results: the single waiter
+// gets its result directly, everything else parks in ready. A transport
+// failure is delivered only to the waiter — the ids are simply cleared
+// from pending so a later fetch re-batches them — which is what makes a
+// failed batch count once per round trip in the iterator's liveness
+// accounting.
+func (p *prefetcher) run(chunk []repo.Ref) {
+	defer p.wg.Done()
+	select {
+	case p.sem <- struct{}{}:
+		defer func() { <-p.sem }()
+	case <-p.ctx.Done():
+		p.deliver(chunk, nil, p.ctx.Err(), p.client.Mutations())
+		return
+	}
+	epoch := p.client.Mutations()
+	ids := make([]repo.ObjectID, len(chunk))
+	for i, ref := range chunk {
+		ids[i] = ref.ID
+	}
+	objs, _, err := p.client.GetBatch(p.ctx, chunk[0].Node, ids)
+	p.deliver(chunk, objs, err, epoch)
+}
+
+func (p *prefetcher) deliver(chunk []repo.Ref, objs map[repo.ObjectID]repo.Object, err error, epoch uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, ref := range chunk {
+		delete(p.pending, ref.ID)
+		res := fetchResult{err: err, epoch: epoch}
+		if err == nil {
+			if obj, ok := objs[ref.ID]; ok {
+				res = fetchResult{obj: obj, epoch: epoch}
+			} else {
+				res = fetchResult{missing: true, epoch: epoch}
+			}
+		}
+		if p.wantCh != nil && p.want == ref.ID {
+			p.wantCh <- res
+			p.want, p.wantCh = "", nil
+			continue
+		}
+		if err == nil {
+			p.ready[ref.ID] = res
+		}
+	}
+}
+
+// close cancels in-flight batches and waits for the workers to exit.
+func (p *prefetcher) close() {
+	p.cancel()
+	p.wg.Wait()
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/repo"
+)
+
+// TestBatchedIteratorUsesBatchRPC pins the transport win: a batched
+// iterator over a populated set issues GetBatch RPCs and far fewer
+// per-object Gets than elements yielded.
+func TestBatchedIteratorUsesBatchRPC(t *testing.T) {
+	w := newTestWorld(t, 12)
+	ctx := context.Background()
+	gets := w.c.Bus.MethodCalls(repo.MethodGet)
+	batches := w.c.Bus.MethodCalls(repo.MethodGetBatch)
+
+	s := w.set(t, Options{Semantics: Snapshot})
+	elems, err := s.Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 12 {
+		t.Fatalf("yielded %d, want 12", len(elems))
+	}
+	if got := w.c.Bus.MethodCalls(repo.MethodGetBatch) - batches; got == 0 {
+		t.Fatal("batched iterator issued no GetBatch RPCs")
+	}
+	if got := w.c.Bus.MethodCalls(repo.MethodGet) - gets; got != 0 {
+		t.Fatalf("batched iterator issued %d per-object Gets", got)
+	}
+}
+
+// TestFetchDisableRestoresPerObjectPath keeps the baseline honest: with
+// Fetch.Disable every element costs one Get and no GetBatch is issued.
+func TestFetchDisableRestoresPerObjectPath(t *testing.T) {
+	w := newTestWorld(t, 6)
+	ctx := context.Background()
+	batches := w.c.Bus.MethodCalls(repo.MethodGetBatch)
+
+	s := w.set(t, Options{Semantics: Snapshot, Fetch: FetchOptions{Disable: true}})
+	elems, err := s.Collect(ctx)
+	if err != nil || len(elems) != 6 {
+		t.Fatalf("collect = %d elems, %v", len(elems), err)
+	}
+	if got := w.c.Bus.MethodCalls(repo.MethodGetBatch) - batches; got != 0 {
+		t.Fatalf("disabled fetch path issued %d GetBatch RPCs", got)
+	}
+}
+
+// TestBatchedIteratorLossyLinks runs the batch path under message loss:
+// ErrDropped mid-batch fails one round trip, the candidates are
+// re-batched, and every semantics still yields the full set.
+func TestBatchedIteratorLossyLinks(t *testing.T) {
+	c, err := cluster.New(cluster.Config{StorageNodes: 4, Seed: 7, DropProb: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := createPopulated(ctx, c, "lossy-batch", 12); err != nil {
+		t.Fatal(err)
+	}
+	for _, sem := range []Semantics{Snapshot, GrowOnly, Optimistic} {
+		sem := sem
+		t.Run(sem.String(), func(t *testing.T) {
+			s, err := NewSet(c.Client, cluster.DirNode, "lossy-batch", Options{
+				Semantics:  sem,
+				BlockRetry: time.Millisecond,
+				// Small batches and a narrow pipe force many round trips,
+				// so drops land mid-pipeline, not just on the first batch.
+				Fetch: FetchOptions{Batch: 3, Inflight: 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var elems []Element
+			for attempt := 0; attempt < 10; attempt++ {
+				elems, err = s.Collect(ctx)
+				if err == nil {
+					break
+				}
+			}
+			if err != nil {
+				t.Fatalf("collect kept failing: %v", err)
+			}
+			if len(elems) != 12 {
+				t.Fatalf("yielded %d, want 12", len(elems))
+			}
+		})
+	}
+}
+
+// TestPartitionMidBatchNeverYieldsUnreachable cuts a storage node off
+// after the prefetcher has already parked its objects in the ready queue.
+// Pessimistic semantics must not serve those prefetched copies: every
+// yield is re-validated against a fresh pre-state, so the run fails
+// instead of yielding an unreachable member.
+func TestPartitionMidBatchNeverYieldsUnreachable(t *testing.T) {
+	w := newTestWorld(t, 8)
+	ctx := context.Background()
+	victim := w.c.Storage[1] // hosts e001 and e005
+
+	s := w.set(t, Options{Semantics: Immutable})
+	it, err := s.Elements(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close(ctx)
+
+	var yielded []Element
+	for it.Next(ctx) {
+		yielded = append(yielded, it.Element())
+		if len(yielded) == 1 {
+			// e000 is out and the first fetch prefetched every member in
+			// per-node batches — e001 and e005 sit in the ready queue.
+			// Partition their node before the kernel reaches them.
+			w.c.Net.Isolate(victim)
+		}
+		if len(yielded) > 1 {
+			if n := it.Element().Ref.Node; n == victim {
+				t.Fatalf("yielded %q from partitioned node %s", it.Element().ID(), n)
+			}
+		}
+	}
+	if err := it.Err(); !errors.Is(err, ErrFailure) {
+		t.Fatalf("err = %v, want ErrFailure (unreachable members remain)", err)
+	}
+	// The six members on still-reachable nodes precede the failure; the
+	// two prefetched-but-partitioned ones are never served.
+	if len(yielded) != 6 {
+		t.Fatalf("yielded %d before failing, want 6", len(yielded))
+	}
+}
+
+// TestBatchFailureCountsOncePerRoundTrip proves the liveness-guard
+// accounting: four same-node members behind a blackhole link share one
+// GetBatch per attempt, and each failed round trip costs exactly one
+// consecutive-failure tick — so the iterator gives up only after
+// maxConsecutiveFetchFailures whole batches, not after 64/4 of them.
+func TestBatchFailureCountsOncePerRoundTrip(t *testing.T) {
+	c, err := cluster.New(cluster.Config{StorageNodes: 2, Seed: 4, DropProb: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	// The directory is the client's own node: self-sends never drop, so
+	// membership reads succeed while every cross-node fetch blackholes.
+	if err := c.Client.CreateCollection(ctx, cluster.HomeNode, "bh"); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.Client.Put(ctx, cluster.HomeNode, repo.Object{ID: "local", Data: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Client.Add(ctx, cluster.HomeNode, "bh", ref); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		id := repo.ObjectID(fmt.Sprintf("remote-%d", i))
+		if err := c.Client.Add(ctx, cluster.HomeNode, "bh", repo.Ref{ID: id, Node: c.Storage[0]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s, err := NewSet(c.Client, cluster.HomeNode, "bh", Options{Semantics: GrowOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Collect(ctx); !errors.Is(err, ErrFailure) {
+		t.Fatalf("err = %v, want ErrFailure after repeated batch failures", err)
+	}
+	// One failed GetBatch per consecutive-failure tick. Per-element
+	// accounting would give up after ~64/4 round trips.
+	if got := c.Bus.MethodCalls(repo.MethodGetBatch); got < maxConsecutiveFetchFailures {
+		t.Fatalf("gave up after %d failed batches, want ≥ %d (once per round trip)",
+			got, maxConsecutiveFetchFailures)
+	}
+}
+
+// TestVersionGatedListSkipsMembershipShipping checks the not-modified
+// path: a current-state iteration over a stable collection re-reads
+// membership every Next, but only the first List ships members — and the
+// retry accounting treats the gated replies as successes.
+func TestVersionGatedListSkipsMembershipShipping(t *testing.T) {
+	w := newTestWorld(t, 10)
+	ctx := context.Background()
+
+	s := w.set(t, Options{Semantics: GrowOnly})
+	it, err := s.Elements(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close(ctx)
+	n := 0
+	for it.Next(ctx) {
+		n++
+		// The cached listing must track reality: the kernel still sees
+		// every member.
+		if it.Element().Data == nil {
+			t.Fatalf("element %q yielded without data", it.Element().ID())
+		}
+	}
+	if err := it.Err(); err != nil || n != 10 {
+		t.Fatalf("run: n=%d err=%v", n, err)
+	}
+	if it.listFails != 0 {
+		t.Fatalf("listFails = %d after clean gated run", it.listFails)
+	}
+}
+
+// TestDynSetBatchSkipsMissingMember exercises a batch whose node reports
+// some ids missing: the vanished member is silently dropped (Fig. 6
+// permits missing a concurrent deletion), never surfaced as skipped.
+func TestDynSetBatchSkipsMissingMember(t *testing.T) {
+	c, err := cluster.New(cluster.Config{StorageNodes: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Client.CreateCollection(ctx, cluster.DirNode, "dyn"); err != nil {
+		t.Fatal(err)
+	}
+	var refs []repo.Ref
+	for i := 0; i < 3; i++ {
+		id := repo.ObjectID(fmt.Sprintf("m%d", i))
+		ref, err := c.Client.Put(ctx, c.Storage[0], repo.Object{ID: id, Data: []byte("d")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Client.Add(ctx, cluster.DirNode, "dyn", ref); err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	// m1's data vanishes while its membership survives — the mid-batch
+	// deletion, frozen deterministically.
+	if err := c.Client.Delete(ctx, refs[1]); err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := OpenDyn(ctx, c.Client, cluster.DirNode, "dyn", DynOptions{Width: 2, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	got := map[repo.ObjectID]bool{}
+	for ds.Next(ctx) {
+		got[ds.Element().ID()] = true
+	}
+	if len(got) != 2 || !got["m0"] || !got["m2"] {
+		t.Fatalf("yielded %v, want m0 and m2", got)
+	}
+	if sk := ds.Skipped(); len(sk) != 0 {
+		t.Fatalf("missing member reported as skipped: %v", sk)
+	}
+}
+
+// TestDynSetBatchPartitionSkipsChunk partitions the batch's node so the
+// whole chunk fails in one round trip; without RetryUnreachable every
+// member lands in Skipped, preserving the partial-result report.
+func TestDynSetBatchPartitionSkipsChunk(t *testing.T) {
+	c, err := cluster.New(cluster.Config{StorageNodes: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Client.CreateCollection(ctx, cluster.DirNode, "dynp"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		node := c.Storage[0]
+		if i >= 2 {
+			node = c.Storage[1]
+		}
+		id := repo.ObjectID(fmt.Sprintf("p%d", i))
+		ref, err := c.Client.Put(ctx, node, repo.Object{ID: id, Data: []byte("d")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Client.Add(ctx, cluster.DirNode, "dynp", ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Net.Isolate(c.Storage[1])
+
+	ds, err := OpenDyn(ctx, c.Client, cluster.DirNode, "dynp", DynOptions{Width: 2, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	n := 0
+	for ds.Next(ctx) {
+		if ds.Element().Ref.Node == c.Storage[1] {
+			t.Fatalf("yielded %q from isolated node", ds.Element().ID())
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("yielded %d reachable members, want 2", n)
+	}
+	if sk := ds.Skipped(); len(sk) != 2 {
+		t.Fatalf("skipped = %v, want the 2 members behind the partition", sk)
+	}
+}
+
+// TestPrefetcherReadYourWrites drives the mutation-epoch invalidation
+// directly: the whole set is prefetched in one batch, then the client
+// itself deletes a later member's data. The prefetched copy must NOT be
+// served; the refetch observes the deletion and yields the Fig. 4 stale
+// anomaly instead of live cached data.
+func TestPrefetcherReadYourWrites(t *testing.T) {
+	w := newTestWorld(t, 4)
+	ctx := context.Background()
+
+	s := w.set(t, Options{Semantics: Snapshot})
+	it, err := s.Elements(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close(ctx)
+	if !it.Next(ctx) { // prefetches every member in node batches
+		t.Fatalf("first next: %v", it.Err())
+	}
+	victim := w.refs[3]
+	if err := w.c.Client.Delete(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+	var last Element
+	for it.Next(ctx) {
+		last = it.Element()
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if last.ID() != victim.ID || !last.Stale || last.Data != nil {
+		t.Fatalf("deleted member yielded as %+v, want stale identity-only yield", last)
+	}
+}

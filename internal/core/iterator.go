@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
+	"reflect"
 	"time"
 
 	"weaksets/internal/locksvc"
@@ -51,6 +53,21 @@ type Iterator struct {
 	first map[spec.ElemID]bool
 	// refs maps every element ID this run has seen to its location.
 	refs map[spec.ElemID]repo.Ref
+
+	// pf is the batched prefetch pipeline; nil when Fetch.Disable is set.
+	pf *prefetcher
+	// curMembers/listVersion cache the last full membership read for the
+	// current-state semantics; a version-gated List revalidates the cache
+	// in one member-free round trip when the listing hasn't changed.
+	curMembers  map[spec.ElemID]bool
+	listVersion uint64
+	// Reachability expansion cache: when the same membership map expands
+	// the same per-node sample, the member-level map is identical, so it
+	// is reused instead of rebuilt (it is read-only once built). The
+	// per-node sample itself is still taken fresh every invocation.
+	reachMembers map[spec.ElemID]bool
+	reachNodes   map[netsim.NodeID]bool
+	reachCache   map[spec.ElemID]bool
 
 	yielded    map[spec.ElemID]bool
 	blockedFor time.Duration
@@ -140,36 +157,75 @@ func (it *Iterator) release(ctx context.Context) {
 func (it *Iterator) preState(ctx context.Context) (spec.State, error) {
 	members := it.first
 	if !it.opts.Semantics.UsesSnapshot() {
-		var (
-			refs []repo.Ref
-			err  error
-		)
 		if it.opts.Quorum.enabled() {
-			refs, _, err = readQuorum(ctx, it.client, it.opts.Quorum, it.set.name)
+			refs, _, err := readQuorum(ctx, it.client, it.opts.Quorum, it.set.name)
+			if err != nil {
+				return spec.State{}, err
+			}
+			members = make(map[spec.ElemID]bool, len(refs))
+			for _, ref := range refs {
+				id := spec.ElemID(ref.ID)
+				members[id] = true
+				it.refs[id] = ref
+			}
 		} else {
-			refs, _, err = it.client.List(ctx, it.set.dir, it.set.name)
-		}
-		if err != nil {
-			return spec.State{}, err
-		}
-		members = make(map[spec.ElemID]bool, len(refs))
-		for _, ref := range refs {
-			id := spec.ElemID(ref.ID)
-			members[id] = true
-			it.refs[id] = ref
+			refs, version, notModified, err := it.client.ListIfNew(ctx, it.set.dir, it.set.name, it.listVersion)
+			if err != nil {
+				return spec.State{}, err
+			}
+			if !notModified {
+				it.listVersion = version
+				it.curMembers = make(map[spec.ElemID]bool, len(refs))
+				for _, ref := range refs {
+					id := spec.ElemID(ref.ID)
+					it.curMembers[id] = true
+					it.refs[id] = ref
+				}
+			}
+			// On the not-modified path the cached listing is exact: the
+			// server certified the version is unchanged. Reachability is
+			// still re-sampled below on every invocation.
+			members = it.curMembers
 		}
 	}
-	st := spec.State{
-		Members: make(map[spec.ElemID]bool, len(members)),
-		Reach:   make(map[spec.ElemID]bool, len(members)),
-	}
+	// Membership maps (it.first, it.curMembers, a fresh quorum read) are
+	// never mutated in place, so the state aliases them rather than copying
+	// — the Recorder clones on record. Reachability is re-sampled every
+	// invocation, but once per distinct node: it is a link property, so
+	// members sharing a node share the answer within one sample.
+	sample := make(map[netsim.NodeID]bool, 8)
 	for id := range members {
-		st.Members[id] = true
-		if it.client.Reachable(it.refs[id]) {
-			st.Reach[id] = true
+		node := it.refs[id].Node
+		if _, ok := sample[node]; !ok {
+			sample[node] = it.client.NodeReachable(node)
 		}
 	}
-	return st, nil
+	return spec.State{Members: members, Reach: it.expandReach(members, sample)}, nil
+}
+
+// expandReach maps a per-node reachability sample down to per-member
+// reachability. Successive invocations usually expand the same sample over
+// the same membership; the identical result map is then reused rather than
+// rebuilt — it is read-only once built (the Recorder clones, the kernel
+// and prefetcher only read).
+func (it *Iterator) expandReach(members map[spec.ElemID]bool, sample map[netsim.NodeID]bool) map[spec.ElemID]bool {
+	if it.reachCache != nil && sameMapIdentity(it.reachMembers, members) && maps.Equal(it.reachNodes, sample) {
+		return it.reachCache
+	}
+	reach := make(map[spec.ElemID]bool, len(members))
+	for id := range members {
+		if sample[it.refs[id].Node] {
+			reach[id] = true
+		}
+	}
+	it.reachMembers, it.reachNodes, it.reachCache = members, sample, reach
+	return reach
+}
+
+// sameMapIdentity reports whether two maps are the same map value (share
+// the same underlying storage), which the membership caching relies on.
+func sameMapIdentity(a, b map[spec.ElemID]bool) bool {
+	return a != nil && b != nil && reflect.ValueOf(a).Pointer() == reflect.ValueOf(b).Pointer()
 }
 
 // Next advances the iterator: it either yields the next element (true) or
@@ -247,7 +303,15 @@ func (it *Iterator) Next(ctx context.Context) bool {
 // iterator terminated — check it.done).
 func (it *Iterator) fetch(ctx context.Context, pre spec.State, elem spec.ElemID) bool {
 	ref := it.refs[elem]
-	obj, err := it.client.Get(ctx, ref)
+	var (
+		obj repo.Object
+		err error
+	)
+	if it.pf != nil {
+		obj, err = it.pf.fetch(ctx, ref, func() []repo.Ref { return it.fetchCandidates(pre, elem) })
+	} else {
+		obj, err = it.client.Get(ctx, ref)
+	}
 	switch {
 	case err == nil:
 		it.yield(pre, ref, Element{Ref: ref, Data: obj.Data, Attrs: obj.Attrs, Stale: obj.Tombstone})
@@ -283,6 +347,21 @@ func (it *Iterator) fetch(ctx context.Context, pre spec.State, elem spec.ElemID)
 		}
 		return false
 	}
+}
+
+// fetchCandidates lists everything the kernel could yield after elem —
+// the unyielded reachable members — with elem first. The prefetcher
+// batches them by node so later Next calls find their objects ready.
+func (it *Iterator) fetchCandidates(pre spec.State, elem spec.ElemID) []repo.Ref {
+	out := make([]repo.Ref, 0, len(pre.Members))
+	out = append(out, it.refs[elem])
+	for id := range pre.Members {
+		if id == elem || it.yielded[id] || !pre.Reach[id] {
+			continue
+		}
+		out = append(out, it.refs[id])
+	}
+	return out
 }
 
 func (it *Iterator) yield(pre spec.State, ref repo.Ref, e Element) {
@@ -341,6 +420,9 @@ func (it *Iterator) Close(ctx context.Context) error {
 	}
 	it.closed = true
 	it.done = true
+	if it.pf != nil {
+		it.pf.close()
+	}
 	it.release(ctx)
 	return nil
 }

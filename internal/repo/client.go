@@ -2,6 +2,7 @@ package repo
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"weaksets/internal/netsim"
@@ -15,7 +16,17 @@ import (
 type Client struct {
 	bus  *rpc.Bus
 	node netsim.NodeID
+
+	// muts counts mutations issued through this client. Prefetched
+	// objects are stamped with the epoch at fetch time; a later epoch
+	// invalidates them, preserving read-your-writes through caches.
+	muts atomic.Uint64
 }
+
+// Mutations reports the client's mutation epoch: how many mutating calls
+// it has issued. It advances even on failed calls, since a mutation that
+// errored may still have taken effect server-side.
+func (c *Client) Mutations() uint64 { return c.muts.Load() }
 
 // NewClient creates a client that issues calls from node.
 func NewClient(bus *rpc.Bus, node netsim.NodeID) *Client {
@@ -52,8 +63,24 @@ func (c *Client) Get(ctx context.Context, ref Ref) (Object, error) {
 	return rpc.Invoke[Object](ctx, c.bus, c.node, ref.Node, MethodGet, GetReq{ID: ref.ID})
 }
 
+// GetBatch fetches several objects from one node in a single round trip.
+// It returns the found objects keyed by ID plus the ids the node had no
+// data for; only a transport failure errors the whole batch.
+func (c *Client) GetBatch(ctx context.Context, node netsim.NodeID, ids []ObjectID) (map[ObjectID]Object, []ObjectID, error) {
+	resp, err := rpc.Invoke[GetBatchResp](ctx, c.bus, c.node, node, MethodGetBatch, GetBatchReq{IDs: ids})
+	if err != nil {
+		return nil, nil, err
+	}
+	objs := make(map[ObjectID]Object, len(resp.Objects))
+	for _, obj := range resp.Objects {
+		objs[obj.ID] = obj
+	}
+	return objs, resp.Missing, nil
+}
+
 // Put stores an object on the given node and returns its ref.
 func (c *Client) Put(ctx context.Context, node netsim.NodeID, obj Object) (Ref, error) {
+	defer c.muts.Add(1)
 	if _, err := rpc.Invoke[PutResp](ctx, c.bus, c.node, node, MethodPut, PutReq{Obj: obj}); err != nil {
 		return Ref{}, err
 	}
@@ -62,6 +89,7 @@ func (c *Client) Put(ctx context.Context, node netsim.NodeID, obj Object) (Ref, 
 
 // Delete removes an object's data from its node.
 func (c *Client) Delete(ctx context.Context, ref Ref) error {
+	defer c.muts.Add(1)
 	_, _, err := c.bus.Call(ctx, c.node, ref.Node, MethodDelete, DeleteReq{ID: ref.ID})
 	return err
 }
@@ -81,6 +109,17 @@ func (c *Client) List(ctx context.Context, dir netsim.NodeID, name string) ([]Re
 	return resp.Members, resp.Version, nil
 }
 
+// ListIfNew reads a collection's membership only if it changed since
+// lastVersion (0 forces a full read). On the not-modified path no member
+// list crosses the wire; the caller keeps using its cached listing.
+func (c *Client) ListIfNew(ctx context.Context, dir netsim.NodeID, name string, lastVersion uint64) (members []Ref, version uint64, notModified bool, err error) {
+	resp, err := rpc.Invoke[ListResp](ctx, c.bus, c.node, dir, MethodList, ListReq{Name: name, IfVersion: lastVersion})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return resp.Members, resp.Version, resp.NotModified, nil
+}
+
 // ListPinned reads a pinned snapshot of a collection.
 func (c *Client) ListPinned(ctx context.Context, dir netsim.NodeID, name string, pin int64) ([]Ref, uint64, error) {
 	resp, err := rpc.Invoke[ListResp](ctx, c.bus, c.node, dir, MethodList, ListReq{Name: name, Pin: pin})
@@ -92,6 +131,7 @@ func (c *Client) ListPinned(ctx context.Context, dir netsim.NodeID, name string,
 
 // Add inserts a member into a collection.
 func (c *Client) Add(ctx context.Context, dir netsim.NodeID, name string, ref Ref) error {
+	defer c.muts.Add(1)
 	_, err := rpc.Invoke[MutateResp](ctx, c.bus, c.node, dir, MethodAdd, AddReq{Name: name, Ref: ref})
 	return err
 }
@@ -99,6 +139,7 @@ func (c *Client) Add(ctx context.Context, dir netsim.NodeID, name string, ref Re
 // Remove removes a member from a collection. It reports whether the
 // removal was deferred by an open grow-only window.
 func (c *Client) Remove(ctx context.Context, dir netsim.NodeID, name string, id ObjectID) (deferred bool, err error) {
+	defer c.muts.Add(1)
 	resp, err := rpc.Invoke[RemoveResp](ctx, c.bus, c.node, dir, MethodRemove, RemoveReq{Name: name, ID: id})
 	if err != nil {
 		return false, err
@@ -150,6 +191,7 @@ func (c *Client) BeginGrow(ctx context.Context, dir netsim.NodeID, name string) 
 // EndGrow closes a grow-only window; when the last window closes the
 // server garbage-collects ghosts and reports how many it reclaimed.
 func (c *Client) EndGrow(ctx context.Context, dir netsim.NodeID, name string, token int64) (reclaimed int, err error) {
+	defer c.muts.Add(1) // ghost GC may delete object data
 	resp, err := rpc.Invoke[EndGrowResp](ctx, c.bus, c.node, dir, MethodEndGrow, EndGrowReq{Name: name, Token: token})
 	if err != nil {
 		return 0, err

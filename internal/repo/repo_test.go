@@ -99,6 +99,102 @@ func TestPutIncrementsVersion(t *testing.T) {
 	}
 }
 
+func TestGetBatchRPC(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustPut(t, "s1", "a", "A")
+	w.mustPut(t, "s1", "b", "B")
+
+	objs, missing, err := w.client.GetBatch(ctx, "s1", []ObjectID{"a", "nope", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 || string(objs["a"].Data) != "A" || string(objs["b"].Data) != "B" {
+		t.Fatalf("objs = %v", objs)
+	}
+	if len(missing) != 1 || missing[0] != "nope" {
+		t.Fatalf("missing = %v", missing)
+	}
+
+	// A whole batch against an unreachable node fails as one transport
+	// error — the client sees one failed round trip, not N.
+	w.net.Partition([]netsim.NodeID{"home", "dir", "s2"}, []netsim.NodeID{"s1"})
+	calls := w.bus.MethodCalls(MethodGetBatch)
+	if _, _, err := w.client.GetBatch(ctx, "s1", []ObjectID{"a", "b"}); !netsim.IsFailure(err) {
+		t.Fatalf("partitioned batch err = %v, want transport failure", err)
+	}
+	if got := w.bus.MethodCalls(MethodGetBatch) - calls; got != 1 {
+		t.Fatalf("partitioned batch issued %d calls, want 1", got)
+	}
+}
+
+func TestListIfNew(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	w.mustColl(t, "c")
+	ra := w.mustPut(t, "s1", "a", "A")
+	if err := w.client.Add(ctx, "dir", "c", ra); err != nil {
+		t.Fatal(err)
+	}
+
+	members, v, nm, err := w.client.ListIfNew(ctx, "dir", "c", 0)
+	if err != nil || nm {
+		t.Fatalf("initial list: nm=%v err=%v", nm, err)
+	}
+	if len(members) != 1 || members[0].ID != "a" {
+		t.Fatalf("members = %v", members)
+	}
+
+	// Unchanged listing: not-modified, no members shipped.
+	members, v2, nm, err := w.client.ListIfNew(ctx, "dir", "c", v)
+	if err != nil || !nm || v2 != v || len(members) != 0 {
+		t.Fatalf("gated list: members=%v v=%d nm=%v err=%v", members, v2, nm, err)
+	}
+
+	// A mutation invalidates the gate.
+	rb := w.mustPut(t, "s1", "b", "B")
+	if err := w.client.Add(ctx, "dir", "c", rb); err != nil {
+		t.Fatal(err)
+	}
+	members, v3, nm, err := w.client.ListIfNew(ctx, "dir", "c", v)
+	if err != nil || nm || v3 <= v || len(members) != 2 {
+		t.Fatalf("post-add gated list: members=%v v=%d nm=%v err=%v", members, v3, nm, err)
+	}
+}
+
+func TestClientMutationEpoch(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	if w.client.Mutations() != 0 {
+		t.Fatalf("fresh client epoch = %d", w.client.Mutations())
+	}
+	ref := w.mustPut(t, "s1", "a", "A")
+	if w.client.Mutations() != 1 {
+		t.Fatalf("after put epoch = %d", w.client.Mutations())
+	}
+	if _, err := w.client.Get(ctx, ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.client.GetBatch(ctx, "s1", []ObjectID{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if w.client.Mutations() != 1 {
+		t.Fatalf("reads bumped epoch: %d", w.client.Mutations())
+	}
+	if err := w.client.Delete(ctx, ref); err != nil {
+		t.Fatal(err)
+	}
+	if w.client.Mutations() != 2 {
+		t.Fatalf("after delete epoch = %d", w.client.Mutations())
+	}
+	// Failed mutations still advance the epoch: the server may have
+	// applied the change before the reply was lost.
+	_ = w.client.Delete(ctx, ref)
+	if w.client.Mutations() != 3 {
+		t.Fatalf("after failed delete epoch = %d", w.client.Mutations())
+	}
+}
+
 func TestGetMissing(t *testing.T) {
 	w := newWorld(t)
 	if _, err := w.client.Get(context.Background(), Ref{ID: "nope", Node: "s1"}); !errors.Is(err, ErrNotFound) {

@@ -67,6 +67,7 @@ func (s *Server) Close() {
 
 func (s *Server) register() {
 	s.rpc.Handle(MethodGet, s.handleGet)
+	s.rpc.Handle(MethodGetBatch, s.handleGetBatch)
 	s.rpc.Handle(MethodPut, s.handlePut)
 	s.rpc.Handle(MethodDelete, s.handleDelete)
 	s.rpc.Handle(MethodCreate, s.handleCreate)
@@ -92,6 +93,15 @@ func (s *Server) handleGet(_ netsim.NodeID, req any) (any, error) {
 		return nil, err
 	}
 	return obj, nil
+}
+
+func (s *Server) handleGetBatch(_ netsim.NodeID, req any) (any, error) {
+	r, ok := req.(GetBatchReq)
+	if !ok {
+		return nil, fmt.Errorf("repo: bad request type %T", req)
+	}
+	objs, missing := s.store.GetBatch(r.IDs)
+	return GetBatchResp{Objects: objs, Missing: missing}, nil
 }
 
 func (s *Server) handlePut(_ netsim.NodeID, req any) (any, error) {
@@ -141,6 +151,17 @@ func (s *Server) handleList(_ netsim.NodeID, req any) (any, error) {
 	if r.Pin != 0 {
 		members, version, err = s.store.ListPinned(r.Name, r.Pin)
 	} else {
+		if r.IfVersion != 0 {
+			// Version-gated read: skip copying and shipping the listing
+			// when the client already holds the current version.
+			v, verr := s.store.ListVersion(r.Name)
+			if verr != nil {
+				return nil, verr
+			}
+			if v == r.IfVersion {
+				return ListResp{Version: v, NotModified: true}, nil
+			}
+		}
 		members, version, err = s.store.List(r.Name)
 	}
 	if err != nil {

@@ -54,6 +54,7 @@ var (
 // RPC method names served by every repository server.
 const (
 	MethodGet        = "repo.Get"
+	MethodGetBatch   = "repo.GetBatch"
 	MethodPut        = "repo.Put"
 	MethodDelete     = "repo.Delete"
 	MethodCreate     = "repo.CreateCollection"
@@ -74,6 +75,15 @@ const (
 type (
 	// GetReq fetches an object by ID.
 	GetReq struct{ ID ObjectID }
+	// GetBatchReq fetches several objects from one node in a single round
+	// trip.
+	GetBatchReq struct{ IDs []ObjectID }
+	// GetBatchResp carries the found objects in request order; ids with no
+	// stored object come back in Missing rather than failing the batch.
+	GetBatchResp struct {
+		Objects []Object
+		Missing []ObjectID
+	}
 	// PutReq stores (or overwrites) an object.
 	PutReq struct{ Obj Object }
 	// PutResp reports the stored version.
@@ -83,16 +93,21 @@ type (
 	// CreateReq creates an empty collection.
 	CreateReq struct{ Name string }
 	// ListReq reads a collection's membership; Pin selects a snapshot
-	// (0 means the live membership).
+	// (0 means the live membership). A non-zero IfVersion makes the read
+	// version-gated: if the live listing is still at that version the
+	// server answers NotModified without shipping the members.
 	ListReq struct {
-		Name string
-		Pin  int64
+		Name      string
+		Pin       int64
+		IfVersion uint64
 	}
 	// ListResp carries the membership and the collection version it
-	// reflects.
+	// reflects. When NotModified is true the listing is unchanged since
+	// the requested IfVersion and Members is empty.
 	ListResp struct {
-		Members []Ref
-		Version uint64
+		Members     []Ref
+		Version     uint64
+		NotModified bool
 	}
 	// AddReq inserts a member.
 	AddReq struct {

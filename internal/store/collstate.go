@@ -135,13 +135,25 @@ func (c *collState) endGrow(token int64) ([]Ref, error) {
 	var reclaim []Ref
 	if len(c.tokens) == 0 {
 		// Last token drained: garbage collect the ghosts (§3.3).
+		listedGhost := false
 		for id, ref := range c.pendingDelete {
 			if _, live := c.members[id]; !live {
 				reclaim = append(reclaim, ref)
 			}
 		}
+		for id := range c.ghosts {
+			if _, live := c.members[id]; !live {
+				listedGhost = true
+				break
+			}
+		}
 		c.ghosts = make(map[ObjectID]Ref)
 		c.pendingDelete = make(map[ObjectID]Ref)
+		if listedGhost {
+			// Reclaiming listed ghosts changes the listing; bump the
+			// version so version-gated reads cannot miss it.
+			c.version++
+		}
 	}
 	return reclaim, nil
 }

@@ -49,6 +49,29 @@ func (s *Locked) GetObject(id ObjectID) (obj Object, err error) {
 	return obj.Clone(), nil
 }
 
+// GetBatch implements Store: one lock trip for the whole batch.
+func (s *Locked) GetBatch(ids []ObjectID) (objs []Object, missing []ObjectID) {
+	var err error
+	defer s.ins.observe(OpGetBatch, time.Now(), &err)
+	s.ins.observeBatch(len(ids))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	objs = make([]Object, 0, len(ids))
+	seen := make(map[ObjectID]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] { // duplicate ids in the request resolve once
+			continue
+		}
+		seen[id] = true
+		if obj, ok := s.objects[id]; ok {
+			objs = append(objs, obj.Clone())
+		} else {
+			missing = append(missing, id)
+		}
+	}
+	return objs, missing
+}
+
 // PutObject implements Store.
 func (s *Locked) PutObject(obj Object) (version uint64, err error) {
 	defer s.ins.observe(OpPut, time.Now(), &err)
@@ -101,6 +124,17 @@ func (s *Locked) List(name string) (members []Ref, version uint64, err error) {
 		return nil, 0, err
 	}
 	return c.listedMembers(), c.version, nil
+}
+
+// ListVersion implements Store.
+func (s *Locked) ListVersion(name string) (version uint64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return 0, err
+	}
+	return c.version, nil
 }
 
 // ListPinned implements Store.
@@ -277,6 +311,7 @@ func (s *Locked) Stats() EngineStats {
 		Shards:      1,
 		Objects:     objects,
 		Collections: colls,
+		Batch:       s.ins.batchStats(),
 		Ops:         s.ins.opStats(),
 	}
 }

@@ -114,6 +114,45 @@ func (s *Sharded) GetObject(id ObjectID) (obj Object, err error) {
 	return obj.Clone(), nil
 }
 
+// GetBatch implements Store. IDs are grouped by shard so each shard is
+// visited — and its lock taken — exactly once per batch, no matter how
+// many of the batch's objects it holds.
+func (s *Sharded) GetBatch(ids []ObjectID) (objs []Object, missing []ObjectID) {
+	var err error
+	defer s.ins.observe(OpGetBatch, time.Now(), &err)
+	s.ins.observeBatch(len(ids))
+
+	byShard := make(map[*objShard][]ObjectID)
+	for _, id := range ids {
+		sh := s.shardFor(id)
+		byShard[sh] = append(byShard[sh], id)
+	}
+	found := make(map[ObjectID]Object, len(ids))
+	for sh, shardIDs := range byShard {
+		sh.mu.RLock()
+		for _, id := range shardIDs {
+			if obj, ok := sh.objects[id]; ok {
+				found[id] = obj.Clone()
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	objs = make([]Object, 0, len(found))
+	seen := make(map[ObjectID]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] { // duplicate ids in the request resolve once
+			continue
+		}
+		seen[id] = true
+		if obj, ok := found[id]; ok {
+			objs = append(objs, obj)
+		} else {
+			missing = append(missing, id)
+		}
+	}
+	return objs, missing
+}
+
 // PutObject implements Store.
 func (s *Sharded) PutObject(obj Object) (version uint64, err error) {
 	defer s.ins.observe(OpPut, time.Now(), &err)
@@ -174,6 +213,16 @@ func (s *Sharded) List(name string) (members []Ref, version uint64, err error) {
 	}
 	l := c.listing.Load()
 	return append([]Ref(nil), l.members...), l.version, nil
+}
+
+// ListVersion implements Store. Like List it is lock-free: the version
+// rides the published snapshot pointer.
+func (s *Sharded) ListVersion(name string) (version uint64, err error) {
+	c, err := s.coll(name)
+	if err != nil {
+		return 0, err
+	}
+	return c.listing.Load().version, nil
 }
 
 // ListPinned implements Store.
@@ -388,6 +437,7 @@ func (s *Sharded) Stats() EngineStats {
 		Shards:      len(s.shards),
 		Objects:     s.ObjectCount(),
 		Collections: colls,
+		Batch:       s.ins.batchStats(),
 		Ops:         s.ins.opStats(),
 	}
 }

@@ -17,6 +17,10 @@ type Store interface {
 
 	// GetObject returns a deep copy of the object, or ErrNotFound.
 	GetObject(id ObjectID) (Object, error)
+	// GetBatch returns deep copies of the requested objects in one trip,
+	// in request order. IDs with no stored object come back in missing
+	// instead of failing the batch.
+	GetBatch(ids []ObjectID) (objs []Object, missing []ObjectID)
 	// PutObject stores (or overwrites) an object, bumping its version,
 	// and reports the stored version.
 	PutObject(obj Object) (version uint64, err error)
@@ -32,6 +36,11 @@ type Store interface {
 	// List reads the collection's current listing — live members plus
 	// ghosts held by open grow windows — sorted by ID.
 	List(name string) (members []Ref, version uint64, err error)
+	// ListVersion reports the current listing version without copying
+	// the listing — the fast path behind version-gated membership reads.
+	// Engines must bump the version on every change to the listing,
+	// including ghost garbage collection.
+	ListVersion(name string) (version uint64, err error)
 	// ListPinned reads a pinned snapshot.
 	ListPinned(name string, pin int64) (members []Ref, version uint64, err error)
 	// Add inserts a member, reviving any ghost with the same ID.
@@ -84,6 +93,7 @@ type Op int
 // The instrumented operations, in wire/report order.
 const (
 	OpGet Op = iota
+	OpGetBatch
 	OpPut
 	OpDelete
 	OpList
@@ -99,8 +109,8 @@ const (
 )
 
 var opNames = [opCount]string{
-	"get", "put", "delete", "list", "listPinned", "add", "remove",
-	"pin", "unpin", "beginGrow", "endGrow", "sync",
+	"get", "getBatch", "put", "delete", "list", "listPinned", "add",
+	"remove", "pin", "unpin", "beginGrow", "endGrow", "sync",
 }
 
 func (o Op) String() string {
@@ -120,13 +130,24 @@ type OpStats struct {
 	P99    time.Duration `json:"p99_ns"`
 }
 
+// BatchStats summarises GetBatch traffic. RTTSaved is the round trips a
+// client avoided by batching: each batch of n ids costs one trip where
+// per-object fetching would have cost n.
+type BatchStats struct {
+	Batches     int64 `json:"batches"`
+	BatchedGets int64 `json:"batched_gets"`
+	MaxBatch    int64 `json:"max_batch"`
+	RTTSaved    int64 `json:"rtt_saved"`
+}
+
 // EngineStats is an engine's instrumentation snapshot.
 type EngineStats struct {
-	Engine      string    `json:"engine"`
-	Shards      int       `json:"shards"`
-	Objects     int       `json:"objects"`
-	Collections int       `json:"collections"`
-	Ops         []OpStats `json:"ops"`
+	Engine      string     `json:"engine"`
+	Shards      int        `json:"shards"`
+	Objects     int        `json:"objects"`
+	Collections int        `json:"collections"`
+	Batch       BatchStats `json:"batch"`
+	Ops         []OpStats  `json:"ops"`
 }
 
 // latStripes spreads each operation's latency reservoir over several
@@ -144,6 +165,36 @@ type opRec struct {
 // embed. The zero value is ready to use.
 type instruments struct {
 	ops [opCount]opRec
+
+	batches     atomic.Int64
+	batchedGets atomic.Int64
+	maxBatch    atomic.Int64
+}
+
+// observeBatch records one GetBatch call of n ids.
+func (in *instruments) observeBatch(n int) {
+	in.batches.Add(1)
+	in.batchedGets.Add(int64(n))
+	for {
+		cur := in.maxBatch.Load()
+		if int64(n) <= cur || in.maxBatch.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// batchStats snapshots the batch counters.
+func (in *instruments) batchStats() BatchStats {
+	b := BatchStats{
+		Batches:     in.batches.Load(),
+		BatchedGets: in.batchedGets.Load(),
+		MaxBatch:    in.maxBatch.Load(),
+	}
+	b.RTTSaved = b.BatchedGets - b.Batches
+	if b.RTTSaved < 0 {
+		b.RTTSaved = 0
+	}
+	return b
 }
 
 // observe records one completed operation. It is designed to be called

@@ -98,6 +98,116 @@ func TestObjectCloneIsolation(t *testing.T) {
 	})
 }
 
+func TestGetBatch(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		for _, id := range []ObjectID{"a", "b", "c", "d"} {
+			mustPut(t, st, id)
+		}
+		objs, missing := st.GetBatch([]ObjectID{"c", "nope", "a", "d", "gone"})
+		if got := []ObjectID{objs[0].ID, objs[1].ID, objs[2].ID}; len(objs) != 3 ||
+			got[0] != "c" || got[1] != "a" || got[2] != "d" {
+			t.Fatalf("objs = %v (want request order c,a,d)", got)
+		}
+		for _, obj := range objs {
+			if string(obj.Data) != "data-"+string(obj.ID) {
+				t.Fatalf("obj %q data = %q", obj.ID, obj.Data)
+			}
+		}
+		if len(missing) != 2 || missing[0] != "nope" || missing[1] != "gone" {
+			t.Fatalf("missing = %v", missing)
+		}
+
+		// Duplicate ids resolve once, whether found or missing.
+		objs, missing = st.GetBatch([]ObjectID{"a", "a", "x", "x"})
+		if len(objs) != 1 || objs[0].ID != "a" || len(missing) != 1 || missing[0] != "x" {
+			t.Fatalf("dup batch = %v missing %v", objs, missing)
+		}
+
+		// Batches return deep copies.
+		objs, _ = st.GetBatch([]ObjectID{"b"})
+		objs[0].Data[0] = 'X'
+		again, err := st.GetObject("b")
+		if err != nil || string(again.Data) != "data-b" {
+			t.Fatalf("batch aliased stored data: %q, %v", again.Data, err)
+		}
+
+		// Empty batch is a no-op, not an error.
+		objs, missing = st.GetBatch(nil)
+		if len(objs) != 0 || len(missing) != 0 {
+			t.Fatalf("empty batch = %v, %v", objs, missing)
+		}
+
+		stats := st.Stats()
+		if stats.Batch.Batches != 4 || stats.Batch.BatchedGets != 5+4+1 {
+			t.Fatalf("batch stats = %+v", stats.Batch)
+		}
+		if stats.Batch.MaxBatch != 5 || stats.Batch.RTTSaved != 10-4 {
+			t.Fatalf("batch stats = %+v", stats.Batch)
+		}
+	})
+}
+
+func TestListVersion(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		if _, err := st.ListVersion("nope"); !errors.Is(err, ErrNoCollection) {
+			t.Fatalf("missing collection = %v", err)
+		}
+		mustColl(t, st, "c")
+		ref := mustPut(t, st, "a")
+		if _, err := st.Add("c", ref); err != nil {
+			t.Fatal(err)
+		}
+		v, err := st.ListVersion("c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, lv, _ := st.List("c")
+		if v != lv {
+			t.Fatalf("ListVersion = %d, List version = %d", v, lv)
+		}
+		if _, _, _, err := st.Remove("c", "a"); err != nil {
+			t.Fatal(err)
+		}
+		v2, _ := st.ListVersion("c")
+		if v2 <= v {
+			t.Fatalf("version did not advance on remove: %d -> %d", v, v2)
+		}
+	})
+}
+
+// TestEndGrowBumpsVersion pins the property version-gated List depends
+// on: ghost garbage collection changes the listing, so it must advance
+// the version — a gated reader comparing versions would otherwise be
+// told "not modified" while the ghost silently vanished.
+func TestEndGrowBumpsVersion(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		mustColl(t, st, "c")
+		st.Add("c", mustPut(t, st, "a"))
+		tok, _ := st.BeginGrow("c")
+		st.Remove("c", "a") // deferred: ghost keeps "a" listed
+		vBefore, _ := st.ListVersion("c")
+		if _, err := st.EndGrow("c", tok); err != nil {
+			t.Fatal(err)
+		}
+		vAfter, _ := st.ListVersion("c")
+		if vAfter <= vBefore {
+			t.Fatalf("ghost GC changed the listing but not the version: %d -> %d", vBefore, vAfter)
+		}
+
+		// Conversely a window with no ghosts must NOT bump: nothing the
+		// listing shows changed.
+		tok, _ = st.BeginGrow("c")
+		vBefore, _ = st.ListVersion("c")
+		if _, err := st.EndGrow("c", tok); err != nil {
+			t.Fatal(err)
+		}
+		vAfter, _ = st.ListVersion("c")
+		if vAfter != vBefore {
+			t.Fatalf("empty window bumped version: %d -> %d", vBefore, vAfter)
+		}
+	})
+}
+
 func TestCollectionMembership(t *testing.T) {
 	engines(t, func(t *testing.T, st Store) {
 		mustColl(t, st, "c")

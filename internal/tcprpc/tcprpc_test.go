@@ -83,6 +83,60 @@ func TestRoundTripOverTCP(t *testing.T) {
 	}
 }
 
+// TestGetBatchOverTCP round-trips the batch RPC through gob: found
+// objects, missing ids, and the version-gated List all cross the socket.
+func TestGetBatchOverTCP(t *testing.T) {
+	remote := startRemote(t, "archive")
+	client := Dial(remote.srv.Addr(), "tester")
+	defer client.Close()
+	ctx := context.Background()
+
+	for _, id := range []repo.ObjectID{"a", "b"} {
+		obj := repo.Object{ID: id, Data: []byte("d-" + id)}
+		if _, err := client.Call(ctx, repo.MethodPut, repo.PutReq{Obj: obj}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := client.Call(ctx, repo.MethodGetBatch, repo.GetBatchReq{IDs: []repo.ObjectID{"b", "nope", "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, ok := out.(repo.GetBatchResp)
+	if !ok {
+		t.Fatalf("response type %T", out)
+	}
+	if len(resp.Objects) != 2 || resp.Objects[0].ID != "b" || resp.Objects[1].ID != "a" {
+		t.Fatalf("objects = %+v", resp.Objects)
+	}
+	if len(resp.Missing) != 1 || resp.Missing[0] != "nope" {
+		t.Fatalf("missing = %v", resp.Missing)
+	}
+
+	// Version-gated List over the wire: NotModified survives gob.
+	if _, err := client.Call(ctx, repo.MethodCreate, repo.CreateReq{Name: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Call(ctx, repo.MethodAdd, repo.AddReq{Name: "c", Ref: repo.Ref{ID: "a", Node: "archive"}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = client.Call(ctx, repo.MethodList, repo.ListReq{Name: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := out.(repo.ListResp)
+	if full.NotModified || len(full.Members) != 1 {
+		t.Fatalf("full list = %+v", full)
+	}
+	out, err = client.Call(ctx, repo.MethodList, repo.ListReq{Name: "c", IfVersion: full.Version})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated := out.(repo.ListResp)
+	if !gated.NotModified || len(gated.Members) != 0 || gated.Version != full.Version {
+		t.Fatalf("gated list = %+v", gated)
+	}
+}
+
 func TestSentinelErrorsCrossTheWire(t *testing.T) {
 	remote := startRemote(t, "archive")
 	client := Dial(remote.srv.Addr(), "tester")

@@ -85,6 +85,8 @@ func registerWireTypes() {
 	gob.Register(struct{}{})
 	// Repository wire types.
 	gob.Register(repo.GetReq{})
+	gob.Register(repo.GetBatchReq{})
+	gob.Register(repo.GetBatchResp{})
 	gob.Register(repo.PutReq{})
 	gob.Register(repo.PutResp{})
 	gob.Register(repo.DeleteReq{})
@@ -119,6 +121,7 @@ func registerWireTypes() {
 func RepoMethods() []string {
 	return []string{
 		repo.MethodGet,
+		repo.MethodGetBatch,
 		repo.MethodPut,
 		repo.MethodDelete,
 		repo.MethodCreate,
