@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-store bench-iter bench sweep sweep-iter clean
+.PHONY: check vet build test race bench-store bench-iter bench-rpc bench sweep sweep-iter sweep-rpc clean
 
-check: vet build race bench-store bench-iter
+check: vet build race bench-store bench-iter bench-rpc
 
 vet:
 	$(GO) vet ./...
@@ -26,9 +26,16 @@ bench-store:
 	$(GO) test -run xxx -bench BenchmarkStoreContention -benchtime 2000x .
 
 # Smoke the iterator fetch pipeline: batched vs per-object over a spread
-# collection catches regressions in the elements hot path.
+# collection catches regressions in the elements hot path. The in-process
+# modes only — the tcp-* modes are bench-rpc's job.
 bench-iter:
-	$(GO) test -run xxx -bench BenchmarkIterFetch -benchtime 20x .
+	$(GO) test -run xxx -bench 'BenchmarkIterFetch/(per-object|batched)' -benchtime 20x .
+
+# Smoke the TCP transport: the fetch pipeline over real loopback sockets,
+# serialized vs multiplexed client. Catches regressions in the seq-keyed
+# dispatch and the per-connection worker pool.
+bench-rpc:
+	$(GO) test -run xxx -bench 'BenchmarkIterFetch/tcp' -benchtime 5x .
 
 # Full root benchmark suite (slow).
 bench:
@@ -41,6 +48,10 @@ sweep:
 # Regenerate BENCH_iter.json from the full fetch-pipeline sweep.
 sweep-iter:
 	$(GO) run ./cmd/weakbench -iter
+
+# Regenerate BENCH_rpc.json from the full TCP transport sweep.
+sweep-rpc:
+	$(GO) run ./cmd/weakbench -rpc
 
 clean:
 	$(GO) clean ./...

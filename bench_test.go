@@ -14,10 +14,13 @@ import (
 	"weaksets/internal/cluster"
 	"weaksets/internal/core"
 	"weaksets/internal/experiments"
+	"weaksets/internal/netsim"
 	"weaksets/internal/repo"
+	"weaksets/internal/rpc"
 	"weaksets/internal/sim"
 	"weaksets/internal/spec"
 	"weaksets/internal/store"
+	"weaksets/internal/tcprpc"
 )
 
 func benchConfig(seed int64) experiments.Config {
@@ -252,24 +255,86 @@ func BenchmarkLatencyScaling(b *testing.B) {
 	}
 }
 
+// startTCPArchive boots a separate-process-style repository server
+// ("archive") reachable only over loopback TCP — the wire path behind
+// the BenchmarkIterFetch tcp-* modes. Each dispatched RPC pays lat of
+// simulated service time (a disk/WAN stand-in; loopback alone has so
+// little latency that transport pipelining would disappear into noise).
+func startTCPArchive(b *testing.B, lat time.Duration) (*tcprpc.Server, func()) {
+	b.Helper()
+	net := netsim.New(netsim.Config{})
+	net.AddNode("archive")
+	bus := rpc.NewBus(net)
+	repoSrv, err := repo.NewServer(bus, "archive")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dispatch := rpc.NewServer("archive")
+	for _, method := range tcprpc.RepoMethods() {
+		method := method
+		dispatch.Handle(method, func(from netsim.NodeID, req any) (any, error) {
+			if lat > 0 {
+				time.Sleep(lat)
+			}
+			out, _, err := bus.Call(context.Background(), "archive", "archive", method, req)
+			return out, err
+		})
+	}
+	srv, err := tcprpc.Serve("127.0.0.1:0", dispatch)
+	if err != nil {
+		repoSrv.Close()
+		b.Fatal(err)
+	}
+	return srv, func() {
+		srv.Close()
+		repoSrv.Close()
+	}
+}
+
 // BenchmarkIterFetch compares the iterator's batched fetch pipeline
 // against the one-Get-per-element baseline: a 64-element snapshot
-// iteration spread over 4 storage nodes. cmd/weakbench -iter runs the
-// full sweep under simulated WAN latency and writes BENCH_iter.json.
+// iteration. The per-object and batched modes spread members over 4
+// in-process storage nodes; the tcp-serial and tcp-mux modes host every
+// member on a repository server reachable only over a real loopback
+// socket, so the batched pipeline's concurrent GetBatches either queue
+// behind a one-call-at-a-time client (tcp-serial, the old transport) or
+// share the multiplexed stream (tcp-mux). cmd/weakbench -iter and -rpc
+// run the full sweeps and write BENCH_iter.json / BENCH_rpc.json.
 func BenchmarkIterFetch(b *testing.B) {
-	for _, mode := range []string{"per-object", "batched"} {
+	for _, mode := range []string{"per-object", "batched", "tcp-serial", "tcp-mux"} {
+		overTCP := mode == "tcp-serial" || mode == "tcp-mux"
 		b.Run(mode, func(b *testing.B) {
-			c, err := cluster.New(cluster.Config{StorageNodes: 4, Seed: 1})
+			ctx := context.Background()
+			storageNodes := 4
+			if overTCP {
+				storageNodes = 1
+			}
+			c, err := cluster.New(cluster.Config{StorageNodes: storageNodes, Seed: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer c.Close()
-			ctx := context.Background()
+			objNode := func(i int) netsim.NodeID { return c.StorageFor(i) }
+			if overTCP {
+				srv, stopArchive := startTCPArchive(b, time.Millisecond)
+				defer stopArchive()
+				client := tcprpc.Dial(srv.Addr(), "gateway")
+				if mode == "tcp-serial" {
+					client.MaxInflight = 1
+				}
+				c.Net.AddNode("archive")
+				gw, err := tcprpc.NewGateway(c.Bus, "archive", client, tcprpc.RepoMethods())
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer gw.Close()
+				objNode = func(int) netsim.NodeID { return "archive" }
+			}
 			if err := c.Client.CreateCollection(ctx, cluster.DirNode, "bench"); err != nil {
 				b.Fatal(err)
 			}
 			for i := 0; i < 64; i++ {
-				ref, err := c.Client.Put(ctx, c.StorageFor(i), repo.Object{
+				ref, err := c.Client.Put(ctx, objNode(i), repo.Object{
 					ID:   repo.ObjectID(fmt.Sprintf("e%03d", i)),
 					Data: make([]byte, 128),
 				})
@@ -280,9 +345,18 @@ func BenchmarkIterFetch(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			fetch := core.FetchOptions{Disable: mode == "per-object"}
+			if overTCP {
+				// All 64 members live on one node; the default batch of 64
+				// would ride in a single GetBatch and leave the transport
+				// nothing to pipeline. 8-id batches give the prefetcher its
+				// default 4 RPCs in flight — which the serialized client
+				// queues one at a time and the multiplexed client overlaps.
+				fetch.Batch = 8
+			}
 			set, err := core.NewSet(c.Client, cluster.DirNode, "bench", core.Options{
 				Semantics: core.Snapshot,
-				Fetch:     core.FetchOptions{Disable: mode == "per-object"},
+				Fetch:     fetch,
 			})
 			if err != nil {
 				b.Fatal(err)

@@ -6,11 +6,16 @@
 // the iterator fetch pipeline (batched vs one-Get-per-element) and writes
 // BENCH_iter.json.
 //
+// With -rpc it sweeps the TCP transport (serialized vs multiplexed
+// clients at increasing in-flight budgets and payload sizes, over real
+// loopback sockets) and writes BENCH_rpc.json.
+//
 // Usage:
 //
 //	weakbench [-run E1,E5] [-quick] [-seed 42] [-scale 0.01]
 //	weakbench -store [-store-json BENCH_store.json]
 //	weakbench -iter [-iter-json BENCH_iter.json]
+//	weakbench -rpc [-rpc-json BENCH_rpc.json]
 package main
 
 import (
@@ -22,15 +27,20 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"weaksets/internal/cluster"
 	"weaksets/internal/core"
 	"weaksets/internal/experiments"
 	"weaksets/internal/metrics"
+	"weaksets/internal/netsim"
 	"weaksets/internal/repo"
+	"weaksets/internal/rpc"
 	"weaksets/internal/sim"
 	"weaksets/internal/store"
+	"weaksets/internal/tcprpc"
 )
 
 func main() {
@@ -57,6 +67,10 @@ func run(args []string) error {
 		iterJSON  = fs.String("iter-json", "BENCH_iter.json", "where -iter writes its machine-readable results")
 		iterQk    = fs.Bool("iter-quick", false, "trim the -iter sweep (smaller sets)")
 		iterScale = fs.Float64("iter-scale", 0.1, "time scale for -iter (gentler compression than -scale so CPU stays subdominant to the simulated WAN latency)")
+		rpcRun    = fs.Bool("rpc", false, "run the TCP transport sweep (serial vs multiplexed) instead of experiments")
+		rpcJSON   = fs.String("rpc-json", "BENCH_rpc.json", "where -rpc writes its machine-readable results")
+		rpcQk     = fs.Bool("rpc-quick", false, "trim the -rpc sweep (smaller snapshot, fewer budgets)")
+		rpcLat    = fs.Duration("rpc-latency", 2*time.Millisecond, "simulated per-RPC service time on the -rpc remote (disk/WAN stand-in)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +94,9 @@ func run(args []string) error {
 	}
 	if *iterRun {
 		return runIterSweep(*iterJSON, *iterQk, *seed, sim.TimeScale(*iterScale))
+	}
+	if *rpcRun {
+		return runRPCSweep(*rpcJSON, *rpcQk, *rpcLat)
 	}
 
 	if *list {
@@ -220,6 +237,274 @@ func runStoreSweep(jsonPath string, quick bool) error {
 // microseconds rather than the table default.
 func fmtLat(d time.Duration) string {
 	return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+}
+
+// rpcResult is one row of the -rpc sweep: one full snapshot fetch over
+// real TCP with a fixed transport mode, in-flight budget, and payload.
+type rpcResult struct {
+	Mode        string        `json:"mode"` // "serial" or "multiplexed"
+	Budget      int           `json:"budget"`
+	Payload     int           `json:"payloadBytes"`
+	Elements    int           `json:"elements"`
+	Batches     int64         `json:"batchRPCs"`
+	Elapsed     time.Duration `json:"elapsedNs"`
+	ElemsPerSec float64       `json:"elemsPerSec"`
+	CallsPerSec float64       `json:"callsPerSec"`
+	MeanRTT     time.Duration `json:"meanRttNs"`
+	P99RTT      time.Duration `json:"p99RttNs"`
+	MaxInFlight int64         `json:"maxInFlight"`
+}
+
+// rpcReport is the BENCH_rpc.json document. Speedup maps
+// "payload=N/budget=B" to multiplexed-over-serial elements/sec.
+type rpcReport struct {
+	GOMAXPROCS       int                `json:"gomaxprocs"`
+	Elements         int                `json:"elements"`
+	Batch            int                `json:"batch"`
+	ServiceLatencyMs float64            `json:"serviceLatencyMs"`
+	Payloads         []int              `json:"payloads"`
+	Budgets          []int              `json:"budgets"`
+	Results          []rpcResult        `json:"results"`
+	Speedup          map[string]float64 `json:"speedup"`
+}
+
+// startRPCRemote boots the sweep's "remote process": its own network,
+// bus, and repository server, reachable only over loopback TCP. Every
+// dispatched RPC first pays lat of simulated service time (the stand-in
+// for disk or WAN work a real archive would do), which is exactly the
+// latency a serialized transport eats once per round trip and a
+// multiplexed transport overlaps.
+func startRPCRemote(lat time.Duration, workers int) (*tcprpc.Server, func(), error) {
+	const node = netsim.NodeID("archive")
+	net := netsim.New(netsim.Config{})
+	net.AddNode(node)
+	bus := rpc.NewBus(net)
+	repoSrv, err := repo.NewServer(bus, node)
+	if err != nil {
+		return nil, nil, err
+	}
+	dispatch := rpc.NewServer(node)
+	for _, method := range tcprpc.RepoMethods() {
+		method := method
+		dispatch.Handle(method, func(from netsim.NodeID, req any) (any, error) {
+			if lat > 0 {
+				time.Sleep(lat)
+			}
+			out, _, err := bus.Call(context.Background(), node, node, method, req)
+			return out, err
+		})
+	}
+	srv, err := tcprpc.ServeConfig("127.0.0.1:0", dispatch, tcprpc.ServerConfig{Workers: workers})
+	if err != nil {
+		repoSrv.Close()
+		return nil, nil, err
+	}
+	cleanup := func() {
+		srv.Close()
+		repoSrv.Close()
+	}
+	return srv, cleanup, nil
+}
+
+// runRPCSweep measures the transport itself on the snapshot fetch
+// workload: the full membership of an n-element collection is fetched
+// through GetBatch RPCs over one TCP connection, by `budget` workers
+// sharing one client. The serial mode pins the client's in-flight
+// budget to 1 — the one-RPC-per-round-trip transport the repo used to
+// have — so the sweep isolates what multiplexing buys at each
+// concurrency level and payload size.
+func runRPCSweep(jsonPath string, quick bool, serviceLat time.Duration) error {
+	elements, batch := 1000, 16
+	payloads := []int{256, 4096}
+	budgets := []int{1, 2, 4, 8, 16}
+	if quick {
+		elements = 200
+		payloads = []int{256}
+		budgets = []int{1, 8}
+	}
+	maxBudget := budgets[len(budgets)-1]
+
+	report := rpcReport{
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Elements:         elements,
+		Batch:            batch,
+		ServiceLatencyMs: float64(serviceLat) / float64(time.Millisecond),
+		Payloads:         payloads,
+		Budgets:          budgets,
+		Speedup:          map[string]float64{},
+	}
+	table := metrics.NewTable(
+		fmt.Sprintf("TCP transport: %d-element snapshot fetch, batch=%d, %.1fms service time per RPC",
+			elements, batch, report.ServiceLatencyMs),
+		"payload", "budget", "mode", "elapsed", "elems/sec", "rpc/sec", "rtt p99", "speedup")
+
+	ctx := context.Background()
+	for _, payload := range payloads {
+		srv, stop, err := startRPCRemote(serviceLat, maxBudget)
+		if err != nil {
+			return fmt.Errorf("rpc sweep: %w", err)
+		}
+
+		// Populate the snapshot collection on the remote.
+		seed := tcprpc.Dial(srv.Addr(), "seeder")
+		if _, err := seed.Call(ctx, repo.MethodCreate, repo.CreateReq{Name: "snap"}); err != nil {
+			seed.Close()
+			stop()
+			return fmt.Errorf("rpc sweep: %w", err)
+		}
+		for i := 0; i < elements; i++ {
+			obj := repo.Object{ID: repo.ObjectID(fmt.Sprintf("e%04d", i)), Data: make([]byte, payload)}
+			if _, err := seed.Call(ctx, repo.MethodPut, repo.PutReq{Obj: obj}); err == nil {
+				_, err = seed.Call(ctx, repo.MethodAdd, repo.AddReq{Name: "snap", Ref: repo.Ref{ID: obj.ID, Node: "archive"}})
+			}
+			if err != nil {
+				seed.Close()
+				stop()
+				return fmt.Errorf("rpc sweep: populate: %w", err)
+			}
+		}
+		seed.Close()
+
+		for _, budget := range budgets {
+			base := 0.0
+			for _, mode := range []string{"serial", "multiplexed"} {
+				res, err := runRPCFetch(ctx, srv.Addr(), mode, budget, batch, elements)
+				if err != nil {
+					stop()
+					return fmt.Errorf("rpc sweep: %s/budget=%d: %w", mode, budget, err)
+				}
+				res.Payload = payload
+				report.Results = append(report.Results, res)
+
+				speedup := "-"
+				if mode == "serial" {
+					base = res.ElemsPerSec
+				} else if base > 0 {
+					ratio := res.ElemsPerSec / base
+					report.Speedup[fmt.Sprintf("payload=%d/budget=%d", payload, budget)] = ratio
+					speedup = fmt.Sprintf("%.1fx", ratio)
+				}
+				table.AddRow(
+					fmt.Sprintf("%dB", payload),
+					fmt.Sprintf("%d", budget),
+					mode,
+					res.Elapsed.Round(time.Millisecond).String(),
+					fmt.Sprintf("%.0f", res.ElemsPerSec),
+					fmt.Sprintf("%.0f", res.CallsPerSec),
+					metrics.FmtDur(res.P99RTT),
+					speedup,
+				)
+			}
+		}
+		stop()
+	}
+	table.Render(os.Stdout)
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return fmt.Errorf("rpc sweep: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return fmt.Errorf("rpc sweep: encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("rpc sweep: %w", err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", jsonPath, len(report.Results))
+	return nil
+}
+
+// runRPCFetch performs one timed snapshot fetch: list the membership,
+// split it into GetBatch calls of `batch` ids, and drain them with
+// `budget` workers sharing one client. In serial mode the client's
+// in-flight budget is pinned to 1 so the wire carries one RPC at a time
+// no matter how many workers queue behind it.
+func runRPCFetch(ctx context.Context, addr, mode string, budget, batch, elements int) (rpcResult, error) {
+	client := tcprpc.Dial(addr, fmt.Sprintf("bench-%s-%d", mode, budget))
+	if mode == "serial" {
+		client.MaxInflight = 1
+	}
+	defer client.Close()
+
+	out, err := client.Call(ctx, repo.MethodList, repo.ListReq{Name: "snap"})
+	if err != nil {
+		return rpcResult{}, err
+	}
+	members := out.(repo.ListResp).Members
+	if len(members) != elements {
+		return rpcResult{}, fmt.Errorf("snapshot lists %d members, want %d", len(members), elements)
+	}
+	batches := make(chan []repo.ObjectID, (len(members)+batch-1)/batch)
+	for lo := 0; lo < len(members); lo += batch {
+		hi := lo + batch
+		if hi > len(members) {
+			hi = len(members)
+		}
+		ids := make([]repo.ObjectID, 0, hi-lo)
+		for _, ref := range members[lo:hi] {
+			ids = append(ids, ref.ID)
+		}
+		batches <- ids
+	}
+	close(batches)
+
+	var (
+		wg      sync.WaitGroup
+		fetched atomic.Int64
+		firstMu sync.Mutex
+		callErr error
+	)
+	start := time.Now()
+	for w := 0; w < budget; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ids := range batches {
+				out, err := client.Call(ctx, repo.MethodGetBatch, repo.GetBatchReq{IDs: ids})
+				if err != nil {
+					firstMu.Lock()
+					if callErr == nil {
+						callErr = err
+					}
+					firstMu.Unlock()
+					return
+				}
+				fetched.Add(int64(len(out.(repo.GetBatchResp).Objects)))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if callErr != nil {
+		return rpcResult{}, callErr
+	}
+	if got := fetched.Load(); got != int64(elements) {
+		return rpcResult{}, fmt.Errorf("fetched %d elements, want %d", got, elements)
+	}
+
+	st := client.Stats()
+	res := rpcResult{
+		Mode:        mode,
+		Budget:      budget,
+		Elements:    elements,
+		Elapsed:     elapsed,
+		MaxInFlight: st.MaxInFlight,
+	}
+	for _, m := range st.Methods {
+		if m.Method == repo.MethodGetBatch {
+			res.Batches = m.Count
+			res.MeanRTT = m.Mean
+			res.P99RTT = m.P99
+		}
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.ElemsPerSec = float64(elements) / s
+		res.CallsPerSec = float64(res.Batches) / s
+	}
+	return res, nil
 }
 
 // iterResult is one row of the -iter sweep: one iterator run over a

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperiment(t *testing.T) {
 	if err := run([]string{"-quick", "-run", "E8"}); err != nil {
@@ -23,5 +26,12 @@ func TestRunCSV(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "E99"}); err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRPCSweepQuick(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_rpc.json")
+	if err := run([]string{"-rpc", "-rpc-quick", "-rpc-latency", "1ms", "-rpc-json", out}); err != nil {
+		t.Fatal(err)
 	}
 }

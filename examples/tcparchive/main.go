@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"weaksets/internal/cluster"
 	"weaksets/internal/core"
@@ -113,6 +114,13 @@ func run() error {
 	fmt.Printf("weak set retrieved %d papers through the TCP gateway:\n", len(elems))
 	for _, e := range elems {
 		fmt.Printf("  %-12s %s (%d bytes)\n", e.Ref.ID, e.Attrs["title"], len(e.Data))
+	}
+
+	ts := gw.Stats()
+	fmt.Printf("\ntransport: %d calls over %d dial(s), peak %d in flight\n",
+		ts.Calls, ts.Dials, ts.MaxInFlight)
+	for _, m := range ts.Methods {
+		fmt.Printf("  %-16s n=%-3d p99=%v\n", m.Method, m.Count, m.P99.Round(10*time.Microsecond))
 	}
 
 	// The simulated partition still applies to the gateway node.

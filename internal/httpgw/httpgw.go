@@ -7,7 +7,7 @@
 //	GET /specs/{figure}                the formal spec text
 //	GET /collections/{coll}            membership listing (one round trip)
 //	GET /query?coll=&q=&sem=           streamed NDJSON query results
-//	GET /stats[?coll=]                 directory storage-engine counters
+//	GET /stats[?coll=]                 storage-engine + TCP transport counters
 //
 // Query results stream one JSON object per element as it is yielded — the
 // HTTP rendition of the paper's incremental retrieval — and end with a
@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"weaksets/internal/core"
@@ -31,6 +32,7 @@ import (
 	"weaksets/internal/repo"
 	"weaksets/internal/spec"
 	"weaksets/internal/store"
+	"weaksets/internal/tcprpc"
 )
 
 // Gateway serves the HTTP surface for one repository client.
@@ -42,6 +44,25 @@ type Gateway struct {
 	// QueryTimeout bounds each query's virtual patience via context.
 	// Defaults to 30s wall.
 	QueryTimeout time.Duration
+
+	tmu        sync.Mutex
+	transports []transportSource
+}
+
+// transportSource is one registered TCP transport feeding /stats.
+type transportSource struct {
+	name  string
+	stats func() tcprpc.TransportStats
+}
+
+// AddTransport registers a TCP transport stats source (typically a
+// tcprpc Gateway's Stats method) under the given name; /stats then
+// reports its connection churn, in-flight gauge, and per-method RTTs
+// alongside the storage-engine counters.
+func (g *Gateway) AddTransport(name string, stats func() tcprpc.TransportStats) {
+	g.tmu.Lock()
+	defer g.tmu.Unlock()
+	g.transports = append(g.transports, transportSource{name: name, stats: stats})
 }
 
 // New builds a gateway reading through client, with collections hosted on
@@ -175,6 +196,30 @@ type opInfo struct {
 	P99Ms  float64 `json:"p99Ms"`
 }
 
+// transportMethodInfo is one method row in a /stats transport block;
+// round-trip latencies are reported in milliseconds.
+type transportMethodInfo struct {
+	Method string  `json:"method"`
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+}
+
+// transportInfo is one registered TCP transport in the /stats body.
+type transportInfo struct {
+	Name        string                `json:"name"`
+	Addr        string                `json:"addr"`
+	Dials       int64                 `json:"dials"`
+	Reconnects  int64                 `json:"reconnects"`
+	InFlight    int64                 `json:"inFlight"`
+	MaxInFlight int64                 `json:"maxInFlight"`
+	Calls       int64                 `json:"calls"`
+	Failures    int64                 `json:"failures"`
+	Methods     []transportMethodInfo `json:"methods,omitempty"`
+}
+
 // collStatsInfo is the optional per-collection block of /stats.
 type collStatsInfo struct {
 	Collection string `json:"collection"`
@@ -202,6 +247,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		Collections int              `json:"collections"`
 		Batch       store.BatchStats `json:"batch"`
 		Ops         []opInfo         `json:"ops"`
+		Transports  []transportInfo  `json:"transports,omitempty"`
 		Collection  *collStatsInfo   `json:"collectionStats,omitempty"`
 	}{
 		Node:        string(g.dir),
@@ -222,6 +268,33 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			P50Ms:  ms(op.P50),
 			P99Ms:  ms(op.P99),
 		})
+	}
+	g.tmu.Lock()
+	sources := append([]transportSource(nil), g.transports...)
+	g.tmu.Unlock()
+	for _, src := range sources {
+		ts := src.stats()
+		ti := transportInfo{
+			Name:        src.name,
+			Addr:        ts.Addr,
+			Dials:       ts.Dials,
+			Reconnects:  ts.Reconnects,
+			InFlight:    ts.InFlight,
+			MaxInFlight: ts.MaxInFlight,
+			Calls:       ts.Calls,
+			Failures:    ts.Failures,
+		}
+		for _, m := range ts.Methods {
+			ti.Methods = append(ti.Methods, transportMethodInfo{
+				Method: m.Method,
+				Count:  m.Count,
+				Errors: m.Errors,
+				MeanMs: ms(m.Mean),
+				P50Ms:  ms(m.P50),
+				P99Ms:  ms(m.P99),
+			})
+		}
+		out.Transports = append(out.Transports, ti)
 	}
 	if coll := r.URL.Query().Get("coll"); coll != "" {
 		cs, err := g.client.Stats(r.Context(), g.dir, coll)

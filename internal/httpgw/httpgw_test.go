@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"weaksets/internal/cluster"
+	"weaksets/internal/tcprpc"
 	"weaksets/internal/wais"
 )
 
@@ -295,5 +296,67 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if resp, _ := w.get(t, "/stats"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("bare stats status = %d", resp.StatusCode)
+	}
+}
+
+// TestStatsTransports registers a TCP transport stats source and checks
+// /stats surfaces its connection churn and per-method RTT rows.
+func TestStatsTransports(t *testing.T) {
+	c, err := cluster.New(cluster.Config{StorageNodes: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	gw := New(c.Client, cluster.DirNode, c.LockNode)
+	gw.AddTransport("archive", func() tcprpc.TransportStats {
+		return tcprpc.TransportStats{
+			Addr:        "127.0.0.1:9999",
+			Dials:       3,
+			Reconnects:  2,
+			MaxInFlight: 8,
+			Calls:       120,
+			Failures:    1,
+			Methods: []tcprpc.MethodStats{
+				{Method: "repo.GetBatch", Count: 60, Mean: 2e6, P50: 2e6, P99: 4e6},
+			},
+		}
+	})
+	srv := httptest.NewServer(gw.Handler())
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Transports []struct {
+			Name        string `json:"name"`
+			Addr        string `json:"addr"`
+			Reconnects  int64  `json:"reconnects"`
+			MaxInFlight int64  `json:"maxInFlight"`
+			Methods     []struct {
+				Method string  `json:"method"`
+				Count  int64   `json:"count"`
+				P99Ms  float64 `json:"p99Ms"`
+			} `json:"methods"`
+		} `json:"transports"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Transports) != 1 {
+		t.Fatalf("transports = %s", body)
+	}
+	tr := out.Transports[0]
+	if tr.Name != "archive" || tr.Reconnects != 2 || tr.MaxInFlight != 8 {
+		t.Fatalf("transport block = %+v", tr)
+	}
+	if len(tr.Methods) != 1 || tr.Methods[0].Method != "repo.GetBatch" || tr.Methods[0].P99Ms != 4 {
+		t.Fatalf("method rows = %+v", tr.Methods)
 	}
 }

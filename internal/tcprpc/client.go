@@ -7,27 +7,67 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // ErrClientClosed reports calls on a closed client.
 var ErrClientClosed = errors.New("tcprpc: client closed")
 
-// Client is a TCP connection to a Server. Calls are serialized on one
-// persistent gob stream; a transport error drops the connection and the
-// next call redials. Client is safe for concurrent use.
+// sendBacklog bounds the client's encode queue. The writer goroutine
+// drains it as fast as gob can encode; the bound only matters when the
+// kernel socket buffer backs up, at which point callers block in Call
+// (transport backpressure) instead of buffering unboundedly.
+const sendBacklog = 128
+
+// Client is a multiplexed TCP connection to a Server. Many calls share
+// one persistent gob stream concurrently: a dedicated writer goroutine
+// serializes request envelopes onto the socket and a reader goroutine
+// dispatches response envelopes to their callers through a seq-keyed
+// pending-call map, so responses may return in any order and slow calls
+// never head-of-line-block fast ones. Per-call cancellation and
+// deadlines are enforced at the pending map — never via conn.SetDeadline,
+// which would clobber the deadlines of every other call sharing the
+// socket. A transport error fails every in-flight call and the next
+// call redials. Client is safe for concurrent use.
 type Client struct {
 	addr string
 	from string
 	// DialTimeout bounds connection establishment. Defaults to 5s.
+	// Set before the first Call.
 	DialTimeout time.Duration
+	// MaxInflight bounds how many calls may share the stream at once
+	// (0 = unlimited). 1 degenerates to the serialized one-RPC-per-
+	// round-trip transport — the baseline `weakbench -rpc` sweeps
+	// against. Set before the first Call.
+	MaxInflight int
 
 	mu     sync.Mutex
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
-	seq    uint64
+	cc     *clientConn
+	sem    chan struct{}
 	closed bool
+
+	seq atomic.Uint64
+	ins transportInstruments
+}
+
+// call is one RPC awaiting its response.
+type call struct {
+	ch chan response // buffered(1); the reader delivers at most once
+}
+
+// clientConn is one live connection with its goroutines and in-flight
+// calls. It is immutable except through fail, which runs once.
+type clientConn struct {
+	conn   net.Conn
+	sendCh chan *request
+
+	done     chan struct{}
+	failOnce sync.Once
+	err      error // written before done closes; read only after <-done
+
+	pmu     sync.Mutex
+	pending map[uint64]*call
 }
 
 // Dial creates a client for the server at addr. `from` identifies the
@@ -38,74 +78,205 @@ func Dial(addr, from string) *Client {
 	return &Client{addr: addr, from: from, DialTimeout: 5 * time.Second}
 }
 
+// Addr reports the server address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
 // Close shuts the connection down; in-flight calls fail.
 func (c *Client) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	c.dropLocked()
-}
-
-func (c *Client) dropLocked() {
-	if c.conn != nil {
-		_ = c.conn.Close()
-		c.conn = nil
-		c.enc = nil
-		c.dec = nil
+	cc := c.cc
+	c.cc = nil
+	c.mu.Unlock()
+	if cc != nil {
+		cc.fail(ErrClientClosed)
 	}
 }
 
-func (c *Client) ensureLocked() error {
-	if c.closed {
-		return ErrClientClosed
-	}
-	if c.conn != nil {
-		return nil
-	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
-	if err != nil {
-		return fmt.Errorf("tcprpc: dial %s: %w", c.addr, err)
-	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
-	return nil
+// Stats snapshots the client's transport instrumentation.
+func (c *Client) Stats() TransportStats {
+	return c.ins.snapshot(c.addr)
 }
 
-// Call performs one RPC. The context's deadline, if any, is applied to the
-// socket for this call.
-func (c *Client) Call(ctx context.Context, method string, req any) (any, error) {
+// conn returns the live connection, dialing a fresh one if the previous
+// connection died (or none exists yet).
+func (c *Client) conn() (*clientConn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClientClosed
+	}
+	if c.cc != nil {
+		select {
+		case <-c.cc.done:
+			c.cc = nil // dead; redial below
+		default:
+			return c.cc, nil
+		}
+	}
+	timeout := c.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("tcprpc: dial %s: %w", c.addr, err)
+	}
+	cc := &clientConn{
+		conn:    conn,
+		sendCh:  make(chan *request, sendBacklog),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]*call),
+	}
+	go cc.writeLoop(gob.NewEncoder(conn))
+	go cc.readLoop(gob.NewDecoder(conn))
+	if c.ins.dials.Add(1) > 1 {
+		c.ins.reconnects.Add(1)
+	}
+	c.cc = cc
+	return cc, nil
+}
+
+// acquire takes an in-flight slot when MaxInflight bounds the stream.
+// The returned release is non-nil even when no budget is configured.
+func (c *Client) acquire(ctx context.Context) (func(), error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c.MaxInflight > 0 && c.sem == nil {
+		c.sem = make(chan struct{}, c.MaxInflight)
+	}
+	sem := c.sem
+	c.mu.Unlock()
+	if sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case sem <- struct{}{}:
+		return func() { <-sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Call performs one RPC. Calls may overlap freely on the shared stream;
+// the context's cancellation or deadline abandons this call only (the
+// connection and every other in-flight call stay live).
+func (c *Client) Call(ctx context.Context, method string, req any) (any, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if err := c.ensureLocked(); err != nil {
+	release, err := c.acquire(ctx)
+	if err != nil {
 		return nil, err
 	}
-	if deadline, ok := ctx.Deadline(); ok {
-		_ = c.conn.SetDeadline(deadline)
-	} else {
-		_ = c.conn.SetDeadline(time.Time{})
+	defer release()
+
+	start := time.Now()
+	resp, err := c.do(ctx, method, req)
+	c.ins.observe(method, start, err)
+	return resp, err
+}
+
+func (c *Client) do(ctx context.Context, method string, req any) (any, error) {
+	cc, err := c.conn()
+	if err != nil {
+		return nil, err
 	}
 
-	c.seq++
-	out := request{Seq: c.seq, From: c.from, Method: method, Body: req}
-	if err := c.enc.Encode(&out); err != nil {
-		c.dropLocked()
-		return nil, fmt.Errorf("tcprpc: send %s: %w", method, err)
+	seq := c.seq.Add(1)
+	ca := &call{ch: make(chan response, 1)}
+	cc.pmu.Lock()
+	cc.pending[seq] = ca
+	cc.pmu.Unlock()
+	c.ins.inflightUp()
+	defer func() {
+		cc.pmu.Lock()
+		delete(cc.pending, seq)
+		cc.pmu.Unlock()
+		c.ins.inflightDown()
+	}()
+
+	out := &request{Seq: seq, From: c.from, Method: method, Body: req}
+	select {
+	case cc.sendCh <- out:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-cc.done:
+		return nil, fmt.Errorf("tcprpc: %s: %w", method, cc.err)
 	}
-	var in response
-	if err := c.dec.Decode(&in); err != nil {
-		c.dropLocked()
-		return nil, fmt.Errorf("tcprpc: recv %s: %w", method, err)
+
+	select {
+	case in := <-ca.ch:
+		return finish(in)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-cc.done:
+		// The response may have raced in just before the connection
+		// died; prefer it.
+		select {
+		case in := <-ca.ch:
+			return finish(in)
+		default:
+		}
+		return nil, fmt.Errorf("tcprpc: %s: %w", method, cc.err)
 	}
-	if in.Seq != out.Seq {
-		c.dropLocked()
-		return nil, fmt.Errorf("tcprpc: %s: response out of sequence (%d != %d)", method, in.Seq, out.Seq)
-	}
+}
+
+// finish unpacks one response envelope.
+func finish(in response) (any, error) {
 	if in.IsErr {
 		return nil, decodeErr(in.ErrText, in.ErrCode)
 	}
 	return in.Body, nil
+}
+
+// writeLoop is the connection's dedicated writer: the only goroutine
+// that touches the gob encoder.
+func (cc *clientConn) writeLoop(enc *gob.Encoder) {
+	for {
+		select {
+		case out := <-cc.sendCh:
+			if err := enc.Encode(out); err != nil {
+				cc.fail(fmt.Errorf("send %s: %w", out.Method, err))
+				return
+			}
+		case <-cc.done:
+			return
+		}
+	}
+}
+
+// readLoop is the connection's dedicated reader: it decodes response
+// envelopes and dispatches each to its caller by sequence number.
+// Responses for abandoned calls (cancelled contexts) are dropped.
+func (cc *clientConn) readLoop(dec *gob.Decoder) {
+	for {
+		var in response
+		if err := dec.Decode(&in); err != nil {
+			cc.fail(fmt.Errorf("recv: %w", err))
+			return
+		}
+		cc.pmu.Lock()
+		ca, ok := cc.pending[in.Seq]
+		if ok {
+			delete(cc.pending, in.Seq)
+		}
+		cc.pmu.Unlock()
+		if ok {
+			ca.ch <- in
+		}
+	}
+}
+
+// fail marks the connection dead exactly once: every in-flight and
+// future waiter on this connection observes err through done.
+func (cc *clientConn) fail(err error) {
+	cc.failOnce.Do(func() {
+		cc.err = err
+		close(cc.done)
+		_ = cc.conn.Close()
+	})
 }

@@ -15,10 +15,17 @@ import (
 // dynamic sets, queries — the remote process is just another node, still
 // subject to the simulated network's latency and partitions on the local
 // leg.
+//
+// Handlers run on their callers' goroutines and the underlying Client
+// multiplexes, so concurrent bus calls to the gateway node (e.g. the
+// iterator prefetcher's in-flight GetBatches) overlap on the one socket
+// instead of queueing behind a per-connection lock.
 type Gateway struct {
 	client *Client
 	node   netsim.NodeID
-	// CallTimeout bounds each forwarded call. Defaults to 10s.
+	// CallTimeout bounds each forwarded call. It is enforced per call
+	// through the client's pending map, so one expiring call never
+	// disturbs the others sharing the stream. Defaults to 10s.
 	CallTimeout time.Duration
 }
 
@@ -47,6 +54,10 @@ func NewGateway(bus *rpc.Bus, node netsim.NodeID, client *Client, methods []stri
 
 // Node reports the cluster node the gateway impersonates.
 func (g *Gateway) Node() netsim.NodeID { return g.node }
+
+// Stats snapshots the underlying client's transport instrumentation —
+// the hook httpgw's /stats uses to surface gateway transport health.
+func (g *Gateway) Stats() TransportStats { return g.client.Stats() }
 
 // Close closes the underlying connection.
 func (g *Gateway) Close() { g.client.Close() }

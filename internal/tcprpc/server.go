@@ -2,9 +2,7 @@ package tcprpc
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 
@@ -12,10 +10,30 @@ import (
 	"weaksets/internal/rpc"
 )
 
-// Server serves an rpc.Server's dispatch table over TCP.
+// DefaultConnWorkers is the per-connection worker-pool size Serve uses.
+const DefaultConnWorkers = 8
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	// Workers bounds the per-connection worker pool: how many decoded
+	// requests one connection may have executing at once. Defaults to
+	// DefaultConnWorkers. 1 restores strictly sequential handling.
+	Workers int
+}
+
+// Server serves an rpc.Server's dispatch table over TCP. Each decoded
+// request is handed to a bounded per-connection worker pool, so a slow
+// call (a large GetBatch, say) no longer head-of-line-blocks the fast
+// Get/List traffic multiplexed on the same socket; responses are
+// serialized back through a per-connection write lock and may return
+// out of request order (clients dispatch by sequence number). When the
+// pool and the request queue are both full the decode loop blocks,
+// pushing backpressure onto the socket rather than buffering
+// unboundedly.
 type Server struct {
 	lis      net.Listener
 	dispatch *rpc.Server
+	workers  int
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -27,14 +45,24 @@ type Server struct {
 // port) and returns immediately; use Addr for the bound address and Close
 // to stop.
 func Serve(addr string, dispatch *rpc.Server) (*Server, error) {
+	return ServeConfig(addr, dispatch, ServerConfig{})
+}
+
+// ServeConfig is Serve with explicit tuning.
+func ServeConfig(addr string, dispatch *rpc.Server, cfg ServerConfig) (*Server, error) {
 	registerWireTypes()
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tcprpc: listen %s: %w", addr, err)
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = DefaultConnWorkers
+	}
 	s := &Server{
 		lis:      lis,
 		dispatch: dispatch,
+		workers:  workers,
 		conns:    make(map[net.Conn]bool),
 	}
 	s.wg.Add(1)
@@ -93,25 +121,45 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
+	// wmu serializes response envelopes from concurrent workers onto the
+	// shared gob stream.
+	var wmu sync.Mutex
+	reqCh := make(chan request, s.workers)
+	var pool sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		pool.Add(1)
+		go func() {
+			defer pool.Done()
+			for req := range reqCh {
+				body, err := s.dispatch.Dispatch(netsim.NodeID(req.From), req.Method, req.Body)
+				resp := response{Seq: req.Seq, Body: body}
+				if err != nil {
+					resp.IsErr = true
+					resp.ErrText, resp.ErrCode = encodeErr(err)
+					resp.Body = nil
+				}
+				wmu.Lock()
+				werr := enc.Encode(&resp)
+				wmu.Unlock()
+				if werr != nil {
+					// The stream is unusable; closing the socket unblocks
+					// the decode loop so the connection tears down. Workers
+					// keep draining (their encodes fail fast on the dead
+					// encoder) until the queue closes.
+					_ = conn.Close()
+				}
+			}
+		}()
+	}
 	for {
 		var req request
 		if err := dec.Decode(&req); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Peer went away mid-frame or sent garbage; either way the
-				// stream is unusable.
-				return
-			}
-			return
+			// Peer went away (EOF / closed socket) or sent garbage
+			// mid-frame; either way the stream is unusable.
+			break
 		}
-		body, err := s.dispatch.Dispatch(netsim.NodeID(req.From), req.Method, req.Body)
-		resp := response{Seq: req.Seq, Body: body}
-		if err != nil {
-			resp.IsErr = true
-			resp.ErrText, resp.ErrCode = encodeErr(err)
-			resp.Body = nil
-		}
-		if err := enc.Encode(&resp); err != nil {
-			return
-		}
+		reqCh <- req
 	}
+	close(reqCh)
+	pool.Wait()
 }

@@ -6,9 +6,13 @@
 // dynamic sets iterate over it unchanged.
 //
 // The protocol is a persistent gob stream per connection carrying
-// sequence-numbered request/response envelopes. Well-known sentinel errors
-// (repo.ErrNotFound and friends) are mapped to wire codes so errors.Is
-// keeps working across the socket.
+// sequence-numbered request/response envelopes, multiplexed: a client
+// keeps many calls in flight on one stream and matches responses to
+// callers by sequence number, and a server executes decoded requests on
+// a bounded per-connection worker pool, so responses may legally return
+// in any order. See DESIGN.md §8 for the framing, dispatch, and failure
+// semantics. Well-known sentinel errors (repo.ErrNotFound and friends)
+// are mapped to wire codes so errors.Is keeps working across the socket.
 package tcprpc
 
 import (
