@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-store bench-iter bench-rpc bench sweep sweep-iter sweep-rpc clean
+.PHONY: check vet build test race bench-store bench-iter bench-rpc bench-obs bench sweep sweep-iter sweep-rpc sweep-obs clean
 
-check: vet build race bench-store bench-iter bench-rpc
+check: vet build race bench-store bench-iter bench-rpc bench-obs
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,13 @@ bench-iter:
 bench-rpc:
 	$(GO) test -run xxx -bench 'BenchmarkIterFetch/tcp' -benchtime 5x .
 
+# Smoke the observability overhead sweep: a quick pass over the four
+# instrumentation modes (off / weakness / sampled / full) catches gross
+# regressions in the traced hot path. Writes to /tmp so the committed
+# BENCH_obs.json (produced by sweep-obs) is left alone.
+bench-obs:
+	$(GO) run ./cmd/weakbench -obs -obs-quick -obs-json /tmp/BENCH_obs_smoke.json
+
 # Full root benchmark suite (slow).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -52,6 +59,10 @@ sweep-iter:
 # Regenerate BENCH_rpc.json from the full TCP transport sweep.
 sweep-rpc:
 	$(GO) run ./cmd/weakbench -rpc
+
+# Regenerate BENCH_obs.json from the full observability overhead sweep.
+sweep-obs:
+	$(GO) run ./cmd/weakbench -obs
 
 clean:
 	$(GO) clean ./...

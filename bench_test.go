@@ -272,7 +272,7 @@ func startTCPArchive(b *testing.B, lat time.Duration) (*tcprpc.Server, func()) {
 	dispatch := rpc.NewServer("archive")
 	for _, method := range tcprpc.RepoMethods() {
 		method := method
-		dispatch.Handle(method, func(from netsim.NodeID, req any) (any, error) {
+		dispatch.Handle(method, func(_ context.Context, from netsim.NodeID, req any) (any, error) {
 			if lat > 0 {
 				time.Sleep(lat)
 			}

@@ -8,7 +8,9 @@
 //
 // With -rpc it sweeps the TCP transport (serialized vs multiplexed
 // clients at increasing in-flight budgets and payload sizes, over real
-// loopback sockets) and writes BENCH_rpc.json.
+// loopback sockets) and writes BENCH_rpc.json. With -obs it measures what
+// the tracing and weakness-telemetry layer costs on the elements hot path
+// and writes BENCH_obs.json.
 //
 // Usage:
 //
@@ -16,6 +18,7 @@
 //	weakbench -store [-store-json BENCH_store.json]
 //	weakbench -iter [-iter-json BENCH_iter.json]
 //	weakbench -rpc [-rpc-json BENCH_rpc.json]
+//	weakbench -obs [-obs-json BENCH_obs.json]
 package main
 
 import (
@@ -71,6 +74,9 @@ func run(args []string) error {
 		rpcJSON   = fs.String("rpc-json", "BENCH_rpc.json", "where -rpc writes its machine-readable results")
 		rpcQk     = fs.Bool("rpc-quick", false, "trim the -rpc sweep (smaller snapshot, fewer budgets)")
 		rpcLat    = fs.Duration("rpc-latency", 2*time.Millisecond, "simulated per-RPC service time on the -rpc remote (disk/WAN stand-in)")
+		obsRun    = fs.Bool("obs", false, "run the observability overhead sweep instead of experiments")
+		obsJSON   = fs.String("obs-json", "BENCH_obs.json", "where -obs writes its machine-readable results")
+		obsQk     = fs.Bool("obs-quick", false, "trim the -obs sweep (fewer runs per trial)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +103,9 @@ func run(args []string) error {
 	}
 	if *rpcRun {
 		return runRPCSweep(*rpcJSON, *rpcQk, *rpcLat)
+	}
+	if *obsRun {
+		return runObsSweep(*obsJSON, *obsQk, *seed)
 	}
 
 	if *list {
@@ -286,11 +295,11 @@ func startRPCRemote(lat time.Duration, workers int) (*tcprpc.Server, func(), err
 	dispatch := rpc.NewServer(node)
 	for _, method := range tcprpc.RepoMethods() {
 		method := method
-		dispatch.Handle(method, func(from netsim.NodeID, req any) (any, error) {
+		dispatch.Handle(method, func(ctx context.Context, from netsim.NodeID, req any) (any, error) {
 			if lat > 0 {
 				time.Sleep(lat)
 			}
-			out, _, err := bus.Call(context.Background(), node, node, method, req)
+			out, _, err := bus.Call(ctx, node, node, method, req)
 			return out, err
 		})
 	}

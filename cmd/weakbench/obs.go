@@ -1,0 +1,219 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/core"
+	"weaksets/internal/metrics"
+	"weaksets/internal/obs"
+	"weaksets/internal/repo"
+)
+
+// obsResult is one row of the -obs sweep: the BenchmarkIterFetch-shaped
+// workload (64-element snapshot Collect, batched pipeline, 4 storage
+// nodes) repeated under one observability mode.
+type obsResult struct {
+	// Mode: "off" (no instrumentation), "weakness" (report counters
+	// only), "sampled" (tracer at 1-in-N, the production setting), or
+	// "full" (every run traced).
+	Mode        string        `json:"mode"`
+	Sample      int           `json:"sample"`
+	Runs        int           `json:"runs"`
+	Elapsed     time.Duration `json:"elapsedNs"`
+	ElemsPerSec float64       `json:"elemsPerSec"`
+	// SpansRetained shows the mode did what it claims: zero for off and
+	// weakness, small for sampled, large for full.
+	SpansRetained int `json:"spansRetained"`
+}
+
+// obsReport is the BENCH_obs.json document. OverheadPct maps each mode to
+// its throughput cost relative to "off" (negative = noise in the mode's
+// favour); the acceptance bar for the instrumented hot path is ~5%.
+type obsReport struct {
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	Elements     int                `json:"elements"`
+	RunsPerTrial int                `json:"runsPerTrial"`
+	Trials       int                `json:"trials"`
+	Seed         int64              `json:"seed"`
+	Results      []obsResult        `json:"results"`
+	OverheadPct  map[string]float64 `json:"overheadPct"`
+}
+
+// obsMode is one observability configuration under test.
+type obsMode struct {
+	name   string
+	sample int // 0 = no tracer
+	weak   bool
+}
+
+// runObsSweep measures what the observability layer costs on the elements
+// hot path: the same 64-element snapshot Collect that BenchmarkIterFetch
+// times, run back to back with instrumentation off, with weakness
+// counters only, with a 1-in-64 sampled tracer, and with every run fully
+// traced. Each mode reports the median of `trials` timed batches so a
+// stray scheduler hiccup doesn't decide the verdict.
+func runObsSweep(jsonPath string, quick bool, seed int64) error {
+	const elements = 64
+	runs, trials := 60, 5
+	if quick {
+		runs, trials = 15, 3
+	}
+	modes := []obsMode{
+		{name: "off"},
+		{name: "weakness", weak: true},
+		{name: "sampled", sample: 64, weak: true},
+		{name: "full", sample: 1, weak: true},
+	}
+
+	report := obsReport{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Elements:     elements,
+		RunsPerTrial: runs,
+		Trials:       trials,
+		Seed:         seed,
+		OverheadPct:  map[string]float64{},
+	}
+	table := metrics.NewTable(
+		fmt.Sprintf("Observability overhead: %d-element snapshot Collect, %d runs x %d trials (median)",
+			elements, runs, trials),
+		"mode", "sample", "elems/sec", "spans kept", "overhead")
+
+	ctx := context.Background()
+	base := 0.0
+	for _, mode := range modes {
+		res, err := runObsMode(ctx, mode, elements, runs, trials, seed)
+		if err != nil {
+			return fmt.Errorf("obs sweep: %s: %w", mode.name, err)
+		}
+		report.Results = append(report.Results, res)
+
+		overhead := "-"
+		if mode.name == "off" {
+			base = res.ElemsPerSec
+		} else if base > 0 {
+			pct := (base - res.ElemsPerSec) / base * 100
+			report.OverheadPct[mode.name] = pct
+			overhead = fmt.Sprintf("%+.1f%%", pct)
+		}
+		table.AddRow(
+			mode.name,
+			fmt.Sprintf("%d", res.Sample),
+			fmt.Sprintf("%.0f", res.ElemsPerSec),
+			fmt.Sprintf("%d", res.SpansRetained),
+			overhead,
+		)
+	}
+	table.Render(os.Stdout)
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return fmt.Errorf("obs sweep: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return fmt.Errorf("obs sweep: encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs sweep: %w", err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", jsonPath, len(report.Results))
+	return nil
+}
+
+// runObsMode builds a fresh cluster, populates the benchmark collection,
+// and times `trials` batches of `runs` Collects under one mode, keeping
+// the median batch.
+func runObsMode(ctx context.Context, mode obsMode, elements, runs, trials int, seed int64) (obsResult, error) {
+	c, err := cluster.New(cluster.Config{StorageNodes: 4, Seed: seed})
+	if err != nil {
+		return obsResult{}, err
+	}
+	defer c.Close()
+
+	var (
+		tracer   *obs.Tracer
+		weakness *obs.Registry
+	)
+	if mode.sample > 0 {
+		tracer = obs.NewTracer("weakbench", obs.Config{Sample: mode.sample})
+		c.UseTracer(tracer)
+	}
+	if mode.weak {
+		weakness = obs.NewRegistry()
+	}
+
+	if err := c.Client.CreateCollection(ctx, cluster.DirNode, "bench"); err != nil {
+		return obsResult{}, err
+	}
+	for i := 0; i < elements; i++ {
+		ref, err := c.Client.Put(ctx, c.StorageFor(i), repo.Object{
+			ID:   repo.ObjectID(fmt.Sprintf("e%03d", i)),
+			Data: make([]byte, 128),
+		})
+		if err == nil {
+			err = c.Client.Add(ctx, cluster.DirNode, "bench", ref)
+		}
+		if err != nil {
+			return obsResult{}, fmt.Errorf("populate: %w", err)
+		}
+	}
+	set, err := core.NewSet(c.Client, cluster.DirNode, "bench", core.Options{
+		Semantics: core.Snapshot,
+		Tracer:    tracer,
+		Weakness:  weakness,
+	})
+	if err != nil {
+		return obsResult{}, err
+	}
+
+	collect := func() error {
+		elems, err := set.Collect(ctx)
+		if err != nil {
+			return err
+		}
+		if len(elems) != elements {
+			return fmt.Errorf("yielded %d, want %d", len(elems), elements)
+		}
+		return nil
+	}
+	// Warm up caches, connections and the prefetch planner.
+	for i := 0; i < 3; i++ {
+		if err := collect(); err != nil {
+			return obsResult{}, err
+		}
+	}
+
+	elapsed := make([]time.Duration, 0, trials)
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			if err := collect(); err != nil {
+				return obsResult{}, err
+			}
+		}
+		elapsed = append(elapsed, time.Since(start))
+	}
+	sort.Slice(elapsed, func(i, j int) bool { return elapsed[i] < elapsed[j] })
+	median := elapsed[len(elapsed)/2]
+
+	res := obsResult{
+		Mode:          mode.name,
+		Sample:        mode.sample,
+		Runs:          runs,
+		Elapsed:       median,
+		SpansRetained: tracer.Stats().Retained,
+	}
+	if s := median.Seconds(); s > 0 {
+		res.ElemsPerSec = float64(elements*runs) / s
+	}
+	return res, nil
+}

@@ -22,6 +22,7 @@ import (
 	"weaksets/internal/dynapi"
 	"weaksets/internal/fsim"
 	"weaksets/internal/metrics"
+	"weaksets/internal/obs"
 	"weaksets/internal/sim"
 )
 
@@ -40,6 +41,7 @@ func run(args []string) error {
 		width   = fs.Int("width", 8, "dynamic-set prefetch width")
 		scale   = fs.Float64("scale", 0.01, "virtual-to-real time scale")
 		pattern = fs.String("pattern", "/pub/doc00*.txt", "glob pattern for the dynamic-sets API demo (empty to skip)")
+		trace   = fs.Bool("trace", false, "print the dynamic-set run's span trace and weakness report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +57,15 @@ func run(args []string) error {
 		return err
 	}
 	defer c.Close()
+	var (
+		tracer   *obs.Tracer
+		weakness *obs.Registry
+	)
+	if *trace {
+		tracer = obs.NewTracer("weakls", obs.Config{})
+		weakness = obs.NewRegistry()
+		c.UseTracer(tracer)
+	}
 	for i, node := range c.Storage {
 		c.Net.SetLinkLatency(cluster.HomeNode, node, sim.Fixed(time.Duration(i+1)*5*time.Millisecond))
 	}
@@ -102,7 +113,7 @@ func run(args []string) error {
 	// Dynamic-set ls: parallel, closest first, partial results.
 	fmt.Printf("$ weakls /pub           # dynamic set: width %d, closest first\n", *width)
 	elapsed = ts.Stopwatch()
-	ds, err := dfs.LsDyn(ctx, cluster.DirNode, "/pub", core.DynOptions{Width: *width})
+	ds, err := dfs.LsDyn(ctx, cluster.DirNode, "/pub", core.DynOptions{Width: *width, Tracer: tracer, Weakness: weakness})
 	if err != nil {
 		return err
 	}
@@ -123,6 +134,14 @@ func run(args []string) error {
 		fmt.Printf("; %d unreachable entries skipped", len(skipped))
 	}
 	fmt.Println()
+
+	if *trace {
+		_ = ds.Close()
+		fmt.Println()
+		obs.RenderWeakness(os.Stdout, ds.Weakness())
+		fmt.Println()
+		obs.RenderTrace(os.Stdout, tracer.Trace(ds.TraceID()))
+	}
 
 	if *pattern != "" {
 		// The Unix-flavoured dynamic-sets API (setOpen / setIterate /

@@ -21,6 +21,7 @@ import (
 	"weaksets/internal/cluster"
 	"weaksets/internal/core"
 	"weaksets/internal/metrics"
+	"weaksets/internal/obs"
 	"weaksets/internal/query"
 	"weaksets/internal/sim"
 	"weaksets/internal/wais"
@@ -45,6 +46,7 @@ func run(args []string) error {
 		cut        = fs.Int("cut", 0, "storage nodes to partition away")
 		scale      = fs.Float64("scale", 0.01, "virtual-to-real time scale")
 		seed       = fs.Int64("seed", 11, "random seed")
+		trace      = fs.Bool("trace", false, "print the run's span trace and weakness report")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +63,16 @@ func run(args []string) error {
 	}
 	defer c.Close()
 	ctx := context.Background()
+
+	var (
+		tracer   *obs.Tracer
+		weakness *obs.Registry
+	)
+	if *trace {
+		tracer = obs.NewTracer("weakquery", obs.Config{})
+		weakness = obs.NewRegistry()
+		c.UseTracer(tracer)
+	}
 
 	var corpus wais.Corpus
 	switch *corpusName {
@@ -93,7 +105,7 @@ func run(args []string) error {
 	mode := ""
 	if *dynamic {
 		opts.Dynamic = true
-		opts.DynOptions = core.DynOptions{Width: *width}
+		opts.DynOptions = core.DynOptions{Width: *width, Tracer: tracer, Weakness: weakness}
 		mode = fmt.Sprintf("dynamic set (width %d)", *width)
 	} else {
 		sem, ok := core.SemanticsByName(*semName)
@@ -104,6 +116,8 @@ func run(args []string) error {
 		opts.SetOptions = core.Options{
 			LockServer: c.LockNode,
 			MaxBlock:   2 * time.Second,
+			Tracer:     tracer,
+			Weakness:   weakness,
 		}
 		mode = sem.String()
 	}
@@ -132,6 +146,16 @@ func run(args []string) error {
 		fmt.Println("outcome: blocked — optimistic patience exhausted waiting for a repair")
 	default:
 		return err
+	}
+	if *trace {
+		fmt.Println()
+		if rep, ok := weakness.Last(corpus.Coll); ok {
+			obs.RenderWeakness(os.Stdout, rep)
+			fmt.Println()
+			obs.RenderTrace(os.Stdout, tracer.Trace(rep.Trace))
+		} else {
+			fmt.Println("(no weakness report recorded)")
+		}
 	}
 	return nil
 }

@@ -8,6 +8,8 @@
 //	curl 'http://127.0.0.1:8080/specs/fig6'
 //	curl 'http://127.0.0.1:8080/collections/menus'
 //	curl 'http://127.0.0.1:8080/query?coll=menus&q=cuisine=="chinese"&sem=optimistic'
+//	curl 'http://127.0.0.1:8080/metrics'
+//	curl 'http://127.0.0.1:8080/trace'            # then /trace?id=<id>
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 
 	"weaksets/internal/cluster"
 	"weaksets/internal/httpgw"
+	"weaksets/internal/obs"
 	"weaksets/internal/sim"
 	"weaksets/internal/wais"
 	"weaksets/internal/workload"
@@ -39,6 +42,8 @@ func run(args []string) error {
 		addr   = fs.String("addr", "127.0.0.1:8080", "listen address")
 		scale  = fs.Float64("scale", 0.01, "virtual-to-real time scale")
 		mutate = fs.Bool("mutate", true, "keep a background editor mutating the menus")
+		sample = fs.Int("sample", 1, "trace 1 in N query runs (1 = every run)")
+		pprof  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +59,9 @@ func run(args []string) error {
 		return err
 	}
 	defer c.Close()
+	tracer := obs.NewTracer("weakwww", obs.Config{Sample: *sample})
+	weakness := obs.NewRegistry()
+	c.UseTracer(tracer)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -88,6 +96,11 @@ func run(args []string) error {
 	}
 
 	gw := httpgw.New(c.Client, cluster.DirNode, c.LockNode)
+	gw.UseObs(weakness, tracer)
+	if *pprof {
+		gw.EnablePprof()
+		fmt.Println("pprof enabled under /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           gw.Handler(),

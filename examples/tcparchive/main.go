@@ -15,11 +15,13 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"weaksets/internal/cluster"
 	"weaksets/internal/core"
 	"weaksets/internal/netsim"
+	"weaksets/internal/obs"
 	"weaksets/internal/repo"
 	"weaksets/internal/rpc"
 	"weaksets/internal/tcprpc"
@@ -31,25 +33,28 @@ func main() {
 	}
 }
 
-// startArchive boots the "remote process": its own network, bus and
-// repository server, exposed over TCP.
-func startArchive() (*tcprpc.Server, func(), error) {
+// startArchive boots the "remote process": its own network, bus,
+// repository server and tracer, exposed over TCP. Its spans join traces
+// whose context arrives in the request envelopes.
+func startArchive(tracer *obs.Tracer) (*tcprpc.Server, func(), error) {
 	net := netsim.New(netsim.Config{})
 	net.AddNode("archive")
 	bus := rpc.NewBus(net)
+	bus.UseTracer(tracer)
 	repoSrv, err := repo.NewServer(bus, "archive")
 	if err != nil {
 		return nil, nil, err
 	}
+	repoSrv.UseTracer(tracer)
 	dispatch := rpc.NewServer("archive")
 	for _, method := range tcprpc.RepoMethods() {
 		method := method
-		dispatch.Handle(method, func(from netsim.NodeID, req any) (any, error) {
-			out, _, err := bus.Call(context.Background(), "archive", "archive", method, req)
+		dispatch.Handle(method, func(ctx context.Context, from netsim.NodeID, req any) (any, error) {
+			out, _, err := bus.Call(ctx, "archive", "archive", method, req)
 			return out, err
 		})
 	}
-	srv, err := tcprpc.Serve("127.0.0.1:0", dispatch)
+	srv, err := tcprpc.ServeConfig("127.0.0.1:0", dispatch, tcprpc.ServerConfig{Tracer: tracer})
 	if err != nil {
 		repoSrv.Close()
 		return nil, nil, err
@@ -62,7 +67,13 @@ func startArchive() (*tcprpc.Server, func(), error) {
 }
 
 func run() error {
-	archive, stopArchive, err := startArchive()
+	// One tracer per process: the archive's spans and the client's spans
+	// carry the same trace ids, stitched by the envelope's trace context.
+	archiveTracer := obs.NewTracer("archive", obs.Config{})
+	clientTracer := obs.NewTracer("client", obs.Config{})
+	weakness := obs.NewRegistry()
+
+	archive, stopArchive, err := startArchive(archiveTracer)
 	if err != nil {
 		return err
 	}
@@ -75,9 +86,12 @@ func run() error {
 		return err
 	}
 	defer c.Close()
+	c.UseTracer(clientTracer)
 	ctx := context.Background()
 	c.Net.AddNode("archive")
-	gw, err := tcprpc.NewGateway(c.Bus, "archive", tcprpc.Dial(archive.Addr(), "gateway"), tcprpc.RepoMethods())
+	remote := tcprpc.Dial(archive.Addr(), "gateway")
+	remote.Tracer = clientTracer
+	gw, err := tcprpc.NewGateway(c.Bus, "archive", remote, tcprpc.RepoMethods())
 	if err != nil {
 		return err
 	}
@@ -103,7 +117,11 @@ func run() error {
 		}
 	}
 
-	set, err := core.NewSet(c.Client, cluster.DirNode, "catalog", core.Options{Semantics: core.Optimistic})
+	set, err := core.NewSet(c.Client, cluster.DirNode, "catalog", core.Options{
+		Semantics: core.Optimistic,
+		Tracer:    clientTracer,
+		Weakness:  weakness,
+	})
 	if err != nil {
 		return err
 	}
@@ -121,6 +139,18 @@ func run() error {
 		ts.Calls, ts.Dials, ts.MaxInFlight)
 	for _, m := range ts.Methods {
 		fmt.Printf("  %-16s n=%-3d p99=%v\n", m.Method, m.Count, m.P99.Round(10*time.Microsecond))
+	}
+
+	// The run's weakness report, and its trace — one coherent tree even
+	// though half the spans were recorded in the "archive" process and
+	// crossed a real socket.
+	if rep, ok := weakness.Last("catalog"); ok {
+		fmt.Println()
+		obs.RenderWeakness(os.Stdout, rep)
+		spans := clientTracer.Trace(rep.Trace)
+		spans = append(spans, archiveTracer.Trace(rep.Trace)...)
+		fmt.Println()
+		obs.RenderTrace(os.Stdout, spans)
 	}
 
 	// The simulated partition still applies to the gateway node.

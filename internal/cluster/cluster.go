@@ -10,6 +10,7 @@ import (
 
 	"weaksets/internal/locksvc"
 	"weaksets/internal/netsim"
+	"weaksets/internal/obs"
 	"weaksets/internal/repo"
 	"weaksets/internal/rpc"
 	"weaksets/internal/sim"
@@ -99,6 +100,16 @@ func New(cfg Config) (*Cluster, error) {
 		Client:   repo.NewClient(bus, HomeNode),
 		Rand:     net.Rand().Fork(),
 	}, nil
+}
+
+// UseTracer attaches a tracer to the bus and to every repository server,
+// so traced runs produce spans at the RPC and store layers. Call it before
+// any traffic flows.
+func (c *Cluster) UseTracer(t *obs.Tracer) {
+	c.Bus.UseTracer(t)
+	for _, srv := range c.Servers {
+		srv.UseTracer(t)
+	}
 }
 
 // ClientAt creates an additional client homed at the given node.

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"weaksets/internal/netsim"
+	"weaksets/internal/obs"
 	"weaksets/internal/repo"
 	"weaksets/internal/sim"
 )
@@ -59,6 +61,11 @@ type DynOptions struct {
 	// operation extension: strictly weaker than Fig. 6 (the cached copy is
 	// not reachable), so it is opt-in and visible per element.
 	FallbackCache *repo.Cache
+	// Tracer, when set, records a span trace of the run (subject to the
+	// tracer's sampling knob); fetch RPCs underneath join it.
+	Tracer *obs.Tracer
+	// Weakness, when set, receives the run's weakness report on Close.
+	Weakness *obs.Registry
 }
 
 func (o DynOptions) withDefaults() DynOptions {
@@ -111,6 +118,17 @@ type DynSet struct {
 	skipped map[repo.ObjectID]repo.Ref
 	retry   []repo.Ref
 
+	// Observability: root span (nil when untraced) plus atomic weakness
+	// counters — fetchers run concurrently, so plain ints won't do.
+	span       *obs.Span
+	openedAt   time.Time
+	yielded    atomic.Int64
+	ghosts     atomic.Int64
+	dupes      atomic.Int64
+	fetchFails atomic.Int64
+	reported   bool
+	wkFinal    obs.WeaknessReport
+
 	cur Element
 	err error
 }
@@ -124,18 +142,25 @@ func OpenDyn(ctx context.Context, client *repo.Client, dir netsim.NodeID, name s
 	if err != nil {
 		return nil, fmt.Errorf("%w: open dynamic set %q: %v", ErrFailure, name, err)
 	}
-	ictx, cancel := context.WithCancel(ctx)
+	_, span := opts.Tracer.StartRoot(ctx, "dynset.elements")
+	span.SetAttr("collection", name)
+	span.SetAttr("node", string(client.Node()))
+	// The fetch pipeline's context carries the run's trace so every
+	// prefetch RPC joins it, while cancellation still comes from ctx.
+	ictx, cancel := context.WithCancel(obs.ContextWithSpan(ctx, span.Context()))
 	d := &DynSet{
-		client:  client,
-		dir:     dir,
-		name:    name,
-		opts:    opts,
-		scale:   client.Bus().Network().Scale(),
-		cancel:  cancel,
-		results: make(chan Element, opts.Buffer),
-		done:    make(chan struct{}),
-		seen:    make(map[repo.ObjectID]bool, len(members)),
-		skipped: make(map[repo.ObjectID]repo.Ref),
+		client:   client,
+		dir:      dir,
+		name:     name,
+		opts:     opts,
+		scale:    client.Bus().Network().Scale(),
+		cancel:   cancel,
+		results:  make(chan Element, opts.Buffer),
+		done:     make(chan struct{}),
+		seen:     make(map[repo.ObjectID]bool, len(members)),
+		skipped:  make(map[repo.ObjectID]repo.Ref),
+		span:     span,
+		openedAt: time.Now(),
 	}
 	pending := d.admit(members)
 	go d.coordinate(ictx, pending)
@@ -150,6 +175,7 @@ func (d *DynSet) admit(refs []repo.Ref) []repo.Ref {
 	var out []repo.Ref
 	for _, ref := range refs {
 		if d.seen[ref.ID] {
+			d.dupes.Add(1)
 			continue
 		}
 		d.seen[ref.ID] = true
@@ -248,11 +274,16 @@ func (d *DynSet) fetch(ctx context.Context, ref repo.Ref) {
 		e := Element{Ref: ref, Data: obj.Data, Attrs: obj.Attrs, Stale: obj.Tombstone || stale}
 		select {
 		case d.results <- e:
+			d.yielded.Add(1)
+			if e.Stale {
+				d.ghosts.Add(1)
+			}
 		case <-ctx.Done():
 		}
 	case errors.Is(err, repo.ErrNotFound):
 		// Deleted while we were iterating; Fig. 6 permits missing it.
 	default:
+		d.fetchFails.Add(1)
 		d.mu.Lock()
 		if d.opts.RetryUnreachable {
 			d.retry = append(d.retry, ref)
@@ -274,6 +305,7 @@ func (d *DynSet) fetchBatch(ctx context.Context, refs []repo.Ref) {
 	}
 	objs, _, err := d.client.GetBatch(ctx, refs[0].Node, ids)
 	if err != nil {
+		d.fetchFails.Add(1)
 		d.mu.Lock()
 		defer d.mu.Unlock()
 		if d.opts.RetryUnreachable {
@@ -294,6 +326,10 @@ func (d *DynSet) fetchBatch(ctx context.Context, refs []repo.Ref) {
 		e := Element{Ref: ref, Data: obj.Data, Attrs: obj.Attrs, Stale: obj.Tombstone}
 		select {
 		case d.results <- e:
+			d.yielded.Add(1)
+			if e.Stale {
+				d.ghosts.Add(1)
+			}
 		case <-ctx.Done():
 			return
 		}
@@ -342,11 +378,66 @@ func (d *DynSet) Skipped() []repo.Ref {
 	return out
 }
 
+// TraceID reports the run's trace ID, or the zero ID when untraced or
+// unsampled.
+func (d *DynSet) TraceID() obs.TraceID { return d.span.TraceID() }
+
 // Close stops prefetching and waits for the pipeline to drain. It is
 // idempotent and safe to call while a Next is blocked (that Next returns
 // false).
 func (d *DynSet) Close() error {
+	finished := false
+	select {
+	case <-d.done:
+		finished = true
+	default:
+	}
 	d.cancel()
 	<-d.done
+	d.finishObs(finished)
 	return nil
 }
+
+// finishObs emits the run's weakness report and ends the root span, once.
+func (d *DynSet) finishObs(finished bool) {
+	d.mu.Lock()
+	if d.reported {
+		d.mu.Unlock()
+		return
+	}
+	d.reported = true
+	skipped := int64(len(d.skipped))
+	d.mu.Unlock()
+
+	rep := obs.WeaknessReport{
+		Collection:           d.name,
+		Semantics:            "dynamic (optimistic)",
+		Trace:                d.span.TraceID(),
+		Yielded:              d.yielded.Load(),
+		UnreachableSkipped:   skipped,
+		GhostsServed:         d.ghosts.Load(),
+		DuplicatesSuppressed: d.dupes.Load(),
+		FetchFailures:        d.fetchFails.Load(),
+		SnapshotAge:          time.Since(d.openedAt),
+	}
+	switch {
+	case d.err != nil:
+		rep.Outcome = "error"
+	case finished:
+		rep.Outcome = "returns"
+	default:
+		rep.Outcome = "abandoned"
+	}
+	d.wkFinal = rep
+	d.opts.Weakness.Observe(rep)
+	d.span.SetInt("yielded", rep.Yielded)
+	d.span.SetInt("unreachableSkipped", rep.UnreachableSkipped)
+	d.span.SetInt("ghostsServed", rep.GhostsServed)
+	d.span.SetInt("duplicatesSuppressed", rep.DuplicatesSuppressed)
+	d.span.SetAttr("outcome", rep.Outcome)
+	d.span.End()
+}
+
+// Weakness returns the run's weakness report. It is complete only after
+// Close.
+func (d *DynSet) Weakness() obs.WeaknessReport { return d.wkFinal }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"weaksets/internal/netsim"
+	"weaksets/internal/obs"
 	"weaksets/internal/repo"
 )
 
@@ -105,6 +107,11 @@ type prefetcher struct {
 	client *repo.Client
 	order  FetchOrder
 	batch  int
+	tracer *obs.Tracer
+
+	// epochRetries counts results discarded for read-your-writes: the
+	// iterator folds it into the run's weakness report on close.
+	epochRetries atomic.Int64
 
 	// ctx outlives individual Next calls so batches pipeline across
 	// yields; close cancels it and waits out the workers.
@@ -122,12 +129,16 @@ type prefetcher struct {
 	wantCh chan fetchResult
 }
 
-func newPrefetcher(client *repo.Client, o FetchOptions) *prefetcher {
-	ctx, cancel := context.WithCancel(context.Background())
+// newPrefetcher builds the pipeline. base carries the run's trace
+// context (or is plain Background for an untraced run), so batches
+// issued between Next calls still belong to the run's trace.
+func newPrefetcher(base context.Context, client *repo.Client, o FetchOptions, tracer *obs.Tracer) *prefetcher {
+	ctx, cancel := context.WithCancel(base)
 	return &prefetcher{
 		client:  client,
 		order:   o.Order,
 		batch:   o.Batch,
+		tracer:  tracer,
 		ctx:     ctx,
 		cancel:  cancel,
 		sem:     make(chan struct{}, o.Inflight),
@@ -157,6 +168,7 @@ func (p *prefetcher) fetch(ctx context.Context, ref repo.Ref, candidates func() 
 			delete(p.ready, ref.ID)
 			p.mu.Unlock()
 			if res.epoch != p.client.Mutations() {
+				p.epochRetries.Add(1)
 				continue // fetched before our own mutation: refetch
 			}
 			if res.missing {
@@ -178,6 +190,7 @@ func (p *prefetcher) fetch(ctx context.Context, ref repo.Ref, candidates func() 
 		select {
 		case res := <-ch:
 			if res.epoch != p.client.Mutations() {
+				p.epochRetries.Add(1)
 				continue
 			}
 			switch {
@@ -246,7 +259,16 @@ func (p *prefetcher) run(chunk []repo.Ref) {
 	for i, ref := range chunk {
 		ids[i] = ref.ID
 	}
-	objs, _, err := p.client.GetBatch(p.ctx, chunk[0].Node, ids)
+	bctx, span := p.tracer.StartSpan(p.ctx, "fetch.batch")
+	span.SetAttr("node", string(chunk[0].Node))
+	span.SetInt("ids", int64(len(ids)))
+	objs, _, err := p.client.GetBatch(bctx, chunk[0].Node, ids)
+	if span != nil {
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}
 	p.deliver(chunk, objs, err, epoch)
 }
 

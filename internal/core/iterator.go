@@ -10,6 +10,7 @@ import (
 
 	"weaksets/internal/locksvc"
 	"weaksets/internal/netsim"
+	"weaksets/internal/obs"
 	"weaksets/internal/repo"
 	"weaksets/internal/sim"
 	"weaksets/internal/spec"
@@ -74,6 +75,14 @@ type Iterator struct {
 	fetchFails int
 	listFails  int
 
+	// Observability: the run's root span (nil when untraced/unsampled),
+	// its weakness report under construction, and the snapshot capture
+	// time that turns into SnapshotAge on close.
+	span     *obs.Span
+	wk       obs.WeaknessReport
+	openedAt time.Time
+	obsDone  bool
+
 	elem   Element
 	err    error
 	done   bool
@@ -126,8 +135,18 @@ func (it *Iterator) setup(ctx context.Context) error {
 			it.first[id] = true
 			it.refs[id] = ref
 		}
+		it.openedAt = time.Now()
 	}
 	return nil
+}
+
+// traceCtx stamps the run's span context onto ctx so downstream RPCs
+// join the trace. On an untraced run it returns ctx unchanged.
+func (it *Iterator) traceCtx(ctx context.Context) context.Context {
+	if it.span == nil {
+		return ctx
+	}
+	return obs.ContextWithSpan(ctx, it.span.Context())
 }
 
 // release frees the run's resources exactly once, best-effort.
@@ -157,6 +176,9 @@ func (it *Iterator) release(ctx context.Context) {
 func (it *Iterator) preState(ctx context.Context) (spec.State, error) {
 	members := it.first
 	if !it.opts.Semantics.UsesSnapshot() {
+		lctx, lsp := it.opts.Tracer.StartSpan(it.traceCtx(ctx), "iter.list")
+		defer lsp.End()
+		ctx = lctx
 		if it.opts.Quorum.enabled() {
 			refs, _, err := readQuorum(ctx, it.client, it.opts.Quorum, it.set.name)
 			if err != nil {
@@ -174,12 +196,22 @@ func (it *Iterator) preState(ctx context.Context) (spec.State, error) {
 				return spec.State{}, err
 			}
 			if !notModified {
+				if it.listVersion != 0 && version != it.listVersion {
+					// The listing changed under the run: membership skew the
+					// caller can never distinguish from a slow iteration.
+					it.wk.ListingSkew++
+				}
 				it.listVersion = version
 				it.curMembers = make(map[spec.ElemID]bool, len(refs))
 				for _, ref := range refs {
 					id := spec.ElemID(ref.ID)
 					it.curMembers[id] = true
 					it.refs[id] = ref
+					if it.yielded[id] {
+						// Re-listed but already yielded this run: the "no
+						// duplicates" obligation suppresses it.
+						it.wk.DuplicatesSuppressed++
+					}
 				}
 			}
 			// On the not-modified path the cached listing is exact: the
@@ -258,6 +290,7 @@ func (it *Iterator) Next(ctx context.Context) bool {
 				// A dropped message is transient by definition (the link is
 				// up); retry rather than report the failure exception.
 				it.listFails++
+				it.wk.FetchFailures++
 				continue
 			default:
 				it.terminate(fmt.Errorf("%w: read membership: %v", ErrFailure, err))
@@ -267,6 +300,7 @@ func (it *Iterator) Next(ctx context.Context) bool {
 		it.listFails = 0
 
 		d := Step(it.opts.Semantics, firstState, pre, it.yielded)
+		it.wk.Invocations++
 		switch d.Kind {
 		case DecideYield:
 			if it.fetch(ctx, pre, d.Elem) {
@@ -281,11 +315,13 @@ func (it *Iterator) Next(ctx context.Context) bool {
 
 		case DecideReturn:
 			it.record(pre, spec.Returned, "", false)
+			it.countSkipped(pre)
 			it.done = true
 			return false
 
 		case DecideFail:
 			it.record(pre, spec.Failed, "", false)
+			it.countSkipped(pre)
 			it.terminate(fmt.Errorf("%w: %s: unreachable members remain", ErrFailure, it.opts.Semantics))
 			return false
 
@@ -307,10 +343,11 @@ func (it *Iterator) fetch(ctx context.Context, pre spec.State, elem spec.ElemID)
 		obj repo.Object
 		err error
 	)
+	fctx := it.traceCtx(ctx)
 	if it.pf != nil {
-		obj, err = it.pf.fetch(ctx, ref, func() []repo.Ref { return it.fetchCandidates(pre, elem) })
+		obj, err = it.pf.fetch(fctx, ref, func() []repo.Ref { return it.fetchCandidates(pre, elem) })
 	} else {
-		obj, err = it.client.Get(ctx, ref)
+		obj, err = it.client.Get(fctx, ref)
 	}
 	switch {
 	case err == nil:
@@ -341,6 +378,7 @@ func (it *Iterator) fetch(ctx context.Context, pre spec.State, elem spec.ElemID)
 		// kernel will see that next time) or the message was dropped (the
 		// kernel will choose it again). Guard liveness on lossy links.
 		it.fetchFails++
+		it.wk.FetchFailures++
 		if it.fetchFails >= maxConsecutiveFetchFailures && it.opts.Semantics != Optimistic {
 			it.record(pre, spec.Failed, "", false)
 			it.terminate(fmt.Errorf("%w: fetching %q kept failing: %v", ErrFailure, elem, err))
@@ -367,15 +405,38 @@ func (it *Iterator) fetchCandidates(pre spec.State, elem spec.ElemID) []repo.Ref
 func (it *Iterator) yield(pre spec.State, ref repo.Ref, e Element) {
 	it.record(pre, spec.Suspended, spec.ElemID(ref.ID), true)
 	it.yielded[spec.ElemID(ref.ID)] = true
+	it.wk.Yielded++
+	if e.Stale {
+		it.wk.GhostsServed++
+	}
 	it.elem = e
 	it.blockedFor = 0
 	it.fetchFails = 0
+}
+
+// countSkipped records, at a terminal decision, the members of the
+// governing membership that were never yielded: existent but unreachable
+// (or ghost-degraded) — the paper's central weakness, observable only
+// here because a weak `elements` run gives the caller no other signal.
+func (it *Iterator) countSkipped(pre spec.State) {
+	members := pre.Members
+	if it.opts.Semantics.UsesSnapshot() {
+		members = it.first
+	}
+	var skipped int64
+	for id := range members {
+		if !it.yielded[id] {
+			skipped++
+		}
+	}
+	it.wk.UnreachableSkipped += skipped
 }
 
 // blockPause sleeps one optimistic retry interval. It returns false when
 // the iterator must stop (budget exhausted or context cancelled).
 func (it *Iterator) blockPause(ctx context.Context) bool {
 	it.blockedFor += it.opts.BlockRetry
+	it.wk.Blocked += it.opts.BlockRetry
 	if it.opts.MaxBlock > 0 && it.blockedFor > it.opts.MaxBlock {
 		it.terminate(fmt.Errorf("%w: waited %v", ErrBlocked, it.opts.MaxBlock))
 		return false
@@ -413,16 +474,72 @@ func (it *Iterator) Err() error { return it.err }
 // Yielded reports how many elements the run has yielded.
 func (it *Iterator) Yielded() int { return len(it.yielded) }
 
+// TraceID reports the run's trace id, or zero when the run was untraced
+// or sampled out.
+func (it *Iterator) TraceID() obs.TraceID { return it.span.TraceID() }
+
+// Weakness returns the run's weakness report. It is complete after
+// Close; before that it reflects the run so far.
+func (it *Iterator) Weakness() obs.WeaknessReport { return it.wk }
+
+// finishObs completes the run's weakness report and root span exactly
+// once: outcome classification, snapshot age, prefetcher epoch retries,
+// registry aggregation, span annotations.
+func (it *Iterator) finishObs() {
+	if it.obsDone {
+		return
+	}
+	it.obsDone = true
+	if it.pf != nil {
+		it.wk.EpochRetries = it.pf.epochRetries.Load()
+	}
+	if !it.openedAt.IsZero() {
+		it.wk.SnapshotAge = time.Since(it.openedAt)
+	}
+	switch {
+	case it.wk.Outcome != "": // pre-classified (abandoned)
+	case it.err == nil:
+		it.wk.Outcome = "returns"
+	case errors.Is(it.err, ErrFailure):
+		it.wk.Outcome = "fails"
+	case errors.Is(it.err, ErrBlocked):
+		it.wk.Outcome = "blocked"
+	default:
+		it.wk.Outcome = "error"
+	}
+	if it.opts.Weakness != nil {
+		it.opts.Weakness.Observe(it.wk)
+	}
+	if it.span != nil {
+		it.span.SetInt("invocations", it.wk.Invocations)
+		it.span.SetInt("yielded", it.wk.Yielded)
+		it.span.SetInt("unreachableSkipped", it.wk.UnreachableSkipped)
+		it.span.SetInt("ghostsServed", it.wk.GhostsServed)
+		it.span.SetInt("duplicatesSuppressed", it.wk.DuplicatesSuppressed)
+		it.span.SetInt("epochRetries", it.wk.EpochRetries)
+		it.span.SetInt("listingSkew", it.wk.ListingSkew)
+		it.span.SetAttr("outcome", it.wk.Outcome)
+		it.span.End()
+	}
+}
+
 // Close releases the run's lock, pin, or grow window. It is idempotent.
 func (it *Iterator) Close(ctx context.Context) error {
 	if it.closed {
 		return nil
+	}
+	if !it.done && it.err == nil {
+		// Closed before the run terminated: the caller walked away.
+		it.wk.Outcome = "abandoned"
 	}
 	it.closed = true
 	it.done = true
 	if it.pf != nil {
 		it.pf.close()
 	}
-	it.release(ctx)
+	// Release rides the run's trace so the closing unpin/unlock RPCs show
+	// up as the trace's final spans; finishObs then seals the root span.
+	it.release(it.traceCtx(ctx))
+	it.finishObs()
 	return nil
 }

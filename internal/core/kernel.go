@@ -164,4 +164,3 @@ func sameSet(a, b map[spec.ElemID]bool) bool {
 	}
 	return true
 }
-

@@ -8,6 +8,7 @@ import (
 
 	"weaksets/internal/locksvc"
 	"weaksets/internal/netsim"
+	"weaksets/internal/obs"
 	"weaksets/internal/repo"
 	"weaksets/internal/spec"
 	"weaksets/internal/store"
@@ -59,6 +60,14 @@ type Options struct {
 	// value enables batching with the defaults; set Fetch.Disable for the
 	// one-Get-per-element baseline.
 	Fetch FetchOptions
+	// Tracer, when set, records a span trace of each Elements run
+	// (subject to the tracer's sampling knob): the run itself, its
+	// membership reads, fetch batches, and — through context propagation
+	// — every RPC and store operation underneath, across processes.
+	Tracer *obs.Tracer
+	// Weakness, when set, receives each run's weakness report when the
+	// iterator closes, aggregated per collection.
+	Weakness *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -149,12 +158,24 @@ func (s *Set) Elements(ctx context.Context) (*Iterator, error) {
 		refs:    make(map[spec.ElemID]repo.Ref),
 		owner:   fmt.Sprintf("%s-iter-%d", s.client.Node(), iterSeq.Add(1)),
 	}
+	it.wk.Collection = s.name
+	it.wk.Semantics = s.opts.Semantics.String()
+	_, it.span = s.opts.Tracer.StartRoot(ctx, "elements")
+	it.span.SetAttr("collection", s.name)
+	it.span.SetAttr("semantics", s.opts.Semantics.String())
+	it.span.SetAttr("node", string(s.client.Node()))
+	it.wk.Trace = it.span.TraceID()
 	if !s.opts.Fetch.Disable {
-		it.pf = newPrefetcher(s.client, s.opts.Fetch)
+		// The prefetcher's background context carries the run's trace, so
+		// batches issued between Next calls still join it.
+		it.pf = newPrefetcher(it.traceCtx(context.Background()), s.client, s.opts.Fetch, s.opts.Tracer)
 	}
-	if err := it.setup(ctx); err != nil {
+	if err := it.setup(it.traceCtx(ctx)); err != nil {
+		werr := fmt.Errorf("%w: open %s elements on %q: %v", ErrFailure, s.opts.Semantics, s.name, err)
 		it.release(context.Background())
-		return nil, fmt.Errorf("%w: open %s elements on %q: %v", ErrFailure, s.opts.Semantics, s.name, err)
+		it.terminate(werr)
+		it.finishObs()
+		return nil, werr
 	}
 	return it, nil
 }

@@ -8,6 +8,8 @@
 //	GET /collections/{coll}            membership listing (one round trip)
 //	GET /query?coll=&q=&sem=           streamed NDJSON query results
 //	GET /stats[?coll=]                 storage-engine + TCP transport counters
+//	GET /metrics                       Prometheus text-format exposition
+//	GET /trace[?id=]                   sampled traces: listing, or one trace's spans
 //
 // Query results stream one JSON object per element as it is yielded — the
 // HTTP rendition of the paper's incremental retrieval — and end with a
@@ -28,6 +30,7 @@ import (
 
 	"weaksets/internal/core"
 	"weaksets/internal/netsim"
+	"weaksets/internal/obs"
 	"weaksets/internal/query"
 	"weaksets/internal/repo"
 	"weaksets/internal/spec"
@@ -47,6 +50,10 @@ type Gateway struct {
 
 	tmu        sync.Mutex
 	transports []transportSource
+
+	// Observability wiring, set by UseObs.
+	weakness *obs.Registry
+	tracers  []*obs.Tracer
 }
 
 // transportSource is one registered TCP transport feeding /stats.
@@ -370,6 +377,16 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 			MaxBlock:   10 * time.Second,
 			Fetch:      core.FetchOptions{Batch: batch, Disable: batch == 1},
 		}
+	}
+
+	// Queries the gateway runs are themselves observable: they trace
+	// through the gateway's own tracer and feed the weakness registry.
+	if opts.Dynamic {
+		opts.DynOptions.Tracer = g.localTracer()
+		opts.DynOptions.Weakness = g.weakness
+	} else {
+		opts.SetOptions.Tracer = g.localTracer()
+		opts.SetOptions.Weakness = g.weakness
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), g.QueryTimeout)

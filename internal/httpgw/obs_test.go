@@ -1,0 +1,300 @@
+package httpgw
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/obs"
+	"weaksets/internal/tcprpc"
+	"weaksets/internal/wais"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// newObsWorld is newGWWorld with the observability surface mounted: a
+// tracer that samples every query, a weakness registry, and a fake TCP
+// transport so every /metrics family has data.
+func newObsWorld(t *testing.T) (*gwWorld, *obs.Tracer, *obs.Registry) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{StorageNodes: 4, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	tracer := obs.NewTracer("gateway", obs.Config{})
+	weakness := obs.NewRegistry()
+	c.UseTracer(tracer)
+	corpus, err := wais.BuildRestaurants(context.Background(), c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := New(c.Client, cluster.DirNode, c.LockNode)
+	gw.UseObs(weakness, tracer)
+	gw.AddTransport("archive", func() tcprpc.TransportStats {
+		return tcprpc.TransportStats{
+			Addr: "127.0.0.1:9999", Dials: 1, Calls: 42,
+			Methods: []tcprpc.MethodStats{{Method: "repo.GetBatch", Count: 42, Mean: 2e6, P50: 2e6, P99: 4e6}},
+		}
+	})
+	srv := httptest.NewServer(gw.Handler())
+	t.Cleanup(srv.Close)
+	return &gwWorld{c: c, corpus: corpus, srv: srv}, tracer, weakness
+}
+
+// parsePromText validates Prometheus text format 0.0.4 line by line and
+// returns sample lines keyed by name{labels}. Every sample must belong to
+// a family whose # HELP and # TYPE headers appeared first, exactly once.
+func parsePromText(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	typed := make(map[string]bool)
+	helped := make(map[string]bool)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Fatalf("malformed HELP line %q", line)
+			}
+			if helped[parts[0]] {
+				t.Fatalf("duplicate HELP for %s", parts[0])
+			}
+			helped[parts[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || (parts[1] != "counter" && parts[1] != "gauge") {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if typed[parts[0]] {
+				t.Fatalf("duplicate TYPE for %s", parts[0])
+			}
+			typed[parts[0]] = true
+			continue
+		}
+		// Sample line: name{labels} value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		key, valText := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("unbalanced labels in %q", line)
+			}
+			name = key[:i]
+		}
+		if !typed[name] || !helped[name] {
+			t.Fatalf("sample %q precedes its HELP/TYPE headers", line)
+		}
+		samples[key] = val
+	}
+	return samples
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	w, _, _ := newObsWorld(t)
+	// Drive one dynamic query so weakness counters have substance.
+	if resp, body := w.get(t, "/query?coll=menus"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body := w.get(t, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	samples := parsePromText(t, string(body))
+
+	// The run's weakness shows up as labelled counters.
+	for key, want := range map[string]float64{
+		`weaksets_weakness_runs_total{collection="menus"}`:                      1,
+		`weaksets_weakness_yielded_total{collection="menus"}`:                   20,
+		`weaksets_weakness_outcome_total{collection="menus",outcome="returns"}`: 1,
+		`weaksets_store_up{node="dir"}`:                                         1,
+		`weaksets_transport_calls_total{transport="archive"}`:                   42,
+	} {
+		if got, ok := samples[key]; !ok || got != want {
+			t.Errorf("%s = %v (present %v), want %v", key, got, ok, want)
+		}
+	}
+	// Families that must exist with some activity.
+	if samples[`weaksets_bus_calls_total`] == 0 {
+		t.Error("no bus calls counted")
+	}
+	if samples[`weaksets_tracer_spans_started_total{process="gateway"}`] == 0 {
+		t.Error("no tracer spans counted")
+	}
+	found := false
+	for key := range samples {
+		if strings.HasPrefix(key, "weaksets_store_op_total{") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no per-op store counters")
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	w, tracer, weakness := newObsWorld(t)
+	if resp, _ := w.get(t, "/query?coll=menus"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	rep, ok := weakness.Last("menus")
+	if !ok || rep.Trace == 0 {
+		t.Fatalf("query left no traced weakness report: %+v", rep)
+	}
+
+	// Without an id: a newest-first menu of root spans.
+	resp, body := w.get(t, "/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("listing status = %d", resp.StatusCode)
+	}
+	var listing struct {
+		Traces []struct {
+			ID   obs.TraceID `json:"id"`
+			Name string      `json:"name"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Traces) == 0 || listing.Traces[0].ID != rep.Trace {
+		t.Fatalf("trace listing = %+v, want %s first", listing.Traces, rep.Trace)
+	}
+
+	// With the id: the whole span tree.
+	resp, body = w.get(t, "/trace?id="+rep.Trace.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Trace obs.TraceID      `json:"trace"`
+		Spans []obs.SpanRecord `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Trace != rep.Trace || len(out.Spans) == 0 {
+		t.Fatalf("trace response = %+v", out)
+	}
+	for _, sp := range out.Spans {
+		if sp.Trace != rep.Trace {
+			t.Fatalf("span %s belongs to trace %s", sp.Name, sp.Trace)
+		}
+	}
+	if len(tracer.Trace(rep.Trace)) != len(out.Spans) {
+		t.Fatalf("endpoint returned %d spans, tracer retains %d", len(out.Spans), len(tracer.Trace(rep.Trace)))
+	}
+
+	if resp, _ := w.get(t, "/trace?id=zzz"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id status = %d", resp.StatusCode)
+	}
+	if resp, _ := w.get(t, "/trace?id=ffffffffffffffff"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id status = %d", resp.StatusCode)
+	}
+}
+
+// shapeOf reduces a decoded JSON value to its structural shape: objects
+// keep their keys, arrays keep one element, scalars become type names.
+func shapeOf(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, val := range x {
+			out[k] = shapeOf(val)
+		}
+		return out
+	case []any:
+		if len(x) == 0 {
+			return []any{}
+		}
+		return []any{shapeOf(x[0])}
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "bool"
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// TestStatsGoldenShape pins the JSON shape of GET /stats — key names and
+// value types, not values — so dashboards built on it don't silently
+// break. Regenerate with `go test ./internal/httpgw -run Golden -update`.
+func TestStatsGoldenShape(t *testing.T) {
+	w, _, _ := newObsWorld(t)
+	// Touch the collection so ops and collection stats are populated.
+	if resp, _ := w.get(t, "/collections/menus"); resp.StatusCode != http.StatusOK {
+		t.Fatal("listing failed")
+	}
+	resp, body := w.get(t, "/stats?coll=menus")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(shapeOf(decoded), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "stats_shape.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("GET /stats shape drifted from %s:\n--- got ---\n%s--- want ---\n%s(run with -update if intentional)",
+			golden, got, want)
+	}
+
+	// The shape must include every documented top-level key.
+	var keys []string
+	for k := range decoded {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	wantKeys := []string{"batch", "collectionStats", "collections", "engine", "node", "objects", "ops", "shards", "transports"}
+	if strings.Join(keys, ",") != strings.Join(wantKeys, ",") {
+		t.Errorf("top-level keys = %v, want %v", keys, wantKeys)
+	}
+}

@@ -125,7 +125,7 @@ func (s *Server) expireLocked(st *lockState) {
 	}
 }
 
-func (s *Server) handleAcquire(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleAcquire(_ context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(AcquireReq)
 	if !ok {
 		return nil, fmt.Errorf("locksvc: bad request type %T", req)
@@ -174,7 +174,7 @@ func (s *Server) handleAcquire(_ netsim.NodeID, req any) (any, error) {
 	return AcquireResp{Granted: true}, nil
 }
 
-func (s *Server) handleRelease(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleRelease(_ context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(ReleaseReq)
 	if !ok {
 		return nil, fmt.Errorf("locksvc: bad request type %T", req)

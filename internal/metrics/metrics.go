@@ -7,6 +7,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -135,6 +136,61 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return QuantileOf(h.samples, q)
 }
 
+// Snapshot is a consistent point-in-time view of a histogram: every
+// field comes from one lock acquisition, so count, sum, and quantiles
+// all describe the same moment (unlike calling Count/Sum/Quantile in
+// sequence, which can interleave with writers).
+type Snapshot struct {
+	Count int64
+	Sum   time.Duration
+	Mean  time.Duration
+	Min   time.Duration
+	Max   time.Duration
+
+	sorted []time.Duration
+}
+
+// Snapshot captures the histogram under a single lock acquisition. The
+// reservoir copy is sorted after the lock is released, so writers are
+// held up only for the copy.
+func (h *Histogram) Snapshot() Snapshot {
+	h.mu.Lock()
+	s := Snapshot{
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+		sorted: append([]time.Duration(nil), h.samples...),
+	}
+	h.mu.Unlock()
+	if s.Count > 0 {
+		s.Mean = s.Sum / time.Duration(s.Count)
+	}
+	sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	return s
+}
+
+// Quantile reports the q-quantile of the snapshot. Min and max are
+// exact; interior quantiles use nearest-rank over the reservoir.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	switch {
+	case q <= 0:
+		return s.Min
+	case q >= 1:
+		return s.Max
+	}
+	return quantileSorted(s.sorted, q)
+}
+
+// Samples returns a copy of the snapshot's (sorted) reservoir, the merge
+// hook for callers that combine striped histograms.
+func (s Snapshot) Samples() []time.Duration {
+	return append([]time.Duration(nil), s.sorted...)
+}
+
 // Max reports the largest sample, or 0 with no samples.
 func (h *Histogram) Max() time.Duration { return h.Quantile(1) }
 
@@ -150,13 +206,28 @@ func QuantileOf(samples []time.Duration, q float64) time.Duration {
 	}
 	sorted := append([]time.Duration(nil), samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted picks the nearest-rank q-quantile of a sorted, non-empty
+// sample set: the smallest value whose cumulative frequency reaches q.
+// (The previous int(q*(n-1)) truncation biased every interior quantile
+// low — e.g. the 0.95 quantile of 10 samples landed on rank 9 of 10.)
+func quantileSorted(sorted []time.Duration, q float64) time.Duration {
 	switch {
 	case q <= 0:
 		return sorted[0]
 	case q >= 1:
 		return sorted[len(sorted)-1]
 	}
-	return sorted[int(q*float64(len(sorted)-1))]
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // FmtDur renders a duration in milliseconds with a sensible precision for

@@ -208,3 +208,101 @@ func TestRenderCSV(t *testing.T) {
 		t.Fatalf("csv = %q, want %q", sb.String(), want)
 	}
 }
+
+func TestQuantileOfNearestRank(t *testing.T) {
+	// A known uniform distribution, 1ms..100ms, fed in descending order.
+	// The nearest-rank q-quantile of n samples is the ceil(q*n)-th
+	// smallest, so a probe just below each percentile boundary must land
+	// exactly on that percentile's sample. The truncating int(q*(n-1))
+	// index this replaced was biased low by up to a full rank.
+	const n = 100
+	samples := make([]time.Duration, 0, n)
+	for i := n; i >= 1; i-- {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	for k := 1; k <= n; k++ {
+		q := (float64(k) - 0.5) / n
+		want := time.Duration(k) * time.Millisecond
+		if got := QuantileOf(samples, q); got != want {
+			t.Fatalf("QuantileOf(q=%.3f) = %v, want %v", q, got, want)
+		}
+	}
+	// Spot checks at the quantiles the stats endpoints actually report.
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 1 * time.Millisecond},
+		{0.5, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1, 100 * time.Millisecond},
+	} {
+		if got := QuantileOf(samples, tc.q); got != tc.want {
+			t.Fatalf("QuantileOf(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileOfSmallSampleBias(t *testing.T) {
+	// The regression the nearest-rank fix targets: with two samples the
+	// old truncating index mapped every interior quantile to the minimum.
+	two := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if got := QuantileOf(two, 0.75); got != 20*time.Millisecond {
+		t.Fatalf("QuantileOf(two, 0.75) = %v, want 20ms", got)
+	}
+	// And the case from the fix's comment: the 0.95 quantile of 10
+	// samples is rank 10 of 10, not rank 9.
+	ten := make([]time.Duration, 10)
+	for i := range ten {
+		ten[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got := QuantileOf(ten, 0.95); got != 10*time.Millisecond {
+		t.Fatalf("QuantileOf(ten, 0.95) = %v, want 10ms", got)
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Sum != h.Sum() || s.Mean != h.Mean() || s.Min != h.Min() || s.Max != h.Max() {
+		t.Fatalf("snapshot fields diverge from live accessors: %+v", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got, want := s.Quantile(q), h.Quantile(q); got != want {
+			t.Fatalf("Snapshot.Quantile(%v) = %v, live = %v", q, got, want)
+		}
+	}
+
+	// Writes after the snapshot must not bleed into it.
+	h.Record(time.Hour)
+	if s.Count != 100 || s.Max == time.Hour || s.Quantile(1) != 100*time.Millisecond {
+		t.Fatalf("snapshot mutated by later Record: %+v", s)
+	}
+
+	// Samples hands back a defensive copy.
+	cp := s.Samples()
+	if len(cp) != 100 {
+		t.Fatalf("Samples() len = %d, want 100", len(cp))
+	}
+	for i := range cp {
+		cp[i] = 0
+	}
+	if s.Quantile(0.5) != 50*time.Millisecond {
+		t.Fatal("mutating Samples() result changed the snapshot")
+	}
+}
+
+func TestHistogramSnapshotEmpty(t *testing.T) {
+	s := NewHistogram(4).Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.Quantile(0.5) != 0 || len(s.Samples()) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}

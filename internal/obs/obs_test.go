@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanAreInert(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartRoot(context.Background(), "root")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	if _, sp := tr.StartSpan(ctx, "child"); sp != nil {
+		t.Fatal("nil tracer returned a child span")
+	}
+	// All nil-span methods must be safe no-ops.
+	sp.SetAttr("k", "v")
+	sp.SetInt("n", 1)
+	sp.End()
+	if sp.Context().Valid() || sp.TraceID() != 0 {
+		t.Fatal("nil span produced a valid context")
+	}
+	if tr.Spans() != nil || tr.Trace(1) != nil || tr.Process() != "" {
+		t.Fatal("nil tracer retained state")
+	}
+	if s := tr.Stats(); s != (TracerStats{}) {
+		t.Fatalf("nil tracer stats = %+v", s)
+	}
+}
+
+func TestStartRootSamplingDeterministic(t *testing.T) {
+	tr := NewTracer("p", Config{Sample: 4})
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		_, sp := tr.StartRoot(context.Background(), "root")
+		if sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 4 {
+		t.Fatalf("Sample=4 over 16 roots sampled %d, want 4", sampled)
+	}
+	// Sampled-out roots must not count as started or retained.
+	s := tr.Stats()
+	if s.Started != 4 || s.Finished != 4 || s.Retained != 4 {
+		t.Fatalf("stats = %+v, want 4 started/finished/retained", s)
+	}
+}
+
+func TestStartSpanJoinsOnly(t *testing.T) {
+	tr := NewTracer("p", Config{})
+
+	// No trace in ctx: no orphan spans.
+	if _, sp := tr.StartSpan(context.Background(), "child"); sp != nil {
+		t.Fatal("StartSpan created an orphan without a sampled parent")
+	}
+	// An unsampled context must not be joined either.
+	ctx := ContextWithSpan(context.Background(), SpanContext{Trace: 7, Span: 8, Sampled: false})
+	if _, sp := tr.StartSpan(ctx, "child"); sp != nil {
+		t.Fatal("StartSpan joined an unsampled context")
+	}
+
+	rctx, root := tr.StartRoot(context.Background(), "root")
+	_, child := tr.StartSpan(rctx, "child")
+	if child == nil {
+		t.Fatal("StartSpan did not join a sampled parent")
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Fatalf("child trace %s != root trace %s", child.TraceID(), root.TraceID())
+	}
+	if child.rec.Parent != root.rec.Span {
+		t.Fatalf("child parent = %s, want root span %s", child.rec.Parent, root.rec.Span)
+	}
+	child.End()
+	root.End()
+
+	spans := tr.Trace(root.TraceID())
+	if len(spans) != 2 {
+		t.Fatalf("Trace returned %d spans, want 2", len(spans))
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer("p", Config{Capacity: 4})
+	var traces []TraceID
+	for i := 0; i < 6; i++ {
+		_, sp := tr.StartRoot(context.Background(), "root")
+		sp.SetInt("i", int64(i))
+		traces = append(traces, sp.TraceID())
+		sp.End()
+	}
+	s := tr.Stats()
+	if s.Retained != 4 || s.Dropped != 2 || s.Finished != 6 {
+		t.Fatalf("stats = %+v, want retained 4, dropped 2, finished 6", s)
+	}
+	got := tr.Spans()
+	if len(got) != 4 {
+		t.Fatalf("Spans() len = %d, want 4", len(got))
+	}
+	// Oldest two evicted; survivors in oldest-first order.
+	for i, rec := range got {
+		if rec.Trace != traces[i+2] {
+			t.Fatalf("ring[%d] = trace %s, want %s", i, rec.Trace, traces[i+2])
+		}
+	}
+}
+
+func TestSpanContextPropagation(t *testing.T) {
+	sc := SpanContext{Trace: 0xabc, Span: 0xdef, Sampled: true}
+	ctx := ContextWithSpan(context.Background(), sc)
+	if got := FromContext(ctx); got != sc {
+		t.Fatalf("FromContext = %+v, want %+v", got, sc)
+	}
+	// Invalid contexts are not attached at all.
+	base := context.Background()
+	if ctx := ContextWithSpan(base, SpanContext{}); ctx != base {
+		t.Fatal("invalid span context was attached")
+	}
+	if got := FromContext(base); got.Valid() {
+		t.Fatalf("empty ctx yielded %+v", got)
+	}
+}
+
+func TestTraceIDJSONRoundTrip(t *testing.T) {
+	id := TraceID(0x1f)
+	b, err := json.Marshal(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"000000000000001f"` {
+		t.Fatalf("marshal = %s", b)
+	}
+	var back TraceID
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != id {
+		t.Fatalf("round trip = %s, want %s", back, id)
+	}
+	if parsed, err := ParseTraceID(id.String()); err != nil || parsed != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v", id.String(), parsed, err)
+	}
+	if _, err := ParseTraceID("not-hex"); err == nil {
+		t.Fatal("ParseTraceID accepted garbage")
+	}
+}
+
+func TestRegistryObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Observe(WeaknessReport{
+		Collection: "menus", Yielded: 5, UnreachableSkipped: 2,
+		GhostsServed: 1, SnapshotAge: time.Second, Outcome: "returns",
+	})
+	r.Observe(WeaknessReport{
+		Collection: "menus", Yielded: 3, DuplicatesSuppressed: 4,
+		SnapshotAge: 2 * time.Second, Outcome: "fails",
+	})
+	r.Observe(WeaknessReport{Collection: "faces", Yielded: 9, Outcome: "returns"})
+
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Collection != "faces" || snap[1].Collection != "menus" {
+		t.Fatalf("snapshot order = %+v", snap)
+	}
+	menus := snap[1]
+	if menus.Runs != 2 || menus.Yielded != 8 || menus.UnreachableSkipped != 2 ||
+		menus.GhostsServed != 1 || menus.DuplicatesSuppressed != 4 ||
+		menus.MaxSnapshotAge != 2*time.Second {
+		t.Fatalf("menus aggregate = %+v", menus)
+	}
+	if menus.Outcomes["returns"] != 1 || menus.Outcomes["fails"] != 1 {
+		t.Fatalf("menus outcomes = %v", menus.Outcomes)
+	}
+
+	// Snapshot hands out copies: mutating one must not corrupt the registry.
+	menus.Outcomes["returns"] = 99
+	if r.Snapshot()[1].Outcomes["returns"] != 1 {
+		t.Fatal("Snapshot shares the Outcomes map with the registry")
+	}
+
+	if rep, ok := r.Last("menus"); !ok || rep.Outcome != "fails" || rep.Yielded != 3 {
+		t.Fatalf("Last(menus) = %+v, %v", rep, ok)
+	}
+	if _, ok := r.Last("absent"); ok {
+		t.Fatal("Last reported a never-observed collection")
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Observe(WeaknessReport{Collection: "x"})
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry produced a snapshot")
+	}
+	if _, ok := r.Last("x"); ok {
+		t.Fatal("nil registry remembered a report")
+	}
+}
+
+func TestPromWriterFormat(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Counter("ws_total", "Total things.", 3, Label{Key: "b", Value: "2"}, Label{Key: "a", Value: `q"\` + "\n"})
+	p.Sample("ws_total", 4, Label{Key: "a", Value: "other"})
+	p.Family("ws_total", "counter", "Total things.") // repeated: must not re-emit headers
+	p.Gauge("ws_up", "Up.", 1)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	if strings.Count(out, "# HELP ws_total") != 1 || strings.Count(out, "# TYPE ws_total counter") != 1 {
+		t.Fatalf("family headers not emitted exactly once:\n%s", out)
+	}
+	// Labels sorted by key, values escaped.
+	if !strings.Contains(out, `ws_total{a="q\"\\\n",b="2"} 3`) {
+		t.Fatalf("missing sorted/escaped sample:\n%s", out)
+	}
+	if !strings.Contains(out, `ws_total{a="other"} 4`) {
+		t.Fatalf("missing second sample:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE ws_up gauge") || !strings.Contains(out, "ws_up 1\n") {
+		t.Fatalf("missing gauge:\n%s", out)
+	}
+}
+
+func TestRenderTraceTree(t *testing.T) {
+	tr := NewTracer("proc", Config{})
+	rctx, root := tr.StartRoot(context.Background(), "elements")
+	_, child := tr.StartSpan(rctx, "rpc.repo.Get")
+	child.SetAttr("node", "s1")
+	child.End()
+	root.End()
+
+	var sb strings.Builder
+	RenderTrace(&sb, tr.Trace(root.TraceID()))
+	out := sb.String()
+	if !strings.Contains(out, "trace "+root.TraceID().String()) ||
+		!strings.Contains(out, "elements") ||
+		!strings.Contains(out, "rpc.repo.Get") ||
+		!strings.Contains(out, "node=s1") {
+		t.Fatalf("render missing pieces:\n%s", out)
+	}
+
+	sb.Reset()
+	RenderTrace(&sb, nil)
+	if !strings.Contains(sb.String(), "no spans") {
+		t.Fatalf("empty render = %q", sb.String())
+	}
+}
+
+func TestRenderWeakness(t *testing.T) {
+	var sb strings.Builder
+	RenderWeakness(&sb, WeaknessReport{
+		Collection: "menus", Semantics: "snapshot", Outcome: "returns",
+		Yielded: 7, UnreachableSkipped: 2, Trace: 0x99,
+	})
+	out := sb.String()
+	for _, want := range []string{`"menus"`, "snapshot", "returns", "unreachable skipped    2", "0000000000000099"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("weakness render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Label is one Prometheus label pair.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// PromWriter emits Prometheus text exposition format (version 0.0.4):
+// one `# HELP` / `# TYPE` header per metric family followed by its
+// samples. It buffers nothing; errors stick and short-circuit later
+// writes.
+type PromWriter struct {
+	w    io.Writer
+	err  error
+	seen map[string]bool
+}
+
+// NewPromWriter wraps w for exposition output.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// Family emits the HELP/TYPE header for a metric family once; repeated
+// calls for the same name are no-ops so callers can emit samples in any
+// grouping.
+func (p *PromWriter) Family(name, typ, help string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample line: name{labels} value.
+func (p *PromWriter) Sample(name string, value float64, labels ...Label) {
+	p.printf("%s%s %s\n", name, formatLabels(labels), formatValue(value))
+}
+
+// Counter is Family+Sample for a single-sample counter family.
+func (p *PromWriter) Counter(name, help string, value float64, labels ...Label) {
+	p.Family(name, "counter", help)
+	p.Sample(name, value, labels...)
+}
+
+// Gauge is Family+Sample for a single-sample gauge family.
+func (p *PromWriter) Gauge(name, help string, value float64, labels ...Label) {
+	p.Family(name, "gauge", help)
+	p.Sample(name, value, labels...)
+}
+
+// Seconds converts a duration to the float seconds Prometheus expects.
+func Seconds(d time.Duration) float64 { return d.Seconds() }
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := make([]Label, len(labels))
+	copy(sorted, labels)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// RenderTrace writes a human-readable tree of one trace's spans, used by
+// the CLIs' -trace flag and the tcparchive example. Spans may come from
+// several tracers (processes); orphans whose parent span is missing are
+// rendered at the root.
+func RenderTrace(w io.Writer, spans []SpanRecord) {
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "(no spans recorded)")
+		return
+	}
+	sorted := make([]SpanRecord, len(spans))
+	copy(sorted, spans)
+	SortSpans(sorted)
+
+	children := make(map[SpanID][]SpanRecord)
+	byID := make(map[SpanID]bool, len(sorted))
+	for _, sp := range sorted {
+		byID[sp.Span] = true
+	}
+	var roots []SpanRecord
+	for _, sp := range sorted {
+		if sp.Parent != 0 && byID[sp.Parent] {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+		} else {
+			roots = append(roots, sp)
+		}
+	}
+	fmt.Fprintf(w, "trace %s (%d spans)\n", sorted[0].Trace, len(sorted))
+	var walk func(sp SpanRecord, depth int)
+	walk = func(sp SpanRecord, depth int) {
+		indent := ""
+		for i := 0; i < depth; i++ {
+			indent += "  "
+		}
+		attrs := ""
+		for _, a := range sp.Attrs {
+			attrs += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+		}
+		fmt.Fprintf(w, "  %s%-24s %-10s %8v%s\n",
+			indent, sp.Name, sp.Process, sp.Dur.Round(10*time.Microsecond), attrs)
+		for _, c := range children[sp.Span] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+// RenderWeakness writes a human-readable weakness report, used by the
+// CLIs' -trace flag.
+func RenderWeakness(w io.Writer, rep WeaknessReport) {
+	fmt.Fprintf(w, "weakness report for %q (%s semantics, outcome %s):\n",
+		rep.Collection, rep.Semantics, rep.Outcome)
+	fmt.Fprintf(w, "  invocations            %d\n", rep.Invocations)
+	fmt.Fprintf(w, "  yielded                %d\n", rep.Yielded)
+	fmt.Fprintf(w, "  unreachable skipped    %d\n", rep.UnreachableSkipped)
+	fmt.Fprintf(w, "  ghosts served          %d\n", rep.GhostsServed)
+	fmt.Fprintf(w, "  duplicates suppressed  %d\n", rep.DuplicatesSuppressed)
+	fmt.Fprintf(w, "  epoch retries          %d\n", rep.EpochRetries)
+	fmt.Fprintf(w, "  listing skew           %d\n", rep.ListingSkew)
+	fmt.Fprintf(w, "  fetch failures         %d\n", rep.FetchFailures)
+	if rep.SnapshotAge > 0 {
+		fmt.Fprintf(w, "  snapshot age           %v\n", rep.SnapshotAge.Round(time.Millisecond))
+	}
+	if rep.Blocked > 0 {
+		fmt.Fprintf(w, "  blocked                %v\n", rep.Blocked.Round(time.Millisecond))
+	}
+	if rep.Trace != 0 {
+		fmt.Fprintf(w, "  trace                  %s\n", rep.Trace)
+	}
+}

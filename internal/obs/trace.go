@@ -1,0 +1,387 @@
+// Package obs is the observability subsystem: a lightweight span tracer
+// with cross-process context propagation, per-iteration weakness reports
+// tied to the paper's semantics (what did this `elements` run actually
+// fail to observe?), and Prometheus text-format exposition. It depends
+// only on the standard library so every layer — core, store, repo,
+// tcprpc, httpgw — can use it without import cycles.
+//
+// The tracer is sampled and allocation-conscious: sampling is decided
+// once at the root span, an unsampled run allocates nothing anywhere in
+// the stack (StartSpan returns a nil *Span whose methods are no-ops),
+// and completed spans land in a bounded ring buffer, so tracing can stay
+// on in production without unbounded memory growth.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end trace; all spans of one `elements`
+// run share it, across processes.
+type TraceID uint64
+
+// SpanID identifies one span within a trace.
+type SpanID uint64
+
+// String renders the id in the fixed-width hex form used by /trace?id=.
+func (t TraceID) String() string { return fmt.Sprintf("%016x", uint64(t)) }
+
+// String renders the id in fixed-width hex.
+func (s SpanID) String() string { return fmt.Sprintf("%016x", uint64(s)) }
+
+// MarshalJSON renders trace ids as hex strings, matching /trace?id=.
+func (t TraceID) MarshalJSON() ([]byte, error) { return json.Marshal(t.String()) }
+
+// UnmarshalJSON accepts the hex string form.
+func (t *TraceID) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseTraceID(s)
+	if err != nil {
+		return err
+	}
+	*t = parsed
+	return nil
+}
+
+// MarshalJSON renders span ids as hex strings.
+func (s SpanID) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts the hex string form.
+func (s *SpanID) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	v, err := strconv.ParseUint(str, 16, 64)
+	if err != nil {
+		return fmt.Errorf("obs: bad span id %q: %w", str, err)
+	}
+	*s = SpanID(v)
+	return nil
+}
+
+// ParseTraceID parses the hex form produced by TraceID.String.
+func ParseTraceID(s string) (TraceID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: bad trace id %q: %w", s, err)
+	}
+	return TraceID(v), nil
+}
+
+// SpanContext is the propagated part of a span: what rides in a
+// context.Context locally and in the tcprpc request envelope across the
+// wire. The zero value is "no trace".
+type SpanContext struct {
+	Trace   TraceID
+	Span    SpanID
+	Sampled bool
+}
+
+// Valid reports whether the context belongs to a trace at all.
+func (sc SpanContext) Valid() bool { return sc.Trace != 0 }
+
+type ctxKey struct{}
+
+// ContextWithSpan attaches a span context to ctx for downstream layers
+// (the RPC bus, the TCP transport) to pick up. Invalid contexts are not
+// attached, so the untraced hot path never pays the context allocation.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the current span context, or the zero value.
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanRecord is one completed span as stored in the ring buffer and
+// served by /trace?id=. It is immutable once recorded.
+type SpanRecord struct {
+	Trace   TraceID       `json:"trace"`
+	Span    SpanID        `json:"span"`
+	Parent  SpanID        `json:"parent,omitempty"`
+	Name    string        `json:"name"`
+	Process string        `json:"process"`
+	Start   time.Time     `json:"start"`
+	Dur     time.Duration `json:"durationNs"`
+	Attrs   []Attr        `json:"attrs,omitempty"`
+}
+
+// Span is one in-flight span. It is a single-goroutine control object:
+// the goroutine that started it annotates and ends it. A nil *Span is
+// valid and inert — the unsampled fast path.
+type Span struct {
+	tracer *Tracer
+	rec    SpanRecord
+}
+
+// Context returns the span's propagation context.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.rec.Trace, Span: s.rec.Span, Sampled: true}
+}
+
+// TraceID reports the span's trace, or zero on a nil span.
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return 0
+	}
+	return s.rec.Trace
+}
+
+// SetAttr annotates the span. No-op on nil.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetInt annotates the span with an integer value. No-op on nil.
+func (s *Span) SetInt(key string, value int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(value, 10))
+}
+
+// End completes the span and hands it to the tracer's ring buffer. It
+// must be called exactly once; calling it on a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.Dur = time.Since(s.rec.Start)
+	s.tracer.record(s.rec)
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// Capacity bounds the completed-span ring buffer. Defaults to 4096.
+	Capacity int
+	// Sample records 1 in Sample root traces (deterministic, counter
+	// based). 0 and 1 both mean "every trace".
+	Sample int
+}
+
+// Tracer creates spans and retains the most recent completed ones in a
+// bounded ring. It is safe for concurrent use. A nil *Tracer is valid:
+// every method is a no-op, which is how tracing is disabled.
+type Tracer struct {
+	process  string
+	capacity int
+	sample   uint64
+
+	roots    atomic.Uint64 // root-span attempts, drives sampling
+	ids      atomic.Uint64 // span/trace id sequence
+	seed     uint64
+	started  atomic.Int64
+	finished atomic.Int64
+	dropped  atomic.Int64
+
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+}
+
+// NewTracer creates a tracer. `process` names this process in every
+// span it creates, so cross-process traces stay attributable.
+func NewTracer(process string, cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4096
+	}
+	sample := uint64(cfg.Sample)
+	if sample == 0 {
+		sample = 1
+	}
+	return &Tracer{
+		process:  process,
+		capacity: cfg.Capacity,
+		sample:   sample,
+		seed:     uint64(time.Now().UnixNano()) | 1,
+	}
+}
+
+// Process reports the tracer's process name ("" on nil).
+func (t *Tracer) Process() string {
+	if t == nil {
+		return ""
+	}
+	return t.process
+}
+
+// newID derives a fresh id from the process seed and a counter
+// (splitmix64), so ids are unique within a process and collide across
+// processes only with ~2^-64 probability.
+func (t *Tracer) newID() uint64 {
+	z := t.seed + t.ids.Add(1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// StartRoot begins a new trace, applying the sampling knob. On the
+// sampled-out path (or a nil tracer) it returns ctx unchanged and a nil
+// span, and the whole downstream stack stays allocation-free.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	if n := t.roots.Add(1); t.sample > 1 && (n-1)%t.sample != 0 {
+		return ctx, nil
+	}
+	sp := &Span{
+		tracer: t,
+		rec: SpanRecord{
+			Trace:   TraceID(t.newID()),
+			Span:    SpanID(t.newID()),
+			Name:    name,
+			Process: t.process,
+			Start:   time.Now(),
+		},
+	}
+	t.started.Add(1)
+	return ContextWithSpan(ctx, sp.Context()), sp
+}
+
+// StartSpan begins a child of the span context carried by ctx. It joins
+// only: with no sampled trace in ctx (or a nil tracer) it returns ctx
+// unchanged and a nil span, so layers below an untraced call never
+// create orphan traces of their own.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	parent := FromContext(ctx)
+	if !parent.Valid() || !parent.Sampled {
+		return ctx, nil
+	}
+	sp := &Span{
+		tracer: t,
+		rec: SpanRecord{
+			Trace:   parent.Trace,
+			Span:    SpanID(t.newID()),
+			Parent:  parent.Span,
+			Name:    name,
+			Process: t.process,
+			Start:   time.Now(),
+		},
+	}
+	t.started.Add(1)
+	return ContextWithSpan(ctx, sp.Context()), sp
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	t.finished.Add(1)
+	t.mu.Lock()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+		t.full = true
+		t.dropped.Add(1)
+	}
+	t.next = (t.next + 1) % t.capacity
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the retained completed spans, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, len(t.ring))
+	if t.full {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Trace returns the retained spans of one trace, sorted by start time.
+func (t *Tracer) Trace(id TraceID) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	var out []SpanRecord
+	for _, rec := range t.Spans() {
+		if rec.Trace == id {
+			out = append(out, rec)
+		}
+	}
+	SortSpans(out)
+	return out
+}
+
+// SortSpans orders spans by start time, then span id, for stable
+// rendering.
+func SortSpans(spans []SpanRecord) {
+	sort.Slice(spans, func(i, j int) bool {
+		if !spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Start.Before(spans[j].Start)
+		}
+		return spans[i].Span < spans[j].Span
+	})
+}
+
+// TracerStats is a tracer's own instrumentation, for /metrics.
+type TracerStats struct {
+	Process  string `json:"process"`
+	Started  int64  `json:"started"`
+	Finished int64  `json:"finished"`
+	Dropped  int64  `json:"dropped"`
+	Retained int    `json:"retained"`
+	Capacity int    `json:"capacity"`
+	Sample   int    `json:"sample"`
+}
+
+// Stats snapshots the tracer's counters.
+func (t *Tracer) Stats() TracerStats {
+	if t == nil {
+		return TracerStats{}
+	}
+	t.mu.Lock()
+	retained := len(t.ring)
+	t.mu.Unlock()
+	return TracerStats{
+		Process:  t.process,
+		Started:  t.started.Load(),
+		Finished: t.finished.Load(),
+		Dropped:  t.dropped.Load(),
+		Retained: retained,
+		Capacity: t.capacity,
+		Sample:   int(t.sample),
+	}
+}

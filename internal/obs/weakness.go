@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// WeaknessReport quantifies how weak one `elements` run actually was, in
+// the vocabulary of the paper's specifications (Fig. 3–6): which objects
+// the run could not observe (reachable(x)σ false although x ∈ s.val),
+// which ghost copies it served anyway, what it suppressed as duplicates,
+// and how stale its view was. A report is emitted when the iterator
+// closes and aggregated per collection in a Registry.
+type WeaknessReport struct {
+	Collection string `json:"collection"`
+	Semantics  string `json:"semantics"`
+	// Trace links the report to its span trace when the run was sampled.
+	Trace TraceID `json:"trace,omitempty"`
+
+	// Invocations counts kernel steps (one fresh pre-state each), the
+	// paper's per-invocation granularity.
+	Invocations int64 `json:"invocations"`
+	// Yielded counts elements delivered to the caller.
+	Yielded int64 `json:"yielded"`
+	// UnreachableSkipped counts objects that were in the governing
+	// membership but never yielded when the run terminated — existent
+	// but unobservable, the paper's central weakness.
+	UnreachableSkipped int64 `json:"unreachableSkipped"`
+	// GhostsServed counts stale (ghost) copies yielded because the
+	// authoritative copy was unreachable.
+	GhostsServed int64 `json:"ghostsServed"`
+	// DuplicatesSuppressed counts members re-listed by a later listing
+	// that the run had already yielded (the "no duplicates" obligation
+	// doing real work under membership churn).
+	DuplicatesSuppressed int64 `json:"duplicatesSuppressed"`
+	// EpochRetries counts prefetched results discarded because a local
+	// mutation advanced the read-your-writes epoch after they were
+	// issued.
+	EpochRetries int64 `json:"epochRetries"`
+	// ListingSkew counts listing-version changes observed after the
+	// first listing — how unstable membership was during the run.
+	ListingSkew int64 `json:"listingSkew"`
+	// SnapshotAge is how old the captured s_first snapshot was when the
+	// run closed (snapshot-governed semantics only).
+	SnapshotAge time.Duration `json:"snapshotAgeNs"`
+	// Blocked is the cumulative virtual time spent in DecideBlock pauses.
+	Blocked time.Duration `json:"blockedNs"`
+	// FetchFailures counts transport-level fetch/list errors survived.
+	FetchFailures int64 `json:"fetchFailures"`
+	// Outcome is the run's terminal state: returns, fails, blocked,
+	// abandoned (closed early), or error.
+	Outcome string `json:"outcome"`
+}
+
+// CollectionWeakness aggregates reports for one collection.
+type CollectionWeakness struct {
+	Collection           string        `json:"collection"`
+	Runs                 int64         `json:"runs"`
+	Invocations          int64         `json:"invocations"`
+	Yielded              int64         `json:"yielded"`
+	UnreachableSkipped   int64         `json:"unreachableSkipped"`
+	GhostsServed         int64         `json:"ghostsServed"`
+	DuplicatesSuppressed int64         `json:"duplicatesSuppressed"`
+	EpochRetries         int64         `json:"epochRetries"`
+	ListingSkew          int64         `json:"listingSkew"`
+	FetchFailures        int64         `json:"fetchFailures"`
+	MaxSnapshotAge       time.Duration `json:"maxSnapshotAgeNs"`
+	Blocked              time.Duration `json:"blockedNs"`
+	// Outcomes counts terminal states by name.
+	Outcomes map[string]int64 `json:"outcomes"`
+}
+
+// Registry aggregates weakness reports per collection. It is safe for
+// concurrent use; a nil *Registry ignores reports.
+type Registry struct {
+	mu    sync.Mutex
+	colls map[string]*CollectionWeakness
+	last  map[string]WeaknessReport
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		colls: make(map[string]*CollectionWeakness),
+		last:  make(map[string]WeaknessReport),
+	}
+}
+
+// Observe folds one run's report into the per-collection aggregate.
+func (r *Registry) Observe(rep WeaknessReport) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cw := r.colls[rep.Collection]
+	if cw == nil {
+		cw = &CollectionWeakness{Collection: rep.Collection, Outcomes: make(map[string]int64)}
+		r.colls[rep.Collection] = cw
+	}
+	cw.Runs++
+	cw.Invocations += rep.Invocations
+	cw.Yielded += rep.Yielded
+	cw.UnreachableSkipped += rep.UnreachableSkipped
+	cw.GhostsServed += rep.GhostsServed
+	cw.DuplicatesSuppressed += rep.DuplicatesSuppressed
+	cw.EpochRetries += rep.EpochRetries
+	cw.ListingSkew += rep.ListingSkew
+	cw.FetchFailures += rep.FetchFailures
+	cw.Blocked += rep.Blocked
+	if rep.SnapshotAge > cw.MaxSnapshotAge {
+		cw.MaxSnapshotAge = rep.SnapshotAge
+	}
+	if rep.Outcome != "" {
+		cw.Outcomes[rep.Outcome]++
+	}
+	r.last[rep.Collection] = rep
+}
+
+// Last returns the most recent report observed for a collection — what a
+// CLI's -trace flag prints after a run it just drove through a layer that
+// hides the iterator.
+func (r *Registry) Last(collection string) (WeaknessReport, bool) {
+	if r == nil {
+		return WeaknessReport{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep, ok := r.last[collection]
+	return rep, ok
+}
+
+// Snapshot returns per-collection aggregates sorted by collection name.
+func (r *Registry) Snapshot() []CollectionWeakness {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CollectionWeakness, 0, len(r.colls))
+	for _, cw := range r.colls {
+		cp := *cw
+		cp.Outcomes = make(map[string]int64, len(cw.Outcomes))
+		for k, v := range cw.Outcomes {
+			cp.Outcomes[k] = v
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Collection < out[j].Collection })
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"weaksets/internal/netsim"
+	"weaksets/internal/obs"
 	"weaksets/internal/rpc"
 	"weaksets/internal/store"
 )
@@ -16,10 +17,11 @@ import (
 // only the network side: request decoding, replication pushes, and
 // remote deletes.
 type Server struct {
-	bus   *rpc.Bus
-	node  netsim.NodeID
-	rpc   *rpc.Server
-	store store.Store
+	bus    *rpc.Bus
+	node   netsim.NodeID
+	rpc    *rpc.Server
+	store  store.Store
+	tracer *obs.Tracer
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -55,6 +57,18 @@ func (s *Server) Node() netsim.NodeID { return s.node }
 // Store exposes the server's storage engine (stats, tests).
 func (s *Server) Store() store.Store { return s.store }
 
+// UseTracer makes the server record a span per store operation served,
+// joined to the caller's propagated trace (join-only: untraced requests
+// cost nothing). Set it before traffic starts; it is not synchronized.
+func (s *Server) UseTracer(t *obs.Tracer) { s.tracer = t }
+
+// startOp opens the store-shard span for one served operation.
+func (s *Server) startOp(ctx context.Context, name string) *obs.Span {
+	_, sp := s.tracer.StartSpan(ctx, name)
+	sp.SetAttr("node", string(s.node))
+	return sp
+}
+
 // Close stops background replication pushes and waits for them to finish.
 func (s *Server) Close() {
 	select {
@@ -83,40 +97,47 @@ func (s *Server) register() {
 	s.rpc.Handle(MethodSync, s.handleSync)
 }
 
-func (s *Server) handleGet(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleGet(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(GetReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
+	sp := s.startOp(ctx, "store.get")
 	obj, err := s.store.GetObject(r.ID)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	return obj, nil
 }
 
-func (s *Server) handleGetBatch(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleGetBatch(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(GetBatchReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
+	sp := s.startOp(ctx, "store.getBatch")
+	sp.SetInt("ids", int64(len(r.IDs)))
 	objs, missing := s.store.GetBatch(r.IDs)
+	sp.End()
 	return GetBatchResp{Objects: objs, Missing: missing}, nil
 }
 
-func (s *Server) handlePut(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handlePut(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(PutReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
+	sp := s.startOp(ctx, "store.put")
 	v, err := s.store.PutObject(r.Obj)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	return PutResp{Version: v}, nil
 }
 
-func (s *Server) handleDelete(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleDelete(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(DeleteReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
@@ -127,7 +148,7 @@ func (s *Server) handleDelete(_ netsim.NodeID, req any) (any, error) {
 	return struct{}{}, nil
 }
 
-func (s *Server) handleCreate(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleCreate(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(CreateReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
@@ -138,11 +159,13 @@ func (s *Server) handleCreate(_ netsim.NodeID, req any) (any, error) {
 	return struct{}{}, nil
 }
 
-func (s *Server) handleList(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleList(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(ListReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
+	sp := s.startOp(ctx, "store.list")
+	defer sp.End()
 	var (
 		members []Ref
 		version uint64
@@ -170,12 +193,14 @@ func (s *Server) handleList(_ netsim.NodeID, req any) (any, error) {
 	return ListResp{Members: members, Version: version}, nil
 }
 
-func (s *Server) handleAdd(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleAdd(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(AddReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
+	sp := s.startOp(ctx, "store.add")
 	v, err := s.store.Add(r.Name, r.Ref)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -183,12 +208,14 @@ func (s *Server) handleAdd(_ netsim.NodeID, req any) (any, error) {
 	return MutateResp{Version: v}, nil
 }
 
-func (s *Server) handleRemove(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleRemove(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(RemoveReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
+	sp := s.startOp(ctx, "store.remove")
 	_, deferred, v, err := s.store.Remove(r.Name, r.ID)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -196,19 +223,21 @@ func (s *Server) handleRemove(_ netsim.NodeID, req any) (any, error) {
 	return RemoveResp{Deferred: deferred, Version: v}, nil
 }
 
-func (s *Server) handlePin(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handlePin(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(PinReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
+	sp := s.startOp(ctx, "store.pin")
 	pin, err := s.store.Pin(r.Name)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	return PinResp{Pin: pin}, nil
 }
 
-func (s *Server) handleUnpin(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleUnpin(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(UnpinReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
@@ -219,7 +248,7 @@ func (s *Server) handleUnpin(_ netsim.NodeID, req any) (any, error) {
 	return struct{}{}, nil
 }
 
-func (s *Server) handleBeginGrow(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleBeginGrow(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(BeginGrowReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
@@ -231,7 +260,7 @@ func (s *Server) handleBeginGrow(_ netsim.NodeID, req any) (any, error) {
 	return BeginGrowResp{Token: token}, nil
 }
 
-func (s *Server) handleEndGrow(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleEndGrow(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(EndGrowReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
@@ -249,7 +278,7 @@ func (s *Server) handleEndGrow(_ netsim.NodeID, req any) (any, error) {
 	return EndGrowResp{Reclaimed: len(reclaim)}, nil
 }
 
-func (s *Server) handleStats(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleStats(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(StatsReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
@@ -267,7 +296,7 @@ func (s *Server) handleStats(_ netsim.NodeID, req any) (any, error) {
 	}, nil
 }
 
-func (s *Server) handleStoreStats(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleStoreStats(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	if _, ok := req.(StoreStatsReq); !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
@@ -276,7 +305,7 @@ func (s *Server) handleStoreStats(_ netsim.NodeID, req any) (any, error) {
 
 // handleSync applies a replication push. Stale pushes (version <= last
 // applied) are ignored, which is what makes replicas observably lag.
-func (s *Server) handleSync(_ netsim.NodeID, req any) (any, error) {
+func (s *Server) handleSync(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(SyncReq)
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"weaksets/internal/netsim"
+	"weaksets/internal/obs"
 )
 
 // Errors reported by the RPC layer itself. Transport-level failures from
@@ -29,8 +30,10 @@ var (
 )
 
 // Handler services one method. It runs on the server's goroutine context;
-// implementations must be safe for concurrent use.
-type Handler func(from netsim.NodeID, req any) (any, error)
+// implementations must be safe for concurrent use. The context carries
+// cancellation and the caller's trace context (obs.FromContext), so a
+// handler that issues further calls should pass it along.
+type Handler func(ctx context.Context, from netsim.NodeID, req any) (any, error)
 
 // Server is the per-node dispatch table.
 type Server struct {
@@ -68,12 +71,12 @@ func (s *Server) lookup(method string) (Handler, bool) {
 // Dispatch invokes the handler for method directly, bypassing any
 // transport. It is the hook alternative transports (e.g. the TCP server in
 // internal/tcprpc) use to serve the same dispatch table.
-func (s *Server) Dispatch(from netsim.NodeID, method string, req any) (any, error) {
+func (s *Server) Dispatch(ctx context.Context, from netsim.NodeID, method string, req any) (any, error) {
 	h, ok := s.lookup(method)
 	if !ok {
 		return nil, fmt.Errorf("rpc %s at %s: %w", method, s.node, ErrNoMethod)
 	}
-	return h(from, req)
+	return h(ctx, from, req)
 }
 
 // Methods lists the registered method names (sorted), for transports that
@@ -98,7 +101,8 @@ type Stats struct {
 
 // Bus connects servers over a netsim.Network.
 type Bus struct {
-	net *netsim.Network
+	net    *netsim.Network
+	tracer *obs.Tracer
 
 	mu      sync.RWMutex
 	servers map[netsim.NodeID][]*Server
@@ -117,6 +121,11 @@ func NewBus(n *netsim.Network) *Bus {
 
 // Network exposes the underlying network (reachability oracle, time scale).
 func (b *Bus) Network() *netsim.Network { return b.net }
+
+// UseTracer makes every traced call crossing the bus record an rpc span
+// (join-only: calls without a sampled trace in their context cost
+// nothing). Set it before traffic starts; it is not synchronized.
+func (b *Bus) UseTracer(t *obs.Tracer) { b.tracer = t }
 
 // Register attaches a server to the bus. The server's node must already be
 // registered with the network. Several servers (services) may share a node;
@@ -174,6 +183,17 @@ func (b *Bus) Call(ctx context.Context, from, to netsim.NodeID, method string, r
 	if err := ctx.Err(); err != nil {
 		return nil, 0, err
 	}
+	ctx, span := b.tracer.StartSpan(ctx, "rpc."+method)
+	if span != nil {
+		span.SetAttr("from", string(from))
+		span.SetAttr("to", string(to))
+		defer func() {
+			if err != nil {
+				span.SetAttr("error", err.Error())
+			}
+			span.End()
+		}()
+	}
 	lat, err := b.net.Transmit(from, to)
 	latency += lat
 	if err != nil {
@@ -199,7 +219,7 @@ func (b *Bus) Call(ctx context.Context, from, to netsim.NodeID, method string, r
 		return nil, latency, fmt.Errorf("rpc %s %s->%s: %w", method, from, to, ErrNoMethod)
 	}
 
-	out, appErr := h(from, req)
+	out, appErr := h(ctx, from, req)
 
 	if err := ctx.Err(); err != nil {
 		return nil, latency, err

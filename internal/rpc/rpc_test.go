@@ -24,14 +24,14 @@ func testBus(t *testing.T) *Bus {
 	n.AddNode("server")
 	b := NewBus(n)
 	srv := NewServer("server")
-	srv.Handle("echo", func(_ netsim.NodeID, req any) (any, error) {
+	srv.Handle("echo", func(_ context.Context, _ netsim.NodeID, req any) (any, error) {
 		r, ok := req.(echoReq)
 		if !ok {
 			return nil, errors.New("bad type")
 		}
 		return echoResp{Msg: r.Msg}, nil
 	})
-	srv.Handle("fail", func(netsim.NodeID, any) (any, error) {
+	srv.Handle("fail", func(context.Context, netsim.NodeID, any) (any, error) {
 		return nil, errBoom
 	})
 	if err := b.Register(srv); err != nil {
@@ -166,7 +166,7 @@ func TestServerSideEffectDespiteLostResponse(t *testing.T) {
 	b := NewBus(n)
 	srv := NewServer("server")
 	ran := make(chan struct{}, 1)
-	srv.Handle("mutate", func(netsim.NodeID, any) (any, error) {
+	srv.Handle("mutate", func(context.Context, netsim.NodeID, any) (any, error) {
 		// Cut the network while "processing".
 		n.Isolate("client")
 		ran <- struct{}{}
@@ -188,19 +188,19 @@ func TestServerSideEffectDespiteLostResponse(t *testing.T) {
 
 func TestDispatchAndMethods(t *testing.T) {
 	srv := NewServer("node")
-	srv.Handle("b.method", func(netsim.NodeID, any) (any, error) { return "b", nil })
-	srv.Handle("a.method", func(from netsim.NodeID, req any) (any, error) {
+	srv.Handle("b.method", func(context.Context, netsim.NodeID, any) (any, error) { return "b", nil })
+	srv.Handle("a.method", func(_ context.Context, from netsim.NodeID, req any) (any, error) {
 		return fmt.Sprintf("%s:%v", from, req), nil
 	})
 
-	out, err := srv.Dispatch("caller", "a.method", 7)
+	out, err := srv.Dispatch(context.Background(), "caller", "a.method", 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out != "caller:7" {
 		t.Fatalf("dispatch = %v", out)
 	}
-	if _, err := srv.Dispatch("caller", "nope", nil); !errors.Is(err, ErrNoMethod) {
+	if _, err := srv.Dispatch(context.Background(), "caller", "nope", nil); !errors.Is(err, ErrNoMethod) {
 		t.Fatalf("err = %v", err)
 	}
 	methods := srv.Methods()

@@ -224,8 +224,12 @@ func (in *instruments) opStats() []OpStats {
 			sum     time.Duration
 		)
 		for i := range rec.lat {
-			samples = append(samples, rec.lat[i].Samples()...)
-			sum += rec.lat[i].Sum()
+			// One consistent snapshot per stripe (single lock acquisition)
+			// instead of separate Samples()+Sum() reads that writers could
+			// interleave between.
+			snap := rec.lat[i].Snapshot()
+			samples = append(samples, snap.Samples()...)
+			sum += snap.Sum
 		}
 		st := OpStats{
 			Op:     op.String(),

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"weaksets/internal/obs"
 )
 
 // ErrClientClosed reports calls on a closed client.
@@ -41,6 +43,10 @@ type Client struct {
 	// round-trip transport — the baseline `weakbench -rpc` sweeps
 	// against. Set before the first Call.
 	MaxInflight int
+	// Tracer, when set, records a wire span per traced call (join-only).
+	// The span's context rides the request envelope, so the server's
+	// spans nest under it. Set before the first Call.
+	Tracer *obs.Tracer
 
 	mu     sync.Mutex
 	cc     *clientConn
@@ -174,9 +180,18 @@ func (c *Client) Call(ctx context.Context, method string, req any) (any, error) 
 	}
 	defer release()
 
+	ctx, span := c.Tracer.StartSpan(ctx, "tcp."+method)
+	span.SetAttr("addr", c.addr)
+
 	start := time.Now()
 	resp, err := c.do(ctx, method, req)
 	c.ins.observe(method, start, err)
+	if span != nil {
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}
 	return resp, err
 }
 
@@ -199,7 +214,7 @@ func (c *Client) do(ctx context.Context, method string, req any) (any, error) {
 		c.ins.inflightDown()
 	}()
 
-	out := &request{Seq: seq, From: c.from, Method: method, Body: req}
+	out := &request{Seq: seq, From: c.from, Method: method, Body: req, Trace: obs.FromContext(ctx)}
 	select {
 	case cc.sendCh <- out:
 	case <-ctx.Done():

@@ -40,8 +40,10 @@ func NewGateway(bus *rpc.Bus, node netsim.NodeID, client *Client, methods []stri
 	srv := rpc.NewServer(node)
 	for _, method := range methods {
 		method := method
-		srv.Handle(method, func(from netsim.NodeID, req any) (any, error) {
-			ctx, cancel := context.WithTimeout(context.Background(), g.CallTimeout)
+		srv.Handle(method, func(ctx context.Context, from netsim.NodeID, req any) (any, error) {
+			// Derive from the incoming context so the caller's trace
+			// context (and cancellation) flows onto the wire.
+			ctx, cancel := context.WithTimeout(ctx, g.CallTimeout)
 			defer cancel()
 			return g.client.Call(ctx, method, req)
 		})

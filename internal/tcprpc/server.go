@@ -1,12 +1,14 @@
 package tcprpc
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
 
 	"weaksets/internal/netsim"
+	"weaksets/internal/obs"
 	"weaksets/internal/rpc"
 )
 
@@ -19,6 +21,9 @@ type ServerConfig struct {
 	// requests one connection may have executing at once. Defaults to
 	// DefaultConnWorkers. 1 restores strictly sequential handling.
 	Workers int
+	// Tracer, when set, records a server-side span per request whose
+	// envelope carries a sampled trace context, joined to that trace.
+	Tracer *obs.Tracer
 }
 
 // Server serves an rpc.Server's dispatch table over TCP. Each decoded
@@ -34,6 +39,7 @@ type Server struct {
 	lis      net.Listener
 	dispatch *rpc.Server
 	workers  int
+	tracer   *obs.Tracer
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -63,6 +69,7 @@ func ServeConfig(addr string, dispatch *rpc.Server, cfg ServerConfig) (*Server, 
 		lis:      lis,
 		dispatch: dispatch,
 		workers:  workers,
+		tracer:   cfg.Tracer,
 		conns:    make(map[net.Conn]bool),
 	}
 	s.wg.Add(1)
@@ -131,7 +138,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		go func() {
 			defer pool.Done()
 			for req := range reqCh {
-				body, err := s.dispatch.Dispatch(netsim.NodeID(req.From), req.Method, req.Body)
+				// Rebuild the caller's trace context from the envelope so
+				// this process's spans join the cross-process trace.
+				ctx := obs.ContextWithSpan(context.Background(), req.Trace)
+				ctx, sp := s.tracer.StartSpan(ctx, "rpc.serve")
+				sp.SetAttr("method", req.Method)
+				body, err := s.dispatch.Dispatch(ctx, netsim.NodeID(req.From), req.Method, req.Body)
+				sp.End()
 				resp := response{Seq: req.Seq, Body: body}
 				if err != nil {
 					resp.IsErr = true

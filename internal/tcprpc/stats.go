@@ -133,13 +133,17 @@ func (in *transportInstruments) snapshot(addr string) TransportStats {
 	sort.Strings(names)
 	for _, m := range names {
 		r := in.methods[m]
+		// One consistent histogram snapshot per method: mean and both
+		// quantiles describe the same instant instead of three separate
+		// lock acquisitions interleaving with writers.
+		snap := r.rtt.Snapshot()
 		out.Methods = append(out.Methods, MethodStats{
 			Method: m,
 			Count:  r.count.Load(),
 			Errors: r.errs.Load(),
-			Mean:   r.rtt.Mean(),
-			P50:    r.rtt.Quantile(0.5),
-			P99:    r.rtt.Quantile(0.99),
+			Mean:   snap.Mean,
+			P50:    snap.Quantile(0.5),
+			P99:    snap.Quantile(0.99),
 		})
 	}
 	in.mu.RUnlock()

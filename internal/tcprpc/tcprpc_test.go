@@ -49,7 +49,7 @@ func busBackedDispatch(bus *rpc.Bus, node netsim.NodeID) *rpc.Server {
 	srv := rpc.NewServer(node)
 	for _, method := range RepoMethods() {
 		method := method
-		srv.Handle(method, func(from netsim.NodeID, req any) (any, error) {
+		srv.Handle(method, func(_ context.Context, from netsim.NodeID, req any) (any, error) {
 			out, _, err := bus.Call(context.Background(), node, node, method, req)
 			return out, err
 		})

@@ -26,7 +26,7 @@ import (
 // standing in for a slow disk or WAN hop.
 func echoDispatch(delay time.Duration) *rpc.Server {
 	srv := rpc.NewServer("remote")
-	srv.Handle("echo", func(_ netsim.NodeID, req any) (any, error) {
+	srv.Handle("echo", func(_ context.Context, _ netsim.NodeID, req any) (any, error) {
 		if delay > 0 {
 			time.Sleep(delay)
 		}
@@ -261,7 +261,7 @@ func TestSlowReaderBackpressure(t *testing.T) {
 	payload := make([]byte, 64<<10)
 	srv, err := ServeConfig("127.0.0.1:0", func() *rpc.Server {
 		s := rpc.NewServer("remote")
-		s.Handle("blob", func(_ netsim.NodeID, req any) (any, error) {
+		s.Handle("blob", func(_ context.Context, _ netsim.NodeID, req any) (any, error) {
 			in := req.(repo.GetReq)
 			return repo.Object{ID: in.ID, Data: payload}, nil
 		})

@@ -21,16 +21,20 @@ import (
 	"fmt"
 
 	"weaksets/internal/locksvc"
+	"weaksets/internal/obs"
 	"weaksets/internal/repo"
 	"weaksets/internal/rpc"
 )
 
-// request is one call envelope.
+// request is one call envelope. Trace carries the caller's span context
+// across the process boundary, so a sampled `elements()` run produces one
+// coherent trace whose spans come from both sides of the socket.
 type request struct {
 	Seq    uint64
 	From   string
 	Method string
 	Body   any
+	Trace  obs.SpanContext
 }
 
 // response is one reply envelope.
