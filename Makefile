@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-store bench-iter bench-rpc bench-obs bench sweep sweep-iter sweep-rpc sweep-obs clean
+.PHONY: check vet build test race bench-store bench-iter bench-rpc bench-obs bench-cache bench sweep sweep-iter sweep-rpc sweep-obs sweep-cache clean
 
-check: vet build race bench-store bench-iter bench-rpc bench-obs
+check: vet build race bench-store bench-iter bench-rpc bench-obs bench-cache
 
 vet:
 	$(GO) vet ./...
@@ -44,6 +44,13 @@ bench-rpc:
 bench-obs:
 	$(GO) run ./cmd/weakbench -obs -obs-quick -obs-json /tmp/BENCH_obs_smoke.json
 
+# Smoke the element cache: a quick cold/warm/mutating pass catches
+# regressions in the version-validated read path (snapshot warm runs must
+# go RPC-free, unchanged sets must ship no payload). Writes to /tmp so the
+# committed BENCH_cache.json (produced by sweep-cache) is left alone.
+bench-cache:
+	$(GO) run ./cmd/weakbench -cache -cache-quick -cache-json /tmp/BENCH_cache_smoke.json
+
 # Full root benchmark suite (slow).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -63,6 +70,10 @@ sweep-rpc:
 # Regenerate BENCH_obs.json from the full observability overhead sweep.
 sweep-obs:
 	$(GO) run ./cmd/weakbench -obs
+
+# Regenerate BENCH_cache.json from the full element-cache sweep.
+sweep-cache:
+	$(GO) run ./cmd/weakbench -cache
 
 clean:
 	$(GO) clean ./...

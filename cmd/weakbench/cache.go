@@ -1,0 +1,264 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/core"
+	"weaksets/internal/metrics"
+	"weaksets/internal/repo"
+	"weaksets/internal/sim"
+	"weaksets/internal/store"
+)
+
+// cacheResult is one row of the -cache sweep: one Collect over a
+// populated collection with the element cache in a known state.
+type cacheResult struct {
+	Semantics string `json:"semantics"`
+	Elements  int    `json:"elements"`
+	// Phase: "cold" (empty cache), "warm" (previous run populated it, set
+	// unchanged), or "mutated" (a remote writer touched ~10% of the
+	// objects and the membership between runs).
+	Phase        string        `json:"phase"`
+	Yielded      int           `json:"yielded"`
+	Virtual      time.Duration `json:"virtualNs"`
+	ElemsPerSec  float64       `json:"elemsPerSec"` // per virtual second
+	GetRPCs      int64         `json:"getRPCs"`
+	BatchRPCs    int64         `json:"getBatchRPCs"`
+	BytesShipped int64         `json:"bytesShipped"` // server-side payload bytes
+	NotModified  int64         `json:"notModified"`
+	CacheHits    int64         `json:"cacheHits"`
+	Validated    int64         `json:"cacheValidatedHits"`
+}
+
+// cacheReport is the BENCH_cache.json document. Speedup maps a semantics
+// to warm-over-cold elements/sec; ByteReduction maps a semantics to the
+// fraction of cold-run payload bytes the warm run kept off the wire.
+type cacheReport struct {
+	GOMAXPROCS    int                `json:"gomaxprocs"`
+	Engine        string             `json:"engine"`
+	StorageNodes  int                `json:"storageNodes"`
+	Seed          int64              `json:"seed"`
+	Scale         float64            `json:"scale"`
+	LatencyMs     float64            `json:"oneWayLatencyMs"`
+	ObjectBytes   int                `json:"objectBytes"`
+	Results       []cacheResult      `json:"results"`
+	Speedup       map[string]float64 `json:"speedup"`
+	ByteReduction map[string]float64 `json:"byteReduction"`
+}
+
+// cacheBatchTotals sums the engine batch counters across the storage
+// nodes — the server-side ground truth for what conditional fetching
+// shipped versus elided.
+func cacheBatchTotals(c *cluster.Cluster) store.BatchStats {
+	var tot store.BatchStats
+	for _, srv := range c.Servers {
+		b := srv.Store().Stats().Batch
+		tot.NotModified += b.NotModified
+		tot.BytesShipped += b.BytesShipped
+		tot.BytesSaved += b.BytesSaved
+	}
+	return tot
+}
+
+// runCacheSweep measures the version-validated element cache on the
+// elements hot path: a cold run (empty cache), a warm run over the
+// unchanged set (snapshot runs serve with no fetch RPC at all;
+// current-state runs revalidate and get NotModified back), and a run
+// after a remote writer mutated ~10% of the objects plus the membership
+// (only the changed objects re-ship). Times are virtual, so the latency
+// the cache removes is visible; payload bytes come from the storage
+// engines themselves.
+func runCacheSweep(jsonPath string, quick bool, seed int64, scale sim.TimeScale) error {
+	size := 1000
+	if quick {
+		size = 64
+	}
+	const (
+		storageNodes = 4
+		latency      = 25 * time.Millisecond
+		objectBytes  = 256
+	)
+	// The cache pays off in the latency-bound regime the paper targets
+	// (mobile clients on a WAN), so the fetch pipe is kept narrow — small
+	// batches, one in flight per node — and the clock runs at scale 1 so
+	// per-element CPU does not get inflated into the virtual times the
+	// speedup is computed from.
+	fetch := core.FetchOptions{Batch: 8, Inflight: 1}
+	if scale == 0 {
+		scale = 1
+	}
+
+	report := cacheReport{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		StorageNodes:  storageNodes,
+		Seed:          seed,
+		Scale:         float64(scale),
+		LatencyMs:     float64(latency) / float64(time.Millisecond),
+		ObjectBytes:   objectBytes,
+		Speedup:       map[string]float64{},
+		ByteReduction: map[string]float64{},
+	}
+	table := metrics.NewTable(
+		fmt.Sprintf("Element cache: %d x %dB elements, %d storage nodes, %v one-way",
+			size, objectBytes, storageNodes, latency),
+		"semantics", "phase", "virtual time", "elems/sec", "GetBatch", "notMod", "shipped B", "hits", "validated")
+
+	ctx := context.Background()
+	for _, sem := range []core.Semantics{core.Snapshot, core.GrowOnly} {
+		c, err := cluster.New(cluster.Config{
+			StorageNodes: storageNodes,
+			Seed:         seed,
+			Scale:        scale,
+			Latency:      sim.Fixed(latency),
+		})
+		if err != nil {
+			return fmt.Errorf("cache sweep: %w", err)
+		}
+		coll := "cache"
+		if err := c.Client.CreateCollection(ctx, cluster.DirNode, coll); err != nil {
+			c.Close()
+			return fmt.Errorf("cache sweep: %w", err)
+		}
+		refs := make([]repo.Ref, size)
+		for i := 0; i < size; i++ {
+			obj := repo.Object{ID: repo.ObjectID(fmt.Sprintf("e%04d", i)), Data: make([]byte, objectBytes)}
+			ref, err := c.Client.Put(ctx, c.StorageFor(i), obj)
+			if err == nil {
+				err = c.Client.Add(ctx, cluster.DirNode, coll, ref)
+			}
+			if err != nil {
+				c.Close()
+				return fmt.Errorf("cache sweep: populate: %w", err)
+			}
+			refs[i] = ref
+		}
+		if report.Engine == "" {
+			es, err := c.Client.StoreStats(ctx, cluster.DirNode)
+			if err != nil {
+				c.Close()
+				return fmt.Errorf("cache sweep: %w", err)
+			}
+			report.Engine = es.Engine
+		}
+
+		cache := repo.NewCache(2 * size)
+		c.Client.UseCache(cache)
+		set, err := core.NewSet(c.Client, cluster.DirNode, coll, core.Options{Semantics: sem, Fetch: fetch})
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("cache sweep: %w", err)
+		}
+		// The mutating phase writes through a second client with no cache
+		// attached: a genuinely remote writer our cache cannot see.
+		mutator := c.ClientAt(cluster.DirNode)
+
+		var coldPerSec, coldShipped float64
+		for run, phase := range []string{"cold", "warm", "mutated"} {
+			if phase == "mutated" {
+				for i := 0; i < size/10; i++ {
+					victim := refs[i*10]
+					if _, err := mutator.Put(ctx, victim.Node, repo.Object{
+						ID: victim.ID, Data: make([]byte, objectBytes),
+					}); err != nil {
+						c.Close()
+						return fmt.Errorf("cache sweep: mutate: %w", err)
+					}
+				}
+				// Move the membership too, so snapshot runs pin a newer
+				// listing and must revalidate rather than serve blind.
+				obj := repo.Object{ID: "late", Data: make([]byte, objectBytes)}
+				ref, err := mutator.Put(ctx, c.StorageFor(0), obj)
+				if err == nil {
+					err = mutator.Add(ctx, cluster.DirNode, coll, ref)
+				}
+				if err != nil {
+					c.Close()
+					return fmt.Errorf("cache sweep: mutate: %w", err)
+				}
+			}
+
+			gets := c.Bus.MethodCalls(repo.MethodGet)
+			batches := c.Bus.MethodCalls(repo.MethodGetBatch)
+			beforeB := cacheBatchTotals(c)
+			beforeC := cache.Stats()
+			elapsed := scale.Stopwatch()
+			elems, err := set.Collect(ctx)
+			virtual := elapsed()
+			if err != nil {
+				c.Close()
+				return fmt.Errorf("cache sweep: %s/%s: %w", sem, phase, err)
+			}
+			afterB := cacheBatchTotals(c)
+			afterC := cache.Stats()
+			res := cacheResult{
+				Semantics:    sem.String(),
+				Elements:     size,
+				Phase:        phase,
+				Yielded:      len(elems),
+				Virtual:      virtual,
+				GetRPCs:      c.Bus.MethodCalls(repo.MethodGet) - gets,
+				BatchRPCs:    c.Bus.MethodCalls(repo.MethodGetBatch) - batches,
+				BytesShipped: afterB.BytesShipped - beforeB.BytesShipped,
+				NotModified:  afterB.NotModified - beforeB.NotModified,
+				CacheHits:    afterC.Hits - beforeC.Hits,
+				Validated:    afterC.ValidatedHits - beforeC.ValidatedHits,
+			}
+			if virtual > 0 {
+				res.ElemsPerSec = float64(res.Yielded) / virtual.Seconds()
+			}
+			report.Results = append(report.Results, res)
+
+			switch run {
+			case 0:
+				coldPerSec = res.ElemsPerSec
+				coldShipped = float64(res.BytesShipped)
+			case 1:
+				if coldPerSec > 0 {
+					report.Speedup[sem.String()] = res.ElemsPerSec / coldPerSec
+				}
+				if coldShipped > 0 {
+					report.ByteReduction[sem.String()] = 1 - float64(res.BytesShipped)/coldShipped
+				}
+			}
+			table.AddRow(
+				sem.String(),
+				phase,
+				virtual.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", res.ElemsPerSec),
+				fmt.Sprintf("%d", res.BatchRPCs),
+				fmt.Sprintf("%d", res.NotModified),
+				fmt.Sprintf("%d", res.BytesShipped),
+				fmt.Sprintf("%d", res.CacheHits),
+				fmt.Sprintf("%d", res.Validated),
+			)
+		}
+		c.Close()
+	}
+	table.Render(os.Stdout)
+	for _, sem := range []string{"snapshot", "grow-only"} {
+		fmt.Printf("%s: warm %.1fx cold, %.1f%% payload bytes elided\n",
+			sem, report.Speedup[sem], 100*report.ByteReduction[sem])
+	}
+
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return fmt.Errorf("cache sweep: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return fmt.Errorf("cache sweep: encode: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("cache sweep: %w", err)
+	}
+	fmt.Printf("wrote %s (%d results)\n", jsonPath, len(report.Results))
+	return nil
+}

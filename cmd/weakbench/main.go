@@ -77,6 +77,9 @@ func run(args []string) error {
 		obsRun    = fs.Bool("obs", false, "run the observability overhead sweep instead of experiments")
 		obsJSON   = fs.String("obs-json", "BENCH_obs.json", "where -obs writes its machine-readable results")
 		obsQk     = fs.Bool("obs-quick", false, "trim the -obs sweep (fewer runs per trial)")
+		cacheRun  = fs.Bool("cache", false, "run the element-cache cold/warm/mutating sweep instead of experiments")
+		cacheJSON = fs.String("cache-json", "BENCH_cache.json", "where -cache writes its machine-readable results")
+		cacheQk   = fs.Bool("cache-quick", false, "trim the -cache sweep (smaller set)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +109,9 @@ func run(args []string) error {
 	}
 	if *obsRun {
 		return runObsSweep(*obsJSON, *obsQk, *seed)
+	}
+	if *cacheRun {
+		return runCacheSweep(*cacheJSON, *cacheQk, *seed, 1)
 	}
 
 	if *list {

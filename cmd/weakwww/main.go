@@ -24,6 +24,7 @@ import (
 	"weaksets/internal/cluster"
 	"weaksets/internal/httpgw"
 	"weaksets/internal/obs"
+	"weaksets/internal/repo"
 	"weaksets/internal/sim"
 	"weaksets/internal/wais"
 	"weaksets/internal/workload"
@@ -43,6 +44,7 @@ func run(args []string) error {
 		scale  = fs.Float64("scale", 0.01, "virtual-to-real time scale")
 		mutate = fs.Bool("mutate", true, "keep a background editor mutating the menus")
 		sample = fs.Int("sample", 1, "trace 1 in N query runs (1 = every run)")
+		cache  = fs.Int("cache", 4096, "element cache capacity in objects (0 disables)")
 		pprof  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +99,10 @@ func run(args []string) error {
 
 	gw := httpgw.New(c.Client, cluster.DirNode, c.LockNode)
 	gw.UseObs(weakness, tracer)
+	if *cache > 0 {
+		gw.UseCache(repo.NewCache(*cache))
+		fmt.Printf("element cache enabled (%d objects); stats under /stats and /metrics\n", *cache)
+	}
 	if *pprof {
 		gw.EnablePprof()
 		fmt.Println("pprof enabled under /debug/pprof/")

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/obs"
+	"weaksets/internal/repo"
+	"weaksets/internal/store"
+)
+
+// batchTotals sums the engine batch counters across every storage node —
+// the server-side view of what conditional fetching actually shipped.
+func batchTotals(c *cluster.Cluster) store.BatchStats {
+	var tot store.BatchStats
+	for _, srv := range c.Servers {
+		b := srv.Store().Stats().Batch
+		tot.NotModified += b.NotModified
+		tot.BytesShipped += b.BytesShipped
+		tot.BytesSaved += b.BytesSaved
+	}
+	return tot
+}
+
+// TestSnapshotWarmRunServesWithoutRPC is the tentpole's headline property:
+// a snapshot run whose pinned listing version matches the cache stamps
+// serves every element with no fetch RPC at all.
+func TestSnapshotWarmRunServesWithoutRPC(t *testing.T) {
+	w := newTestWorld(t, 12)
+	ctx := context.Background()
+	cache := repo.NewCache(64)
+	w.c.Client.UseCache(cache)
+	reg := obs.NewRegistry()
+	s := w.set(t, Options{Semantics: Snapshot, Weakness: reg})
+
+	cold, err := s.Collect(ctx)
+	if err != nil || len(cold) != 12 {
+		t.Fatalf("cold run: %d elems, %v", len(cold), err)
+	}
+
+	gets := w.c.Bus.MethodCalls(repo.MethodGet)
+	batches := w.c.Bus.MethodCalls(repo.MethodGetBatch)
+	warm, err := s.Collect(ctx)
+	if err != nil || len(warm) != 12 {
+		t.Fatalf("warm run: %d elems, %v", len(warm), err)
+	}
+	for _, e := range warm {
+		if len(e.Data) == 0 || e.Stale {
+			t.Fatalf("warm element %s served without data", e.Ref.ID)
+		}
+	}
+	if d := w.c.Bus.MethodCalls(repo.MethodGetBatch) - batches; d != 0 {
+		t.Fatalf("warm snapshot run issued %d GetBatch RPCs", d)
+	}
+	if d := w.c.Bus.MethodCalls(repo.MethodGet) - gets; d != 0 {
+		t.Fatalf("warm snapshot run issued %d Get RPCs", d)
+	}
+	rep, ok := reg.Last("set")
+	if !ok || rep.CacheHits != 12 {
+		t.Fatalf("weakness report: ok=%v cacheHits=%d, want 12", ok, rep.CacheHits)
+	}
+}
+
+// TestCurrentStateRunValidatesWithoutPayload checks the conditional-fetch
+// half: a current-state (grow-only) run over an unchanged set still takes
+// the validation round trips but the servers ship no object payload —
+// every entry answers NotModified.
+func TestCurrentStateRunValidatesWithoutPayload(t *testing.T) {
+	w := newTestWorld(t, 12)
+	ctx := context.Background()
+	cache := repo.NewCache(64)
+	w.c.Client.UseCache(cache)
+	reg := obs.NewRegistry()
+	s := w.set(t, Options{Semantics: GrowOnly, Weakness: reg})
+
+	if cold, err := s.Collect(ctx); err != nil || len(cold) != 12 {
+		t.Fatalf("cold run: %d elems, %v", len(cold), err)
+	}
+
+	before := batchTotals(w.c)
+	batches := w.c.Bus.MethodCalls(repo.MethodGetBatch)
+	warm, err := s.Collect(ctx)
+	if err != nil || len(warm) != 12 {
+		t.Fatalf("warm run: %d elems, %v", len(warm), err)
+	}
+	if d := w.c.Bus.MethodCalls(repo.MethodGetBatch) - batches; d == 0 {
+		t.Fatal("current-state run served without revalidating")
+	}
+	after := batchTotals(w.c)
+	if d := after.NotModified - before.NotModified; d != 12 {
+		t.Fatalf("NotModified delta = %d, want 12", d)
+	}
+	if d := after.BytesShipped - before.BytesShipped; d != 0 {
+		t.Fatalf("unchanged set shipped %d payload bytes", d)
+	}
+	if after.BytesSaved == before.BytesSaved {
+		t.Fatal("servers recorded no bytes saved")
+	}
+	rep, ok := reg.Last("set")
+	if !ok || rep.CacheValidatedHits != 12 || rep.CacheHits != 0 {
+		t.Fatalf("weakness report: ok=%v validated=%d direct=%d", ok, rep.CacheValidatedHits, rep.CacheHits)
+	}
+}
+
+// TestCacheCoherenceAcrossMutations interleaves a remote mutation between
+// two validated runs: the changed object must be re-shipped and yielded
+// fresh, the untouched ones still answer NotModified.
+func TestCacheCoherenceAcrossMutations(t *testing.T) {
+	w := newTestWorld(t, 8)
+	ctx := context.Background()
+	cache := repo.NewCache(64)
+	w.c.Client.UseCache(cache)
+	s := w.set(t, Options{Semantics: GrowOnly})
+
+	if cold, err := s.Collect(ctx); err != nil || len(cold) != 8 {
+		t.Fatalf("cold run: %d elems, %v", len(cold), err)
+	}
+
+	// A different client (no cache attached) overwrites one member, so the
+	// owner's version moves behind our cache's back.
+	victim := w.refs[3]
+	mutator := w.c.ClientAt(victim.Node)
+	if _, err := mutator.Put(ctx, victim.Node, repo.Object{ID: victim.ID, Data: []byte("mutated")}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := batchTotals(w.c)
+	warm, err := s.Collect(ctx)
+	if err != nil || len(warm) != 8 {
+		t.Fatalf("warm run: %d elems, %v", len(warm), err)
+	}
+	var got string
+	for _, e := range warm {
+		if e.Ref.ID == victim.ID {
+			got = string(e.Data)
+		}
+	}
+	if got != "mutated" {
+		t.Fatalf("mutated member yielded %q from cache", got)
+	}
+	after := batchTotals(w.c)
+	if d := after.NotModified - before.NotModified; d != 7 {
+		t.Fatalf("NotModified delta = %d, want 7", d)
+	}
+	if d := after.BytesShipped - before.BytesShipped; d != int64(len("mutated")) {
+		t.Fatalf("BytesShipped delta = %d, want %d", d, len("mutated"))
+	}
+
+	// The validated copy now in cache must serve the new data.
+	if obj, ok := cache.Get(victim.ID); !ok || string(obj.Data) != "mutated" {
+		t.Fatalf("cache holds %q after validation", obj.Data)
+	}
+}
+
+// TestNegativeCacheUntilListingMoves pins the ghost rule: a member whose
+// data is missing costs one round trip, then answers from the negative
+// entry until the listing version moves, at which point it revalidates.
+func TestNegativeCacheUntilListingMoves(t *testing.T) {
+	w := newTestWorld(t, 4)
+	ctx := context.Background()
+	cache := repo.NewCache(64)
+	w.c.Client.UseCache(cache)
+	s := w.set(t, Options{Semantics: Snapshot})
+
+	// Membership lists an object that was never stored.
+	phantom := repo.Ref{ID: "phantom", Node: w.c.StorageFor(0)}
+	if err := w.c.Client.Add(ctx, cluster.DirNode, "set", phantom); err != nil {
+		t.Fatal(err)
+	}
+
+	stales := func(es []Element) int {
+		n := 0
+		for _, e := range es {
+			if e.Stale {
+				n++
+			}
+		}
+		return n
+	}
+
+	cold, err := s.Collect(ctx)
+	if err != nil || len(cold) != 5 || stales(cold) != 1 {
+		t.Fatalf("cold run: %d elems (%d stale), %v", len(cold), stales(cold), err)
+	}
+
+	gets := w.c.Bus.MethodCalls(repo.MethodGet)
+	batches := w.c.Bus.MethodCalls(repo.MethodGetBatch)
+	warm, err := s.Collect(ctx)
+	if err != nil || len(warm) != 5 || stales(warm) != 1 {
+		t.Fatalf("warm run: %d elems (%d stale), %v", len(warm), stales(warm), err)
+	}
+	if d := (w.c.Bus.MethodCalls(repo.MethodGetBatch) - batches) +
+		(w.c.Bus.MethodCalls(repo.MethodGet) - gets); d != 0 {
+		t.Fatalf("warm run with a negative entry issued %d fetch RPCs", d)
+	}
+	if st := cache.Stats(); st.NegativeHits == 0 {
+		t.Fatalf("missing member not served negatively: %+v", st)
+	}
+
+	// A membership change moves the listing version: the stamps are now
+	// behind the pin, so the next run revalidates everything.
+	w.addElement(t, 100)
+	moved, err := s.Collect(ctx)
+	if err != nil || len(moved) != 6 || stales(moved) != 1 {
+		t.Fatalf("post-move run: %d elems (%d stale), %v", len(moved), stales(moved), err)
+	}
+	if d := w.c.Bus.MethodCalls(repo.MethodGetBatch) - batches; d == 0 {
+		t.Fatal("listing moved but the run never revalidated")
+	}
+}
+
+// TestCacheKeepsReadYourWrites re-runs the prefetcher read-your-writes
+// scenario with a cache attached: our own delete drops the cache entry and
+// bumps the mutation epoch, so the deleted member still comes back as a
+// stale identity-only yield, never as cached data.
+func TestCacheKeepsReadYourWrites(t *testing.T) {
+	w := newTestWorld(t, 4)
+	ctx := context.Background()
+	cache := repo.NewCache(64)
+	w.c.Client.UseCache(cache)
+	s := w.set(t, Options{Semantics: Snapshot})
+
+	// Warm every entry first, so the delete must beat a warm cache.
+	if cold, err := s.Collect(ctx); err != nil || len(cold) != 4 {
+		t.Fatalf("cold run: %d elems, %v", len(cold), err)
+	}
+
+	it, err := s.Elements(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close(ctx)
+	if !it.Next(ctx) {
+		t.Fatalf("first next: %v", it.Err())
+	}
+	victim := w.refs[3]
+	if err := w.c.Client.Delete(ctx, victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(victim.ID); ok {
+		t.Fatal("delete left the victim in the cache")
+	}
+	var last Element
+	for it.Next(ctx) {
+		last = it.Element()
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if last.ID() != victim.ID || !last.Stale || last.Data != nil {
+		t.Fatalf("deleted member yielded as %+v, want stale identity-only yield", last)
+	}
+}
+
+// TestFetchNoCache keeps the opt-out honest: with Fetch.NoCache the warm
+// run fetches everything again even though the client carries a cache.
+func TestFetchNoCache(t *testing.T) {
+	w := newTestWorld(t, 6)
+	ctx := context.Background()
+	cache := repo.NewCache(64)
+	w.c.Client.UseCache(cache)
+	s := w.set(t, Options{Semantics: Snapshot, Fetch: FetchOptions{NoCache: true}})
+
+	if cold, err := s.Collect(ctx); err != nil || len(cold) != 6 {
+		t.Fatalf("cold run: %d elems, %v", len(cold), err)
+	}
+	batches := w.c.Bus.MethodCalls(repo.MethodGetBatch)
+	if warm, err := s.Collect(ctx); err != nil || len(warm) != 6 {
+		t.Fatalf("warm run: %d elems, %v", len(warm), err)
+	}
+	if d := w.c.Bus.MethodCalls(repo.MethodGetBatch) - batches; d == 0 {
+		t.Fatal("NoCache run served from the cache")
+	}
+	if st := cache.Stats(); st.Hits != 0 {
+		t.Fatalf("NoCache run recorded cache hits: %+v", st)
+	}
+}

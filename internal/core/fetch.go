@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -30,6 +32,15 @@ type FetchOptions struct {
 	Inflight int
 	// Order selects the prefetch order. Defaults to closest-first.
 	Order FetchOrder
+	// Cache is the shared element cache consulted on the batched path:
+	// fresh entries serve snapshot runs with no RPC, warm entries turn
+	// batches into conditional fetches (version in, NotModified out).
+	// nil falls back to the cache attached to the client via
+	// repo.Client.UseCache, if any.
+	Cache *repo.Cache
+	// NoCache opts the run out of the element cache even when the client
+	// has one attached — the baseline for cache-off comparisons.
+	NoCache bool
 }
 
 // WithDefaults resolves the zero values to the effective defaults.
@@ -88,6 +99,28 @@ type fetchResult struct {
 	epoch   uint64
 }
 
+// cacheBinding wires one run to the shared element cache. pinned marks a
+// snapshot-governed run (Fig. 3/4): its membership image is fixed at
+// listVer, so an entry stamped at or above it serves without any RPC.
+// Current-state runs (pinned=false) must revalidate every serve — they
+// still save the payload via conditional fetches, but never skip the
+// round trip. listVer is called on the iterator goroutine only.
+type cacheBinding struct {
+	cache   *repo.Cache
+	coll    string
+	pinned  bool
+	listVer func() uint64
+}
+
+// fetchChunk is one per-node batch plus the cache context it was planned
+// under: the known versions to validate and the listing version that
+// stamps installed results.
+type fetchChunk struct {
+	refs    []repo.Ref
+	known   map[repo.ObjectID]uint64
+	listVer uint64
+}
+
 // prefetcher overlaps an Iterator's element fetches: the candidates the
 // kernel could yield are grouped into per-node batches, issued
 // closest-first under a bounded in-flight budget, and parked in a ready
@@ -109,9 +142,17 @@ type prefetcher struct {
 	batch  int
 	tracer *obs.Tracer
 
+	// cb wires the run to the shared element cache; cb.cache == nil
+	// means the cache is off and every batch ships full payloads.
+	cb cacheBinding
+
 	// epochRetries counts results discarded for read-your-writes: the
 	// iterator folds it into the run's weakness report on close.
 	epochRetries atomic.Int64
+	// cacheHits / cacheValidated count this run's no-RPC serves and
+	// NotModified serves for the weakness report.
+	cacheHits      atomic.Int64
+	cacheValidated atomic.Int64
 
 	// ctx outlives individual Next calls so batches pipeline across
 	// yields; close cancels it and waits out the workers.
@@ -147,6 +188,10 @@ func newPrefetcher(base context.Context, client *repo.Client, o FetchOptions, tr
 	}
 }
 
+// bindCache attaches the shared element cache for this run. Called once,
+// before the first fetch, from the goroutine that owns the iterator.
+func (p *prefetcher) bindCache(cb cacheBinding) { p.cb = cb }
+
 // errMissing marks an id the holding node had no data for; it unwraps to
 // repo.ErrNotFound so the iterator's stale/skip handling applies.
 func errMissing(id repo.ObjectID) error {
@@ -177,6 +222,12 @@ func (p *prefetcher) fetch(ctx context.Context, ref repo.Ref, candidates func() 
 			return res.obj, nil
 		}
 		p.planLocked(candidates())
+		if _, ok := p.ready[ref.ID]; ok {
+			// The plan served ref straight from the cache; loop back to
+			// the ready-hit path.
+			p.mu.Unlock()
+			continue
+		}
 		if !p.pending[ref.ID] {
 			// The batch for ref could not be launched (closed prefetcher);
 			// fall back to a direct Get.
@@ -211,10 +262,18 @@ func (p *prefetcher) fetch(ctx context.Context, ref repo.Ref, candidates func() 
 }
 
 // planLocked launches batches for every candidate that is neither ready
-// nor already in flight. Caller holds p.mu.
+// nor already in flight. With a cache bound it first tries to serve
+// candidates directly (snapshot runs over fresh entries cost no RPC at
+// all), then arms the remaining chunks with the known versions for a
+// conditional fetch. Caller holds p.mu; it runs on the iterator
+// goroutine, so reading the binding's listing version is race-free.
 func (p *prefetcher) planLocked(candidates []repo.Ref) {
 	if p.ctx.Err() != nil {
 		return
+	}
+	var listVer uint64
+	if p.cb.cache != nil {
+		listVer = p.cb.listVer()
 	}
 	need := make([]repo.Ref, 0, len(candidates))
 	for _, ref := range candidates {
@@ -224,18 +283,39 @@ func (p *prefetcher) planLocked(candidates []repo.Ref) {
 		if _, ok := p.ready[ref.ID]; ok {
 			continue
 		}
+		if p.cb.cache != nil && p.cb.pinned {
+			// A pinned run's membership image is frozen at listVer; an
+			// entry fetched or validated under it is exactly what the
+			// owner would ship, so it serves with no round trip.
+			if obj, negative, ok := p.cb.cache.ServeFresh(p.cb.coll, listVer, ref.ID); ok {
+				p.ready[ref.ID] = fetchResult{obj: obj, missing: negative, epoch: p.client.Mutations()}
+				p.cacheHits.Add(1)
+				continue
+			}
+		}
 		need = append(need, ref)
 	}
 	if len(need) == 0 {
 		return
 	}
 	sortForFetch(p.client, need, p.order)
-	for _, chunk := range chunkByNode(need, p.batch) {
-		for _, ref := range chunk {
+	for _, refs := range chunkByNode(need, p.batch) {
+		ch := fetchChunk{refs: refs, listVer: listVer}
+		if p.cb.cache != nil {
+			for _, ref := range refs {
+				if v, ok := p.cb.cache.Version(ref.ID); ok {
+					if ch.known == nil {
+						ch.known = make(map[repo.ObjectID]uint64, len(refs))
+					}
+					ch.known[ref.ID] = v
+				}
+			}
+		}
+		for _, ref := range refs {
 			p.pending[ref.ID] = true
 		}
 		p.wg.Add(1)
-		go p.run(chunk)
+		go p.run(ch)
 	}
 }
 
@@ -245,8 +325,9 @@ func (p *prefetcher) planLocked(candidates []repo.Ref) {
 // from pending so a later fetch re-batches them — which is what makes a
 // failed batch count once per round trip in the iterator's liveness
 // accounting.
-func (p *prefetcher) run(chunk []repo.Ref) {
+func (p *prefetcher) run(ch fetchChunk) {
 	defer p.wg.Done()
+	chunk := ch.refs
 	select {
 	case p.sem <- struct{}{}:
 		defer func() { <-p.sem }()
@@ -262,7 +343,16 @@ func (p *prefetcher) run(chunk []repo.Ref) {
 	bctx, span := p.tracer.StartSpan(p.ctx, "fetch.batch")
 	span.SetAttr("node", string(chunk[0].Node))
 	span.SetInt("ids", int64(len(ids)))
-	objs, _, err := p.client.GetBatch(bctx, chunk[0].Node, ids)
+	span.SetInt("known", int64(len(ch.known)))
+	var (
+		objs map[repo.ObjectID]repo.Object
+		err  error
+	)
+	if p.cb.cache != nil {
+		objs, err = p.fetchValidated(bctx, ch, ids)
+	} else {
+		objs, _, err = p.client.GetBatch(bctx, chunk[0].Node, ids)
+	}
 	if span != nil {
 		if err != nil {
 			span.SetAttr("error", err.Error())
@@ -270,6 +360,90 @@ func (p *prefetcher) run(chunk []repo.Ref) {
 		span.End()
 	}
 	p.deliver(chunk, objs, err, epoch)
+}
+
+// batchFlight is the shared result of one coalesced conditional batch.
+type batchFlight struct {
+	objs        map[repo.ObjectID]repo.Object
+	notModified []repo.ObjectID
+	err         error
+}
+
+// flightKey identifies a conditional batch for singleflight coalescing:
+// node, ids (in deterministic fetch order) and the known versions fully
+// determine the response, so concurrent iterators planning the same
+// chunk share one round trip.
+func flightKey(node netsim.NodeID, refs []repo.Ref, known map[repo.ObjectID]uint64) string {
+	var b strings.Builder
+	b.WriteString("batch|")
+	b.WriteString(string(node))
+	for _, ref := range refs {
+		b.WriteByte('|')
+		b.WriteString(string(ref.ID))
+		if v, ok := known[ref.ID]; ok {
+			b.WriteByte('=')
+			b.WriteString(strconv.FormatUint(v, 10))
+		}
+	}
+	return b.String()
+}
+
+// fetchValidated issues one conditional batch through the cache's
+// singleflight group: full objects ship only for ids whose version
+// moved, NotModified ids serve from cache, and missing ids are cached
+// negatively. The leader installs results; every caller (leader and
+// joiners) assembles its own object map so deliver sees one coherent
+// answer per chunk.
+func (p *prefetcher) fetchValidated(ctx context.Context, ch fetchChunk, ids []repo.ObjectID) (map[repo.ObjectID]repo.Object, error) {
+	node := ch.refs[0].Node
+	v, shared := p.cb.cache.Do(flightKey(node, ch.refs, ch.known), func() any {
+		objs, notModified, missing, err := p.client.GetBatchValidated(ctx, node, ids, ch.known)
+		if err != nil {
+			return &batchFlight{err: err}
+		}
+		for _, obj := range objs {
+			p.cb.cache.PutValidated(p.cb.coll, ch.listVer, obj)
+		}
+		for _, id := range missing {
+			p.cb.cache.PutNegative(p.cb.coll, ch.listVer, id)
+		}
+		return &batchFlight{objs: objs, notModified: notModified}
+	})
+	res := v.(*batchFlight)
+	if res.err != nil {
+		return nil, res.err
+	}
+	out := make(map[repo.ObjectID]repo.Object, len(res.objs)+len(res.notModified))
+	for id, obj := range res.objs {
+		if shared {
+			// Joiners deep-copy: the flight's objects are shared across
+			// iterators, and yielded elements hand Data to callers.
+			obj = obj.Clone()
+		}
+		out[id] = obj
+	}
+	var evicted []repo.ObjectID
+	for _, id := range res.notModified {
+		if obj, ok := p.cb.cache.MarkValidated(p.cb.coll, ch.listVer, id); ok {
+			out[id] = obj
+			p.cacheValidated.Add(1)
+		} else {
+			evicted = append(evicted, id)
+		}
+	}
+	if len(evicted) > 0 {
+		// The entry vanished between planning and the NotModified answer
+		// (eviction race): refetch those ids unconditionally.
+		objs, _, err := p.client.GetBatch(ctx, node, evicted)
+		if err != nil {
+			return nil, err
+		}
+		for id, obj := range objs {
+			p.cb.cache.PutValidated(p.cb.coll, ch.listVer, obj)
+			out[id] = obj
+		}
+	}
+	return out, nil
 }
 
 func (p *prefetcher) deliver(chunk []repo.Ref, objs map[repo.ObjectID]repo.Object, err error, epoch uint64) {

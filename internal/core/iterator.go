@@ -52,6 +52,10 @@ type Iterator struct {
 
 	// first is s_first for snapshot-based semantics.
 	first map[spec.ElemID]bool
+	// snapVer is the listing version governing s_first: the version the
+	// pinned (or opening) membership read reported. It anchors the
+	// cache's freshness check for snapshot-governed runs.
+	snapVer uint64
 	// refs maps every element ID this run has seen to its location.
 	refs map[spec.ElemID]repo.Ref
 
@@ -119,16 +123,18 @@ func (it *Iterator) setup(ctx context.Context) error {
 	if it.opts.Semantics.UsesSnapshot() {
 		var (
 			members []repo.Ref
+			version uint64
 			err     error
 		)
 		if it.pin != 0 {
-			members, _, err = it.client.ListPinned(ctx, s.dir, s.name, it.pin)
+			members, version, err = it.client.ListPinned(ctx, s.dir, s.name, it.pin)
 		} else {
-			members, _, err = it.client.List(ctx, s.dir, s.name)
+			members, version, err = it.client.List(ctx, s.dir, s.name)
 		}
 		if err != nil {
 			return fmt.Errorf("read s_first: %w", err)
 		}
+		it.snapVer = version
 		it.first = make(map[spec.ElemID]bool, len(members))
 		for _, ref := range members {
 			id := spec.ElemID(ref.ID)
@@ -492,6 +498,8 @@ func (it *Iterator) finishObs() {
 	it.obsDone = true
 	if it.pf != nil {
 		it.wk.EpochRetries = it.pf.epochRetries.Load()
+		it.wk.CacheHits = it.pf.cacheHits.Load()
+		it.wk.CacheValidatedHits = it.pf.cacheValidated.Load()
 	}
 	if !it.openedAt.IsZero() {
 		it.wk.SnapshotAge = time.Since(it.openedAt)
@@ -517,6 +525,8 @@ func (it *Iterator) finishObs() {
 		it.span.SetInt("ghostsServed", it.wk.GhostsServed)
 		it.span.SetInt("duplicatesSuppressed", it.wk.DuplicatesSuppressed)
 		it.span.SetInt("epochRetries", it.wk.EpochRetries)
+		it.span.SetInt("cacheHits", it.wk.CacheHits)
+		it.span.SetInt("cacheValidatedHits", it.wk.CacheValidatedHits)
 		it.span.SetInt("listingSkew", it.wk.ListingSkew)
 		it.span.SetAttr("outcome", it.wk.Outcome)
 		it.span.End()

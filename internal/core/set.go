@@ -177,6 +177,28 @@ func (s *Set) Elements(ctx context.Context) (*Iterator, error) {
 		it.finishObs()
 		return nil, werr
 	}
+	// The cache binds after setup so the run's governing listing version
+	// (snapVer for snapshot-based semantics) is known.
+	if it.pf != nil && !s.opts.Fetch.NoCache {
+		cache := s.opts.Fetch.Cache
+		if cache == nil {
+			cache = s.client.ElementCache()
+		}
+		if cache != nil {
+			pinned := s.opts.Semantics.UsesSnapshot()
+			it.pf.bindCache(cacheBinding{
+				cache:  cache,
+				coll:   s.name,
+				pinned: pinned,
+				listVer: func() uint64 {
+					if pinned {
+						return it.snapVer
+					}
+					return it.listVersion
+				},
+			})
+		}
+	}
 	return it, nil
 }
 

@@ -51,6 +51,10 @@ type Gateway struct {
 	tmu        sync.Mutex
 	transports []transportSource
 
+	// cache is the element cache serving the gateway's queries, set by
+	// UseCache.
+	cache *repo.Cache
+
 	// Observability wiring, set by UseObs.
 	weakness *obs.Registry
 	tracers  []*obs.Tracer
@@ -70,6 +74,15 @@ func (g *Gateway) AddTransport(name string, stats func() tcprpc.TransportStats) 
 	g.tmu.Lock()
 	defer g.tmu.Unlock()
 	g.transports = append(g.transports, transportSource{name: name, stats: stats})
+}
+
+// UseCache wires an element cache into the gateway: /query runs read
+// through it (snapshot queries serve warm entries with no RPC,
+// current-state queries revalidate by version), and /stats and /metrics
+// report its counters. Call it before serving traffic.
+func (g *Gateway) UseCache(cache *repo.Cache) {
+	g.cache = cache
+	g.client.UseCache(cache)
 }
 
 // New builds a gateway reading through client, with collections hosted on
@@ -227,6 +240,12 @@ type transportInfo struct {
 	Methods     []transportMethodInfo `json:"methods,omitempty"`
 }
 
+// cacheInfo is the element-cache block of /stats.
+type cacheInfo struct {
+	Entries int             `json:"entries"`
+	Stats   repo.CacheStats `json:"stats"`
+}
+
 // collStatsInfo is the optional per-collection block of /stats.
 type collStatsInfo struct {
 	Collection string `json:"collection"`
@@ -254,6 +273,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		Collections int              `json:"collections"`
 		Batch       store.BatchStats `json:"batch"`
 		Ops         []opInfo         `json:"ops"`
+		Cache       *cacheInfo       `json:"cache,omitempty"`
 		Transports  []transportInfo  `json:"transports,omitempty"`
 		Collection  *collStatsInfo   `json:"collectionStats,omitempty"`
 	}{
@@ -275,6 +295,9 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			P50Ms:  ms(op.P50),
 			P99Ms:  ms(op.P99),
 		})
+	}
+	if g.cache != nil {
+		out.Cache = &cacheInfo{Entries: g.cache.Len(), Stats: g.cache.Stats()}
 	}
 	g.tmu.Lock()
 	sources := append([]transportSource(nil), g.transports...)
@@ -375,7 +398,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opts.SetOptions = core.Options{
 			LockServer: g.lockNode,
 			MaxBlock:   10 * time.Second,
-			Fetch:      core.FetchOptions{Batch: batch, Disable: batch == 1},
+			Fetch:      core.FetchOptions{Batch: batch, Disable: batch == 1, Cache: g.cache},
 		}
 	}
 

@@ -65,6 +65,8 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("weaksets_weakness_ghosts_served_total", "Stale (ghost) copies yielded.", float64(cw.GhostsServed), l)
 		p.Counter("weaksets_weakness_duplicates_suppressed_total", "Re-listed members suppressed by the no-duplicates obligation.", float64(cw.DuplicatesSuppressed), l)
 		p.Counter("weaksets_weakness_epoch_retries_total", "Prefetched results discarded for read-your-writes.", float64(cw.EpochRetries), l)
+		p.Counter("weaksets_weakness_cache_hits_total", "Elements served straight from the element cache, no RPC.", float64(cw.CacheHits), l)
+		p.Counter("weaksets_weakness_cache_validated_hits_total", "Elements served from the cache after a NotModified validation.", float64(cw.CacheValidatedHits), l)
 		p.Counter("weaksets_weakness_listing_skew_total", "Listing-version changes observed mid-run.", float64(cw.ListingSkew), l)
 		p.Counter("weaksets_weakness_fetch_failures_total", "Transport fetch/list failures survived.", float64(cw.FetchFailures), l)
 		p.Counter("weaksets_weakness_blocked_seconds_total", "Cumulative virtual time blocked awaiting repair.", obs.Seconds(cw.Blocked), l)
@@ -89,6 +91,9 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("weaksets_store_batch_total", "Engine batch-get round trips.", float64(es.Batch.Batches), node)
 		p.Counter("weaksets_store_batched_gets_total", "Gets served through engine batches.", float64(es.Batch.BatchedGets), node)
 		p.Counter("weaksets_store_batch_rtt_saved_total", "Round trips avoided by batching.", float64(es.Batch.RTTSaved), node)
+		p.Counter("weaksets_store_batch_not_modified_total", "Batch-get entries answered NotModified (version matched).", float64(es.Batch.NotModified), node)
+		p.Counter("weaksets_store_batch_bytes_shipped_total", "Object payload bytes shipped by batch gets.", float64(es.Batch.BytesShipped), node)
+		p.Counter("weaksets_store_batch_bytes_saved_total", "Object payload bytes elided by NotModified answers.", float64(es.Batch.BytesSaved), node)
 		for _, op := range es.Ops {
 			l := []obs.Label{node, {Key: "op", Value: op.Op}}
 			p.Counter("weaksets_store_op_total", "Storage-engine operations by op.", float64(op.Count), l...)
@@ -125,6 +130,21 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			p.Gauge("weaksets_transport_method_rtt_seconds", "TCP transport round-trip time (mean and quantiles).",
 				obs.Seconds(m.P99), append(ml, obs.Label{Key: "stat", Value: "p99"})...)
 		}
+	}
+
+	if g.cache != nil {
+		cs := g.cache.Stats()
+		p.Gauge("weaksets_cache_entries", "Objects resident in the element cache.", float64(g.cache.Len()))
+		p.Counter("weaksets_cache_stores_total", "New entries admitted to the element cache.", float64(cs.Stores))
+		p.Counter("weaksets_cache_hits_total", "Cache serves with no RPC (fresh under the governing listing).", float64(cs.Hits))
+		p.Counter("weaksets_cache_validated_hits_total", "Cache serves confirmed by a NotModified validation.", float64(cs.ValidatedHits))
+		p.Counter("weaksets_cache_negative_hits_total", "Absences served from negative cache entries.", float64(cs.NegativeHits))
+		p.Counter("weaksets_cache_bytes_saved_total", "Object payload bytes not re-fetched thanks to the cache.", float64(cs.BytesSaved))
+		p.Counter("weaksets_cache_coalesces_total", "Callers that joined another caller's in-flight fetch.", float64(cs.Coalesces))
+		p.Counter("weaksets_cache_stale_serves_total", "Stale cached copies served because the owner was unreachable.", float64(cs.StaleServes))
+		p.Counter("weaksets_cache_misses_total", "Lookups the cache could not answer.", float64(cs.Misses))
+		p.Counter("weaksets_cache_evictions_total", "Entries evicted by the LRU capacity bound.", float64(cs.Evictions))
+		p.Counter("weaksets_cache_drops_total", "Entries dropped by local deletes.", float64(cs.Drops))
 	}
 
 	for _, t := range g.tracers {

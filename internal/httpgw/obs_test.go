@@ -16,6 +16,7 @@ import (
 
 	"weaksets/internal/cluster"
 	"weaksets/internal/obs"
+	"weaksets/internal/repo"
 	"weaksets/internal/tcprpc"
 	"weaksets/internal/wais"
 )
@@ -41,6 +42,7 @@ func newObsWorld(t *testing.T) (*gwWorld, *obs.Tracer, *obs.Registry) {
 	}
 	gw := New(c.Client, cluster.DirNode, c.LockNode)
 	gw.UseObs(weakness, tracer)
+	gw.UseCache(repo.NewCache(256))
 	gw.AddTransport("archive", func() tcprpc.TransportStats {
 		return tcprpc.TransportStats{
 			Addr: "127.0.0.1:9999", Dials: 1, Calls: 42,
@@ -293,7 +295,7 @@ func TestStatsGoldenShape(t *testing.T) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	wantKeys := []string{"batch", "collectionStats", "collections", "engine", "node", "objects", "ops", "shards", "transports"}
+	wantKeys := []string{"batch", "cache", "collectionStats", "collections", "engine", "node", "objects", "ops", "shards", "transports"}
 	if strings.Join(keys, ",") != strings.Join(wantKeys, ",") {
 		t.Errorf("top-level keys = %v, want %v", keys, wantKeys)
 	}

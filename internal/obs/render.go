@@ -65,6 +65,8 @@ func RenderWeakness(w io.Writer, rep WeaknessReport) {
 	fmt.Fprintf(w, "  ghosts served          %d\n", rep.GhostsServed)
 	fmt.Fprintf(w, "  duplicates suppressed  %d\n", rep.DuplicatesSuppressed)
 	fmt.Fprintf(w, "  epoch retries          %d\n", rep.EpochRetries)
+	fmt.Fprintf(w, "  cache hits             %d\n", rep.CacheHits)
+	fmt.Fprintf(w, "  cache validated hits   %d\n", rep.CacheValidatedHits)
 	fmt.Fprintf(w, "  listing skew           %d\n", rep.ListingSkew)
 	fmt.Fprintf(w, "  fetch failures         %d\n", rep.FetchFailures)
 	if rep.SnapshotAge > 0 {

@@ -38,6 +38,13 @@ type WeaknessReport struct {
 	// mutation advanced the read-your-writes epoch after they were
 	// issued.
 	EpochRetries int64 `json:"epochRetries"`
+	// CacheHits counts elements served straight from the element cache
+	// with no RPC at all (snapshot runs over fresh entries).
+	CacheHits int64 `json:"cacheHits"`
+	// CacheValidatedHits counts elements served from the cache after the
+	// owner confirmed the version via NotModified — a round trip, but no
+	// payload.
+	CacheValidatedHits int64 `json:"cacheValidatedHits"`
 	// ListingSkew counts listing-version changes observed after the
 	// first listing — how unstable membership was during the run.
 	ListingSkew int64 `json:"listingSkew"`
@@ -63,6 +70,8 @@ type CollectionWeakness struct {
 	GhostsServed         int64         `json:"ghostsServed"`
 	DuplicatesSuppressed int64         `json:"duplicatesSuppressed"`
 	EpochRetries         int64         `json:"epochRetries"`
+	CacheHits            int64         `json:"cacheHits"`
+	CacheValidatedHits   int64         `json:"cacheValidatedHits"`
 	ListingSkew          int64         `json:"listingSkew"`
 	FetchFailures        int64         `json:"fetchFailures"`
 	MaxSnapshotAge       time.Duration `json:"maxSnapshotAgeNs"`
@@ -106,6 +115,8 @@ func (r *Registry) Observe(rep WeaknessReport) {
 	cw.GhostsServed += rep.GhostsServed
 	cw.DuplicatesSuppressed += rep.DuplicatesSuppressed
 	cw.EpochRetries += rep.EpochRetries
+	cw.CacheHits += rep.CacheHits
+	cw.CacheValidatedHits += rep.CacheValidatedHits
 	cw.ListingSkew += rep.ListingSkew
 	cw.FetchFailures += rep.FetchFailures
 	cw.Blocked += rep.Blocked

@@ -12,24 +12,56 @@ import (
 // workstations" where "disconnecting a mobile client from the network
 // while traveling is an induced failure" (§1.1), and it notes an iterator
 // "might keep a cached version" of the set (§3). Cache is that cached
-// version for element data: an LRU of fetched objects that can answer when
-// the owner is unreachable — the disconnected-operation move of the Coda
-// work this paper grew out of. Serving a cached copy of an unreachable
-// element is *weaker than Fig. 6* (which only yields reachable elements),
-// so the weak-set iterators never use it implicitly; dynamic sets offer it
-// as an explicit opt-in (DynOptions.FallbackCache), delivering such
-// elements marked Stale.
+// version for element data, in two roles:
+//
+//   - A coherent, version-validated read-through cache on the elements
+//     hot path. Entries carry the object version plus, per collection, the
+//     listing version they were last fetched or validated under. Snapshot
+//     runs pinned at or below that stamp serve the entry with no RPC at
+//     all; current-state runs revalidate by shipping only the known
+//     version (GetBatchReq.Known) and get a compact NotModified back.
+//     Ghosts and tombstones are cached negatively, so a missing member
+//     stops costing a round trip until the listing moves.
+//   - An LRU fallback that can answer when the owner is unreachable — the
+//     disconnected-operation move of the Coda work this paper grew out
+//     of. Serving a cached copy of an unreachable element is *weaker than
+//     Fig. 6* (which only yields reachable elements), so the weak-set
+//     iterators never use it implicitly; dynamic sets offer it as an
+//     explicit opt-in (DynOptions.FallbackCache), delivering such
+//     elements marked Stale.
+//
+// Both roles share one singleflight group, so N concurrent iterators (or
+// fallback fetchers) missing on the same data produce one upstream round
+// trip.
 
 // CacheStats counts cache activity.
 type CacheStats struct {
-	// Stores counts successful fetches written into the cache.
-	Stores int64
+	// Stores counts new entries written into the cache.
+	Stores int64 `json:"stores"`
+	// Hits counts elements served directly from a fresh entry with no
+	// RPC at all (snapshot runs at or below the entry's stamp).
+	Hits int64 `json:"hits"`
+	// ValidatedHits counts elements served from cache after the server
+	// confirmed the version via NotModified.
+	ValidatedHits int64 `json:"validated_hits"`
+	// NegativeHits counts missing members answered from a negative entry
+	// without a round trip.
+	NegativeHits int64 `json:"negative_hits"`
+	// BytesSaved totals the payload bytes direct and validated hits kept
+	// off the wire.
+	BytesSaved int64 `json:"bytes_saved"`
+	// Coalesces counts callers that joined another caller's in-flight
+	// fetch instead of issuing their own.
+	Coalesces int64 `json:"coalesces"`
 	// StaleServes counts unreachable fetches answered from the cache.
-	StaleServes int64
+	StaleServes int64 `json:"stale_serves"`
 	// Misses counts unreachable fetches the cache could not answer.
-	Misses int64
+	Misses int64 `json:"misses"`
 	// Evictions counts entries dropped by the capacity bound.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
+	// Drops counts entries invalidated explicitly (the attached client
+	// deleted the object).
+	Drops int64 `json:"drops"`
 }
 
 // Cache is a bounded LRU of fetched objects, safe for concurrent use.
@@ -39,11 +71,23 @@ type Cache struct {
 	entries map[ObjectID]*list.Element
 	order   *list.List // front = most recently used
 	stats   CacheStats
+
+	fmu     sync.Mutex
+	flights map[string]*flight
 }
 
 type cacheEntry struct {
 	id  ObjectID
 	obj Object
+	// negative marks a member the owner reported missing (ghost or
+	// tombstone); it answers "missing" without a round trip while fresh.
+	negative bool
+	// seen maps collection name → the listing version this entry was
+	// last fetched or validated under through that collection's elements
+	// path. A run governed by listing version v may serve the entry
+	// without revalidation iff seen[coll] >= v: the entry is at least as
+	// new as the membership image driving the run.
+	seen map[string]uint64
 }
 
 // NewCache creates a cache bounded to capacity entries (minimum 1).
@@ -55,33 +99,185 @@ func NewCache(capacity int) *Cache {
 		cap:     capacity,
 		entries: make(map[ObjectID]*list.Element, capacity),
 		order:   list.New(),
+		flights: make(map[string]*flight),
 	}
 }
 
 // Put stores a fetched object, evicting the least recently used entry when
-// over capacity.
+// over capacity. It is version-aware: an older object never overwrites a
+// newer cached one, so a slow fetch completing after a faster refetch
+// cannot write back stale data.
 func (c *Cache) Put(obj Object) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.putLocked(obj, "", 0)
+}
+
+// putLocked is the shared insert/update path. A non-empty coll stamps the
+// entry as observed under that collection's listing version listVer.
+func (c *Cache) putLocked(obj Object, coll string, listVer uint64) {
 	if el, ok := c.entries[obj.ID]; ok {
-		el.Value = cacheEntry{id: obj.ID, obj: obj.Clone()}
+		e := el.Value.(*cacheEntry)
+		if !e.negative && obj.Version < e.obj.Version {
+			// A newer copy is already cached; the incoming object is a
+			// stale read completing late. Keep the newer data and leave
+			// the stamps alone.
+			return
+		}
+		e.obj = obj.Clone()
+		e.negative = false
+		c.stampLocked(e, coll, listVer)
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[obj.ID] = c.order.PushFront(cacheEntry{id: obj.ID, obj: obj.Clone()})
+	e := &cacheEntry{id: obj.ID, obj: obj.Clone()}
+	c.stampLocked(e, coll, listVer)
+	c.entries[obj.ID] = c.order.PushFront(e)
 	c.stats.Stores++
+	c.evictLocked()
+}
+
+func (c *Cache) stampLocked(e *cacheEntry, coll string, listVer uint64) {
+	if coll == "" {
+		return
+	}
+	if e.seen == nil {
+		e.seen = make(map[string]uint64, 1)
+	}
+	if listVer > e.seen[coll] {
+		e.seen[coll] = listVer
+	}
+}
+
+func (c *Cache) evictLocked() {
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		entry, ok := oldest.Value.(cacheEntry)
-		if ok {
-			delete(c.entries, entry.id)
+		if e, ok := oldest.Value.(*cacheEntry); ok {
+			delete(c.entries, e.id)
 		}
 		c.stats.Evictions++
 	}
 }
 
+// PutValidated stores an object the server just shipped for a run over
+// coll governed by listing version listVer, stamping it fresh for that
+// image.
+func (c *Cache) PutValidated(coll string, listVer uint64, obj Object) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(obj, coll, listVer)
+}
+
+// PutNegative records that the owner reported id missing during a run
+// over coll governed by listing version listVer. The negative entry
+// answers "missing" for runs at or below that stamp; it never downgrades
+// an entry already validated at the same or a newer stamp.
+func (c *Cache) PutNegative(coll string, listVer uint64, id ObjectID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[id]; ok {
+		e := el.Value.(*cacheEntry)
+		if !e.negative && e.seen[coll] >= listVer {
+			// The positive copy was observed at least as recently; the
+			// missing report is the older observation.
+			return
+		}
+		e.negative = true
+		e.obj = Object{ID: id}
+		c.stampLocked(e, coll, listVer)
+		c.order.MoveToFront(el)
+		return
+	}
+	e := &cacheEntry{id: id, obj: Object{ID: id}, negative: true}
+	c.stampLocked(e, coll, listVer)
+	c.entries[id] = c.order.PushFront(e)
+	c.stats.Stores++
+	c.evictLocked()
+}
+
+// ServeFresh serves id directly from cache for a run over coll governed
+// by listing version atVer, with no RPC: it succeeds only when the entry
+// was fetched or validated under that listing image (stamp >= atVer).
+// negative reports a fresh missing member. ok=false means the caller
+// must go to the owner.
+func (c *Cache) ServeFresh(coll string, atVer uint64, id ObjectID) (obj Object, negative, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[id]
+	if !found || atVer == 0 {
+		return Object{}, false, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.seen[coll] < atVer {
+		return Object{}, false, false
+	}
+	c.order.MoveToFront(el)
+	if e.negative {
+		c.stats.NegativeHits++
+		return Object{}, true, true
+	}
+	c.stats.Hits++
+	c.stats.BytesSaved += int64(len(e.obj.Data))
+	return e.obj.Clone(), false, true
+}
+
+// Version reports the cached version of id, used to build a conditional
+// fetch's Known map. Negative entries carry no version to validate.
+func (c *Cache) Version(id ObjectID) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[id]
+	if !ok {
+		return 0, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.negative || e.obj.Version == 0 {
+		return 0, false
+	}
+	c.order.MoveToFront(el)
+	return e.obj.Version, true
+}
+
+// MarkValidated applies a NotModified answer: the server confirmed the
+// cached version is current under coll's listing version listVer, so the
+// stamp advances and the cached copy serves. ok=false means the entry
+// was evicted while the request was in flight and the caller must
+// refetch.
+func (c *Cache) MarkValidated(coll string, listVer uint64, id ObjectID) (Object, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, found := c.entries[id]
+	if !found {
+		return Object{}, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.negative {
+		return Object{}, false
+	}
+	c.stampLocked(e, coll, listVer)
+	c.order.MoveToFront(el)
+	c.stats.ValidatedHits++
+	c.stats.BytesSaved += int64(len(e.obj.Data))
+	return e.obj.Clone(), true
+}
+
+// Drop invalidates id (the attached client deleted the object).
+func (c *Cache) Drop(id ObjectID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[id]
+	if !ok {
+		return
+	}
+	c.order.Remove(el)
+	delete(c.entries, id)
+	c.stats.Drops++
+}
+
 // Get returns the cached copy of id, if any, marking it recently used.
+// Negative entries don't answer: a plain Get wants data, not a
+// membership verdict.
 func (c *Cache) Get(id ObjectID) (Object, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -89,12 +285,12 @@ func (c *Cache) Get(id ObjectID) (Object, bool) {
 	if !ok {
 		return Object{}, false
 	}
-	c.order.MoveToFront(el)
-	entry, ok := el.Value.(cacheEntry)
-	if !ok {
+	e := el.Value.(*cacheEntry)
+	if e.negative {
 		return Object{}, false
 	}
-	return entry.obj.Clone(), true
+	c.order.MoveToFront(el)
+	return e.obj.Clone(), true
 }
 
 // Len reports the number of cached entries.
@@ -123,25 +319,86 @@ func (c *Cache) countMiss() {
 	c.stats.Misses++
 }
 
+// flight is one in-flight coalesced fetch: the leader runs the work,
+// joiners wait on done and share val.
+type flight struct {
+	done chan struct{}
+	val  any
+}
+
+// Do coalesces concurrent calls sharing a key: the first caller runs fn;
+// callers arriving while it runs block until it finishes and share its
+// result. shared reports whether this caller joined another's flight.
+// Keys must fully determine fn's result — node, ids and known versions
+// for a batch — or a joiner could be handed the wrong answer.
+func (c *Cache) Do(key string, fn func() any) (val any, shared bool) {
+	c.fmu.Lock()
+	if f, ok := c.flights[key]; ok {
+		c.fmu.Unlock()
+		<-f.done
+		c.mu.Lock()
+		c.stats.Coalesces++
+		c.mu.Unlock()
+		return f.val, true
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.fmu.Unlock()
+	defer func() {
+		c.fmu.Lock()
+		delete(c.flights, key)
+		c.fmu.Unlock()
+		close(f.done)
+	}()
+	f.val = fn()
+	return f.val, false
+}
+
+// throughResult is what one coalesced GetThrough fetch resolved to.
+type throughResult struct {
+	obj           Object
+	served        bool // obj is valid (fetched, or cached fallback)
+	stale         bool // obj came from cache after a transport failure
+	transportMiss bool // transport failure and nothing cached
+	err           error
+}
+
 // GetThrough fetches ref through client, keeping the cache warm: a
 // successful fetch is stored; a transport failure is answered from the
 // cache when possible (served=true, stale=true) and otherwise returns the
 // original error. Application errors (e.g. ErrNotFound) pass through —
-// a deleted object must not be resurrected from cache.
+// a deleted object must not be resurrected from cache. Concurrent calls
+// for the same ref coalesce into one upstream RPC.
 func (c *Cache) GetThrough(ctx context.Context, client *Client, ref Ref) (obj Object, stale bool, err error) {
-	obj, err = client.Get(ctx, ref)
-	switch {
-	case err == nil:
-		c.Put(obj)
-		return obj, false, nil
-	case netsim.IsFailure(err):
-		if cached, ok := c.Get(ref.ID); ok {
-			c.countStale()
-			return cached, true, nil
+	v, _ := c.Do("through|"+string(ref.Node)+"|"+string(ref.ID), func() any {
+		obj, err := client.Get(ctx, ref)
+		switch {
+		case err == nil:
+			c.Put(obj)
+			return throughResult{obj: obj, served: true}
+		case netsim.IsFailure(err):
+			if cached, ok := c.Get(ref.ID); ok {
+				return throughResult{obj: cached, served: true, stale: true}
+			}
+			return throughResult{transportMiss: true, err: err}
+		default:
+			return throughResult{err: err}
 		}
+	})
+	res := v.(throughResult)
+	// Stale/miss accounting is per caller, so coalesced attempts still
+	// add up: every unreachable attempt is either a stale serve or a
+	// miss.
+	switch {
+	case res.served && res.stale:
+		c.countStale()
+		return res.obj.Clone(), true, nil
+	case res.served:
+		return res.obj.Clone(), false, nil
+	case res.transportMiss:
 		c.countMiss()
-		return Object{}, false, err
+		return Object{}, false, res.err
 	default:
-		return Object{}, false, err
+		return Object{}, false, res.err
 	}
 }

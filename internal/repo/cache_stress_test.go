@@ -61,6 +61,76 @@ func TestCacheStressRaw(t *testing.T) {
 	}
 }
 
+// TestCacheStressCoherent hammers the coherence surface — PutValidated,
+// ServeFresh, MarkValidated, PutNegative, Version, Drop — from many
+// goroutines over a key space larger than capacity, then checks that the
+// entry ledger balances: every store is still resident, was evicted, or
+// was dropped. With -race this is the data-race check for the stamp maps.
+func TestCacheStressCoherent(t *testing.T) {
+	const (
+		capacity = 32
+		workers  = 8
+		iters    = 2000
+		keySpace = 96
+		colls    = 3
+	)
+	c := NewCache(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := ObjectID(fmt.Sprintf("k%03d", (i*11+w*17)%keySpace))
+				coll := fmt.Sprintf("c%d", (i+w)%colls)
+				ver := uint64(i%50 + 1)
+				switch i % 6 {
+				case 0:
+					c.PutValidated(coll, ver, Object{ID: id, Version: ver, Data: []byte{byte(w)}})
+				case 1:
+					if obj, neg, ok := c.ServeFresh(coll, ver, id); ok && !neg && obj.ID != id {
+						t.Errorf("served %q for key %q", obj.ID, id)
+						return
+					}
+				case 2:
+					if obj, ok := c.MarkValidated(coll, ver, id); ok && obj.ID != id {
+						t.Errorf("validated %q for key %q", obj.ID, id)
+						return
+					}
+				case 3:
+					c.PutNegative(coll, ver, id)
+				case 4:
+					c.Version(id)
+					if c.Len() > capacity {
+						t.Errorf("len %d exceeds cap %d", c.Len(), capacity)
+						return
+					}
+				default:
+					c.Drop(id)
+					c.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	st := c.Stats()
+	if c.Len() > capacity {
+		t.Fatalf("final len %d exceeds cap %d", c.Len(), capacity)
+	}
+	// Every stored entry is still live, was evicted by capacity, or was
+	// dropped by an invalidation — nothing leaks, nothing double-counts.
+	if live := st.Stores - st.Evictions - st.Drops; live != int64(c.Len()) {
+		t.Fatalf("stores(%d) − evictions(%d) − drops(%d) = %d, but len = %d",
+			st.Stores, st.Evictions, st.Drops, live, c.Len())
+	}
+	if st.StaleServes != 0 || st.Misses != 0 {
+		t.Fatalf("coherence ops produced fetch counters: %+v", st)
+	}
+}
+
 // TestCacheStressGetThrough drives GetThrough concurrently across a
 // connect → partition → heal cycle and checks the stale-serve accounting:
 // while the owner is unreachable every attempt is either answered stale

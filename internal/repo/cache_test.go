@@ -4,7 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestCachePutGetLRU(t *testing.T) {
@@ -65,6 +68,162 @@ func TestCacheMinimumCapacity(t *testing.T) {
 	c.Put(Object{ID: "a"})
 	if c.Len() != 1 {
 		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCachePutVersionAware(t *testing.T) {
+	c := NewCache(4)
+	c.Put(Object{ID: "a", Version: 2, Data: []byte("v2")})
+	// A slow fetch completing late must not clobber the newer copy.
+	c.Put(Object{ID: "a", Version: 1, Data: []byte("v1")})
+	got, ok := c.Get("a")
+	if !ok || string(got.Data) != "v2" || got.Version != 2 {
+		t.Fatalf("got %v %q v%d", ok, got.Data, got.Version)
+	}
+	// Equal or newer versions still update in place.
+	c.Put(Object{ID: "a", Version: 3, Data: []byte("v3")})
+	if got, _ := c.Get("a"); string(got.Data) != "v3" {
+		t.Fatalf("newer put ignored: %q", got.Data)
+	}
+	if st := c.Stats(); st.Stores != 1 {
+		t.Fatalf("in-place updates counted as stores: %+v", st)
+	}
+}
+
+func TestCacheServeFreshStamps(t *testing.T) {
+	c := NewCache(4)
+	obj := Object{ID: "a", Version: 7, Data: []byte("data")}
+	c.PutValidated("coll", 5, obj)
+
+	// Runs at or below the stamp serve with no RPC.
+	got, neg, ok := c.ServeFresh("coll", 5, "a")
+	if !ok || neg || string(got.Data) != "data" {
+		t.Fatalf("serve at stamp: ok=%v neg=%v data=%q", ok, neg, got.Data)
+	}
+	if _, _, ok := c.ServeFresh("coll", 3, "a"); !ok {
+		t.Fatal("older listing image refused a newer entry")
+	}
+	// A newer listing image must revalidate.
+	if _, _, ok := c.ServeFresh("coll", 6, "a"); ok {
+		t.Fatal("served past the stamp")
+	}
+	// Another collection has no stamp for this entry.
+	if _, _, ok := c.ServeFresh("other", 1, "a"); ok {
+		t.Fatal("served under a collection that never observed the entry")
+	}
+	// A zero governing version can never prove freshness.
+	if _, _, ok := c.ServeFresh("coll", 0, "a"); ok {
+		t.Fatal("served with no governing listing version")
+	}
+
+	// NotModified advances the stamp; the same image then serves directly.
+	if _, ok := c.MarkValidated("coll", 6, "a"); !ok {
+		t.Fatal("MarkValidated refused a live entry")
+	}
+	if _, _, ok := c.ServeFresh("coll", 6, "a"); !ok {
+		t.Fatal("stamp did not advance after validation")
+	}
+
+	st := c.Stats()
+	if st.Hits != 3 || st.ValidatedHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if want := int64(4 * len(obj.Data)); st.BytesSaved != want {
+		t.Fatalf("bytesSaved = %d, want %d", st.BytesSaved, want)
+	}
+	if _, ok := c.MarkValidated("coll", 6, "never-cached"); ok {
+		t.Fatal("validated an entry that is not cached")
+	}
+}
+
+func TestCacheNegativeEntries(t *testing.T) {
+	c := NewCache(4)
+	c.PutNegative("coll", 5, "ghost")
+
+	// A fresh negative entry answers "missing" with no round trip.
+	_, neg, ok := c.ServeFresh("coll", 5, "ghost")
+	if !ok || !neg {
+		t.Fatalf("negative serve: ok=%v neg=%v", ok, neg)
+	}
+	// Past the stamp it must revalidate like any entry.
+	if _, _, ok := c.ServeFresh("coll", 6, "ghost"); ok {
+		t.Fatal("negative entry served past its stamp")
+	}
+	// Plain Get wants data, not a membership verdict.
+	if _, ok := c.Get("ghost"); ok {
+		t.Fatal("Get answered from a negative entry")
+	}
+	if _, ok := c.Version("ghost"); ok {
+		t.Fatal("negative entry offered a version to validate")
+	}
+	if _, ok := c.MarkValidated("coll", 6, "ghost"); ok {
+		t.Fatal("MarkValidated treated a negative entry as data")
+	}
+
+	// A missing report older than the cached validation must not win.
+	c.PutValidated("coll", 8, Object{ID: "live", Version: 2, Data: []byte("x")})
+	c.PutNegative("coll", 7, "live")
+	if _, neg, ok := c.ServeFresh("coll", 8, "live"); !ok || neg {
+		t.Fatalf("older missing report downgraded a newer entry: ok=%v neg=%v", ok, neg)
+	}
+	// A newer missing report does win, and a later resurrection wins again.
+	c.PutNegative("coll", 9, "live")
+	if _, neg, _ := c.ServeFresh("coll", 9, "live"); !neg {
+		t.Fatal("newer missing report ignored")
+	}
+	c.PutValidated("coll", 10, Object{ID: "live", Version: 3, Data: []byte("y")})
+	got, neg, ok := c.ServeFresh("coll", 10, "live")
+	if !ok || neg || string(got.Data) != "y" {
+		t.Fatalf("resurrected entry: ok=%v neg=%v data=%q", ok, neg, got.Data)
+	}
+
+	if st := c.Stats(); st.NegativeHits != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheDoCoalesces(t *testing.T) {
+	c := NewCache(4)
+	const callers = 8
+	var executions atomic.Int64
+	gate := make(chan struct{})
+	results := make(chan int, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _ := c.Do("key", func() any {
+				executions.Add(1)
+				<-gate // hold the flight open until every caller has arrived
+				return 42
+			})
+			results <- v.(int)
+		}()
+	}
+	// Wait until the leader is inside fn, then give joiners time to queue.
+	for executions.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	close(results)
+	for v := range results {
+		if v != 42 {
+			t.Fatalf("joiner got %d", v)
+		}
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("fn ran %d times", n)
+	}
+	// Everyone but the leader joined the flight.
+	if st := c.Stats(); st.Coalesces != callers-1 {
+		t.Fatalf("coalesces = %d, want %d", st.Coalesces, callers-1)
+	}
+	// Distinct keys do not coalesce.
+	if _, shared := c.Do("other", func() any { return 1 }); shared {
+		t.Fatal("fresh key reported shared")
 	}
 }
 

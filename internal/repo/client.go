@@ -21,6 +21,13 @@ type Client struct {
 	// objects are stamped with the epoch at fetch time; a later epoch
 	// invalidates them, preserving read-your-writes through caches.
 	muts atomic.Uint64
+
+	// cache is the attached element cache, if any. The client keeps it
+	// coherent with its own writes: Put installs the stored version,
+	// Delete drops the entry. That write-through is what lets snapshot
+	// runs serve warm entries without an RPC and still read the
+	// client's own writes.
+	cache atomic.Pointer[Cache]
 }
 
 // Mutations reports the client's mutation epoch: how many mutating calls
@@ -32,6 +39,14 @@ func (c *Client) Mutations() uint64 { return c.muts.Load() }
 func NewClient(bus *rpc.Bus, node netsim.NodeID) *Client {
 	return &Client{bus: bus, node: node}
 }
+
+// UseCache attaches an element cache. Iterators created from this client
+// consult it on the elements hot path (unless opted out per run), and the
+// client's own Put/Delete keep it coherent.
+func (c *Client) UseCache(cache *Cache) { c.cache.Store(cache) }
+
+// ElementCache reports the attached element cache, or nil.
+func (c *Client) ElementCache() *Cache { return c.cache.Load() }
 
 // Node reports the client's home node.
 func (c *Client) Node() netsim.NodeID { return c.node }
@@ -78,18 +93,48 @@ func (c *Client) GetBatch(ctx context.Context, node netsim.NodeID, ids []ObjectI
 	return objs, resp.Missing, nil
 }
 
-// Put stores an object on the given node and returns its ref.
+// GetBatchValidated is the conditional variant of GetBatch: known maps
+// ids to versions the caller already holds, and the node ships full
+// objects only for ids whose version moved, answering the rest in
+// notModified. Payload bytes for validated ids never cross the wire.
+func (c *Client) GetBatchValidated(ctx context.Context, node netsim.NodeID, ids []ObjectID, known map[ObjectID]uint64) (objs map[ObjectID]Object, notModified []ObjectID, missing []ObjectID, err error) {
+	resp, err := rpc.Invoke[GetBatchResp](ctx, c.bus, c.node, node, MethodGetBatch, GetBatchReq{IDs: ids, Known: known})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	objs = make(map[ObjectID]Object, len(resp.Objects))
+	for _, obj := range resp.Objects {
+		objs[obj.ID] = obj
+	}
+	return objs, resp.NotModified, resp.Missing, nil
+}
+
+// Put stores an object on the given node and returns its ref. With a
+// cache attached the stored version is written through, so the client's
+// next iteration finds its own write warm.
 func (c *Client) Put(ctx context.Context, node netsim.NodeID, obj Object) (Ref, error) {
 	defer c.muts.Add(1)
-	if _, err := rpc.Invoke[PutResp](ctx, c.bus, c.node, node, MethodPut, PutReq{Obj: obj}); err != nil {
+	resp, err := rpc.Invoke[PutResp](ctx, c.bus, c.node, node, MethodPut, PutReq{Obj: obj})
+	if err != nil {
 		return Ref{}, err
+	}
+	if cache := c.cache.Load(); cache != nil {
+		stored := obj.Clone()
+		stored.Version = resp.Version
+		stored.Tombstone = false
+		cache.Put(stored)
 	}
 	return Ref{ID: obj.ID, Node: node}, nil
 }
 
-// Delete removes an object's data from its node.
+// Delete removes an object's data from its node. With a cache attached
+// the entry is dropped, so the client never serves its own deleted data
+// from cache.
 func (c *Client) Delete(ctx context.Context, ref Ref) error {
 	defer c.muts.Add(1)
+	if cache := c.cache.Load(); cache != nil {
+		cache.Drop(ref.ID)
+	}
 	_, _, err := c.bus.Call(ctx, c.node, ref.Node, MethodDelete, DeleteReq{ID: ref.ID})
 	return err
 }

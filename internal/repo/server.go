@@ -118,9 +118,11 @@ func (s *Server) handleGetBatch(ctx context.Context, _ netsim.NodeID, req any) (
 	}
 	sp := s.startOp(ctx, "store.getBatch")
 	sp.SetInt("ids", int64(len(r.IDs)))
-	objs, missing := s.store.GetBatch(r.IDs)
+	sp.SetInt("known", int64(len(r.Known)))
+	objs, notModified, missing := s.store.GetBatch(r.IDs, r.Known)
+	sp.SetInt("notModified", int64(len(notModified)))
 	sp.End()
-	return GetBatchResp{Objects: objs, Missing: missing}, nil
+	return GetBatchResp{Objects: objs, NotModified: notModified, Missing: missing}, nil
 }
 
 func (s *Server) handlePut(ctx context.Context, _ netsim.NodeID, req any) (any, error) {

@@ -76,13 +76,22 @@ type (
 	// GetReq fetches an object by ID.
 	GetReq struct{ ID ObjectID }
 	// GetBatchReq fetches several objects from one node in a single round
-	// trip.
-	GetBatchReq struct{ IDs []ObjectID }
+	// trip. Known optionally maps ids to versions the caller already
+	// holds: the server ships full objects only for ids whose stored
+	// version differs, answering the rest with a compact NotModified
+	// list — the batch analogue of ListReq.IfVersion.
+	GetBatchReq struct {
+		IDs   []ObjectID
+		Known map[ObjectID]uint64
+	}
 	// GetBatchResp carries the found objects in request order; ids with no
-	// stored object come back in Missing rather than failing the batch.
+	// stored object come back in Missing rather than failing the batch,
+	// and ids whose Known version still matches come back in NotModified
+	// with no payload.
 	GetBatchResp struct {
-		Objects []Object
-		Missing []ObjectID
+		Objects     []Object
+		NotModified []ObjectID
+		Missing     []ObjectID
 	}
 	// PutReq stores (or overwrites) an object.
 	PutReq struct{ Obj Object }

@@ -18,13 +18,17 @@ type Locked struct {
 
 	mu      sync.Mutex
 	objects map[ObjectID]Object
-	colls   map[string]*collState
+	// floors keeps per-id versions monotonic across delete/re-put; see
+	// objShard.floors for the rationale.
+	floors map[ObjectID]uint64
+	colls  map[string]*collState
 }
 
 // NewLocked creates an empty single-mutex engine.
 func NewLocked() *Locked {
 	return &Locked{
 		objects: make(map[ObjectID]Object),
+		floors:  make(map[ObjectID]uint64),
 		colls:   make(map[string]*collState),
 	}
 }
@@ -49,13 +53,14 @@ func (s *Locked) GetObject(id ObjectID) (obj Object, err error) {
 	return obj.Clone(), nil
 }
 
-// GetBatch implements Store: one lock trip for the whole batch.
-func (s *Locked) GetBatch(ids []ObjectID) (objs []Object, missing []ObjectID) {
+// GetBatch implements Store: one lock trip for the whole batch. IDs
+// whose known version still matches skip the clone entirely.
+func (s *Locked) GetBatch(ids []ObjectID, known map[ObjectID]uint64) (objs []Object, notModified []ObjectID, missing []ObjectID) {
 	var err error
 	defer s.ins.observe(OpGetBatch, time.Now(), &err)
-	s.ins.observeBatch(len(ids))
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var shipped, saved int64
 	objs = make([]Object, 0, len(ids))
 	seen := make(map[ObjectID]bool, len(ids))
 	for _, id := range ids {
@@ -63,13 +68,21 @@ func (s *Locked) GetBatch(ids []ObjectID) (objs []Object, missing []ObjectID) {
 			continue
 		}
 		seen[id] = true
-		if obj, ok := s.objects[id]; ok {
-			objs = append(objs, obj.Clone())
-		} else {
+		obj, ok := s.objects[id]
+		v, has := known[id]
+		switch {
+		case !ok:
 			missing = append(missing, id)
+		case has && v == obj.Version:
+			notModified = append(notModified, id)
+			saved += int64(len(obj.Data))
+		default:
+			objs = append(objs, obj.Clone())
+			shipped += int64(len(obj.Data))
 		}
 	}
-	return objs, missing
+	s.ins.observeBatch(len(ids), len(notModified), shipped, saved)
+	return objs, notModified, missing
 }
 
 // PutObject implements Store.
@@ -78,7 +91,14 @@ func (s *Locked) PutObject(obj Object) (version uint64, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	stored := obj.Clone()
-	stored.Version = s.objects[obj.ID].Version + 1
+	base := s.objects[obj.ID].Version
+	if f, ok := s.floors[obj.ID]; ok {
+		if f > base {
+			base = f
+		}
+		delete(s.floors, obj.ID)
+	}
+	stored.Version = base + 1
 	stored.Tombstone = false
 	s.objects[obj.ID] = stored
 	return stored.Version, nil
@@ -89,9 +109,11 @@ func (s *Locked) DeleteObject(id ObjectID) (err error) {
 	defer s.ins.observe(OpDelete, time.Now(), &err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, found := s.objects[id]; !found {
+	obj, found := s.objects[id]
+	if !found {
 		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
 	}
+	s.floors[id] = obj.Version
 	delete(s.objects, id)
 	return nil
 }
@@ -292,6 +314,7 @@ func (s *Locked) Import(st State) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.objects = make(map[ObjectID]Object, len(st.Objects))
+	s.floors = make(map[ObjectID]uint64)
 	for _, obj := range st.Objects {
 		s.objects[obj.ID] = obj.Clone()
 	}

@@ -42,6 +42,13 @@ type Sharded struct {
 type objShard struct {
 	mu      sync.RWMutex
 	objects map[ObjectID]Object
+	// floors remembers the last version an id held when its object was
+	// deleted, so a re-put resumes above it instead of restarting at 1.
+	// Per-id version monotonicity is what makes conditional GetBatch's
+	// equality check sound: without it a delete/re-put cycle could land
+	// back on a version a client already cached (ABA) and validate a
+	// stale copy. Floors are soft state — Import starts them fresh.
+	floors map[ObjectID]uint64
 }
 
 // listing is one immutable published membership image. Its members
@@ -80,7 +87,10 @@ func NewSharded(cfg Config) *Sharded {
 		colls:  make(map[string]*shardedColl),
 	}
 	for i := range s.shards {
-		s.shards[i] = &objShard{objects: make(map[ObjectID]Object)}
+		s.shards[i] = &objShard{
+			objects: make(map[ObjectID]Object),
+			floors:  make(map[ObjectID]uint64),
+		}
 	}
 	return s
 }
@@ -116,23 +126,38 @@ func (s *Sharded) GetObject(id ObjectID) (obj Object, err error) {
 
 // GetBatch implements Store. IDs are grouped by shard so each shard is
 // visited — and its lock taken — exactly once per batch, no matter how
-// many of the batch's objects it holds.
-func (s *Sharded) GetBatch(ids []ObjectID) (objs []Object, missing []ObjectID) {
+// many of the batch's objects it holds. IDs whose known version still
+// matches skip the clone entirely: validation costs a map lookup and a
+// version compare, never a payload copy.
+func (s *Sharded) GetBatch(ids []ObjectID, known map[ObjectID]uint64) (objs []Object, notModified []ObjectID, missing []ObjectID) {
 	var err error
 	defer s.ins.observe(OpGetBatch, time.Now(), &err)
-	s.ins.observeBatch(len(ids))
 
 	byShard := make(map[*objShard][]ObjectID)
 	for _, id := range ids {
 		sh := s.shardFor(id)
 		byShard[sh] = append(byShard[sh], id)
 	}
+	var shipped, saved int64
 	found := make(map[ObjectID]Object, len(ids))
+	fresh := make(map[ObjectID]bool)
 	for sh, shardIDs := range byShard {
 		sh.mu.RLock()
 		for _, id := range shardIDs {
-			if obj, ok := sh.objects[id]; ok {
+			obj, ok := sh.objects[id]
+			if !ok {
+				continue
+			}
+			if v, has := known[id]; has && v == obj.Version {
+				if !fresh[id] {
+					fresh[id] = true
+					saved += int64(len(obj.Data))
+				}
+				continue
+			}
+			if _, dup := found[id]; !dup {
 				found[id] = obj.Clone()
+				shipped += int64(len(obj.Data))
 			}
 		}
 		sh.mu.RUnlock()
@@ -144,13 +169,19 @@ func (s *Sharded) GetBatch(ids []ObjectID) (objs []Object, missing []ObjectID) {
 			continue
 		}
 		seen[id] = true
-		if obj, ok := found[id]; ok {
-			objs = append(objs, obj)
-		} else {
-			missing = append(missing, id)
+		switch {
+		case fresh[id]:
+			notModified = append(notModified, id)
+		default:
+			if obj, ok := found[id]; ok {
+				objs = append(objs, obj)
+			} else {
+				missing = append(missing, id)
+			}
 		}
 	}
-	return objs, missing
+	s.ins.observeBatch(len(ids), len(notModified), shipped, saved)
+	return objs, notModified, missing
 }
 
 // PutObject implements Store.
@@ -160,7 +191,17 @@ func (s *Sharded) PutObject(obj Object) (version uint64, err error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	stored := obj.Clone()
-	stored.Version = sh.objects[obj.ID].Version + 1
+	base := sh.objects[obj.ID].Version
+	// Resume above the version the id held at its last delete, keeping
+	// per-id versions monotonic across delete/re-put (the property the
+	// conditional-fetch protocol relies on).
+	if f, ok := sh.floors[obj.ID]; ok {
+		if f > base {
+			base = f
+		}
+		delete(sh.floors, obj.ID)
+	}
+	stored.Version = base + 1
 	stored.Tombstone = false
 	sh.objects[obj.ID] = stored
 	return stored.Version, nil
@@ -172,9 +213,11 @@ func (s *Sharded) DeleteObject(id ObjectID) (err error) {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if _, found := sh.objects[id]; !found {
+	obj, found := sh.objects[id]
+	if !found {
 		return fmt.Errorf("delete %q: %w", id, ErrNotFound)
 	}
+	sh.floors[id] = obj.Version
 	delete(sh.objects, id)
 	return nil
 }
@@ -409,6 +452,7 @@ func (s *Sharded) Import(st State) {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
 		sh.objects = make(map[ObjectID]Object)
+		sh.floors = make(map[ObjectID]uint64)
 		sh.mu.Unlock()
 	}
 	for _, obj := range st.Objects {

@@ -19,8 +19,13 @@ type Store interface {
 	GetObject(id ObjectID) (Object, error)
 	// GetBatch returns deep copies of the requested objects in one trip,
 	// in request order. IDs with no stored object come back in missing
-	// instead of failing the batch.
-	GetBatch(ids []ObjectID) (objs []Object, missing []ObjectID)
+	// instead of failing the batch. known optionally maps ids to versions
+	// the caller already holds: an id whose stored version equals its
+	// known version is reported in notModified instead of shipping the
+	// payload again. The version compare is sound because object versions
+	// are monotonic per id, even across delete/re-put (see version
+	// floors in the engines).
+	GetBatch(ids []ObjectID, known map[ObjectID]uint64) (objs []Object, notModified []ObjectID, missing []ObjectID)
 	// PutObject stores (or overwrites) an object, bumping its version,
 	// and reports the stored version.
 	PutObject(obj Object) (version uint64, err error)
@@ -132,12 +137,17 @@ type OpStats struct {
 
 // BatchStats summarises GetBatch traffic. RTTSaved is the round trips a
 // client avoided by batching: each batch of n ids costs one trip where
-// per-object fetching would have cost n.
+// per-object fetching would have cost n. NotModified counts ids answered
+// by version validation alone; BytesShipped/BytesSaved split the payload
+// bytes that crossed the wire from those validation kept at home.
 type BatchStats struct {
-	Batches     int64 `json:"batches"`
-	BatchedGets int64 `json:"batched_gets"`
-	MaxBatch    int64 `json:"max_batch"`
-	RTTSaved    int64 `json:"rtt_saved"`
+	Batches      int64 `json:"batches"`
+	BatchedGets  int64 `json:"batched_gets"`
+	MaxBatch     int64 `json:"max_batch"`
+	RTTSaved     int64 `json:"rtt_saved"`
+	NotModified  int64 `json:"not_modified"`
+	BytesShipped int64 `json:"bytes_shipped"`
+	BytesSaved   int64 `json:"bytes_saved"`
 }
 
 // EngineStats is an engine's instrumentation snapshot.
@@ -166,15 +176,23 @@ type opRec struct {
 type instruments struct {
 	ops [opCount]opRec
 
-	batches     atomic.Int64
-	batchedGets atomic.Int64
-	maxBatch    atomic.Int64
+	batches      atomic.Int64
+	batchedGets  atomic.Int64
+	maxBatch     atomic.Int64
+	notModified  atomic.Int64
+	bytesShipped atomic.Int64
+	bytesSaved   atomic.Int64
 }
 
-// observeBatch records one GetBatch call of n ids.
-func (in *instruments) observeBatch(n int) {
+// observeBatch records one GetBatch call of n ids, of which notMod were
+// answered by version validation; shipped/saved are the payload bytes
+// that went over the wire vs. stayed home.
+func (in *instruments) observeBatch(n, notMod int, shipped, saved int64) {
 	in.batches.Add(1)
 	in.batchedGets.Add(int64(n))
+	in.notModified.Add(int64(notMod))
+	in.bytesShipped.Add(shipped)
+	in.bytesSaved.Add(saved)
 	for {
 		cur := in.maxBatch.Load()
 		if int64(n) <= cur || in.maxBatch.CompareAndSwap(cur, int64(n)) {
@@ -186,9 +204,12 @@ func (in *instruments) observeBatch(n int) {
 // batchStats snapshots the batch counters.
 func (in *instruments) batchStats() BatchStats {
 	b := BatchStats{
-		Batches:     in.batches.Load(),
-		BatchedGets: in.batchedGets.Load(),
-		MaxBatch:    in.maxBatch.Load(),
+		Batches:      in.batches.Load(),
+		BatchedGets:  in.batchedGets.Load(),
+		MaxBatch:     in.maxBatch.Load(),
+		NotModified:  in.notModified.Load(),
+		BytesShipped: in.bytesShipped.Load(),
+		BytesSaved:   in.bytesSaved.Load(),
 	}
 	b.RTTSaved = b.BatchedGets - b.Batches
 	if b.RTTSaved < 0 {

@@ -103,7 +103,7 @@ func TestGetBatch(t *testing.T) {
 		for _, id := range []ObjectID{"a", "b", "c", "d"} {
 			mustPut(t, st, id)
 		}
-		objs, missing := st.GetBatch([]ObjectID{"c", "nope", "a", "d", "gone"})
+		objs, _, missing := st.GetBatch([]ObjectID{"c", "nope", "a", "d", "gone"}, nil)
 		if got := []ObjectID{objs[0].ID, objs[1].ID, objs[2].ID}; len(objs) != 3 ||
 			got[0] != "c" || got[1] != "a" || got[2] != "d" {
 			t.Fatalf("objs = %v (want request order c,a,d)", got)
@@ -118,13 +118,13 @@ func TestGetBatch(t *testing.T) {
 		}
 
 		// Duplicate ids resolve once, whether found or missing.
-		objs, missing = st.GetBatch([]ObjectID{"a", "a", "x", "x"})
+		objs, _, missing = st.GetBatch([]ObjectID{"a", "a", "x", "x"}, nil)
 		if len(objs) != 1 || objs[0].ID != "a" || len(missing) != 1 || missing[0] != "x" {
 			t.Fatalf("dup batch = %v missing %v", objs, missing)
 		}
 
 		// Batches return deep copies.
-		objs, _ = st.GetBatch([]ObjectID{"b"})
+		objs, _, _ = st.GetBatch([]ObjectID{"b"}, nil)
 		objs[0].Data[0] = 'X'
 		again, err := st.GetObject("b")
 		if err != nil || string(again.Data) != "data-b" {
@@ -132,7 +132,7 @@ func TestGetBatch(t *testing.T) {
 		}
 
 		// Empty batch is a no-op, not an error.
-		objs, missing = st.GetBatch(nil)
+		objs, _, missing = st.GetBatch(nil, nil)
 		if len(objs) != 0 || len(missing) != 0 {
 			t.Fatalf("empty batch = %v, %v", objs, missing)
 		}
@@ -143,6 +143,98 @@ func TestGetBatch(t *testing.T) {
 		}
 		if stats.Batch.MaxBatch != 5 || stats.Batch.RTTSaved != 10-4 {
 			t.Fatalf("batch stats = %+v", stats.Batch)
+		}
+	})
+}
+
+func TestGetBatchConditional(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		for _, id := range []ObjectID{"a", "b", "c"} {
+			mustPut(t, st, id) // all at version 1
+		}
+		before := st.Stats().Batch
+
+		// Matching known versions validate without shipping payloads.
+		objs, notMod, missing := st.GetBatch(
+			[]ObjectID{"a", "b", "c", "nope"},
+			map[ObjectID]uint64{"a": 1, "c": 1},
+		)
+		if len(objs) != 1 || objs[0].ID != "b" {
+			t.Fatalf("objs = %v (want just b)", objs)
+		}
+		if len(notMod) != 2 || notMod[0] != "a" || notMod[1] != "c" {
+			t.Fatalf("notModified = %v (want a,c in request order)", notMod)
+		}
+		if len(missing) != 1 || missing[0] != "nope" {
+			t.Fatalf("missing = %v", missing)
+		}
+
+		// Version skew mid-batch: an overwrite between the caller's cache
+		// fill and the conditional fetch ships the new payload.
+		if _, err := st.PutObject(Object{ID: "a", Data: []byte("newer")}); err != nil {
+			t.Fatal(err)
+		}
+		objs, notMod, _ = st.GetBatch(
+			[]ObjectID{"a", "c"},
+			map[ObjectID]uint64{"a": 1, "c": 1},
+		)
+		if len(objs) != 1 || objs[0].ID != "a" || objs[0].Version != 2 || string(objs[0].Data) != "newer" {
+			t.Fatalf("skewed batch objs = %+v", objs)
+		}
+		if len(notMod) != 1 || notMod[0] != "c" {
+			t.Fatalf("skewed batch notModified = %v", notMod)
+		}
+
+		// Byte accounting: saved bytes grew with each validated id,
+		// shipped bytes with each full object.
+		after := st.Stats().Batch
+		if after.NotModified-before.NotModified != 3 {
+			t.Fatalf("notModified delta = %d, want 3", after.NotModified-before.NotModified)
+		}
+		if after.BytesSaved <= before.BytesSaved || after.BytesShipped <= before.BytesShipped {
+			t.Fatalf("byte counters did not advance: %+v -> %+v", before, after)
+		}
+	})
+}
+
+// TestGetBatchTombstoneResurrect pins the protocol's soundness across
+// delete/re-put: the deleted id reports missing (never NotModified), and
+// the resurrected object carries a strictly newer version than any a
+// client could have cached — versions are monotonic per id.
+func TestGetBatchTombstoneResurrect(t *testing.T) {
+	engines(t, func(t *testing.T, st Store) {
+		if _, err := st.PutObject(Object{ID: "x", Data: []byte("v1")}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.PutObject(Object{ID: "x", Data: []byte("v2")}); err != nil {
+			t.Fatal(err)
+		}
+		known := map[ObjectID]uint64{"x": 2}
+		_, notMod, _ := st.GetBatch([]ObjectID{"x"}, known)
+		if len(notMod) != 1 {
+			t.Fatalf("warm id not validated: %v", notMod)
+		}
+
+		if err := st.DeleteObject("x"); err != nil {
+			t.Fatal(err)
+		}
+		_, notMod, missing := st.GetBatch([]ObjectID{"x"}, known)
+		if len(notMod) != 0 || len(missing) != 1 || missing[0] != "x" {
+			t.Fatalf("deleted id: notMod=%v missing=%v (want missing only)", notMod, missing)
+		}
+
+		// Resurrect: the version resumes above the deleted one, so the
+		// stale known never false-validates (no ABA).
+		v, err := st.PutObject(Object{ID: "x", Data: []byte("reborn")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v <= 2 {
+			t.Fatalf("resurrected version = %d, want > 2 (monotonic across delete)", v)
+		}
+		objs, notMod, _ := st.GetBatch([]ObjectID{"x"}, known)
+		if len(notMod) != 0 || len(objs) != 1 || string(objs[0].Data) != "reborn" {
+			t.Fatalf("resurrected id must ship fresh data: objs=%v notMod=%v", objs, notMod)
 		}
 	})
 }

@@ -137,6 +137,48 @@ func TestGetBatchOverTCP(t *testing.T) {
 	}
 }
 
+// TestConditionalGetBatchOverTCP round-trips a conditional batch through
+// gob: the Known version map rides the request and the compact
+// NotModified list rides the response, with only changed objects shipped.
+func TestConditionalGetBatchOverTCP(t *testing.T) {
+	remote := startRemote(t, "archive")
+	client := Dial(remote.srv.Addr(), "tester")
+	defer client.Close()
+	ctx := context.Background()
+
+	versions := make(map[repo.ObjectID]uint64)
+	for _, id := range []repo.ObjectID{"a", "b", "c"} {
+		obj := repo.Object{ID: id, Data: []byte("d-" + id)}
+		out, err := client.Call(ctx, repo.MethodPut, repo.PutReq{Obj: obj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions[id] = out.(repo.PutResp).Version
+	}
+	// Move "b" past the version the client knows.
+	if _, err := client.Call(ctx, repo.MethodPut, repo.PutReq{Obj: repo.Object{ID: "b", Data: []byte("newer")}}); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := client.Call(ctx, repo.MethodGetBatch, repo.GetBatchReq{
+		IDs:   []repo.ObjectID{"a", "b", "c", "nope"},
+		Known: versions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := out.(repo.GetBatchResp)
+	if len(resp.Objects) != 1 || resp.Objects[0].ID != "b" || string(resp.Objects[0].Data) != "newer" {
+		t.Fatalf("objects = %+v, want just the changed b", resp.Objects)
+	}
+	if len(resp.NotModified) != 2 || resp.NotModified[0] != "a" || resp.NotModified[1] != "c" {
+		t.Fatalf("notModified = %v", resp.NotModified)
+	}
+	if len(resp.Missing) != 1 || resp.Missing[0] != "nope" {
+		t.Fatalf("missing = %v", resp.Missing)
+	}
+}
+
 func TestSentinelErrorsCrossTheWire(t *testing.T) {
 	remote := startRemote(t, "archive")
 	client := Dial(remote.srv.Addr(), "tester")
