@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-store bench-iter bench-rpc bench-obs bench-cache bench sweep sweep-iter sweep-rpc sweep-obs sweep-cache clean
+.PHONY: check vet build test race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench sweep sweep-iter sweep-rpc sweep-obs sweep-cache clean
 
-check: vet build race bench-store bench-iter bench-rpc bench-obs bench-cache
+check: vet build race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +20,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Smoke the wire-format fuzzers: a few seconds of random frames against
+# the wirebin reader and the repo message decoders. The decoders must
+# error cleanly on anything malformed — never panic, never size an
+# allocation off an unvalidated count. (Go runs one fuzz target per
+# invocation, hence the two lines.)
+fuzz-smoke:
+	$(GO) test ./internal/wirebin -run xxx -fuzz FuzzReader -fuzztime 3s
+	$(GO) test ./internal/repo -run xxx -fuzz FuzzWirebinDecode -fuzztime 3s
+
 # Smoke the engine comparison: a few hundred iterations per engine is
 # enough to catch regressions in the parallel List/Get hot path.
 bench-store:
@@ -32,9 +41,14 @@ bench-iter:
 	$(GO) test -run xxx -bench 'BenchmarkIterFetch/(per-object|batched)' -benchtime 20x .
 
 # Smoke the TCP transport: the fetch pipeline over real loopback sockets,
-# serialized vs multiplexed client. Catches regressions in the seq-keyed
-# dispatch and the per-connection worker pool.
+# serialized vs multiplexed client, on both the gob and wirebin codecs.
+# Catches regressions in the seq-keyed dispatch, the per-connection
+# worker pool, and the frame codec. The alloc-budget test holds the
+# wirebin hot path to the allocations-per-op ceilings checked in as
+# BENCH_budget.json — a codec change that starts allocating fails here,
+# not in production profiles.
 bench-rpc:
+	$(GO) test ./internal/repo -run TestAllocBudget -count 1
 	$(GO) test -run xxx -bench 'BenchmarkIterFetch/tcp' -benchtime 5x .
 
 # Smoke the observability overhead sweep: a quick pass over the four

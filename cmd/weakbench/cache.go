@@ -40,6 +40,7 @@ type cacheResult struct {
 // to warm-over-cold elements/sec; ByteReduction maps a semantics to the
 // fraction of cold-run payload bytes the warm run kept off the wire.
 type cacheReport struct {
+	Meta          benchMeta          `json:"meta"`
 	GOMAXPROCS    int                `json:"gomaxprocs"`
 	Engine        string             `json:"engine"`
 	StorageNodes  int                `json:"storageNodes"`
@@ -95,6 +96,7 @@ func runCacheSweep(jsonPath string, quick bool, seed int64, scale sim.TimeScale)
 	}
 
 	report := cacheReport{
+		Meta:          inprocMeta(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		StorageNodes:  storageNodes,
 		Seed:          seed,

@@ -167,6 +167,7 @@ func run(args []string) error {
 // storeReport is the BENCH_store.json document: one contention sweep over
 // both engines at increasing worker counts.
 type storeReport struct {
+	Meta       benchMeta                `json:"meta"`
 	GOMAXPROCS int                      `json:"gomaxprocs"`
 	Config     store.ContentionConfig   `json:"config"`
 	Results    []store.ContentionResult `json:"results"`
@@ -200,7 +201,7 @@ func runStoreSweep(jsonPath string, quick bool) error {
 	}
 	workerCounts = append(workerCounts, maxWorkers)
 
-	report := storeReport{GOMAXPROCS: procs, Config: base}
+	report := storeReport{Meta: inprocMeta(), GOMAXPROCS: procs, Config: base}
 	table := metrics.NewTable(
 		fmt.Sprintf("Store contention: List+Get mix, 1/%d writes (GOMAXPROCS=%d)", base.WriteEvery, procs),
 		"engine", "workers", "ops/sec", "list p50", "list p99", "get p50", "get p99")
@@ -254,6 +255,29 @@ func fmtLat(d time.Duration) string {
 	return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
 }
 
+// benchMeta is the metadata block stamped into every BENCH_*.json
+// document: the toolchain and wire configuration the numbers were
+// produced under, so reports from different builds or codec settings
+// are never compared blind. Sweeps that run entirely over the
+// in-process simulated bus carry codec "inproc" — nothing on their hot
+// path is serialized.
+type benchMeta struct {
+	GoVersion   string `json:"goVersion"`
+	Codec       string `json:"codec"`
+	Compression string `json:"compression"` // "off" or "deflate>=<N>B"
+}
+
+func newBenchMeta(codec string, compress bool, compressMin int) benchMeta {
+	m := benchMeta{GoVersion: runtime.Version(), Codec: codec, Compression: "off"}
+	if compress {
+		m.Compression = fmt.Sprintf("deflate>=%dB", compressMin)
+	}
+	return m
+}
+
+// inprocMeta is the metadata for sweeps with no wire in the hot path.
+func inprocMeta() benchMeta { return newBenchMeta("inproc", false, 0) }
+
 // rpcResult is one row of the -rpc sweep: one full snapshot fetch over
 // real TCP with a fixed transport mode, in-flight budget, and payload.
 type rpcResult struct {
@@ -270,9 +294,39 @@ type rpcResult struct {
 	MaxInFlight int64         `json:"maxInFlight"`
 }
 
+// rpcCodecCfg selects the wire configuration for one codec-section row.
+type rpcCodecCfg struct {
+	label       string
+	codec       string
+	compress    bool
+	compressMin int
+}
+
+// rpcCodecResult is one row of the codec section: the same snapshot
+// fetch with the client pinned to one codec, at zero service latency so
+// serialization is the dominant cost. AllocsPerCall is whole-process
+// (client plus the in-process remote) — the comparative figure the
+// pooled-frame codec is meant to move, not a per-side absolute.
+type rpcCodecResult struct {
+	Codec         string        `json:"codec"`
+	Compress      bool          `json:"compress"`
+	Payload       int           `json:"payloadBytes"`
+	Budget        int           `json:"budget"`
+	Batches       int64         `json:"batchRPCs"`
+	Elapsed       time.Duration `json:"elapsedNs"`
+	CallsPerSec   float64       `json:"callsPerSec"`
+	ElemsPerSec   float64       `json:"elemsPerSec"`
+	AllocsPerCall float64       `json:"allocsPerCall"`
+	BytesSent     int64         `json:"bytesSent"`
+	BytesReceived int64         `json:"bytesReceived"`
+}
+
 // rpcReport is the BENCH_rpc.json document. Speedup maps
-// "payload=N/budget=B" to multiplexed-over-serial elements/sec.
+// "payload=N/budget=B" to multiplexed-over-serial elements/sec;
+// CodecSpeedup maps "payload=N" to wirebin-over-gob calls/sec at the
+// codec section's fixed budget.
 type rpcReport struct {
+	Meta             benchMeta          `json:"meta"`
 	GOMAXPROCS       int                `json:"gomaxprocs"`
 	Elements         int                `json:"elements"`
 	Batch            int                `json:"batch"`
@@ -281,6 +335,8 @@ type rpcReport struct {
 	Budgets          []int              `json:"budgets"`
 	Results          []rpcResult        `json:"results"`
 	Speedup          map[string]float64 `json:"speedup"`
+	CodecResults     []rpcCodecResult   `json:"codecResults"`
+	CodecSpeedup     map[string]float64 `json:"codecSpeedup"`
 }
 
 // startRPCRemote boots the sweep's "remote process": its own network,
@@ -340,6 +396,7 @@ func runRPCSweep(jsonPath string, quick bool, serviceLat time.Duration) error {
 	maxBudget := budgets[len(budgets)-1]
 
 	report := rpcReport{
+		Meta:             newBenchMeta(tcprpc.CodecWirebin, false, 0),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		Elements:         elements,
 		Batch:            batch,
@@ -347,6 +404,7 @@ func runRPCSweep(jsonPath string, quick bool, serviceLat time.Duration) error {
 		Payloads:         payloads,
 		Budgets:          budgets,
 		Speedup:          map[string]float64{},
+		CodecSpeedup:     map[string]float64{},
 	}
 	table := metrics.NewTable(
 		fmt.Sprintf("TCP transport: %d-element snapshot fetch, batch=%d, %.1fms service time per RPC",
@@ -360,25 +418,10 @@ func runRPCSweep(jsonPath string, quick bool, serviceLat time.Duration) error {
 			return fmt.Errorf("rpc sweep: %w", err)
 		}
 
-		// Populate the snapshot collection on the remote.
-		seed := tcprpc.Dial(srv.Addr(), "seeder")
-		if _, err := seed.Call(ctx, repo.MethodCreate, repo.CreateReq{Name: "snap"}); err != nil {
-			seed.Close()
+		if err := seedSnapshot(ctx, srv.Addr(), elements, payload); err != nil {
 			stop()
 			return fmt.Errorf("rpc sweep: %w", err)
 		}
-		for i := 0; i < elements; i++ {
-			obj := repo.Object{ID: repo.ObjectID(fmt.Sprintf("e%04d", i)), Data: make([]byte, payload)}
-			if _, err := seed.Call(ctx, repo.MethodPut, repo.PutReq{Obj: obj}); err == nil {
-				_, err = seed.Call(ctx, repo.MethodAdd, repo.AddReq{Name: "snap", Ref: repo.Ref{ID: obj.ID, Node: "archive"}})
-			}
-			if err != nil {
-				seed.Close()
-				stop()
-				return fmt.Errorf("rpc sweep: populate: %w", err)
-			}
-		}
-		seed.Close()
 
 		for _, budget := range budgets {
 			base := 0.0
@@ -415,6 +458,72 @@ func runRPCSweep(jsonPath string, quick bool, serviceLat time.Duration) error {
 	}
 	table.Render(os.Stdout)
 
+	// The codec section re-runs the budget-8 fetch with the service time
+	// zeroed: with no simulated disk in the way, what remains per call is
+	// framing and (de)serialization, so the gob-versus-wirebin step is
+	// visible instead of hiding behind milliseconds of sleep.
+	const (
+		codecBudget = 8
+		codecBatch  = 64
+	)
+	codecCfgs := []rpcCodecCfg{
+		{label: "gob", codec: tcprpc.CodecGob},
+		{label: "wirebin", codec: tcprpc.CodecWirebin},
+		{label: "wirebin+z", codec: tcprpc.CodecWirebin, compress: true, compressMin: 512},
+	}
+	ctable := metrics.NewTable(
+		fmt.Sprintf("TCP codec: %d-element snapshot fetch, batch=%d, budget=%d, no service latency",
+			elements, codecBatch, codecBudget),
+		"payload", "codec", "rpc/sec", "allocs/call", "sent B/call", "recv B/call", "speedup")
+	rounds := 20
+	if quick {
+		rounds = 5
+	}
+	for _, payload := range payloads {
+		srv, err := startCodecRemote(elements, payload, codecBudget)
+		if err != nil {
+			return fmt.Errorf("rpc codec sweep: %w", err)
+		}
+		stop := func() { srv.Close() }
+		base := 0.0
+		for _, cfg := range codecCfgs {
+			res, err := runCodecFetch(ctx, srv.Addr(), cfg, codecBudget, codecBatch, elements, rounds)
+			if err != nil {
+				stop()
+				return fmt.Errorf("rpc codec sweep: %s/payload=%d: %w", cfg.label, payload, err)
+			}
+			res.Payload = payload
+			report.CodecResults = append(report.CodecResults, res)
+
+			speedup := "-"
+			switch {
+			case cfg.label == "gob":
+				base = res.CallsPerSec
+			case cfg.label == "wirebin" && base > 0:
+				ratio := res.CallsPerSec / base
+				report.CodecSpeedup[fmt.Sprintf("payload=%d", payload)] = ratio
+				speedup = fmt.Sprintf("%.1fx", ratio)
+			}
+			perCall := func(total int64) string {
+				if res.Batches == 0 {
+					return "-"
+				}
+				return fmt.Sprintf("%d", total/res.Batches)
+			}
+			ctable.AddRow(
+				fmt.Sprintf("%dB", payload),
+				cfg.label,
+				fmt.Sprintf("%.0f", res.CallsPerSec),
+				fmt.Sprintf("%.1f", res.AllocsPerCall),
+				perCall(res.BytesSent),
+				perCall(res.BytesReceived),
+				speedup,
+			)
+		}
+		stop()
+	}
+	ctable.Render(os.Stdout)
+
 	f, err := os.Create(jsonPath)
 	if err != nil {
 		return fmt.Errorf("rpc sweep: %w", err)
@@ -432,25 +541,67 @@ func runRPCSweep(jsonPath string, quick bool, serviceLat time.Duration) error {
 	return nil
 }
 
-// runRPCFetch performs one timed snapshot fetch: list the membership,
-// split it into GetBatch calls of `batch` ids, and drain them with
-// `budget` workers sharing one client. In serial mode the client's
-// in-flight budget is pinned to 1 so the wire carries one RPC at a time
-// no matter how many workers queue behind it.
-func runRPCFetch(ctx context.Context, addr, mode string, budget, batch, elements int) (rpcResult, error) {
-	client := tcprpc.Dial(addr, fmt.Sprintf("bench-%s-%d", mode, budget))
-	if mode == "serial" {
-		client.MaxInflight = 1
+// startCodecRemote serves the snapshot straight from memory: no
+// simulated bus, no storage engine, no service latency. Against this
+// remote the fetch loop's cost is the transport and the codec alone,
+// which is exactly what the codec section compares.
+func startCodecRemote(elements, payload, workers int) (*tcprpc.Server, error) {
+	members := make([]repo.Ref, elements)
+	objs := make(map[repo.ObjectID]repo.Object, elements)
+	for i := range members {
+		id := repo.ObjectID(fmt.Sprintf("e%04d", i))
+		members[i] = repo.Ref{ID: id, Node: "archive"}
+		objs[id] = repo.Object{ID: id, Data: make([]byte, payload), Version: 1}
 	}
-	defer client.Close()
+	dispatch := rpc.NewServer("archive")
+	dispatch.Handle(repo.MethodList, func(context.Context, netsim.NodeID, any) (any, error) {
+		return repo.ListResp{Members: members, Version: 1}, nil
+	})
+	dispatch.Handle(repo.MethodGetBatch, func(_ context.Context, _ netsim.NodeID, req any) (any, error) {
+		in, ok := req.(repo.GetBatchReq)
+		if !ok {
+			return nil, fmt.Errorf("GetBatch: bad body %T", req)
+		}
+		resp := repo.GetBatchResp{Objects: make([]repo.Object, 0, len(in.IDs))}
+		for _, id := range in.IDs {
+			resp.Objects = append(resp.Objects, objs[id])
+		}
+		return resp, nil
+	})
+	return tcprpc.ServeConfig("127.0.0.1:0", dispatch, tcprpc.ServerConfig{Workers: workers})
+}
 
+// seedSnapshot populates the "snap" collection on the remote at addr
+// with `elements` objects of `payload` bytes each.
+func seedSnapshot(ctx context.Context, addr string, elements, payload int) error {
+	seed := tcprpc.Dial(addr, "seeder")
+	defer seed.Close()
+	if _, err := seed.Call(ctx, repo.MethodCreate, repo.CreateReq{Name: "snap"}); err != nil {
+		return err
+	}
+	for i := 0; i < elements; i++ {
+		obj := repo.Object{ID: repo.ObjectID(fmt.Sprintf("e%04d", i)), Data: make([]byte, payload)}
+		if _, err := seed.Call(ctx, repo.MethodPut, repo.PutReq{Obj: obj}); err != nil {
+			return fmt.Errorf("populate: %w", err)
+		}
+		if _, err := seed.Call(ctx, repo.MethodAdd, repo.AddReq{Name: "snap", Ref: repo.Ref{ID: obj.ID, Node: "archive"}}); err != nil {
+			return fmt.Errorf("populate: %w", err)
+		}
+	}
+	return nil
+}
+
+// drainSnapshot performs one timed snapshot fetch over client: list the
+// membership, split it into GetBatch calls of `batch` ids, and drain
+// them with `budget` workers sharing the one client.
+func drainSnapshot(ctx context.Context, client *tcprpc.Client, budget, batch, elements int) (time.Duration, error) {
 	out, err := client.Call(ctx, repo.MethodList, repo.ListReq{Name: "snap"})
 	if err != nil {
-		return rpcResult{}, err
+		return 0, err
 	}
 	members := out.(repo.ListResp).Members
 	if len(members) != elements {
-		return rpcResult{}, fmt.Errorf("snapshot lists %d members, want %d", len(members), elements)
+		return 0, fmt.Errorf("snapshot lists %d members, want %d", len(members), elements)
 	}
 	batches := make(chan []repo.ObjectID, (len(members)+batch-1)/batch)
 	for lo := 0; lo < len(members); lo += batch {
@@ -494,10 +645,27 @@ func runRPCFetch(ctx context.Context, addr, mode string, budget, batch, elements
 	wg.Wait()
 	elapsed := time.Since(start)
 	if callErr != nil {
-		return rpcResult{}, callErr
+		return 0, callErr
 	}
 	if got := fetched.Load(); got != int64(elements) {
-		return rpcResult{}, fmt.Errorf("fetched %d elements, want %d", got, elements)
+		return 0, fmt.Errorf("fetched %d elements, want %d", got, elements)
+	}
+	return elapsed, nil
+}
+
+// runRPCFetch runs drainSnapshot on a fresh client. In serial mode the
+// client's in-flight budget is pinned to 1 so the wire carries one RPC
+// at a time no matter how many workers queue behind it.
+func runRPCFetch(ctx context.Context, addr, mode string, budget, batch, elements int) (rpcResult, error) {
+	client := tcprpc.Dial(addr, fmt.Sprintf("bench-%s-%d", mode, budget))
+	if mode == "serial" {
+		client.MaxInflight = 1
+	}
+	defer client.Close()
+
+	elapsed, err := drainSnapshot(ctx, client, budget, batch, elements)
+	if err != nil {
+		return rpcResult{}, err
 	}
 
 	st := client.Stats()
@@ -522,6 +690,64 @@ func runRPCFetch(ctx context.Context, addr, mode string, budget, batch, elements
 	return res, nil
 }
 
+// runCodecFetch runs drainSnapshot with the client pinned to cfg's wire
+// configuration, reading runtime.MemStats around the timed region:
+// ΔMallocs over GetBatch calls is the whole-process allocations-per-call
+// figure. Wire bytes come from the client's own per-method accounting,
+// so a compression win shows up as fewer BytesReceived for the same
+// payload.
+func runCodecFetch(ctx context.Context, addr string, cfg rpcCodecCfg, budget, batch, elements, rounds int) (rpcCodecResult, error) {
+	client := tcprpc.Dial(addr, "bench-codec-"+cfg.label)
+	client.Codec = cfg.codec
+	client.Compress = cfg.compress
+	if cfg.compressMin > 0 {
+		client.CompressMin = cfg.compressMin
+	}
+	defer client.Close()
+
+	// Warm the connection (and run the handshake) outside the timed and
+	// alloc-counted region.
+	if _, err := client.Call(ctx, repo.MethodList, repo.ListReq{Name: "snap"}); err != nil {
+		return rpcCodecResult{}, err
+	}
+
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	var elapsed time.Duration
+	for i := 0; i < rounds; i++ {
+		d, err := drainSnapshot(ctx, client, budget, batch, elements)
+		if err != nil {
+			return rpcCodecResult{}, err
+		}
+		elapsed += d
+	}
+	runtime.ReadMemStats(&m1)
+
+	st := client.Stats()
+	res := rpcCodecResult{
+		Codec:    cfg.label,
+		Compress: cfg.compress,
+		Budget:   budget,
+		Elapsed:  elapsed,
+	}
+	for _, m := range st.Methods {
+		if m.Method == repo.MethodGetBatch {
+			res.Batches = m.Count
+			res.BytesSent = m.BytesSent
+			res.BytesReceived = m.BytesReceived
+		}
+	}
+	if res.Batches > 0 {
+		res.AllocsPerCall = float64(m1.Mallocs-m0.Mallocs) / float64(res.Batches)
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.ElemsPerSec = float64(elements*rounds) / s
+		res.CallsPerSec = float64(res.Batches) / s
+	}
+	return res, nil
+}
+
 // iterResult is one row of the -iter sweep: one iterator run over a
 // populated collection with a fixed fetch configuration.
 type iterResult struct {
@@ -539,6 +765,7 @@ type iterResult struct {
 // iterReport is the BENCH_iter.json document. Speedup maps
 // "semantics/elements" to batched-over-baseline elements/sec.
 type iterReport struct {
+	Meta         benchMeta          `json:"meta"`
 	GOMAXPROCS   int                `json:"gomaxprocs"`
 	Engine       string             `json:"engine"`
 	StorageNodes int                `json:"storageNodes"`
@@ -571,6 +798,7 @@ func runIterSweep(jsonPath string, quick bool, seed int64, scale sim.TimeScale) 
 	}
 
 	report := iterReport{
+		Meta:         inprocMeta(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		StorageNodes: storageNodes,
 		Seed:         seed,

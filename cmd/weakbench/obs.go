@@ -37,6 +37,7 @@ type obsResult struct {
 // its throughput cost relative to "off" (negative = noise in the mode's
 // favour); the acceptance bar for the instrumented hot path is ~5%.
 type obsReport struct {
+	Meta         benchMeta          `json:"meta"`
 	GOMAXPROCS   int                `json:"gomaxprocs"`
 	Elements     int                `json:"elements"`
 	RunsPerTrial int                `json:"runsPerTrial"`
@@ -73,6 +74,7 @@ func runObsSweep(jsonPath string, quick bool, seed int64) error {
 	}
 
 	report := obsReport{
+		Meta:         inprocMeta(),
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		Elements:     elements,
 		RunsPerTrial: runs,

@@ -219,25 +219,30 @@ type opInfo struct {
 // transportMethodInfo is one method row in a /stats transport block;
 // round-trip latencies are reported in milliseconds.
 type transportMethodInfo struct {
-	Method string  `json:"method"`
-	Count  int64   `json:"count"`
-	Errors int64   `json:"errors"`
-	MeanMs float64 `json:"meanMs"`
-	P50Ms  float64 `json:"p50Ms"`
-	P99Ms  float64 `json:"p99Ms"`
+	Method        string  `json:"method"`
+	Count         int64   `json:"count"`
+	Errors        int64   `json:"errors"`
+	MeanMs        float64 `json:"meanMs"`
+	P50Ms         float64 `json:"p50Ms"`
+	P99Ms         float64 `json:"p99Ms"`
+	BytesSent     int64   `json:"bytesSent"`
+	BytesReceived int64   `json:"bytesReceived"`
 }
 
 // transportInfo is one registered TCP transport in the /stats body.
 type transportInfo struct {
-	Name        string                `json:"name"`
-	Addr        string                `json:"addr"`
-	Dials       int64                 `json:"dials"`
-	Reconnects  int64                 `json:"reconnects"`
-	InFlight    int64                 `json:"inFlight"`
-	MaxInFlight int64                 `json:"maxInFlight"`
-	Calls       int64                 `json:"calls"`
-	Failures    int64                 `json:"failures"`
-	Methods     []transportMethodInfo `json:"methods,omitempty"`
+	Name          string                `json:"name"`
+	Addr          string                `json:"addr"`
+	Codec         string                `json:"codec,omitempty"`
+	Dials         int64                 `json:"dials"`
+	Reconnects    int64                 `json:"reconnects"`
+	InFlight      int64                 `json:"inFlight"`
+	MaxInFlight   int64                 `json:"maxInFlight"`
+	Calls         int64                 `json:"calls"`
+	Failures      int64                 `json:"failures"`
+	BytesSent     int64                 `json:"bytesSent"`
+	BytesReceived int64                 `json:"bytesReceived"`
+	Methods       []transportMethodInfo `json:"methods,omitempty"`
 }
 
 // cacheInfo is the element-cache block of /stats.
@@ -305,23 +310,28 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, src := range sources {
 		ts := src.stats()
 		ti := transportInfo{
-			Name:        src.name,
-			Addr:        ts.Addr,
-			Dials:       ts.Dials,
-			Reconnects:  ts.Reconnects,
-			InFlight:    ts.InFlight,
-			MaxInFlight: ts.MaxInFlight,
-			Calls:       ts.Calls,
-			Failures:    ts.Failures,
+			Name:          src.name,
+			Addr:          ts.Addr,
+			Codec:         ts.Codec,
+			Dials:         ts.Dials,
+			Reconnects:    ts.Reconnects,
+			InFlight:      ts.InFlight,
+			MaxInFlight:   ts.MaxInFlight,
+			Calls:         ts.Calls,
+			Failures:      ts.Failures,
+			BytesSent:     ts.BytesSent,
+			BytesReceived: ts.BytesReceived,
 		}
 		for _, m := range ts.Methods {
 			ti.Methods = append(ti.Methods, transportMethodInfo{
-				Method: m.Method,
-				Count:  m.Count,
-				Errors: m.Errors,
-				MeanMs: ms(m.Mean),
-				P50Ms:  ms(m.P50),
-				P99Ms:  ms(m.P99),
+				Method:        m.Method,
+				Count:         m.Count,
+				Errors:        m.Errors,
+				MeanMs:        ms(m.Mean),
+				P50Ms:         ms(m.P50),
+				P99Ms:         ms(m.P99),
+				BytesSent:     m.BytesSent,
+				BytesReceived: m.BytesReceived,
 			})
 		}
 		out.Transports = append(out.Transports, ti)

@@ -310,14 +310,17 @@ func TestStatsTransports(t *testing.T) {
 	gw := New(c.Client, cluster.DirNode, c.LockNode)
 	gw.AddTransport("archive", func() tcprpc.TransportStats {
 		return tcprpc.TransportStats{
-			Addr:        "127.0.0.1:9999",
-			Dials:       3,
-			Reconnects:  2,
-			MaxInFlight: 8,
-			Calls:       120,
-			Failures:    1,
+			Addr:          "127.0.0.1:9999",
+			Codec:         tcprpc.CodecWirebin,
+			Dials:         3,
+			Reconnects:    2,
+			MaxInFlight:   8,
+			Calls:         120,
+			Failures:      1,
+			BytesSent:     2048,
+			BytesReceived: 8192,
 			Methods: []tcprpc.MethodStats{
-				{Method: "repo.GetBatch", Count: 60, Mean: 2e6, P50: 2e6, P99: 4e6},
+				{Method: "repo.GetBatch", Count: 60, Mean: 2e6, P50: 2e6, P99: 4e6, BytesSent: 2000, BytesReceived: 8000},
 			},
 		}
 	})
@@ -335,14 +338,19 @@ func TestStatsTransports(t *testing.T) {
 	}
 	var out struct {
 		Transports []struct {
-			Name        string `json:"name"`
-			Addr        string `json:"addr"`
-			Reconnects  int64  `json:"reconnects"`
-			MaxInFlight int64  `json:"maxInFlight"`
-			Methods     []struct {
-				Method string  `json:"method"`
-				Count  int64   `json:"count"`
-				P99Ms  float64 `json:"p99Ms"`
+			Name          string `json:"name"`
+			Addr          string `json:"addr"`
+			Codec         string `json:"codec"`
+			Reconnects    int64  `json:"reconnects"`
+			MaxInFlight   int64  `json:"maxInFlight"`
+			BytesSent     int64  `json:"bytesSent"`
+			BytesReceived int64  `json:"bytesReceived"`
+			Methods       []struct {
+				Method        string  `json:"method"`
+				Count         int64   `json:"count"`
+				P99Ms         float64 `json:"p99Ms"`
+				BytesSent     int64   `json:"bytesSent"`
+				BytesReceived int64   `json:"bytesReceived"`
 			} `json:"methods"`
 		} `json:"transports"`
 	}
@@ -356,7 +364,13 @@ func TestStatsTransports(t *testing.T) {
 	if tr.Name != "archive" || tr.Reconnects != 2 || tr.MaxInFlight != 8 {
 		t.Fatalf("transport block = %+v", tr)
 	}
+	if tr.Codec != tcprpc.CodecWirebin || tr.BytesSent != 2048 || tr.BytesReceived != 8192 {
+		t.Fatalf("codec/bytes block = %+v", tr)
+	}
 	if len(tr.Methods) != 1 || tr.Methods[0].Method != "repo.GetBatch" || tr.Methods[0].P99Ms != 4 {
 		t.Fatalf("method rows = %+v", tr.Methods)
+	}
+	if m := tr.Methods[0]; m.BytesSent != 2000 || m.BytesReceived != 8000 {
+		t.Fatalf("method byte attribution = %+v", m)
 	}
 }

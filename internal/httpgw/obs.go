@@ -119,10 +119,18 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Gauge("weaksets_transport_inflight_max", "High-water mark of multiplexed in-flight calls.", float64(ts.MaxInFlight), l)
 		p.Counter("weaksets_transport_calls_total", "TCP transport calls.", float64(ts.Calls), l)
 		p.Counter("weaksets_transport_failures_total", "TCP transport call failures.", float64(ts.Failures), l)
+		if ts.Codec != "" {
+			p.Gauge("weaksets_transport_codec", "Negotiated wire codec (1 for the active codec).",
+				1, l, obs.Label{Key: "codec", Value: ts.Codec})
+		}
+		p.Counter("weaksets_transport_bytes_sent_total", "Wire bytes sent over the TCP transport (all methods, handshakes included).", float64(ts.BytesSent), l)
+		p.Counter("weaksets_transport_bytes_received_total", "Wire bytes received over the TCP transport (all methods, handshakes included).", float64(ts.BytesReceived), l)
 		for _, m := range ts.Methods {
 			ml := []obs.Label{l, {Key: "method", Value: m.Method}}
 			p.Counter("weaksets_transport_method_calls_total", "TCP transport calls by method.", float64(m.Count), ml...)
 			p.Counter("weaksets_transport_method_errors_total", "TCP transport call errors by method.", float64(m.Errors), ml...)
+			p.Counter("weaksets_rpc_bytes_sent_total", "Wire bytes sent, by transport and method.", float64(m.BytesSent), ml...)
+			p.Counter("weaksets_rpc_bytes_received_total", "Wire bytes received, by transport and method.", float64(m.BytesReceived), ml...)
 			p.Gauge("weaksets_transport_method_rtt_seconds", "TCP transport round-trip time (mean and quantiles).",
 				obs.Seconds(m.Mean), append(ml, obs.Label{Key: "stat", Value: "mean"})...)
 			p.Gauge("weaksets_transport_method_rtt_seconds", "TCP transport round-trip time (mean and quantiles).",

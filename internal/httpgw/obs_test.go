@@ -45,8 +45,12 @@ func newObsWorld(t *testing.T) (*gwWorld, *obs.Tracer, *obs.Registry) {
 	gw.UseCache(repo.NewCache(256))
 	gw.AddTransport("archive", func() tcprpc.TransportStats {
 		return tcprpc.TransportStats{
-			Addr: "127.0.0.1:9999", Dials: 1, Calls: 42,
-			Methods: []tcprpc.MethodStats{{Method: "repo.GetBatch", Count: 42, Mean: 2e6, P50: 2e6, P99: 4e6}},
+			Addr: "127.0.0.1:9999", Codec: tcprpc.CodecWirebin, Dials: 1, Calls: 42,
+			BytesSent: 4096, BytesReceived: 16384,
+			Methods: []tcprpc.MethodStats{{
+				Method: "repo.GetBatch", Count: 42, Mean: 2e6, P50: 2e6, P99: 4e6,
+				BytesSent: 4000, BytesReceived: 16000,
+			}},
 		}
 	})
 	srv := httptest.NewServer(gw.Handler())
@@ -136,6 +140,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		`weaksets_weakness_outcome_total{collection="menus",outcome="returns"}`: 1,
 		`weaksets_store_up{node="dir"}`:                                         1,
 		`weaksets_transport_calls_total{transport="archive"}`:                   42,
+		`weaksets_transport_codec{codec="wirebin",transport="archive"}`:         1,
+		`weaksets_transport_bytes_sent_total{transport="archive"}`:              4096,
+		`weaksets_transport_bytes_received_total{transport="archive"}`:          16384,
+		`weaksets_rpc_bytes_sent_total{method="repo.GetBatch",transport="archive"}`:     4000,
+		`weaksets_rpc_bytes_received_total{method="repo.GetBatch",transport="archive"}`: 16000,
 	} {
 		if got, ok := samples[key]; !ok || got != want {
 			t.Errorf("%s = %v (present %v), want %v", key, got, ok, want)

@@ -1,0 +1,8 @@
+//go:build !race
+
+package repo
+
+// raceEnabled reports whether the race detector instruments this build;
+// the alloc-budget guard skips itself under -race, where allocation
+// counts include instrumentation overhead.
+const raceEnabled = false

@@ -1,0 +1,143 @@
+package repo
+
+import (
+	"weaksets/internal/store"
+)
+
+// This file is the repository's wire surface: the RPC method names and
+// the request/response structs copied at every RPC boundary. The structs
+// are deliberately codec-agnostic — gob encodes them by reflection on the
+// cold paths, and wirebin.go registers hand-rolled binary marshalers for
+// the hot half-dozen so the TCP transport can retire gob per connection
+// (DESIGN.md §11).
+
+// RPC method names served by every repository server.
+const (
+	MethodGet        = "repo.Get"
+	MethodGetBatch   = "repo.GetBatch"
+	MethodPut        = "repo.Put"
+	MethodDelete     = "repo.Delete"
+	MethodCreate     = "repo.CreateCollection"
+	MethodList       = "repo.List"
+	MethodAdd        = "repo.Add"
+	MethodRemove     = "repo.Remove"
+	MethodPin        = "repo.Pin"
+	MethodUnpin      = "repo.Unpin"
+	MethodBeginGrow  = "repo.BeginGrow"
+	MethodEndGrow    = "repo.EndGrow"
+	MethodStats      = "repo.CollStats"
+	MethodStoreStats = "repo.StoreStats"
+	MethodSync       = "repo.Sync"
+)
+
+// Wire types. Every request and response is a value type copied at the RPC
+// boundary.
+type (
+	// GetReq fetches an object by ID.
+	GetReq struct{ ID ObjectID }
+	// GetBatchReq fetches several objects from one node in a single round
+	// trip. Known optionally maps ids to versions the caller already
+	// holds: the server ships full objects only for ids whose stored
+	// version differs, answering the rest with a compact NotModified
+	// list — the batch analogue of ListReq.IfVersion.
+	GetBatchReq struct {
+		IDs   []ObjectID
+		Known map[ObjectID]uint64
+	}
+	// GetBatchResp carries the found objects in request order; ids with no
+	// stored object come back in Missing rather than failing the batch,
+	// and ids whose Known version still matches come back in NotModified
+	// with no payload.
+	GetBatchResp struct {
+		Objects     []Object
+		NotModified []ObjectID
+		Missing     []ObjectID
+	}
+	// PutReq stores (or overwrites) an object.
+	PutReq struct{ Obj Object }
+	// PutResp reports the stored version.
+	PutResp struct{ Version uint64 }
+	// DeleteReq removes an object's data.
+	DeleteReq struct{ ID ObjectID }
+	// CreateReq creates an empty collection.
+	CreateReq struct{ Name string }
+	// ListReq reads a collection's membership; Pin selects a snapshot
+	// (0 means the live membership). A non-zero IfVersion makes the read
+	// version-gated: if the live listing is still at that version the
+	// server answers NotModified without shipping the members.
+	ListReq struct {
+		Name      string
+		Pin       int64
+		IfVersion uint64
+	}
+	// ListResp carries the membership and the collection version it
+	// reflects. When NotModified is true the listing is unchanged since
+	// the requested IfVersion and Members is empty.
+	ListResp struct {
+		Members     []Ref
+		Version     uint64
+		NotModified bool
+	}
+	// AddReq inserts a member.
+	AddReq struct {
+		Name string
+		Ref  Ref
+	}
+	// RemoveReq removes a member.
+	RemoveReq struct {
+		Name string
+		ID   ObjectID
+	}
+	// RemoveResp reports whether the removal was deferred by an active grow
+	// token; when Deferred is true the server owns eventual deletion of the
+	// object data.
+	RemoveResp struct {
+		Deferred bool
+		Version  uint64
+	}
+	// MutateResp reports the new collection version.
+	MutateResp struct{ Version uint64 }
+	// PinReq snapshots a collection's membership.
+	PinReq struct{ Name string }
+	// PinResp returns the snapshot handle.
+	PinResp struct{ Pin int64 }
+	// UnpinReq releases a snapshot.
+	UnpinReq struct {
+		Name string
+		Pin  int64
+	}
+	// BeginGrowReq starts a grow-only window on the collection.
+	BeginGrowReq struct{ Name string }
+	// BeginGrowResp returns the token ending the window.
+	BeginGrowResp struct{ Token int64 }
+	// EndGrowReq closes a grow-only window.
+	EndGrowReq struct {
+		Name  string
+		Token int64
+	}
+	// EndGrowResp reports how many ghost objects were reclaimed when the
+	// last token drained.
+	EndGrowResp struct{ Reclaimed int }
+	// StatsReq asks for collection counters.
+	StatsReq struct{ Name string }
+	// StatsResp reports collection counters for experiments (ghost
+	// accounting, E8).
+	StatsResp struct {
+		Members int
+		Ghosts  int
+		Pins    int
+		Tokens  int
+		Version uint64
+	}
+	// StoreStatsReq asks a node for its storage-engine instrumentation.
+	StoreStatsReq struct{}
+	// StoreStatsResp carries the engine's per-operation counters and
+	// latency quantiles.
+	StoreStatsResp struct{ Stats store.EngineStats }
+	// SyncReq is the replication push: full membership at a version.
+	SyncReq struct {
+		Name    string
+		Members []Ref
+		Version uint64
+	}
+)

@@ -1,0 +1,250 @@
+package repo
+
+import (
+	"weaksets/internal/netsim"
+	"weaksets/internal/wirebin"
+)
+
+// This file registers hand-rolled wirebin marshalers for the hot-path
+// wire structs — the messages the elements hot path ships on every run:
+// ListReq/ListResp (membership), GetReq/Object (single fetch),
+// GetBatchReq/GetBatchResp (the pipelined batch fetch, including the
+// Known-versions and NotModified vectors). Everything else stays on gob
+// inside the transport's envelope; see DESIGN.md §11 for the frame
+// layout and the negotiation that turns these on.
+//
+// Conventions (held to gob's observable round-trip semantics, which the
+// conformance tests in wirebin_test.go enforce):
+//
+//   - empty slices and byte blobs encode as count 0 and decode as nil,
+//     exactly as a gob round trip leaves them; maps carry a presence
+//     sentinel (0 = nil, n+1 = n entries) because gob preserves empty
+//     non-nil maps;
+//   - strings decode through the reader's intern table, so the ids and
+//     node names that repeat across batches allocate once per connection;
+//   - Object.Data decodes as a view into the frame buffer (the transport
+//     keeps aliased frames out of its buffer pool), so a wide GetBatchResp
+//     decodes with O(1) allocations, not O(objects).
+
+// Stable wirebin type ids. These are part of the negotiated protocol:
+// both ends of a wirebin connection run the same table, guaranteed by the
+// handshake confirming the codec as a unit. Never renumber — add.
+const (
+	wbGetReq       = 1
+	wbObject       = 2
+	wbGetBatchReq  = 3
+	wbGetBatchResp = 4
+	wbListReq      = 5
+	wbListResp     = 6
+)
+
+func init() {
+	wirebin.Register(wbGetReq, GetReq{},
+		func(buf []byte, v any) []byte { return appendGetReq(buf, v.(GetReq)) },
+		func(r *wirebin.Reader) any { return decodeGetReq(r) },
+	)
+	wirebin.Register(wbObject, Object{},
+		func(buf []byte, v any) []byte { return appendObject(buf, v.(Object)) },
+		func(r *wirebin.Reader) any { return decodeObject(r) },
+	)
+	wirebin.Register(wbGetBatchReq, GetBatchReq{},
+		func(buf []byte, v any) []byte { return appendGetBatchReq(buf, v.(GetBatchReq)) },
+		func(r *wirebin.Reader) any { return decodeGetBatchReq(r) },
+	)
+	wirebin.Register(wbGetBatchResp, GetBatchResp{},
+		func(buf []byte, v any) []byte { return appendGetBatchResp(buf, v.(GetBatchResp)) },
+		func(r *wirebin.Reader) any { return decodeGetBatchResp(r) },
+	)
+	wirebin.Register(wbListReq, ListReq{},
+		func(buf []byte, v any) []byte { return appendListReq(buf, v.(ListReq)) },
+		func(r *wirebin.Reader) any { return decodeListReq(r) },
+	)
+	wirebin.Register(wbListResp, ListResp{},
+		func(buf []byte, v any) []byte { return appendListResp(buf, v.(ListResp)) },
+		func(r *wirebin.Reader) any { return decodeListResp(r) },
+	)
+}
+
+func appendGetReq(buf []byte, v GetReq) []byte {
+	return wirebin.AppendString(buf, string(v.ID))
+}
+
+func decodeGetReq(r *wirebin.Reader) GetReq {
+	return GetReq{ID: ObjectID(r.String())}
+}
+
+// appendMapLen writes the map presence sentinel: 0 for nil, n+1 for a
+// non-nil map with n entries. gob transmits empty non-nil maps (unlike
+// empty slices), so the codec must tell the two apart on the wire.
+func appendMapLen(buf []byte, n int, isNil bool) []byte {
+	if isNil {
+		return wirebin.AppendUvarint(buf, 0)
+	}
+	return wirebin.AppendUvarint(buf, uint64(n)+1)
+}
+
+func appendObject(buf []byte, o Object) []byte {
+	buf = wirebin.AppendString(buf, string(o.ID))
+	buf = wirebin.AppendBytes(buf, o.Data)
+	buf = wirebin.AppendUvarint(buf, o.Version)
+	buf = wirebin.AppendBool(buf, o.Tombstone)
+	buf = appendMapLen(buf, len(o.Attrs), o.Attrs == nil)
+	for k, v := range o.Attrs {
+		buf = wirebin.AppendString(buf, k)
+		buf = wirebin.AppendString(buf, v)
+	}
+	return buf
+}
+
+func decodeObject(r *wirebin.Reader) Object {
+	var o Object
+	decodeObjectInto(r, &o)
+	return o
+}
+
+func decodeObjectInto(r *wirebin.Reader, o *Object) {
+	o.ID = ObjectID(r.String())
+	o.Data = r.Bytes()
+	o.Version = r.Uvarint()
+	o.Tombstone = r.Bool()
+	sentinel := r.Uvarint()
+	if sentinel == 0 || r.Err() != nil {
+		o.Attrs = nil
+		return
+	}
+	// Each entry costs at least two length prefixes; CheckCount rejects
+	// counts the remaining frame could not hold before sizing the map.
+	n := r.CheckCount(sentinel-1, 2)
+	if r.Err() != nil {
+		return
+	}
+	attrs := make(map[string]string, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		k := r.String()
+		attrs[k] = r.String()
+	}
+	o.Attrs = attrs
+}
+
+func appendIDs(buf []byte, ids []ObjectID) []byte {
+	buf = wirebin.AppendUvarint(buf, uint64(len(ids)))
+	for _, id := range ids {
+		buf = wirebin.AppendString(buf, string(id))
+	}
+	return buf
+}
+
+func decodeIDs(r *wirebin.Reader) []ObjectID {
+	n := r.Count(1)
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	ids := make([]ObjectID, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		ids = append(ids, ObjectID(r.String()))
+	}
+	return ids
+}
+
+func appendGetBatchReq(buf []byte, v GetBatchReq) []byte {
+	buf = appendIDs(buf, v.IDs)
+	buf = appendMapLen(buf, len(v.Known), v.Known == nil)
+	for id, ver := range v.Known {
+		buf = wirebin.AppendString(buf, string(id))
+		buf = wirebin.AppendUvarint(buf, ver)
+	}
+	return buf
+}
+
+func decodeGetBatchReq(r *wirebin.Reader) GetBatchReq {
+	var v GetBatchReq
+	v.IDs = decodeIDs(r)
+	sentinel := r.Uvarint()
+	if sentinel == 0 || r.Err() != nil {
+		return v
+	}
+	n := r.CheckCount(sentinel-1, 2)
+	if r.Err() != nil {
+		return v
+	}
+	known := make(map[ObjectID]uint64, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		id := ObjectID(r.String())
+		known[id] = r.Uvarint()
+	}
+	v.Known = known
+	return v
+}
+
+func appendGetBatchResp(buf []byte, v GetBatchResp) []byte {
+	buf = wirebin.AppendUvarint(buf, uint64(len(v.Objects)))
+	for i := range v.Objects {
+		buf = appendObject(buf, v.Objects[i])
+	}
+	buf = appendIDs(buf, v.NotModified)
+	return appendIDs(buf, v.Missing)
+}
+
+func decodeGetBatchResp(r *wirebin.Reader) GetBatchResp {
+	var v GetBatchResp
+	// Each object costs at least 5 bytes on the wire (four length
+	// prefixes and a bool); bound the slice by that.
+	n := r.Count(5)
+	if r.Err() != nil {
+		return v
+	}
+	if n > 0 {
+		objs := make([]Object, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			decodeObjectInto(r, &objs[i])
+		}
+		v.Objects = objs
+	}
+	v.NotModified = decodeIDs(r)
+	v.Missing = decodeIDs(r)
+	return v
+}
+
+func appendListReq(buf []byte, v ListReq) []byte {
+	buf = wirebin.AppendString(buf, v.Name)
+	buf = wirebin.AppendVarint(buf, v.Pin)
+	return wirebin.AppendUvarint(buf, v.IfVersion)
+}
+
+func decodeListReq(r *wirebin.Reader) ListReq {
+	return ListReq{
+		Name:      r.String(),
+		Pin:       r.Varint(),
+		IfVersion: r.Uvarint(),
+	}
+}
+
+func appendListResp(buf []byte, v ListResp) []byte {
+	buf = wirebin.AppendUvarint(buf, uint64(len(v.Members)))
+	for _, ref := range v.Members {
+		buf = wirebin.AppendString(buf, string(ref.ID))
+		buf = wirebin.AppendString(buf, string(ref.Node))
+	}
+	buf = wirebin.AppendUvarint(buf, v.Version)
+	return wirebin.AppendBool(buf, v.NotModified)
+}
+
+func decodeListResp(r *wirebin.Reader) ListResp {
+	var v ListResp
+	n := r.Count(2)
+	if r.Err() != nil {
+		return v
+	}
+	if n > 0 {
+		members := make([]Ref, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			id := ObjectID(r.String())
+			node := netsim.NodeID(r.String())
+			members = append(members, Ref{ID: id, Node: node})
+		}
+		v.Members = members
+	}
+	v.Version = r.Uvarint()
+	v.NotModified = r.Bool()
+	return v
+}

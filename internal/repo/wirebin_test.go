@@ -1,0 +1,334 @@
+package repo
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/wirebin"
+)
+
+// roundGob round-trips v through a fresh gob stream, the way the
+// transport's fallback envelope carries it: encoded as an interface so
+// the concrete type name rides along.
+func roundGob(t testing.TB, v any) any {
+	t.Helper()
+	gob.Register(GetReq{})
+	gob.Register(Object{})
+	gob.Register(GetBatchReq{})
+	gob.Register(GetBatchResp{})
+	gob.Register(ListReq{})
+	gob.Register(ListResp{})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var out any
+	if err := gob.NewDecoder(&buf).Decode(&out); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+	return out
+}
+
+// roundWirebin round-trips v through the registered wirebin codec.
+func roundWirebin(t testing.TB, v any) any {
+	t.Helper()
+	id, enc, ok := wirebin.Lookup(v)
+	if !ok {
+		t.Fatalf("no wirebin codec for %T", v)
+	}
+	frame := enc(nil, v)
+	dec, ok := wirebin.ByID(id)
+	if !ok {
+		t.Fatalf("no wirebin decoder for id %d", id)
+	}
+	var r wirebin.Reader
+	r.Reset(frame)
+	out := dec(&r)
+	if err := r.Err(); err != nil {
+		t.Fatalf("wirebin decode %T: %v", v, err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("wirebin decode %T left %d bytes", v, r.Len())
+	}
+	return out
+}
+
+// TestWirebinGobConformance is the byte-level equivalence proof the
+// negotiation relies on: for every hot message type and every tricky
+// shape (nil vs empty slices and maps, zero versions, tombstones,
+// unicode ids, big varints), decoding the wirebin form must yield
+// exactly what decoding the gob form yields — so a wirebin connection
+// and a gob connection are observationally identical.
+func TestWirebinGobConformance(t *testing.T) {
+	attrs := map[string]string{"cuisine": "chinese", "città": "米兰"}
+	obj := Object{ID: "obj-1", Data: []byte("payload"), Attrs: attrs, Version: 7, Tombstone: true}
+	cases := []any{
+		GetReq{},
+		GetReq{ID: "e0001"},
+		GetReq{ID: "unicode-идентификатор-🦉"},
+		Object{},
+		Object{ID: "bare"},
+		obj,
+		Object{ID: "empties", Data: []byte{}, Attrs: map[string]string{}},
+		Object{ID: "maxver", Version: 1<<64 - 1},
+		GetBatchReq{},
+		GetBatchReq{IDs: []ObjectID{"a", "b", "a"}},
+		GetBatchReq{IDs: []ObjectID{}, Known: map[ObjectID]uint64{}},
+		GetBatchReq{IDs: []ObjectID{"x"}, Known: map[ObjectID]uint64{"x": 3, "y": 1 << 40}},
+		GetBatchResp{},
+		GetBatchResp{Objects: []Object{obj, {ID: "two"}}, NotModified: []ObjectID{"nm"}, Missing: []ObjectID{"gone", "gone2"}},
+		GetBatchResp{Objects: []Object{}, NotModified: []ObjectID{}, Missing: []ObjectID{}},
+		ListReq{},
+		ListReq{Name: "snap", Pin: -42, IfVersion: 9},
+		ListReq{Name: "snap", Pin: 1 << 40},
+		ListResp{},
+		ListResp{Members: []Ref{{ID: "a", Node: "n1"}, {ID: "b", Node: "n2"}}, Version: 12},
+		ListResp{Members: []Ref{}, Version: 3, NotModified: true},
+	}
+	for _, in := range cases {
+		in := in
+		t.Run(fmt.Sprintf("%T", in), func(t *testing.T) {
+			viaGob := roundGob(t, in)
+			viaWB := roundWirebin(t, in)
+			if !reflect.DeepEqual(viaGob, viaWB) {
+				t.Fatalf("codecs disagree:\n gob     → %#v\n wirebin → %#v", viaGob, viaWB)
+			}
+		})
+	}
+}
+
+// TestWirebinDecodePartialFrameErrors holds every typed decoder to the
+// truncation contract: any prefix of a valid frame must produce a reader
+// error, never a panic or a silently short message.
+func TestWirebinDecodePartialFrameErrors(t *testing.T) {
+	resp := GetBatchResp{
+		Objects:     []Object{{ID: "a", Data: []byte("dddd"), Version: 2}, {ID: "b", Attrs: map[string]string{"k": "v"}}},
+		NotModified: []ObjectID{"nm1"},
+		Missing:     []ObjectID{"m1"},
+	}
+	id, enc, _ := wirebin.Lookup(resp)
+	frame := enc(nil, resp)
+	dec, _ := wirebin.ByID(id)
+	for cut := 0; cut < len(frame); cut++ {
+		var r wirebin.Reader
+		r.Reset(frame[:cut])
+		_ = dec(&r)
+		if r.Err() == nil && r.Len() == 0 && cut < len(frame) {
+			// A clean decode of a strict prefix would mean the format is
+			// ambiguous about its own end.
+			t.Fatalf("cut=%d decoded cleanly", cut)
+		}
+	}
+}
+
+// FuzzWirebinDecode throws arbitrary bytes at every registered hot-type
+// decoder. The server feeds these decoders straight from the socket, so
+// they must never panic and never allocate proportionally to a lying
+// length prefix (the reader bounds every count by the remaining frame).
+func FuzzWirebinDecode(f *testing.F) {
+	seedVals := []any{
+		GetReq{ID: "seed"},
+		Object{ID: "o", Data: []byte("data"), Attrs: map[string]string{"a": "b"}, Version: 1},
+		GetBatchReq{IDs: []ObjectID{"x", "y"}, Known: map[ObjectID]uint64{"x": 1}},
+		GetBatchResp{Objects: []Object{{ID: "o"}}, Missing: []ObjectID{"m"}},
+		ListReq{Name: "c", Pin: -1, IfVersion: 2},
+		ListResp{Members: []Ref{{ID: "a", Node: "n"}}, Version: 5},
+	}
+	for _, v := range seedVals {
+		_, enc, _ := wirebin.Lookup(v)
+		f.Add(enc(nil, v))
+	}
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	ids := []uint16{wbGetReq, wbObject, wbGetBatchReq, wbGetBatchResp, wbListReq, wbListResp}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, id := range ids {
+			dec, _ := wirebin.ByID(id)
+			var r wirebin.Reader
+			r.Reset(data)
+			_ = dec(&r) // must not panic, any error is fine
+		}
+	})
+}
+
+// loadAllocBudget reads the checked-in allocs/op ceilings from the repo
+// root. The budget file is the CI regression guard's contract: raising a
+// number is a reviewed decision, not a silent drift.
+func loadAllocBudget(t *testing.T) map[string]float64 {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("..", "..", "BENCH_budget.json"))
+	if err != nil {
+		t.Fatalf("alloc budget file: %v", err)
+	}
+	var doc struct {
+		AllocsPerOp map[string]float64 `json:"allocsPerOp"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("alloc budget file: %v", err)
+	}
+	return doc.AllocsPerOp
+}
+
+// benchListResp builds the 64-member listing the budget paths measure,
+// ids spread over four node names like the bench cluster's.
+func benchListResp() ListResp {
+	members := make([]Ref, 64)
+	for i := range members {
+		members[i] = Ref{
+			ID:   ObjectID(fmt.Sprintf("e%04d", i)),
+			Node: netsim.NodeID(fmt.Sprintf("storage%d", i%4)),
+		}
+	}
+	return ListResp{Members: members, Version: 42}
+}
+
+// benchGetBatchResp builds a 16-object batch with 256B payloads — the
+// fetch pipeline's default batch shape.
+func benchGetBatchResp() GetBatchResp {
+	objs := make([]Object, 16)
+	for i := range objs {
+		objs[i] = Object{
+			ID:      ObjectID(fmt.Sprintf("e%04d", i)),
+			Data:    bytes.Repeat([]byte{byte(i)}, 256),
+			Version: uint64(i + 1),
+		}
+	}
+	return GetBatchResp{Objects: objs}
+}
+
+// TestAllocBudget is the hot-path allocation regression guard: the
+// wirebin encode and decode paths for the elements hot path must stay
+// within the checked-in allocs/op ceilings (BENCH_budget.json at the
+// repo root). `make bench-rpc` runs it, so CI fails loudly if a change
+// sneaks allocations back onto the path gob was retired from.
+func TestAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race instrumentation")
+	}
+	budget := loadAllocBudget(t)
+
+	listResp := benchListResp()
+	listFrame := appendListResp(nil, listResp)
+	batchResp := benchGetBatchResp()
+	batchFrame := appendGetBatchResp(nil, batchResp)
+	var r wirebin.Reader
+	// Warm the intern table so the measurement sees the steady state a
+	// long-lived connection sees (ids repeat run after run).
+	r.Reset(listFrame)
+	_ = decodeListResp(&r)
+	r.Reset(batchFrame)
+	_ = decodeGetBatchResp(&r)
+
+	scratch := make([]byte, 0, len(batchFrame)+len(listFrame))
+	paths := map[string]func(){
+		"encodeListResp": func() {
+			scratch = appendListResp(scratch[:0], listResp)
+		},
+		"decodeListResp": func() {
+			r.Reset(listFrame)
+			if v := decodeListResp(&r); len(v.Members) != len(listResp.Members) || r.Err() != nil {
+				t.Fatalf("bad decode: %d members, err %v", len(v.Members), r.Err())
+			}
+		},
+		"encodeGetBatchResp": func() {
+			scratch = appendGetBatchResp(scratch[:0], batchResp)
+		},
+		"decodeGetBatchResp": func() {
+			r.Reset(batchFrame)
+			if v := decodeGetBatchResp(&r); len(v.Objects) != len(batchResp.Objects) || r.Err() != nil {
+				t.Fatalf("bad decode: %d objects, err %v", len(v.Objects), r.Err())
+			}
+		},
+	}
+	for name, fn := range paths {
+		max, ok := budget[name]
+		if !ok {
+			t.Fatalf("no allocs/op budget for %q in BENCH_budget.json", name)
+		}
+		got := testing.AllocsPerRun(200, fn)
+		t.Logf("%s: %.1f allocs/op (budget %.0f)", name, got, max)
+		if got > max {
+			t.Errorf("%s allocates %.1f/op, budget is %.0f — BENCH_budget.json is the regression gate; "+
+				"fix the codec or raise the budget deliberately", name, got, max)
+		}
+	}
+}
+
+// BenchmarkWirebinCodec reports the codec-layer cost of the two hot
+// response types against their gob equivalents; ReportAllocs makes the
+// near-zero-alloc claim visible in `go test -bench`.
+func BenchmarkWirebinCodec(b *testing.B) {
+	listResp := benchListResp()
+	batchResp := benchGetBatchResp()
+
+	b.Run("encodeListResp/wirebin", func(b *testing.B) {
+		buf := make([]byte, 0, 4096)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = appendListResp(buf[:0], listResp)
+		}
+	})
+	b.Run("encodeListResp/gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(listResp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	listFrame := appendListResp(nil, listResp)
+	b.Run("decodeListResp/wirebin", func(b *testing.B) {
+		var r wirebin.Reader
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Reset(listFrame)
+			if v := decodeListResp(&r); len(v.Members) != 64 {
+				b.Fatal("bad decode")
+			}
+		}
+	})
+	var gobList bytes.Buffer
+	if err := gob.NewEncoder(&gobList).Encode(listResp); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decodeListResp/gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var v ListResp
+			if err := gob.NewDecoder(bytes.NewReader(gobList.Bytes())).Decode(&v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	batchFrame := appendGetBatchResp(nil, batchResp)
+	b.Run("decodeGetBatchResp/wirebin", func(b *testing.B) {
+		var r wirebin.Reader
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Reset(batchFrame)
+			if v := decodeGetBatchResp(&r); len(v.Objects) != 16 {
+				b.Fatal("bad decode")
+			}
+		}
+	})
+	var gobBatch bytes.Buffer
+	if err := gob.NewEncoder(&gobBatch).Encode(batchResp); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decodeGetBatchResp/gob", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var v GetBatchResp
+			if err := gob.NewDecoder(bytes.NewReader(gobBatch.Bytes())).Decode(&v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -2,7 +2,6 @@ package tcprpc
 
 import (
 	"context"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +10,7 @@ import (
 	"time"
 
 	"weaksets/internal/obs"
+	"weaksets/internal/rpc"
 )
 
 // ErrClientClosed reports calls on a closed client.
@@ -47,25 +47,44 @@ type Client struct {
 	// The span's context rides the request envelope, so the server's
 	// spans nest under it. Set before the first Call.
 	Tracer *obs.Tracer
+	// Codec selects the wire codec to negotiate. "" and CodecWirebin
+	// advertise wirebin in the connection handshake, falling back to gob
+	// when the server doesn't speak it; CodecGob skips negotiation and
+	// pins the connection to gob. Set before the first Call.
+	Codec string
+	// Compress asks for negotiated per-frame deflate on wirebin frames of
+	// at least CompressMin bytes (0 = defaultCompressMin). Only takes
+	// effect when wirebin is negotiated. Set before the first Call.
+	Compress    bool
+	CompressMin int
 
 	mu     sync.Mutex
 	cc     *clientConn
 	sem    chan struct{}
 	closed bool
+	// helloFailed latches after a handshake dies at the transport level
+	// (a peer so old it kills the stream on an unknown method, rather than
+	// answering ErrNoMethod); every later dial skips the hello and speaks
+	// plain gob.
+	helloFailed bool
 
 	seq atomic.Uint64
 	ins transportInstruments
 }
 
-// call is one RPC awaiting its response.
+// call is one RPC awaiting its response. method lets the read loop
+// attribute response bytes to the method that earned them.
 type call struct {
-	ch chan response // buffered(1); the reader delivers at most once
+	method string
+	ch     chan response // buffered(1); the reader delivers at most once
 }
 
 // clientConn is one live connection with its goroutines and in-flight
 // calls. It is immutable except through fail, which runs once.
 type clientConn struct {
 	conn   net.Conn
+	cdc    codec
+	ins    *transportInstruments
 	sendCh chan *request
 
 	done     chan struct{}
@@ -128,19 +147,93 @@ func (c *Client) conn() (*clientConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tcprpc: dial %s: %w", c.addr, err)
 	}
+	fio := newFrameIO(conn)
+	gc := newGobCodec(fio)
+	var cdc codec = gc
+	if c.Codec != CodecGob && !c.helloFailed {
+		hr, err := c.hello(conn, gc, timeout)
+		switch {
+		case err == nil:
+			if hr.Codec == CodecWirebin {
+				cdc = newWirebinCodec(fio, "", hr.Compress, hr.CompressMin)
+			}
+		case errors.Is(err, rpc.ErrNoMethod):
+			// Pre-negotiation server: it answered the hello like any
+			// unknown method. The connection is healthy — speak gob.
+		default:
+			// The handshake died at the transport level; assume a peer
+			// that tears the stream down on unknown methods, latch the
+			// fallback, and redial once speaking plain gob.
+			c.helloFailed = true
+			_ = conn.Close()
+			conn, err = net.DialTimeout("tcp", c.addr, timeout)
+			if err != nil {
+				return nil, fmt.Errorf("tcprpc: dial %s: %w", c.addr, err)
+			}
+			fio = newFrameIO(conn)
+			cdc = newGobCodec(fio)
+		}
+	}
+	c.ins.setCodec(cdc.name())
 	cc := &clientConn{
 		conn:    conn,
+		cdc:     cdc,
+		ins:     &c.ins,
 		sendCh:  make(chan *request, sendBacklog),
 		done:    make(chan struct{}),
 		pending: make(map[uint64]*call),
 	}
-	go cc.writeLoop(gob.NewEncoder(conn))
-	go cc.readLoop(gob.NewDecoder(conn))
+	go cc.writeLoop()
+	go cc.readLoop()
 	if c.ins.dials.Add(1) > 1 {
 		c.ins.reconnects.Add(1)
 	}
 	c.cc = cc
 	return cc, nil
+}
+
+// hello runs the synchronous codec handshake on a fresh connection,
+// before the read/write loops exist — the one moment the stream is
+// guaranteed quiet, so the codec can switch cleanly right after the
+// reply. The whole exchange runs under the dial timeout.
+func (c *Client) hello(conn net.Conn, gc *gobCodec, timeout time.Duration) (helloResp, error) {
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	defer func() { _ = conn.SetDeadline(time.Time{}) }()
+
+	out := &request{
+		Seq:    c.seq.Add(1),
+		From:   c.from,
+		Method: methodHello,
+		Body: helloReq{
+			From:        c.from,
+			Codecs:      []string{CodecWirebin},
+			Compress:    c.Compress,
+			CompressMin: c.CompressMin,
+		},
+	}
+	sent, err := gc.writeRequest(out)
+	if err != nil {
+		return helloResp{}, err
+	}
+	var in response
+	recv, err := gc.readResponse(&in)
+	if err != nil {
+		return helloResp{}, err
+	}
+	c.ins.addSent(methodHello, sent)
+	c.ins.addRecv(methodHello, recv)
+	if in.Seq != out.Seq {
+		return helloResp{}, fmt.Errorf("tcprpc: hello reply for seq %d, want %d", in.Seq, out.Seq)
+	}
+	body, err := finish(in)
+	if err != nil {
+		return helloResp{}, err
+	}
+	hr, ok := body.(helloResp)
+	if !ok {
+		return helloResp{}, fmt.Errorf("tcprpc: hello reply is %T", body)
+	}
+	return hr, nil
 }
 
 // acquire takes an in-flight slot when MaxInflight bounds the stream.
@@ -202,7 +295,7 @@ func (c *Client) do(ctx context.Context, method string, req any) (any, error) {
 	}
 
 	seq := c.seq.Add(1)
-	ca := &call{ch: make(chan response, 1)}
+	ca := &call{method: method, ch: make(chan response, 1)}
 	cc.pmu.Lock()
 	cc.pending[seq] = ca
 	cc.pmu.Unlock()
@@ -249,15 +342,17 @@ func finish(in response) (any, error) {
 }
 
 // writeLoop is the connection's dedicated writer: the only goroutine
-// that touches the gob encoder.
-func (cc *clientConn) writeLoop(enc *gob.Encoder) {
+// that touches the codec's encode side.
+func (cc *clientConn) writeLoop() {
 	for {
 		select {
 		case out := <-cc.sendCh:
-			if err := enc.Encode(out); err != nil {
+			n, err := cc.cdc.writeRequest(out)
+			if err != nil {
 				cc.fail(fmt.Errorf("send %s: %w", out.Method, err))
 				return
 			}
+			cc.ins.addSent(out.Method, n)
 		case <-cc.done:
 			return
 		}
@@ -267,10 +362,11 @@ func (cc *clientConn) writeLoop(enc *gob.Encoder) {
 // readLoop is the connection's dedicated reader: it decodes response
 // envelopes and dispatches each to its caller by sequence number.
 // Responses for abandoned calls (cancelled contexts) are dropped.
-func (cc *clientConn) readLoop(dec *gob.Decoder) {
+func (cc *clientConn) readLoop() {
 	for {
 		var in response
-		if err := dec.Decode(&in); err != nil {
+		n, err := cc.cdc.readResponse(&in)
+		if err != nil {
 			cc.fail(fmt.Errorf("recv: %w", err))
 			return
 		}
@@ -281,7 +377,10 @@ func (cc *clientConn) readLoop(dec *gob.Decoder) {
 		}
 		cc.pmu.Unlock()
 		if ok {
+			cc.ins.addRecv(ca.method, n)
 			ca.ch <- in
+		} else {
+			cc.ins.addRecv("", n)
 		}
 	}
 }

@@ -1,0 +1,487 @@
+package tcprpc
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"weaksets/internal/obs"
+	"weaksets/internal/wirebin"
+)
+
+// Codec names, as they appear in the hello exchange and in TransportStats.
+const (
+	// CodecGob is the reflection-based gob stream every peer speaks; it is
+	// the universal fallback and the only codec pre-negotiation builds know.
+	CodecGob = "gob"
+	// CodecWirebin is the compact length-prefixed binary codec negotiated
+	// for hot-path messages (DESIGN.md §11).
+	CodecWirebin = "wirebin"
+)
+
+const (
+	// maxFrame bounds one wirebin frame and its decompressed size; a
+	// length prefix beyond it fails the connection before any allocation
+	// is sized from it.
+	maxFrame = 64 << 20
+	// defaultCompressMin is the per-frame compression threshold used when
+	// a client asks for compression without naming one.
+	defaultCompressMin = 1024
+)
+
+// Frame flag bits (the byte after the length prefix).
+const (
+	frCompressed = 1 << 0 // payload is a deflate stream prefixed with its raw length
+)
+
+// Envelope flag bits (inside the frame).
+const (
+	bfGobBody = 1 << 0 // body is a self-contained gob blob, not a registered type
+	bfTraced  = 1 << 1 // request: envelope carries a span context
+	bfIsErr   = 1 << 1 // response: envelope carries an error, not a body
+	bfNilBody = 1 << 2 // body is absent
+)
+
+// codec reads and writes envelope messages on one connection, reporting
+// the wire bytes each message cost. Implementations are not safe for
+// concurrent use per direction; the transport guarantees a single writer
+// (the client's write loop, the server's write lock) and a single reader
+// per connection.
+type codec interface {
+	name() string
+	writeRequest(req *request) (int, error)
+	readRequest(req *request) (int, error)
+	writeResponse(resp *response) (int, error)
+	readResponse(resp *response) (int, error)
+}
+
+// frameIO is the buffered, byte-counting channel both codecs share. A
+// connection builds exactly one, so the gob handshake phase and a
+// negotiated wirebin phase read the same buffered stream — no bytes get
+// stranded in a stale buffer across the codec switch.
+type frameIO struct {
+	br *bufio.Reader
+	bw *bufio.Writer
+	cr countingReader
+	cw countingWriter
+}
+
+func newFrameIO(conn net.Conn) *frameIO {
+	f := &frameIO{
+		br: bufio.NewReader(conn),
+		bw: bufio.NewWriter(conn),
+	}
+	f.cr.r = f.br
+	f.cw.w = f.bw
+	return f
+}
+
+// countingReader counts the bytes the codec consumes. It implements
+// io.ByteReader so gob does not interpose its own read-ahead buffer —
+// read-ahead would steal bytes that belong to the codec taking over
+// after the handshake.
+type countingReader struct {
+	r *bufio.Reader
+	n int
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += n
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.n++
+	}
+	return b, err
+}
+
+type countingWriter struct {
+	w *bufio.Writer
+	n int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += n
+	return n, err
+}
+
+// gobCodec is the fallback codec: the classic persistent gob stream.
+// Encoder and decoder live for the connection (gob streams are stateful —
+// type descriptors are sent once), so the handshake and any post-
+// handshake gob traffic share them.
+type gobCodec struct {
+	fio *frameIO
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func newGobCodec(fio *frameIO) *gobCodec {
+	return &gobCodec{fio: fio, enc: gob.NewEncoder(&fio.cw), dec: gob.NewDecoder(&fio.cr)}
+}
+
+func (c *gobCodec) name() string { return CodecGob }
+
+func (c *gobCodec) writeRequest(req *request) (int, error) { return c.write(req) }
+
+func (c *gobCodec) writeResponse(resp *response) (int, error) { return c.write(resp) }
+
+func (c *gobCodec) write(v any) (int, error) {
+	start := c.fio.cw.n
+	if err := c.enc.Encode(v); err != nil {
+		return 0, err
+	}
+	if err := c.fio.bw.Flush(); err != nil {
+		return 0, err
+	}
+	return c.fio.cw.n - start, nil
+}
+
+func (c *gobCodec) readRequest(req *request) (int, error) { return c.read(req) }
+
+func (c *gobCodec) readResponse(resp *response) (int, error) { return c.read(resp) }
+
+func (c *gobCodec) read(v any) (int, error) {
+	start := c.fio.cr.n
+	if err := c.dec.Decode(v); err != nil {
+		return 0, err
+	}
+	return c.fio.cr.n - start, nil
+}
+
+// wirebinCodec frames hand-rolled binary envelopes: a varint length
+// prefix, a flags byte, then the (optionally deflate-compressed) raw
+// envelope. Registered hot types encode through their wirebin marshalers;
+// everything else rides as a self-contained gob blob inside the frame, so
+// the whole RPC surface works on a wirebin connection. See DESIGN.md §11
+// for the byte diagram.
+type wirebinCodec struct {
+	fio *frameIO
+
+	// from is the peer identity the client hoisted into its hello; the
+	// server-side codec stamps it onto every decoded request, so From
+	// never rides the per-request hot path. Empty on the client side.
+	from string
+
+	// Compression settings, negotiated as a unit in the handshake. A
+	// compressed frame on a connection that never negotiated compression
+	// is a protocol violation and fails the connection.
+	compressOK  bool
+	compressMin int
+
+	r    wirebin.Reader
+	fw   *flate.Writer
+	fr   io.ReadCloser
+	zbuf bytes.Buffer
+}
+
+func newWirebinCodec(fio *frameIO, from string, compress bool, compressMin int) *wirebinCodec {
+	if compressMin <= 0 {
+		compressMin = defaultCompressMin
+	}
+	return &wirebinCodec{fio: fio, from: from, compressOK: compress, compressMin: compressMin}
+}
+
+func (c *wirebinCodec) name() string { return CodecWirebin }
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// writeFrame ships one raw envelope, compressing it when the connection
+// negotiated compression, the envelope clears the threshold, and deflate
+// actually wins (incompressible payloads go out raw).
+func (c *wirebinCodec) writeFrame(raw []byte) (int, error) {
+	flags := byte(0)
+	payload := raw
+	if c.compressOK && len(raw) >= c.compressMin {
+		c.zbuf.Reset()
+		var rl [binary.MaxVarintLen64]byte
+		c.zbuf.Write(rl[:binary.PutUvarint(rl[:], uint64(len(raw)))])
+		if c.fw == nil {
+			c.fw, _ = flate.NewWriter(&c.zbuf, flate.BestSpeed)
+		} else {
+			c.fw.Reset(&c.zbuf)
+		}
+		if _, err := c.fw.Write(raw); err != nil {
+			return 0, err
+		}
+		if err := c.fw.Close(); err != nil {
+			return 0, err
+		}
+		if c.zbuf.Len() < len(raw) {
+			flags |= frCompressed
+			payload = c.zbuf.Bytes()
+		}
+	}
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	hn := binary.PutUvarint(hdr[:], uint64(1+len(payload)))
+	hdr[hn] = flags
+	hn++
+	if _, err := c.fio.bw.Write(hdr[:hn]); err != nil {
+		return 0, err
+	}
+	if _, err := c.fio.bw.Write(payload); err != nil {
+		return 0, err
+	}
+	if err := c.fio.bw.Flush(); err != nil {
+		return 0, err
+	}
+	return hn + len(payload), nil
+}
+
+// readFrame returns one raw envelope in a pooled buffer (the caller
+// decides whether it may be pooled again — decoded bodies can alias it)
+// and the wire bytes the frame cost.
+func (c *wirebinCodec) readFrame() ([]byte, int, error) {
+	ln, err := binary.ReadUvarint(c.fio.br)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ln == 0 || ln > maxFrame {
+		return nil, 0, fmt.Errorf("tcprpc: frame length %d out of range", ln)
+	}
+	wire := uvarintLen(ln) + int(ln)
+	buf := growBuf(wirebin.GetBuf(), int(ln))
+	if _, err := io.ReadFull(c.fio.br, buf); err != nil {
+		wirebin.PutBuf(buf)
+		return nil, 0, err
+	}
+	flags := buf[0]
+	raw := buf[1:]
+	if flags&frCompressed == 0 {
+		return raw, wire, nil
+	}
+	if !c.compressOK {
+		wirebin.PutBuf(buf)
+		return nil, 0, errors.New("tcprpc: compressed frame without negotiated compression")
+	}
+	rawLen, n := binary.Uvarint(raw)
+	if n <= 0 || rawLen == 0 || rawLen > maxFrame {
+		wirebin.PutBuf(buf)
+		return nil, 0, fmt.Errorf("tcprpc: compressed frame raw length %d out of range", rawLen)
+	}
+	zr := bytes.NewReader(raw[n:])
+	if c.fr == nil {
+		c.fr = flate.NewReader(zr)
+	} else if err := c.fr.(flate.Resetter).Reset(zr, nil); err != nil {
+		wirebin.PutBuf(buf)
+		return nil, 0, err
+	}
+	out := growBuf(wirebin.GetBuf(), int(rawLen))
+	if _, err := io.ReadFull(c.fr, out); err != nil {
+		wirebin.PutBuf(buf)
+		wirebin.PutBuf(out)
+		return nil, 0, fmt.Errorf("tcprpc: inflate: %w", err)
+	}
+	wirebin.PutBuf(buf)
+	return out, wire, nil
+}
+
+// growBuf sizes a pooled buffer to n bytes, reallocating only when the
+// pooled capacity is short.
+func growBuf(buf []byte, n int) []byte {
+	if cap(buf) < n {
+		return make([]byte, n)
+	}
+	return buf[:n]
+}
+
+func (c *wirebinCodec) writeRequest(req *request) (int, error) {
+	raw := wirebin.GetBuf()
+	defer func() { wirebin.PutBuf(raw) }()
+	raw = wirebin.AppendUvarint(raw, req.Seq)
+	traced := req.Trace != (obs.SpanContext{})
+	id, encFn, typed := wirebin.Lookup(req.Body)
+	var bflags byte
+	switch {
+	case req.Body == nil:
+		bflags |= bfNilBody
+	case !typed:
+		bflags |= bfGobBody
+	}
+	if traced {
+		bflags |= bfTraced
+	}
+	raw = append(raw, bflags)
+	if traced {
+		raw = req.Trace.AppendBinary(raw)
+	}
+	raw = wirebin.AppendString(raw, req.Method)
+	switch {
+	case req.Body == nil:
+	case typed:
+		raw = wirebin.AppendUvarint(raw, uint64(id))
+		raw = encFn(raw, req.Body)
+	default:
+		blob, err := gobBlob(req.Body)
+		if err != nil {
+			return 0, fmt.Errorf("tcprpc: encode %s body: %w", req.Method, err)
+		}
+		raw = append(raw, blob...)
+	}
+	return c.writeFrame(raw)
+}
+
+func (c *wirebinCodec) readRequest(req *request) (int, error) {
+	raw, wire, err := c.readFrame()
+	if err != nil {
+		return 0, err
+	}
+	r := &c.r
+	r.Reset(raw)
+	req.Seq = r.Uvarint()
+	bflags := r.Byte()
+	req.Trace = obs.SpanContext{}
+	if bflags&bfTraced != 0 && r.Err() == nil {
+		sc, n, derr := obs.DecodeSpanContext(r.Remaining())
+		if derr != nil {
+			wirebin.PutBuf(raw)
+			return 0, derr
+		}
+		r.Skip(n)
+		req.Trace = sc
+	}
+	req.Method = r.String()
+	req.From = c.from
+	body, err := decodeBody(r, bflags)
+	if err != nil {
+		wirebin.PutBuf(raw)
+		return 0, err
+	}
+	req.Body = body
+	if !r.Aliased() {
+		wirebin.PutBuf(raw)
+	}
+	return wire, nil
+}
+
+func (c *wirebinCodec) writeResponse(resp *response) (int, error) {
+	raw := wirebin.GetBuf()
+	defer func() { wirebin.PutBuf(raw) }()
+	raw = wirebin.AppendUvarint(raw, resp.Seq)
+	var bflags byte
+	var id uint16
+	var encFn wirebin.EncodeFunc
+	var typed bool
+	if resp.IsErr {
+		bflags |= bfIsErr
+	} else {
+		id, encFn, typed = wirebin.Lookup(resp.Body)
+		switch {
+		case resp.Body == nil:
+			bflags |= bfNilBody
+		case !typed:
+			bflags |= bfGobBody
+		}
+	}
+	raw = append(raw, bflags)
+	switch {
+	case resp.IsErr:
+		raw = wirebin.AppendString(raw, resp.ErrText)
+		raw = wirebin.AppendString(raw, resp.ErrCode)
+	case resp.Body == nil:
+	case typed:
+		raw = wirebin.AppendUvarint(raw, uint64(id))
+		raw = encFn(raw, resp.Body)
+	default:
+		blob, err := gobBlob(resp.Body)
+		if err != nil {
+			return 0, fmt.Errorf("tcprpc: encode response body: %w", err)
+		}
+		raw = append(raw, blob...)
+	}
+	return c.writeFrame(raw)
+}
+
+func (c *wirebinCodec) readResponse(resp *response) (int, error) {
+	raw, wire, err := c.readFrame()
+	if err != nil {
+		return 0, err
+	}
+	r := &c.r
+	r.Reset(raw)
+	*resp = response{}
+	resp.Seq = r.Uvarint()
+	bflags := r.Byte()
+	if bflags&bfIsErr != 0 {
+		resp.IsErr = true
+		resp.ErrText = r.String()
+		resp.ErrCode = r.String()
+		err = r.Err()
+	} else {
+		resp.Body, err = decodeBody(r, bflags)
+	}
+	if err != nil {
+		wirebin.PutBuf(raw)
+		return 0, err
+	}
+	if !r.Aliased() {
+		wirebin.PutBuf(raw)
+	}
+	return wire, nil
+}
+
+// decodeBody decodes an envelope body per its flags: absent, a registered
+// wirebin type, or a self-contained gob blob filling the rest of the
+// frame.
+func decodeBody(r *wirebin.Reader, bflags byte) (any, error) {
+	switch {
+	case bflags&bfNilBody != 0:
+		return nil, r.Err()
+	case bflags&bfGobBody != 0:
+		rest := r.Remaining()
+		r.Skip(len(rest))
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return gobUnblob(rest)
+	default:
+		id := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		dec, ok := wirebin.ByID(uint16(id))
+		if !ok {
+			return nil, fmt.Errorf("tcprpc: unknown wirebin type id %d", id)
+		}
+		body := dec(r)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+}
+
+// gobBlob encodes a body as a self-contained gob stream (descriptors
+// included), the carrier for non-hot types inside wirebin frames.
+func gobBlob(body any) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(&body); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+func gobUnblob(b []byte) (any, error) {
+	var body any
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&body); err != nil {
+		return nil, fmt.Errorf("tcprpc: decode gob body: %w", err)
+	}
+	return body, nil
+}

@@ -1,0 +1,318 @@
+package tcprpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/repo"
+	"weaksets/internal/rpc"
+)
+
+// codecEchoDispatch serves "echo" (returns an Object echoing the
+// requested ID with a fixed payload) and "put" (accepts a PutReq — a
+// type with no wirebin marshaler, so it rides the gob-blob path inside
+// wirebin frames).
+func codecEchoDispatch(payload []byte) *rpc.Server {
+	srv := rpc.NewServer("remote")
+	srv.Handle("echo", func(_ context.Context, _ netsim.NodeID, req any) (any, error) {
+		in, ok := req.(repo.GetReq)
+		if !ok {
+			return nil, fmt.Errorf("echo: bad body %T", req)
+		}
+		return repo.Object{ID: in.ID, Data: payload, Version: 7}, nil
+	})
+	srv.Handle("put", func(_ context.Context, _ netsim.NodeID, req any) (any, error) {
+		in, ok := req.(repo.PutReq)
+		if !ok {
+			return nil, fmt.Errorf("put: bad body %T", req)
+		}
+		return repo.PutResp{Version: in.Obj.Version + 1}, nil
+	})
+	return srv
+}
+
+func callEcho(t *testing.T, client *Client, id repo.ObjectID, want []byte) {
+	t.Helper()
+	out, err := client.Call(context.Background(), "echo", repo.GetReq{ID: id})
+	if err != nil {
+		t.Fatalf("echo %s: %v", id, err)
+	}
+	obj, ok := out.(repo.Object)
+	if !ok {
+		t.Fatalf("echo %s returned %T", id, out)
+	}
+	if obj.ID != id || !bytes.Equal(obj.Data, want) || obj.Version != 7 {
+		t.Fatalf("echo %s returned wrong object (id=%s, %d data bytes, v%d)",
+			id, obj.ID, len(obj.Data), obj.Version)
+	}
+}
+
+// TestNegotiatesWirebin pairs a codec-aware client with a codec-aware
+// server: the connection must negotiate wirebin, round-trip registered
+// and unregistered (gob-blob) bodies, and account wire bytes per method.
+func TestNegotiatesWirebin(t *testing.T) {
+	payload := bytes.Repeat([]byte("weak"), 64)
+	srv, err := Serve("127.0.0.1:0", codecEchoDispatch(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := Dial(srv.Addr(), "tester")
+	defer client.Close()
+
+	callEcho(t, client, "a", payload)
+	callEcho(t, client, "b", payload)
+
+	// An unregistered body must still cross a wirebin connection (as a
+	// self-contained gob blob inside the frame).
+	out, err := client.Call(context.Background(), "put", repo.PutReq{
+		Obj: repo.Object{ID: "blob", Data: []byte("x"), Version: 3},
+	})
+	if err != nil {
+		t.Fatalf("put over wirebin: %v", err)
+	}
+	if v := out.(repo.PutResp).Version; v != 4 {
+		t.Fatalf("put returned version %d, want 4", v)
+	}
+
+	st := client.Stats()
+	if st.Codec != CodecWirebin {
+		t.Fatalf("negotiated codec = %q, want %q", st.Codec, CodecWirebin)
+	}
+	if st.BytesSent == 0 || st.BytesReceived == 0 {
+		t.Fatalf("byte totals not accounted: %+v", st)
+	}
+	var sawEcho, sawHello bool
+	for _, m := range st.Methods {
+		switch m.Method {
+		case "echo":
+			sawEcho = true
+			if m.BytesSent == 0 || m.BytesReceived == 0 {
+				t.Fatalf("echo bytes not attributed: %+v", m)
+			}
+			if m.BytesReceived < int64(len(payload)) {
+				t.Fatalf("echo received %d bytes, payload alone is %d", m.BytesReceived, len(payload))
+			}
+		case methodHello:
+			sawHello = true
+			if m.BytesSent == 0 || m.BytesReceived == 0 {
+				t.Fatalf("hello bytes not attributed: %+v", m)
+			}
+		}
+	}
+	if !sawEcho || !sawHello {
+		t.Fatalf("missing per-method byte attribution (echo=%v hello=%v): %+v", sawEcho, sawHello, st.Methods)
+	}
+}
+
+// TestOldServerFallsBackToGob pairs a codec-aware client with a server
+// built to predate negotiation (hello falls through to dispatch and
+// fails with ErrNoMethod): the client must settle on gob with zero
+// semantic difference.
+func TestOldServerFallsBackToGob(t *testing.T) {
+	payload := []byte("legacy")
+	srv, err := ServeConfig("127.0.0.1:0", codecEchoDispatch(payload), ServerConfig{DisableNegotiation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := Dial(srv.Addr(), "tester")
+	defer client.Close()
+
+	callEcho(t, client, "a", payload)
+	if st := client.Stats(); st.Codec != CodecGob {
+		t.Fatalf("codec = %q, want %q after ErrNoMethod fallback", st.Codec, CodecGob)
+	}
+	// The failed hello must not burn a redial: one dial, no reconnects.
+	if st := client.Stats(); st.Dials != 1 || st.Reconnects != 0 {
+		t.Fatalf("fallback cost connections: %+v", st)
+	}
+}
+
+// TestOldClientAgainstNewServer pins a client to gob (standing in for a
+// pre-codec build that never sends a hello): the codec-aware server must
+// treat its first request as an ordinary call.
+func TestOldClientAgainstNewServer(t *testing.T) {
+	payload := []byte("old-client")
+	srv, err := Serve("127.0.0.1:0", codecEchoDispatch(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := Dial(srv.Addr(), "tester")
+	client.Codec = CodecGob
+	defer client.Close()
+
+	callEcho(t, client, "first", payload)
+	callEcho(t, client, "second", payload)
+	if st := client.Stats(); st.Codec != CodecGob {
+		t.Fatalf("codec = %q, want %q", st.Codec, CodecGob)
+	}
+}
+
+// TestRedialRenegotiates kills the server under a wirebin connection and
+// brings a new one up on the same address: the client's redial must run
+// a fresh handshake and come back on wirebin.
+func TestRedialRenegotiates(t *testing.T) {
+	payload := []byte("redial")
+	srv, err := Serve("127.0.0.1:0", codecEchoDispatch(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	client := Dial(addr, "tester")
+	defer client.Close()
+
+	callEcho(t, client, "before", payload)
+	srv.Close()
+
+	// Rebind the freed address; brief races with the released socket are
+	// retried.
+	var srv2 *Server
+	for i := 0; i < 50; i++ {
+		srv2, err = Serve(addr, codecEchoDispatch(payload))
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	// The dead connection surfaces as one failed call; the next call
+	// redials and renegotiates.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = client.Call(context.Background(), "echo", repo.GetReq{ID: "after"})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("call after restart kept failing: %v", err)
+		}
+	}
+	st := client.Stats()
+	if st.Codec != CodecWirebin {
+		t.Fatalf("codec after redial = %q, want %q", st.Codec, CodecWirebin)
+	}
+	if st.Dials < 2 || st.Reconnects < 1 {
+		t.Fatalf("expected a redial: %+v", st)
+	}
+}
+
+// TestCompressionThreshold negotiates compression with an explicit
+// threshold: payloads above it must cross the wire smaller than raw,
+// payloads below must not pay the compressor, and both must round-trip
+// intact.
+func TestCompressionThreshold(t *testing.T) {
+	big := bytes.Repeat([]byte("compressible "), 512) // ~6.5 KiB, highly redundant
+	srv, err := Serve("127.0.0.1:0", codecEchoDispatch(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := Dial(srv.Addr(), "tester")
+	client.Compress = true
+	client.CompressMin = 512
+	defer client.Close()
+
+	callEcho(t, client, "zip", big)
+	st := client.Stats()
+	if st.Codec != CodecWirebin {
+		t.Fatalf("codec = %q, want %q", st.Codec, CodecWirebin)
+	}
+	for _, m := range st.Methods {
+		if m.Method == "echo" && m.BytesReceived >= int64(len(big)) {
+			t.Fatalf("compressed echo response cost %d wire bytes for a %d-byte payload",
+				m.BytesReceived, len(big))
+		}
+	}
+
+	// Below the threshold the frame goes out raw — and still intact.
+	small := []byte("tiny")
+	srvSmall, err := Serve("127.0.0.1:0", codecEchoDispatch(small))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvSmall.Close()
+	cSmall := Dial(srvSmall.Addr(), "tester")
+	cSmall.Compress = true
+	cSmall.CompressMin = 512
+	defer cSmall.Close()
+	callEcho(t, cSmall, "raw", small)
+}
+
+// TestCompressionExactBoundary drives the writer straight at the
+// threshold: an envelope exactly CompressMin bytes long must compress,
+// one byte shorter must not. Observed at the frame level through a pipe.
+func TestCompressionExactBoundary(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		rawLen   int
+		wantComp bool
+	}{
+		{name: "at-threshold", rawLen: 256, wantComp: true},
+		{name: "below-threshold", rawLen: 255, wantComp: false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cli, srv := net.Pipe()
+			defer cli.Close()
+			defer srv.Close()
+			w := newWirebinCodec(newFrameIO(cli), "", true, 256)
+			r := newWirebinCodec(newFrameIO(srv), "peer", true, 256)
+
+			// A compressible error text sized so the whole envelope hits
+			// rawLen exactly: seq varint (1) + flags (1) + two string
+			// headers (1 + 2) bring the fixed part to 5 bytes.
+			resp := &response{Seq: 1, IsErr: true, ErrText: string(bytes.Repeat([]byte("e"), tc.rawLen-5))}
+			done := make(chan error, 1)
+			var wire int
+			go func() {
+				var err error
+				wire, err = func() (int, error) { return w.writeResponse(resp) }()
+				done <- err
+			}()
+			var in response
+			if _, err := r.readResponse(&in); err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if err := <-done; err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			if in.ErrText != resp.ErrText {
+				t.Fatalf("payload corrupted across the boundary")
+			}
+			compressed := wire < tc.rawLen
+			if compressed != tc.wantComp {
+				t.Fatalf("rawLen %d: wire %d bytes, compressed=%v, want %v",
+					tc.rawLen, wire, compressed, tc.wantComp)
+			}
+		})
+	}
+}
+
+// TestCompressedFrameRejectedWithoutNegotiation feeds a compressed frame
+// to a codec that never negotiated compression: a strict protocol
+// violation that must fail the read, not silently inflate.
+func TestCompressedFrameRejectedWithoutNegotiation(t *testing.T) {
+	cli, srv := net.Pipe()
+	defer cli.Close()
+	defer srv.Close()
+	w := newWirebinCodec(newFrameIO(cli), "", true, 64) // compresses eagerly
+	r := newWirebinCodec(newFrameIO(srv), "peer", false, 0)
+
+	resp := &response{Seq: 9, IsErr: true, ErrText: string(bytes.Repeat([]byte("z"), 4096))}
+	go func() { _, _ = w.writeResponse(resp) }()
+	var in response
+	if _, err := r.readResponse(&in); err == nil {
+		t.Fatal("un-negotiated compressed frame decoded cleanly; want an error")
+	}
+}

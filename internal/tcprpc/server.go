@@ -2,7 +2,6 @@ package tcprpc
 
 import (
 	"context"
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
@@ -24,6 +23,10 @@ type ServerConfig struct {
 	// Tracer, when set, records a server-side span per request whose
 	// envelope carries a sampled trace context, joined to that trace.
 	Tracer *obs.Tracer
+	// DisableNegotiation makes the server behave like a pre-codec build:
+	// hello requests fall through to dispatch (failing with ErrNoMethod)
+	// and every connection stays on gob. For compatibility testing.
+	DisableNegotiation bool
 }
 
 // Server serves an rpc.Server's dispatch table over TCP. Each decoded
@@ -36,10 +39,11 @@ type ServerConfig struct {
 // pushing backpressure onto the socket rather than buffering
 // unboundedly.
 type Server struct {
-	lis      net.Listener
-	dispatch *rpc.Server
-	workers  int
-	tracer   *obs.Tracer
+	lis         net.Listener
+	dispatch    *rpc.Server
+	workers     int
+	tracer      *obs.Tracer
+	noNegotiate bool
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -66,11 +70,12 @@ func ServeConfig(addr string, dispatch *rpc.Server, cfg ServerConfig) (*Server, 
 		workers = DefaultConnWorkers
 	}
 	s := &Server{
-		lis:      lis,
-		dispatch: dispatch,
-		workers:  workers,
-		tracer:   cfg.Tracer,
-		conns:    make(map[net.Conn]bool),
+		lis:         lis,
+		dispatch:    dispatch,
+		workers:     workers,
+		tracer:      cfg.Tracer,
+		noNegotiate: cfg.DisableNegotiation,
+		conns:       make(map[net.Conn]bool),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -126,10 +131,33 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	fio := newFrameIO(conn)
+	var cdc codec = newGobCodec(fio)
+
+	// The first request decides the connection's codec: a codec-aware
+	// client always leads with a hello (and sends nothing else until the
+	// reply arrives, so the stream is quiet across the switch); anything
+	// else is an old client speaking plain gob for the duration.
+	var first request
+	if _, err := cdc.readRequest(&first); err != nil {
+		return
+	}
+	var pendingFirst *request
+	if hr, ok := first.Body.(helloReq); ok && first.Method == methodHello && !s.noNegotiate {
+		confirmed := negotiate(hr)
+		resp := response{Seq: first.Seq, Body: confirmed}
+		if _, err := cdc.writeResponse(&resp); err != nil {
+			return
+		}
+		if confirmed.Codec == CodecWirebin {
+			cdc = newWirebinCodec(fio, hr.From, confirmed.Compress, confirmed.CompressMin)
+		}
+	} else {
+		pendingFirst = &first
+	}
+
 	// wmu serializes response envelopes from concurrent workers onto the
-	// shared gob stream.
+	// shared stream.
 	var wmu sync.Mutex
 	reqCh := make(chan request, s.workers)
 	var pool sync.WaitGroup
@@ -152,21 +180,24 @@ func (s *Server) serveConn(conn net.Conn) {
 					resp.Body = nil
 				}
 				wmu.Lock()
-				werr := enc.Encode(&resp)
+				_, werr := cdc.writeResponse(&resp)
 				wmu.Unlock()
 				if werr != nil {
 					// The stream is unusable; closing the socket unblocks
 					// the decode loop so the connection tears down. Workers
 					// keep draining (their encodes fail fast on the dead
-					// encoder) until the queue closes.
+					// stream) until the queue closes.
 					_ = conn.Close()
 				}
 			}
 		}()
 	}
+	if pendingFirst != nil {
+		reqCh <- *pendingFirst
+	}
 	for {
 		var req request
-		if err := dec.Decode(&req); err != nil {
+		if _, err := cdc.readRequest(&req); err != nil {
 			// Peer went away (EOF / closed socket) or sent garbage
 			// mid-frame; either way the stream is unusable.
 			break
@@ -175,4 +206,25 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	close(reqCh)
 	pool.Wait()
+}
+
+// negotiate picks the connection settings a hello asked for: the best
+// codec both sides speak, and compression (with its threshold) only when
+// the client requested it on a wirebin connection.
+func negotiate(hr helloReq) helloResp {
+	out := helloResp{Codec: CodecGob}
+	for _, name := range hr.Codecs {
+		if name == CodecWirebin {
+			out.Codec = CodecWirebin
+			break
+		}
+	}
+	if out.Codec == CodecWirebin && hr.Compress {
+		out.Compress = true
+		out.CompressMin = hr.CompressMin
+		if out.CompressMin <= 0 {
+			out.CompressMin = defaultCompressMin
+		}
+	}
+	return out
 }

@@ -18,6 +18,10 @@ type MethodStats struct {
 	Mean   time.Duration `json:"mean_ns"`
 	P50    time.Duration `json:"p50_ns"`
 	P99    time.Duration `json:"p99_ns"`
+	// BytesSent and BytesReceived are the wire bytes this method's
+	// envelopes cost (post-compression, as they crossed the socket).
+	BytesSent     int64 `json:"bytesSent"`
+	BytesReceived int64 `json:"bytesReceived"`
 }
 
 // TransportStats is a client's transport instrumentation snapshot:
@@ -26,6 +30,9 @@ type MethodStats struct {
 // Gateway.Stats, and the httpgw /stats endpoint.
 type TransportStats struct {
 	Addr string `json:"addr"`
+	// Codec is the codec the live connection negotiated ("gob",
+	// "wirebin"; empty before the first dial).
+	Codec string `json:"codec,omitempty"`
 	// Dials counts every connection established; Reconnects is the
 	// subset that replaced a previously live connection (dials - 1,
 	// floored at 0 — i.e. redials after transport errors).
@@ -37,15 +44,21 @@ type TransportStats struct {
 	MaxInFlight int64 `json:"maxInFlight"`
 	// Calls and Failures count completed calls and the subset that
 	// returned an error (application or transport).
-	Calls    int64         `json:"calls"`
-	Failures int64         `json:"failures"`
-	Methods  []MethodStats `json:"methods"`
+	Calls    int64 `json:"calls"`
+	Failures int64 `json:"failures"`
+	// BytesSent and BytesReceived total the wire bytes across all
+	// methods (including handshakes and unattributed frames).
+	BytesSent     int64         `json:"bytesSent"`
+	BytesReceived int64         `json:"bytesReceived"`
+	Methods       []MethodStats `json:"methods"`
 }
 
 // methodRec accumulates one method's counters and RTT reservoir.
 type methodRec struct {
 	count atomic.Int64
 	errs  atomic.Int64
+	sent  atomic.Int64
+	recv  atomic.Int64
 	rtt   metrics.Histogram
 }
 
@@ -61,8 +74,36 @@ type transportInstruments struct {
 	calls    atomic.Int64
 	failures atomic.Int64
 
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+
 	mu      sync.RWMutex
+	codec   string
 	methods map[string]*methodRec
+}
+
+// setCodec records the codec the live connection negotiated.
+func (in *transportInstruments) setCodec(name string) {
+	in.mu.Lock()
+	in.codec = name
+	in.mu.Unlock()
+}
+
+// addSent attributes sent wire bytes to a method ("" totals only).
+func (in *transportInstruments) addSent(method string, n int) {
+	in.bytesSent.Add(int64(n))
+	if method != "" {
+		in.rec(method).sent.Add(int64(n))
+	}
+}
+
+// addRecv attributes received wire bytes to a method ("" totals only —
+// responses whose callers already abandoned them).
+func (in *transportInstruments) addRecv(method string, n int) {
+	in.bytesRecv.Add(int64(n))
+	if method != "" {
+		in.rec(method).recv.Add(int64(n))
+	}
 }
 
 // inflightUp bumps the in-flight gauge and its high-water mark.
@@ -117,15 +158,18 @@ func (in *transportInstruments) observe(method string, start time.Time, err erro
 // snapshot renders the counters, methods sorted by name.
 func (in *transportInstruments) snapshot(addr string) TransportStats {
 	out := TransportStats{
-		Addr:        addr,
-		Dials:       in.dials.Load(),
-		Reconnects:  in.reconnects.Load(),
-		InFlight:    in.inflight.Load(),
-		MaxInFlight: in.maxInflight.Load(),
-		Calls:       in.calls.Load(),
-		Failures:    in.failures.Load(),
+		Addr:          addr,
+		Dials:         in.dials.Load(),
+		Reconnects:    in.reconnects.Load(),
+		InFlight:      in.inflight.Load(),
+		MaxInFlight:   in.maxInflight.Load(),
+		Calls:         in.calls.Load(),
+		Failures:      in.failures.Load(),
+		BytesSent:     in.bytesSent.Load(),
+		BytesReceived: in.bytesRecv.Load(),
 	}
 	in.mu.RLock()
+	out.Codec = in.codec
 	names := make([]string, 0, len(in.methods))
 	for m := range in.methods {
 		names = append(names, m)
@@ -138,12 +182,14 @@ func (in *transportInstruments) snapshot(addr string) TransportStats {
 		// lock acquisitions interleaving with writers.
 		snap := r.rtt.Snapshot()
 		out.Methods = append(out.Methods, MethodStats{
-			Method: m,
-			Count:  r.count.Load(),
-			Errors: r.errs.Load(),
-			Mean:   snap.Mean,
-			P50:    snap.Quantile(0.5),
-			P99:    snap.Quantile(0.99),
+			Method:        m,
+			Count:         r.count.Load(),
+			Errors:        r.errs.Load(),
+			Mean:          snap.Mean,
+			P50:           snap.Quantile(0.5),
+			P99:           snap.Quantile(0.99),
+			BytesSent:     r.sent.Load(),
+			BytesReceived: r.recv.Load(),
 		})
 	}
 	in.mu.RUnlock()

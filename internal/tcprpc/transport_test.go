@@ -73,6 +73,7 @@ func TestOutOfOrderResponses(t *testing.T) {
 	}()
 
 	client := Dial(lis.Addr().String(), "tester")
+	client.Codec = CodecGob // the raw server above speaks only plain gob
 	defer client.Close()
 	ctx := context.Background()
 	var wg sync.WaitGroup
@@ -122,6 +123,7 @@ func TestCancelInFlightCall(t *testing.T) {
 	}()
 
 	client := Dial(lis.Addr().String(), "tester")
+	client.Codec = CodecGob // the raw server above speaks only plain gob
 	defer client.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
@@ -214,6 +216,7 @@ func TestConnDropFailsAllInFlight(t *testing.T) {
 	}()
 
 	client := Dial(lis.Addr().String(), "tester")
+	client.Codec = CodecGob // the raw server above speaks only plain gob
 	defer client.Close()
 	ctx := context.Background()
 	var wg sync.WaitGroup

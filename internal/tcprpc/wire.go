@@ -46,6 +46,38 @@ type response struct {
 	IsErr   bool
 }
 
+// methodHello is the reserved codec-negotiation method. A codec-aware
+// client sends it as the very first request on a fresh connection, always
+// in gob; a codec-aware server intercepts it before dispatch. On a server
+// that predates negotiation it falls through to dispatch and fails with
+// rpc.ErrNoMethod, which the client reads as "speak gob" — old and new
+// peers interoperate in every pairing.
+const methodHello = "tcprpc.Hello"
+
+// helloReq opens codec negotiation.
+type helloReq struct {
+	// From identifies the caller for the connection's lifetime; wirebin
+	// envelopes omit the per-request From field and the server stamps
+	// this value instead.
+	From string
+	// Codecs lists the codecs the client speaks, most preferred first
+	// (gob is always implied as the fallback).
+	Codecs []string
+	// Compress asks for per-frame deflate on frames clearing CompressMin.
+	Compress bool
+	// CompressMin is the client's preferred minimum frame size to
+	// compress; 0 lets the server pick the default.
+	CompressMin int
+}
+
+// helloResp confirms the negotiated settings, authoritative for both
+// directions of the connection.
+type helloResp struct {
+	Codec       string
+	Compress    bool
+	CompressMin int
+}
+
 // sentinelCodes maps well-known errors onto stable wire codes.
 var sentinelCodes = []struct {
 	code string
@@ -91,6 +123,9 @@ func decodeErr(text, code string) error {
 // encoder/decoder constructors call it.
 func registerWireTypes() {
 	gob.Register(struct{}{})
+	// Negotiation wire types.
+	gob.Register(helloReq{})
+	gob.Register(helloResp{})
 	// Repository wire types.
 	gob.Register(repo.GetReq{})
 	gob.Register(repo.GetBatchReq{})
