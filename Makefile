@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench sweep sweep-iter sweep-rpc sweep-obs sweep-cache clean
+.PHONY: check vet build test race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench sweep sweep-iter sweep-rpc sweep-obs sweep-cache sweep-scale clean
 
-check: vet build race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache
+check: vet build race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +65,14 @@ bench-obs:
 bench-cache:
 	$(GO) run ./cmd/weakbench -cache -cache-quick -cache-json /tmp/BENCH_cache_smoke.json
 
+# Smoke the listing scalability sweep: monolithic vs partitioned
+# streaming listings at two small sizes catches regressions in the
+# scatter-gather List path (per-element cost must stay flat, first
+# element must track the first partition). Writes to /tmp so the
+# committed BENCH_scale.json (produced by sweep-scale) is left alone.
+bench-scale:
+	$(GO) run ./cmd/weakbench -scale -scale-quick -scale-json /tmp/BENCH_scale_smoke.json
+
 # Full root benchmark suite (slow).
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
@@ -88,6 +96,11 @@ sweep-obs:
 # Regenerate BENCH_cache.json from the full element-cache sweep.
 sweep-cache:
 	$(GO) run ./cmd/weakbench -cache
+
+# Regenerate BENCH_scale.json from the full listing-scalability sweep
+# (10k to 1M elements; slow).
+sweep-scale:
+	$(GO) run ./cmd/weakbench -scale
 
 clean:
 	$(GO) clean ./...

@@ -12,13 +12,18 @@
 // the tracing and weakness-telemetry layer costs on the elements hot path
 // and writes BENCH_obs.json.
 //
+// With -scale it sweeps the listing path itself — a full Elements run
+// over one collection grown from 10k to 1M members, monolithic List
+// versus partitioned streaming ListParts — and writes BENCH_scale.json.
+//
 // Usage:
 //
-//	weakbench [-run E1,E5] [-quick] [-seed 42] [-scale 0.01]
+//	weakbench [-run E1,E5] [-quick] [-seed 42] [-timescale 0.01]
 //	weakbench -store [-store-json BENCH_store.json]
 //	weakbench -iter [-iter-json BENCH_iter.json]
 //	weakbench -rpc [-rpc-json BENCH_rpc.json]
 //	weakbench -obs [-obs-json BENCH_obs.json]
+//	weakbench -scale [-scale-json BENCH_scale.json]
 package main
 
 import (
@@ -60,7 +65,7 @@ func run(args []string) error {
 		quick     = fs.Bool("quick", false, "trimmed sweeps")
 		ablations = fs.Bool("ablations", false, "also run the design-choice ablations and extensions A1-A4")
 		seed      = fs.Int64("seed", 42, "random seed")
-		scale     = fs.Float64("scale", 0.01, "virtual-to-real time scale (0.01 = 100x compression)")
+		timeScale = fs.Float64("timescale", 0.01, "virtual-to-real time scale for experiments (0.01 = 100x compression)")
 		csvOut    = fs.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		list      = fs.Bool("list", false, "list experiments and exit")
 		storeRun  = fs.Bool("store", false, "run the storage-engine contention sweep instead of experiments")
@@ -80,6 +85,9 @@ func run(args []string) error {
 		cacheRun  = fs.Bool("cache", false, "run the element-cache cold/warm/mutating sweep instead of experiments")
 		cacheJSON = fs.String("cache-json", "BENCH_cache.json", "where -cache writes its machine-readable results")
 		cacheQk   = fs.Bool("cache-quick", false, "trim the -cache sweep (smaller set)")
+		scaleRun  = fs.Bool("scale", false, "run the listing scalability sweep (monolithic vs partitioned, 10k-1M elements) instead of experiments")
+		scaleJSON = fs.String("scale-json", "BENCH_scale.json", "where -scale writes its machine-readable results")
+		scaleQk   = fs.Bool("scale-quick", false, "trim the -scale sweep (smaller sets, one round)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +121,9 @@ func run(args []string) error {
 	if *cacheRun {
 		return runCacheSweep(*cacheJSON, *cacheQk, *seed, 1)
 	}
+	if *scaleRun {
+		return runScaleSweep(*scaleJSON, *scaleQk, *seed)
+	}
 
 	if *list {
 		for _, e := range append(experiments.All(), experiments.Ablations()...) {
@@ -123,7 +134,7 @@ func run(args []string) error {
 
 	cfg := experiments.Config{
 		Seed:  *seed,
-		Scale: sim.TimeScale(*scale),
+		Scale: sim.TimeScale(*timeScale),
 		Quick: *quick,
 	}
 

@@ -221,18 +221,24 @@ func (p *prefetcher) fetch(ctx context.Context, ref repo.Ref, candidates func() 
 			}
 			return res.obj, nil
 		}
-		p.planLocked(candidates())
-		if _, ok := p.ready[ref.ID]; ok {
-			// The plan served ref straight from the cache; loop back to
-			// the ready-hit path.
-			p.mu.Unlock()
-			continue
-		}
 		if !p.pending[ref.ID] {
-			// The batch for ref could not be launched (closed prefetcher);
-			// fall back to a direct Get.
-			p.mu.Unlock()
-			return p.client.Get(ctx, ref)
+			// Replan only when ref's batch is not already in flight:
+			// replanning on an in-flight miss would launch fragmentary
+			// top-up batches for the few candidates the advancing window
+			// has newly exposed.
+			p.planLocked(candidates())
+			if _, ok := p.ready[ref.ID]; ok {
+				// The plan served ref straight from the cache; loop back to
+				// the ready-hit path.
+				p.mu.Unlock()
+				continue
+			}
+			if !p.pending[ref.ID] {
+				// The batch for ref could not be launched (closed
+				// prefetcher); fall back to a direct Get.
+				p.mu.Unlock()
+				return p.client.Get(ctx, ref)
+			}
 		}
 		ch := make(chan fetchResult, 1)
 		p.want, p.wantCh = ref.ID, ch

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"maps"
 	"reflect"
+	"sort"
+	"sync"
 	"time"
 
 	"weaksets/internal/locksvc"
@@ -50,14 +52,46 @@ type Iterator struct {
 	growToken int64
 	released  bool
 
-	// first is s_first for snapshot-based semantics.
+	// first is s_first for snapshot-based semantics. With the streamed
+	// partitioned listing it grows partition-by-partition on the
+	// iterator's own goroutine (drainIngest) until the stream completes;
+	// the kernel legally runs against the partial view meanwhile —
+	// members it yields are genuine members of the snapshot — but
+	// terminal decisions wait for completeness.
 	first map[spec.ElemID]bool
 	// snapVer is the listing version governing s_first: the version the
 	// pinned (or opening) membership read reported. It anchors the
-	// cache's freshness check for snapshot-governed runs.
+	// cache's freshness check for snapshot-governed runs. While the
+	// partitioned listing is still streaming in it stays 0 (no cache
+	// serves against a version still being assembled); on completion it
+	// becomes the highest partition version observed, which is sound:
+	// any object fetched after that point is at least that fresh.
 	snapVer uint64
 	// refs maps every element ID this run has seen to its location.
 	refs map[spec.ElemID]repo.Ref
+
+	// ing buffers the streamed opening listing; nil when the run opened
+	// with a monolithic List (non-snapshot semantics, or the
+	// MonolithicListing baseline). ingDone flips once the completed
+	// stream has been folded and snapVer sealed.
+	ing        *partIngest
+	ingCancel  context.CancelFunc
+	ingDone    bool
+	maxPartVer uint64
+
+	// cursor is the incremental stepper's yield order: the sorted member
+	// ids not yet yielded, merged partition-by-partition as listings
+	// arrive. When every member node is reachable and no conformance
+	// recorder is attached, cursor[0] IS the kernel's decision (the
+	// lexicographically smallest unyielded reachable member), so a yield
+	// costs O(distinct nodes) instead of an O(members) scan — the
+	// difference between O(n) and O(n²) for a million-element run. Any
+	// anomaly (unreachable node, recorder attached, terminal decision)
+	// falls back to the full kernel Step.
+	cursor []spec.ElemID
+	// nodes is the set of distinct nodes holding members, the fast
+	// path's per-invocation reachability sample domain.
+	nodes map[netsim.NodeID]bool
 
 	// pf is the batched prefetch pipeline; nil when Fetch.Disable is set.
 	pf *prefetcher
@@ -95,6 +129,96 @@ type Iterator struct {
 
 func lockName(coll string) string { return "coll/" + coll }
 
+// partIngest is the unbounded buffer between the listing-ingest
+// goroutine (pushing partition frames as the stream delivers them) and
+// the iterator goroutine (folding them into s_first between kernel
+// invocations). Unbounded so the stream's producer never blocks on a
+// slow consumer; total memory is bounded by the listing itself.
+type partIngest struct {
+	mu     sync.Mutex
+	parts  []repo.PartListing
+	done   bool
+	err    error
+	sized  *sizedMaps    // pre-sized membership maps, once built
+	notify chan struct{} // buffered(1); signaled on push and finish
+}
+
+func newPartIngest() *partIngest {
+	return &partIngest{notify: make(chan struct{}, 1)}
+}
+
+func (g *partIngest) signal() {
+	select {
+	case g.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (g *partIngest) push(pl repo.PartListing) {
+	g.mu.Lock()
+	g.parts = append(g.parts, pl)
+	g.mu.Unlock()
+	g.signal()
+}
+
+func (g *partIngest) finish(err error) {
+	g.mu.Lock()
+	g.done = true
+	g.err = err
+	g.mu.Unlock()
+	g.signal()
+}
+
+// takeOne pops the oldest queued partition; done/err report stream
+// completion once the queue is empty.
+func (g *partIngest) takeOne() (pl repo.PartListing, ok, done bool, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.parts) > 0 {
+		pl = g.parts[0]
+		g.parts = g.parts[1:]
+		return pl, true, false, nil
+	}
+	return repo.PartListing{}, false, g.done, g.err
+}
+
+// sizedMaps is a set of membership maps pre-sized for the whole
+// listing, built in the background while the first partitions are
+// already being consumed.
+type sizedMaps struct {
+	first   map[spec.ElemID]bool
+	refs    map[spec.ElemID]repo.Ref
+	yielded map[spec.ElemID]bool
+}
+
+// sizedMapsMin gates the background build: below this estimated
+// membership the incremental rehashes are cheaper than the handoff.
+const sizedMapsMin = 1 << 16
+
+// buildSized allocates membership maps with capacity for the whole
+// estimated listing. It runs on its own goroutine: zeroing that much
+// map capacity takes tens of milliseconds at a million members, which
+// must not sit on the time-to-first-element path.
+func (g *partIngest) buildSized(hint int) {
+	m := &sizedMaps{
+		first:   make(map[spec.ElemID]bool, hint),
+		refs:    make(map[spec.ElemID]repo.Ref, hint),
+		yielded: make(map[spec.ElemID]bool, hint),
+	}
+	g.mu.Lock()
+	g.sized = m
+	g.mu.Unlock()
+}
+
+// takeSized hands the pre-sized maps to the iterator exactly once.
+func (g *partIngest) takeSized() *sizedMaps {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m := g.sized
+	g.sized = nil
+	return m
+}
+
 // setup acquires the per-run resources and, for snapshot-based semantics,
 // s_first.
 func (it *Iterator) setup(ctx context.Context) error {
@@ -121,29 +245,194 @@ func (it *Iterator) setup(ctx context.Context) error {
 	}
 
 	if it.opts.Semantics.UsesSnapshot() {
-		var (
-			members []repo.Ref
-			version uint64
-			err     error
-		)
-		if it.pin != 0 {
-			members, version, err = it.client.ListPinned(ctx, s.dir, s.name, it.pin)
-		} else {
-			members, version, err = it.client.List(ctx, s.dir, s.name)
-		}
-		if err != nil {
+		it.first = make(map[spec.ElemID]bool)
+		it.nodes = make(map[netsim.NodeID]bool, 8)
+		if it.opts.MonolithicListing {
+			var (
+				members []repo.Ref
+				version uint64
+				err     error
+			)
+			if it.pin != 0 {
+				members, version, err = it.client.ListPinned(ctx, s.dir, s.name, it.pin)
+			} else {
+				members, version, err = it.client.List(ctx, s.dir, s.name)
+			}
+			if err != nil {
+				return fmt.Errorf("read s_first: %w", err)
+			}
+			it.snapVer = version
+			it.fold(repo.PartListing{Part: 0, Partitions: 1, Members: members, Version: version})
+			it.ingDone = true
+		} else if err := it.startIngest(ctx); err != nil {
 			return fmt.Errorf("read s_first: %w", err)
-		}
-		it.snapVer = version
-		it.first = make(map[spec.ElemID]bool, len(members))
-		for _, ref := range members {
-			id := spec.ElemID(ref.ID)
-			it.first[id] = true
-			it.refs[id] = ref
 		}
 		it.openedAt = time.Now()
 	}
 	return nil
+}
+
+// startIngest opens the streamed partitioned listing and waits for its
+// first partition (or its completion), so opening errors surface here
+// exactly as a monolithic opening List's would — while the remaining
+// partitions keep arriving in the background, already fetchable
+// against.
+func (it *Iterator) startIngest(ctx context.Context) error {
+	s := it.set
+	ing := newPartIngest()
+	it.ing = ing
+	// The stream outlives this call; its context carries the run's trace
+	// and is cancelled by Close.
+	ictx, cancel := context.WithCancel(it.traceCtx(context.Background()))
+	it.ingCancel = cancel
+	go func() {
+		var hinted bool
+		err := it.client.ListParts(ictx, s.dir, s.name, it.pin, nil, func(pl repo.PartListing) error {
+			ing.push(pl)
+			if !hinted && len(pl.Members) > 0 {
+				// Estimate the whole listing from the first non-empty frame
+				// (uniform partition hash) and build pre-sized membership
+				// maps concurrently with consumption.
+				hinted = true
+				if hint := len(pl.Members) * max(pl.Partitions, 1); hint >= sizedMapsMin {
+					go ing.buildSized(hint)
+				}
+			}
+			return ictx.Err()
+		})
+		ing.finish(err)
+	}()
+	select {
+	case <-ing.notify:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return it.drainIngest()
+}
+
+// fold merges one partition's listing into s_first on the iterator
+// goroutine. The membership maps grow in place, so the identity-keyed
+// reachability cache is explicitly invalidated (copying ~P maps of up
+// to n entries instead would defeat the point of streaming).
+func (it *Iterator) fold(pl repo.PartListing) {
+	if pl.Skewed {
+		it.wk.PartitionSkew++
+	}
+	if pl.Version > it.maxPartVer {
+		it.maxPartVer = pl.Version
+	}
+	if len(pl.Members) == 0 {
+		return
+	}
+	if it.ing == nil && len(it.first) == 0 && len(it.yielded) == 0 {
+		// Monolithic listing: the whole membership is in hand, so size the
+		// run's maps exactly rather than paying every rehash doubling up
+		// to n. (The caller already paid an O(n) List; this is noise on
+		// that path.)
+		hint := len(pl.Members)
+		it.first = make(map[spec.ElemID]bool, hint)
+		it.refs = make(map[spec.ElemID]repo.Ref, hint)
+		it.yielded = make(map[spec.ElemID]bool, hint)
+	} else if it.ing != nil {
+		// Streamed listing: adopt the pre-sized maps once the background
+		// build finishes. Allocating ~n map capacity takes tens of
+		// milliseconds at a million members, so it happens off the yield
+		// path; adoption only copies what little has folded so far.
+		if m := it.ing.takeSized(); m != nil {
+			for id := range it.first {
+				m.first[id] = true
+			}
+			for id, ref := range it.refs {
+				m.refs[id] = ref
+			}
+			for id := range it.yielded {
+				m.yielded[id] = true
+			}
+			it.first, it.refs, it.yielded = m.first, m.refs, m.yielded
+		}
+	}
+	fresh := make([]spec.ElemID, 0, len(pl.Members))
+	for _, ref := range pl.Members {
+		id := spec.ElemID(ref.ID)
+		if it.first[id] {
+			continue
+		}
+		it.first[id] = true
+		it.refs[id] = ref
+		it.nodes[ref.Node] = true
+		fresh = append(fresh, id)
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	it.cursor = mergeSorted(it.cursor, fresh)
+	it.reachMembers, it.reachCache = nil, nil
+}
+
+// mergeSorted merges two ascending id slices into one.
+func mergeSorted(a, b []spec.ElemID) []spec.ElemID {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]spec.ElemID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// drainIngest folds arrived partitions, without blocking — at most
+// enough to keep a full prefetch window of unyielded members in the
+// cursor, so the fold cost is paid incrementally across yields rather
+// than all before the first element (the in-process stream can outrun
+// the iterator arbitrarily). When the stream has completed and the
+// queue is drained it seals snapVer (the highest partition version
+// observed — sound, because every object fetch from here on is at
+// least that fresh) and reports the stream's error, if any.
+func (it *Iterator) drainIngest() error {
+	if it.ing == nil || it.ingDone {
+		return nil
+	}
+	for len(it.cursor) < it.prefetchWindow() {
+		pl, ok, done, err := it.ing.takeOne()
+		if !ok {
+			if !done {
+				return nil
+			}
+			it.ingDone = true
+			if err != nil {
+				return err
+			}
+			it.snapVer = it.maxPartVer
+			return nil
+		}
+		it.fold(pl)
+	}
+	return nil
+}
+
+// ingestActive reports whether opening-listing partitions may still
+// arrive: terminal kernel decisions must wait them out.
+func (it *Iterator) ingestActive() bool { return it.ing != nil && !it.ingDone }
+
+// waitIngest blocks until the ingest stream produces (or finishes).
+func (it *Iterator) waitIngest(ctx context.Context) bool {
+	select {
+	case <-it.ing.notify:
+		return true
+	case <-ctx.Done():
+		it.terminate(ctx.Err())
+		return false
+	}
 }
 
 // traceCtx stamps the run's span context onto ctx so downstream RPCs
@@ -274,11 +563,49 @@ func (it *Iterator) Next(ctx context.Context) bool {
 	if it.done || it.closed {
 		return false
 	}
-	firstState := spec.State{Members: it.first}
 	for {
 		if err := ctx.Err(); err != nil {
 			it.terminate(err)
 			return false
+		}
+		if err := it.drainIngest(); err != nil {
+			it.terminate(fmt.Errorf("%w: read membership: %v", ErrFailure, err))
+			return false
+		}
+		if elem, ok := it.fastNext(); ok {
+			it.wk.Invocations++
+			pre := spec.State{Members: it.first}
+			if it.fetch(ctx, pre, elem, func() []repo.Ref { return it.cursorCandidates(elem) }) {
+				return true
+			}
+			if it.done {
+				return false
+			}
+			continue
+		}
+		if it.opts.Recorder == nil && it.opts.Semantics.UsesSnapshot() && len(it.cursor) == 0 {
+			if it.ingestActive() {
+				// Every folded member is yielded but the opening listing is
+				// still streaming: the kernel could only reach a terminal
+				// decision about a prefix, which the terminal cases below wait
+				// out anyway. Wait for the next partition directly instead of
+				// paying a full kernel pass per arriving partition.
+				if !it.waitIngest(ctx) {
+					return false
+				}
+				continue
+			}
+			if len(it.yielded) >= len(it.first) {
+				// The listing is complete and every snapshot member is
+				// yielded (yielded ⊆ s_first always holds under snapshot
+				// semantics, so equal sizes mean equal sets), which forces
+				// stepSnapshot to Returned no matter what reachability this
+				// invocation would sample. Conclude directly rather than
+				// paying four O(members) scans to prove it.
+				it.wk.Invocations++
+				it.done = true
+				return false
+			}
 		}
 		pre, err := it.preState(ctx)
 		if err != nil {
@@ -305,11 +632,13 @@ func (it *Iterator) Next(ctx context.Context) bool {
 		}
 		it.listFails = 0
 
-		d := Step(it.opts.Semantics, firstState, pre, it.yielded)
+		// s_first is read here, not hoisted above the loop: the first
+		// non-empty fold may swap it.first for a pre-sized map.
+		d := Step(it.opts.Semantics, spec.State{Members: it.first}, pre, it.yielded)
 		it.wk.Invocations++
 		switch d.Kind {
 		case DecideYield:
-			if it.fetch(ctx, pre, d.Elem) {
+			if it.fetch(ctx, pre, d.Elem, func() []repo.Ref { return it.fetchCandidates(pre, d.Elem) }) {
 				return true
 			}
 			if it.done {
@@ -320,12 +649,27 @@ func (it *Iterator) Next(ctx context.Context) bool {
 			continue
 
 		case DecideReturn:
+			if it.ingestActive() {
+				// The drained partitions are exhausted but the opening
+				// listing is still streaming in: the decision is about a
+				// prefix, not the snapshot. Wait for more.
+				if !it.waitIngest(ctx) {
+					return false
+				}
+				continue
+			}
 			it.record(pre, spec.Returned, "", false)
 			it.countSkipped(pre)
 			it.done = true
 			return false
 
 		case DecideFail:
+			if it.ingestActive() {
+				if !it.waitIngest(ctx) {
+					return false
+				}
+				continue
+			}
 			it.record(pre, spec.Failed, "", false)
 			it.countSkipped(pre)
 			it.terminate(fmt.Errorf("%w: %s: unreachable members remain", ErrFailure, it.opts.Semantics))
@@ -340,10 +684,68 @@ func (it *Iterator) Next(ctx context.Context) bool {
 	}
 }
 
+// fastNext is the incremental stepper: it produces exactly the kernel's
+// decision without the O(members) scans, in the cases where that
+// decision is provable cheaply — a snapshot-governed run with no
+// conformance recorder whose member nodes are all reachable in this
+// invocation's sample. Under those conditions yielded ⊆ reachable(
+// s_first) and an unyielded member remains, so Step would yield the
+// lexicographically smallest unyielded member: cursor[0]. Anything else
+// — an unreachable node, an attached recorder, an exhausted cursor
+// (terminal decision) — falls back to the full kernel.
+func (it *Iterator) fastNext() (spec.ElemID, bool) {
+	if it.opts.Recorder != nil || !it.opts.Semantics.UsesSnapshot() {
+		return "", false
+	}
+	for len(it.cursor) > 0 && it.yielded[it.cursor[0]] {
+		it.cursor = it.cursor[1:]
+	}
+	if len(it.cursor) == 0 {
+		return "", false
+	}
+	// Reachability is still sampled fresh on every invocation, as the
+	// spec demands — but per distinct node, not per member.
+	for node := range it.nodes {
+		if !it.client.NodeReachable(node) {
+			return "", false
+		}
+	}
+	return it.cursor[0], true
+}
+
+// prefetchWindow bounds how many candidates one prefetch replan hands
+// the pipeline: enough to keep Inflight batches full several times
+// over, small enough that building and sorting a plan never scales with
+// the set — which is what keeps time-to-first-element (and the cost of
+// each replan) independent of membership size.
+func (it *Iterator) prefetchWindow() int {
+	return it.opts.Fetch.Batch * it.opts.Fetch.Inflight * 4
+}
+
+// cursorCandidates is fetchCandidates for the fast path: the next
+// prefetch window of unyielded members in cursor order (all reachable,
+// or the fast path would not have engaged), elem first.
+func (it *Iterator) cursorCandidates(elem spec.ElemID) []repo.Ref {
+	limit := it.prefetchWindow()
+	out := make([]repo.Ref, 0, limit)
+	out = append(out, it.refs[elem])
+	for _, id := range it.cursor {
+		if len(out) >= limit {
+			break
+		}
+		if id == elem || it.yielded[id] {
+			continue
+		}
+		out = append(out, it.refs[id])
+	}
+	return out
+}
+
 // fetch retrieves the chosen element's object. It returns true when the
 // iterator yielded; false means the caller should re-observe (or the
-// iterator terminated — check it.done).
-func (it *Iterator) fetch(ctx context.Context, pre spec.State, elem spec.ElemID) bool {
+// iterator terminated — check it.done). candidates lists what the
+// kernel could yield next, consulted lazily on a prefetch miss.
+func (it *Iterator) fetch(ctx context.Context, pre spec.State, elem spec.ElemID, candidates func() []repo.Ref) bool {
 	ref := it.refs[elem]
 	var (
 		obj repo.Object
@@ -351,7 +753,7 @@ func (it *Iterator) fetch(ctx context.Context, pre spec.State, elem spec.ElemID)
 	)
 	fctx := it.traceCtx(ctx)
 	if it.pf != nil {
-		obj, err = it.pf.fetch(fctx, ref, func() []repo.Ref { return it.fetchCandidates(pre, elem) })
+		obj, err = it.pf.fetch(fctx, ref, candidates)
 	} else {
 		obj, err = it.client.Get(fctx, ref)
 	}
@@ -393,13 +795,17 @@ func (it *Iterator) fetch(ctx context.Context, pre spec.State, elem spec.ElemID)
 	}
 }
 
-// fetchCandidates lists everything the kernel could yield after elem —
-// the unyielded reachable members — with elem first. The prefetcher
+// fetchCandidates lists what the kernel could yield after elem — up to
+// a window of unyielded reachable members, elem first. The prefetcher
 // batches them by node so later Next calls find their objects ready.
 func (it *Iterator) fetchCandidates(pre spec.State, elem spec.ElemID) []repo.Ref {
-	out := make([]repo.Ref, 0, len(pre.Members))
+	limit := it.prefetchWindow()
+	out := make([]repo.Ref, 0, limit)
 	out = append(out, it.refs[elem])
 	for id := range pre.Members {
+		if len(out) >= limit {
+			break
+		}
 		if id == elem || it.yielded[id] || !pre.Reach[id] {
 			continue
 		}
@@ -528,6 +934,7 @@ func (it *Iterator) finishObs() {
 		it.span.SetInt("cacheHits", it.wk.CacheHits)
 		it.span.SetInt("cacheValidatedHits", it.wk.CacheValidatedHits)
 		it.span.SetInt("listingSkew", it.wk.ListingSkew)
+		it.span.SetInt("partitionSkew", it.wk.PartitionSkew)
 		it.span.SetAttr("outcome", it.wk.Outcome)
 		it.span.End()
 	}
@@ -544,6 +951,9 @@ func (it *Iterator) Close(ctx context.Context) error {
 	}
 	it.closed = true
 	it.done = true
+	if it.ingCancel != nil {
+		it.ingCancel()
+	}
 	if it.pf != nil {
 		it.pf.close()
 	}

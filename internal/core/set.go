@@ -60,6 +60,11 @@ type Options struct {
 	// value enables batching with the defaults; set Fetch.Disable for the
 	// one-Get-per-element baseline.
 	Fetch FetchOptions
+	// MonolithicListing makes snapshot-governed runs read their opening
+	// membership as one List round trip instead of the streamed,
+	// partition-at-a-time ListParts — the pre-partitioning baseline,
+	// kept for comparison benchmarks (weakbench -scale mono mode).
+	MonolithicListing bool
 	// Tracer, when set, records a span trace of each Elements run
 	// (subject to the tracer's sampling knob): the run itself, its
 	// membership reads, fetch batches, and — through context propagation

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/repo"
+	"weaksets/internal/spec"
+)
+
+// TestStreamedListingMatchesMonolithic holds the streamed scatter-gather
+// opening listing to the monolithic baseline: for every snapshot-governed
+// semantics the two runs must yield exactly the same elements.
+func TestStreamedListingMatchesMonolithic(t *testing.T) {
+	w := newTestWorld(t, 60)
+	for _, sem := range []Semantics{Immutable, ImmutablePerRun, Snapshot} {
+		t.Run(sem.String(), func(t *testing.T) {
+			ctx := context.Background()
+			mono, err := w.set(t, Options{Semantics: sem, MonolithicListing: true}).Collect(ctx)
+			if err != nil {
+				t.Fatalf("monolithic collect: %v", err)
+			}
+			streamed, err := w.set(t, Options{Semantics: sem}).Collect(ctx)
+			if err != nil {
+				t.Fatalf("streamed collect: %v", err)
+			}
+			monoIDs, streamIDs := elementIDs(mono), elementIDs(streamed)
+			if len(monoIDs) != len(streamIDs) {
+				t.Fatalf("streamed yielded %d elements, monolithic %d", len(streamIDs), len(monoIDs))
+			}
+			for i := range monoIDs {
+				if monoIDs[i] != streamIDs[i] {
+					t.Fatalf("element %d: streamed %s != monolithic %s", i, streamIDs[i], monoIDs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestStreamedListingWithRecorder runs the streamed listing under a
+// conformance recorder: the cursor fast path must stand down and every
+// invocation must still satisfy the executable specification.
+func TestStreamedListingWithRecorder(t *testing.T) {
+	w := newTestWorld(t, 40)
+	for _, sem := range []Semantics{Immutable, Snapshot} {
+		t.Run(sem.String(), func(t *testing.T) {
+			rec := spec.NewRecorder()
+			s := w.set(t, Options{Semantics: sem, Recorder: rec})
+			got, err := s.Collect(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 40 {
+				t.Fatalf("yielded %d, want 40", len(got))
+			}
+			if err := spec.CheckRun(sem.Figure(), rec.Run()); err != nil {
+				t.Fatalf("conformance: %v", err)
+			}
+		})
+	}
+}
+
+// TestFoldCountsPartitionSkew unit-tests the ingest fold: Skewed frames
+// feed the weakness counter, members merge dedup'd into the cursor in
+// id order, and the sealed snapshot version is the max partition
+// version.
+func TestFoldCountsPartitionSkew(t *testing.T) {
+	it := &Iterator{
+		first:   make(map[spec.ElemID]bool),
+		refs:    make(map[spec.ElemID]repo.Ref),
+		yielded: make(map[spec.ElemID]bool),
+		nodes:   make(map[netsim.NodeID]bool),
+	}
+	it.fold(repo.PartListing{Part: 1, Partitions: 2, Version: 7, Members: []repo.Ref{
+		{ID: "b", Node: "n1"}, {ID: "d", Node: "n2"},
+	}})
+	it.fold(repo.PartListing{Part: 0, Partitions: 2, Version: 9, Skewed: true, Members: []repo.Ref{
+		{ID: "a", Node: "n1"}, {ID: "c", Node: "n1"}, {ID: "b", Node: "n1"},
+	}})
+	if it.wk.PartitionSkew != 1 {
+		t.Fatalf("PartitionSkew = %d, want 1", it.wk.PartitionSkew)
+	}
+	if it.maxPartVer != 9 {
+		t.Fatalf("maxPartVer = %d, want 9", it.maxPartVer)
+	}
+	want := []spec.ElemID{"a", "b", "c", "d"}
+	if len(it.cursor) != len(want) {
+		t.Fatalf("cursor = %v, want %v", it.cursor, want)
+	}
+	for i, id := range want {
+		if it.cursor[i] != id {
+			t.Fatalf("cursor = %v, want %v", it.cursor, want)
+		}
+	}
+	if len(it.first) != 4 || !it.nodes["n1"] || !it.nodes["n2"] {
+		t.Fatalf("first=%v nodes=%v", it.first, it.nodes)
+	}
+}

@@ -259,6 +259,7 @@ type collStatsInfo struct {
 	Pins       int    `json:"pins"`
 	Tokens     int    `json:"tokens"`
 	Version    uint64 `json:"version"`
+	Partitions int    `json:"partitions"`
 }
 
 // handleStats reports the directory node's storage-engine counters —
@@ -353,6 +354,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			Pins:       cs.Pins,
 			Tokens:     cs.Tokens,
 			Version:    cs.Version,
+			Partitions: cs.Partitions,
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -68,6 +68,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("weaksets_weakness_cache_hits_total", "Elements served straight from the element cache, no RPC.", float64(cw.CacheHits), l)
 		p.Counter("weaksets_weakness_cache_validated_hits_total", "Elements served from the cache after a NotModified validation.", float64(cw.CacheValidatedHits), l)
 		p.Counter("weaksets_weakness_listing_skew_total", "Listing-version changes observed mid-run.", float64(cw.ListingSkew), l)
+		p.Counter("weaksets_weakness_partition_skew_total", "Listing partitions snapshotted after a mid-stream write.", float64(cw.PartitionSkew), l)
 		p.Counter("weaksets_weakness_fetch_failures_total", "Transport fetch/list failures survived.", float64(cw.FetchFailures), l)
 		p.Counter("weaksets_weakness_blocked_seconds_total", "Cumulative virtual time blocked awaiting repair.", obs.Seconds(cw.Blocked), l)
 		p.Gauge("weaksets_weakness_max_snapshot_age_seconds", "Oldest governing snapshot served, per collection.", obs.Seconds(cw.MaxSnapshotAge), l)

@@ -48,6 +48,11 @@ type WeaknessReport struct {
 	// ListingSkew counts listing-version changes observed after the
 	// first listing — how unstable membership was during the run.
 	ListingSkew int64 `json:"listingSkew"`
+	// PartitionSkew counts listing partitions whose snapshot was taken
+	// after a write landed mid-stream (PartListing.Skewed frames): the
+	// scatter-gather form of membership skew, where partitions of one
+	// opening listing reflect different instants.
+	PartitionSkew int64 `json:"partitionSkew"`
 	// SnapshotAge is how old the captured s_first snapshot was when the
 	// run closed (snapshot-governed semantics only).
 	SnapshotAge time.Duration `json:"snapshotAgeNs"`
@@ -73,6 +78,7 @@ type CollectionWeakness struct {
 	CacheHits            int64         `json:"cacheHits"`
 	CacheValidatedHits   int64         `json:"cacheValidatedHits"`
 	ListingSkew          int64         `json:"listingSkew"`
+	PartitionSkew        int64         `json:"partitionSkew"`
 	FetchFailures        int64         `json:"fetchFailures"`
 	MaxSnapshotAge       time.Duration `json:"maxSnapshotAgeNs"`
 	Blocked              time.Duration `json:"blockedNs"`
@@ -118,6 +124,7 @@ func (r *Registry) Observe(rep WeaknessReport) {
 	cw.CacheHits += rep.CacheHits
 	cw.CacheValidatedHits += rep.CacheValidatedHits
 	cw.ListingSkew += rep.ListingSkew
+	cw.PartitionSkew += rep.PartitionSkew
 	cw.FetchFailures += rep.FetchFailures
 	cw.Blocked += rep.Blocked
 	if rep.SnapshotAge > cw.MaxSnapshotAge {

@@ -2,6 +2,8 @@ package repo
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -172,6 +174,92 @@ func (c *Client) ListPinned(ctx context.Context, dir netsim.NodeID, name string,
 		return nil, 0, err
 	}
 	return resp.Members, resp.Version, nil
+}
+
+// ListParts reads a collection's membership one listing partition at a
+// time, invoking fn for each partition's listing as it arrives — over a
+// streaming transport that can be while later partitions are still in
+// flight. gates is an optional per-partition version vector: a
+// partition still at or below its gate answers NotModified with no
+// members (a short or empty vector gates nothing). A non-zero pin
+// serves that snapshot partitioned on the fly instead of the live
+// membership. Peers that predate partitioned listings answer the
+// monolithic List method, which fn sees as a single partition (part 0
+// of 1), so callers work unchanged across versions. A non-nil error
+// from fn abandons the stream and is returned as-is.
+func (c *Client) ListParts(ctx context.Context, dir netsim.NodeID, name string, pin int64, gates []uint64, fn func(PartListing) error) error {
+	out, _, err := c.bus.Call(ctx, c.node, dir, MethodListParts, ListPartsReq{Name: name, Pin: pin, IfVersions: gates, Stream: true})
+	if err != nil {
+		if errors.Is(err, rpc.ErrNoMethod) {
+			return c.listPartsFallback(ctx, dir, name, pin, gates, fn)
+		}
+		return err
+	}
+	switch body := out.(type) {
+	case rpc.Streamer:
+		for {
+			chunk, ok := body.Next()
+			if !ok {
+				return body.Err()
+			}
+			pl, ok := chunk.(PartListing)
+			if !ok {
+				drainStream(body)
+				return fmt.Errorf("rpc %s: unexpected chunk type %T", MethodListParts, chunk)
+			}
+			if err := fn(pl); err != nil {
+				drainStream(body)
+				return err
+			}
+		}
+	case ListPartsResp:
+		for _, pl := range body.Parts {
+			if err := fn(pl); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("rpc %s: unexpected response type %T", MethodListParts, out)
+	}
+}
+
+// drainStream runs an abandoned stream to completion. A stream left
+// mid-flight would strand its transport call slot (the slot is released
+// when the stream ends); draining is cheap because abandonment comes
+// with a cancelled stream context, which ends a remote stream on its
+// next chunk.
+func drainStream(st rpc.Streamer) {
+	for {
+		if _, ok := st.Next(); !ok {
+			return
+		}
+	}
+}
+
+// listPartsFallback serves ListParts against a peer without the method:
+// one monolithic listing presented as a single partition. A one-entry
+// gate vector maps onto the monolithic IfVersion gate; longer vectors
+// cannot (the peer has no partition versions), so they gate nothing.
+func (c *Client) listPartsFallback(ctx context.Context, dir netsim.NodeID, name string, pin int64, gates []uint64, fn func(PartListing) error) error {
+	var (
+		members []Ref
+		version uint64
+		notMod  bool
+		err     error
+	)
+	switch {
+	case pin != 0:
+		members, version, err = c.ListPinned(ctx, dir, name, pin)
+	case len(gates) == 1:
+		members, version, notMod, err = c.ListIfNew(ctx, dir, name, gates[0])
+	default:
+		members, version, err = c.List(ctx, dir, name)
+	}
+	if err != nil {
+		return err
+	}
+	return fn(PartListing{Part: 0, Partitions: 1, Members: members, Version: version, NotModified: notMod})
 }
 
 // Add inserts a member into a collection.

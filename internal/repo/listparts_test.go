@@ -1,0 +1,221 @@
+package repo
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/rpc"
+)
+
+// partFor mirrors the store's FNV-1a partition map so tests can aim
+// mutations at a chosen partition.
+func partFor(id ObjectID, total int) int {
+	if total == 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % uint32(total))
+}
+
+func seedParts(t *testing.T, w *world, n int) map[ObjectID]bool {
+	t.Helper()
+	w.mustColl(t, "c")
+	ids := make(map[ObjectID]bool, n)
+	for i := 0; i < n; i++ {
+		ref := w.mustPut(t, "s1", ObjectID(fmt.Sprintf("p%03d", i)), "x")
+		if err := w.client.Add(context.Background(), "dir", "c", ref); err != nil {
+			t.Fatal(err)
+		}
+		ids[ref.ID] = true
+	}
+	return ids
+}
+
+func collectParts(t *testing.T, w *world, gates []uint64) []PartListing {
+	t.Helper()
+	var out []PartListing
+	err := w.client.ListParts(context.Background(), "dir", "c", 0, gates, func(pl PartListing) error {
+		out = append(out, pl)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestListPartsReassemblesMembership(t *testing.T) {
+	w := newWorld(t)
+	want := seedParts(t, w, 50)
+	parts := collectParts(t, w, nil)
+	if len(parts) < 2 {
+		t.Fatalf("got %d partitions, want a partitioned listing", len(parts))
+	}
+	got := make(map[ObjectID]bool)
+	for _, pl := range parts {
+		if pl.Partitions != len(parts) {
+			t.Fatalf("frame %d stamps Partitions=%d, want %d", pl.Part, pl.Partitions, len(parts))
+		}
+		for _, m := range pl.Members {
+			if got[m.ID] {
+				t.Fatalf("member %s listed twice", m.ID)
+			}
+			got[m.ID] = true
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reassembled %d members, want %d", len(got), len(want))
+	}
+}
+
+func TestListPartsVersionVectorGating(t *testing.T) {
+	w := newWorld(t)
+	seedParts(t, w, 50)
+	first := collectParts(t, w, nil)
+	gates := make([]uint64, len(first))
+	for _, pl := range first {
+		gates[pl.Part] = pl.Version
+	}
+	// Gated at the current vector every partition answers NotModified.
+	for _, pl := range collectParts(t, w, gates) {
+		if !pl.NotModified || len(pl.Members) != 0 {
+			t.Fatalf("part %d: notMod=%v members=%d under current gate", pl.Part, pl.NotModified, len(pl.Members))
+		}
+	}
+	// One add invalidates exactly that member's partition.
+	ref := w.mustPut(t, "s1", "fresh-member", "x")
+	if err := w.client.Add(context.Background(), "dir", "c", ref); err != nil {
+		t.Fatal(err)
+	}
+	target := partFor(ref.ID, len(first))
+	for _, pl := range collectParts(t, w, gates) {
+		if pl.Part == target {
+			if pl.NotModified {
+				t.Fatalf("mutated partition %d still NotModified", pl.Part)
+			}
+		} else if !pl.NotModified {
+			t.Fatalf("untouched partition %d shipped members", pl.Part)
+		}
+	}
+}
+
+// TestListPartsSkewStamping mutates the collection between partition
+// snapshots of one streamed listing: the partition snapshotted after
+// the write must carry the Skewed mark (and the write), while
+// partitions taken before it don't.
+func TestListPartsSkewStamping(t *testing.T) {
+	w := newWorld(t)
+	seedParts(t, w, 50)
+	total := len(collectParts(t, w, nil))
+	// An id hashing past partition 0, so the mid-stream add lands in a
+	// partition not yet snapshotted when frame 0 is delivered.
+	var lateID ObjectID
+	for i := 0; ; i++ {
+		id := ObjectID(fmt.Sprintf("late-%d", i))
+		if partFor(id, total) > 0 {
+			lateID = id
+			break
+		}
+	}
+	ctx := context.Background()
+	var (
+		sawSkew bool
+		sawLate bool
+	)
+	err := w.client.ListParts(ctx, "dir", "c", 0, nil, func(pl PartListing) error {
+		if pl.Part == 0 {
+			if pl.Skewed {
+				t.Fatal("first partition marked Skewed before any mid-stream write")
+			}
+			ref := w.mustPut(t, "s1", lateID, "x")
+			if err := w.client.Add(ctx, "dir", "c", ref); err != nil {
+				t.Fatal(err)
+			}
+			return nil
+		}
+		if pl.Skewed {
+			sawSkew = true
+		}
+		for _, m := range pl.Members {
+			if m.ID == lateID {
+				sawLate = true
+				if !pl.Skewed {
+					t.Fatal("partition listing the mid-stream add is not marked Skewed")
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawSkew {
+		t.Fatal("no partition marked Skewed after a mid-stream write")
+	}
+	if !sawLate {
+		t.Fatal("mid-stream add never surfaced in a later partition")
+	}
+}
+
+// TestListPartsFallbackOldPeer points ListParts at a directory that
+// predates the method: the client must synthesize a single-partition
+// listing from the monolithic List, and a one-entry gate vector must
+// map onto the monolithic IfVersion gate.
+func TestListPartsFallbackOldPeer(t *testing.T) {
+	w := newWorld(t)
+	want := seedParts(t, w, 30)
+	// Simulate an old peer: the method answers ErrNoMethod.
+	w.dirSrv.rpc.Handle(MethodListParts, func(context.Context, netsim.NodeID, any) (any, error) {
+		return nil, fmt.Errorf("old peer: %w", rpc.ErrNoMethod)
+	})
+	parts := collectParts(t, w, nil)
+	if len(parts) != 1 || parts[0].Part != 0 || parts[0].Partitions != 1 {
+		t.Fatalf("fallback shape = %+v, want one partition 0 of 1", parts)
+	}
+	if len(parts[0].Members) != len(want) {
+		t.Fatalf("fallback listed %d members, want %d", len(parts[0].Members), len(want))
+	}
+	// A one-entry vector gates the monolithic read.
+	gated := collectParts(t, w, []uint64{parts[0].Version})
+	if len(gated) != 1 || !gated[0].NotModified || len(gated[0].Members) != 0 {
+		t.Fatalf("gated fallback = %+v, want NotModified", gated)
+	}
+}
+
+func TestListPartsPinnedSnapshot(t *testing.T) {
+	w := newWorld(t)
+	want := seedParts(t, w, 40)
+	ctx := context.Background()
+	pin, err := w.client.Pin(ctx, "dir", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = w.client.Unpin(ctx, "dir", "c", pin) }()
+	// Mutations after the pin must not show in the pinned listing.
+	ref := w.mustPut(t, "s1", "post-pin", "x")
+	if err := w.client.Add(ctx, "dir", "c", ref); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[ObjectID]bool)
+	err = w.client.ListParts(ctx, "dir", "c", pin, nil, func(pl PartListing) error {
+		for _, m := range pl.Members {
+			got[m.ID] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pinned listing has %d members, want %d", len(got), len(want))
+	}
+	if got["post-pin"] {
+		t.Fatal("pinned listing leaked a post-pin add")
+	}
+}

@@ -24,6 +24,10 @@ type persistedCollection struct {
 	ReplicaVersion uint64
 	Members        []Ref
 	Replicas       []netsim.NodeID
+	// Partitions is the listing partition count. Snapshots from before
+	// partitioned listings decode it as 0, which Import maps to the
+	// engine's default (gob ignores unknown fields in both directions).
+	Partitions int
 }
 
 // persistedState is the gob image of a server.
@@ -50,6 +54,7 @@ func (s *Server) SaveSnapshot(w io.Writer) error {
 			ReplicaVersion: cs.ReplicaVersion,
 			Members:        cs.Members,
 			Replicas:       cs.Replicas,
+			Partitions:     cs.Partitions,
 		})
 	}
 
@@ -81,6 +86,7 @@ func (s *Server) LoadSnapshot(r io.Reader) error {
 			ReplicaVersion: pc.ReplicaVersion,
 			Members:        append([]Ref(nil), pc.Members...),
 			Replicas:       append([]netsim.NodeID(nil), pc.Replicas...),
+			Partitions:     pc.Partitions,
 		})
 	}
 	s.store.Import(st)

@@ -86,6 +86,7 @@ func (s *Server) register() {
 	s.rpc.Handle(MethodDelete, s.handleDelete)
 	s.rpc.Handle(MethodCreate, s.handleCreate)
 	s.rpc.Handle(MethodList, s.handleList)
+	s.rpc.Handle(MethodListParts, s.handleListParts)
 	s.rpc.Handle(MethodAdd, s.handleAdd)
 	s.rpc.Handle(MethodRemove, s.handleRemove)
 	s.rpc.Handle(MethodPin, s.handlePin)
@@ -195,6 +196,133 @@ func (s *Server) handleList(ctx context.Context, _ netsim.NodeID, req any) (any,
 	return ListResp{Members: members, Version: version}, nil
 }
 
+// partStream serves a partitioned listing one partition at a time. Each
+// Next takes the next partition's copy-on-write snapshot only when
+// asked, so a streaming transport ships partition 0 while partition 1's
+// snapshot has not been taken yet — writers that land in between are
+// simply the per-partition skew the weak semantics already tolerate
+// (and the WeaknessReport measures).
+type partStream struct {
+	store store.Store
+	name  string
+	total int
+	gates []uint64
+	// openVer is the collection version when the stream opened; a
+	// partition whose version exceeds it was snapshotted after a write
+	// landed mid-stream, and its frame is stamped Skewed so the client
+	// can count the anomaly.
+	openVer uint64
+	next    int
+	err     error
+}
+
+func (ps *partStream) Next() (any, bool) {
+	if ps.err != nil || ps.next >= ps.total {
+		return nil, false
+	}
+	part := ps.next
+	ps.next++
+	var gate uint64
+	if part < len(ps.gates) {
+		gate = ps.gates[part]
+	}
+	members, version, notMod, err := ps.store.ListPart(ps.name, part, gate)
+	if err != nil {
+		ps.err = err
+		return nil, false
+	}
+	return PartListing{
+		Part:        part,
+		Partitions:  ps.total,
+		Members:     members,
+		Version:     version,
+		NotModified: notMod,
+		Skewed:      version > ps.openVer,
+	}, true
+}
+
+func (ps *partStream) Err() error { return ps.err }
+
+func (ps *partStream) Materialize() (any, error) {
+	resp := ListPartsResp{Parts: make([]PartListing, 0, ps.total)}
+	for {
+		chunk, ok := ps.Next()
+		if !ok {
+			break
+		}
+		resp.Parts = append(resp.Parts, chunk.(PartListing))
+	}
+	if ps.err != nil {
+		return nil, ps.err
+	}
+	return resp, nil
+}
+
+// sliceStream streams an already-materialized set of partition listings
+// (the pinned path: the pin is one immutable snapshot, partitioned on
+// the fly).
+type sliceStream struct {
+	parts []PartListing
+	next  int
+}
+
+func (ss *sliceStream) Next() (any, bool) {
+	if ss.next >= len(ss.parts) {
+		return nil, false
+	}
+	p := ss.parts[ss.next]
+	ss.next++
+	return p, true
+}
+
+func (ss *sliceStream) Err() error { return nil }
+
+func (ss *sliceStream) Materialize() (any, error) {
+	return ListPartsResp{Parts: ss.parts}, nil
+}
+
+func (s *Server) handleListParts(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
+	r, ok := req.(ListPartsReq)
+	if !ok {
+		return nil, fmt.Errorf("repo: bad request type %T", req)
+	}
+	sp := s.startOp(ctx, "store.listParts")
+	defer sp.End()
+	total, err := s.store.Partitions(r.Name)
+	if err != nil {
+		return nil, err
+	}
+	sp.SetInt("partitions", int64(total))
+
+	var st rpc.Streamer
+	if r.Pin != 0 {
+		// A pin is one immutable snapshot; split it into `total`
+		// contiguous ranges so the client's incremental machinery works
+		// the same way it does on live partitions. Pins carry no
+		// per-partition versions, so IfVersions does not apply.
+		members, version, lerr := s.store.ListPinned(r.Name, r.Pin)
+		if lerr != nil {
+			return nil, lerr
+		}
+		parts := make([]PartListing, total)
+		for i := range parts {
+			lo, hi := i*len(members)/total, (i+1)*len(members)/total
+			parts[i] = PartListing{Part: i, Partitions: total, Members: members[lo:hi], Version: version}
+		}
+		st = &sliceStream{parts: parts}
+	} else {
+		openVer, verr := s.store.ListVersion(r.Name)
+		if verr != nil {
+			return nil, verr
+		}
+		st = &partStream{store: s.store, name: r.Name, total: total, gates: r.IfVersions, openVer: openVer}
+	}
+	if !r.Stream {
+		return st.Materialize()
+	}
+	return st, nil
+}
+
 func (s *Server) handleAdd(ctx context.Context, _ netsim.NodeID, req any) (any, error) {
 	r, ok := req.(AddReq)
 	if !ok {
@@ -290,11 +418,12 @@ func (s *Server) handleStats(ctx context.Context, _ netsim.NodeID, req any) (any
 		return nil, err
 	}
 	return StatsResp{
-		Members: c.Members,
-		Ghosts:  c.Ghosts,
-		Pins:    c.Pins,
-		Tokens:  c.Tokens,
-		Version: c.Version,
+		Members:    c.Members,
+		Ghosts:     c.Ghosts,
+		Pins:       c.Pins,
+		Tokens:     c.Tokens,
+		Version:    c.Version,
+		Partitions: c.Partitions,
 	}, nil
 }
 

@@ -19,6 +19,7 @@ const (
 	MethodDelete     = "repo.Delete"
 	MethodCreate     = "repo.CreateCollection"
 	MethodList       = "repo.List"
+	MethodListParts  = "repo.ListParts"
 	MethodAdd        = "repo.Add"
 	MethodRemove     = "repo.Remove"
 	MethodPin        = "repo.Pin"
@@ -78,6 +79,46 @@ type (
 		Version     uint64
 		NotModified bool
 	}
+	// ListPartsReq reads a collection's membership a listing partition
+	// at a time. IfVersions is the per-partition form of
+	// ListReq.IfVersion: a version vector indexed by partition, where a
+	// partition whose version is still at or below its gate answers
+	// NotModified instead of shipping members (a short or empty vector
+	// gates nothing). Pin selects a pinned snapshot, partitioned on the
+	// fly (pins are immutable, so its listings carry no version and
+	// ignore IfVersions). Stream asks the server to deliver each
+	// PartListing as its own frame as that partition's snapshot is
+	// taken; transports or peers that cannot stream fall back to one
+	// ListPartsResp.
+	ListPartsReq struct {
+		Name       string
+		Pin        int64
+		IfVersions []uint64
+		Stream     bool
+	}
+	// PartListing is one listing partition: self-contained, so a client
+	// can start fetching this partition's elements while later ones are
+	// still in flight. Partitions is the collection's total partition
+	// count, stamped on every frame so each is interpretable alone (and
+	// so a client gating with a stale vector length notices). Skewed
+	// marks a partition whose snapshot was taken after a write landed
+	// mid-stream — earlier partitions in the same response may not
+	// reflect that write. That is legal under every weak semantics here
+	// (the paper's membership skew, now per partition); the flag exists
+	// so clients can measure it.
+	PartListing struct {
+		Part        int
+		Partitions  int
+		Members     []Ref
+		Version     uint64
+		NotModified bool
+		Skewed      bool
+	}
+	// ListPartsResp is the materialized (non-streamed) form: every
+	// partition's listing in partition order.
+	ListPartsResp struct {
+		Parts []PartListing
+	}
 	// AddReq inserts a member.
 	AddReq struct {
 		Name string
@@ -123,11 +164,12 @@ type (
 	// StatsResp reports collection counters for experiments (ghost
 	// accounting, E8).
 	StatsResp struct {
-		Members int
-		Ghosts  int
-		Pins    int
-		Tokens  int
-		Version uint64
+		Members    int
+		Ghosts     int
+		Pins       int
+		Tokens     int
+		Version    uint64
+		Partitions int
 	}
 	// StoreStatsReq asks a node for its storage-engine instrumentation.
 	StoreStatsReq struct{}

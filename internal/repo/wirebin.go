@@ -36,6 +36,9 @@ const (
 	wbGetBatchResp = 4
 	wbListReq      = 5
 	wbListResp     = 6
+	wbListPartsReq = 7
+	wbPartListing  = 8
+	wbListPartsRsp = 9
 )
 
 func init() {
@@ -62,6 +65,18 @@ func init() {
 	wirebin.Register(wbListResp, ListResp{},
 		func(buf []byte, v any) []byte { return appendListResp(buf, v.(ListResp)) },
 		func(r *wirebin.Reader) any { return decodeListResp(r) },
+	)
+	wirebin.Register(wbListPartsReq, ListPartsReq{},
+		func(buf []byte, v any) []byte { return appendListPartsReq(buf, v.(ListPartsReq)) },
+		func(r *wirebin.Reader) any { return decodeListPartsReq(r) },
+	)
+	wirebin.Register(wbPartListing, PartListing{},
+		func(buf []byte, v any) []byte { return appendPartListing(buf, v.(PartListing)) },
+		func(r *wirebin.Reader) any { return decodePartListing(r) },
+	)
+	wirebin.Register(wbListPartsRsp, ListPartsResp{},
+		func(buf []byte, v any) []byte { return appendListPartsResp(buf, v.(ListPartsResp)) },
+		func(r *wirebin.Reader) any { return decodeListPartsResp(r) },
 	)
 }
 
@@ -246,5 +261,98 @@ func decodeListResp(r *wirebin.Reader) ListResp {
 	}
 	v.Version = r.Uvarint()
 	v.NotModified = r.Bool()
+	return v
+}
+
+func appendListPartsReq(buf []byte, v ListPartsReq) []byte {
+	buf = wirebin.AppendString(buf, v.Name)
+	buf = wirebin.AppendVarint(buf, v.Pin)
+	buf = wirebin.AppendUvarint(buf, uint64(len(v.IfVersions)))
+	for _, gate := range v.IfVersions {
+		buf = wirebin.AppendUvarint(buf, gate)
+	}
+	return wirebin.AppendBool(buf, v.Stream)
+}
+
+func decodeListPartsReq(r *wirebin.Reader) ListPartsReq {
+	var v ListPartsReq
+	v.Name = r.String()
+	v.Pin = r.Varint()
+	n := r.Count(1)
+	if r.Err() != nil {
+		return v
+	}
+	if n > 0 {
+		gates := make([]uint64, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			gates = append(gates, r.Uvarint())
+		}
+		v.IfVersions = gates
+	}
+	v.Stream = r.Bool()
+	return v
+}
+
+func appendPartListing(buf []byte, v PartListing) []byte {
+	buf = wirebin.AppendVarint(buf, int64(v.Part))
+	buf = wirebin.AppendVarint(buf, int64(v.Partitions))
+	buf = wirebin.AppendUvarint(buf, uint64(len(v.Members)))
+	for _, ref := range v.Members {
+		buf = wirebin.AppendString(buf, string(ref.ID))
+		buf = wirebin.AppendString(buf, string(ref.Node))
+	}
+	buf = wirebin.AppendUvarint(buf, v.Version)
+	buf = wirebin.AppendBool(buf, v.NotModified)
+	return wirebin.AppendBool(buf, v.Skewed)
+}
+
+func decodePartListing(r *wirebin.Reader) PartListing {
+	var v PartListing
+	decodePartListingInto(r, &v)
+	return v
+}
+
+func decodePartListingInto(r *wirebin.Reader, v *PartListing) {
+	v.Part = int(r.Varint())
+	v.Partitions = int(r.Varint())
+	n := r.Count(2)
+	if r.Err() != nil {
+		return
+	}
+	if n > 0 {
+		members := make([]Ref, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			id := ObjectID(r.String())
+			node := netsim.NodeID(r.String())
+			members = append(members, Ref{ID: id, Node: node})
+		}
+		v.Members = members
+	}
+	v.Version = r.Uvarint()
+	v.NotModified = r.Bool()
+	v.Skewed = r.Bool()
+}
+
+func appendListPartsResp(buf []byte, v ListPartsResp) []byte {
+	buf = wirebin.AppendUvarint(buf, uint64(len(v.Parts)))
+	for i := range v.Parts {
+		buf = appendPartListing(buf, v.Parts[i])
+	}
+	return buf
+}
+
+func decodeListPartsResp(r *wirebin.Reader) ListPartsResp {
+	var v ListPartsResp
+	// Each partition listing costs at least 5 bytes (two varints, a
+	// member count, a version, a bool); bound the slice by that.
+	n := r.Count(5)
+	if n == 0 || r.Err() != nil {
+		return v
+	}
+	parts := make([]PartListing, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		decodePartListingInto(r, &parts[i])
+	}
+	v.Parts = parts
 	return v
 }

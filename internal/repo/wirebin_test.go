@@ -25,6 +25,9 @@ func roundGob(t testing.TB, v any) any {
 	gob.Register(GetBatchResp{})
 	gob.Register(ListReq{})
 	gob.Register(ListResp{})
+	gob.Register(ListPartsReq{})
+	gob.Register(PartListing{})
+	gob.Register(ListPartsResp{})
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
 		t.Fatalf("gob encode: %v", err)
@@ -91,6 +94,20 @@ func TestWirebinGobConformance(t *testing.T) {
 		ListResp{},
 		ListResp{Members: []Ref{{ID: "a", Node: "n1"}, {ID: "b", Node: "n2"}}, Version: 12},
 		ListResp{Members: []Ref{}, Version: 3, NotModified: true},
+		ListPartsReq{},
+		ListPartsReq{Name: "c", Pin: -7, Stream: true},
+		ListPartsReq{Name: "c", IfVersions: []uint64{0, 9, 1 << 40}},
+		ListPartsReq{Name: "c", IfVersions: []uint64{}},
+		PartListing{},
+		PartListing{Part: 3, Partitions: 16, Members: []Ref{{ID: "a", Node: "n1"}}, Version: 8},
+		PartListing{Part: 15, Partitions: 16, Version: 1<<64 - 1, NotModified: true, Skewed: true},
+		PartListing{Members: []Ref{}},
+		ListPartsResp{},
+		ListPartsResp{Parts: []PartListing{
+			{Part: 0, Partitions: 2, Members: []Ref{{ID: "a", Node: "n1"}, {ID: "c", Node: "n2"}}, Version: 4},
+			{Part: 1, Partitions: 2, Version: 3, NotModified: true},
+		}},
+		ListPartsResp{Parts: []PartListing{}},
 	}
 	for _, in := range cases {
 		in := in
@@ -108,23 +125,39 @@ func TestWirebinGobConformance(t *testing.T) {
 // truncation contract: any prefix of a valid frame must produce a reader
 // error, never a panic or a silently short message.
 func TestWirebinDecodePartialFrameErrors(t *testing.T) {
-	resp := GetBatchResp{
-		Objects:     []Object{{ID: "a", Data: []byte("dddd"), Version: 2}, {ID: "b", Attrs: map[string]string{"k": "v"}}},
-		NotModified: []ObjectID{"nm1"},
-		Missing:     []ObjectID{"m1"},
+	msgs := []any{
+		GetBatchResp{
+			Objects:     []Object{{ID: "a", Data: []byte("dddd"), Version: 2}, {ID: "b", Attrs: map[string]string{"k": "v"}}},
+			NotModified: []ObjectID{"nm1"},
+			Missing:     []ObjectID{"m1"},
+		},
+		ListPartsReq{Name: "c", Pin: -3, IfVersions: []uint64{1, 2, 3}, Stream: true},
+		PartListing{Part: 2, Partitions: 4, Members: []Ref{{ID: "a", Node: "n1"}, {ID: "b", Node: "n2"}}, Version: 9, Skewed: true},
+		ListPartsResp{Parts: []PartListing{
+			{Part: 0, Partitions: 2, Members: []Ref{{ID: "a", Node: "n1"}}, Version: 2},
+			{Part: 1, Partitions: 2, Version: 1, NotModified: true},
+		}},
 	}
-	id, enc, _ := wirebin.Lookup(resp)
-	frame := enc(nil, resp)
-	dec, _ := wirebin.ByID(id)
-	for cut := 0; cut < len(frame); cut++ {
-		var r wirebin.Reader
-		r.Reset(frame[:cut])
-		_ = dec(&r)
-		if r.Err() == nil && r.Len() == 0 && cut < len(frame) {
-			// A clean decode of a strict prefix would mean the format is
-			// ambiguous about its own end.
-			t.Fatalf("cut=%d decoded cleanly", cut)
-		}
+	for _, msg := range msgs {
+		msg := msg
+		t.Run(fmt.Sprintf("%T", msg), func(t *testing.T) {
+			id, enc, ok := wirebin.Lookup(msg)
+			if !ok {
+				t.Fatalf("no wirebin codec for %T", msg)
+			}
+			frame := enc(nil, msg)
+			dec, _ := wirebin.ByID(id)
+			for cut := 0; cut < len(frame); cut++ {
+				var r wirebin.Reader
+				r.Reset(frame[:cut])
+				_ = dec(&r)
+				if r.Err() == nil && r.Len() == 0 && cut < len(frame) {
+					// A clean decode of a strict prefix would mean the format
+					// is ambiguous about its own end.
+					t.Fatalf("cut=%d decoded cleanly", cut)
+				}
+			}
+		})
 	}
 }
 
@@ -140,13 +173,16 @@ func FuzzWirebinDecode(f *testing.F) {
 		GetBatchResp{Objects: []Object{{ID: "o"}}, Missing: []ObjectID{"m"}},
 		ListReq{Name: "c", Pin: -1, IfVersion: 2},
 		ListResp{Members: []Ref{{ID: "a", Node: "n"}}, Version: 5},
+		ListPartsReq{Name: "c", IfVersions: []uint64{1, 2}, Stream: true},
+		PartListing{Part: 1, Partitions: 4, Members: []Ref{{ID: "a", Node: "n"}}, Version: 3, Skewed: true},
+		ListPartsResp{Parts: []PartListing{{Part: 0, Partitions: 1, Members: []Ref{{ID: "a", Node: "n"}}}}},
 	}
 	for _, v := range seedVals {
 		_, enc, _ := wirebin.Lookup(v)
 		f.Add(enc(nil, v))
 	}
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
-	ids := []uint16{wbGetReq, wbObject, wbGetBatchReq, wbGetBatchResp, wbListReq, wbListResp}
+	ids := []uint16{wbGetReq, wbObject, wbGetBatchReq, wbGetBatchResp, wbListReq, wbListResp, wbListPartsReq, wbPartListing, wbListPartsRsp}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, id := range ids {
 			dec, _ := wirebin.ByID(id)
@@ -188,6 +224,19 @@ func benchListResp() ListResp {
 	return ListResp{Members: members, Version: 42}
 }
 
+// benchPartListing builds one streamed partition frame of 64 members —
+// the per-frame unit of the scatter-gather listing path.
+func benchPartListing() PartListing {
+	members := make([]Ref, 64)
+	for i := range members {
+		members[i] = Ref{
+			ID:   ObjectID(fmt.Sprintf("e%04d", i)),
+			Node: netsim.NodeID(fmt.Sprintf("storage%d", i%4)),
+		}
+	}
+	return PartListing{Part: 3, Partitions: 16, Members: members, Version: 42}
+}
+
 // benchGetBatchResp builds a 16-object batch with 256B payloads — the
 // fetch pipeline's default batch shape.
 func benchGetBatchResp() GetBatchResp {
@@ -217,6 +266,8 @@ func TestAllocBudget(t *testing.T) {
 	listFrame := appendListResp(nil, listResp)
 	batchResp := benchGetBatchResp()
 	batchFrame := appendGetBatchResp(nil, batchResp)
+	partListing := benchPartListing()
+	partFrame := appendPartListing(nil, partListing)
 	var r wirebin.Reader
 	// Warm the intern table so the measurement sees the steady state a
 	// long-lived connection sees (ids repeat run after run).
@@ -224,6 +275,8 @@ func TestAllocBudget(t *testing.T) {
 	_ = decodeListResp(&r)
 	r.Reset(batchFrame)
 	_ = decodeGetBatchResp(&r)
+	r.Reset(partFrame)
+	_ = decodePartListing(&r)
 
 	scratch := make([]byte, 0, len(batchFrame)+len(listFrame))
 	paths := map[string]func(){
@@ -243,6 +296,15 @@ func TestAllocBudget(t *testing.T) {
 			r.Reset(batchFrame)
 			if v := decodeGetBatchResp(&r); len(v.Objects) != len(batchResp.Objects) || r.Err() != nil {
 				t.Fatalf("bad decode: %d objects, err %v", len(v.Objects), r.Err())
+			}
+		},
+		"encodePartListing": func() {
+			scratch = appendPartListing(scratch[:0], partListing)
+		},
+		"decodePartListing": func() {
+			r.Reset(partFrame)
+			if v := decodePartListing(&r); len(v.Members) != len(partListing.Members) || r.Err() != nil {
+				t.Fatalf("bad decode: %d members, err %v", len(v.Members), r.Err())
 			}
 		},
 	}

@@ -7,12 +7,18 @@ import (
 	"weaksets/internal/netsim"
 )
 
-// collState is the unsynchronised bookkeeping for one collection,
-// shared by the engines: Locked serialises access with its global
-// mutex, Sharded with a per-collection RWMutex. None of these methods
-// lock.
-type collState struct {
-	name    string
+// DefaultPartitions is the listing partition count used when an engine's
+// configuration leaves it 0. Partition membership is by FNV-1a hash of
+// the object ID, so a collection's partition layout is stable across
+// restarts as long as the count is (the count is persisted with the
+// collection).
+const DefaultPartitions = 16
+
+// collPart is one listing partition: an independent slice of the
+// membership with its own version. Partition versions are drawn from the
+// collection's global change counter, so they are mutually comparable
+// and max(partition versions) == the collection version.
+type collPart struct {
 	version uint64
 	members map[ObjectID]Ref
 	// ghosts holds members removed while a grow-only window was open;
@@ -20,6 +26,22 @@ type collState struct {
 	// grows (§3.3: "create copies of any deleted objects and then
 	// garbage collect these 'ghost' copies upon termination").
 	ghosts map[ObjectID]Ref
+}
+
+// collState is the unsynchronised bookkeeping for one collection,
+// shared by the engines: Locked serialises access with its global
+// mutex, Sharded with a per-collection RWMutex. None of these methods
+// lock.
+//
+// Membership is hash-partitioned into len(parts) independent slices so
+// engines can snapshot, version-gate, and stream each partition on its
+// own; every mutation bumps the global version counter and stamps it
+// onto the partition it touched, so a partition's version is "the
+// global counter the last time this partition changed".
+type collState struct {
+	name    string
+	version uint64
+	parts   []collPart
 	// pendingDelete are object refs whose data must be deleted once the
 	// last grow token drains (unless the member was re-added meanwhile).
 	pendingDelete map[ObjectID]Ref
@@ -34,56 +56,119 @@ type collState struct {
 	replicaVersion uint64
 }
 
-func newCollState(name string) *collState {
-	return &collState{
+func newCollState(name string, partitions int) *collState {
+	if partitions <= 0 {
+		partitions = DefaultPartitions
+	}
+	c := &collState{
 		name:          name,
-		members:       make(map[ObjectID]Ref),
-		ghosts:        make(map[ObjectID]Ref),
+		parts:         make([]collPart, partitions),
 		pendingDelete: make(map[ObjectID]Ref),
 		pins:          make(map[int64][]Ref),
 		tokens:        make(map[int64]bool),
 	}
+	for i := range c.parts {
+		c.parts[i].members = make(map[ObjectID]Ref)
+		c.parts[i].ghosts = make(map[ObjectID]Ref)
+	}
+	return c
+}
+
+// partOf maps an object ID to its listing partition (FNV-1a).
+func (c *collState) partOf(id ObjectID) int {
+	if len(c.parts) == 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(c.parts)))
+}
+
+// partitions reports the listing partition count.
+func (c *collState) partitions() int { return len(c.parts) }
+
+// memberCount is the live membership size across all partitions.
+func (c *collState) memberCount() int {
+	n := 0
+	for i := range c.parts {
+		n += len(c.parts[i].members)
+	}
+	return n
+}
+
+func (c *collState) ghostCount() int {
+	n := 0
+	for i := range c.parts {
+		n += len(c.parts[i].ghosts)
+	}
+	return n
+}
+
+// appendListed appends partition pi's listed membership — live members
+// plus ghosts not re-added live — to out.
+func (c *collState) appendListed(out []Ref, pi int) []Ref {
+	p := &c.parts[pi]
+	for _, r := range p.members {
+		out = append(out, r)
+	}
+	for id, r := range p.ghosts {
+		if _, live := p.members[id]; !live {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // listedMembers is the collection as observed by List: live members
 // plus ghosts, sorted by ID.
 func (c *collState) listedMembers() []Ref {
-	out := make([]Ref, 0, len(c.members)+len(c.ghosts))
-	for _, r := range c.members {
-		out = append(out, r)
-	}
-	for id, r := range c.ghosts {
-		if _, live := c.members[id]; !live {
-			out = append(out, r)
-		}
+	out := make([]Ref, 0, c.memberCount()+c.ghostCount())
+	for pi := range c.parts {
+		out = c.appendListed(out, pi)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
+// partListed is one partition's listed membership, sorted by ID, with
+// the partition's version.
+func (c *collState) partListed(pi int) ([]Ref, uint64) {
+	out := c.appendListed(make([]Ref, 0, len(c.parts[pi].members)), pi)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, c.parts[pi].version
+}
+
 // memberSnapshot is the live membership only, sorted by ID — what a pin
 // captures.
 func (c *collState) memberSnapshot() []Ref {
-	snap := make([]Ref, 0, len(c.members))
-	for _, ref := range c.members {
-		snap = append(snap, ref)
+	snap := make([]Ref, 0, c.memberCount())
+	for pi := range c.parts {
+		for _, ref := range c.parts[pi].members {
+			snap = append(snap, ref)
+		}
 	}
 	sort.Slice(snap, func(i, j int) bool { return snap[i].ID < snap[j].ID })
 	return snap
 }
 
 func (c *collState) add(ref Ref) uint64 {
-	c.members[ref.ID] = ref
+	p := &c.parts[c.partOf(ref.ID)]
+	p.members[ref.ID] = ref
 	// Re-adding a ghosted member revives it: the deferred delete must
 	// not fire.
-	delete(c.ghosts, ref.ID)
+	delete(p.ghosts, ref.ID)
 	delete(c.pendingDelete, ref.ID)
 	c.version++
+	p.version = c.version
 	return c.version
 }
 
 func (c *collState) remove(id ObjectID) (Ref, bool, uint64, error) {
-	ref, member := c.members[id]
+	p := &c.parts[c.partOf(id)]
+	ref, member := p.members[id]
 	if !member {
 		return Ref{}, false, 0, fmt.Errorf("remove %q from %q: %w", id, c.name, ErrNotFound)
 	}
@@ -91,11 +176,12 @@ func (c *collState) remove(id ObjectID) (Ref, bool, uint64, error) {
 	if deferred {
 		// Grow-only window open: keep a ghost so the set, as listed,
 		// only grows for the duration of the window.
-		c.ghosts[id] = ref
+		p.ghosts[id] = ref
 		c.pendingDelete[id] = ref
 	}
-	delete(c.members, id)
+	delete(p.members, id)
 	c.version++
+	p.version = c.version
 	return ref, deferred, c.version, nil
 }
 
@@ -134,51 +220,67 @@ func (c *collState) endGrow(token int64) ([]Ref, error) {
 	delete(c.tokens, token)
 	var reclaim []Ref
 	if len(c.tokens) == 0 {
-		// Last token drained: garbage collect the ghosts (§3.3).
-		listedGhost := false
+		// Last token drained: garbage collect the ghosts (§3.3). Only
+		// the partitions that actually listed a ghost change, so only
+		// their versions move — a version-gated reader of an untouched
+		// partition keeps getting NotModified.
 		for id, ref := range c.pendingDelete {
-			if _, live := c.members[id]; !live {
+			if _, live := c.parts[c.partOf(id)].members[id]; !live {
 				reclaim = append(reclaim, ref)
 			}
 		}
-		for id := range c.ghosts {
-			if _, live := c.members[id]; !live {
-				listedGhost = true
-				break
+		for pi := range c.parts {
+			p := &c.parts[pi]
+			if len(p.ghosts) == 0 {
+				continue
+			}
+			listedGhost := false
+			for id := range p.ghosts {
+				if _, live := p.members[id]; !live {
+					listedGhost = true
+					break
+				}
+			}
+			p.ghosts = make(map[ObjectID]Ref)
+			if listedGhost {
+				// Reclaiming listed ghosts changes the listing; bump the
+				// version so version-gated reads cannot miss it.
+				c.version++
+				p.version = c.version
 			}
 		}
-		c.ghosts = make(map[ObjectID]Ref)
 		c.pendingDelete = make(map[ObjectID]Ref)
-		if listedGhost {
-			// Reclaiming listed ghosts changes the listing; bump the
-			// version so version-gated reads cannot miss it.
-			c.version++
-		}
 	}
 	return reclaim, nil
 }
 
 func (c *collState) stats() CollStats {
 	return CollStats{
-		Members: len(c.members),
-		Ghosts:  len(c.ghosts),
-		Pins:    len(c.pins),
-		Tokens:  len(c.tokens),
-		Version: c.version,
+		Members:    c.memberCount(),
+		Ghosts:     c.ghostCount(),
+		Pins:       len(c.pins),
+		Tokens:     len(c.tokens),
+		Version:    c.version,
+		Partitions: len(c.parts),
 	}
 }
 
 // applySync applies a replication push and reports whether it changed
-// the collection (stale pushes are ignored).
+// the collection (stale pushes are ignored). A push replaces the whole
+// membership, so every partition is rebuilt and stamped with the push's
+// version.
 func (c *collState) applySync(members []Ref, version uint64) bool {
 	if version <= c.replicaVersion {
 		return false
 	}
 	c.replicaVersion = version
 	c.version = version
-	c.members = make(map[ObjectID]Ref, len(members))
+	for pi := range c.parts {
+		c.parts[pi].members = make(map[ObjectID]Ref)
+		c.parts[pi].version = version
+	}
 	for _, ref := range members {
-		c.members[ref.ID] = ref
+		c.parts[c.partOf(ref.ID)].members[ref.ID] = ref
 	}
 	return true
 }
@@ -189,19 +291,31 @@ func (c *collState) exportState() CollectionState {
 		Name:           c.name,
 		Version:        c.version,
 		ReplicaVersion: c.replicaVersion,
+		Partitions:     len(c.parts),
 		Members:        c.memberSnapshot(),
 		Replicas:       append([]netsim.NodeID(nil), c.replicas...),
 	}
 }
 
 // collFromState rebuilds a collection from its durable image.
-func collFromState(cs CollectionState) *collState {
-	c := newCollState(cs.Name)
+// defaultPartitions covers images persisted before listings were
+// partitioned (Partitions == 0); every partition starts at the image's
+// version, so version-gated reads against a restored collection are
+// conservative rather than falsely NotModified.
+func collFromState(cs CollectionState, defaultPartitions int) *collState {
+	partitions := cs.Partitions
+	if partitions <= 0 {
+		partitions = defaultPartitions
+	}
+	c := newCollState(cs.Name, partitions)
 	c.version = cs.Version
 	c.replicaVersion = cs.ReplicaVersion
 	c.replicas = append([]netsim.NodeID(nil), cs.Replicas...)
 	for _, ref := range cs.Members {
-		c.members[ref.ID] = ref
+		c.parts[c.partOf(ref.ID)].members[ref.ID] = ref
+	}
+	for pi := range c.parts {
+		c.parts[pi].version = cs.Version
 	}
 	return c
 }

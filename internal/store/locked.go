@@ -16,6 +16,8 @@ import (
 type Locked struct {
 	ins instruments
 
+	partitions int
+
 	mu      sync.Mutex
 	objects map[ObjectID]Object
 	// floors keeps per-id versions monotonic across delete/re-put; see
@@ -27,9 +29,10 @@ type Locked struct {
 // NewLocked creates an empty single-mutex engine.
 func NewLocked() *Locked {
 	return &Locked{
-		objects: make(map[ObjectID]Object),
-		floors:  make(map[ObjectID]uint64),
-		colls:   make(map[string]*collState),
+		partitions: DefaultPartitions,
+		objects:    make(map[ObjectID]Object),
+		floors:     make(map[ObjectID]uint64),
+		colls:      make(map[string]*collState),
 	}
 }
 
@@ -132,7 +135,7 @@ func (s *Locked) CreateCollection(name string) error {
 	if _, exists := s.colls[name]; exists {
 		return fmt.Errorf("create %q: %w", name, ErrCollectionExists)
 	}
-	s.colls[name] = newCollState(name)
+	s.colls[name] = newCollState(name, s.partitions)
 	return nil
 }
 
@@ -146,6 +149,36 @@ func (s *Locked) List(name string) (members []Ref, version uint64, err error) {
 		return nil, 0, err
 	}
 	return c.listedMembers(), c.version, nil
+}
+
+// Partitions implements Store.
+func (s *Locked) Partitions(name string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return 0, err
+	}
+	return c.partitions(), nil
+}
+
+// ListPart implements Store.
+func (s *Locked) ListPart(name string, part int, ifVersion uint64) (members []Ref, version uint64, notModified bool, err error) {
+	defer s.ins.observe(OpListPart, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if part < 0 || part >= c.partitions() {
+		return nil, 0, false, fmt.Errorf("list %q partition %d of %d: %w", name, part, c.partitions(), ErrBadPartition)
+	}
+	members, version = c.partListed(part)
+	if ifVersion != 0 && version <= ifVersion {
+		return nil, version, true, nil
+	}
+	return members, version, false, nil
 }
 
 // ListVersion implements Store.
@@ -289,7 +322,7 @@ func (s *Locked) ApplySync(name string, members []Ref, version uint64) {
 	defer s.mu.Unlock()
 	c, found := s.colls[name]
 	if !found {
-		c = newCollState(name)
+		c = newCollState(name, s.partitions)
 		s.colls[name] = c
 	}
 	c.applySync(members, version)
@@ -320,7 +353,7 @@ func (s *Locked) Import(st State) {
 	}
 	s.colls = make(map[string]*collState, len(st.Collections))
 	for _, cs := range st.Collections {
-		s.colls[cs.Name] = collFromState(cs)
+		s.colls[cs.Name] = collFromState(cs, s.partitions)
 	}
 }
 

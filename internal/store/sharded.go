@@ -15,6 +15,11 @@ type Config struct {
 	// Shards is the number of object shards, rounded up to a power of
 	// two. Defaults to 16.
 	Shards int
+	// Partitions is the listing partition count new collections are
+	// created with. Defaults to DefaultPartitions. More partitions mean
+	// smaller streamed listing frames and an earlier first element on
+	// huge sets, at a little fixed overhead per collection.
+	Partitions int
 }
 
 // DefaultShards is the object-shard count used when Config.Shards is 0.
@@ -32,8 +37,9 @@ const DefaultShards = 16
 type Sharded struct {
 	ins instruments
 
-	shards []*objShard
-	mask   uint32
+	shards     []*objShard
+	mask       uint32
+	partitions int
 
 	collMu sync.RWMutex
 	colls  map[string]*shardedColl
@@ -59,15 +65,68 @@ type listing struct {
 }
 
 type shardedColl struct {
-	mu      sync.RWMutex // guards st (writes) and soft state reads
-	st      *collState
-	listing atomic.Pointer[listing]
+	mu sync.RWMutex // guards st (writes) and soft state reads
+	st *collState
+
+	// ver mirrors st.version and pver[i] mirrors st.parts[i].version;
+	// both are updated under c.mu's write lock, so readers can detect a
+	// stale cached snapshot without touching the mutex. Snapshots are
+	// recomputed lazily on read — a writer never pays to rebuild a
+	// listing nobody is reading, which is what keeps Add O(1) while the
+	// collection grows to millions of members.
+	ver  atomic.Uint64
+	pver []atomic.Uint64
+
+	full  atomic.Pointer[listing]   // cached full listed snapshot
+	psnap []atomic.Pointer[listing] // cached per-partition snapshots
 }
 
-// publish recomputes and swaps in the listing snapshot; callers hold
-// c.mu for writing.
-func (c *shardedColl) publish() {
-	c.listing.Store(&listing{members: c.st.listedMembers(), version: c.st.version})
+func newShardedColl(st *collState) *shardedColl {
+	n := st.partitions()
+	c := &shardedColl{
+		st:    st,
+		pver:  make([]atomic.Uint64, n),
+		psnap: make([]atomic.Pointer[listing], n),
+	}
+	c.syncVersions()
+	return c
+}
+
+// syncVersions refreshes the lock-free version mirrors from st; callers
+// hold c.mu for writing (or own the collection exclusively).
+func (c *shardedColl) syncVersions() {
+	for i := range c.pver {
+		c.pver[i].Store(c.st.parts[i].version)
+	}
+	c.ver.Store(c.st.version)
+}
+
+// snapshot returns the current full listed snapshot, rebuilding it under
+// the read lock only when a mutation has moved the version mirror since
+// the cached one was taken. Concurrent rebuilds are harmless: each is
+// internally consistent, and a stale store just means one more rebuild.
+func (c *shardedColl) snapshot() *listing {
+	if l := c.full.Load(); l != nil && l.version == c.ver.Load() {
+		return l
+	}
+	c.mu.RLock()
+	l := &listing{members: c.st.listedMembers(), version: c.st.version}
+	c.mu.RUnlock()
+	c.full.Store(l)
+	return l
+}
+
+// partSnapshot is snapshot for one listing partition.
+func (c *shardedColl) partSnapshot(part int) *listing {
+	if l := c.psnap[part].Load(); l != nil && l.version == c.pver[part].Load() {
+		return l
+	}
+	c.mu.RLock()
+	members, version := c.st.partListed(part)
+	c.mu.RUnlock()
+	l := &listing{members: members, version: version}
+	c.psnap[part].Store(l)
+	return l
 }
 
 // NewSharded creates an empty sharded engine.
@@ -81,10 +140,15 @@ func NewSharded(cfg Config) *Sharded {
 	for size < n {
 		size <<= 1
 	}
+	partitions := cfg.Partitions
+	if partitions <= 0 {
+		partitions = DefaultPartitions
+	}
 	s := &Sharded{
-		shards: make([]*objShard, size),
-		mask:   uint32(size - 1),
-		colls:  make(map[string]*shardedColl),
+		shards:     make([]*objShard, size),
+		mask:       uint32(size - 1),
+		partitions: partitions,
+		colls:      make(map[string]*shardedColl),
 	}
 	for i := range s.shards {
 		s.shards[i] = &objShard{
@@ -240,32 +304,60 @@ func (s *Sharded) CreateCollection(name string) error {
 	if _, exists := s.colls[name]; exists {
 		return fmt.Errorf("create %q: %w", name, ErrCollectionExists)
 	}
-	c := &shardedColl{st: newCollState(name)}
-	c.publish()
-	s.colls[name] = c
+	s.colls[name] = newShardedColl(newCollState(name, s.partitions))
 	return nil
 }
 
-// List implements Store. It is lock-free: the published snapshot is
-// immutable, so the only cost is copying the member slice out.
+// List implements Store. When the cached snapshot is current it is
+// lock-free: the snapshot is immutable, so the only cost is copying the
+// member slice out; after a mutation the first reader rebuilds it under
+// the read lock.
 func (s *Sharded) List(name string) (members []Ref, version uint64, err error) {
 	defer s.ins.observe(OpList, time.Now(), &err)
 	c, err := s.coll(name)
 	if err != nil {
 		return nil, 0, err
 	}
-	l := c.listing.Load()
+	l := c.snapshot()
 	return append([]Ref(nil), l.members...), l.version, nil
 }
 
-// ListVersion implements Store. Like List it is lock-free: the version
-// rides the published snapshot pointer.
+// ListVersion implements Store. It is lock-free: the version rides an
+// atomic mirror maintained by writers.
 func (s *Sharded) ListVersion(name string) (version uint64, err error) {
 	c, err := s.coll(name)
 	if err != nil {
 		return 0, err
 	}
-	return c.listing.Load().version, nil
+	return c.ver.Load(), nil
+}
+
+// Partitions implements Store.
+func (s *Sharded) Partitions(name string) (int, error) {
+	c, err := s.coll(name)
+	if err != nil {
+		return 0, err
+	}
+	return len(c.pver), nil
+}
+
+// ListPart implements Store. The NotModified fast path is two atomic
+// loads; a served partition comes from its own copy-on-write snapshot,
+// so readers of one partition never pay for writes to another.
+func (s *Sharded) ListPart(name string, part int, ifVersion uint64) (members []Ref, version uint64, notModified bool, err error) {
+	defer s.ins.observe(OpListPart, time.Now(), &err)
+	c, err := s.coll(name)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if part < 0 || part >= len(c.pver) {
+		return nil, 0, false, fmt.Errorf("list %q partition %d of %d: %w", name, part, len(c.pver), ErrBadPartition)
+	}
+	if pv := c.pver[part].Load(); ifVersion != 0 && pv <= ifVersion {
+		return nil, pv, true, nil
+	}
+	l := c.partSnapshot(part)
+	return append([]Ref(nil), l.members...), l.version, false, nil
 }
 
 // ListPinned implements Store.
@@ -294,7 +386,7 @@ func (s *Sharded) Add(name string, ref Ref) (version uint64, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v := c.st.add(ref)
-	c.publish()
+	c.syncVersions()
 	return v, nil
 }
 
@@ -311,7 +403,7 @@ func (s *Sharded) Remove(name string, id ObjectID) (ref Ref, deferred bool, vers
 	if err != nil {
 		return Ref{}, false, 0, err
 	}
-	c.publish()
+	c.syncVersions()
 	return ref, deferred, version, nil
 }
 
@@ -365,7 +457,7 @@ func (s *Sharded) EndGrow(name string, token int64) (reclaim []Ref, err error) {
 		return nil, err
 	}
 	// Draining the last token clears the ghosts out of the listing.
-	c.publish()
+	c.syncVersions()
 	return reclaim, nil
 }
 
@@ -393,7 +485,7 @@ func (s *Sharded) SetReplicas(name string, replicas []netsim.NodeID) error {
 }
 
 // SyncState implements Store. The membership and version come from the
-// published snapshot, so a push always carries a consistent image.
+// listed snapshot, so a push always carries a consistent image.
 func (s *Sharded) SyncState(name string) (members []Ref, version uint64, replicas []netsim.NodeID, ok bool) {
 	s.collMu.RLock()
 	c, found := s.colls[name]
@@ -401,7 +493,7 @@ func (s *Sharded) SyncState(name string) (members []Ref, version uint64, replica
 	if !found {
 		return nil, 0, nil, false
 	}
-	l := c.listing.Load()
+	l := c.snapshot()
 	c.mu.RLock()
 	replicas = append([]netsim.NodeID(nil), c.st.replicas...)
 	c.mu.RUnlock()
@@ -415,15 +507,14 @@ func (s *Sharded) ApplySync(name string, members []Ref, version uint64) {
 	s.collMu.Lock()
 	c, found := s.colls[name]
 	if !found {
-		c = &shardedColl{st: newCollState(name)}
-		c.publish()
+		c = newShardedColl(newCollState(name, s.partitions))
 		s.colls[name] = c
 	}
 	s.collMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.st.applySync(members, version) {
-		c.publish()
+		c.syncVersions()
 	}
 }
 
@@ -465,9 +556,7 @@ func (s *Sharded) Import(st State) {
 	defer s.collMu.Unlock()
 	s.colls = make(map[string]*shardedColl, len(st.Collections))
 	for _, cs := range st.Collections {
-		c := &shardedColl{st: collFromState(cs)}
-		c.publish()
-		s.colls[cs.Name] = c
+		s.colls[cs.Name] = newShardedColl(collFromState(cs, s.partitions))
 	}
 }
 

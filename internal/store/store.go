@@ -48,6 +48,19 @@ type Store interface {
 	ListVersion(name string) (version uint64, err error)
 	// ListPinned reads a pinned snapshot.
 	ListPinned(name string, pin int64) (members []Ref, version uint64, err error)
+	// Partitions reports the collection's listing partition count.
+	// Partition indices are stable for the life of the collection
+	// (membership is by hash of the object ID), so a partition-addressed
+	// read plan survives across calls.
+	Partitions(name string) (int, error)
+	// ListPart reads one partition of the listing — that partition's
+	// live members plus ghosts, sorted by ID — with the partition's own
+	// version. Partition versions are drawn from the same counter as the
+	// collection version, so they are mutually comparable. A non-zero
+	// ifVersion at or above the partition's version answers
+	// notModified=true with no members, the per-partition form of the
+	// version-gated List.
+	ListPart(name string, part int, ifVersion uint64) (members []Ref, version uint64, notModified bool, err error)
 	// Add inserts a member, reviving any ghost with the same ID.
 	Add(name string, ref Ref) (version uint64, err error)
 	// Remove removes a member. With a grow window open the removal is
@@ -102,6 +115,7 @@ const (
 	OpPut
 	OpDelete
 	OpList
+	OpListPart
 	OpListPinned
 	OpAdd
 	OpRemove
@@ -114,8 +128,8 @@ const (
 )
 
 var opNames = [opCount]string{
-	"get", "getBatch", "put", "delete", "list", "listPinned", "add",
-	"remove", "pin", "unpin", "beginGrow", "endGrow", "sync",
+	"get", "getBatch", "put", "delete", "list", "listPart", "listPinned",
+	"add", "remove", "pin", "unpin", "beginGrow", "endGrow", "sync",
 }
 
 func (o Op) String() string {

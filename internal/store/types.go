@@ -85,15 +85,18 @@ var (
 	ErrBadPin = errors.New("repo: no such pin")
 	// ErrBadToken reports an unknown grow token.
 	ErrBadToken = errors.New("repo: no such grow token")
+	// ErrBadPartition reports a listing partition index out of range.
+	ErrBadPartition = errors.New("repo: no such listing partition")
 )
 
 // CollStats reports one collection's counters.
 type CollStats struct {
-	Members int
-	Ghosts  int
-	Pins    int
-	Tokens  int
-	Version uint64
+	Members    int
+	Ghosts     int
+	Pins       int
+	Tokens     int
+	Version    uint64
+	Partitions int
 }
 
 // CollectionState is the durable image of one collection. Run-scoped
@@ -104,8 +107,12 @@ type CollectionState struct {
 	Name           string
 	Version        uint64
 	ReplicaVersion uint64
-	Members        []Ref
-	Replicas       []netsim.NodeID
+	// Partitions is the listing partition count the collection was
+	// created with; 0 (images persisted before listings were
+	// partitioned) restores with the engine's default.
+	Partitions int
+	Members    []Ref
+	Replicas   []netsim.NodeID
 }
 
 // State is the durable image of a whole engine, used by persistence.

@@ -16,6 +16,12 @@ import (
 // ErrClientClosed reports calls on a closed client.
 var ErrClientClosed = errors.New("tcprpc: client closed")
 
+// ErrNoStreams reports a CallStream against a connection that did not
+// negotiate multi-frame responses (an old server, or a gob-pinned
+// handshake-free connection). Callers fall back to a plain Call — the
+// server materializes streamable bodies for such peers anyway.
+var ErrNoStreams = errors.New("tcprpc: connection did not negotiate streams")
+
 // sendBacklog bounds the client's encode queue. The writer goroutine
 // drains it as fast as gob can encode; the bound only matters when the
 // kernel socket buffer backs up, at which point callers block in Call
@@ -73,19 +79,67 @@ type Client struct {
 }
 
 // call is one RPC awaiting its response. method lets the read loop
-// attribute response bytes to the method that earned them.
+// attribute response bytes to the method that earned them. A streamed
+// call carries a chunk queue instead of the one-shot channel: the read
+// loop appends every More-flagged response there and keeps the call
+// pending until the final frame.
 type call struct {
 	method string
 	ch     chan response // buffered(1); the reader delivers at most once
+	stream *streamQ      // non-nil for CallStream calls
+}
+
+// streamQ is the unbounded buffer between the connection's read loop
+// and a stream's consumer. It must never block the read loop: the
+// consumer may itself be waiting on other calls multiplexed on this
+// very socket (an iterator fetching elements of partition 0 while
+// partition 5's listing arrives), so a bounded queue could deadlock
+// the connection against its own traffic.
+type streamQ struct {
+	mu     sync.Mutex
+	chunks []response
+	closed bool
+	notify chan struct{} // buffered(1); signaled on push and close
+}
+
+func newStreamQ() *streamQ {
+	return &streamQ{notify: make(chan struct{}, 1)}
+}
+
+func (q *streamQ) push(in response, final bool) {
+	q.mu.Lock()
+	q.chunks = append(q.chunks, in)
+	if final {
+		q.closed = true
+	}
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop takes the next queued response; done reports an empty, closed
+// queue (the stream is over).
+func (q *streamQ) pop() (in response, got bool, done bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.chunks) > 0 {
+		in = q.chunks[0]
+		q.chunks = q.chunks[1:]
+		return in, true, false
+	}
+	return response{}, false, q.closed
 }
 
 // clientConn is one live connection with its goroutines and in-flight
 // calls. It is immutable except through fail, which runs once.
 type clientConn struct {
-	conn   net.Conn
-	cdc    codec
-	ins    *transportInstruments
-	sendCh chan *request
+	conn    net.Conn
+	cdc     codec
+	ins     *transportInstruments
+	streams bool // the hello negotiated multi-frame responses
+	sendCh  chan *request
 
 	done     chan struct{}
 	failOnce sync.Once
@@ -150,6 +204,7 @@ func (c *Client) conn() (*clientConn, error) {
 	fio := newFrameIO(conn)
 	gc := newGobCodec(fio)
 	var cdc codec = gc
+	var streams bool
 	if c.Codec != CodecGob && !c.helloFailed {
 		hr, err := c.hello(conn, gc, timeout)
 		switch {
@@ -157,6 +212,7 @@ func (c *Client) conn() (*clientConn, error) {
 			if hr.Codec == CodecWirebin {
 				cdc = newWirebinCodec(fio, "", hr.Compress, hr.CompressMin)
 			}
+			streams = hr.Streams
 		case errors.Is(err, rpc.ErrNoMethod):
 			// Pre-negotiation server: it answered the hello like any
 			// unknown method. The connection is healthy — speak gob.
@@ -179,6 +235,7 @@ func (c *Client) conn() (*clientConn, error) {
 		conn:    conn,
 		cdc:     cdc,
 		ins:     &c.ins,
+		streams: streams,
 		sendCh:  make(chan *request, sendBacklog),
 		done:    make(chan struct{}),
 		pending: make(map[uint64]*call),
@@ -209,6 +266,7 @@ func (c *Client) hello(conn net.Conn, gc *gobCodec, timeout time.Duration) (hell
 			Codecs:      []string{CodecWirebin},
 			Compress:    c.Compress,
 			CompressMin: c.CompressMin,
+			Streams:     true,
 		},
 	}
 	sent, err := gc.writeRequest(out)
@@ -333,6 +391,150 @@ func (c *Client) do(ctx context.Context, method string, req any) (any, error) {
 	}
 }
 
+// ClientStream is a streamed response being consumed: an rpc.Streamer
+// whose chunks arrive over the socket while the consumer works. It is
+// single-consumer, like every Streamer.
+type ClientStream struct {
+	ctx     context.Context
+	cc      *clientConn
+	method  string
+	seq     uint64
+	q       *streamQ
+	cleanup func() // runs once, when the stream retires
+	ended   bool
+	err     error
+}
+
+// Next returns the next chunk; ok=false ends the stream (Err reports
+// whether it ended cleanly). It respects the stream's context — a
+// cancellation abandons the stream (late chunks are absorbed by the
+// queue and dropped with it).
+func (s *ClientStream) Next() (any, bool) {
+	if s.ended {
+		return nil, false
+	}
+	for {
+		in, got, done := s.q.pop()
+		switch {
+		case got && in.IsErr:
+			s.end(decodeErr(in.ErrText, in.ErrCode))
+			return nil, false
+		case got && !in.More:
+			// Clean final frame: empty by construction.
+			s.end(nil)
+			return nil, false
+		case got:
+			return in.Body, true
+		case done:
+			s.end(nil)
+			return nil, false
+		}
+		select {
+		case <-s.q.notify:
+		case <-s.ctx.Done():
+			s.abandon()
+			s.end(s.ctx.Err())
+			return nil, false
+		case <-s.cc.done:
+			s.end(fmt.Errorf("tcprpc: %s: %w", s.method, s.cc.err))
+			return nil, false
+		}
+	}
+}
+
+// Err reports how the stream ended, once Next has returned ok=false.
+func (s *ClientStream) Err() error { return s.err }
+
+// Materialize drains the stream and returns the chunks as a slice. The
+// transport does not know the application's single-message form, so
+// callers that need one (a ListPartsResp, say) issue a plain Call
+// instead; this exists to satisfy rpc.Streamer.
+func (s *ClientStream) Materialize() (any, error) {
+	var chunks []any
+	for {
+		chunk, ok := s.Next()
+		if !ok {
+			break
+		}
+		chunks = append(chunks, chunk)
+	}
+	return chunks, s.err
+}
+
+func (s *ClientStream) end(err error) {
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.err = err
+	s.cleanup()
+}
+
+// abandon deregisters a stream the consumer walked away from, so the
+// read loop stops queueing its late chunks.
+func (s *ClientStream) abandon() {
+	s.cc.pmu.Lock()
+	if ca, ok := s.cc.pending[s.seq]; ok && ca.stream == s.q {
+		delete(s.cc.pending, s.seq)
+	}
+	s.cc.pmu.Unlock()
+}
+
+// CallStream performs one RPC whose response arrives as a stream of
+// chunks. It fails fast with ErrNoStreams when the connection did not
+// negotiate streaming — callers then issue a plain Call and receive the
+// materialized body (the server collapses streamable responses for such
+// peers on its own). The context governs the whole consumption, not
+// just the send.
+func (c *Client) CallStream(ctx context.Context, method string, req any) (*ClientStream, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	if !cc.streams {
+		return nil, ErrNoStreams
+	}
+	release, err := c.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	seq := c.seq.Add(1)
+	q := newStreamQ()
+	ca := &call{method: method, stream: q}
+	cc.pmu.Lock()
+	cc.pending[seq] = ca
+	cc.pmu.Unlock()
+	c.ins.inflightUp()
+
+	st := &ClientStream{ctx: ctx, cc: cc, method: method, seq: seq, q: q}
+	var once sync.Once
+	st.cleanup = func() {
+		once.Do(func() {
+			c.ins.inflightDown()
+			release()
+		})
+	}
+
+	out := &request{Seq: seq, From: c.from, Method: method, Body: req, Trace: obs.FromContext(ctx)}
+	select {
+	case cc.sendCh <- out:
+	case <-ctx.Done():
+		st.abandon()
+		st.end(ctx.Err())
+		return nil, ctx.Err()
+	case <-cc.done:
+		st.abandon()
+		err := fmt.Errorf("tcprpc: %s: %w", method, cc.err)
+		st.end(err)
+		return nil, err
+	}
+	return st, nil
+}
+
 // finish unpacks one response envelope.
 func finish(in response) (any, error) {
 	if in.IsErr {
@@ -370,17 +572,25 @@ func (cc *clientConn) readLoop() {
 			cc.fail(fmt.Errorf("recv: %w", err))
 			return
 		}
+		// A stream chunk keeps its call pending: further responses on
+		// the same seq are still coming. The final frame (More false,
+		// or an error) retires the entry.
+		final := !in.More || in.IsErr
 		cc.pmu.Lock()
 		ca, ok := cc.pending[in.Seq]
-		if ok {
+		if ok && (final || ca.stream == nil) {
 			delete(cc.pending, in.Seq)
 		}
 		cc.pmu.Unlock()
-		if ok {
-			cc.ins.addRecv(ca.method, n)
-			ca.ch <- in
-		} else {
+		if !ok {
 			cc.ins.addRecv("", n)
+			continue
+		}
+		cc.ins.addRecv(ca.method, n)
+		if ca.stream != nil {
+			ca.stream.push(in, final)
+		} else {
+			ca.ch <- in
 		}
 	}
 }

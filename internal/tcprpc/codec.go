@@ -46,6 +46,7 @@ const (
 	bfTraced  = 1 << 1 // request: envelope carries a span context
 	bfIsErr   = 1 << 1 // response: envelope carries an error, not a body
 	bfNilBody = 1 << 2 // body is absent
+	bfMore    = 1 << 3 // response: stream chunk; more responses follow on this seq
 )
 
 // codec reads and writes envelope messages on one connection, reporting
@@ -379,6 +380,9 @@ func (c *wirebinCodec) writeResponse(resp *response) (int, error) {
 	var id uint16
 	var encFn wirebin.EncodeFunc
 	var typed bool
+	if resp.More {
+		bflags |= bfMore
+	}
 	if resp.IsErr {
 		bflags |= bfIsErr
 	} else {
@@ -419,6 +423,7 @@ func (c *wirebinCodec) readResponse(resp *response) (int, error) {
 	*resp = response{}
 	resp.Seq = r.Uvarint()
 	bflags := r.Byte()
+	resp.More = bflags&bfMore != 0
 	if bflags&bfIsErr != 0 {
 		resp.IsErr = true
 		resp.ErrText = r.String()

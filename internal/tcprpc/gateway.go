@@ -2,10 +2,12 @@ package tcprpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"weaksets/internal/netsim"
+	"weaksets/internal/repo"
 	"weaksets/internal/rpc"
 )
 
@@ -41,6 +43,13 @@ func NewGateway(bus *rpc.Bus, node netsim.NodeID, client *Client, methods []stri
 	for _, method := range methods {
 		method := method
 		srv.Handle(method, func(ctx context.Context, from netsim.NodeID, req any) (any, error) {
+			// A streaming listing request is bridged end-to-end: the
+			// remote chunks become an rpc.Streamer the bus hands to the
+			// local consumer, so partition 0 is being fetched against
+			// while partition N-1 is still crossing the socket.
+			if r, ok := req.(repo.ListPartsReq); ok && r.Stream {
+				return g.forwardStream(ctx, method, req)
+			}
 			// Derive from the incoming context so the caller's trace
 			// context (and cancellation) flows onto the wire.
 			ctx, cancel := context.WithTimeout(ctx, g.CallTimeout)
@@ -52,6 +61,58 @@ func NewGateway(bus *rpc.Bus, node netsim.NodeID, client *Client, methods []stri
 		return nil, fmt.Errorf("tcprpc: gateway at %s: %w", node, err)
 	}
 	return g, nil
+}
+
+// forwardStream forwards a streamed call, returning an rpc.Streamer
+// that the handler's caller consumes after the handler returns. The
+// CallTimeout bounds the whole consumption, and its cancel fires when
+// the stream retires rather than when this function returns — the
+// stream outlives the handler by design. Connections that did not
+// negotiate streaming fall back to one materialized call.
+func (g *Gateway) forwardStream(ctx context.Context, method string, req any) (any, error) {
+	sctx, cancel := context.WithTimeout(ctx, g.CallTimeout)
+	st, err := g.client.CallStream(sctx, method, req)
+	if err != nil {
+		defer cancel()
+		if errors.Is(err, ErrNoStreams) {
+			// The remote materializes streamable bodies for such peers.
+			return g.client.Call(sctx, method, req)
+		}
+		return nil, err
+	}
+	return &gatewayStream{st: st, cancel: cancel}, nil
+}
+
+// gatewayStream adapts a ClientStream into the bus-facing Streamer,
+// releasing the per-call timeout when the stream ends.
+type gatewayStream struct {
+	st     *ClientStream
+	cancel context.CancelFunc
+}
+
+func (gs *gatewayStream) Next() (any, bool) {
+	chunk, ok := gs.st.Next()
+	if !ok {
+		gs.cancel()
+	}
+	return chunk, ok
+}
+
+func (gs *gatewayStream) Err() error { return gs.st.Err() }
+
+func (gs *gatewayStream) Materialize() (any, error) {
+	defer gs.cancel()
+	var resp repo.ListPartsResp
+	for {
+		chunk, ok := gs.st.Next()
+		if !ok {
+			break
+		}
+		if pl, ok := chunk.(repo.PartListing); ok {
+			resp.Parts = append(resp.Parts, pl)
+		}
+	}
+	return resp, gs.st.Err()
 }
 
 // Node reports the cluster node the gateway impersonates.

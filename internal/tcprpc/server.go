@@ -143,6 +143,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 	var pendingFirst *request
+	// streams records whether this connection's client negotiated
+	// multi-frame responses; without the hello saying so, every
+	// streamable body is materialized into one response.
+	var streams bool
 	if hr, ok := first.Body.(helloReq); ok && first.Method == methodHello && !s.noNegotiate {
 		confirmed := negotiate(hr)
 		resp := response{Seq: first.Seq, Body: confirmed}
@@ -152,6 +156,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if confirmed.Codec == CodecWirebin {
 			cdc = newWirebinCodec(fio, hr.From, confirmed.Compress, confirmed.CompressMin)
 		}
+		streams = confirmed.Streams
 	} else {
 		pendingFirst = &first
 	}
@@ -173,6 +178,18 @@ func (s *Server) serveConn(conn net.Conn) {
 				sp.SetAttr("method", req.Method)
 				body, err := s.dispatch.Dispatch(ctx, netsim.NodeID(req.From), req.Method, req.Body)
 				sp.End()
+				if st, ok := body.(rpc.Streamer); ok {
+					// A streamable body: ship it chunk-by-chunk when this
+					// client negotiated streams, else collapse it to the
+					// single-response form right here.
+					if streams {
+						if !writeStream(cdc, &wmu, req.Seq, st) {
+							_ = conn.Close()
+						}
+						continue
+					}
+					body, err = st.Materialize()
+				}
 				resp := response{Seq: req.Seq, Body: body}
 				if err != nil {
 					resp.IsErr = true
@@ -208,11 +225,43 @@ func (s *Server) serveConn(conn net.Conn) {
 	pool.Wait()
 }
 
+// writeStream ships a Streamer body as a sequence of More-flagged
+// responses on seq, closed by an empty final response (or an IsErr
+// final when production failed). Each chunk takes the write lock
+// separately, so chunks interleave freely with other calls' responses
+// on the shared socket — production of the next chunk (taking the next
+// partition snapshot, say) overlaps the previous chunk's transmission.
+// It reports whether the connection is still usable.
+func writeStream(cdc codec, wmu *sync.Mutex, seq uint64, st rpc.Streamer) bool {
+	for {
+		chunk, ok := st.Next()
+		if !ok {
+			break
+		}
+		resp := response{Seq: seq, Body: chunk, More: true}
+		wmu.Lock()
+		_, werr := cdc.writeResponse(&resp)
+		wmu.Unlock()
+		if werr != nil {
+			return false
+		}
+	}
+	final := response{Seq: seq}
+	if err := st.Err(); err != nil {
+		final.IsErr = true
+		final.ErrText, final.ErrCode = encodeErr(err)
+	}
+	wmu.Lock()
+	_, werr := cdc.writeResponse(&final)
+	wmu.Unlock()
+	return werr == nil
+}
+
 // negotiate picks the connection settings a hello asked for: the best
 // codec both sides speak, and compression (with its threshold) only when
 // the client requested it on a wirebin connection.
 func negotiate(hr helloReq) helloResp {
-	out := helloResp{Codec: CodecGob}
+	out := helloResp{Codec: CodecGob, Streams: hr.Streams}
 	for _, name := range hr.Codecs {
 		if name == CodecWirebin {
 			out.Codec = CodecWirebin

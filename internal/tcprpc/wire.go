@@ -37,13 +37,19 @@ type request struct {
 	Trace  obs.SpanContext
 }
 
-// response is one reply envelope.
+// response is one reply envelope. More marks a stream chunk: the call
+// has further responses coming under the same Seq, and the final one
+// (More false, and empty unless the stream failed) closes it. Peers
+// that predate streaming never see More set — servers only stream to
+// clients that negotiated it in the hello (gob ignores the unknown
+// field in either direction regardless).
 type response struct {
 	Seq     uint64
 	Body    any
 	ErrText string
 	ErrCode string
 	IsErr   bool
+	More    bool
 }
 
 // methodHello is the reserved codec-negotiation method. A codec-aware
@@ -68,6 +74,10 @@ type helloReq struct {
 	// CompressMin is the client's preferred minimum frame size to
 	// compress; 0 lets the server pick the default.
 	CompressMin int
+	// Streams declares the client can consume multi-frame responses
+	// (response.More); without it the server materializes streamable
+	// bodies into one response.
+	Streams bool
 }
 
 // helloResp confirms the negotiated settings, authoritative for both
@@ -76,6 +86,7 @@ type helloResp struct {
 	Codec       string
 	Compress    bool
 	CompressMin int
+	Streams     bool
 }
 
 // sentinelCodes maps well-known errors onto stable wire codes.
@@ -136,6 +147,9 @@ func registerWireTypes() {
 	gob.Register(repo.CreateReq{})
 	gob.Register(repo.ListReq{})
 	gob.Register(repo.ListResp{})
+	gob.Register(repo.ListPartsReq{})
+	gob.Register(repo.PartListing{})
+	gob.Register(repo.ListPartsResp{})
 	gob.Register(repo.AddReq{})
 	gob.Register(repo.RemoveReq{})
 	gob.Register(repo.RemoveResp{})
@@ -169,6 +183,7 @@ func RepoMethods() []string {
 		repo.MethodDelete,
 		repo.MethodCreate,
 		repo.MethodList,
+		repo.MethodListParts,
 		repo.MethodAdd,
 		repo.MethodRemove,
 		repo.MethodPin,

@@ -180,6 +180,14 @@ func FuzzReader(f *testing.F) {
 	f.Add(AppendString(nil, "seed"))
 	f.Add(AppendUvarint(AppendBytes(nil, []byte{1, 2, 3}), 77))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	// A partition-listing-shaped frame: varints, a member count, id/node
+	// string pairs, a version, and trailing bools.
+	part := AppendVarint(AppendVarint(nil, 3), 16)
+	part = AppendUvarint(part, 2)
+	part = AppendString(AppendString(part, "e0001"), "storage1")
+	part = AppendString(AppendString(part, "e0002"), "storage2")
+	part = AppendBool(AppendBool(AppendUvarint(part, 42), false), true)
+	f.Add(part)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var r Reader
 		r.Reset(data)
