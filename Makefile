@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench sweep sweep-iter sweep-rpc sweep-obs sweep-cache sweep-scale clean
+.PHONY: check vet build test race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench-trend bench sweep sweep-iter sweep-rpc sweep-obs sweep-cache sweep-scale clean
 
-check: vet build race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale
+check: vet build race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench-trend
 
 vet:
 	$(GO) vet ./...
@@ -72,6 +72,14 @@ bench-cache:
 # committed BENCH_scale.json (produced by sweep-scale) is left alone.
 bench-scale:
 	$(GO) run ./cmd/weakbench -scale -scale-quick -scale-json /tmp/BENCH_scale_smoke.json
+
+# Trend gate: re-run the quick cache and TCP sweeps and compare their
+# size-independent figures (bytes elided warm, leased steady-state
+# RPCs/run, multiplexing and codec speedups) against the committed
+# BENCH_cache.json / BENCH_rpc.json. Fails loudly on gross regressions;
+# absolute throughput is never compared, so it is machine-portable.
+bench-trend:
+	$(GO) run ./cmd/weakbench -trend
 
 # Full root benchmark suite (slow).
 bench:

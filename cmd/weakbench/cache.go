@@ -16,41 +16,112 @@ import (
 	"weaksets/internal/store"
 )
 
-// cacheResult is one row of the -cache sweep: one Collect over a
-// populated collection with the element cache in a known state.
+// cacheResult is one row of the -cache sweep: one or more successive
+// Collects over a populated collection with the element cache in a known
+// state.
 type cacheResult struct {
 	Semantics string `json:"semantics"`
 	Elements  int    `json:"elements"`
 	// Phase: "cold" (empty cache), "warm" (previous run populated it, set
-	// unchanged), or "mutated" (a remote writer touched ~10% of the
-	// objects and the membership between runs).
-	Phase        string        `json:"phase"`
-	Yielded      int           `json:"yielded"`
-	Virtual      time.Duration `json:"virtualNs"`
-	ElemsPerSec  float64       `json:"elemsPerSec"` // per virtual second
-	GetRPCs      int64         `json:"getRPCs"`
-	BatchRPCs    int64         `json:"getBatchRPCs"`
-	BytesShipped int64         `json:"bytesShipped"` // server-side payload bytes
-	NotModified  int64         `json:"notModified"`
-	CacheHits    int64         `json:"cacheHits"`
-	Validated    int64         `json:"cacheValidatedHits"`
+	// unchanged), "mutated" (a remote writer touched ~10% of the objects
+	// and the membership between runs), "leased" (steady state under a
+	// held lease, quiescent writer), or "lease-lost" (lease stopped, back
+	// on the conditional-revalidate path).
+	Phase string `json:"phase"`
+	// Runs is how many successive Collects the row aggregates; the
+	// per-run figures below are averaged over it.
+	Runs           int           `json:"runs"`
+	Yielded        int           `json:"yielded"`
+	Virtual        time.Duration `json:"virtualNs"`   // per run
+	ElemsPerSec    float64       `json:"elemsPerSec"` // per virtual second
+	GetRPCs        int64         `json:"getRPCs"`
+	BatchRPCs      int64         `json:"getBatchRPCs"`
+	ListRPCs       int64         `json:"listRPCs"` // List + ListParts
+	ReadRPCsPerRun float64       `json:"readRPCsPerRun"`
+	BytesShipped   int64         `json:"bytesShipped"` // server-side payload bytes
+	NotModified    int64         `json:"notModified"`
+	CacheHits      int64         `json:"cacheHits"`
+	Validated      int64         `json:"cacheValidatedHits"`
 }
 
 // cacheReport is the BENCH_cache.json document. Speedup maps a semantics
 // to warm-over-cold elements/sec; ByteReduction maps a semantics to the
-// fraction of cold-run payload bytes the warm run kept off the wire.
+// fraction of cold-run payload bytes the warm run kept off the wire;
+// LeaseSteadyRPCsPerRun maps a current-state semantics to read RPCs per
+// steady-state run under a held lease — the number leases drive to 0.
 type cacheReport struct {
-	Meta          benchMeta          `json:"meta"`
-	GOMAXPROCS    int                `json:"gomaxprocs"`
-	Engine        string             `json:"engine"`
-	StorageNodes  int                `json:"storageNodes"`
-	Seed          int64              `json:"seed"`
-	Scale         float64            `json:"scale"`
-	LatencyMs     float64            `json:"oneWayLatencyMs"`
-	ObjectBytes   int                `json:"objectBytes"`
-	Results       []cacheResult      `json:"results"`
-	Speedup       map[string]float64 `json:"speedup"`
-	ByteReduction map[string]float64 `json:"byteReduction"`
+	Meta                  benchMeta          `json:"meta"`
+	GOMAXPROCS            int                `json:"gomaxprocs"`
+	Engine                string             `json:"engine"`
+	StorageNodes          int                `json:"storageNodes"`
+	Seed                  int64              `json:"seed"`
+	Scale                 float64            `json:"scale"`
+	LatencyMs             float64            `json:"oneWayLatencyMs"`
+	ObjectBytes           int                `json:"objectBytes"`
+	Results               []cacheResult      `json:"results"`
+	Speedup               map[string]float64 `json:"speedup"`
+	ByteReduction         map[string]float64 `json:"byteReduction"`
+	LeaseSteadyRPCsPerRun map[string]float64 `json:"leaseSteadyRPCsPerRun"`
+}
+
+// measureRuns drives runs successive Collects and returns the aggregated
+// row: counters are deltas over the whole burst, virtual time and the
+// RPC rate are per run.
+func measureRuns(ctx context.Context, c *cluster.Cluster, cache *repo.Cache, set *core.Set, scale sim.TimeScale, sem core.Semantics, phase string, runs, size int) (cacheResult, error) {
+	gets := c.Bus.MethodCalls(repo.MethodGet)
+	batches := c.Bus.MethodCalls(repo.MethodGetBatch)
+	lists := c.Bus.MethodCalls(repo.MethodList) + c.Bus.MethodCalls(repo.MethodListParts)
+	beforeB := cacheBatchTotals(c)
+	beforeC := cache.Stats()
+	elapsed := scale.Stopwatch()
+	yielded := 0
+	for r := 0; r < runs; r++ {
+		elems, err := set.Collect(ctx)
+		if err != nil {
+			return cacheResult{}, fmt.Errorf("%s/%s run %d: %w", sem, phase, r, err)
+		}
+		yielded = len(elems)
+	}
+	virtual := elapsed() / time.Duration(runs)
+	afterB := cacheBatchTotals(c)
+	afterC := cache.Stats()
+	res := cacheResult{
+		Semantics:    sem.String(),
+		Elements:     size,
+		Phase:        phase,
+		Runs:         runs,
+		Yielded:      yielded,
+		Virtual:      virtual,
+		GetRPCs:      c.Bus.MethodCalls(repo.MethodGet) - gets,
+		BatchRPCs:    c.Bus.MethodCalls(repo.MethodGetBatch) - batches,
+		ListRPCs:     c.Bus.MethodCalls(repo.MethodList) + c.Bus.MethodCalls(repo.MethodListParts) - lists,
+		BytesShipped: afterB.BytesShipped - beforeB.BytesShipped,
+		NotModified:  afterB.NotModified - beforeB.NotModified,
+		CacheHits:    afterC.Hits - beforeC.Hits,
+		Validated:    afterC.ValidatedHits - beforeC.ValidatedHits,
+	}
+	res.ReadRPCsPerRun = float64(res.GetRPCs+res.BatchRPCs+res.ListRPCs) / float64(runs)
+	if virtual > 0 {
+		res.ElemsPerSec = float64(res.Yielded) / virtual.Seconds()
+	}
+	return res, nil
+}
+
+// addCacheRow renders one sweep row into the summary table.
+func addCacheRow(table *metrics.Table, res cacheResult) {
+	table.AddRow(
+		res.Semantics,
+		res.Phase,
+		fmt.Sprintf("%d", res.Runs),
+		res.Virtual.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.0f", res.ElemsPerSec),
+		fmt.Sprintf("%.1f", res.ReadRPCsPerRun),
+		fmt.Sprintf("%d", res.BatchRPCs),
+		fmt.Sprintf("%d", res.NotModified),
+		fmt.Sprintf("%d", res.BytesShipped),
+		fmt.Sprintf("%d", res.CacheHits),
+		fmt.Sprintf("%d", res.Validated),
+	)
 }
 
 // cacheBatchTotals sums the engine batch counters across the storage
@@ -96,20 +167,21 @@ func runCacheSweep(jsonPath string, quick bool, seed int64, scale sim.TimeScale)
 	}
 
 	report := cacheReport{
-		Meta:          inprocMeta(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		StorageNodes:  storageNodes,
-		Seed:          seed,
-		Scale:         float64(scale),
-		LatencyMs:     float64(latency) / float64(time.Millisecond),
-		ObjectBytes:   objectBytes,
-		Speedup:       map[string]float64{},
-		ByteReduction: map[string]float64{},
+		Meta:                  inprocMeta(),
+		GOMAXPROCS:            runtime.GOMAXPROCS(0),
+		StorageNodes:          storageNodes,
+		Seed:                  seed,
+		Scale:                 float64(scale),
+		LatencyMs:             float64(latency) / float64(time.Millisecond),
+		ObjectBytes:           objectBytes,
+		Speedup:               map[string]float64{},
+		ByteReduction:         map[string]float64{},
+		LeaseSteadyRPCsPerRun: map[string]float64{},
 	}
 	table := metrics.NewTable(
 		fmt.Sprintf("Element cache: %d x %dB elements, %d storage nodes, %v one-way",
 			size, objectBytes, storageNodes, latency),
-		"semantics", "phase", "virtual time", "elems/sec", "GetBatch", "notMod", "shipped B", "hits", "validated")
+		"semantics", "phase", "runs", "virtual time", "elems/sec", "RPCs/run", "GetBatch", "notMod", "shipped B", "hits", "validated")
 
 	ctx := context.Background()
 	for _, sem := range []core.Semantics{core.Snapshot, core.GrowOnly} {
@@ -185,34 +257,10 @@ func runCacheSweep(jsonPath string, quick bool, seed int64, scale sim.TimeScale)
 				}
 			}
 
-			gets := c.Bus.MethodCalls(repo.MethodGet)
-			batches := c.Bus.MethodCalls(repo.MethodGetBatch)
-			beforeB := cacheBatchTotals(c)
-			beforeC := cache.Stats()
-			elapsed := scale.Stopwatch()
-			elems, err := set.Collect(ctx)
-			virtual := elapsed()
+			res, err := measureRuns(ctx, c, cache, set, scale, sem, phase, 1, size)
 			if err != nil {
 				c.Close()
-				return fmt.Errorf("cache sweep: %s/%s: %w", sem, phase, err)
-			}
-			afterB := cacheBatchTotals(c)
-			afterC := cache.Stats()
-			res := cacheResult{
-				Semantics:    sem.String(),
-				Elements:     size,
-				Phase:        phase,
-				Yielded:      len(elems),
-				Virtual:      virtual,
-				GetRPCs:      c.Bus.MethodCalls(repo.MethodGet) - gets,
-				BatchRPCs:    c.Bus.MethodCalls(repo.MethodGetBatch) - batches,
-				BytesShipped: afterB.BytesShipped - beforeB.BytesShipped,
-				NotModified:  afterB.NotModified - beforeB.NotModified,
-				CacheHits:    afterC.Hits - beforeC.Hits,
-				Validated:    afterC.ValidatedHits - beforeC.ValidatedHits,
-			}
-			if virtual > 0 {
-				res.ElemsPerSec = float64(res.Yielded) / virtual.Seconds()
+				return fmt.Errorf("cache sweep: %w", err)
 			}
 			report.Results = append(report.Results, res)
 
@@ -228,17 +276,46 @@ func runCacheSweep(jsonPath string, quick bool, seed int64, scale sim.TimeScale)
 					report.ByteReduction[sem.String()] = 1 - float64(res.BytesShipped)/coldShipped
 				}
 			}
-			table.AddRow(
-				sem.String(),
-				phase,
-				virtual.Round(time.Millisecond).String(),
-				fmt.Sprintf("%.0f", res.ElemsPerSec),
-				fmt.Sprintf("%d", res.BatchRPCs),
-				fmt.Sprintf("%d", res.NotModified),
-				fmt.Sprintf("%d", res.BytesShipped),
-				fmt.Sprintf("%d", res.CacheHits),
-				fmt.Sprintf("%d", res.Validated),
-			)
+			addCacheRow(table, res)
+		}
+
+		// Steady state under a lease: only current-state semantics pay a
+		// per-run revalidation RPC (warm snapshot runs were already
+		// RPC-free), so only they have a lease phase. The writer is
+		// quiescent, so every run after the first must cross the wire
+		// exactly zero times; stopping the lease then lands the next run
+		// back on the conditional-revalidate path.
+		if !sem.UsesSnapshot() {
+			const steadyRuns = 8
+			ls := repo.NewLeaseState(c.Client, cluster.DirNode, coll)
+			if err := ls.Start(ctx); err != nil {
+				c.Close()
+				return fmt.Errorf("cache sweep: lease start: %w", err)
+			}
+			c.Client.UseLeases(ls)
+			// One unrecorded run folds the post-mutation listing under the
+			// lease and seeds the cross-run listing cache.
+			if _, err := set.Collect(ctx); err != nil {
+				c.Close()
+				return fmt.Errorf("cache sweep: lease warm-up: %w", err)
+			}
+			res, err := measureRuns(ctx, c, cache, set, scale, sem, "leased", steadyRuns, size)
+			if err != nil {
+				c.Close()
+				return fmt.Errorf("cache sweep: %w", err)
+			}
+			report.Results = append(report.Results, res)
+			report.LeaseSteadyRPCsPerRun[sem.String()] = res.ReadRPCsPerRun
+			addCacheRow(table, res)
+
+			ls.Stop()
+			lost, err := measureRuns(ctx, c, cache, set, scale, sem, "lease-lost", 1, size)
+			if err != nil {
+				c.Close()
+				return fmt.Errorf("cache sweep: %w", err)
+			}
+			report.Results = append(report.Results, lost)
+			addCacheRow(table, lost)
 		}
 		c.Close()
 	}
@@ -246,6 +323,9 @@ func runCacheSweep(jsonPath string, quick bool, seed int64, scale sim.TimeScale)
 	for _, sem := range []string{"snapshot", "grow-only"} {
 		fmt.Printf("%s: warm %.1fx cold, %.1f%% payload bytes elided\n",
 			sem, report.Speedup[sem], 100*report.ByteReduction[sem])
+	}
+	for sem, rate := range report.LeaseSteadyRPCsPerRun {
+		fmt.Printf("%s: %.1f read RPCs/run at steady state under a held lease\n", sem, rate)
 	}
 
 	f, err := os.Create(jsonPath)

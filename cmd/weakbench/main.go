@@ -88,6 +88,8 @@ func run(args []string) error {
 		scaleRun  = fs.Bool("scale", false, "run the listing scalability sweep (monolithic vs partitioned, 10k-1M elements) instead of experiments")
 		scaleJSON = fs.String("scale-json", "BENCH_scale.json", "where -scale writes its machine-readable results")
 		scaleQk   = fs.Bool("scale-quick", false, "trim the -scale sweep (smaller sets, one round)")
+		trendRun  = fs.Bool("trend", false, "run quick cache+rpc smoke sweeps and gate their size-independent figures against the committed BENCH_cache.json/BENCH_rpc.json")
+		trendTol  = fs.Float64("trend-tolerance", 0.5, "multiplicative tolerance for -trend ratio comparisons (0.5 = fail below half the committed speedup)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +125,9 @@ func run(args []string) error {
 	}
 	if *scaleRun {
 		return runScaleSweep(*scaleJSON, *scaleQk, *seed)
+	}
+	if *trendRun {
+		return runTrend(*cacheJSON, *rpcJSON, *trendTol, *seed, *rpcLat)
 	}
 
 	if *list {
@@ -276,6 +281,11 @@ type benchMeta struct {
 	GoVersion   string `json:"goVersion"`
 	Codec       string `json:"codec"`
 	Compression string `json:"compression"` // "off" or "deflate>=<N>B"
+	// GOMAXPROCS and Partitions identify the machine shape and listing
+	// partition configuration a sweep ran under; sweeps they don't apply
+	// to leave them zero and they stay out of the JSON.
+	GOMAXPROCS int   `json:"gomaxprocs,omitempty"`
+	Partitions []int `json:"partitions,omitempty"`
 }
 
 func newBenchMeta(codec string, compress bool, compressMin int) benchMeta {

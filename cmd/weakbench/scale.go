@@ -216,8 +216,13 @@ func runScaleSweep(jsonPath string, quick bool, seed int64) error {
 		rounds = 1
 	}
 
+	meta := inprocMeta()
+	meta.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	for _, n := range sizes {
+		meta.Partitions = append(meta.Partitions, scalePartitions(n))
+	}
 	report := scaleReport{
-		Meta:              inprocMeta(),
+		Meta:              meta,
 		GOMAXPROCS:        runtime.GOMAXPROCS(0),
 		StorageNodes:      scaleStorage,
 		PayloadBytes:      scalePayload,

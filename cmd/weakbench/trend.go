@@ -1,0 +1,156 @@
+package main
+
+// The -trend gate: the first slice of the ROADMAP trend-tracking item.
+// It re-runs the quick cache and TCP sweeps, then compares the figures
+// that are stable across sweep sizes against the committed
+// BENCH_cache.json / BENCH_rpc.json and fails loudly on gross
+// regressions. Absolute throughput is deliberately not compared — the
+// smoke sweeps are smaller and the machines differ — only ratios and
+// invariants that a correct implementation reproduces at any size:
+// payload bytes elided by the warm cache, read RPCs per steady-state
+// leased run, the multiplexing speedup, and the wirebin-over-gob step.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"weaksets/internal/sim"
+)
+
+// trendCheck is one gated comparison under the tolerance policy. Fractions compare
+// by absolute difference; ratios compare multiplicatively, failing only
+// below committed*(1-tol) — a smoke run being faster is never a failure.
+type trendCheck struct {
+	name      string
+	committed float64
+	smoke     float64
+	kind      string // "fraction" (abs diff) or "ratio" (multiplicative floor)
+}
+
+func (tc trendCheck) failure(tol float64) string {
+	switch tc.kind {
+	case "fraction":
+		// Fractions live on [0,1]; a fixed absolute band is the right
+		// scale and symmetric (elision getting "better" than committed by
+		// more than the band would be just as suspicious a measurement).
+		const band = 0.15
+		if d := tc.smoke - tc.committed; d > band || d < -band {
+			return fmt.Sprintf("%s: smoke %.3f vs committed %.3f (band ±%.2f)", tc.name, tc.smoke, tc.committed, band)
+		}
+	case "ratio":
+		if floor := tc.committed * (1 - tol); tc.smoke < floor {
+			return fmt.Sprintf("%s: smoke %.2fx vs committed %.2fx (floor %.2fx)", tc.name, tc.smoke, tc.committed, floor)
+		}
+	}
+	return ""
+}
+
+func loadTrendReport(path string, into any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, into)
+}
+
+// runTrend runs the quick sweeps and gates them against the committed
+// reports. tol is the multiplicative tolerance for ratio comparisons.
+func runTrend(cacheCommitted, rpcCommitted string, tol float64, seed int64, rpcLat time.Duration) error {
+	const (
+		cacheSmokePath = "/tmp/BENCH_cache_trend.json"
+		rpcSmokePath   = "/tmp/BENCH_rpc_trend.json"
+	)
+	fmt.Printf("trend gate: smoke sweeps vs %s, %s (ratio tolerance %.0f%%)\n\n", cacheCommitted, rpcCommitted, 100*tol)
+	if err := runCacheSweep(cacheSmokePath, true, seed, sim.TimeScale(1)); err != nil {
+		return fmt.Errorf("trend: cache smoke: %w", err)
+	}
+	fmt.Println()
+	if err := runRPCSweep(rpcSmokePath, true, rpcLat); err != nil {
+		return fmt.Errorf("trend: rpc smoke: %w", err)
+	}
+	fmt.Println()
+
+	var checks []trendCheck
+	var failures, skipped []string
+
+	var cacheCom, cacheSmoke cacheReport
+	if err := loadTrendReport(cacheCommitted, &cacheCom); err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	if err := loadTrendReport(cacheSmokePath, &cacheSmoke); err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	for sem, com := range cacheCom.ByteReduction {
+		smoke, ok := cacheSmoke.ByteReduction[sem]
+		if !ok {
+			skipped = append(skipped, "cache byteReduction/"+sem)
+			continue
+		}
+		checks = append(checks, trendCheck{"cache byteReduction/" + sem, com, smoke, "fraction"})
+	}
+	for sem, com := range cacheCom.LeaseSteadyRPCsPerRun {
+		smoke, ok := cacheSmoke.LeaseSteadyRPCsPerRun[sem]
+		if !ok {
+			skipped = append(skipped, "cache leaseSteadyRPCsPerRun/"+sem)
+			continue
+		}
+		// The leased steady state must stay at (or within rounding of)
+		// the committed zero: any run that starts paying revalidation
+		// RPCs again is exactly the regression this gate exists to catch.
+		if smoke > com+0.5 {
+			msg := fmt.Sprintf("cache leaseSteadyRPCsPerRun/%s: smoke %.1f RPCs/run vs committed %.1f (ceiling +0.5)", sem, smoke, com)
+			failures = append(failures, msg)
+			fmt.Printf("  FAIL %s\n", msg)
+			continue
+		}
+		fmt.Printf("  ok  cache leaseSteadyRPCsPerRun/%s: %.1f RPCs/run (committed %.1f)\n", sem, smoke, com)
+	}
+
+	var rpcCom, rpcSmoke rpcReport
+	if err := loadTrendReport(rpcCommitted, &rpcCom); err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	if err := loadTrendReport(rpcSmokePath, &rpcSmoke); err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	for key, smoke := range rpcSmoke.Speedup {
+		com, ok := rpcCom.Speedup[key]
+		if !ok {
+			skipped = append(skipped, "rpc speedup/"+key)
+			continue
+		}
+		// budget=1 has no parallelism to lose; its ratio is ~1.0 noise.
+		if strings.HasSuffix(key, "/budget=1") {
+			continue
+		}
+		checks = append(checks, trendCheck{"rpc speedup/" + key, com, smoke, "ratio"})
+	}
+	for key, smoke := range rpcSmoke.CodecSpeedup {
+		com, ok := rpcCom.CodecSpeedup[key]
+		if !ok {
+			skipped = append(skipped, "rpc codecSpeedup/"+key)
+			continue
+		}
+		checks = append(checks, trendCheck{"rpc codecSpeedup/" + key, com, smoke, "ratio"})
+	}
+
+	for _, tc := range checks {
+		if msg := tc.failure(tol); msg != "" {
+			failures = append(failures, msg)
+			fmt.Printf("  FAIL %s\n", msg)
+		} else {
+			fmt.Printf("  ok  %s: smoke %.2f (committed %.2f)\n", tc.name, tc.smoke, tc.committed)
+		}
+	}
+	for _, s := range skipped {
+		fmt.Printf("  skip %s: not present in both reports\n", s)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("trend gate FAILED:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Println("trend gate passed: no regressions beyond tolerance")
+	return nil
+}

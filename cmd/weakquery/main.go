@@ -23,6 +23,7 @@ import (
 	"weaksets/internal/metrics"
 	"weaksets/internal/obs"
 	"weaksets/internal/query"
+	"weaksets/internal/repo"
 	"weaksets/internal/sim"
 	"weaksets/internal/wais"
 )
@@ -46,6 +47,7 @@ func run(args []string) error {
 		cut        = fs.Int("cut", 0, "storage nodes to partition away")
 		scale      = fs.Float64("scale", 0.01, "virtual-to-real time scale")
 		seed       = fs.Int64("seed", 11, "random seed")
+		lease      = fs.Bool("lease", false, "hold an invalidation lease on the corpus before querying")
 		trace      = fs.Bool("trace", false, "print the run's span trace and weakness report")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +99,19 @@ func run(args []string) error {
 		fmt.Printf("partitioned away %d node(s)\n", *cut)
 	}
 
+	// A lease pays off on repeated reads; a one-shot query holds one only
+	// when asked, mostly to let the flag demonstrate the zero-RPC rerun.
+	var ls *repo.LeaseState
+	if *lease {
+		ls = repo.NewLeaseState(c.Client, corpus.Dir, corpus.Coll)
+		if err := ls.Start(ctx); err != nil {
+			return fmt.Errorf("lease start: %w", err)
+		}
+		defer ls.Stop()
+		c.Client.UseLeases(ls)
+		fmt.Printf("holding an invalidation lease on %q\n", corpus.Coll)
+	}
+
 	qry, err := query.New(c.Client, corpus.Dir, corpus.Coll, *q)
 	if err != nil {
 		return err
@@ -146,6 +161,11 @@ func run(args []string) error {
 		fmt.Println("outcome: blocked — optimistic patience exhausted waiting for a repair")
 	default:
 		return err
+	}
+	if ls != nil {
+		st := ls.Stats()
+		fmt.Printf("lease: %d held, %d grants, %d renewals, %d invalidations pushed\n",
+			st.Held, st.Grants, st.Renewals, st.Invalidations)
 	}
 	if *trace {
 		fmt.Println()

@@ -45,6 +45,7 @@ func run(args []string) error {
 		mutate = fs.Bool("mutate", true, "keep a background editor mutating the menus")
 		sample = fs.Int("sample", 1, "trace 1 in N query runs (1 = every run)")
 		cache  = fs.Int("cache", 4096, "element cache capacity in objects (0 disables)")
+		lease  = fs.Bool("lease", true, "hold invalidation leases on the corpora (push beats revalidate)")
 		pprof  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -71,13 +72,25 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := wais.BuildFaces(ctx, c, 25); err != nil {
+	faces, err := wais.BuildFaces(ctx, c, 25)
+	if err != nil {
 		return err
 	}
-	if _, err := wais.BuildLibrary(ctx, c, []string{"wing", "steere", "liskov"}, 8); err != nil {
+	lib, err := wais.BuildLibrary(ctx, c, []string{"wing", "steere", "liskov"}, 8)
+	if err != nil {
 		return err
 	}
 	fmt.Println("corpora ready: menus (30), faces (25), lis (24)")
+
+	if *lease {
+		ls := repo.NewLeaseState(c.Client, menus.Dir, menus.Coll, faces.Coll, lib.Coll)
+		if err := ls.Start(ctx); err != nil {
+			return fmt.Errorf("lease start: %w", err)
+		}
+		defer ls.Stop()
+		c.Client.UseLeases(ls)
+		fmt.Println("invalidation leases held on the corpora; lease stats under /stats and /metrics")
+	}
 
 	if *mutate {
 		mut := workload.NewMutator(workload.MutatorConfig{

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"testing"
+	"time"
 
 	"weaksets/internal/cluster"
 	"weaksets/internal/obs"
@@ -100,6 +101,115 @@ func TestCurrentStateRunValidatesWithoutPayload(t *testing.T) {
 	rep, ok := reg.Last("set")
 	if !ok || rep.CacheValidatedHits != 12 || rep.CacheHits != 0 {
 		t.Fatalf("weakness report: ok=%v validated=%d direct=%d", ok, rep.CacheValidatedHits, rep.CacheHits)
+	}
+}
+
+// readRPCs sums every RPC a membership-or-element read could cost: the
+// lease acceptance bar is that a warm current-state run issues none.
+func readRPCs(c *cluster.Cluster) int64 {
+	return c.Bus.MethodCalls(repo.MethodList) +
+		c.Bus.MethodCalls(repo.MethodListParts) +
+		c.Bus.MethodCalls(repo.MethodGet) +
+		c.Bus.MethodCalls(repo.MethodGetBatch)
+}
+
+// TestLeaseHeldCurrentStateRunZeroRPC is the lease tentpole's headline
+// property: with a lease held and the caches warm, a current-state
+// (grow-only) run over a quiescent set costs zero RPCs — no List, no
+// GetBatch, nothing — because the server promised to push any change.
+// Losing the lease degrades the same run back to conditional
+// revalidation, never to silent staleness.
+func TestLeaseHeldCurrentStateRunZeroRPC(t *testing.T) {
+	w := newTestWorld(t, 12)
+	ctx := context.Background()
+	cache := repo.NewCache(64)
+	w.c.Client.UseCache(cache)
+	ls := repo.NewLeaseState(w.c.Client, cluster.DirNode, "set")
+	if err := ls.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ls.Stop)
+	w.c.Client.UseLeases(ls)
+	reg := obs.NewRegistry()
+	s := w.set(t, Options{Semantics: GrowOnly, Weakness: reg})
+
+	if cold, err := s.Collect(ctx); err != nil || len(cold) != 12 {
+		t.Fatalf("cold run: %d elems, %v", len(cold), err)
+	}
+
+	before := readRPCs(w.c)
+	warm, err := s.Collect(ctx)
+	if err != nil || len(warm) != 12 {
+		t.Fatalf("warm run: %d elems, %v", len(warm), err)
+	}
+	for _, e := range warm {
+		if len(e.Data) == 0 || e.Stale {
+			t.Fatalf("warm element %s served without data", e.Ref.ID)
+		}
+	}
+	if d := readRPCs(w.c) - before; d != 0 {
+		t.Fatalf("lease-held warm run issued %d read RPCs, want 0", d)
+	}
+	rep, ok := reg.Last("set")
+	if !ok || rep.LeaseServed == 0 {
+		t.Fatalf("weakness report: ok=%v leaseServed=%d, want > 0", ok, rep.LeaseServed)
+	}
+	if rep.LeaseAge < 0 {
+		t.Fatalf("lease age = %v", rep.LeaseAge)
+	}
+
+	// A write invalidates by push: once the bump lands, the next run
+	// falls back to one conditional List (the degradation ladder's middle
+	// rung), fetches only the new member, and then resumes serving
+	// RPC-free.
+	v0, _, ok := ls.Serveable("set")
+	if !ok {
+		t.Fatal("lease not serveable after warm run")
+	}
+	w.addElement(t, 100)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, _, ok := ls.Serveable("set"); ok && v > v0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pushed invalidation never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	lists := w.c.Bus.MethodCalls(repo.MethodList)
+	if moved, err := s.Collect(ctx); err != nil || len(moved) != 13 {
+		t.Fatalf("post-write run: %d elems, %v", len(moved), err)
+	}
+	if d := w.c.Bus.MethodCalls(repo.MethodList) - lists; d != 1 {
+		t.Fatalf("post-write run issued %d List RPCs, want exactly 1", d)
+	}
+	before = readRPCs(w.c)
+	if again, err := s.Collect(ctx); err != nil || len(again) != 13 {
+		t.Fatalf("re-warm run: %d elems, %v", len(again), err)
+	}
+	if d := readRPCs(w.c) - before; d != 0 {
+		t.Fatalf("re-warm lease-held run issued %d read RPCs, want 0", d)
+	}
+
+	// Lease loss: the same warm run degrades to conditional revalidation
+	// — a version-gated List plus NotModified batch validation, the PR 5
+	// numbers — not to serving unverified cache entries.
+	ls.Stop()
+	before = batchTotals(w.c).NotModified
+	lists = w.c.Bus.MethodCalls(repo.MethodList)
+	batches := w.c.Bus.MethodCalls(repo.MethodGetBatch)
+	if lost, err := s.Collect(ctx); err != nil || len(lost) != 13 {
+		t.Fatalf("leaseless run: %d elems, %v", len(lost), err)
+	}
+	if d := w.c.Bus.MethodCalls(repo.MethodList) - lists; d == 0 {
+		t.Fatal("leaseless run never revalidated the listing")
+	}
+	if d := w.c.Bus.MethodCalls(repo.MethodGetBatch) - batches; d == 0 {
+		t.Fatal("leaseless run served elements without revalidating")
+	}
+	if d := batchTotals(w.c).NotModified - before; d != 13 {
+		t.Fatalf("NotModified delta = %d, want 13", d)
 	}
 }
 

@@ -104,12 +104,30 @@ type fetchResult struct {
 // listVer, so an entry stamped at or above it serves without any RPC.
 // Current-state runs (pinned=false) must revalidate every serve — they
 // still save the payload via conditional fetches, but never skip the
-// round trip. listVer is called on the iterator goroutine only.
+// round trip — unless a lease certifies the listing is current: leased
+// reports the lease's certified listing version, and when that version
+// is at or below the run's own listVer the cached entries are exactly
+// what the owner would ship, so they serve RPC-free like a pinned run's.
+// listVer and leased are called on the iterator goroutine only.
 type cacheBinding struct {
 	cache   *repo.Cache
 	coll    string
 	pinned  bool
 	listVer func() uint64
+	leased  func() (uint64, bool)
+}
+
+// serveDirect reports whether entries stamped at or above listVer may
+// serve with no round trip under this binding.
+func (cb cacheBinding) serveDirect(listVer uint64) bool {
+	if cb.pinned {
+		return true
+	}
+	if cb.leased == nil || listVer == 0 {
+		return false
+	}
+	v, ok := cb.leased()
+	return ok && v <= listVer
 }
 
 // fetchChunk is one per-node batch plus the cache context it was planned
@@ -278,8 +296,10 @@ func (p *prefetcher) planLocked(candidates []repo.Ref) {
 		return
 	}
 	var listVer uint64
+	direct := false
 	if p.cb.cache != nil {
 		listVer = p.cb.listVer()
+		direct = p.cb.serveDirect(listVer)
 	}
 	need := make([]repo.Ref, 0, len(candidates))
 	for _, ref := range candidates {
@@ -289,10 +309,11 @@ func (p *prefetcher) planLocked(candidates []repo.Ref) {
 		if _, ok := p.ready[ref.ID]; ok {
 			continue
 		}
-		if p.cb.cache != nil && p.cb.pinned {
-			// A pinned run's membership image is frozen at listVer; an
-			// entry fetched or validated under it is exactly what the
-			// owner would ship, so it serves with no round trip.
+		if direct {
+			// A pinned run's membership image is frozen at listVer, and a
+			// lease-held current-state run's is certified current at it;
+			// either way an entry fetched or validated under it is exactly
+			// what the owner would ship, so it serves with no round trip.
 			if obj, negative, ok := p.cb.cache.ServeFresh(p.cb.coll, listVer, ref.ID); ok {
 				p.ready[ref.ID] = fetchResult{obj: obj, missing: negative, epoch: p.client.Mutations()}
 				p.cacheHits.Add(1)

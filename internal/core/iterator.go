@@ -100,6 +100,9 @@ type Iterator struct {
 	// in one member-free round trip when the listing hasn't changed.
 	curMembers  map[spec.ElemID]bool
 	listVersion uint64
+	// listedOnce flips after the run's first listing RPC: a version move
+	// against a seeded cross-run listing is not within-run skew.
+	listedOnce bool
 	// Reachability expansion cache: when the same membership map expands
 	// the same per-node sample, the member-level map is identical, so it
 	// is reused instead of rebuilt (it is read-only once built). The
@@ -321,6 +324,15 @@ func (it *Iterator) fold(pl repo.PartListing) {
 	if pl.Version > it.maxPartVer {
 		it.maxPartVer = pl.Version
 	}
+	if it.pin != 0 && pl.Version > it.snapVer {
+		// A pinned stream's frames all carry the pin's own listing version
+		// (the pin is one immutable snapshot, partitioned on the fly), so
+		// the run's governing version is known from the first frame — the
+		// cache can serve and stamp against it while the rest of the
+		// stream is still arriving, instead of revalidating every element
+		// planned before the final seal in drainIngest.
+		it.snapVer = pl.Version
+	}
 	if len(pl.Members) == 0 {
 		return
 	}
@@ -465,12 +477,40 @@ func (it *Iterator) release(ctx context.Context) {
 	}
 }
 
+// leaseServe tries to serve a current-state membership read from the
+// cached listing under a held lease: the server promised to push any
+// listing change, so if the certified version is still the one the run
+// has cached, the conditional revalidation RPC is provably redundant. A
+// pushed bump makes the version comparison fail and the caller falls
+// back to ListIfNew — the degradation ladder's middle rung.
+func (it *Iterator) leaseServe() (map[spec.ElemID]bool, bool) {
+	if it.opts.Quorum.enabled() || it.curMembers == nil || it.listVersion == 0 {
+		return nil, false
+	}
+	ls := it.client.Leases()
+	if ls == nil || ls.Dir() != it.set.dir {
+		return nil, false
+	}
+	v, age, ok := ls.Serveable(it.set.name)
+	if !ok || v > it.listVersion {
+		return nil, false
+	}
+	it.wk.LeaseServed++
+	if age > it.wk.LeaseAge {
+		it.wk.LeaseAge = age
+	}
+	return it.curMembers, true
+}
+
 // preState assembles the invocation's pre-state: membership (s_first for
 // snapshot semantics, a fresh read otherwise) plus the reachability of each
 // member judged from the client's node.
 func (it *Iterator) preState(ctx context.Context) (spec.State, error) {
 	members := it.first
 	if !it.opts.Semantics.UsesSnapshot() {
+		if m, served := it.leaseServe(); served {
+			return it.assembleState(m), nil
+		}
 		lctx, lsp := it.opts.Tracer.StartSpan(it.traceCtx(ctx), "iter.list")
 		defer lsp.End()
 		ctx = lctx
@@ -491,7 +531,7 @@ func (it *Iterator) preState(ctx context.Context) (spec.State, error) {
 				return spec.State{}, err
 			}
 			if !notModified {
-				if it.listVersion != 0 && version != it.listVersion {
+				if it.listedOnce && version != it.listVersion {
 					// The listing changed under the run: membership skew the
 					// caller can never distinguish from a slow iteration.
 					it.wk.ListingSkew++
@@ -508,18 +548,26 @@ func (it *Iterator) preState(ctx context.Context) (spec.State, error) {
 						it.wk.DuplicatesSuppressed++
 					}
 				}
+				it.set.publishListing(version, it.curMembers, it.refs)
 			}
+			it.listedOnce = true
 			// On the not-modified path the cached listing is exact: the
 			// server certified the version is unchanged. Reachability is
 			// still re-sampled below on every invocation.
 			members = it.curMembers
 		}
 	}
-	// Membership maps (it.first, it.curMembers, a fresh quorum read) are
-	// never mutated in place, so the state aliases them rather than copying
-	// — the Recorder clones on record. Reachability is re-sampled every
-	// invocation, but once per distinct node: it is a link property, so
-	// members sharing a node share the answer within one sample.
+	return it.assembleState(members), nil
+}
+
+// assembleState turns a membership map into the invocation's pre-state.
+// Membership maps (it.first, it.curMembers, a fresh quorum read) are
+// never mutated in place, so the state aliases them rather than copying
+// — the Recorder clones on record. Reachability is re-sampled every
+// invocation — including on lease-served reads, where it is the only
+// fresh observation — but once per distinct node: it is a link property,
+// so members sharing a node share the answer within one sample.
+func (it *Iterator) assembleState(members map[spec.ElemID]bool) spec.State {
 	sample := make(map[netsim.NodeID]bool, 8)
 	for id := range members {
 		node := it.refs[id].Node
@@ -527,7 +575,7 @@ func (it *Iterator) preState(ctx context.Context) (spec.State, error) {
 			sample[node] = it.client.NodeReachable(node)
 		}
 	}
-	return spec.State{Members: members, Reach: it.expandReach(members, sample)}, nil
+	return spec.State{Members: members, Reach: it.expandReach(members, sample)}
 }
 
 // expandReach maps a per-node reachability sample down to per-member

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -88,6 +89,34 @@ func (o Options) withDefaults() Options {
 
 var iterSeq atomic.Int64
 
+// listingCache carries the last full membership read across runs of one
+// Set. A fresh iterator seeded from it opens with a conditional List at
+// worst; under a held lease even that round trip is provably redundant,
+// so the run's opening membership costs no RPC at all — the zero-RPC
+// warm read the lease protocol exists for. Published maps are never
+// mutated after publication: iterators alias members (read-only) and
+// copy refs before extending them.
+type listingCache struct {
+	mu      sync.Mutex
+	version uint64
+	members map[spec.ElemID]bool
+	refs    map[spec.ElemID]repo.Ref
+}
+
+func (lc *listingCache) publish(version uint64, members map[spec.ElemID]bool, refs map[spec.ElemID]repo.Ref) {
+	lc.mu.Lock()
+	if lc.members == nil || version >= lc.version {
+		lc.version, lc.members, lc.refs = version, members, refs
+	}
+	lc.mu.Unlock()
+}
+
+func (lc *listingCache) snapshot() (uint64, map[spec.ElemID]bool, map[spec.ElemID]repo.Ref) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.version, lc.members, lc.refs
+}
+
 // Set is a weak set bound to a collection in the distributed repository.
 // The collection lives on the directory node dir; its members may live
 // anywhere. Set is safe for concurrent use; each Elements call produces an
@@ -97,6 +126,36 @@ type Set struct {
 	dir    netsim.NodeID
 	name   string
 	opts   Options
+
+	// listings persists the last membership read across runs, but only
+	// when a lease state is attached: without push invalidation a stale
+	// cross-run listing would silently widen the staleness window, so the
+	// leaseless paths keep their per-run read behaviour untouched.
+	listings listingCache
+}
+
+// leaseState returns the client's lease state when it watches this set's
+// directory, nil otherwise.
+func (s *Set) leaseState() *repo.LeaseState {
+	ls := s.client.Leases()
+	if ls == nil || ls.Dir() != s.dir {
+		return nil
+	}
+	return ls
+}
+
+// publishListing retains a freshly read membership for the next run's
+// lease-served opening. refs is filtered to the published members so
+// departed ids do not accumulate across the set's lifetime.
+func (s *Set) publishListing(version uint64, members map[spec.ElemID]bool, refs map[spec.ElemID]repo.Ref) {
+	if s.leaseState() == nil || version == 0 {
+		return
+	}
+	rf := make(map[spec.ElemID]repo.Ref, len(members))
+	for id := range members {
+		rf[id] = refs[id]
+	}
+	s.listings.publish(version, members, rf)
 }
 
 // NewSet binds a weak set to collection name on directory node dir, read
@@ -182,6 +241,17 @@ func (s *Set) Elements(ctx context.Context) (*Iterator, error) {
 		it.finishObs()
 		return nil, werr
 	}
+	if !s.opts.Semantics.UsesSnapshot() && !s.opts.Quorum.enabled() && s.leaseState() != nil {
+		// Seed the run from the set's last published listing: the opening
+		// membership read becomes a conditional List at worst, and no RPC
+		// at all while the lease certifies the seeded version.
+		if v, members, refs := s.listings.snapshot(); v != 0 {
+			it.listVersion, it.curMembers = v, members
+			for id, ref := range refs {
+				it.refs[id] = ref
+			}
+		}
+	}
 	// The cache binds after setup so the run's governing listing version
 	// (snapVer for snapshot-based semantics) is known.
 	if it.pf != nil && !s.opts.Fetch.NoCache {
@@ -201,8 +271,21 @@ func (s *Set) Elements(ctx context.Context) (*Iterator, error) {
 					}
 					return it.listVersion
 				},
+				leased: func() (uint64, bool) {
+					ls := s.leaseState()
+					if ls == nil {
+						return 0, false
+					}
+					v, _, ok := ls.Serveable(s.name)
+					return v, ok
+				},
 			})
 		}
+	}
+	if ls := s.leaseState(); ls != nil && !s.opts.Semantics.UsesSnapshot() {
+		// Queue the collection for lease acquisition; the first runs still
+		// revalidate conditionally until the (asynchronous) grant lands.
+		ls.Track(s.name)
 	}
 	return it, nil
 }

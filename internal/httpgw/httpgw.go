@@ -245,10 +245,14 @@ type transportInfo struct {
 	Methods       []transportMethodInfo `json:"methods,omitempty"`
 }
 
-// cacheInfo is the element-cache block of /stats.
+// cacheInfo is the element-cache block of /stats. Lease reports the
+// client's push-invalidation lease state when one is attached — grants,
+// piggybacked renewals, pushed invalidations, and stream breaks — since
+// leases are what let the cache answer without revalidating.
 type cacheInfo struct {
-	Entries int             `json:"entries"`
-	Stats   repo.CacheStats `json:"stats"`
+	Entries int              `json:"entries"`
+	Stats   repo.CacheStats  `json:"stats"`
+	Lease   *repo.LeaseStats `json:"lease,omitempty"`
 }
 
 // collStatsInfo is the optional per-collection block of /stats.
@@ -304,6 +308,15 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if g.cache != nil {
 		out.Cache = &cacheInfo{Entries: g.cache.Len(), Stats: g.cache.Stats()}
+	}
+	if ls := g.client.Leases(); ls != nil {
+		// Leases can be attached without a cache (listing revalidation
+		// alone benefits); give them a cache block to live in either way.
+		if out.Cache == nil {
+			out.Cache = &cacheInfo{}
+		}
+		st := ls.Stats()
+		out.Cache.Lease = &st
 	}
 	g.tmu.Lock()
 	sources := append([]transportSource(nil), g.transports...)

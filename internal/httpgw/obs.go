@@ -67,6 +67,8 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("weaksets_weakness_epoch_retries_total", "Prefetched results discarded for read-your-writes.", float64(cw.EpochRetries), l)
 		p.Counter("weaksets_weakness_cache_hits_total", "Elements served straight from the element cache, no RPC.", float64(cw.CacheHits), l)
 		p.Counter("weaksets_weakness_cache_validated_hits_total", "Elements served from the cache after a NotModified validation.", float64(cw.CacheValidatedHits), l)
+		p.Counter("weaksets_weakness_lease_served_total", "Runs whose listing was served under a held lease, no revalidation RPC.", float64(cw.LeaseServed), l)
+		p.Gauge("weaksets_weakness_max_lease_age_seconds", "Oldest lease certification a served listing relied on.", obs.Seconds(cw.MaxLeaseAge), l)
 		p.Counter("weaksets_weakness_listing_skew_total", "Listing-version changes observed mid-run.", float64(cw.ListingSkew), l)
 		p.Counter("weaksets_weakness_partition_skew_total", "Listing partitions snapshotted after a mid-stream write.", float64(cw.PartitionSkew), l)
 		p.Counter("weaksets_weakness_fetch_failures_total", "Transport fetch/list failures survived.", float64(cw.FetchFailures), l)
@@ -154,6 +156,20 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("weaksets_cache_misses_total", "Lookups the cache could not answer.", float64(cs.Misses))
 		p.Counter("weaksets_cache_evictions_total", "Entries evicted by the LRU capacity bound.", float64(cs.Evictions))
 		p.Counter("weaksets_cache_drops_total", "Entries dropped by local deletes.", float64(cs.Drops))
+	}
+
+	if ls := g.client.Leases(); ls != nil {
+		st := ls.Stats()
+		active := 0.0
+		if st.Active {
+			active = 1
+		}
+		p.Gauge("weaksets_lease_active", "Whether a live Watch stream currently backs the client's leases.", active)
+		p.Gauge("weaksets_lease_held", "Collections currently covered by an unexpired lease.", float64(st.Held))
+		p.Counter("weaksets_lease_grants_total", "Lease grants obtained over the Watch stream.", float64(st.Grants))
+		p.Counter("weaksets_lease_renewals_total", "Lease renewals, explicit and piggybacked on RPC replies.", float64(st.Renewals))
+		p.Counter("weaksets_lease_invalidations_total", "Invalidations pushed by the directory and applied.", float64(st.Invalidations))
+		p.Counter("weaksets_lease_breaks_total", "Leases dropped on stream loss or shutdown.", float64(st.Breaks))
 	}
 
 	for _, t := range g.tracers {

@@ -135,14 +135,14 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	// The run's weakness shows up as labelled counters.
 	for key, want := range map[string]float64{
-		`weaksets_weakness_runs_total{collection="menus"}`:                      1,
-		`weaksets_weakness_yielded_total{collection="menus"}`:                   20,
-		`weaksets_weakness_outcome_total{collection="menus",outcome="returns"}`: 1,
-		`weaksets_store_up{node="dir"}`:                                         1,
-		`weaksets_transport_calls_total{transport="archive"}`:                   42,
-		`weaksets_transport_codec{codec="wirebin",transport="archive"}`:         1,
-		`weaksets_transport_bytes_sent_total{transport="archive"}`:              4096,
-		`weaksets_transport_bytes_received_total{transport="archive"}`:          16384,
+		`weaksets_weakness_runs_total{collection="menus"}`:                              1,
+		`weaksets_weakness_yielded_total{collection="menus"}`:                           20,
+		`weaksets_weakness_outcome_total{collection="menus",outcome="returns"}`:         1,
+		`weaksets_store_up{node="dir"}`:                                                 1,
+		`weaksets_transport_calls_total{transport="archive"}`:                           42,
+		`weaksets_transport_codec{codec="wirebin",transport="archive"}`:                 1,
+		`weaksets_transport_bytes_sent_total{transport="archive"}`:                      4096,
+		`weaksets_transport_bytes_received_total{transport="archive"}`:                  16384,
 		`weaksets_rpc_bytes_sent_total{method="repo.GetBatch",transport="archive"}`:     4000,
 		`weaksets_rpc_bytes_received_total{method="repo.GetBatch",transport="archive"}`: 16000,
 	} {
@@ -166,6 +166,57 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if !found {
 		t.Error("no per-op store counters")
+	}
+}
+
+// TestLeaseObservability attaches an invalidation lease to the gateway's
+// client and checks both surfaces: the weaksets_lease_* Prometheus
+// families and the lease block inside the /stats cache section.
+func TestLeaseObservability(t *testing.T) {
+	w, _, _ := newObsWorld(t)
+	ls := repo.NewLeaseState(w.c.Client, cluster.DirNode, "menus")
+	if err := ls.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Stop()
+	w.c.Client.UseLeases(ls)
+
+	if resp, body := w.get(t, "/query?coll=menus"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body := w.get(t, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	samples := parsePromText(t, string(body))
+	if got := samples["weaksets_lease_active"]; got != 1 {
+		t.Errorf("weaksets_lease_active = %v, want 1", got)
+	}
+	if got := samples["weaksets_lease_held"]; got != 1 {
+		t.Errorf("weaksets_lease_held = %v, want 1", got)
+	}
+	if got := samples["weaksets_lease_grants_total"]; got < 1 {
+		t.Errorf("weaksets_lease_grants_total = %v, want >= 1", got)
+	}
+
+	resp, body = w.get(t, "/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status = %d", resp.StatusCode)
+	}
+	var decoded struct {
+		Cache *struct {
+			Lease *repo.LeaseStats `json:"lease"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(body, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Cache == nil || decoded.Cache.Lease == nil {
+		t.Fatal("no lease block in the /stats cache section")
+	}
+	if !decoded.Cache.Lease.Active || decoded.Cache.Lease.Held != 1 || decoded.Cache.Lease.Grants < 1 {
+		t.Errorf("lease block = %+v, want active with 1 held and >= 1 grant", decoded.Cache.Lease)
 	}
 }
 

@@ -45,6 +45,15 @@ type WeaknessReport struct {
 	// owner confirmed the version via NotModified — a round trip, but no
 	// payload.
 	CacheValidatedHits int64 `json:"cacheValidatedHits"`
+	// LeaseServed counts membership reads served under a held lease with
+	// no revalidation RPC: the listing was trusted because the server
+	// promised to push any change. Served-stale-under-lease is a legal
+	// weakness; this is where it is quantified instead of hidden.
+	LeaseServed int64 `json:"leaseServed"`
+	// LeaseAge is the oldest lease certification a served read relied on:
+	// the time since the server last confirmed (grant or push) the
+	// listing version this run trusted.
+	LeaseAge time.Duration `json:"leaseAgeNs"`
 	// ListingSkew counts listing-version changes observed after the
 	// first listing — how unstable membership was during the run.
 	ListingSkew int64 `json:"listingSkew"`
@@ -77,10 +86,12 @@ type CollectionWeakness struct {
 	EpochRetries         int64         `json:"epochRetries"`
 	CacheHits            int64         `json:"cacheHits"`
 	CacheValidatedHits   int64         `json:"cacheValidatedHits"`
+	LeaseServed          int64         `json:"leaseServed"`
 	ListingSkew          int64         `json:"listingSkew"`
 	PartitionSkew        int64         `json:"partitionSkew"`
 	FetchFailures        int64         `json:"fetchFailures"`
 	MaxSnapshotAge       time.Duration `json:"maxSnapshotAgeNs"`
+	MaxLeaseAge          time.Duration `json:"maxLeaseAgeNs"`
 	Blocked              time.Duration `json:"blockedNs"`
 	// Outcomes counts terminal states by name.
 	Outcomes map[string]int64 `json:"outcomes"`
@@ -123,12 +134,16 @@ func (r *Registry) Observe(rep WeaknessReport) {
 	cw.EpochRetries += rep.EpochRetries
 	cw.CacheHits += rep.CacheHits
 	cw.CacheValidatedHits += rep.CacheValidatedHits
+	cw.LeaseServed += rep.LeaseServed
 	cw.ListingSkew += rep.ListingSkew
 	cw.PartitionSkew += rep.PartitionSkew
 	cw.FetchFailures += rep.FetchFailures
 	cw.Blocked += rep.Blocked
 	if rep.SnapshotAge > cw.MaxSnapshotAge {
 		cw.MaxSnapshotAge = rep.SnapshotAge
+	}
+	if rep.LeaseAge > cw.MaxLeaseAge {
+		cw.MaxLeaseAge = rep.LeaseAge
 	}
 	if rep.Outcome != "" {
 		cw.Outcomes[rep.Outcome]++

@@ -30,6 +30,10 @@ type Client struct {
 	// runs serve warm entries without an RPC and still read the
 	// client's own writes.
 	cache atomic.Pointer[Cache]
+
+	// leaseState is the attached lease holder, if any: iterators consult
+	// it before revalidating a current-state membership read.
+	leaseState atomic.Pointer[LeaseState]
 }
 
 // Mutations reports the client's mutation epoch: how many mutating calls
@@ -49,6 +53,15 @@ func (c *Client) UseCache(cache *Cache) { c.cache.Store(cache) }
 
 // ElementCache reports the attached element cache, or nil.
 func (c *Client) ElementCache() *Cache { return c.cache.Load() }
+
+// UseLeases attaches a lease state. Iterators created from this client
+// consult it on current-state runs: a valid lease whose certified
+// version matches the cached listing serves the run with no RPC at all.
+// The caller owns the state's lifecycle (Start/Stop).
+func (c *Client) UseLeases(ls *LeaseState) { c.leaseState.Store(ls) }
+
+// Leases reports the attached lease state, or nil.
+func (c *Client) Leases() *LeaseState { return c.leaseState.Load() }
 
 // Node reports the client's home node.
 func (c *Client) Node() netsim.NodeID { return c.node }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"weaksets/internal/netsim"
 	"weaksets/internal/obs"
@@ -22,6 +23,7 @@ type Server struct {
 	rpc    *rpc.Server
 	store  store.Store
 	tracer *obs.Tracer
+	leases *leaseHub
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -42,9 +44,11 @@ func NewServerWithStore(bus *rpc.Bus, node netsim.NodeID, st store.Store) (*Serv
 		node:   node,
 		rpc:    rpc.NewServer(node),
 		store:  st,
+		leases: newLeaseHub(DefaultLeaseTTL),
 		closed: make(chan struct{}),
 	}
 	s.register()
+	st.OnListingChange(s.leases.invalidate)
 	if err := bus.Register(s.rpc); err != nil {
 		return nil, fmt.Errorf("repo server %s: %w", node, err)
 	}
@@ -69,33 +73,69 @@ func (s *Server) startOp(ctx context.Context, name string) *obs.Span {
 	return sp
 }
 
-// Close stops background replication pushes and waits for them to finish.
+// SetLeaseTTL changes the lease duration granted from now on (tests
+// shorten it to exercise expiry).
+func (s *Server) SetLeaseTTL(d time.Duration) { s.leases.ttl.Store(int64(d)) }
+
+// Close stops background replication pushes, ends every watch stream,
+// and waits for them to finish.
 func (s *Server) Close() {
 	select {
 	case <-s.closed:
 	default:
 		close(s.closed)
 	}
+	s.leases.close()
 	s.wg.Wait()
 }
 
 func (s *Server) register() {
-	s.rpc.Handle(MethodGet, s.handleGet)
-	s.rpc.Handle(MethodGetBatch, s.handleGetBatch)
-	s.rpc.Handle(MethodPut, s.handlePut)
-	s.rpc.Handle(MethodDelete, s.handleDelete)
-	s.rpc.Handle(MethodCreate, s.handleCreate)
-	s.rpc.Handle(MethodList, s.handleList)
-	s.rpc.Handle(MethodListParts, s.handleListParts)
-	s.rpc.Handle(MethodAdd, s.handleAdd)
-	s.rpc.Handle(MethodRemove, s.handleRemove)
-	s.rpc.Handle(MethodPin, s.handlePin)
-	s.rpc.Handle(MethodUnpin, s.handleUnpin)
-	s.rpc.Handle(MethodBeginGrow, s.handleBeginGrow)
-	s.rpc.Handle(MethodEndGrow, s.handleEndGrow)
-	s.rpc.Handle(MethodStats, s.handleStats)
-	s.rpc.Handle(MethodStoreStats, s.handleStoreStats)
-	s.rpc.Handle(MethodSync, s.handleSync)
+	s.rpc.Handle(MethodGet, s.renewing(s.handleGet))
+	s.rpc.Handle(MethodGetBatch, s.renewing(s.handleGetBatch))
+	s.rpc.Handle(MethodPut, s.renewing(s.handlePut))
+	s.rpc.Handle(MethodDelete, s.renewing(s.handleDelete))
+	s.rpc.Handle(MethodCreate, s.renewing(s.handleCreate))
+	s.rpc.Handle(MethodList, s.renewing(s.handleList))
+	s.rpc.Handle(MethodListParts, s.renewing(s.handleListParts))
+	s.rpc.Handle(MethodAdd, s.renewing(s.handleAdd))
+	s.rpc.Handle(MethodRemove, s.renewing(s.handleRemove))
+	s.rpc.Handle(MethodPin, s.renewing(s.handlePin))
+	s.rpc.Handle(MethodUnpin, s.renewing(s.handleUnpin))
+	s.rpc.Handle(MethodBeginGrow, s.renewing(s.handleBeginGrow))
+	s.rpc.Handle(MethodEndGrow, s.renewing(s.handleEndGrow))
+	s.rpc.Handle(MethodStats, s.renewing(s.handleStats))
+	s.rpc.Handle(MethodStoreStats, s.renewing(s.handleStoreStats))
+	s.rpc.Handle(MethodSync, s.renewing(s.handleSync))
+	s.rpc.Handle(MethodLease, s.handleLease)
+	s.rpc.Handle(MethodWatch, s.handleWatch)
+}
+
+// renewing wraps a handler with the piggyback lease renewal: any call a
+// lease holder makes extends its unexpired leases by a fresh TTL.
+func (s *Server) renewing(h rpc.Handler) rpc.Handler {
+	return func(ctx context.Context, from netsim.NodeID, req any) (any, error) {
+		s.leases.touch(from)
+		return h(ctx, from, req)
+	}
+}
+
+func (s *Server) handleLease(ctx context.Context, from netsim.NodeID, req any) (any, error) {
+	r, ok := req.(LeaseReq)
+	if !ok {
+		return nil, fmt.Errorf("repo: bad request type %T", req)
+	}
+	return s.leases.grant(from, r.Colls, s.store), nil
+}
+
+// handleWatch opens the caller's invalidation stream. The returned
+// Streamer lives until the handler context is cancelled (connection
+// teardown on a real transport, caller cancellation in process), the
+// server closes, or a newer Watch from the same caller supersedes it.
+func (s *Server) handleWatch(ctx context.Context, from netsim.NodeID, req any) (any, error) {
+	if _, ok := req.(WatchReq); !ok {
+		return nil, fmt.Errorf("repo: bad request type %T", req)
+	}
+	return s.leases.watch(ctx, from), nil
 }
 
 func (s *Server) handleGet(ctx context.Context, _ netsim.NodeID, req any) (any, error) {

@@ -1,6 +1,8 @@
 package repo
 
 import (
+	"time"
+
 	"weaksets/internal/store"
 )
 
@@ -29,6 +31,8 @@ const (
 	MethodStats      = "repo.CollStats"
 	MethodStoreStats = "repo.StoreStats"
 	MethodSync       = "repo.Sync"
+	MethodLease      = "repo.Lease"
+	MethodWatch      = "repo.Watch"
 )
 
 // Wire types. Every request and response is a value type copied at the RPC
@@ -180,6 +184,38 @@ type (
 	SyncReq struct {
 		Name    string
 		Members []Ref
+		Version uint64
+	}
+	// LeaseReq asks the server to grant (or renew) listing-version
+	// leases on the named collections. A lease is a promise to push an
+	// Invalidation down the holder's Watch stream whenever a leased
+	// collection's listing moves, for the grant's TTL — renewed
+	// implicitly by any call the holder makes.
+	LeaseReq struct {
+		Colls []string
+	}
+	// LeaseGrant answers a LeaseReq: the server's lease TTL and, for
+	// every collection it agreed to lease, the listing version current
+	// at (or after) the moment the lease was registered. Unknown
+	// collections are simply absent from Versions.
+	LeaseGrant struct {
+		TTL      time.Duration
+		Versions map[string]uint64
+	}
+	// WatchReq opens the holder's invalidation stream. The response is a
+	// stream of Invalidation frames that stays open until the connection
+	// drops, the server closes, or the caller abandons it; a peer or
+	// transport that cannot stream gets an error and must run leaseless.
+	WatchReq struct{}
+	// Invalidation is one pushed listing change on a leased collection:
+	// the partition that moved (store.PartAll, shipped as -1, when
+	// several did) and the listing version after the change. Versions on
+	// one collection are monotonic per partition but frames may arrive
+	// coalesced — only the latest version per collection/partition is
+	// guaranteed to be delivered.
+	Invalidation struct {
+		Coll    string
+		Part    int
 		Version uint64
 	}
 )

@@ -1,6 +1,8 @@
 package repo
 
 import (
+	"time"
+
 	"weaksets/internal/netsim"
 	"weaksets/internal/wirebin"
 )
@@ -39,6 +41,10 @@ const (
 	wbListPartsReq = 7
 	wbPartListing  = 8
 	wbListPartsRsp = 9
+	wbLeaseReq     = 10
+	wbLeaseGrant   = 11
+	wbWatchReq     = 12
+	wbInvalidation = 13
 )
 
 func init() {
@@ -77,6 +83,22 @@ func init() {
 	wirebin.Register(wbListPartsRsp, ListPartsResp{},
 		func(buf []byte, v any) []byte { return appendListPartsResp(buf, v.(ListPartsResp)) },
 		func(r *wirebin.Reader) any { return decodeListPartsResp(r) },
+	)
+	wirebin.Register(wbLeaseReq, LeaseReq{},
+		func(buf []byte, v any) []byte { return appendLeaseReq(buf, v.(LeaseReq)) },
+		func(r *wirebin.Reader) any { return decodeLeaseReq(r) },
+	)
+	wirebin.Register(wbLeaseGrant, LeaseGrant{},
+		func(buf []byte, v any) []byte { return appendLeaseGrant(buf, v.(LeaseGrant)) },
+		func(r *wirebin.Reader) any { return decodeLeaseGrant(r) },
+	)
+	wirebin.Register(wbWatchReq, WatchReq{},
+		func(buf []byte, v any) []byte { return buf },
+		func(r *wirebin.Reader) any { return WatchReq{} },
+	)
+	wirebin.Register(wbInvalidation, Invalidation{},
+		func(buf []byte, v any) []byte { return appendInvalidation(buf, v.(Invalidation)) },
+		func(r *wirebin.Reader) any { return decodeInvalidation(r) },
 	)
 }
 
@@ -355,4 +377,74 @@ func decodeListPartsResp(r *wirebin.Reader) ListPartsResp {
 	}
 	v.Parts = parts
 	return v
+}
+
+func appendLeaseReq(buf []byte, v LeaseReq) []byte {
+	buf = wirebin.AppendUvarint(buf, uint64(len(v.Colls)))
+	for _, c := range v.Colls {
+		buf = wirebin.AppendString(buf, c)
+	}
+	return buf
+}
+
+func decodeLeaseReq(r *wirebin.Reader) LeaseReq {
+	var v LeaseReq
+	n := r.Count(1)
+	if n == 0 || r.Err() != nil {
+		return v
+	}
+	colls := make([]string, 0, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		colls = append(colls, r.String())
+	}
+	v.Colls = colls
+	return v
+}
+
+func appendLeaseGrant(buf []byte, v LeaseGrant) []byte {
+	buf = wirebin.AppendVarint(buf, int64(v.TTL))
+	buf = appendMapLen(buf, len(v.Versions), v.Versions == nil)
+	for coll, ver := range v.Versions {
+		buf = wirebin.AppendString(buf, coll)
+		buf = wirebin.AppendUvarint(buf, ver)
+	}
+	return buf
+}
+
+func decodeLeaseGrant(r *wirebin.Reader) LeaseGrant {
+	var v LeaseGrant
+	v.TTL = time.Duration(r.Varint())
+	sentinel := r.Uvarint()
+	if sentinel == 0 || r.Err() != nil {
+		return v
+	}
+	n := r.CheckCount(sentinel-1, 2)
+	if r.Err() != nil {
+		return v
+	}
+	versions := make(map[string]uint64, n)
+	for i := 0; i < n && r.Err() == nil; i++ {
+		coll := r.String()
+		versions[coll] = r.Uvarint()
+	}
+	v.Versions = versions
+	return v
+}
+
+// Invalidation is the push hot path: one frame per listing change on a
+// leased collection, so the encode must not allocate and the decode must
+// intern the collection name (the same few collections repeat for the
+// life of a watch stream).
+func appendInvalidation(buf []byte, v Invalidation) []byte {
+	buf = wirebin.AppendString(buf, v.Coll)
+	buf = wirebin.AppendVarint(buf, int64(v.Part))
+	return wirebin.AppendUvarint(buf, v.Version)
+}
+
+func decodeInvalidation(r *wirebin.Reader) Invalidation {
+	return Invalidation{
+		Coll:    r.String(),
+		Part:    int(r.Varint()),
+		Version: r.Uvarint(),
+	}
 }

@@ -28,6 +28,10 @@ func roundGob(t testing.TB, v any) any {
 	gob.Register(ListPartsReq{})
 	gob.Register(PartListing{})
 	gob.Register(ListPartsResp{})
+	gob.Register(LeaseReq{})
+	gob.Register(LeaseGrant{})
+	gob.Register(WatchReq{})
+	gob.Register(Invalidation{})
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
 		t.Fatalf("gob encode: %v", err)
@@ -108,6 +112,17 @@ func TestWirebinGobConformance(t *testing.T) {
 			{Part: 1, Partitions: 2, Version: 3, NotModified: true},
 		}},
 		ListPartsResp{Parts: []PartListing{}},
+		LeaseReq{},
+		LeaseReq{Colls: []string{"a", "b", "a"}},
+		LeaseReq{Colls: []string{}},
+		LeaseReq{Colls: []string{"unicode-коллекция-🦉"}},
+		LeaseGrant{},
+		LeaseGrant{TTL: 30000000000, Versions: map[string]uint64{"c": 7, "d": 1 << 40}},
+		LeaseGrant{Versions: map[string]uint64{}},
+		WatchReq{},
+		Invalidation{},
+		Invalidation{Coll: "c", Part: -1, Version: 9},
+		Invalidation{Coll: "c", Part: 15, Version: 1<<64 - 1},
 	}
 	for _, in := range cases {
 		in := in
@@ -137,6 +152,9 @@ func TestWirebinDecodePartialFrameErrors(t *testing.T) {
 			{Part: 0, Partitions: 2, Members: []Ref{{ID: "a", Node: "n1"}}, Version: 2},
 			{Part: 1, Partitions: 2, Version: 1, NotModified: true},
 		}},
+		LeaseReq{Colls: []string{"c1", "c2"}},
+		LeaseGrant{TTL: 30000000000, Versions: map[string]uint64{"c1": 4, "c2": 9}},
+		Invalidation{Coll: "c1", Part: 3, Version: 12},
 	}
 	for _, msg := range msgs {
 		msg := msg
@@ -176,13 +194,17 @@ func FuzzWirebinDecode(f *testing.F) {
 		ListPartsReq{Name: "c", IfVersions: []uint64{1, 2}, Stream: true},
 		PartListing{Part: 1, Partitions: 4, Members: []Ref{{ID: "a", Node: "n"}}, Version: 3, Skewed: true},
 		ListPartsResp{Parts: []PartListing{{Part: 0, Partitions: 1, Members: []Ref{{ID: "a", Node: "n"}}}}},
+		LeaseReq{Colls: []string{"c1", "c2"}},
+		LeaseGrant{TTL: 30000000000, Versions: map[string]uint64{"c1": 4}},
+		Invalidation{Coll: "c1", Part: 3, Version: 12},
 	}
 	for _, v := range seedVals {
 		_, enc, _ := wirebin.Lookup(v)
 		f.Add(enc(nil, v))
 	}
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
-	ids := []uint16{wbGetReq, wbObject, wbGetBatchReq, wbGetBatchResp, wbListReq, wbListResp, wbListPartsReq, wbPartListing, wbListPartsRsp}
+	ids := []uint16{wbGetReq, wbObject, wbGetBatchReq, wbGetBatchResp, wbListReq, wbListResp, wbListPartsReq, wbPartListing, wbListPartsRsp,
+		wbLeaseReq, wbLeaseGrant, wbWatchReq, wbInvalidation}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, id := range ids {
 			dec, _ := wirebin.ByID(id)
@@ -268,6 +290,8 @@ func TestAllocBudget(t *testing.T) {
 	batchFrame := appendGetBatchResp(nil, batchResp)
 	partListing := benchPartListing()
 	partFrame := appendPartListing(nil, partListing)
+	inv := Invalidation{Coll: "set", Part: 3, Version: 42}
+	invFrame := appendInvalidation(nil, inv)
 	var r wirebin.Reader
 	// Warm the intern table so the measurement sees the steady state a
 	// long-lived connection sees (ids repeat run after run).
@@ -277,6 +301,8 @@ func TestAllocBudget(t *testing.T) {
 	_ = decodeGetBatchResp(&r)
 	r.Reset(partFrame)
 	_ = decodePartListing(&r)
+	r.Reset(invFrame)
+	_ = decodeInvalidation(&r)
 
 	scratch := make([]byte, 0, len(batchFrame)+len(listFrame))
 	paths := map[string]func(){
@@ -305,6 +331,18 @@ func TestAllocBudget(t *testing.T) {
 			r.Reset(partFrame)
 			if v := decodePartListing(&r); len(v.Members) != len(partListing.Members) || r.Err() != nil {
 				t.Fatalf("bad decode: %d members, err %v", len(v.Members), r.Err())
+			}
+		},
+		// The invalidation push fires once per listing change on every
+		// watch stream: per-event allocations would scale with write rate
+		// times watchers, so the whole encode/decode path must be free.
+		"encodeInvalidation": func() {
+			scratch = appendInvalidation(scratch[:0], inv)
+		},
+		"decodeInvalidation": func() {
+			r.Reset(invFrame)
+			if v := decodeInvalidation(&r); v != inv || r.Err() != nil {
+				t.Fatalf("bad decode: %+v, err %v", v, r.Err())
 			}
 		},
 	}

@@ -14,7 +14,8 @@ import (
 // the sharded engine against it — and as the simplest correct
 // implementation of the Store contract.
 type Locked struct {
-	ins instruments
+	ins   instruments
+	watch notifier
 
 	partitions int
 
@@ -35,6 +36,9 @@ func NewLocked() *Locked {
 		colls:      make(map[string]*collState),
 	}
 }
+
+// OnListingChange implements Store.
+func (s *Locked) OnListingChange(fn func(ChangeEvent)) { s.watch.subscribe(fn) }
 
 func (s *Locked) coll(name string) (*collState, error) {
 	c, ok := s.colls[name]
@@ -211,25 +215,47 @@ func (s *Locked) ListPinned(name string, pin int64) (members []Ref, version uint
 // Add implements Store.
 func (s *Locked) Add(name string, ref Ref) (version uint64, err error) {
 	defer s.ins.observe(OpAdd, time.Now(), &err)
+	var ev ChangeEvent
+	// Registered before the lock's defer so it fires after the unlock:
+	// subscribers never run under the engine mutex.
+	defer func() {
+		if err == nil {
+			s.watch.fire(ev)
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, err := s.coll(name)
 	if err != nil {
 		return 0, err
 	}
-	return c.add(ref), nil
+	part := c.partOf(ref.ID)
+	v := c.add(ref)
+	ev = ChangeEvent{Coll: name, Part: part, Version: v}
+	return v, nil
 }
 
 // Remove implements Store.
 func (s *Locked) Remove(name string, id ObjectID) (ref Ref, deferred bool, version uint64, err error) {
 	defer s.ins.observe(OpRemove, time.Now(), &err)
+	var ev ChangeEvent
+	defer func() {
+		if err == nil {
+			s.watch.fire(ev)
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, err := s.coll(name)
 	if err != nil {
 		return Ref{}, false, 0, err
 	}
-	return c.remove(id)
+	part := c.partOf(id)
+	ref, deferred, version, err = c.remove(id)
+	if err == nil {
+		ev = ChangeEvent{Coll: name, Part: part, Version: version}
+	}
+	return ref, deferred, version, err
 }
 
 // Pin implements Store.
@@ -271,13 +297,29 @@ func (s *Locked) BeginGrow(name string) (token int64, err error) {
 // EndGrow implements Store.
 func (s *Locked) EndGrow(name string, token int64) (reclaim []Ref, err error) {
 	defer s.ins.observe(OpEndGrow, time.Now(), &err)
+	var (
+		ev      ChangeEvent
+		changed bool
+	)
+	defer func() {
+		if changed {
+			s.watch.fire(ev)
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, err := s.coll(name)
 	if err != nil {
 		return nil, err
 	}
-	return c.endGrow(token)
+	before := c.version
+	reclaim, err = c.endGrow(token)
+	if err == nil && c.version != before {
+		// Ghost GC may touch several partitions at once.
+		ev = ChangeEvent{Coll: name, Part: PartAll, Version: c.version}
+		changed = true
+	}
+	return reclaim, err
 }
 
 // CollStats implements Store.
@@ -318,6 +360,12 @@ func (s *Locked) SyncState(name string) (members []Ref, version uint64, replicas
 func (s *Locked) ApplySync(name string, members []Ref, version uint64) {
 	var err error
 	defer s.ins.observe(OpSync, time.Now(), &err)
+	var applied bool
+	defer func() {
+		if applied {
+			s.watch.fire(ChangeEvent{Coll: name, Part: PartAll, Version: version})
+		}
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	c, found := s.colls[name]
@@ -325,7 +373,7 @@ func (s *Locked) ApplySync(name string, members []Ref, version uint64) {
 		c = newCollState(name, s.partitions)
 		s.colls[name] = c
 	}
-	c.applySync(members, version)
+	applied = c.applySync(members, version)
 }
 
 // Export implements Store.

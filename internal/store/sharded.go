@@ -35,7 +35,8 @@ const DefaultShards = 16
 // snapshot/mutation separation the paper's Fig. 4 semantics make at the
 // iterator level.
 type Sharded struct {
-	ins instruments
+	ins   instruments
+	watch notifier
 
 	shards     []*objShard
 	mask       uint32
@@ -44,6 +45,9 @@ type Sharded struct {
 	collMu sync.RWMutex
 	colls  map[string]*shardedColl
 }
+
+// OnListingChange implements Store.
+func (s *Sharded) OnListingChange(fn func(ChangeEvent)) { s.watch.subscribe(fn) }
 
 type objShard struct {
 	mu      sync.RWMutex
@@ -384,9 +388,11 @@ func (s *Sharded) Add(name string, ref Ref) (version uint64, err error) {
 		return 0, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	part := c.st.partOf(ref.ID)
 	v := c.st.add(ref)
 	c.syncVersions()
+	c.mu.Unlock()
+	s.watch.fire(ChangeEvent{Coll: name, Part: part, Version: v})
 	return v, nil
 }
 
@@ -398,12 +404,15 @@ func (s *Sharded) Remove(name string, id ObjectID) (ref Ref, deferred bool, vers
 		return Ref{}, false, 0, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	part := c.st.partOf(id)
 	ref, deferred, version, err = c.st.remove(id)
 	if err != nil {
+		c.mu.Unlock()
 		return Ref{}, false, 0, err
 	}
 	c.syncVersions()
+	c.mu.Unlock()
+	s.watch.fire(ChangeEvent{Coll: name, Part: part, Version: version})
 	return ref, deferred, version, nil
 }
 
@@ -451,13 +460,20 @@ func (s *Sharded) EndGrow(name string, token int64) (reclaim []Ref, err error) {
 		return nil, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	before := c.st.version
 	reclaim, err = c.st.endGrow(token)
 	if err != nil {
+		c.mu.Unlock()
 		return nil, err
 	}
 	// Draining the last token clears the ghosts out of the listing.
 	c.syncVersions()
+	after := c.st.version
+	c.mu.Unlock()
+	if after != before {
+		// Ghost GC may touch several partitions at once.
+		s.watch.fire(ChangeEvent{Coll: name, Part: PartAll, Version: after})
+	}
 	return reclaim, nil
 }
 
@@ -512,9 +528,13 @@ func (s *Sharded) ApplySync(name string, members []Ref, version uint64) {
 	}
 	s.collMu.Unlock()
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.st.applySync(members, version) {
+	applied := c.st.applySync(members, version)
+	if applied {
 		c.syncVersions()
+	}
+	c.mu.Unlock()
+	if applied {
+		s.watch.fire(ChangeEvent{Coll: name, Part: PartAll, Version: version})
 	}
 }
 

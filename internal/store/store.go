@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -94,6 +95,19 @@ type Store interface {
 	// is what makes replicas observably lag.
 	ApplySync(name string, members []Ref, version uint64)
 
+	// Change notification.
+
+	// OnListingChange registers fn to run after every committed listing
+	// change — Add, Remove, ghost GC at grow-window close, or an applied
+	// replication push — with the collection, the partition that moved
+	// (PartAll when several did), and the resulting listing version.
+	// Callbacks run outside the engine's locks, on the mutating
+	// goroutine, so they must be fast and must not call back into the
+	// engine synchronously. Registration is permanent (engines live as
+	// long as their server); events for different mutations may arrive
+	// out of version order, so consumers must fold by max version.
+	OnListingChange(fn func(ChangeEvent))
+
 	// Persistence.
 
 	// Export returns the durable image of the engine.
@@ -103,6 +117,48 @@ type Store interface {
 
 	// Stats reports the engine's instrumentation snapshot.
 	Stats() EngineStats
+}
+
+// PartAll marks a ChangeEvent that moved more than one partition (ghost
+// GC, replication sync) — consumers should treat the whole listing as
+// changed.
+const PartAll = -1
+
+// ChangeEvent is one committed listing change, as delivered to
+// OnListingChange subscribers: the collection, the partition index that
+// moved (PartAll for whole-listing changes), and the collection listing
+// version after the change.
+type ChangeEvent struct {
+	Coll    string
+	Part    int
+	Version uint64
+}
+
+// notifier fans ChangeEvents out to registered subscribers. Engines
+// embed one; the zero value is ready to use. fire is called after the
+// engine's locks are released so subscribers can't deadlock a mutation,
+// at the price of events possibly arriving out of version order.
+type notifier struct {
+	mu   sync.RWMutex
+	subs []func(ChangeEvent)
+}
+
+func (n *notifier) subscribe(fn func(ChangeEvent)) {
+	if fn == nil {
+		return
+	}
+	n.mu.Lock()
+	n.subs = append(n.subs, fn)
+	n.mu.Unlock()
+}
+
+func (n *notifier) fire(ev ChangeEvent) {
+	n.mu.RLock()
+	subs := n.subs
+	n.mu.RUnlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
 }
 
 // Op identifies one instrumented engine operation.

@@ -50,6 +50,12 @@ func NewGateway(bus *rpc.Bus, node netsim.NodeID, client *Client, methods []stri
 			if r, ok := req.(repo.ListPartsReq); ok && r.Stream {
 				return g.forwardStream(ctx, method, req)
 			}
+			// A watch is a long-lived push channel: bridge it end-to-end
+			// with no CallTimeout (its lifetime is the lease holder's, not
+			// a call's).
+			if _, ok := req.(repo.WatchReq); ok {
+				return g.forwardWatch(ctx, method, req)
+			}
 			// Derive from the incoming context so the caller's trace
 			// context (and cancellation) flows onto the wire.
 			ctx, cancel := context.WithTimeout(ctx, g.CallTimeout)
@@ -77,6 +83,24 @@ func (g *Gateway) forwardStream(ctx context.Context, method string, req any) (an
 		if errors.Is(err, ErrNoStreams) {
 			// The remote materializes streamable bodies for such peers.
 			return g.client.Call(sctx, method, req)
+		}
+		return nil, err
+	}
+	return &gatewayStream{st: st, cancel: cancel}, nil
+}
+
+// forwardWatch bridges a Watch push stream. Unlike forwardStream it is
+// deliberately unbounded in time — invalidations arrive for as long as
+// the lease holder lives — and it degrades to rpc.ErrNoMethod when the
+// connection cannot stream, so the lease layer runs leaseless exactly as
+// it would against a pre-lease peer.
+func (g *Gateway) forwardWatch(ctx context.Context, method string, req any) (any, error) {
+	sctx, cancel := context.WithCancel(ctx)
+	st, err := g.client.CallStream(sctx, method, req)
+	if err != nil {
+		cancel()
+		if errors.Is(err, ErrNoStreams) {
+			return nil, rpc.ErrNoMethod
 		}
 		return nil, err
 	}

@@ -161,11 +161,17 @@ func (s *Server) serveConn(conn net.Conn) {
 		pendingFirst = &first
 	}
 
+	// connCtx is the per-connection dispatch base: it is cancelled when
+	// the decode loop breaks, so server-side resources bound to a call's
+	// context — a Watch stream blocked waiting for the next invalidation,
+	// say — observe the connection's death instead of leaking forever.
+	connCtx, connCancel := context.WithCancel(context.Background())
+	defer connCancel()
 	// wmu serializes response envelopes from concurrent workers onto the
 	// shared stream.
 	var wmu sync.Mutex
 	reqCh := make(chan request, s.workers)
-	var pool sync.WaitGroup
+	var pool, streamers sync.WaitGroup
 	for i := 0; i < s.workers; i++ {
 		pool.Add(1)
 		go func() {
@@ -173,7 +179,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			for req := range reqCh {
 				// Rebuild the caller's trace context from the envelope so
 				// this process's spans join the cross-process trace.
-				ctx := obs.ContextWithSpan(context.Background(), req.Trace)
+				ctx := obs.ContextWithSpan(connCtx, req.Trace)
 				ctx, sp := s.tracer.StartSpan(ctx, "rpc.serve")
 				sp.SetAttr("method", req.Method)
 				body, err := s.dispatch.Dispatch(ctx, netsim.NodeID(req.From), req.Method, req.Body)
@@ -181,11 +187,19 @@ func (s *Server) serveConn(conn net.Conn) {
 				if st, ok := body.(rpc.Streamer); ok {
 					// A streamable body: ship it chunk-by-chunk when this
 					// client negotiated streams, else collapse it to the
-					// single-response form right here.
+					// single-response form right here. Shipping runs on a
+					// dedicated goroutine: a stream may outlive ordinary
+					// calls by hours (a Watch push channel), and parking it
+					// on a pool worker would let a handful of streams
+					// starve the connection's entire request pipeline.
 					if streams {
-						if !writeStream(cdc, &wmu, req.Seq, st) {
-							_ = conn.Close()
-						}
+						streamers.Add(1)
+						go func(seq uint64, st rpc.Streamer) {
+							defer streamers.Done()
+							if !writeStream(cdc, &wmu, seq, st) {
+								_ = conn.Close()
+							}
+						}(req.Seq, st)
 						continue
 					}
 					body, err = st.Materialize()
@@ -222,7 +236,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		reqCh <- req
 	}
 	close(reqCh)
+	// Cancel before waiting: long-lived streams (Watch) end only when
+	// their dispatch context dies.
+	connCancel()
 	pool.Wait()
+	streamers.Wait()
 }
 
 // writeStream ships a Streamer body as a sequence of More-flagged

@@ -20,6 +20,7 @@ import (
 type remoteProcess struct {
 	srv     *Server
 	repoSrv *repo.Server
+	bus     *rpc.Bus
 }
 
 func startRemote(t *testing.T, node netsim.NodeID) *remoteProcess {
@@ -39,7 +40,7 @@ func startRemote(t *testing.T, node netsim.NodeID) *remoteProcess {
 		tcpSrv.Close()
 		repoSrv.Close()
 	})
-	return &remoteProcess{srv: tcpSrv, repoSrv: repoSrv}
+	return &remoteProcess{srv: tcpSrv, repoSrv: repoSrv, bus: bus}
 }
 
 // busBackedDispatch builds an rpc.Server whose handlers forward to the
@@ -49,8 +50,11 @@ func busBackedDispatch(bus *rpc.Bus, node netsim.NodeID) *rpc.Server {
 	srv := rpc.NewServer(node)
 	for _, method := range RepoMethods() {
 		method := method
-		srv.Handle(method, func(_ context.Context, from netsim.NodeID, req any) (any, error) {
-			out, _, err := bus.Call(context.Background(), node, node, method, req)
+		srv.Handle(method, func(ctx context.Context, from netsim.NodeID, req any) (any, error) {
+			// The TCP server's per-connection context flows through: a
+			// dropped connection must cancel whatever the dispatched
+			// handler holds open (a Watch stream, most importantly).
+			out, _, err := bus.Call(ctx, node, node, method, req)
 			return out, err
 		})
 	}

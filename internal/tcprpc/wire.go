@@ -166,6 +166,10 @@ func registerWireTypes() {
 	gob.Register(repo.StoreStatsReq{})
 	gob.Register(repo.StoreStatsResp{})
 	gob.Register(repo.SyncReq{})
+	gob.Register(repo.LeaseReq{})
+	gob.Register(repo.LeaseGrant{})
+	gob.Register(repo.WatchReq{})
+	gob.Register(repo.Invalidation{})
 	gob.Register(repo.Object{})
 	// Lock service wire types.
 	gob.Register(locksvc.AcquireReq{})
@@ -193,5 +197,7 @@ func RepoMethods() []string {
 		repo.MethodStats,
 		repo.MethodStoreStats,
 		repo.MethodSync,
+		repo.MethodLease,
+		repo.MethodWatch,
 	}
 }
