@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench-trend bench sweep sweep-iter sweep-rpc sweep-obs sweep-cache sweep-scale clean
+.PHONY: check vet build test race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench-frontier bench-trend bench sweep sweep-iter sweep-rpc sweep-obs sweep-cache sweep-scale sweep-frontier clean
 
-check: vet build race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench-trend
+check: vet build race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench-frontier bench-trend
 
 vet:
 	$(GO) vet ./...
@@ -73,6 +73,13 @@ bench-cache:
 bench-scale:
 	$(GO) run ./cmd/weakbench -scale -scale-quick -scale-json /tmp/BENCH_scale_smoke.json
 
+# Smoke the weakness-throughput frontier: optimistic Collects under
+# churn at two reader counts, checking the sweep still produces
+# populated latency and skew quantiles. Writes to /tmp so the committed
+# BENCH_frontier.json (produced by sweep-frontier) is left alone.
+bench-frontier:
+	$(GO) run ./cmd/weakbench -frontier -frontier-quick -frontier-json /tmp/BENCH_frontier_smoke.json
+
 # Trend gate: re-run the quick cache and TCP sweeps and compare their
 # size-independent figures (bytes elided warm, leased steady-state
 # RPCs/run, multiplexing and codec speedups) against the committed
@@ -109,6 +116,11 @@ sweep-cache:
 # (10k to 1M elements; slow).
 sweep-scale:
 	$(GO) run ./cmd/weakbench -scale
+
+# Regenerate BENCH_frontier.json from the full weakness-throughput
+# frontier sweep (1 to 16 concurrent readers under churn).
+sweep-frontier:
+	$(GO) run ./cmd/weakbench -frontier
 
 clean:
 	$(GO) clean ./...

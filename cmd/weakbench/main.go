@@ -16,6 +16,10 @@
 // over one collection grown from 10k to 1M members, monolithic List
 // versus partitioned streaming ListParts — and writes BENCH_scale.json.
 //
+// With -frontier it sweeps reader concurrency over a churning collection
+// and writes the weakness-versus-throughput frontier — runs/sec against
+// windowed latency and skew quantiles — to BENCH_frontier.json.
+//
 // Usage:
 //
 //	weakbench [-run E1,E5] [-quick] [-seed 42] [-timescale 0.01]
@@ -24,6 +28,7 @@
 //	weakbench -rpc [-rpc-json BENCH_rpc.json]
 //	weakbench -obs [-obs-json BENCH_obs.json]
 //	weakbench -scale [-scale-json BENCH_scale.json]
+//	weakbench -frontier [-frontier-json BENCH_frontier.json]
 package main
 
 import (
@@ -88,7 +93,10 @@ func run(args []string) error {
 		scaleRun  = fs.Bool("scale", false, "run the listing scalability sweep (monolithic vs partitioned, 10k-1M elements) instead of experiments")
 		scaleJSON = fs.String("scale-json", "BENCH_scale.json", "where -scale writes its machine-readable results")
 		scaleQk   = fs.Bool("scale-quick", false, "trim the -scale sweep (smaller sets, one round)")
-		trendRun  = fs.Bool("trend", false, "run quick cache+rpc smoke sweeps and gate their size-independent figures against the committed BENCH_cache.json/BENCH_rpc.json")
+		frontRun  = fs.Bool("frontier", false, "run the weakness-vs-throughput frontier sweep instead of experiments")
+		frontJSON = fs.String("frontier-json", "BENCH_frontier.json", "where -frontier writes its machine-readable results")
+		frontQk   = fs.Bool("frontier-quick", false, "trim the -frontier sweep (two load points)")
+		trendRun  = fs.Bool("trend", false, "run quick cache+rpc+obs+scale smoke sweeps and gate their size-independent figures against the committed BENCH_*.json reports")
 		trendTol  = fs.Float64("trend-tolerance", 0.5, "multiplicative tolerance for -trend ratio comparisons (0.5 = fail below half the committed speedup)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	)
@@ -126,8 +134,13 @@ func run(args []string) error {
 	if *scaleRun {
 		return runScaleSweep(*scaleJSON, *scaleQk, *seed)
 	}
+	if *frontRun {
+		return runFrontierSweep(*frontJSON, *frontQk, *seed)
+	}
 	if *trendRun {
-		return runTrend(*cacheJSON, *rpcJSON, *trendTol, *seed, *rpcLat)
+		return runTrend(trendPaths{
+			cache: *cacheJSON, rpc: *rpcJSON, obs: *obsJSON, scale: *scaleJSON,
+		}, *trendTol, *seed, *rpcLat)
 	}
 
 	if *list {

@@ -150,7 +150,11 @@ func runObsMode(ctx context.Context, mode obsMode, elements, runs, trials int, s
 		c.UseTracer(tracer)
 	}
 	if mode.weak {
+		// Windows are on by default; the journal rides along too, so the
+		// overhead figure prices the whole accounting plane, not just the
+		// lifetime counters.
 		weakness = obs.NewRegistry()
+		weakness.UseJournal(obs.NewJournal(0))
 	}
 
 	if err := c.Client.CreateCollection(ctx, cluster.DirNode, "bench"); err != nil {

@@ -1,14 +1,15 @@
 package main
 
-// The -trend gate: the first slice of the ROADMAP trend-tracking item.
-// It re-runs the quick cache and TCP sweeps, then compares the figures
-// that are stable across sweep sizes against the committed
-// BENCH_cache.json / BENCH_rpc.json and fails loudly on gross
-// regressions. Absolute throughput is deliberately not compared — the
-// smoke sweeps are smaller and the machines differ — only ratios and
-// invariants that a correct implementation reproduces at any size:
-// payload bytes elided by the warm cache, read RPCs per steady-state
-// leased run, the multiplexing speedup, and the wirebin-over-gob step.
+// The -trend gate: the ROADMAP trend-tracking item. It re-runs the quick
+// cache, TCP, observability, and scale sweeps, then compares the figures
+// that are stable across sweep sizes against the committed BENCH_*.json
+// reports and fails loudly on gross regressions. Absolute throughput is
+// deliberately not compared — the smoke sweeps are smaller and the
+// machines differ — only ratios and invariants that a correct
+// implementation reproduces at any size: payload bytes elided by the warm
+// cache, read RPCs per steady-state leased run, the multiplexing speedup,
+// the wirebin-over-gob step, the observability overhead ceiling, and the
+// partitioned listing's per-element and first-element degradation caps.
 
 import (
 	"encoding/json"
@@ -56,14 +57,22 @@ func loadTrendReport(path string, into any) error {
 	return json.Unmarshal(data, into)
 }
 
+// trendPaths names the committed reports the gate compares against.
+type trendPaths struct {
+	cache, rpc, obs, scale string
+}
+
 // runTrend runs the quick sweeps and gates them against the committed
 // reports. tol is the multiplicative tolerance for ratio comparisons.
-func runTrend(cacheCommitted, rpcCommitted string, tol float64, seed int64, rpcLat time.Duration) error {
+func runTrend(committed trendPaths, tol float64, seed int64, rpcLat time.Duration) error {
 	const (
 		cacheSmokePath = "/tmp/BENCH_cache_trend.json"
 		rpcSmokePath   = "/tmp/BENCH_rpc_trend.json"
+		obsSmokePath   = "/tmp/BENCH_obs_trend.json"
+		scaleSmokePath = "/tmp/BENCH_scale_trend.json"
 	)
-	fmt.Printf("trend gate: smoke sweeps vs %s, %s (ratio tolerance %.0f%%)\n\n", cacheCommitted, rpcCommitted, 100*tol)
+	fmt.Printf("trend gate: smoke sweeps vs %s, %s, %s, %s (ratio tolerance %.0f%%)\n\n",
+		committed.cache, committed.rpc, committed.obs, committed.scale, 100*tol)
 	if err := runCacheSweep(cacheSmokePath, true, seed, sim.TimeScale(1)); err != nil {
 		return fmt.Errorf("trend: cache smoke: %w", err)
 	}
@@ -72,12 +81,20 @@ func runTrend(cacheCommitted, rpcCommitted string, tol float64, seed int64, rpcL
 		return fmt.Errorf("trend: rpc smoke: %w", err)
 	}
 	fmt.Println()
+	if err := runObsSweep(obsSmokePath, true, seed); err != nil {
+		return fmt.Errorf("trend: obs smoke: %w", err)
+	}
+	fmt.Println()
+	if err := runScaleSweep(scaleSmokePath, true, seed); err != nil {
+		return fmt.Errorf("trend: scale smoke: %w", err)
+	}
+	fmt.Println()
 
 	var checks []trendCheck
 	var failures, skipped []string
 
 	var cacheCom, cacheSmoke cacheReport
-	if err := loadTrendReport(cacheCommitted, &cacheCom); err != nil {
+	if err := loadTrendReport(committed.cache, &cacheCom); err != nil {
 		return fmt.Errorf("trend: %w", err)
 	}
 	if err := loadTrendReport(cacheSmokePath, &cacheSmoke); err != nil {
@@ -110,7 +127,7 @@ func runTrend(cacheCommitted, rpcCommitted string, tol float64, seed int64, rpcL
 	}
 
 	var rpcCom, rpcSmoke rpcReport
-	if err := loadTrendReport(rpcCommitted, &rpcCom); err != nil {
+	if err := loadTrendReport(committed.rpc, &rpcCom); err != nil {
 		return fmt.Errorf("trend: %w", err)
 	}
 	if err := loadTrendReport(rpcSmokePath, &rpcSmoke); err != nil {
@@ -135,6 +152,108 @@ func runTrend(cacheCommitted, rpcCommitted string, tol float64, seed int64, rpcL
 			continue
 		}
 		checks = append(checks, trendCheck{"rpc codecSpeedup/" + key, com, smoke, "ratio"})
+	}
+
+	// Observability overhead: percent of throughput lost with the
+	// accounting plane on. The committed figures hover around zero (noise
+	// in either direction), so the gate is an absolute ceiling, not a
+	// ratio: smoke overhead must stay within a fixed band above the
+	// committed value floored at zero. The band is wide because the off
+	// baseline and each mode are independently timed batches — on a busy
+	// CI box either can catch a load spike, swinging the relative figure
+	// by tens of points. The gate exists to catch gross regressions (an
+	// accounting plane that halves throughput), not single-digit drift;
+	// negative smoke overhead is never a failure.
+	var obsCom, obsSmoke obsReport
+	if err := loadTrendReport(committed.obs, &obsCom); err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	if err := loadTrendReport(obsSmokePath, &obsSmoke); err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	const obsBand = 35.0 // absolute percentage points over max(committed, 0)
+	for mode, smoke := range obsSmoke.OverheadPct {
+		com, ok := obsCom.OverheadPct[mode]
+		if !ok {
+			skipped = append(skipped, "obs overheadPct/"+mode)
+			continue
+		}
+		ceiling := com
+		if ceiling < 0 {
+			ceiling = 0
+		}
+		ceiling += obsBand
+		if smoke > ceiling {
+			msg := fmt.Sprintf("obs overheadPct/%s: smoke %+.1f%% vs committed %+.1f%% (ceiling %+.1f%%)", mode, smoke, com, ceiling)
+			failures = append(failures, msg)
+			fmt.Printf("  FAIL %s\n", msg)
+			continue
+		}
+		fmt.Printf("  ok  obs overheadPct/%s: %+.1f%% (committed %+.1f%%, ceiling %+.1f%%)\n", mode, smoke, com, ceiling)
+	}
+	// Structural obs gate, immune to timing noise: each instrumentation
+	// mode must still do what it claims — no spans without a tracer, a
+	// few under sampling, every run's worth under full tracing.
+	for _, res := range obsSmoke.Results {
+		var bad string
+		switch res.Mode {
+		case "off", "weakness":
+			if res.SpansRetained != 0 {
+				bad = fmt.Sprintf("retained %d spans with no tracer", res.SpansRetained)
+			}
+		case "sampled", "full":
+			if res.SpansRetained == 0 {
+				bad = "retained no spans with tracing on"
+			}
+		}
+		if bad != "" {
+			msg := fmt.Sprintf("obs spans/%s: %s", res.Mode, bad)
+			failures = append(failures, msg)
+			fmt.Printf("  FAIL %s\n", msg)
+			continue
+		}
+		fmt.Printf("  ok  obs spans/%s: %d spans retained\n", res.Mode, res.SpansRetained)
+	}
+
+	// Listing scalability: degradation ratios (biggest size over smallest;
+	// 1.0 = perfectly flat) must not blow past the committed figure. These
+	// are inverted relative to speedups — smaller is better — so the gate
+	// is a multiplicative ceiling at committed*(1+tol).
+	var scaleCom, scaleSmoke scaleReport
+	if err := loadTrendReport(committed.scale, &scaleCom); err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	if err := loadTrendReport(scaleSmokePath, &scaleSmoke); err != nil {
+		return fmt.Errorf("trend: %w", err)
+	}
+	scaleRatios := []struct {
+		name      string
+		committed map[string]float64
+		smoke     map[string]float64
+	}{
+		{"scale perElementRatio", scaleCom.PerElementRatio, scaleSmoke.PerElementRatio},
+		{"scale firstElementRatio", scaleCom.FirstElementRatio, scaleSmoke.FirstElementRatio},
+	}
+	for _, sr := range scaleRatios {
+		for mode, smoke := range sr.smoke {
+			com, ok := sr.committed[mode]
+			if !ok {
+				skipped = append(skipped, sr.name+"/"+mode)
+				continue
+			}
+			// The monolithic baseline is allowed to degrade — it exists to
+			// be beaten; gating it would reward making the baseline better.
+			if mode != "partitioned" {
+				continue
+			}
+			if ceiling := com * (1 + tol); smoke > ceiling {
+				msg := fmt.Sprintf("%s/%s: smoke %.2f vs committed %.2f (ceiling %.2f)", sr.name, mode, smoke, com, ceiling)
+				failures = append(failures, msg)
+				fmt.Printf("  FAIL %s\n", msg)
+				continue
+			}
+			fmt.Printf("  ok  %s/%s: %.2f (committed %.2f)\n", sr.name, mode, smoke, com)
+		}
 	}
 
 	for _, tc := range checks {

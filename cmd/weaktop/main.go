@@ -1,0 +1,175 @@
+// Command weaktop is a terminal poller for the weakness plane: it asks a
+// gateway's GET /cluster for the merged fleet view every interval and
+// renders one table — collections down, weakness quantiles across — the
+// way top renders processes. Point it at any weakwww gateway; peers
+// registered there (-peers) are folded in by the gateway itself.
+//
+//	weaktop -url http://127.0.0.1:8080
+//	weaktop -url http://127.0.0.1:8080 -once   # one snapshot, no screen clears
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"weaksets/internal/obs"
+)
+
+// countMetrics are the windows whose values are per-run counts, not
+// durations — rendered as raw numbers.
+var countMetrics = func() map[string]bool {
+	m := make(map[string]bool, len(obs.WindowEventMetrics))
+	for _, name := range obs.WindowEventMetrics {
+		m[name] = true
+	}
+	return m
+}()
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "weaktop:", err)
+		os.Exit(1)
+	}
+}
+
+// clusterView mirrors the gateway's GET /cluster document (the fields
+// weaktop renders).
+type clusterView struct {
+	Nodes []struct {
+		Name  string `json:"name"`
+		Node  string `json:"node"`
+		OK    bool   `json:"ok"`
+		Error string `json:"error"`
+	} `json:"nodes"`
+	Collections []struct {
+		Collection string `json:"collection"`
+		Nodes      int    `json:"nodes"`
+		Aggregate  struct {
+			Runs               int64 `json:"runs"`
+			Yielded            int64 `json:"yielded"`
+			UnreachableSkipped int64 `json:"unreachableSkipped"`
+			GhostsServed       int64 `json:"ghostsServed"`
+			ListingSkew        int64 `json:"listingSkew"`
+			PartitionSkew      int64 `json:"partitionSkew"`
+		} `json:"aggregate"`
+		Windows map[string]struct {
+			Count    int64         `json:"count"`
+			P50      time.Duration `json:"p50Ns"`
+			P95      time.Duration `json:"p95Ns"`
+			P99      time.Duration `json:"p99Ns"`
+			Max      time.Duration `json:"maxNs"`
+			Exemplar *struct {
+				Trace string `json:"trace"`
+			} `json:"exemplar"`
+		} `json:"windows"`
+	} `json:"collections"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("weaktop", flag.ContinueOnError)
+	var (
+		url      = fs.String("url", "http://127.0.0.1:8080", "gateway base URL (its /cluster is polled)")
+		interval = fs.Duration("interval", 2*time.Second, "poll interval")
+		once     = fs.Bool("once", false, "print one snapshot and exit (no screen clears)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for {
+		view, err := fetch(*url)
+		if err != nil {
+			return err
+		}
+		if !*once {
+			// ANSI clear + home, like top: the table repaints in place.
+			fmt.Fprint(out, "\x1b[2J\x1b[H")
+		}
+		render(out, *url, view)
+		if *once {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func fetch(baseURL string) (clusterView, error) {
+	resp, err := http.Get(baseURL + "/cluster")
+	if err != nil {
+		return clusterView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return clusterView{}, fmt.Errorf("GET /cluster: status %d", resp.StatusCode)
+	}
+	var view clusterView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return clusterView{}, err
+	}
+	return view, nil
+}
+
+// render paints one /cluster snapshot: a node status line, then one row
+// per collection x windowed metric with the merged quantiles and the p99
+// exemplar trace (feed it to /trace?id= to see why the tail is slow).
+func render(out io.Writer, url string, view clusterView) {
+	up := 0
+	var down []string
+	for _, n := range view.Nodes {
+		if n.OK {
+			up++
+		} else {
+			down = append(down, fmt.Sprintf("%s (%s)", n.Name, n.Error))
+		}
+	}
+	fmt.Fprintf(out, "weaktop  %s  %s  nodes %d/%d up", url, time.Now().Format("15:04:05"), up, len(view.Nodes))
+	if len(down) > 0 {
+		fmt.Fprintf(out, "  DOWN: %s", strings.Join(down, ", "))
+	}
+	fmt.Fprintln(out)
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "COLLECTION\tMETRIC\tN\tP50\tP95\tP99\tMAX\tEXEMPLAR")
+	for _, c := range view.Collections {
+		metricNames := make([]string, 0, len(c.Windows))
+		for name := range c.Windows {
+			metricNames = append(metricNames, name)
+		}
+		sort.Strings(metricNames)
+		for _, name := range metricNames {
+			win := c.Windows[name]
+			if win.Count == 0 {
+				continue
+			}
+			ex := "-"
+			if win.Exemplar != nil && win.Exemplar.Trace != "" {
+				ex = win.Exemplar.Trace
+			}
+			if countMetrics[name] {
+				// Count-valued windows: render raw per-run counts.
+				fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%s\n",
+					c.Collection, name, win.Count, win.P50, win.P95, win.P99, win.Max, ex)
+				continue
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+				c.Collection, name, win.Count,
+				fmtDur(win.P50), fmtDur(win.P95), fmtDur(win.P99), fmtDur(win.Max), ex)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\truns %d\tyield %d\tskip %d\tghost %d\tskew %d/%d\n",
+			c.Collection, "lifetime", c.Nodes,
+			c.Aggregate.Runs, c.Aggregate.Yielded, c.Aggregate.UnreachableSkipped,
+			c.Aggregate.GhostsServed, c.Aggregate.ListingSkew, c.Aggregate.PartitionSkew)
+	}
+	_ = tw.Flush()
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const clusterFixture = `{
+  "nodes": [
+    {"name": "local", "node": "dir", "ok": true},
+    {"name": "b", "url": "http://peer:8081", "ok": false, "error": "connection refused"}
+  ],
+  "collections": [{
+    "collection": "menus",
+    "nodes": 2,
+    "aggregate": {"runs": 12, "yielded": 240, "unreachableSkipped": 3, "ghostsServed": 1, "listingSkew": 2, "partitionSkew": 0},
+    "windows": {
+      "latency": {"count": 12, "p50Ns": 2000000, "p95Ns": 9000000, "p99Ns": 12000000, "maxNs": 12000000,
+                  "exemplar": {"trace": "00000000000000aa", "valueNs": 12000000}},
+      "listing_skew": {"count": 12, "p50Ns": 0, "p95Ns": 1, "p99Ns": 2, "maxNs": 2}
+    }
+  }]
+}`
+
+func TestRunOnce(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/cluster" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(clusterFixture))
+	}))
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-url", srv.URL, "-once"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if strings.Contains(text, "\x1b[2J") {
+		t.Error("-once must not clear the screen")
+	}
+	for _, s := range []string{
+		"nodes 1/2 up",
+		"DOWN: b (connection refused)",
+		"menus",
+		"latency",
+		"00000000000000aa", // the p99 exemplar trace id, ready for /trace?id=
+		"listing_skew",
+		"runs 12",
+	} {
+		if !strings.Contains(text, s) {
+			t.Errorf("rendered table missing %q:\n%s", s, text)
+		}
+	}
+	// Duration windows render as durations, count windows as raw counts.
+	if !strings.Contains(text, "2ms") {
+		t.Errorf("latency p50 not rendered as a duration:\n%s", text)
+	}
+}
+
+func TestRunFetchError(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-url", "http://127.0.0.1:1", "-once"}, &out); err == nil {
+		t.Fatal("expected an error against a dead gateway")
+	}
+}

@@ -10,6 +10,8 @@
 //	curl 'http://127.0.0.1:8080/query?coll=menus&q=cuisine=="chinese"&sem=optimistic'
 //	curl 'http://127.0.0.1:8080/metrics'
 //	curl 'http://127.0.0.1:8080/trace'            # then /trace?id=<id>
+//	curl 'http://127.0.0.1:8080/events?type=lease.grant'
+//	curl 'http://127.0.0.1:8080/cluster'          # this node + every -peers gateway
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"weaksets/internal/cluster"
@@ -40,13 +43,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("weakwww", flag.ContinueOnError)
 	var (
-		addr   = fs.String("addr", "127.0.0.1:8080", "listen address")
-		scale  = fs.Float64("scale", 0.01, "virtual-to-real time scale")
-		mutate = fs.Bool("mutate", true, "keep a background editor mutating the menus")
-		sample = fs.Int("sample", 1, "trace 1 in N query runs (1 = every run)")
-		cache  = fs.Int("cache", 4096, "element cache capacity in objects (0 disables)")
-		lease  = fs.Bool("lease", true, "hold invalidation leases on the corpora (push beats revalidate)")
-		pprof  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		addr    = fs.String("addr", "127.0.0.1:8080", "listen address")
+		scale   = fs.Float64("scale", 0.01, "virtual-to-real time scale")
+		mutate  = fs.Bool("mutate", true, "keep a background editor mutating the menus")
+		sample  = fs.Int("sample", 1, "trace 1 in N query runs (1 = every run)")
+		cache   = fs.Int("cache", 4096, "element cache capacity in objects (0 disables)")
+		lease   = fs.Bool("lease", true, "hold invalidation leases on the corpora (push beats revalidate)")
+		pprof   = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		journal = fs.Int("journal", obs.DefaultJournalCapacity, "event journal capacity (0 disables /events)")
+		peers   = fs.String("peers", "", "comma-separated peer gateways for /cluster, each url or name=url, e.g. b=http://host:8081")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +70,11 @@ func run(args []string) error {
 	tracer := obs.NewTracer("weakwww", obs.Config{Sample: *sample})
 	weakness := obs.NewRegistry()
 	c.UseTracer(tracer)
+	var events *obs.Journal
+	if *journal > 0 {
+		events = obs.NewJournal(*journal)
+		c.UseJournal(events)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
@@ -84,6 +94,7 @@ func run(args []string) error {
 
 	if *lease {
 		ls := repo.NewLeaseState(c.Client, menus.Dir, menus.Coll, faces.Coll, lib.Coll)
+		ls.UseJournal(events)
 		if err := ls.Start(ctx); err != nil {
 			return fmt.Errorf("lease start: %w", err)
 		}
@@ -112,6 +123,22 @@ func run(args []string) error {
 
 	gw := httpgw.New(c.Client, cluster.DirNode, c.LockNode)
 	gw.UseObs(weakness, tracer)
+	if events != nil {
+		gw.UseJournal(events)
+		fmt.Printf("event journal enabled (%d events); query under /events\n", *journal)
+	}
+	for _, peer := range strings.Split(*peers, ",") {
+		if peer = strings.TrimSpace(peer); peer != "" {
+			name, url, named := strings.Cut(peer, "=")
+			if !named {
+				name, url = peer, peer
+			}
+			gw.AddPeer(name, url)
+		}
+	}
+	if *peers != "" {
+		fmt.Println("peer gateways registered; merged fleet view under /cluster")
+	}
 	if *cache > 0 {
 		gw.UseCache(repo.NewCache(*cache))
 		fmt.Printf("element cache enabled (%d objects); stats under /stats and /metrics\n", *cache)

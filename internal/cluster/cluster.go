@@ -112,6 +112,15 @@ func (c *Cluster) UseTracer(t *obs.Tracer) {
 	}
 }
 
+// UseJournal attaches an event journal to every repository server, so
+// coordination-plane events (lease grants, ghost GC) land in one
+// queryable ring. Call it before any traffic flows.
+func (c *Cluster) UseJournal(j *obs.Journal) {
+	for _, srv := range c.Servers {
+		srv.UseJournal(j)
+	}
+}
+
 // ClientAt creates an additional client homed at the given node.
 func (c *Cluster) ClientAt(node netsim.NodeID) *repo.Client {
 	return repo.NewClient(c.Bus, node)

@@ -419,6 +419,7 @@ func (d *DynSet) finishObs(finished bool) {
 		DuplicatesSuppressed: d.dupes.Load(),
 		FetchFailures:        d.fetchFails.Load(),
 		SnapshotAge:          time.Since(d.openedAt),
+		Duration:             time.Since(d.openedAt),
 	}
 	switch {
 	case d.err != nil:

@@ -117,12 +117,14 @@ type Iterator struct {
 	listFails  int
 
 	// Observability: the run's root span (nil when untraced/unsampled),
-	// its weakness report under construction, and the snapshot capture
-	// time that turns into SnapshotAge on close.
-	span     *obs.Span
-	wk       obs.WeaknessReport
-	openedAt time.Time
-	obsDone  bool
+	// its weakness report under construction, the run start that turns
+	// into Duration on close, and the snapshot capture time that turns
+	// into SnapshotAge (snapshot-governed semantics only).
+	span      *obs.Span
+	wk        obs.WeaknessReport
+	startedAt time.Time
+	openedAt  time.Time
+	obsDone   bool
 
 	elem   Element
 	err    error
@@ -954,6 +956,9 @@ func (it *Iterator) finishObs() {
 		it.wk.EpochRetries = it.pf.epochRetries.Load()
 		it.wk.CacheHits = it.pf.cacheHits.Load()
 		it.wk.CacheValidatedHits = it.pf.cacheValidated.Load()
+	}
+	if !it.startedAt.IsZero() {
+		it.wk.Duration = time.Since(it.startedAt)
 	}
 	if !it.openedAt.IsZero() {
 		it.wk.SnapshotAge = time.Since(it.openedAt)

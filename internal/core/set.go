@@ -224,6 +224,7 @@ func (s *Set) Elements(ctx context.Context) (*Iterator, error) {
 	}
 	it.wk.Collection = s.name
 	it.wk.Semantics = s.opts.Semantics.String()
+	it.startedAt = time.Now()
 	_, it.span = s.opts.Tracer.StartRoot(ctx, "elements")
 	it.span.SetAttr("collection", s.name)
 	it.span.SetAttr("semantics", s.opts.Semantics.String())

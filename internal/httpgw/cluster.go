@@ -1,0 +1,172 @@
+package httpgw
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"weaksets/internal/metrics"
+	"weaksets/internal/obs"
+)
+
+// This file is the cluster-wide view: GET /cluster scatter-gathers
+// GET /stats from every registered peer gateway, merges each
+// collection's weakness windows with reservoir-preserving histogram
+// merging (metrics.MergeDump), and reports one snapshot whose quantiles
+// describe the whole fleet — the aggregation plane replication's
+// replica-staleness accounting will report through.
+
+// clusterPeer is one remote gateway /cluster polls.
+type clusterPeer struct {
+	name string
+	url  string // base URL, e.g. http://host:port
+}
+
+// AddPeer registers a peer gateway (by base URL) for /cluster to
+// scatter-gather. The local node is always included and needs no
+// registration.
+func (g *Gateway) AddPeer(name, baseURL string) {
+	g.pmu.Lock()
+	defer g.pmu.Unlock()
+	g.peers = append(g.peers, clusterPeer{name: name, url: baseURL})
+}
+
+// clusterNodeInfo is one node's fetch status in the /cluster body.
+type clusterNodeInfo struct {
+	Name  string `json:"name"`
+	URL   string `json:"url,omitempty"`
+	Node  string `json:"node,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}
+
+// clusterCollectionInfo is one collection's merged cluster-wide
+// weakness: summed lifetime aggregates and merged rolling windows whose
+// quantiles come from reservoir-merged histograms, not averaged
+// per-node quantiles.
+type clusterCollectionInfo struct {
+	Collection string                        `json:"collection"`
+	Nodes      int                           `json:"nodes"`
+	Aggregate  obs.CollectionWeakness        `json:"aggregate"`
+	Windows    map[string]obs.WindowSnapshot `json:"windows"`
+}
+
+// clusterBody is the GET /cluster response document.
+type clusterBody struct {
+	Nodes       []clusterNodeInfo       `json:"nodes"`
+	Collections []clusterCollectionInfo `json:"collections"`
+}
+
+// fetchPeerStats GETs one peer's /stats and decodes the fields the
+// merge needs.
+func fetchPeerStats(ctx context.Context, url string) (statsBody, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/stats", nil)
+	if err != nil {
+		return statsBody{}, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return statsBody{}, err
+	}
+	defer resp.Body.Close()
+	var body statsBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return statsBody{}, err
+	}
+	return body, nil
+}
+
+// handleCluster scatter-gathers /stats from every registered peer
+// (concurrently, each under PeerTimeout), folds the local registry in
+// directly, and merges per-collection weakness into one cluster view.
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	g.pmu.Lock()
+	peers := append([]clusterPeer(nil), g.peers...)
+	g.pmu.Unlock()
+	timeout := g.PeerTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+
+	type fetched struct {
+		info     clusterNodeInfo
+		weakness []weaknessStatsInfo
+	}
+	results := make([]fetched, len(peers)+1)
+	results[0] = fetched{
+		info:     clusterNodeInfo{Name: "local", Node: string(g.dir), OK: true},
+		weakness: g.weaknessStats(),
+	}
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
+			info := clusterNodeInfo{Name: p.name, URL: p.url}
+			body, err := fetchPeerStats(ctx, p.url)
+			if err != nil {
+				info.Error = err.Error()
+				results[i+1] = fetched{info: info}
+				return
+			}
+			info.OK = true
+			info.Node = body.Node
+			results[i+1] = fetched{info: info, weakness: body.Weakness}
+		}()
+	}
+	wg.Wait()
+
+	out := clusterBody{Nodes: make([]clusterNodeInfo, 0, len(results))}
+	merged := make(map[string]*clusterCollectionInfo)
+	exemplars := make(map[string]map[string]*obs.Exemplar)
+	histograms := make(map[string]map[string]*metrics.Histogram)
+	for _, res := range results {
+		out.Nodes = append(out.Nodes, res.info)
+		for _, ws := range res.weakness {
+			cc := merged[ws.Collection]
+			if cc == nil {
+				cc = &clusterCollectionInfo{
+					Collection: ws.Collection,
+					Aggregate:  obs.CollectionWeakness{Collection: ws.Collection, Outcomes: map[string]int64{}},
+					Windows:    make(map[string]obs.WindowSnapshot),
+				}
+				merged[ws.Collection] = cc
+				exemplars[ws.Collection] = make(map[string]*obs.Exemplar)
+				histograms[ws.Collection] = make(map[string]*metrics.Histogram)
+			}
+			cc.Nodes++
+			cc.Aggregate.Merge(ws.Aggregate)
+			for metric, snap := range ws.Windows {
+				h := histograms[ws.Collection][metric]
+				if h == nil {
+					h = metrics.NewHistogram(0)
+					histograms[ws.Collection][metric] = h
+				}
+				h.MergeDump(snap.Dump())
+				if ex := snap.Exemplar; ex != nil {
+					cur := exemplars[ws.Collection][metric]
+					if cur == nil || ex.Value >= cur.Value {
+						exemplars[ws.Collection][metric] = ex
+					}
+				}
+			}
+		}
+	}
+	for coll, cc := range merged {
+		for metric, h := range histograms[coll] {
+			cc.Windows[metric] = obs.SnapshotOf(h, exemplars[coll][metric])
+		}
+		out.Collections = append(out.Collections, *cc)
+	}
+	sort.Slice(out.Collections, func(i, j int) bool {
+		return out.Collections[i].Collection < out.Collections[j].Collection
+	})
+
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}

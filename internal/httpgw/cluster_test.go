@@ -1,0 +1,266 @@
+package httpgw
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"weaksets/internal/metrics"
+	"weaksets/internal/obs"
+)
+
+// TestClusterEndpoint builds a 3-node fleet (three gateways, each with
+// its own registry), feeds every node a known latency distribution, and
+// checks GET /cluster against the ground truth: merged quantiles must
+// equal the exact quantiles of the pooled samples, because the pooled
+// count stays under the merge reservoir bound — reservoir merging only
+// approximates beyond it.
+func TestClusterEndpoint(t *testing.T) {
+	worlds := make([]*gwWorld, 3)
+	regs := make([]*obs.Registry, 3)
+	for i := range worlds {
+		worlds[i], _, regs[i] = newObsWorld(t)
+	}
+	exact := metrics.NewHistogram(0)
+	var want obs.CollectionWeakness
+	want.Collection = "menus"
+	for i, reg := range regs {
+		for j := 0; j < 100; j++ {
+			d := time.Duration(i*100+j+1) * time.Millisecond
+			reg.Observe(obs.WeaknessReport{
+				Collection: "menus",
+				Duration:   d,
+				Yielded:    int64(j % 7),
+				Outcome:    "returns",
+			})
+			exact.Record(d)
+			want.Runs++
+			want.Yielded += int64(j % 7)
+		}
+	}
+	worlds[0].gw.AddPeer("b", worlds[1].srv.URL)
+	worlds[0].gw.AddPeer("c", worlds[2].srv.URL)
+	worlds[0].gw.AddPeer("dead", "http://127.0.0.1:1")
+	worlds[0].gw.PeerTimeout = 5 * time.Second
+
+	resp, body := worlds[0].get(t, "/cluster")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var out clusterBody
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(out.Nodes) != 4 {
+		t.Fatalf("nodes = %d, want 4", len(out.Nodes))
+	}
+	ok := 0
+	for _, n := range out.Nodes {
+		if n.OK {
+			ok++
+		} else if n.Name != "dead" || n.Error == "" {
+			t.Errorf("unexpected failed node %+v", n)
+		}
+	}
+	if ok != 3 {
+		t.Fatalf("reachable nodes = %d, want 3", ok)
+	}
+
+	var menus *clusterCollectionInfo
+	for i := range out.Collections {
+		if out.Collections[i].Collection == "menus" {
+			menus = &out.Collections[i]
+		}
+	}
+	if menus == nil {
+		t.Fatalf("no menus collection in %s", body)
+	}
+	if menus.Nodes != 3 {
+		t.Errorf("menus.Nodes = %d, want 3", menus.Nodes)
+	}
+	if menus.Aggregate.Runs != want.Runs || menus.Aggregate.Yielded != want.Yielded {
+		t.Errorf("aggregate = runs %d yielded %d, want runs %d yielded %d",
+			menus.Aggregate.Runs, menus.Aggregate.Yielded, want.Runs, want.Yielded)
+	}
+	if menus.Aggregate.Outcomes["returns"] != want.Runs {
+		t.Errorf("outcomes[returns] = %d, want %d", menus.Aggregate.Outcomes["returns"], want.Runs)
+	}
+
+	lat, ok2 := menus.Windows[obs.WinLatency]
+	if !ok2 {
+		t.Fatalf("no latency window in %v", menus.Windows)
+	}
+	if lat.Count != 300 {
+		t.Errorf("latency count = %d, want 300", lat.Count)
+	}
+	// 300 pooled samples <= the merge bound, so the merged reservoir is
+	// the exact union: quantiles must match the pooled histogram exactly.
+	wantSnap := obs.SnapshotOf(exact, nil)
+	if lat.P50 != wantSnap.P50 || lat.P95 != wantSnap.P95 || lat.P99 != wantSnap.P99 {
+		t.Errorf("merged quantiles p50/p95/p99 = %v/%v/%v, want %v/%v/%v",
+			lat.P50, lat.P95, lat.P99, wantSnap.P50, wantSnap.P95, wantSnap.P99)
+	}
+	if lat.Min != wantSnap.Min || lat.Max != wantSnap.Max || lat.Sum != wantSnap.Sum {
+		t.Errorf("merged min/max/sum = %v/%v/%v, want %v/%v/%v",
+			lat.Min, lat.Max, lat.Sum, wantSnap.Min, wantSnap.Max, wantSnap.Sum)
+	}
+}
+
+// TestEventsEndpoint drives the journal through the gateway surface:
+// recorded events come back through GET /events, and the type,
+// collection, since, and limit filters narrow them.
+func TestEventsEndpoint(t *testing.T) {
+	w, _, _ := newObsWorld(t)
+	j := w.gw.journal
+	j.Record(obs.Event{Type: obs.EvLeaseGrant, Collection: "menus", Node: "dir"})
+	j.Record(obs.Event{Type: obs.EvLeaseBreak, Collection: "menus", Node: "dir"})
+	j.Record(obs.Event{Type: obs.EvReconnect, Attrs: map[string]int64{"dials": 2}})
+
+	type eventsBody struct {
+		Events []obs.Event      `json:"events"`
+		Stats  obs.JournalStats `json:"stats"`
+	}
+	fetch := func(query string) eventsBody {
+		t.Helper()
+		resp, body := w.get(t, "/events"+query)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /events%s status = %d: %s", query, resp.StatusCode, body)
+		}
+		var out eventsBody
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	all := fetch("")
+	if len(all.Events) != 3 || all.Stats.Recorded != 3 || all.Stats.Retained != 3 {
+		t.Fatalf("all events = %d (stats %+v), want 3", len(all.Events), all.Stats)
+	}
+	if all.Events[0].Seq != 1 || all.Events[2].Seq != 3 {
+		t.Errorf("events not oldest-first: %+v", all.Events)
+	}
+	if got := fetch("?type=" + obs.EvLeaseGrant); len(got.Events) != 1 || got.Events[0].Type != obs.EvLeaseGrant {
+		t.Errorf("type filter = %+v", got.Events)
+	}
+	if got := fetch("?coll=menus"); len(got.Events) != 2 {
+		t.Errorf("coll filter = %+v", got.Events)
+	}
+	if got := fetch("?since=1"); len(got.Events) != 2 || got.Events[0].Seq != 2 {
+		t.Errorf("since filter = %+v", got.Events)
+	}
+	if got := fetch("?limit=1"); len(got.Events) != 1 || got.Events[0].Seq != 3 {
+		t.Errorf("limit filter = %+v (want the most recent)", got.Events)
+	}
+	if resp, _ := w.get(t, "/events?since=x"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad since status = %d", resp.StatusCode)
+	}
+	if resp, _ := w.get(t, "/events?limit=-1"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad limit status = %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsExemplars checks the tail-explanation loop end to end: the
+// p99 sample of a latency window and of a skew window each carry an
+// exemplar trace id in /metrics, and that id resolves to retained spans
+// via /trace?id=.
+func TestMetricsExemplars(t *testing.T) {
+	w, _, weakness := newObsWorld(t)
+	if resp, body := w.get(t, "/query?coll=menus"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d: %s", resp.StatusCode, body)
+	}
+	rep, ok := weakness.Last("menus")
+	if !ok || rep.Trace == 0 {
+		t.Fatalf("query left no traced report: %+v", rep)
+	}
+	// A skewed run, reusing the traced run's id so the exemplar resolves:
+	// the listing moved twice underneath it.
+	weakness.Observe(obs.WeaknessReport{
+		Collection: "menus", Trace: rep.Trace, Duration: rep.Duration,
+		ListingSkew: 2, Outcome: "returns",
+	})
+
+	_, body := w.get(t, "/metrics")
+	_, exemplars := parsePromText(t, string(body))
+
+	for _, key := range []string{
+		`weaksets_weakness_window_seconds{collection="menus",metric="latency",stat="p99"}`,
+		`weaksets_weakness_window_events{collection="menus",metric="listing_skew",stat="p99"}`,
+	} {
+		id, ok := exemplars[key]
+		if !ok {
+			t.Errorf("no exemplar on %s", key)
+			continue
+		}
+		resp, tbody := w.get(t, "/trace?id="+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("exemplar %s on %s does not resolve: status %d: %s", id, key, resp.StatusCode, tbody)
+			continue
+		}
+		var out struct {
+			Spans []obs.SpanRecord `json:"spans"`
+		}
+		if err := json.Unmarshal(tbody, &out); err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Spans) == 0 {
+			t.Errorf("exemplar %s resolved to no spans", id)
+		}
+	}
+}
+
+// TestMetricsFamilyGolden pins the set of /metrics family names (and
+// their types) so renames break loudly. Regenerate with
+// `go test ./internal/httpgw -run FamilyGolden -update`.
+func TestMetricsFamilyGolden(t *testing.T) {
+	w, _, _ := newObsWorld(t)
+	if resp, body := w.get(t, "/query?coll=menus"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d: %s", resp.StatusCode, body)
+	}
+	// One journal event so the weaksets_events_total family has a sample.
+	w.gw.journal.Record(obs.Event{Type: obs.EvLeaseGrant, Collection: "menus"})
+
+	_, body := w.get(t, "/metrics")
+	parsePromText(t, string(body)) // format validity first
+
+	var families []string
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			families = append(families, rest)
+		}
+	}
+	sort.Strings(families)
+	got := strings.Join(families, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "metrics_families.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("/metrics family set drifted from %s:\n--- got ---\n%s--- want ---\n%s(run with -update if intentional)",
+			golden, got, want)
+	}
+	for _, name := range []string{
+		"weaksets_weakness_window_seconds gauge",
+		"weaksets_weakness_window_events gauge",
+		"weaksets_events_total counter",
+		"weaksets_events_dropped_total counter",
+		"weaksets_trace_dropped_total counter",
+	} {
+		if !strings.Contains(got, name+"\n") {
+			t.Errorf("family %q missing from /metrics", name)
+		}
+	}
+}

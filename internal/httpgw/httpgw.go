@@ -55,9 +55,17 @@ type Gateway struct {
 	// UseCache.
 	cache *repo.Cache
 
-	// Observability wiring, set by UseObs.
+	// Observability wiring, set by UseObs / UseJournal.
 	weakness *obs.Registry
 	tracers  []*obs.Tracer
+	journal  *obs.Journal
+
+	// Cluster scatter-gather wiring, set by AddPeer.
+	pmu   sync.Mutex
+	peers []clusterPeer
+	// PeerTimeout bounds each peer's /stats fetch in /cluster.
+	// Defaults to 2s.
+	PeerTimeout time.Duration
 }
 
 // transportSource is one registered TCP transport feeding /stats.
@@ -266,8 +274,58 @@ type collStatsInfo struct {
 	Partitions int    `json:"partitions"`
 }
 
+// weaknessStatsInfo is one collection's weakness block in /stats: the
+// lifetime aggregate plus the rolling windowed series (with reservoir
+// samples, so /cluster can merge per-node series into one view).
+type weaknessStatsInfo struct {
+	Collection string                        `json:"collection"`
+	Aggregate  obs.CollectionWeakness        `json:"aggregate"`
+	Windows    map[string]obs.WindowSnapshot `json:"windows"`
+}
+
+// weaknessStats assembles the per-collection weakness block from the
+// gateway's registry (nil when no registry is wired).
+func (g *Gateway) weaknessStats() []weaknessStatsInfo {
+	if g.weakness == nil {
+		return nil
+	}
+	aggs := g.weakness.Snapshot()
+	byColl := make(map[string]obs.CollectionWeakness, len(aggs))
+	for _, cw := range aggs {
+		byColl[cw.Collection] = cw
+	}
+	wins := g.weakness.Windows()
+	out := make([]weaknessStatsInfo, 0, len(wins))
+	for _, cw := range wins {
+		out = append(out, weaknessStatsInfo{
+			Collection: cw.Collection,
+			Aggregate:  byColl[cw.Collection],
+			Windows:    cw.Metrics,
+		})
+	}
+	return out
+}
+
+// statsBody is the GET /stats response document. /cluster decodes the
+// node and weakness fields of peers' bodies to build its merged view.
+type statsBody struct {
+	Node        string              `json:"node"`
+	Engine      string              `json:"engine"`
+	Shards      int                 `json:"shards"`
+	Objects     int                 `json:"objects"`
+	Collections int                 `json:"collections"`
+	Batch       store.BatchStats    `json:"batch"`
+	Ops         []opInfo            `json:"ops"`
+	Cache       *cacheInfo          `json:"cache,omitempty"`
+	Transports  []transportInfo     `json:"transports,omitempty"`
+	Weakness    []weaknessStatsInfo `json:"weakness,omitempty"`
+	Events      *obs.JournalStats   `json:"events,omitempty"`
+	Collection  *collStatsInfo      `json:"collectionStats,omitempty"`
+}
+
 // handleStats reports the directory node's storage-engine counters —
-// per-operation counts and latency quantiles — plus, with ?coll=, one
+// per-operation counts and latency quantiles — plus the per-collection
+// weakness block (aggregates + rolling windows) and, with ?coll=, one
 // collection's membership counters.
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	es, err := g.client.StoreStats(r.Context(), g.dir)
@@ -275,18 +333,7 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadGateway, "store stats: %v", err)
 		return
 	}
-	out := struct {
-		Node        string           `json:"node"`
-		Engine      string           `json:"engine"`
-		Shards      int              `json:"shards"`
-		Objects     int              `json:"objects"`
-		Collections int              `json:"collections"`
-		Batch       store.BatchStats `json:"batch"`
-		Ops         []opInfo         `json:"ops"`
-		Cache       *cacheInfo       `json:"cache,omitempty"`
-		Transports  []transportInfo  `json:"transports,omitempty"`
-		Collection  *collStatsInfo   `json:"collectionStats,omitempty"`
-	}{
+	out := statsBody{
 		Node:        string(g.dir),
 		Engine:      es.Engine,
 		Shards:      es.Shards,
@@ -349,6 +396,11 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			})
 		}
 		out.Transports = append(out.Transports, ti)
+	}
+	out.Weakness = g.weaknessStats()
+	if g.journal != nil {
+		st := g.journal.Stats()
+		out.Events = &st
 	}
 	if coll := r.URL.Query().Get("coll"); coll != "" {
 		cs, err := g.client.Stats(r.Context(), g.dir, coll)

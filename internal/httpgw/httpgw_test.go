@@ -20,6 +20,7 @@ type gwWorld struct {
 	c      *cluster.Cluster
 	corpus wais.Corpus
 	srv    *httptest.Server
+	gw     *Gateway
 }
 
 func newGWWorld(t *testing.T) *gwWorld {
@@ -36,7 +37,7 @@ func newGWWorld(t *testing.T) *gwWorld {
 	gw := New(c.Client, cluster.DirNode, c.LockNode)
 	srv := httptest.NewServer(gw.Handler())
 	t.Cleanup(srv.Close)
-	return &gwWorld{c: c, corpus: corpus, srv: srv}
+	return &gwWorld{c: c, corpus: corpus, srv: srv, gw: gw}
 }
 
 func (w *gwWorld) get(t *testing.T, path string) (*http.Response, []byte) {

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"strconv"
 	"time"
 
 	"weaksets/internal/obs"
@@ -17,16 +19,66 @@ import (
 //	GET /trace?id=   one trace's spans, all registered tracers merged
 //	GET /debug/pprof (optional, via EnablePprof)
 
-// UseObs mounts /metrics and /trace. reg supplies the per-collection
-// weakness aggregates (nil is allowed: the weakness section is empty);
-// tracers feed /trace and the tracer self-metrics — register every
-// process's tracer the gateway can see so cross-process traces render
-// whole. Call once, before serving.
+// UseObs mounts /metrics, /trace, and /cluster. reg supplies the
+// per-collection weakness aggregates and rolling windows (nil is
+// allowed: the weakness sections are empty); tracers feed /trace and
+// the tracer self-metrics — register every process's tracer the gateway
+// can see so cross-process traces render whole. Call once, before
+// serving.
 func (g *Gateway) UseObs(reg *obs.Registry, tracers ...*obs.Tracer) {
 	g.weakness = reg
 	g.tracers = tracers
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /trace", g.handleTrace)
+	g.mux.HandleFunc("GET /cluster", g.handleCluster)
+}
+
+// UseJournal mounts GET /events over the given bounded event journal
+// and exposes its counters in /metrics and /stats. The same journal
+// should be wired into the emitting layers (repo.Server.UseJournal,
+// LeaseState.UseJournal, tcprpc.Client.Journal, Registry.UseJournal) so
+// every coordination-plane event lands in one queryable place.
+func (g *Gateway) UseJournal(j *obs.Journal) {
+	g.journal = j
+	if g.weakness != nil {
+		g.weakness.UseJournal(j)
+	}
+	g.mux.HandleFunc("GET /events", g.handleEvents)
+}
+
+// handleEvents serves the journal: ?type= and ?coll= filter, ?since=
+// resumes after a sequence number, ?limit= caps to the most recent N.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := obs.EventFilter{
+		Type:       q.Get("type"),
+		Collection: q.Get("coll"),
+	}
+	if s := q.Get("since"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			jsonError(w, http.StatusBadRequest, "bad since %q", s)
+			return
+		}
+		f.SinceSeq = v
+	}
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			jsonError(w, http.StatusBadRequest, "bad limit %q", s)
+			return
+		}
+		f.Limit = v
+	}
+	events := g.journal.Events(f)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(struct {
+		Events []obs.Event      `json:"events"`
+		Stats  obs.JournalStats `json:"stats"`
+	}{Events: events, Stats: g.journal.Stats()})
 }
 
 // localTracer is the gateway process's own tracer — the first one
@@ -77,6 +129,58 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for outcome, n := range cw.Outcomes {
 			p.Counter("weaksets_weakness_outcome_total", "Run terminal states by outcome.", float64(n), l, obs.Label{Key: "outcome", Value: outcome})
 		}
+	}
+
+	// Rolling windowed weakness series: quantiles over the sliding
+	// window, with the p99 sample carrying the exemplar trace of the
+	// worst traced run in the window — /trace?id= explains the outlier.
+	const (
+		winSecondsHelp = "Rolling-window weakness durations (run latency, snapshot age, lease age) by quantile."
+		winEventsHelp  = "Rolling-window per-run weakness counts (skew, ghosts, duplicates, skips) by quantile."
+		winRunsHelp    = "Samples in the rolling weakness window."
+	)
+	for _, cwin := range g.weakness.Windows() {
+		l := coll(cwin.Collection)
+		emit := func(family, help string, metric string, snap obs.WindowSnapshot, toV func(time.Duration) float64) {
+			ml := obs.Label{Key: "metric", Value: metric}
+			p.Family(family, "gauge", help)
+			p.Sample(family, toV(snap.P50), l, ml, obs.Label{Key: "stat", Value: "p50"})
+			p.Sample(family, toV(snap.P95), l, ml, obs.Label{Key: "stat", Value: "p95"})
+			var exTrace obs.TraceID
+			exValue := 0.0
+			if snap.Exemplar != nil {
+				exTrace = snap.Exemplar.Trace
+				exValue = toV(snap.Exemplar.Value)
+			}
+			p.SampleExemplar(family, toV(snap.P99), exTrace, exValue, l, ml, obs.Label{Key: "stat", Value: "p99"})
+			p.Sample(family, toV(snap.Max), l, ml, obs.Label{Key: "stat", Value: "max"})
+			p.Gauge("weaksets_weakness_window_runs", winRunsHelp, float64(snap.Count), l, ml)
+		}
+		for _, metric := range obs.WindowSecondsMetrics {
+			if snap, ok := cwin.Metrics[metric]; ok {
+				emit("weaksets_weakness_window_seconds", winSecondsHelp, metric, snap, obs.Seconds)
+			}
+		}
+		for _, metric := range obs.WindowEventMetrics {
+			if snap, ok := cwin.Metrics[metric]; ok {
+				emit("weaksets_weakness_window_events", winEventsHelp, metric, snap, func(d time.Duration) float64 { return float64(d) })
+			}
+		}
+	}
+
+	if g.journal != nil {
+		st := g.journal.Stats()
+		types := make([]string, 0, len(st.ByType))
+		for typ := range st.ByType {
+			types = append(types, typ)
+		}
+		sort.Strings(types)
+		for _, typ := range types {
+			p.Counter("weaksets_events_total", "Journal events recorded, by type.", float64(st.ByType[typ]), obs.Label{Key: "type", Value: typ})
+		}
+		p.Counter("weaksets_events_dropped_total", "Journal events overwritten by the bounded ring.", float64(st.Dropped))
+		p.Gauge("weaksets_events_retained", "Journal events currently retained.", float64(st.Retained))
+		p.Gauge("weaksets_events_capacity", "Journal ring capacity.", float64(st.Capacity))
 	}
 
 	bs := g.client.Bus().Stats()
@@ -178,6 +282,7 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("weaksets_tracer_spans_started_total", "Spans started.", float64(st.Started), l)
 		p.Counter("weaksets_tracer_spans_finished_total", "Spans completed into the ring buffer.", float64(st.Finished), l)
 		p.Counter("weaksets_tracer_spans_dropped_total", "Completed spans evicted from the ring buffer.", float64(st.Dropped), l)
+		p.Counter("weaksets_trace_dropped_total", "Whole traces no longer resolvable because the ring evicted spans.", float64(st.Dropped), l)
 		p.Gauge("weaksets_tracer_spans_retained", "Completed spans currently retained.", float64(st.Retained), l)
 		p.Gauge("weaksets_tracer_sample", "Sampling divisor (1 = every trace).", float64(st.Sample), l)
 	}

@@ -24,8 +24,8 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // newObsWorld is newGWWorld with the observability surface mounted: a
-// tracer that samples every query, a weakness registry, and a fake TCP
-// transport so every /metrics family has data.
+// tracer that samples every query, a weakness registry, an event
+// journal, and a fake TCP transport so every /metrics family has data.
 func newObsWorld(t *testing.T) (*gwWorld, *obs.Tracer, *obs.Registry) {
 	t.Helper()
 	c, err := cluster.New(cluster.Config{StorageNodes: 4, Seed: 33})
@@ -42,6 +42,7 @@ func newObsWorld(t *testing.T) (*gwWorld, *obs.Tracer, *obs.Registry) {
 	}
 	gw := New(c.Client, cluster.DirNode, c.LockNode)
 	gw.UseObs(weakness, tracer)
+	gw.UseJournal(obs.NewJournal(0))
 	gw.UseCache(repo.NewCache(256))
 	gw.AddTransport("archive", func() tcprpc.TransportStats {
 		return tcprpc.TransportStats{
@@ -55,15 +56,18 @@ func newObsWorld(t *testing.T) (*gwWorld, *obs.Tracer, *obs.Registry) {
 	})
 	srv := httptest.NewServer(gw.Handler())
 	t.Cleanup(srv.Close)
-	return &gwWorld{c: c, corpus: corpus, srv: srv}, tracer, weakness
+	return &gwWorld{c: c, corpus: corpus, srv: srv, gw: gw}, tracer, weakness
 }
 
 // parsePromText validates Prometheus text format 0.0.4 line by line and
-// returns sample lines keyed by name{labels}. Every sample must belong to
-// a family whose # HELP and # TYPE headers appeared first, exactly once.
-func parsePromText(t *testing.T, body string) map[string]float64 {
+// returns sample lines keyed by name{labels}, plus any exemplar trace ids
+// (`# {trace_id="..."} value` suffixes) keyed the same way. Every sample
+// must belong to a family whose # HELP and # TYPE headers appeared first,
+// exactly once.
+func parsePromText(t *testing.T, body string) (map[string]float64, map[string]string) {
 	t.Helper()
 	samples := make(map[string]float64)
+	exemplars := make(map[string]string)
 	typed := make(map[string]bool)
 	helped := make(map[string]bool)
 	for _, line := range strings.Split(body, "\n") {
@@ -92,12 +96,29 @@ func parsePromText(t *testing.T, body string) map[string]float64 {
 			typed[parts[0]] = true
 			continue
 		}
-		// Sample line: name{labels} value
-		sp := strings.LastIndexByte(line, ' ')
+		// Sample line: name{labels} value, optionally followed by an
+		// OpenMetrics exemplar: `# {trace_id="..."} exemplarValue`.
+		sample, exemplar, hasEx := strings.Cut(line, " # ")
+		var exTrace string
+		if hasEx {
+			rest, ok := strings.CutPrefix(exemplar, `{trace_id="`)
+			if !ok {
+				t.Fatalf("malformed exemplar in %q", line)
+			}
+			id, exVal, ok := strings.Cut(rest, `"} `)
+			if !ok || id == "" {
+				t.Fatalf("malformed exemplar in %q", line)
+			}
+			if _, err := strconv.ParseFloat(exVal, 64); err != nil {
+				t.Fatalf("bad exemplar value in %q: %v", line, err)
+			}
+			exTrace = id
+		}
+		sp := strings.LastIndexByte(sample, ' ')
 		if sp < 0 {
 			t.Fatalf("malformed sample line %q", line)
 		}
-		key, valText := line[:sp], line[sp+1:]
+		key, valText := sample[:sp], sample[sp+1:]
 		val, err := strconv.ParseFloat(valText, 64)
 		if err != nil {
 			t.Fatalf("bad value in %q: %v", line, err)
@@ -113,8 +134,11 @@ func parsePromText(t *testing.T, body string) map[string]float64 {
 			t.Fatalf("sample %q precedes its HELP/TYPE headers", line)
 		}
 		samples[key] = val
+		if exTrace != "" {
+			exemplars[key] = exTrace
+		}
 	}
-	return samples
+	return samples, exemplars
 }
 
 func TestMetricsEndpoint(t *testing.T) {
@@ -131,7 +155,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
 		t.Fatalf("content type = %q", ct)
 	}
-	samples := parsePromText(t, string(body))
+	samples, _ := parsePromText(t, string(body))
 
 	// The run's weakness shows up as labelled counters.
 	for key, want := range map[string]float64{
@@ -189,7 +213,7 @@ func TestLeaseObservability(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics status = %d", resp.StatusCode)
 	}
-	samples := parsePromText(t, string(body))
+	samples, _ := parsePromText(t, string(body))
 	if got := samples["weaksets_lease_active"]; got != 1 {
 		t.Errorf("weaksets_lease_active = %v, want 1", got)
 	}
@@ -313,9 +337,13 @@ func shapeOf(v any) any {
 // break. Regenerate with `go test ./internal/httpgw -run Golden -update`.
 func TestStatsGoldenShape(t *testing.T) {
 	w, _, _ := newObsWorld(t)
-	// Touch the collection so ops and collection stats are populated.
+	// Touch the collection so ops and collection stats are populated, and
+	// drive one query so the weakness block (aggregate + windows) exists.
 	if resp, _ := w.get(t, "/collections/menus"); resp.StatusCode != http.StatusOK {
 		t.Fatal("listing failed")
+	}
+	if resp, _ := w.get(t, "/query?coll=menus"); resp.StatusCode != http.StatusOK {
+		t.Fatal("query failed")
 	}
 	resp, body := w.get(t, "/stats?coll=menus")
 	if resp.StatusCode != http.StatusOK {
@@ -355,7 +383,7 @@ func TestStatsGoldenShape(t *testing.T) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	wantKeys := []string{"batch", "cache", "collectionStats", "collections", "engine", "node", "objects", "ops", "shards", "transports"}
+	wantKeys := []string{"batch", "cache", "collectionStats", "collections", "engine", "events", "node", "objects", "ops", "shards", "transports", "weakness"}
 	if strings.Join(keys, ",") != strings.Join(wantKeys, ",") {
 		t.Errorf("top-level keys = %v, want %v", keys, wantKeys)
 	}

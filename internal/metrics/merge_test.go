@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile is the nearest-rank quantile over a full (unbounded)
+// sample set — the ground truth merged reservoirs are compared against.
+func exactQuantile(all []time.Duration, q float64) time.Duration {
+	sorted := append([]time.Duration(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return quantileSorted(sorted, q)
+}
+
+// rankOf reports the fraction of `all` at or below v — the rank error
+// metric: a perfect q-quantile estimate has rankOf ≈ q.
+func rankOf(all []time.Duration, v time.Duration) float64 {
+	n := 0
+	for _, d := range all {
+		if d <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(all))
+}
+
+func TestMergeExactBelowBound(t *testing.T) {
+	// When the union fits in the reservoir, the merge keeps every sample
+	// and all quantiles are exact.
+	a, b := NewHistogram(1024), NewHistogram(1024)
+	var all []time.Duration
+	for i := 1; i <= 300; i++ {
+		d := time.Duration(i) * time.Millisecond
+		a.Record(d)
+		all = append(all, d)
+	}
+	for i := 301; i <= 500; i++ {
+		d := time.Duration(i) * time.Millisecond
+		b.Record(d)
+		all = append(all, d)
+	}
+	a.Merge(b)
+	if a.Count() != 500 {
+		t.Fatalf("count = %d, want 500", a.Count())
+	}
+	if got, want := a.Sum(), exactSum(all); got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	if a.Min() != time.Millisecond || a.Max() != 500*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		if got, want := a.Quantile(q), exactQuantile(all, q); got != want {
+			t.Fatalf("q%.2f = %v, want exact %v", q, got, want)
+		}
+	}
+}
+
+func exactSum(all []time.Duration) time.Duration {
+	var s time.Duration
+	for _, d := range all {
+		s += d
+	}
+	return s
+}
+
+func TestMergeAggregatesExact(t *testing.T) {
+	// Count/sum/min/max stay exact through merges even when reservoirs
+	// overflow and subsample.
+	a, b := NewHistogram(32), NewHistogram(32)
+	var all []time.Duration
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i) * time.Microsecond
+		if i%3 == 0 {
+			b.Record(d)
+		} else {
+			a.Record(d)
+		}
+		all = append(all, d)
+	}
+	a.Merge(b)
+	if a.Count() != 1000 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Sum() != exactSum(all) {
+		t.Fatalf("sum = %v, want %v", a.Sum(), exactSum(all))
+	}
+	if a.Min() != time.Microsecond || a.Max() != 1000*time.Microsecond {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	if got := len(a.Samples()); got != 32 {
+		t.Fatalf("merged reservoir holds %d, want the 32 bound", got)
+	}
+}
+
+func TestMergeIntoEmpty(t *testing.T) {
+	a, b := NewHistogram(64), NewHistogram(64)
+	b.Record(5 * time.Millisecond)
+	b.Record(7 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 || a.Min() != 5*time.Millisecond || a.Max() != 7*time.Millisecond {
+		t.Fatalf("merge into empty: count=%d min=%v max=%v", a.Count(), a.Min(), a.Max())
+	}
+	// Merging an empty histogram is a no-op.
+	before := a.Dump()
+	a.Merge(NewHistogram(64))
+	a.Merge(nil)
+	if after := a.Dump(); after.Count != before.Count || len(after.Samples) != len(before.Samples) {
+		t.Fatalf("merging empty mutated the histogram: %+v -> %+v", before, after)
+	}
+}
+
+func TestMergeSamplelessDump(t *testing.T) {
+	// A dump with a count but no samples (truncated serialization) merges
+	// its aggregates and leaves quantiles answerable.
+	h := NewHistogram(64)
+	h.MergeDump(Dump{Count: 10, Sum: 100 * time.Millisecond, Min: 2 * time.Millisecond, Max: 40 * time.Millisecond})
+	if h.Count() != 10 || h.Min() != 2*time.Millisecond || h.Max() != 40*time.Millisecond {
+		t.Fatalf("aggregates: count=%d min=%v max=%v", h.Count(), h.Min(), h.Max())
+	}
+	// Interior quantiles with an empty reservoir fall back to max (the
+	// only sound bound), not zero.
+	if got := h.Quantile(0.5); got != 40*time.Millisecond {
+		t.Fatalf("p50 of sample-less histogram = %v, want max 40ms", got)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.99); got != 40*time.Millisecond {
+		t.Fatalf("snapshot p99 of sample-less histogram = %v, want max 40ms", got)
+	}
+}
+
+// TestMergeQuantileRankError is the property test: merging two large
+// overflowed reservoirs must produce quantile estimates whose rank error
+// against the exact union distribution stays within the reservoir's
+// sampling error. With a 4096-sample reservoir the standard error of a
+// quantile's rank is about sqrt(q(1-q)/4096) ≈ 0.008 at the median; we
+// allow 0.04 (5 sigma) so the test is deterministic-safe across rng
+// paths yet still catches any weighting bug (an unweighted merge of
+// 10:1-sized sides shifts the median's rank by ~0.2).
+func TestMergeQuantileRankError(t *testing.T) {
+	cases := []struct {
+		name   string
+		na, nb int
+		genA   func(i int) time.Duration
+		genB   func(i int) time.Duration
+	}{
+		{
+			// Disjoint ranges, balanced sizes: any fair merge works.
+			name: "balanced-disjoint",
+			na:   20000, nb: 20000,
+			genA: func(i int) time.Duration { return time.Duration(i) * time.Microsecond },
+			genB: func(i int) time.Duration { return time.Duration(20000+i) * time.Microsecond },
+		},
+		{
+			// 10:1 weight skew with disjoint ranges — the case that
+			// exposes an unweighted reservoir concatenation.
+			name: "skewed-disjoint",
+			na:   50000, nb: 5000,
+			genA: func(i int) time.Duration { return time.Duration(i) * time.Microsecond },
+			genB: func(i int) time.Duration { return time.Duration(50000+i) * time.Microsecond },
+		},
+		{
+			// Interleaved values, skewed sizes.
+			name: "skewed-interleaved",
+			na:   40000, nb: 4000,
+			genA: func(i int) time.Duration { return time.Duration(2*i) * time.Microsecond },
+			genB: func(i int) time.Duration { return time.Duration(2*(i%20000)+1) * time.Microsecond },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := NewHistogram(0), NewHistogram(0)
+			var all []time.Duration
+			for i := 0; i < tc.na; i++ {
+				d := tc.genA(i)
+				a.Record(d)
+				all = append(all, d)
+			}
+			for i := 0; i < tc.nb; i++ {
+				d := tc.genB(i)
+				b.Record(d)
+				all = append(all, d)
+			}
+			a.Merge(b)
+			if a.Count() != tc.na+tc.nb {
+				t.Fatalf("count = %d, want %d", a.Count(), tc.na+tc.nb)
+			}
+			if got := len(a.Samples()); got != DefaultReservoir {
+				t.Fatalf("merged reservoir holds %d, want %d", got, DefaultReservoir)
+			}
+			const maxRankErr = 0.04
+			for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+				est := a.Quantile(q)
+				if err := math.Abs(rankOf(all, est) - q); err > maxRankErr {
+					t.Errorf("q=%.2f: estimate %v has rank error %.3f (> %.2f); exact %v",
+						q, est, err, maxRankErr, exactQuantile(all, q))
+				}
+			}
+		})
+	}
+}
+
+// TestMergeChainRankError merges many nodes' histograms into one, the
+// /cluster scatter-gather shape, and checks the final quantiles.
+func TestMergeChainRankError(t *testing.T) {
+	merged := NewHistogram(0)
+	var all []time.Duration
+	for node := 0; node < 8; node++ {
+		h := NewHistogram(0)
+		n := 3000 + node*2000 // uneven per-node volumes
+		for i := 0; i < n; i++ {
+			// Per-node offset so each node has a distinct distribution.
+			d := time.Duration(node*10000+i%10000) * time.Microsecond
+			h.Record(d)
+			all = append(all, d)
+		}
+		merged.MergeDump(h.Dump())
+	}
+	if merged.Count() != len(all) {
+		t.Fatalf("count = %d, want %d", merged.Count(), len(all))
+	}
+	const maxRankErr = 0.05
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.95, 0.99} {
+		est := merged.Quantile(q)
+		if err := math.Abs(rankOf(all, est) - q); err > maxRankErr {
+			t.Errorf("q=%.2f: estimate %v has rank error %.3f (> %.2f)", q, est, err, maxRankErr)
+		}
+	}
+}
+
+func TestMergeDumpJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(16)
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	d := h.Dump()
+	if d.Count != 100 || len(d.Samples) != 16 {
+		t.Fatalf("dump = count %d, %d samples", d.Count, len(d.Samples))
+	}
+	// The dump must be independent of the live histogram.
+	d.Samples[0] = 0
+	if got := h.Samples()[0]; got == 0 {
+		t.Fatal("Dump aliases the live reservoir")
+	}
+}

@@ -87,6 +87,140 @@ func (h *Histogram) randN(n int64) int64 {
 	return int64((h.rng * 0x2545F4914F6CDD1D) % uint64(n))
 }
 
+// randFloat returns a pseudo-random float64 in [0, 1) from the same
+// xorshift64* stream randN draws on.
+func (h *Histogram) randFloat() float64 {
+	if h.rng == 0 {
+		h.rng = 0x9E3779B97F4A7C15
+	}
+	h.rng ^= h.rng >> 12
+	h.rng ^= h.rng << 25
+	h.rng ^= h.rng >> 27
+	return float64((h.rng*0x2545F4914F6CDD1D)>>11) / float64(1<<53)
+}
+
+// Dump is a serializable capture of a histogram: the exact aggregate
+// fields plus the reservoir contents. It is the unit of cross-process
+// merging — a node ships its Dump and a gateway folds it into a local
+// histogram with MergeDump, so per-node series aggregate into one
+// cluster view.
+type Dump struct {
+	Count   int64           `json:"count"`
+	Sum     time.Duration   `json:"sumNs"`
+	Min     time.Duration   `json:"minNs"`
+	Max     time.Duration   `json:"maxNs"`
+	Samples []time.Duration `json:"samplesNs,omitempty"`
+}
+
+// Dump captures the histogram's aggregates and reservoir under one lock
+// acquisition.
+func (h *Histogram) Dump() Dump {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Dump{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Samples: append([]time.Duration(nil), h.samples...),
+	}
+}
+
+// MergeDump folds another histogram's dump into this one. Count, sum,
+// min, and max stay exact. When the union of the two reservoirs exceeds
+// the bound, the merged reservoir's composition is drawn as a
+// hypergeometric split over the *items* each side represents (pick a
+// side with probability proportional to its remaining exact count,
+// remove one item, repeat bound times), then each side contributes that
+// many uniform without-replacement draws from its reservoir — a uniform
+// subsample of a uniform sample is uniform, so merged quantiles carry
+// the same rank-error guarantee as a single reservoir of the union.
+// Below the bound the merge is exact. A dump that claims a count but
+// carries no samples (a truncated serialization) still merges its
+// aggregates; the reservoir is left alone.
+func (h *Histogram) MergeDump(d Dump) {
+	if d.Count <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		h.min, h.max = d.Min, d.Max
+	} else {
+		if d.Min < h.min {
+			h.min = d.Min
+		}
+		if d.Max > h.max {
+			h.max = d.Max
+		}
+	}
+	prevCount := h.count
+	h.count += d.Count
+	h.sum += d.Sum
+	if len(d.Samples) == 0 {
+		return
+	}
+	bound := h.bound()
+	if len(h.samples)+len(d.Samples) <= bound {
+		h.samples = append(h.samples, d.Samples...)
+		return
+	}
+	a := h.samples
+	b := append([]time.Duration(nil), d.Samples...)
+	// Draw the composition: how many of the bound slots come from each
+	// side, as if picking bound items uniformly without replacement from
+	// the union of prevCount + d.Count items.
+	remA, remB := prevCount, d.Count
+	kA, kB := 0, 0
+	for i := 0; i < bound; i++ {
+		if remB == 0 || (remA > 0 && h.randFloat()*float64(remA+remB) < float64(remA)) {
+			kA++
+			remA--
+		} else {
+			kB++
+			remB--
+		}
+	}
+	// A side cannot contribute more samples than its reservoir holds
+	// (its count exceeded its bound); spill the shortfall to the other.
+	if kA > len(a) {
+		kB += kA - len(a)
+		kA = len(a)
+	}
+	if kB > len(b) {
+		kA += kB - len(b)
+		kB = len(b)
+	}
+	if kA > len(a) {
+		kA = len(a)
+	}
+	merged := make([]time.Duration, 0, kA+kB)
+	for j := 0; j < kA; j++ {
+		i := h.randN(int64(len(a)))
+		merged = append(merged, a[i])
+		a[i] = a[len(a)-1]
+		a = a[:len(a)-1]
+	}
+	for j := 0; j < kB; j++ {
+		i := h.randN(int64(len(b)))
+		merged = append(merged, b[i])
+		b[i] = b[len(b)-1]
+		b = b[:len(b)-1]
+	}
+	h.samples = merged
+}
+
+// Merge folds another histogram into this one (see MergeDump). The
+// other histogram is captured under its own lock first, so concurrent
+// writers on either side stay safe; merging a histogram into itself
+// double-counts and is a caller bug.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	h.MergeDump(other.Dump())
+}
+
 // Count reports the number of samples recorded (exact, not bounded by
 // the reservoir).
 func (h *Histogram) Count() int {
@@ -130,7 +264,9 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q <= 0 {
 		return h.min
 	}
-	if q >= 1 {
+	if q >= 1 || len(h.samples) == 0 {
+		// An empty reservoir with a nonzero count (a merged sample-less
+		// dump) still answers: max is the only sound interior bound.
 		return h.max
 	}
 	return QuantileOf(h.samples, q)
@@ -179,7 +315,7 @@ func (s Snapshot) Quantile(q float64) time.Duration {
 	switch {
 	case q <= 0:
 		return s.Min
-	case q >= 1:
+	case q >= 1, len(s.sorted) == 0:
 		return s.Max
 	}
 	return quantileSorted(s.sorted, q)

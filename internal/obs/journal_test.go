@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalRecordAndFilter(t *testing.T) {
+	j := NewJournal(8)
+	j.Record(Event{Type: EvLeaseGrant, Collection: "menus", Node: "dir"})
+	j.Record(Event{Type: EvLeaseBreak, Collection: "menus"})
+	j.Record(Event{Type: EvLeaseGrant, Collection: "faces"})
+
+	all := j.Events(EventFilter{})
+	if len(all) != 3 || all[0].Seq != 1 || all[2].Seq != 3 {
+		t.Fatalf("all = %+v", all)
+	}
+	if all[0].Time.IsZero() {
+		t.Fatal("record did not stamp time")
+	}
+	byType := j.Events(EventFilter{Type: EvLeaseGrant})
+	if len(byType) != 2 || byType[1].Collection != "faces" {
+		t.Fatalf("byType = %+v", byType)
+	}
+	byColl := j.Events(EventFilter{Collection: "menus"})
+	if len(byColl) != 2 {
+		t.Fatalf("byColl = %+v", byColl)
+	}
+	since := j.Events(EventFilter{SinceSeq: 2})
+	if len(since) != 1 || since[0].Seq != 3 {
+		t.Fatalf("since = %+v", since)
+	}
+	limited := j.Events(EventFilter{Limit: 2})
+	if len(limited) != 2 || limited[0].Seq != 2 {
+		t.Fatalf("limit should keep the most recent: %+v", limited)
+	}
+}
+
+func TestJournalBoundedRing(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Record(Event{Type: EvReconnect})
+	}
+	evs := j.Events(EventFilter{})
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	// Oldest retained is seq 7; order is oldest-first.
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("ring order wrong: %+v", evs)
+	}
+	st := j.Stats()
+	if st.Recorded != 10 || st.Dropped != 6 || st.Retained != 4 || st.Capacity != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ByType[EvReconnect] != 10 {
+		t.Fatalf("byType = %+v", st.ByType)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record(Event{Type: "x"})
+	if j.Events(EventFilter{}) != nil {
+		t.Fatal("nil journal events")
+	}
+	if st := j.Stats(); st.Recorded != 0 {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j.Record(Event{Type: EvGhostGC})
+				j.Events(EventFilter{Limit: 8})
+			}
+		}()
+	}
+	wg.Wait()
+	st := j.Stats()
+	if st.Recorded != 2000 || st.Dropped != 2000-64 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestJournalClock(t *testing.T) {
+	j := NewJournal(4)
+	fixed := time.Date(2026, 8, 9, 0, 0, 0, 0, time.UTC)
+	j.SetClock(func() time.Time { return fixed })
+	j.Record(Event{Type: "x"})
+	if evs := j.Events(EventFilter{}); !evs[0].Time.Equal(fixed) {
+		t.Fatalf("time = %v", evs[0].Time)
+	}
+}

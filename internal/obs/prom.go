@@ -57,6 +57,20 @@ func (p *PromWriter) Sample(name string, value float64, labels ...Label) {
 	p.printf("%s%s %s\n", name, formatLabels(labels), formatValue(value))
 }
 
+// SampleExemplar emits one sample line carrying an OpenMetrics-style
+// exemplar suffix: name{labels} value # {trace_id="..."} exemplarValue.
+// Plain Prometheus text parsers treat everything after the # as a
+// comment, so the line stays 0.0.4-compatible while OpenMetrics-aware
+// scrapers (and /trace?id= users) get the offending run's trace.
+func (p *PromWriter) SampleExemplar(name string, value float64, trace TraceID, exemplarValue float64, labels ...Label) {
+	if trace == 0 {
+		p.Sample(name, value, labels...)
+		return
+	}
+	p.printf("%s%s %s # {trace_id=\"%s\"} %s\n",
+		name, formatLabels(labels), formatValue(value), trace, formatValue(exemplarValue))
+}
+
 // Counter is Family+Sample for a single-sample counter family.
 func (p *PromWriter) Counter(name, help string, value float64, labels ...Label) {
 	p.Family(name, "counter", help)

@@ -69,6 +69,9 @@ func RenderWeakness(w io.Writer, rep WeaknessReport) {
 	fmt.Fprintf(w, "  cache validated hits   %d\n", rep.CacheValidatedHits)
 	fmt.Fprintf(w, "  listing skew           %d\n", rep.ListingSkew)
 	fmt.Fprintf(w, "  fetch failures         %d\n", rep.FetchFailures)
+	if rep.Duration > 0 {
+		fmt.Fprintf(w, "  duration               %v\n", rep.Duration.Round(time.Millisecond))
+	}
 	if rep.SnapshotAge > 0 {
 		fmt.Fprintf(w, "  snapshot age           %v\n", rep.SnapshotAge.Round(time.Millisecond))
 	}

@@ -17,6 +17,9 @@ type WeaknessReport struct {
 	Semantics  string `json:"semantics"`
 	// Trace links the report to its span trace when the run was sampled.
 	Trace TraceID `json:"trace,omitempty"`
+	// Duration is the run's wall-clock time from open to close — the
+	// latency the weakness was traded for.
+	Duration time.Duration `json:"durationNs"`
 
 	// Invocations counts kernel steps (one fresh pre-state each), the
 	// paper's per-invocation granularity.
@@ -97,26 +100,113 @@ type CollectionWeakness struct {
 	Outcomes map[string]int64 `json:"outcomes"`
 }
 
-// Registry aggregates weakness reports per collection. It is safe for
-// concurrent use; a nil *Registry ignores reports.
-type Registry struct {
-	mu    sync.Mutex
-	colls map[string]*CollectionWeakness
-	last  map[string]WeaknessReport
-}
-
-// NewRegistry creates an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{
-		colls: make(map[string]*CollectionWeakness),
-		last:  make(map[string]WeaknessReport),
+// Merge folds another node's aggregate for the same collection into
+// this one: counters sum, ages take the max — the /cluster fold.
+func (cw *CollectionWeakness) Merge(other CollectionWeakness) {
+	cw.Runs += other.Runs
+	cw.Invocations += other.Invocations
+	cw.Yielded += other.Yielded
+	cw.UnreachableSkipped += other.UnreachableSkipped
+	cw.GhostsServed += other.GhostsServed
+	cw.DuplicatesSuppressed += other.DuplicatesSuppressed
+	cw.EpochRetries += other.EpochRetries
+	cw.CacheHits += other.CacheHits
+	cw.CacheValidatedHits += other.CacheValidatedHits
+	cw.LeaseServed += other.LeaseServed
+	cw.ListingSkew += other.ListingSkew
+	cw.PartitionSkew += other.PartitionSkew
+	cw.FetchFailures += other.FetchFailures
+	cw.Blocked += other.Blocked
+	if other.MaxSnapshotAge > cw.MaxSnapshotAge {
+		cw.MaxSnapshotAge = other.MaxSnapshotAge
+	}
+	if other.MaxLeaseAge > cw.MaxLeaseAge {
+		cw.MaxLeaseAge = other.MaxLeaseAge
+	}
+	if len(other.Outcomes) > 0 && cw.Outcomes == nil {
+		cw.Outcomes = make(map[string]int64, len(other.Outcomes))
+	}
+	for k, v := range other.Outcomes {
+		cw.Outcomes[k] += v
 	}
 }
 
-// Observe folds one run's report into the per-collection aggregate.
+// Registry aggregates weakness reports per collection: lifetime
+// aggregates (CollectionWeakness), the last report, and rolling
+// time-windowed series per weakness metric (see window.go) so the
+// answer to "how weak are we right now, at the tail?" is continuous.
+// It is safe for concurrent use; a nil *Registry ignores reports.
+type Registry struct {
+	wcfg    WindowConfig
+	journal *Journal
+
+	mu      sync.Mutex
+	colls   map[string]*CollectionWeakness
+	last    map[string]WeaknessReport
+	windows map[string]map[string]*Window
+}
+
+// NewRegistry creates an empty registry with default rolling windows.
+func NewRegistry() *Registry {
+	return NewRegistryWindows(WindowConfig{})
+}
+
+// NewRegistryWindows creates a registry whose rolling windows use the
+// given config (tests inject a clock; benches shrink the reservoir).
+func NewRegistryWindows(cfg WindowConfig) *Registry {
+	return &Registry{
+		wcfg:    cfg.withDefaults(),
+		colls:   make(map[string]*CollectionWeakness),
+		last:    make(map[string]WeaknessReport),
+		windows: make(map[string]map[string]*Window),
+	}
+}
+
+// UseJournal makes the registry record skew.listing / skew.partition
+// events for runs that observed membership skew. Call before traffic.
+func (r *Registry) UseJournal(j *Journal) {
+	if r == nil {
+		return
+	}
+	r.journal = j
+}
+
+// windowFor returns (creating if needed) one collection's named window.
+// Caller holds r.mu.
+func (r *Registry) windowFor(coll, metric string) *Window {
+	byMetric := r.windows[coll]
+	if byMetric == nil {
+		byMetric = make(map[string]*Window)
+		r.windows[coll] = byMetric
+	}
+	w := byMetric[metric]
+	if w == nil {
+		w = NewWindow(r.wcfg)
+		byMetric[metric] = w
+	}
+	return w
+}
+
+// Observe folds one run's report into the per-collection aggregate and
+// the rolling windows.
 func (r *Registry) Observe(rep WeaknessReport) {
 	if r == nil {
 		return
+	}
+	r.observeWindows(rep)
+	if r.journal != nil {
+		if rep.ListingSkew > 0 {
+			r.journal.Record(Event{
+				Type: EvListingSkew, Collection: rep.Collection, Trace: rep.Trace,
+				Attrs: map[string]int64{"skew": rep.ListingSkew},
+			})
+		}
+		if rep.PartitionSkew > 0 {
+			r.journal.Record(Event{
+				Type: EvPartitionSkew, Collection: rep.Collection, Trace: rep.Trace,
+				Attrs: map[string]int64{"skewedParts": rep.PartitionSkew},
+			})
+		}
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -162,6 +252,78 @@ func (r *Registry) Last(collection string) (WeaknessReport, bool) {
 	defer r.mu.Unlock()
 	rep, ok := r.last[collection]
 	return rep, ok
+}
+
+// observeWindows records one report into the collection's rolling
+// series. Duration-valued metrics record only when present (a snapshot
+// age of zero just means current-state semantics, not "perfectly
+// fresh"); count-valued metrics record every run, zeros included, so
+// their quantiles are true per-run rates.
+func (r *Registry) observeWindows(rep WeaknessReport) {
+	type rec struct {
+		metric string
+		v      time.Duration
+	}
+	recs := make([]rec, 0, 8)
+	if rep.Duration > 0 {
+		recs = append(recs, rec{WinLatency, rep.Duration})
+	}
+	if rep.SnapshotAge > 0 {
+		recs = append(recs, rec{WinSnapshotAge, rep.SnapshotAge})
+	}
+	if rep.LeaseAge > 0 {
+		recs = append(recs, rec{WinLeaseAge, rep.LeaseAge})
+	}
+	recs = append(recs,
+		rec{WinListingSkew, time.Duration(rep.ListingSkew)},
+		rec{WinPartitionSkew, time.Duration(rep.PartitionSkew)},
+		rec{WinGhosts, time.Duration(rep.GhostsServed)},
+		rec{WinDuplicates, time.Duration(rep.DuplicatesSuppressed)},
+		rec{WinUnreachable, time.Duration(rep.UnreachableSkipped)},
+	)
+	windows := make([]*Window, len(recs))
+	r.mu.Lock()
+	for i, rc := range recs {
+		windows[i] = r.windowFor(rep.Collection, rc.metric)
+	}
+	r.mu.Unlock()
+	for i, rc := range recs {
+		windows[i].Record(rc.v, rep.Trace)
+	}
+}
+
+// Windows snapshots every collection's rolling series, sorted by
+// collection name — the /stats weakness block and the input /cluster
+// merges across nodes.
+func (r *Registry) Windows() []CollectionWindows {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type namedWins struct {
+		coll string
+		wins map[string]*Window
+	}
+	all := make([]namedWins, 0, len(r.windows))
+	for coll, byMetric := range r.windows {
+		cp := make(map[string]*Window, len(byMetric))
+		for m, w := range byMetric {
+			cp[m] = w
+		}
+		all = append(all, namedWins{coll, cp})
+	}
+	r.mu.Unlock()
+
+	out := make([]CollectionWindows, 0, len(all))
+	for _, nw := range all {
+		cw := CollectionWindows{Collection: nw.coll, Metrics: make(map[string]WindowSnapshot, len(nw.wins))}
+		for m, w := range nw.wins {
+			cw.Metrics[m] = w.Snapshot()
+		}
+		out = append(out, cw)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Collection < out[j].Collection })
+	return out
 }
 
 // Snapshot returns per-collection aggregates sorted by collection name.

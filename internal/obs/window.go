@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"weaksets/internal/metrics"
+)
+
+// Window metric names: which per-run weakness quantity a rolling window
+// tracks. The *seconds* metrics window durations; the *event* metrics
+// window per-run counts (so their quantiles are rates: "p99 runs see
+// this much skew").
+const (
+	WinLatency       = "latency"
+	WinSnapshotAge   = "snapshot_age"
+	WinLeaseAge      = "lease_age"
+	WinListingSkew   = "listing_skew"
+	WinPartitionSkew = "partition_skew"
+	WinGhosts        = "ghosts_served"
+	WinDuplicates    = "duplicates_suppressed"
+	WinUnreachable   = "unreachable_skipped"
+)
+
+// WindowSecondsMetrics are the duration-valued window metrics, in stable
+// exposition order.
+var WindowSecondsMetrics = []string{WinLatency, WinSnapshotAge, WinLeaseAge}
+
+// WindowEventMetrics are the count-valued window metrics (per-run
+// counts, not seconds), in stable exposition order.
+var WindowEventMetrics = []string{WinListingSkew, WinPartitionSkew, WinGhosts, WinDuplicates, WinUnreachable}
+
+// WindowConfig tunes rolling weakness windows. The zero value selects
+// the defaults: a 60 s sliding window of six 10 s buckets with a
+// 512-sample reservoir per bucket.
+type WindowConfig struct {
+	// Buckets is the ring length. Default 6.
+	Buckets int
+	// BucketLen is one bucket's span. Default 10 s.
+	BucketLen time.Duration
+	// Reservoir bounds each bucket's histogram. Default 512.
+	Reservoir int
+	// Now is the clock, injectable for tests. Default time.Now.
+	Now func() time.Time
+}
+
+func (cfg WindowConfig) withDefaults() WindowConfig {
+	if cfg.Buckets <= 0 {
+		cfg.Buckets = 6
+	}
+	if cfg.BucketLen <= 0 {
+		cfg.BucketLen = 10 * time.Second
+	}
+	if cfg.Reservoir <= 0 {
+		cfg.Reservoir = 512
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return cfg
+}
+
+// Window is one rolling time-windowed series: a ring of time-aligned
+// buckets, each holding a bounded histogram plus the trace exemplar of
+// its worst traced sample. Recording touches exactly one bucket; a
+// snapshot merges the buckets still inside the window, so the series
+// forgets old load instead of averaging over the process lifetime. It is
+// safe for concurrent use.
+type Window struct {
+	mu      sync.Mutex
+	cfg     WindowConfig
+	buckets []windowBucket
+}
+
+type windowBucket struct {
+	epoch   int64 // bucket index = unixNano / BucketLen; 0 = never used
+	hist    *metrics.Histogram
+	exTrace TraceID
+	exValue time.Duration
+}
+
+// NewWindow creates a rolling window with the given config.
+func NewWindow(cfg WindowConfig) *Window {
+	cfg = cfg.withDefaults()
+	return &Window{cfg: cfg, buckets: make([]windowBucket, cfg.Buckets)}
+}
+
+// Record adds one sample at the current clock. When the run was traced,
+// the sample competes to be the bucket's exemplar: the largest traced
+// value wins, so the exemplar always names a run that explains the
+// bucket's tail.
+func (w *Window) Record(v time.Duration, trace TraceID) {
+	epoch := w.cfg.Now().UnixNano() / int64(w.cfg.BucketLen)
+	w.mu.Lock()
+	b := &w.buckets[epoch%int64(len(w.buckets))]
+	if b.epoch != epoch {
+		b.epoch = epoch
+		b.hist = metrics.NewHistogram(w.cfg.Reservoir)
+		b.exTrace, b.exValue = 0, 0
+	}
+	if trace != 0 && (b.exTrace == 0 || v >= b.exValue) {
+		b.exTrace, b.exValue = trace, v
+	}
+	h := b.hist
+	w.mu.Unlock()
+	h.Record(v)
+}
+
+// Exemplar links a histogram tail to the trace of a representative
+// offending run.
+type Exemplar struct {
+	Trace TraceID       `json:"trace"`
+	Value time.Duration `json:"valueNs"`
+}
+
+// WindowSnapshot is a point-in-time view of one rolling window: the
+// merged histogram of every bucket still inside the window, its
+// quantiles, the tail exemplar, and the merged reservoir so per-node
+// snapshots can aggregate into a cluster view via metrics.MergeDump.
+type WindowSnapshot struct {
+	Count    int64           `json:"count"`
+	Sum      time.Duration   `json:"sumNs"`
+	Min      time.Duration   `json:"minNs"`
+	Max      time.Duration   `json:"maxNs"`
+	P50      time.Duration   `json:"p50Ns"`
+	P95      time.Duration   `json:"p95Ns"`
+	P99      time.Duration   `json:"p99Ns"`
+	Exemplar *Exemplar       `json:"exemplar,omitempty"`
+	Samples  []time.Duration `json:"samplesNs,omitempty"`
+}
+
+// Dump converts the snapshot back into a mergeable histogram dump — the
+// cluster-merge hook.
+func (ws WindowSnapshot) Dump() metrics.Dump {
+	return metrics.Dump{Count: ws.Count, Sum: ws.Sum, Min: ws.Min, Max: ws.Max, Samples: ws.Samples}
+}
+
+// SnapshotOf rebuilds a WindowSnapshot (quantiles and all) from a merged
+// histogram plus the winning exemplar — what /cluster uses after folding
+// many nodes' dumps together.
+func SnapshotOf(h *metrics.Histogram, ex *Exemplar) WindowSnapshot {
+	s := h.Snapshot()
+	return WindowSnapshot{
+		Count:    s.Count,
+		Sum:      s.Sum,
+		Min:      s.Min,
+		Max:      s.Max,
+		P50:      s.Quantile(0.50),
+		P95:      s.Quantile(0.95),
+		P99:      s.Quantile(0.99),
+		Exemplar: ex,
+		Samples:  s.Samples(),
+	}
+}
+
+// Snapshot merges the live buckets into one view. Buckets older than the
+// window (Buckets x BucketLen behind the clock) are excluded — they are
+// lazily overwritten by future Records.
+func (w *Window) Snapshot() WindowSnapshot {
+	nowEpoch := w.cfg.Now().UnixNano() / int64(w.cfg.BucketLen)
+	oldest := nowEpoch - int64(len(w.buckets)) + 1
+
+	w.mu.Lock()
+	live := make([]windowBucket, 0, len(w.buckets))
+	for _, b := range w.buckets {
+		if b.hist != nil && b.epoch >= oldest && b.epoch <= nowEpoch {
+			live = append(live, b)
+		}
+	}
+	w.mu.Unlock()
+
+	merged := metrics.NewHistogram(w.cfg.Reservoir)
+	var ex *Exemplar
+	for _, b := range live {
+		merged.MergeDump(b.hist.Dump())
+		if b.exTrace != 0 && (ex == nil || b.exValue >= ex.Value) {
+			ex = &Exemplar{Trace: b.exTrace, Value: b.exValue}
+		}
+	}
+	return SnapshotOf(merged, ex)
+}
+
+// CollectionWindows is one collection's full set of rolling weakness
+// series, as exposed in /stats and merged by /cluster.
+type CollectionWindows struct {
+	Collection string                    `json:"collection"`
+	Metrics    map[string]WindowSnapshot `json:"metrics"`
+}

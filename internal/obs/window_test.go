@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for window tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestWindowQuantilesAndExemplar(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(WindowConfig{Buckets: 6, BucketLen: 10 * time.Second, Now: clk.now})
+	for i := 1; i <= 100; i++ {
+		w.Record(time.Duration(i)*time.Millisecond, 0)
+	}
+	// One traced outlier: it must become the exemplar.
+	w.Record(500*time.Millisecond, TraceID(0xabc))
+
+	s := w.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 < 40*time.Millisecond || s.P50 > 60*time.Millisecond {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.Max != 500*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.Exemplar == nil || s.Exemplar.Trace != TraceID(0xabc) || s.Exemplar.Value != 500*time.Millisecond {
+		t.Fatalf("exemplar = %+v", s.Exemplar)
+	}
+}
+
+func TestWindowForgetsOldBuckets(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(WindowConfig{Buckets: 3, BucketLen: 10 * time.Second, Now: clk.now})
+	w.Record(time.Hour, TraceID(1)) // an ancient, huge sample
+	if s := w.Snapshot(); s.Count != 1 {
+		t.Fatalf("fresh sample not visible: %+v", s)
+	}
+	// Move past the whole window: the old bucket must fall out.
+	clk.advance(31 * time.Second)
+	if s := w.Snapshot(); s.Count != 0 {
+		t.Fatalf("window did not forget: count=%d max=%v", s.Count, s.Max)
+	}
+	// New samples land in fresh buckets; the old exemplar stays gone.
+	w.Record(5*time.Millisecond, TraceID(2))
+	s := w.Snapshot()
+	if s.Count != 1 || s.Max != 5*time.Millisecond {
+		t.Fatalf("after re-record: %+v", s)
+	}
+	if s.Exemplar == nil || s.Exemplar.Trace != TraceID(2) {
+		t.Fatalf("exemplar = %+v", s.Exemplar)
+	}
+}
+
+func TestWindowSlidesPartially(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(WindowConfig{Buckets: 3, BucketLen: 10 * time.Second, Now: clk.now})
+	w.Record(time.Millisecond, 0)
+	clk.advance(10 * time.Second)
+	w.Record(2*time.Millisecond, 0)
+	clk.advance(10 * time.Second)
+	w.Record(3*time.Millisecond, 0)
+	if s := w.Snapshot(); s.Count != 3 {
+		t.Fatalf("all three buckets should be live: %+v", s)
+	}
+	// One more step: the first bucket ages out.
+	clk.advance(10 * time.Second)
+	s := w.Snapshot()
+	if s.Count != 2 || s.Min != 2*time.Millisecond {
+		t.Fatalf("after slide: count=%d min=%v", s.Count, s.Min)
+	}
+}
+
+func TestWindowBucketReuseResetsExemplar(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(WindowConfig{Buckets: 2, BucketLen: time.Second, Now: clk.now})
+	w.Record(time.Hour, TraceID(7))
+	// Wrap the ring onto the same slot two buckets later.
+	clk.advance(2 * time.Second)
+	w.Record(time.Millisecond, 0)
+	s := w.Snapshot()
+	if s.Count != 1 || s.Max != time.Millisecond {
+		t.Fatalf("stale bucket leaked: %+v", s)
+	}
+	if s.Exemplar != nil {
+		t.Fatalf("stale exemplar leaked: %+v", s.Exemplar)
+	}
+}
+
+func TestWindowSnapshotDumpRoundTrip(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(WindowConfig{Now: clk.now})
+	for i := 1; i <= 50; i++ {
+		w.Record(time.Duration(i)*time.Millisecond, 0)
+	}
+	s := w.Snapshot()
+	d := s.Dump()
+	if d.Count != 50 || d.Min != time.Millisecond || d.Max != 50*time.Millisecond || len(d.Samples) != 50 {
+		t.Fatalf("dump = %+v", d)
+	}
+}
+
+func TestRegistryWindows(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistryWindows(WindowConfig{Now: clk.now})
+	for i := 1; i <= 20; i++ {
+		r.Observe(WeaknessReport{
+			Collection:  "menus",
+			Duration:    time.Duration(i) * time.Millisecond,
+			SnapshotAge: time.Duration(i) * time.Millisecond,
+			ListingSkew: int64(i % 2),
+			Trace:       TraceID(uint64(i)),
+		})
+	}
+	wins := r.Windows()
+	if len(wins) != 1 || wins[0].Collection != "menus" {
+		t.Fatalf("windows = %+v", wins)
+	}
+	m := wins[0].Metrics
+	lat, ok := m[WinLatency]
+	if !ok || lat.Count != 20 {
+		t.Fatalf("latency window = %+v", lat)
+	}
+	if lat.Exemplar == nil || lat.Exemplar.Trace != TraceID(20) {
+		t.Fatalf("latency exemplar should name the slowest traced run: %+v", lat.Exemplar)
+	}
+	// lease_age never recorded (no lease used) — absent, not zero-filled.
+	if _, ok := m[WinLeaseAge]; ok {
+		t.Fatal("lease_age window present without lease usage")
+	}
+	// Event metrics record every run, zeros included.
+	skew := m[WinListingSkew]
+	if skew.Count != 20 || skew.Max != 1 || skew.Min != 0 {
+		t.Fatalf("listing_skew window = %+v", skew)
+	}
+	for _, metric := range []string{WinPartitionSkew, WinGhosts, WinDuplicates, WinUnreachable} {
+		if ws, ok := m[metric]; !ok || ws.Count != 20 {
+			t.Fatalf("event metric %s = %+v (ok=%v)", metric, ws, ok)
+		}
+	}
+}
+
+func TestRegistryJournalSkewEvents(t *testing.T) {
+	j := NewJournal(16)
+	r := NewRegistry()
+	r.UseJournal(j)
+	r.Observe(WeaknessReport{Collection: "menus"})
+	r.Observe(WeaknessReport{Collection: "menus", ListingSkew: 3, Trace: TraceID(9)})
+	r.Observe(WeaknessReport{Collection: "faces", PartitionSkew: 2})
+
+	evs := j.Events(EventFilter{})
+	if len(evs) != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if evs[0].Type != EvListingSkew || evs[0].Collection != "menus" || evs[0].Trace != TraceID(9) || evs[0].Attrs["skew"] != 3 {
+		t.Fatalf("listing skew event = %+v", evs[0])
+	}
+	if evs[1].Type != EvPartitionSkew || evs[1].Collection != "faces" || evs[1].Attrs["skewedParts"] != 2 {
+		t.Fatalf("partition skew event = %+v", evs[1])
+	}
+}
+
+func TestNilRegistryWindows(t *testing.T) {
+	var r *Registry
+	r.Observe(WeaknessReport{Collection: "x"}) // must not panic
+	if r.Windows() != nil {
+		t.Fatal("nil registry windows")
+	}
+}

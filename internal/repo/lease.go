@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"weaksets/internal/netsim"
+	"weaksets/internal/obs"
 	"weaksets/internal/rpc"
 	"weaksets/internal/store"
 )
@@ -332,7 +333,13 @@ type LeaseState struct {
 	renewals atomic.Int64
 	invals   atomic.Int64
 	breaks   atomic.Int64
+
+	journal *obs.Journal
 }
+
+// UseJournal makes the holder record a lease.break event whenever its
+// leases drop (stream loss, ErrNoMethod peer). Call before Start.
+func (ls *LeaseState) UseJournal(j *obs.Journal) { ls.journal = j }
 
 // NewLeaseState creates a lease holder for collections on the directory
 // node dir. The named collections are acquired at Start; more join
@@ -466,13 +473,21 @@ func (ls *LeaseState) apply(inv Invalidation) {
 func (ls *LeaseState) breakAll() {
 	ls.mu.Lock()
 	n := len(ls.leases)
+	colls := make([]string, 0, n)
 	for coll := range ls.leases {
 		ls.want[coll] = struct{}{}
 		delete(ls.leases, coll)
+		colls = append(colls, coll)
 	}
 	ls.active = false
 	ls.mu.Unlock()
 	ls.breaks.Add(int64(n))
+	for _, coll := range colls {
+		ls.journal.Record(obs.Event{
+			Type: obs.EvLeaseBreak, Node: string(ls.dir), Collection: coll,
+			Detail: "watch stream lost; lease dropped pending re-acquisition",
+		})
+	}
 }
 
 // renewLoop re-grants held leases at half TTL — the client-side clock

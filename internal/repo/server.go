@@ -18,12 +18,13 @@ import (
 // only the network side: request decoding, replication pushes, and
 // remote deletes.
 type Server struct {
-	bus    *rpc.Bus
-	node   netsim.NodeID
-	rpc    *rpc.Server
-	store  store.Store
-	tracer *obs.Tracer
-	leases *leaseHub
+	bus     *rpc.Bus
+	node    netsim.NodeID
+	rpc     *rpc.Server
+	store   store.Store
+	tracer  *obs.Tracer
+	journal *obs.Journal
+	leases  *leaseHub
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -65,6 +66,11 @@ func (s *Server) Store() store.Store { return s.store }
 // joined to the caller's propagated trace (join-only: untraced requests
 // cost nothing). Set it before traffic starts; it is not synchronized.
 func (s *Server) UseTracer(t *obs.Tracer) { s.tracer = t }
+
+// UseJournal makes the server record coordination-plane events — lease
+// grants and ghost reclamation — into the given bounded journal. Call
+// before serving traffic.
+func (s *Server) UseJournal(j *obs.Journal) { s.journal = j }
 
 // startOp opens the store-shard span for one served operation.
 func (s *Server) startOp(ctx context.Context, name string) *obs.Span {
@@ -124,7 +130,14 @@ func (s *Server) handleLease(ctx context.Context, from netsim.NodeID, req any) (
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
-	return s.leases.grant(from, r.Colls, s.store), nil
+	grant := s.leases.grant(from, r.Colls, s.store)
+	for _, coll := range r.Colls {
+		s.journal.Record(obs.Event{
+			Type: obs.EvLeaseGrant, Node: string(s.node), Collection: coll,
+			Attrs: map[string]int64{"version": int64(grant.Versions[coll]), "ttlMs": grant.TTL.Milliseconds()},
+		})
+	}
+	return grant, nil
 }
 
 // handleWatch opens the caller's invalidation stream. The returned
@@ -444,6 +457,10 @@ func (s *Server) handleEndGrow(ctx context.Context, _ netsim.NodeID, req any) (a
 	}
 	if len(reclaim) > 0 {
 		s.pushReplicas(r.Name)
+		s.journal.Record(obs.Event{
+			Type: obs.EvGhostGC, Node: string(s.node), Collection: r.Name,
+			Attrs: map[string]int64{"reclaimed": int64(len(reclaim))},
+		})
 	}
 	return EndGrowResp{Reclaimed: len(reclaim)}, nil
 }

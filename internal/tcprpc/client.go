@@ -53,6 +53,10 @@ type Client struct {
 	// The span's context rides the request envelope, so the server's
 	// spans nest under it. Set before the first Call.
 	Tracer *obs.Tracer
+	// Journal, when set, records transport events — redials after a
+	// connection death, codec negotiation falling back to gob — into a
+	// bounded event journal. Set before the first Call.
+	Journal *obs.Journal
 	// Codec selects the wire codec to negotiate. "" and CodecWirebin
 	// advertise wirebin in the connection handshake, falling back to gob
 	// when the server doesn't speak it; CodecGob skips negotiation and
@@ -216,11 +220,19 @@ func (c *Client) conn() (*clientConn, error) {
 		case errors.Is(err, rpc.ErrNoMethod):
 			// Pre-negotiation server: it answered the hello like any
 			// unknown method. The connection is healthy — speak gob.
+			c.Journal.Record(obs.Event{
+				Type: obs.EvCodecFallback, Node: c.addr,
+				Detail: "peer predates codec negotiation; speaking gob",
+			})
 		default:
 			// The handshake died at the transport level; assume a peer
 			// that tears the stream down on unknown methods, latch the
 			// fallback, and redial once speaking plain gob.
 			c.helloFailed = true
+			c.Journal.Record(obs.Event{
+				Type: obs.EvCodecFallback, Node: c.addr,
+				Detail: "handshake died at transport level; gob latched for future dials",
+			})
 			_ = conn.Close()
 			conn, err = net.DialTimeout("tcp", c.addr, timeout)
 			if err != nil {
@@ -242,8 +254,12 @@ func (c *Client) conn() (*clientConn, error) {
 	}
 	go cc.writeLoop()
 	go cc.readLoop()
-	if c.ins.dials.Add(1) > 1 {
+	if dials := c.ins.dials.Add(1); dials > 1 {
 		c.ins.reconnects.Add(1)
+		c.Journal.Record(obs.Event{
+			Type: obs.EvReconnect, Node: c.addr,
+			Attrs: map[string]int64{"dials": dials},
+		})
 	}
 	c.cc = cc
 	return cc, nil
