@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench-frontier bench-trend bench sweep sweep-iter sweep-rpc sweep-obs sweep-cache sweep-scale sweep-frontier clean
+.PHONY: check vet build test race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench-frontier bench-replica bench-trend bench sweep sweep-iter sweep-rpc sweep-obs sweep-cache sweep-scale sweep-frontier sweep-replica clean
 
-check: vet build race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench-frontier bench-trend
+check: vet build race fuzz-smoke bench-store bench-iter bench-rpc bench-obs bench-cache bench-scale bench-frontier bench-replica bench-trend
 
 vet:
 	$(GO) vet ./...
@@ -80,11 +80,23 @@ bench-scale:
 bench-frontier:
 	$(GO) run ./cmd/weakbench -frontier -frontier-quick -frontier-json /tmp/BENCH_frontier_smoke.json
 
-# Trend gate: re-run the quick cache and TCP sweeps and compare their
-# size-independent figures (bytes elided warm, leased steady-state
-# RPCs/run, multiplexing and codec speedups) against the committed
-# BENCH_cache.json / BENCH_rpc.json. Fails loudly on gross regressions;
-# absolute throughput is never compared, so it is machine-portable.
+# Smoke the replica-parallel read sweep: 1/2/3 replicas under churn plus
+# the kill-one-replica phase, at a trimmed size. Catches regressions in
+# the read router (probing, closest-first, hedging, scatter) and the
+# anti-entropy plane; the kill phase must complete every run from the
+# survivors. Writes to /tmp so the committed BENCH_replica.json
+# (produced by sweep-replica) is left alone.
+bench-replica:
+	$(GO) run ./cmd/weakbench -replica -replica-quick -replica-json /tmp/BENCH_replica_smoke.json
+
+# Trend gate: re-run the quick store, iter, cache, TCP, obs, and scale
+# sweeps and compare their size-independent figures (sharded-engine
+# speedup, batched-fetch speedup, bytes elided warm, leased steady-state
+# RPCs/run, multiplexing and codec speedups, obs overhead, listing
+# degradation caps) against the committed BENCH_*.json reports. Fails
+# loudly on reproducible regressions — a failing sweep is re-measured
+# once to absorb host noise; absolute throughput is never compared, so
+# it is machine-portable.
 bench-trend:
 	$(GO) run ./cmd/weakbench -trend
 
@@ -121,6 +133,11 @@ sweep-scale:
 # frontier sweep (1 to 16 concurrent readers under churn).
 sweep-frontier:
 	$(GO) run ./cmd/weakbench -frontier
+
+# Regenerate BENCH_replica.json from the full replica-parallel read
+# sweep (16 readers, 1/2/3 replicas under churn, kill phase; slow).
+sweep-replica:
+	$(GO) run ./cmd/weakbench -replica
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,12 @@
 // and writes the weakness-versus-throughput frontier — runs/sec against
 // windowed latency and skew quantiles — to BENCH_frontier.json.
 //
+// With -replica it sweeps replica-parallel reads: the same churned
+// collection replicated across 1/2/3 nodes with capped per-node handler
+// slots, read throughput and time-to-first-element per level, a
+// kill-one-replica phase showing reads completing from the survivors,
+// and the replica staleness each level served — to BENCH_replica.json.
+//
 // Usage:
 //
 //	weakbench [-run E1,E5] [-quick] [-seed 42] [-timescale 0.01]
@@ -96,7 +102,10 @@ func run(args []string) error {
 		frontRun  = fs.Bool("frontier", false, "run the weakness-vs-throughput frontier sweep instead of experiments")
 		frontJSON = fs.String("frontier-json", "BENCH_frontier.json", "where -frontier writes its machine-readable results")
 		frontQk   = fs.Bool("frontier-quick", false, "trim the -frontier sweep (two load points)")
-		trendRun  = fs.Bool("trend", false, "run quick cache+rpc+obs+scale smoke sweeps and gate their size-independent figures against the committed BENCH_*.json reports")
+		replRun   = fs.Bool("replica", false, "run the replica-parallel read sweep (1/2/3 replicas under churn, plus a kill-one-replica phase) instead of experiments")
+		replJSON  = fs.String("replica-json", "BENCH_replica.json", "where -replica writes its machine-readable results")
+		replQk    = fs.Bool("replica-quick", false, "trim the -replica sweep (smaller set, fewer runs)")
+		trendRun  = fs.Bool("trend", false, "run quick store+iter+cache+rpc+obs+scale smoke sweeps and gate their size-independent figures against the committed BENCH_*.json reports")
 		trendTol  = fs.Float64("trend-tolerance", 0.5, "multiplicative tolerance for -trend ratio comparisons (0.5 = fail below half the committed speedup)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 	)
@@ -137,10 +146,14 @@ func run(args []string) error {
 	if *frontRun {
 		return runFrontierSweep(*frontJSON, *frontQk, *seed)
 	}
+	if *replRun {
+		return runReplicaSweep(*replJSON, *replQk, *seed)
+	}
 	if *trendRun {
 		return runTrend(trendPaths{
+			store: *storeJSON, iter: *iterJSON,
 			cache: *cacheJSON, rpc: *rpcJSON, obs: *obsJSON, scale: *scaleJSON,
-		}, *trendTol, *seed, *rpcLat)
+		}, *trendTol, *seed, *rpcLat, sim.TimeScale(*iterScale))
 	}
 
 	if *list {

@@ -1,15 +1,23 @@
 package main
 
 // The -trend gate: the ROADMAP trend-tracking item. It re-runs the quick
-// cache, TCP, observability, and scale sweeps, then compares the figures
-// that are stable across sweep sizes against the committed BENCH_*.json
-// reports and fails loudly on gross regressions. Absolute throughput is
-// deliberately not compared — the smoke sweeps are smaller and the
-// machines differ — only ratios and invariants that a correct
-// implementation reproduces at any size: payload bytes elided by the warm
-// cache, read RPCs per steady-state leased run, the multiplexing speedup,
-// the wirebin-over-gob step, the observability overhead ceiling, and the
+// store, iterator, cache, TCP, observability, and scale sweeps, then
+// compares the figures that are stable across sweep sizes against the
+// committed BENCH_*.json reports and fails loudly on gross regressions.
+// Absolute throughput is deliberately not compared — the smoke sweeps are
+// smaller and the machines differ — only ratios and invariants that a
+// correct implementation reproduces at any size: the sharded store's
+// advantage over the single-mutex engine, the batched fetch pipeline's
+// speedup over per-object Gets, payload bytes elided by the warm cache,
+// read RPCs per steady-state leased run, the multiplexing speedup, the
+// wirebin-over-gob step, the observability overhead ceiling, and the
 // partitioned listing's per-element and first-element degradation caps.
+//
+// Several sweeps time sub-millisecond real intervals, and on a small CI
+// box a single load spike can sink whichever sweep it lands on. A sweep
+// whose checks fail is therefore re-measured once from scratch and judged
+// on the fresh numbers: a real regression reproduces, a scheduling hiccup
+// does not.
 
 import (
 	"encoding/json"
@@ -49,6 +57,39 @@ func (tc trendCheck) failure(tol float64) string {
 	return ""
 }
 
+// evalChecks judges a batch of comparisons, printing one line per check,
+// and returns the failure messages.
+func evalChecks(checks []trendCheck, tol float64) []string {
+	var failures []string
+	for _, tc := range checks {
+		if msg := tc.failure(tol); msg != "" {
+			failures = append(failures, msg)
+			fmt.Printf("  FAIL %s\n", msg)
+		} else {
+			fmt.Printf("  ok  %s: smoke %.2f (committed %.2f)\n", tc.name, tc.smoke, tc.committed)
+		}
+	}
+	return failures
+}
+
+// storeShardedRatio folds a contention sweep into sharded-over-locked
+// throughput per worker count.
+func storeShardedRatio(r storeReport) map[int]float64 {
+	locked := map[int]float64{}
+	for _, res := range r.Results {
+		if res.Engine == "locked" {
+			locked[res.Workers] = res.OpsPerSec
+		}
+	}
+	out := map[int]float64{}
+	for _, res := range r.Results {
+		if res.Engine == "sharded" && locked[res.Workers] > 0 {
+			out[res.Workers] = res.OpsPerSec / locked[res.Workers]
+		}
+	}
+	return out
+}
+
 func loadTrendReport(path string, into any) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -59,210 +100,335 @@ func loadTrendReport(path string, into any) error {
 
 // trendPaths names the committed reports the gate compares against.
 type trendPaths struct {
-	cache, rpc, obs, scale string
+	store, iter, cache, rpc, obs, scale string
+}
+
+// trendGate couples one smoke sweep with the comparison of its report
+// against the committed one. run re-measures into path; eval loads both
+// reports, prints a line per check, and returns failures and skips.
+type trendGate struct {
+	name string
+	path string
+	run  func(path string) error
+	eval func(path string) (failures, skipped []string, err error)
+}
+
+func (g trendGate) attempt() (failures, skipped []string, err error) {
+	if err := g.run(g.path); err != nil {
+		return nil, nil, fmt.Errorf("trend: %s smoke: %w", g.name, err)
+	}
+	fmt.Println()
+	return g.eval(g.path)
 }
 
 // runTrend runs the quick sweeps and gates them against the committed
-// reports. tol is the multiplicative tolerance for ratio comparisons.
-func runTrend(committed trendPaths, tol float64, seed int64, rpcLat time.Duration) error {
-	const (
-		cacheSmokePath = "/tmp/BENCH_cache_trend.json"
-		rpcSmokePath   = "/tmp/BENCH_rpc_trend.json"
-		obsSmokePath   = "/tmp/BENCH_obs_trend.json"
-		scaleSmokePath = "/tmp/BENCH_scale_trend.json"
-	)
-	fmt.Printf("trend gate: smoke sweeps vs %s, %s, %s, %s (ratio tolerance %.0f%%)\n\n",
-		committed.cache, committed.rpc, committed.obs, committed.scale, 100*tol)
-	if err := runCacheSweep(cacheSmokePath, true, seed, sim.TimeScale(1)); err != nil {
-		return fmt.Errorf("trend: cache smoke: %w", err)
-	}
-	fmt.Println()
-	if err := runRPCSweep(rpcSmokePath, true, rpcLat); err != nil {
-		return fmt.Errorf("trend: rpc smoke: %w", err)
-	}
-	fmt.Println()
-	if err := runObsSweep(obsSmokePath, true, seed); err != nil {
-		return fmt.Errorf("trend: obs smoke: %w", err)
-	}
-	fmt.Println()
-	if err := runScaleSweep(scaleSmokePath, true, seed); err != nil {
-		return fmt.Errorf("trend: scale smoke: %w", err)
-	}
-	fmt.Println()
+// reports. tol is the multiplicative tolerance for ratio comparisons;
+// iterScale must match the scale the committed iter report was measured
+// at, or the CPU-vs-WAN balance shifts and the speedups don't compare.
+func runTrend(committed trendPaths, tol float64, seed int64, rpcLat time.Duration, iterScale sim.TimeScale) error {
+	fmt.Printf("trend gate: smoke sweeps vs %s, %s, %s, %s, %s, %s (ratio tolerance %.0f%%)\n\n",
+		committed.store, committed.iter, committed.cache, committed.rpc, committed.obs, committed.scale, 100*tol)
 
-	var checks []trendCheck
+	gates := []trendGate{
+		{
+			// The iterator sweep runs first and un-trimmed: its
+			// batched-over-baseline speedup grows with set size (a
+			// 64-element quick run fits one batch and shows a fraction of
+			// the pipelining win), so only same-size points compare — and
+			// its timed intervals are sub-millisecond real time, so it gets
+			// the quiet process before the allocation-heavy store smoke
+			// churns the heap. The full sweep is cheap — it runs in scaled
+			// virtual time.
+			name: "iter",
+			path: "/tmp/BENCH_iter_trend.json",
+			run: func(path string) error {
+				return runIterSweep(path, false, seed, iterScale)
+			},
+			eval: func(path string) ([]string, []string, error) {
+				var com, smoke iterReport
+				if err := loadTrendReport(committed.iter, &com); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				if err := loadTrendReport(path, &smoke); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				// Batched-over-per-object elements/sec per semantics and
+				// size; same-size points compare directly.
+				var checks []trendCheck
+				var skipped []string
+				for key, s := range smoke.Speedup {
+					c, ok := com.Speedup[key]
+					if !ok {
+						skipped = append(skipped, "iter speedup/"+key)
+						continue
+					}
+					checks = append(checks, trendCheck{"iter speedup/" + key, c, s, "ratio"})
+				}
+				return evalChecks(checks, tol), skipped, nil
+			},
+		},
+		{
+			name: "store",
+			path: "/tmp/BENCH_store_trend.json",
+			run: func(path string) error {
+				return runStoreSweep(path, true)
+			},
+			eval: func(path string) ([]string, []string, error) {
+				var com, smoke storeReport
+				if err := loadTrendReport(committed.store, &com); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				if err := loadTrendReport(path, &smoke); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				// The sharded engine's throughput advantage over the
+				// single-mutex baseline at each worker count. The ratio is
+				// a per-op cost comparison, so it survives the smoke
+				// sweep's smaller op count.
+				var checks []trendCheck
+				var skipped []string
+				comRatio := storeShardedRatio(com)
+				for workers, s := range storeShardedRatio(smoke) {
+					name := fmt.Sprintf("store shardedSpeedup/workers=%d", workers)
+					c, ok := comRatio[workers]
+					if !ok {
+						skipped = append(skipped, name)
+						continue
+					}
+					checks = append(checks, trendCheck{name, c, s, "ratio"})
+				}
+				return evalChecks(checks, tol), skipped, nil
+			},
+		},
+		{
+			name: "cache",
+			path: "/tmp/BENCH_cache_trend.json",
+			run: func(path string) error {
+				return runCacheSweep(path, true, seed, sim.TimeScale(1))
+			},
+			eval: func(path string) ([]string, []string, error) {
+				var com, smoke cacheReport
+				if err := loadTrendReport(committed.cache, &com); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				if err := loadTrendReport(path, &smoke); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				var checks []trendCheck
+				var failures, skipped []string
+				for sem, c := range com.ByteReduction {
+					s, ok := smoke.ByteReduction[sem]
+					if !ok {
+						skipped = append(skipped, "cache byteReduction/"+sem)
+						continue
+					}
+					checks = append(checks, trendCheck{"cache byteReduction/" + sem, c, s, "fraction"})
+				}
+				for sem, c := range com.LeaseSteadyRPCsPerRun {
+					s, ok := smoke.LeaseSteadyRPCsPerRun[sem]
+					if !ok {
+						skipped = append(skipped, "cache leaseSteadyRPCsPerRun/"+sem)
+						continue
+					}
+					// The leased steady state must stay at (or within
+					// rounding of) the committed zero: any run that starts
+					// paying revalidation RPCs again is exactly the
+					// regression this gate exists to catch.
+					if s > c+0.5 {
+						msg := fmt.Sprintf("cache leaseSteadyRPCsPerRun/%s: smoke %.1f RPCs/run vs committed %.1f (ceiling +0.5)", sem, s, c)
+						failures = append(failures, msg)
+						fmt.Printf("  FAIL %s\n", msg)
+						continue
+					}
+					fmt.Printf("  ok  cache leaseSteadyRPCsPerRun/%s: %.1f RPCs/run (committed %.1f)\n", sem, s, c)
+				}
+				return append(failures, evalChecks(checks, tol)...), skipped, nil
+			},
+		},
+		{
+			name: "rpc",
+			path: "/tmp/BENCH_rpc_trend.json",
+			run: func(path string) error {
+				return runRPCSweep(path, true, rpcLat)
+			},
+			eval: func(path string) ([]string, []string, error) {
+				var com, smoke rpcReport
+				if err := loadTrendReport(committed.rpc, &com); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				if err := loadTrendReport(path, &smoke); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				var checks []trendCheck
+				var skipped []string
+				for key, s := range smoke.Speedup {
+					c, ok := com.Speedup[key]
+					if !ok {
+						skipped = append(skipped, "rpc speedup/"+key)
+						continue
+					}
+					// budget=1 has no parallelism to lose; its ratio is
+					// ~1.0 noise.
+					if strings.HasSuffix(key, "/budget=1") {
+						continue
+					}
+					checks = append(checks, trendCheck{"rpc speedup/" + key, c, s, "ratio"})
+				}
+				for key, s := range smoke.CodecSpeedup {
+					c, ok := com.CodecSpeedup[key]
+					if !ok {
+						skipped = append(skipped, "rpc codecSpeedup/"+key)
+						continue
+					}
+					checks = append(checks, trendCheck{"rpc codecSpeedup/" + key, c, s, "ratio"})
+				}
+				return evalChecks(checks, tol), skipped, nil
+			},
+		},
+		{
+			name: "obs",
+			path: "/tmp/BENCH_obs_trend.json",
+			run: func(path string) error {
+				return runObsSweep(path, true, seed)
+			},
+			eval: func(path string) ([]string, []string, error) {
+				var com, smoke obsReport
+				if err := loadTrendReport(committed.obs, &com); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				if err := loadTrendReport(path, &smoke); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				// Observability overhead: percent of throughput lost with
+				// the accounting plane on. The committed figures hover
+				// around zero (noise in either direction), so the gate is
+				// an absolute ceiling, not a ratio: smoke overhead must
+				// stay within a fixed band above the committed value
+				// floored at zero. The band is wide because the off
+				// baseline and each mode are independently timed batches —
+				// on a busy CI box either can catch a load spike, swinging
+				// the relative figure by tens of points. The gate exists to
+				// catch gross regressions (an accounting plane that halves
+				// throughput), not single-digit drift; negative smoke
+				// overhead is never a failure.
+				const obsBand = 35.0 // absolute percentage points over max(committed, 0)
+				var failures, skipped []string
+				for mode, s := range smoke.OverheadPct {
+					c, ok := com.OverheadPct[mode]
+					if !ok {
+						skipped = append(skipped, "obs overheadPct/"+mode)
+						continue
+					}
+					ceiling := c
+					if ceiling < 0 {
+						ceiling = 0
+					}
+					ceiling += obsBand
+					if s > ceiling {
+						msg := fmt.Sprintf("obs overheadPct/%s: smoke %+.1f%% vs committed %+.1f%% (ceiling %+.1f%%)", mode, s, c, ceiling)
+						failures = append(failures, msg)
+						fmt.Printf("  FAIL %s\n", msg)
+						continue
+					}
+					fmt.Printf("  ok  obs overheadPct/%s: %+.1f%% (committed %+.1f%%, ceiling %+.1f%%)\n", mode, s, c, ceiling)
+				}
+				// Structural obs gate, immune to timing noise: each
+				// instrumentation mode must still do what it claims — no
+				// spans without a tracer, a few under sampling, every run's
+				// worth under full tracing.
+				for _, res := range smoke.Results {
+					var bad string
+					switch res.Mode {
+					case "off", "weakness":
+						if res.SpansRetained != 0 {
+							bad = fmt.Sprintf("retained %d spans with no tracer", res.SpansRetained)
+						}
+					case "sampled", "full":
+						if res.SpansRetained == 0 {
+							bad = "retained no spans with tracing on"
+						}
+					}
+					if bad != "" {
+						msg := fmt.Sprintf("obs spans/%s: %s", res.Mode, bad)
+						failures = append(failures, msg)
+						fmt.Printf("  FAIL %s\n", msg)
+						continue
+					}
+					fmt.Printf("  ok  obs spans/%s: %d spans retained\n", res.Mode, res.SpansRetained)
+				}
+				return failures, skipped, nil
+			},
+		},
+		{
+			name: "scale",
+			path: "/tmp/BENCH_scale_trend.json",
+			run: func(path string) error {
+				return runScaleSweep(path, true, seed)
+			},
+			eval: func(path string) ([]string, []string, error) {
+				var com, smoke scaleReport
+				if err := loadTrendReport(committed.scale, &com); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				if err := loadTrendReport(path, &smoke); err != nil {
+					return nil, nil, fmt.Errorf("trend: %w", err)
+				}
+				// Listing scalability: degradation ratios (biggest size
+				// over smallest; 1.0 = perfectly flat) must not blow past
+				// the committed figure. These are inverted relative to
+				// speedups — smaller is better — so the gate is a
+				// multiplicative ceiling at committed*(1+tol).
+				scaleRatios := []struct {
+					name      string
+					committed map[string]float64
+					smoke     map[string]float64
+				}{
+					{"scale perElementRatio", com.PerElementRatio, smoke.PerElementRatio},
+					{"scale firstElementRatio", com.FirstElementRatio, smoke.FirstElementRatio},
+				}
+				var failures, skipped []string
+				for _, sr := range scaleRatios {
+					for mode, s := range sr.smoke {
+						c, ok := sr.committed[mode]
+						if !ok {
+							skipped = append(skipped, sr.name+"/"+mode)
+							continue
+						}
+						// The monolithic baseline is allowed to degrade —
+						// it exists to be beaten; gating it would reward
+						// making the baseline better.
+						if mode != "partitioned" {
+							continue
+						}
+						if ceiling := c * (1 + tol); s > ceiling {
+							msg := fmt.Sprintf("%s/%s: smoke %.2f vs committed %.2f (ceiling %.2f)", sr.name, mode, s, c, ceiling)
+							failures = append(failures, msg)
+							fmt.Printf("  FAIL %s\n", msg)
+							continue
+						}
+						fmt.Printf("  ok  %s/%s: %.2f (committed %.2f)\n", sr.name, mode, s, c)
+					}
+				}
+				return failures, skipped, nil
+			},
+		},
+	}
+
 	var failures, skipped []string
-
-	var cacheCom, cacheSmoke cacheReport
-	if err := loadTrendReport(committed.cache, &cacheCom); err != nil {
-		return fmt.Errorf("trend: %w", err)
-	}
-	if err := loadTrendReport(cacheSmokePath, &cacheSmoke); err != nil {
-		return fmt.Errorf("trend: %w", err)
-	}
-	for sem, com := range cacheCom.ByteReduction {
-		smoke, ok := cacheSmoke.ByteReduction[sem]
-		if !ok {
-			skipped = append(skipped, "cache byteReduction/"+sem)
-			continue
+	for _, g := range gates {
+		fail, skip, err := g.attempt()
+		if err != nil {
+			return err
 		}
-		checks = append(checks, trendCheck{"cache byteReduction/" + sem, com, smoke, "fraction"})
-	}
-	for sem, com := range cacheCom.LeaseSteadyRPCsPerRun {
-		smoke, ok := cacheSmoke.LeaseSteadyRPCsPerRun[sem]
-		if !ok {
-			skipped = append(skipped, "cache leaseSteadyRPCsPerRun/"+sem)
-			continue
-		}
-		// The leased steady state must stay at (or within rounding of)
-		// the committed zero: any run that starts paying revalidation
-		// RPCs again is exactly the regression this gate exists to catch.
-		if smoke > com+0.5 {
-			msg := fmt.Sprintf("cache leaseSteadyRPCsPerRun/%s: smoke %.1f RPCs/run vs committed %.1f (ceiling +0.5)", sem, smoke, com)
-			failures = append(failures, msg)
-			fmt.Printf("  FAIL %s\n", msg)
-			continue
-		}
-		fmt.Printf("  ok  cache leaseSteadyRPCsPerRun/%s: %.1f RPCs/run (committed %.1f)\n", sem, smoke, com)
-	}
-
-	var rpcCom, rpcSmoke rpcReport
-	if err := loadTrendReport(committed.rpc, &rpcCom); err != nil {
-		return fmt.Errorf("trend: %w", err)
-	}
-	if err := loadTrendReport(rpcSmokePath, &rpcSmoke); err != nil {
-		return fmt.Errorf("trend: %w", err)
-	}
-	for key, smoke := range rpcSmoke.Speedup {
-		com, ok := rpcCom.Speedup[key]
-		if !ok {
-			skipped = append(skipped, "rpc speedup/"+key)
-			continue
-		}
-		// budget=1 has no parallelism to lose; its ratio is ~1.0 noise.
-		if strings.HasSuffix(key, "/budget=1") {
-			continue
-		}
-		checks = append(checks, trendCheck{"rpc speedup/" + key, com, smoke, "ratio"})
-	}
-	for key, smoke := range rpcSmoke.CodecSpeedup {
-		com, ok := rpcCom.CodecSpeedup[key]
-		if !ok {
-			skipped = append(skipped, "rpc codecSpeedup/"+key)
-			continue
-		}
-		checks = append(checks, trendCheck{"rpc codecSpeedup/" + key, com, smoke, "ratio"})
-	}
-
-	// Observability overhead: percent of throughput lost with the
-	// accounting plane on. The committed figures hover around zero (noise
-	// in either direction), so the gate is an absolute ceiling, not a
-	// ratio: smoke overhead must stay within a fixed band above the
-	// committed value floored at zero. The band is wide because the off
-	// baseline and each mode are independently timed batches — on a busy
-	// CI box either can catch a load spike, swinging the relative figure
-	// by tens of points. The gate exists to catch gross regressions (an
-	// accounting plane that halves throughput), not single-digit drift;
-	// negative smoke overhead is never a failure.
-	var obsCom, obsSmoke obsReport
-	if err := loadTrendReport(committed.obs, &obsCom); err != nil {
-		return fmt.Errorf("trend: %w", err)
-	}
-	if err := loadTrendReport(obsSmokePath, &obsSmoke); err != nil {
-		return fmt.Errorf("trend: %w", err)
-	}
-	const obsBand = 35.0 // absolute percentage points over max(committed, 0)
-	for mode, smoke := range obsSmoke.OverheadPct {
-		com, ok := obsCom.OverheadPct[mode]
-		if !ok {
-			skipped = append(skipped, "obs overheadPct/"+mode)
-			continue
-		}
-		ceiling := com
-		if ceiling < 0 {
-			ceiling = 0
-		}
-		ceiling += obsBand
-		if smoke > ceiling {
-			msg := fmt.Sprintf("obs overheadPct/%s: smoke %+.1f%% vs committed %+.1f%% (ceiling %+.1f%%)", mode, smoke, com, ceiling)
-			failures = append(failures, msg)
-			fmt.Printf("  FAIL %s\n", msg)
-			continue
-		}
-		fmt.Printf("  ok  obs overheadPct/%s: %+.1f%% (committed %+.1f%%, ceiling %+.1f%%)\n", mode, smoke, com, ceiling)
-	}
-	// Structural obs gate, immune to timing noise: each instrumentation
-	// mode must still do what it claims — no spans without a tracer, a
-	// few under sampling, every run's worth under full tracing.
-	for _, res := range obsSmoke.Results {
-		var bad string
-		switch res.Mode {
-		case "off", "weakness":
-			if res.SpansRetained != 0 {
-				bad = fmt.Sprintf("retained %d spans with no tracer", res.SpansRetained)
-			}
-		case "sampled", "full":
-			if res.SpansRetained == 0 {
-				bad = "retained no spans with tracing on"
+		if len(fail) > 0 {
+			fmt.Printf("\n  %s: %d check(s) failed — re-measuring once to rule out host noise\n\n", g.name, len(fail))
+			if fail, skip, err = g.attempt(); err != nil {
+				return err
 			}
 		}
-		if bad != "" {
-			msg := fmt.Sprintf("obs spans/%s: %s", res.Mode, bad)
-			failures = append(failures, msg)
-			fmt.Printf("  FAIL %s\n", msg)
-			continue
-		}
-		fmt.Printf("  ok  obs spans/%s: %d spans retained\n", res.Mode, res.SpansRetained)
-	}
-
-	// Listing scalability: degradation ratios (biggest size over smallest;
-	// 1.0 = perfectly flat) must not blow past the committed figure. These
-	// are inverted relative to speedups — smaller is better — so the gate
-	// is a multiplicative ceiling at committed*(1+tol).
-	var scaleCom, scaleSmoke scaleReport
-	if err := loadTrendReport(committed.scale, &scaleCom); err != nil {
-		return fmt.Errorf("trend: %w", err)
-	}
-	if err := loadTrendReport(scaleSmokePath, &scaleSmoke); err != nil {
-		return fmt.Errorf("trend: %w", err)
-	}
-	scaleRatios := []struct {
-		name      string
-		committed map[string]float64
-		smoke     map[string]float64
-	}{
-		{"scale perElementRatio", scaleCom.PerElementRatio, scaleSmoke.PerElementRatio},
-		{"scale firstElementRatio", scaleCom.FirstElementRatio, scaleSmoke.FirstElementRatio},
-	}
-	for _, sr := range scaleRatios {
-		for mode, smoke := range sr.smoke {
-			com, ok := sr.committed[mode]
-			if !ok {
-				skipped = append(skipped, sr.name+"/"+mode)
-				continue
-			}
-			// The monolithic baseline is allowed to degrade — it exists to
-			// be beaten; gating it would reward making the baseline better.
-			if mode != "partitioned" {
-				continue
-			}
-			if ceiling := com * (1 + tol); smoke > ceiling {
-				msg := fmt.Sprintf("%s/%s: smoke %.2f vs committed %.2f (ceiling %.2f)", sr.name, mode, smoke, com, ceiling)
-				failures = append(failures, msg)
-				fmt.Printf("  FAIL %s\n", msg)
-				continue
-			}
-			fmt.Printf("  ok  %s/%s: %.2f (committed %.2f)\n", sr.name, mode, smoke, com)
-		}
-	}
-
-	for _, tc := range checks {
-		if msg := tc.failure(tol); msg != "" {
-			failures = append(failures, msg)
-			fmt.Printf("  FAIL %s\n", msg)
-		} else {
-			fmt.Printf("  ok  %s: smoke %.2f (committed %.2f)\n", tc.name, tc.smoke, tc.committed)
-		}
+		failures = append(failures, fail...)
+		skipped = append(skipped, skip...)
+		fmt.Println()
 	}
 	for _, s := range skipped {
 		fmt.Printf("  skip %s: not present in both reports\n", s)

@@ -16,7 +16,6 @@ import (
 	"net/http"
 	"os"
 	"sort"
-	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -45,6 +44,7 @@ func main() {
 type clusterView struct {
 	Nodes []struct {
 		Name  string `json:"name"`
+		URL   string `json:"url"`
 		Node  string `json:"node"`
 		OK    bool   `json:"ok"`
 		Error string `json:"error"`
@@ -59,6 +59,9 @@ type clusterView struct {
 			GhostsServed       int64 `json:"ghostsServed"`
 			ListingSkew        int64 `json:"listingSkew"`
 			PartitionSkew      int64 `json:"partitionSkew"`
+			ReplicaSkew        int64 `json:"replicaSkew"`
+			ReplicaServed      int64 `json:"replicaServed"`
+			MaxGhostAge        int64 `json:"maxGhostAgeNs"`
 		} `json:"aggregate"`
 		Windows map[string]struct {
 			Count    int64         `json:"count"`
@@ -121,21 +124,34 @@ func fetch(baseURL string) (clusterView, error) {
 // exemplar trace (feed it to /trace?id= to see why the tail is slow).
 func render(out io.Writer, url string, view clusterView) {
 	up := 0
-	var down []string
 	for _, n := range view.Nodes {
 		if n.OK {
 			up++
-		} else {
-			down = append(down, fmt.Sprintf("%s (%s)", n.Name, n.Error))
 		}
 	}
-	fmt.Fprintf(out, "weaktop  %s  %s  nodes %d/%d up", url, time.Now().Format("15:04:05"), up, len(view.Nodes))
-	if len(down) > 0 {
-		fmt.Fprintf(out, "  DOWN: %s", strings.Join(down, ", "))
+	fmt.Fprintf(out, "weaktop  %s  %s  nodes %d/%d up\n", url, time.Now().Format("15:04:05"), up, len(view.Nodes))
+
+	// One row per gateway node. A down peer keeps its classified error
+	// (the gateway distinguishes a timed-out peer from a refused one) so
+	// the table says *how* a node is failing, not just that it is.
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tSTATUS\tDETAIL")
+	for _, n := range view.Nodes {
+		switch {
+		case n.OK:
+			fmt.Fprintf(tw, "%s\tup\tnode %s\n", n.Name, n.Node)
+		default:
+			detail := n.Error
+			if detail == "" {
+				detail = "unreachable"
+			}
+			fmt.Fprintf(tw, "%s\tDOWN\t%s\n", n.Name, detail)
+		}
 	}
+	_ = tw.Flush()
 	fmt.Fprintln(out)
 
-	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	tw = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "COLLECTION\tMETRIC\tN\tP50\tP95\tP99\tMAX\tEXEMPLAR")
 	for _, c := range view.Collections {
 		metricNames := make([]string, 0, len(c.Windows))
@@ -166,6 +182,12 @@ func render(out io.Writer, url string, view clusterView) {
 			c.Collection, "lifetime", c.Nodes,
 			c.Aggregate.Runs, c.Aggregate.Yielded, c.Aggregate.UnreachableSkipped,
 			c.Aggregate.GhostsServed, c.Aggregate.ListingSkew, c.Aggregate.PartitionSkew)
+		if c.Aggregate.ReplicaServed > 0 || c.Aggregate.ReplicaSkew > 0 {
+			fmt.Fprintf(tw, "%s\t%s\t%d\tserved %d\tskew %d\tghost-age %s\t\t\n",
+				c.Collection, "replicas", c.Nodes,
+				c.Aggregate.ReplicaServed, c.Aggregate.ReplicaSkew,
+				fmtDur(time.Duration(c.Aggregate.MaxGhostAge)))
+		}
 	}
 	_ = tw.Flush()
 }

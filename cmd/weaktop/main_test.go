@@ -15,7 +15,8 @@ const clusterFixture = `{
   "collections": [{
     "collection": "menus",
     "nodes": 2,
-    "aggregate": {"runs": 12, "yielded": 240, "unreachableSkipped": 3, "ghostsServed": 1, "listingSkew": 2, "partitionSkew": 0},
+    "aggregate": {"runs": 12, "yielded": 240, "unreachableSkipped": 3, "ghostsServed": 1, "listingSkew": 2, "partitionSkew": 0,
+                  "replicaSkew": 5, "replicaServed": 100, "maxGhostAgeNs": 12000000},
     "windows": {
       "latency": {"count": 12, "p50Ns": 2000000, "p95Ns": 9000000, "p99Ns": 12000000, "maxNs": 12000000,
                   "exemplar": {"trace": "00000000000000aa", "valueNs": 12000000}},
@@ -45,12 +46,15 @@ func TestRunOnce(t *testing.T) {
 	}
 	for _, s := range []string{
 		"nodes 1/2 up",
-		"DOWN: b (connection refused)",
+		"DOWN",               // the per-node status table flags the dead peer...
+		"connection refused", // ...with the gateway's classified error
 		"menus",
 		"latency",
 		"00000000000000aa", // the p99 exemplar trace id, ready for /trace?id=
 		"listing_skew",
 		"runs 12",
+		"served 100", // the replicas row surfaces replica-read accounting
+		"skew 5",
 	} {
 		if !strings.Contains(text, s) {
 			t.Errorf("rendered table missing %q:\n%s", s, text)

@@ -43,15 +43,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("weakwww", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:8080", "listen address")
-		scale   = fs.Float64("scale", 0.01, "virtual-to-real time scale")
-		mutate  = fs.Bool("mutate", true, "keep a background editor mutating the menus")
-		sample  = fs.Int("sample", 1, "trace 1 in N query runs (1 = every run)")
-		cache   = fs.Int("cache", 4096, "element cache capacity in objects (0 disables)")
-		lease   = fs.Bool("lease", true, "hold invalidation leases on the corpora (push beats revalidate)")
-		pprof   = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		journal = fs.Int("journal", obs.DefaultJournalCapacity, "event journal capacity (0 disables /events)")
-		peers   = fs.String("peers", "", "comma-separated peer gateways for /cluster, each url or name=url, e.g. b=http://host:8081")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		scale    = fs.Float64("scale", 0.01, "virtual-to-real time scale")
+		mutate   = fs.Bool("mutate", true, "keep a background editor mutating the menus")
+		sample   = fs.Int("sample", 1, "trace 1 in N query runs (1 = every run)")
+		cache    = fs.Int("cache", 4096, "element cache capacity in objects (0 disables)")
+		lease    = fs.Bool("lease", true, "hold invalidation leases on the corpora (push beats revalidate)")
+		pprof    = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		journal  = fs.Int("journal", obs.DefaultJournalCapacity, "event journal capacity (0 disables /events)")
+		peers    = fs.String("peers", "", "comma-separated peer gateways for /cluster, each url or name=url, e.g. b=http://host:8081")
+		replicas = fs.Int("replicas", 1, "replicate each corpus across N nodes and serve queries from the closest live replica (1 = home only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +124,17 @@ func run(args []string) error {
 
 	gw := httpgw.New(c.Client, cluster.DirNode, c.LockNode)
 	gw.UseObs(weakness, tracer)
+	if *replicas > 1 {
+		for _, coll := range []string{menus.Coll, faces.Coll, lib.Coll} {
+			nodes, err := c.Replicate(coll, *replicas)
+			if err != nil {
+				return err
+			}
+			gw.UseReplicas(coll, nodes)
+		}
+		c.Servers[cluster.DirNode].SetAntiEntropy(2 * time.Second)
+		fmt.Printf("corpora replicated across %d nodes; reads scatter to the closest live replica, staleness under /metrics (weaksets_replica_*)\n", *replicas)
+	}
 	if events != nil {
 		gw.UseJournal(events)
 		fmt.Printf("event journal enabled (%d events); query under /events\n", *journal)

@@ -34,8 +34,9 @@ type Config struct {
 	Seed int64
 	// Latency is the default one-way link latency. Defaults to fixed 10ms.
 	Latency sim.Dist
-	// Scale is the virtual-to-real time scale. Defaults to
-	// sim.DefaultScale.
+	// Scale is the virtual-to-real time scale. The zero value sleeps
+	// nothing (logical-only latencies); experiments that want wall-clock
+	// queueing and timeouts set it, e.g. to sim.DefaultScale.
 	Scale sim.TimeScale
 	// DropProb is the per-message loss probability.
 	DropProb float64
@@ -129,6 +130,46 @@ func (c *Cluster) ClientAt(node netsim.NodeID) *repo.Client {
 // StorageFor deterministically assigns the i-th object to a storage node.
 func (c *Cluster) StorageFor(i int) netsim.NodeID {
 	return c.Storage[i%len(c.Storage)]
+}
+
+// ReplicaSet is the per-collection replica placement map: the home
+// (directory) node first, then n-1 storage nodes picked by the same FNV
+// hash the listing partitioner uses — so different collections land on
+// different replica sets and their partitions scatter *across* the
+// cluster, not all behind one node. n is clamped to the nodes available;
+// n <= 1 means unreplicated (home only).
+func (c *Cluster) ReplicaSet(name string, n int) []netsim.NodeID {
+	out := []netsim.NodeID{DirNode}
+	if n > len(c.Storage)+1 {
+		n = len(c.Storage) + 1
+	}
+	if n <= 1 || len(c.Storage) == 0 {
+		return out
+	}
+	// FNV-1a over the collection name seeds the placement, matching the
+	// partitioner's hash family (store.partOf).
+	h := uint32(2166136261)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	start := int(h % uint32(len(c.Storage)))
+	for i := 0; len(out) < n; i++ {
+		out = append(out, c.Storage[(start+i)%len(c.Storage)])
+	}
+	return out
+}
+
+// Replicate places a collection on n replicas (ReplicaSet placement) and
+// starts the home's anti-entropy toward them. It returns the replica set
+// for the client side (core.ReplicaConfig.Nodes wants exactly this,
+// home first).
+func (c *Cluster) Replicate(name string, n int) ([]netsim.NodeID, error) {
+	nodes := c.ReplicaSet(name, n)
+	if err := c.Servers[DirNode].ReplicateCollection(name, nodes[1:]); err != nil {
+		return nil, fmt.Errorf("cluster: replicate %q: %w", name, err)
+	}
+	return nodes, nil
 }
 
 // Close shuts down every server's background work.

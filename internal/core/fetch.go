@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"weaksets/internal/netsim"
 	"weaksets/internal/obs"
@@ -159,6 +160,10 @@ type prefetcher struct {
 	order  FetchOrder
 	batch  int
 	tracer *obs.Tracer
+	// router, when non-nil, redirects batches aimed at a replicated node
+	// to the closest live replica (anti-entropy copies its objects
+	// there), hedging back to the owner on failure or a replica miss.
+	router *replicaRouter
 
 	// cb wires the run to the shared element cache; cb.cache == nil
 	// means the cache is off and every batch ships full payloads.
@@ -171,6 +176,11 @@ type prefetcher struct {
 	// NotModified serves for the weakness report.
 	cacheHits      atomic.Int64
 	cacheValidated atomic.Int64
+	// replicaServed counts batches answered by a non-home replica;
+	// replicaAgeMs bounds how stale those answers could be (the serving
+	// replica's last-sync age). Both fold into the weakness report.
+	replicaServed atomic.Int64
+	replicaAgeMs  atomic.Int64
 
 	// ctx outlives individual Next calls so batches pipeline across
 	// yields; close cancels it and waits out the workers.
@@ -191,13 +201,14 @@ type prefetcher struct {
 // newPrefetcher builds the pipeline. base carries the run's trace
 // context (or is plain Background for an untraced run), so batches
 // issued between Next calls still belong to the run's trace.
-func newPrefetcher(base context.Context, client *repo.Client, o FetchOptions, tracer *obs.Tracer) *prefetcher {
+func newPrefetcher(base context.Context, client *repo.Client, router *replicaRouter, o FetchOptions, tracer *obs.Tracer) *prefetcher {
 	ctx, cancel := context.WithCancel(base)
 	return &prefetcher{
 		client:  client,
 		order:   o.Order,
 		batch:   o.Batch,
 		tracer:  tracer,
+		router:  router,
 		ctx:     ctx,
 		cancel:  cancel,
 		sem:     make(chan struct{}, o.Inflight),
@@ -376,9 +387,12 @@ func (p *prefetcher) run(ch fetchChunk) {
 		err  error
 	)
 	if p.cb.cache != nil {
+		// Conditional batches stay owner-routed: a replica's object
+		// versions can lag the client's known versions, and a conditional
+		// answer is only meaningful against the version authority.
 		objs, err = p.fetchValidated(bctx, ch, ids)
 	} else {
-		objs, _, err = p.client.GetBatch(bctx, chunk[0].Node, ids)
+		objs, err = p.fetchPlain(bctx, chunk[0].Node, ids)
 	}
 	if span != nil {
 		if err != nil {
@@ -387,6 +401,48 @@ func (p *prefetcher) run(ch fetchChunk) {
 		span.End()
 	}
 	p.deliver(chunk, objs, err, epoch)
+}
+
+// fetchPlain issues one unconditional batch, routed to the closest live
+// replica when the owner's objects are replicated there. A replica may
+// legally lack some of the objects (anti-entropy lag) or die mid-flight;
+// both hedge back to the owner, so replica routing never loses data,
+// only freshness — which is accounted as ReplicaServed/GhostAge.
+func (p *prefetcher) fetchPlain(ctx context.Context, owner netsim.NodeID, ids []repo.ObjectID) (map[repo.ObjectID]repo.Object, error) {
+	if p.router == nil {
+		objs, _, err := p.client.GetBatch(ctx, owner, ids)
+		return objs, err
+	}
+	target, ok := p.router.routeBatch(ctx, owner)
+	if !ok || target.node == owner {
+		objs, _, err := p.client.GetBatch(ctx, owner, ids)
+		return objs, err
+	}
+	hctx, cancel := context.WithTimeout(ctx, p.router.cfg.HedgeTimeout)
+	objs, missing, err := p.client.GetBatch(hctx, target.node, ids)
+	cancel()
+	if err != nil {
+		// The replica died or timed out under the batch: hedge to the
+		// owner and stop routing to it until the next probe.
+		p.router.markDead(target.node)
+		objs, _, err = p.client.GetBatch(ctx, owner, ids)
+		return objs, err
+	}
+	p.replicaServed.Add(1)
+	atomicMax(&p.replicaAgeMs, int64(target.age()/time.Millisecond))
+	if len(missing) > 0 {
+		// The replica has not synced these objects yet: detour to the
+		// owner for just the gap. Whatever the owner also lacks is then a
+		// genuinely missing object, reported as such.
+		more, _, merr := p.client.GetBatch(ctx, owner, missing)
+		if merr != nil {
+			return nil, merr
+		}
+		for id, obj := range more {
+			objs[id] = obj
+		}
+	}
+	return objs, nil
 }
 
 // batchFlight is the shared result of one coalesced conditional batch.

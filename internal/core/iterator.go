@@ -8,6 +8,7 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"weaksets/internal/locksvc"
@@ -144,8 +145,17 @@ type partIngest struct {
 	parts  []repo.PartListing
 	done   bool
 	err    error
+	hinted bool
 	sized  *sizedMaps    // pre-sized membership maps, once built
 	notify chan struct{} // buffered(1); signaled on push and finish
+
+	// Replica staleness accounting, written by the (possibly several)
+	// stream goroutines and folded into the run's WeaknessReport on the
+	// iterator goroutine. Atomics because the streams outlive Close on
+	// abandonment.
+	replicaSkew   atomic.Int64
+	replicaServed atomic.Int64
+	replicaAgeMs  atomic.Int64
 }
 
 func newPartIngest() *partIngest {
@@ -162,7 +172,18 @@ func (g *partIngest) signal() {
 func (g *partIngest) push(pl repo.PartListing) {
 	g.mu.Lock()
 	g.parts = append(g.parts, pl)
+	hint := 0
+	if !g.hinted && len(pl.Members) > 0 {
+		// Estimate the whole listing from the first non-empty frame
+		// (uniform partition hash) and build pre-sized membership maps
+		// concurrently with consumption.
+		g.hinted = true
+		hint = len(pl.Members) * max(pl.Partitions, 1)
+	}
 	g.mu.Unlock()
+	if hint >= sizedMapsMin {
+		go g.buildSized(hint)
+	}
 	g.signal()
 }
 
@@ -291,18 +312,15 @@ func (it *Iterator) startIngest(ctx context.Context) error {
 	ictx, cancel := context.WithCancel(it.traceCtx(context.Background()))
 	it.ingCancel = cancel
 	go func() {
-		var hinted bool
+		if rt := s.router; rt != nil && it.pin == 0 {
+			// Replica-parallel opening: the listing's partitions stream
+			// from every live replica concurrently into this ingest. A
+			// pinned run stays home-bound — pins are primary-resident.
+			ing.finish(rt.scatter(ictx, ing))
+			return
+		}
 		err := it.client.ListParts(ictx, s.dir, s.name, it.pin, nil, func(pl repo.PartListing) error {
 			ing.push(pl)
-			if !hinted && len(pl.Members) > 0 {
-				// Estimate the whole listing from the first non-empty frame
-				// (uniform partition hash) and build pre-sized membership
-				// maps concurrently with consumption.
-				hinted = true
-				if hint := len(pl.Members) * max(pl.Partitions, 1); hint >= sizedMapsMin {
-					go ing.buildSized(hint)
-				}
-			}
 			return ictx.Err()
 		})
 		ing.finish(err)
@@ -504,6 +522,25 @@ func (it *Iterator) leaseServe() (map[spec.ElemID]bool, bool) {
 	return it.curMembers, true
 }
 
+// noteReplicaList accounts a current-state membership read answered by a
+// replica. A non-home serve counts as ReplicaServed and bounds GhostAge
+// by the replica's last-sync age. A reply older than what the run has
+// already observed (the serving replica lags the run's own view) is
+// demoted to not-modified — the run keeps its fresher cached listing,
+// staying monotonic — and the regression is accounted as ReplicaSkew.
+func (it *Iterator) noteReplicaList(from replicaProbe, version uint64, notModified *bool) {
+	if !from.home {
+		it.wk.ReplicaServed++
+		if age := from.age(); age > it.wk.GhostAge {
+			it.wk.GhostAge = age
+		}
+	}
+	if !*notModified && version < it.listVersion {
+		it.wk.ReplicaSkew += int64(it.listVersion - version)
+		*notModified = true
+	}
+}
+
 // preState assembles the invocation's pre-state: membership (s_first for
 // snapshot semantics, a fresh read otherwise) plus the reachability of each
 // member judged from the client's node.
@@ -528,7 +565,21 @@ func (it *Iterator) preState(ctx context.Context) (spec.State, error) {
 				it.refs[id] = ref
 			}
 		} else {
-			refs, version, notModified, err := it.client.ListIfNew(ctx, it.set.dir, it.set.name, it.listVersion)
+			var (
+				refs        []repo.Ref
+				version     uint64
+				notModified bool
+				err         error
+			)
+			if rt := it.set.router; rt != nil {
+				var from replicaProbe
+				refs, version, notModified, from, err = rt.listIfNew(ctx, it.listVersion)
+				if err == nil {
+					it.noteReplicaList(from, version, &notModified)
+				}
+			} else {
+				refs, version, notModified, err = it.client.ListIfNew(ctx, it.set.dir, it.set.name, it.listVersion)
+			}
 			if err != nil {
 				return spec.State{}, err
 			}
@@ -956,6 +1007,18 @@ func (it *Iterator) finishObs() {
 		it.wk.EpochRetries = it.pf.epochRetries.Load()
 		it.wk.CacheHits = it.pf.cacheHits.Load()
 		it.wk.CacheValidatedHits = it.pf.cacheValidated.Load()
+		it.wk.ReplicaServed += it.pf.replicaServed.Load()
+		if age := time.Duration(it.pf.replicaAgeMs.Load()) * time.Millisecond; age > it.wk.GhostAge {
+			it.wk.GhostAge = age
+		}
+	}
+	if it.ing != nil {
+		// Scatter accounting accumulated by the stream goroutines.
+		it.wk.ReplicaSkew += it.ing.replicaSkew.Load()
+		it.wk.ReplicaServed += it.ing.replicaServed.Load()
+		if age := time.Duration(it.ing.replicaAgeMs.Load()) * time.Millisecond; age > it.wk.GhostAge {
+			it.wk.GhostAge = age
+		}
 	}
 	if !it.startedAt.IsZero() {
 		it.wk.Duration = time.Since(it.startedAt)
@@ -988,6 +1051,9 @@ func (it *Iterator) finishObs() {
 		it.span.SetInt("cacheValidatedHits", it.wk.CacheValidatedHits)
 		it.span.SetInt("listingSkew", it.wk.ListingSkew)
 		it.span.SetInt("partitionSkew", it.wk.PartitionSkew)
+		it.span.SetInt("replicaSkew", it.wk.ReplicaSkew)
+		it.span.SetInt("replicaServed", it.wk.ReplicaServed)
+		it.span.SetInt("ghostAgeMs", int64(it.wk.GhostAge/time.Millisecond))
 		it.span.SetAttr("outcome", it.wk.Outcome)
 		it.span.End()
 	}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"weaksets/internal/netsim"
+	"weaksets/internal/repo"
+)
+
+// This file is the read side of collection replication: the weak-set
+// counterpart of quorum.go's write-availability variant. A replicated
+// collection keeps its writes on the home node and anti-entropy pushes
+// membership (and home-resident object data) to the replicas, so any
+// replica can serve a read — stale, which Figs. 4–6 make legal, as long
+// as the staleness is accounted. The router probes every replica with an
+// anti-entropy digest (one cheap RPC measuring liveness, round-trip time
+// and the replica's per-partition version vector), then:
+//
+//   - scatters a snapshot-opening partitioned listing across the live
+//     replicas, closest first, so the frames stream from N nodes
+//     concurrently into one iterator fold;
+//   - routes current-state membership reads and element batches to the
+//     closest live replica, hedging back to the next (ultimately the
+//     home) on failure or timeout.
+//
+// Staleness is quantified against the probe's baseline — the elementwise
+// max of every live replica's version vector — and surfaced per run as
+// WeaknessReport.ReplicaSkew (version steps behind the freshest known
+// listing) and GhostAge (how long ago the serving replica last heard
+// from the home). It is never hidden.
+
+// ReplicaConfig configures replica-parallel reads for a Set.
+type ReplicaConfig struct {
+	// Nodes are the nodes holding the collection, home node first (the
+	// same set passed to repo.Server.ReplicateCollection). Fewer than two
+	// nodes disables replica routing.
+	Nodes []netsim.NodeID
+	// ProbeTTL bounds how long one digest probe's liveness/latency/
+	// version observations keep routing reads before they are refreshed.
+	// Defaults to 1s.
+	ProbeTTL time.Duration
+	// HedgeTimeout bounds any single read attempt against a non-home
+	// replica; on expiry (or failure) the read hedges to the next live
+	// replica and finally the home. Defaults to 250ms.
+	HedgeTimeout time.Duration
+}
+
+func (r ReplicaConfig) enabled() bool { return len(r.Nodes) > 1 }
+
+func (r ReplicaConfig) withDefaults() ReplicaConfig {
+	if r.ProbeTTL == 0 {
+		r.ProbeTTL = time.Second
+	}
+	if r.HedgeTimeout == 0 {
+		r.HedgeTimeout = 250 * time.Millisecond
+	}
+	return r
+}
+
+// replicaProbe is one replica's last observed state: reachability, how
+// far away it is, and how far behind the home it was.
+type replicaProbe struct {
+	node       netsim.NodeID
+	home       bool
+	live       bool
+	rtt        time.Duration
+	partitions int
+	versions   []uint64
+	ageMs      int64
+}
+
+// age reports the probe's staleness bound as a duration. The home (and a
+// replica the home has never pushed to, AgeMs < 0) is current by
+// definition.
+func (p replicaProbe) age() time.Duration {
+	if p.home || p.ageMs < 0 {
+		return 0
+	}
+	return time.Duration(p.ageMs) * time.Millisecond
+}
+
+// replicaRouter holds a Set's replica routing state: the config and the
+// last probe of every replica. Safe for concurrent use — one Set's
+// iterators and prefetchers share it.
+type replicaRouter struct {
+	client *repo.Client
+	name   string
+	cfg    ReplicaConfig
+
+	mu       sync.Mutex
+	probes   []replicaProbe
+	probedAt time.Time
+
+	// rr rotates batch reads among replicas whose probed RTT is within a
+	// near-tie of the closest, so symmetric topologies spread load instead
+	// of electing one replica the winner for a whole probe interval.
+	rr atomic.Uint64
+}
+
+func newReplicaRouter(client *repo.Client, name string, cfg ReplicaConfig) *replicaRouter {
+	return &replicaRouter{client: client, name: name, cfg: cfg.withDefaults()}
+}
+
+func (rt *replicaRouter) home() netsim.NodeID { return rt.cfg.Nodes[0] }
+
+// probe returns each replica's liveness, RTT and version vector,
+// refreshing by concurrent Digest RPCs when the cached observation has
+// aged past ProbeTTL. A replica that errors in any way — unreachable,
+// method unknown, collection never synced — is simply not live for
+// routing; the home picks up its share.
+func (rt *replicaRouter) probe(ctx context.Context) []replicaProbe {
+	rt.mu.Lock()
+	if rt.probes != nil && time.Since(rt.probedAt) < rt.cfg.ProbeTTL {
+		out := append([]replicaProbe(nil), rt.probes...)
+		rt.mu.Unlock()
+		return out
+	}
+	rt.mu.Unlock()
+
+	probes := make([]replicaProbe, len(rt.cfg.Nodes))
+	var wg sync.WaitGroup
+	for i, node := range rt.cfg.Nodes {
+		i, node := i, node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, rt.cfg.HedgeTimeout)
+			defer cancel()
+			start := time.Now()
+			d, err := rt.client.Digest(pctx, node, rt.name)
+			probes[i] = replicaProbe{node: node, home: i == 0, rtt: time.Since(start)}
+			if err == nil {
+				probes[i].live = true
+				probes[i].partitions = d.Partitions
+				probes[i].versions = d.Versions
+				probes[i].ageMs = d.AgeMs
+			}
+		}()
+	}
+	wg.Wait()
+
+	rt.mu.Lock()
+	rt.probes = probes
+	rt.probedAt = time.Now()
+	out := append([]replicaProbe(nil), probes...)
+	rt.mu.Unlock()
+	return out
+}
+
+// markDead drops a replica from routing until the next probe refresh —
+// the hedge's memory, so one dead replica costs one timeout, not one per
+// read.
+func (rt *replicaRouter) markDead(node netsim.NodeID) {
+	rt.mu.Lock()
+	for i := range rt.probes {
+		if rt.probes[i].node == node {
+			rt.probes[i].live = false
+		}
+	}
+	rt.mu.Unlock()
+}
+
+// liveByRTT filters to the live replicas, closest first (ties broken by
+// node id for determinism).
+func liveByRTT(probes []replicaProbe) []replicaProbe {
+	out := make([]replicaProbe, 0, len(probes))
+	for _, p := range probes {
+		if p.live {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].rtt != out[j].rtt {
+			return out[i].rtt < out[j].rtt
+		}
+		return out[i].node < out[j].node
+	})
+	return out
+}
+
+// baselineVec is the freshest known per-partition version vector: the
+// elementwise max over every live replica. ReplicaSkew is measured
+// against it — how many version steps behind the best available view
+// this run's served frames were.
+func baselineVec(probes []replicaProbe, partitions int) []uint64 {
+	base := make([]uint64, partitions)
+	for _, p := range probes {
+		if !p.live {
+			continue
+		}
+		for i, v := range p.versions {
+			if i < partitions && v > base[i] {
+				base[i] = v
+			}
+		}
+	}
+	return base
+}
+
+// atomicMax raises a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// nearTieRotate rotates the leading group of near-tie replicas (RTT
+// within 2x of the closest) by the router's round-robin counter, so
+// symmetric topologies spread successive reads across the tied group
+// instead of electing one winner for a whole probe interval. Farther
+// replicas keep their place — they still only serve as hedges.
+func (rt *replicaRouter) nearTieRotate(live []replicaProbe) []replicaProbe {
+	ties := 1
+	for ties < len(live) && live[ties].rtt <= 2*live[0].rtt {
+		ties++
+	}
+	if ties < 2 {
+		return live
+	}
+	rot := int(rt.rr.Add(1) % uint64(ties))
+	out := make([]replicaProbe, 0, len(live))
+	out = append(out, live[rot:ties]...)
+	out = append(out, live[:rot]...)
+	return append(out, live[ties:]...)
+}
+
+// listIfNew serves one current-state membership read from the closest
+// live replica, hedging to the next on failure and to the home as the
+// last resort. from reports which replica answered, for the caller's
+// staleness accounting.
+func (rt *replicaRouter) listIfNew(ctx context.Context, lastVersion uint64) (members []repo.Ref, version uint64, notModified bool, from replicaProbe, err error) {
+	for _, p := range rt.nearTieRotate(liveByRTT(rt.probe(ctx))) {
+		if p.home {
+			// The home is the closest live node: no hedge needed, its
+			// answer is authoritative.
+			members, version, notModified, err = rt.client.ListIfNew(ctx, p.node, rt.name, lastVersion)
+			return members, version, notModified, p, err
+		}
+		hctx, cancel := context.WithTimeout(ctx, rt.cfg.HedgeTimeout)
+		members, version, notModified, err = rt.client.ListIfNew(hctx, p.node, rt.name, lastVersion)
+		cancel()
+		if err == nil {
+			return members, version, notModified, p, nil
+		}
+		rt.markDead(p.node)
+	}
+	// Nothing live (or every live replica failed under us): the home is
+	// the final hedge, erroring if it too is down.
+	home := replicaProbe{node: rt.home(), home: true}
+	members, version, notModified, err = rt.client.ListIfNew(ctx, home.node, rt.name, lastVersion)
+	home.live = err == nil
+	return members, version, notModified, home, err
+}
+
+// routeBatch picks the node to serve a GetBatch aimed at owner: the
+// closest live replica when owner is one of the collection's replica
+// set (its objects are replicated by anti-entropy), owner itself
+// otherwise. The returned probe carries the staleness bound to account.
+func (rt *replicaRouter) routeBatch(ctx context.Context, owner netsim.NodeID) (replicaProbe, bool) {
+	replicated := false
+	for _, n := range rt.cfg.Nodes {
+		if n == owner {
+			replicated = true
+			break
+		}
+	}
+	if !replicated {
+		return replicaProbe{}, false
+	}
+	live := liveByRTT(rt.probe(ctx))
+	if len(live) == 0 {
+		return replicaProbe{}, false
+	}
+	return rt.nearTieRotate(live)[0], true
+}
+
+// scatter streams the collection's opening listing from every live
+// replica concurrently into ing: partitions are dealt round-robin across
+// the live replicas closest-first, each replica streams its share, and a
+// replica dying mid-stream has its undelivered partitions reassigned to
+// the survivors (the home last). Staleness accounting rides on ing's
+// atomics — the iterator folds them into the run's WeaknessReport.
+func (rt *replicaRouter) scatter(ctx context.Context, ing *partIngest) error {
+	probes := rt.probe(ctx)
+	live := liveByRTT(probes)
+	home := rt.home()
+
+	// The home's partition layout governs; without the home, the freshest
+	// live replica's does. Replicas on a different layout would serve a
+	// different split, so they sit this read out.
+	partitions := 0
+	for _, p := range live {
+		if p.home {
+			partitions = p.partitions
+			break
+		}
+	}
+	if partitions == 0 {
+		for _, p := range live {
+			if p.partitions > partitions {
+				partitions = p.partitions
+			}
+		}
+	}
+	if partitions == 0 {
+		// No live replica knows the collection — stream from the home so
+		// the real error (unreachable, no such collection) surfaces.
+		return rt.client.ListPartsSubset(ctx, home, rt.name, 0, nil, nil, func(pl repo.PartListing) error {
+			ing.push(pl)
+			return ctx.Err()
+		})
+	}
+	servers := make([]replicaProbe, 0, len(live))
+	for _, p := range live {
+		if p.partitions == partitions {
+			servers = append(servers, p)
+		}
+	}
+	base := baselineVec(probes, partitions)
+
+	var (
+		mu        sync.Mutex
+		delivered = make([]bool, partitions)
+		firstErr  error
+	)
+	pushFrom := func(p replicaProbe) func(repo.PartListing) error {
+		return func(pl repo.PartListing) error {
+			if pl.Part >= 0 && pl.Part < partitions {
+				mu.Lock()
+				dup := delivered[pl.Part]
+				delivered[pl.Part] = true
+				mu.Unlock()
+				if dup {
+					return ctx.Err() // a retry re-served it; keep the first
+				}
+				if base[pl.Part] > pl.Version {
+					ing.replicaSkew.Add(int64(base[pl.Part] - pl.Version))
+				}
+			}
+			if !p.home {
+				ing.replicaServed.Add(1)
+				atomicMax(&ing.replicaAgeMs, int64(p.age()/time.Millisecond))
+			}
+			ing.push(pl)
+			return ctx.Err()
+		}
+	}
+
+	// First wave: every server streams its share concurrently.
+	assign := make(map[netsim.NodeID][]int, len(servers))
+	for part := 0; part < partitions; part++ {
+		p := servers[part%len(servers)]
+		assign[p.node] = append(assign[p.node], part)
+	}
+	var wg sync.WaitGroup
+	for _, p := range servers {
+		parts := assign[p.node]
+		if len(parts) == 0 {
+			continue
+		}
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := rt.client.ListPartsSubset(ctx, p.node, rt.name, 0, nil, parts, pushFrom(p)); err != nil {
+				rt.markDead(p.node)
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Reassign whatever a dead replica left undelivered: each surviving
+	// server in turn, the home as the final fallback.
+	missing := func() []int {
+		mu.Lock()
+		defer mu.Unlock()
+		var out []int
+		for part, ok := range delivered {
+			if !ok {
+				out = append(out, part)
+			}
+		}
+		return out
+	}
+	retries := servers
+	haveHome := false
+	for _, p := range retries {
+		if p.home {
+			haveHome = true
+		}
+	}
+	if !haveHome {
+		retries = append(retries, replicaProbe{node: home, home: true, partitions: partitions})
+	}
+	for _, p := range retries {
+		rest := missing()
+		if len(rest) == 0 {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		_ = rt.client.ListPartsSubset(ctx, p.node, rt.name, 0, nil, rest, pushFrom(p))
+	}
+	if rest := missing(); len(rest) > 0 {
+		if firstErr == nil {
+			firstErr = fmt.Errorf("replicas %v: %d partitions undeliverable", rt.cfg.Nodes, len(rest))
+		}
+		return firstErr
+	}
+	return nil
+}

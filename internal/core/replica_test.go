@@ -1,0 +1,413 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"weaksets/internal/cluster"
+	"weaksets/internal/netsim"
+	"weaksets/internal/repo"
+	"weaksets/internal/sim"
+)
+
+// The replica-routing tests run under -race via `make race`: the router is
+// shared by every iterator and prefetcher of a Set, so the concurrent
+// scenarios here (parallel readers, probes racing markDead, scatter
+// streams racing a kill) are exactly where a locking mistake would
+// surface.
+
+func probesWithRTT(rtts map[netsim.NodeID]time.Duration) []replicaProbe {
+	out := make([]replicaProbe, 0, len(rtts))
+	for node, rtt := range rtts {
+		out = append(out, replicaProbe{node: node, live: true, rtt: rtt})
+	}
+	return out
+}
+
+func TestLiveByRTTOrdersAndFilters(t *testing.T) {
+	probes := []replicaProbe{
+		{node: "s2", live: true, rtt: 30 * time.Millisecond},
+		{node: "dir", live: true, rtt: 10 * time.Millisecond},
+		{node: "s0", live: false, rtt: time.Millisecond},
+		{node: "s1", live: true, rtt: 10 * time.Millisecond},
+	}
+	live := liveByRTT(probes)
+	want := []netsim.NodeID{"dir", "s1", "s2"} // dead s0 gone, RTT asc, id ties
+	if len(live) != len(want) {
+		t.Fatalf("live = %d replicas, want %d", len(live), len(want))
+	}
+	for i, n := range want {
+		if live[i].node != n {
+			t.Fatalf("live[%d] = %s, want %s", i, live[i].node, n)
+		}
+	}
+}
+
+// TestNearTieRotateSpreadsNearGroup pins the rotation contract: replicas
+// within 2x of the closest RTT take turns leading, while a clearly
+// farther replica never jumps the queue and never disappears.
+func TestNearTieRotateSpreadsNearGroup(t *testing.T) {
+	rt := newReplicaRouter(nil, "set", ReplicaConfig{Nodes: []netsim.NodeID{"dir", "s0", "s1"}})
+	live := liveByRTT(probesWithRTT(map[netsim.NodeID]time.Duration{
+		"dir": 10 * time.Millisecond,
+		"s0":  12 * time.Millisecond, // near-tie with dir
+		"s1":  50 * time.Millisecond, // far: hedge only
+	}))
+
+	leads := map[netsim.NodeID]int{}
+	for i := 0; i < 10; i++ {
+		got := rt.nearTieRotate(live)
+		if len(got) != 3 {
+			t.Fatalf("rotation changed the replica count: %v", got)
+		}
+		if got[2].node != "s1" {
+			t.Fatalf("far replica moved up: order %v %v %v", got[0].node, got[1].node, got[2].node)
+		}
+		leads[got[0].node]++
+	}
+	if leads["dir"] == 0 || leads["s0"] == 0 {
+		t.Fatalf("rotation elected a single leader: %v", leads)
+	}
+	if leads["s1"] != 0 {
+		t.Fatalf("far replica led %d reads", leads["s1"])
+	}
+
+	// No near-tie group (gaps > 2x): order must be stable closest-first.
+	spread := liveByRTT(probesWithRTT(map[netsim.NodeID]time.Duration{
+		"dir": 10 * time.Millisecond,
+		"s0":  25 * time.Millisecond,
+		"s1":  60 * time.Millisecond,
+	}))
+	for i := 0; i < 5; i++ {
+		if got := rt.nearTieRotate(spread); got[0].node != "dir" {
+			t.Fatalf("closest replica displaced by rotation: %v", got[0].node)
+		}
+	}
+}
+
+// addHomeElement adds one element whose object lives on the home
+// (directory) node — the replicated layout: anti-entropy ships
+// home-resident objects to the replicas, so any replica can serve the
+// element even with storage nodes down.
+func addHomeElement(t *testing.T, w *testWorld, i int) {
+	t.Helper()
+	ctx := context.Background()
+	id := repo.ObjectID(fmt.Sprintf("e%03d", i))
+	ref, err := w.c.Client.Put(ctx, cluster.DirNode, repo.Object{ID: id, Data: []byte(fmt.Sprintf("data-%d", i))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.c.Client.Add(ctx, cluster.DirNode, "set", ref); err != nil {
+		t.Fatal(err)
+	}
+	w.refs = append(w.refs, ref)
+}
+
+// newReplicaWorld builds a cluster with the test collection replicated
+// onto dir (home) plus n-1 storage nodes, every element homed at dir so
+// the replicas carry full copies.
+func newReplicaWorld(t *testing.T, elements, replicas int, scale sim.TimeScale) (*testWorld, []netsim.NodeID) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{StorageNodes: 4, Seed: 42, Scale: scale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ctx := context.Background()
+	if err := c.Client.CreateCollection(ctx, cluster.DirNode, "set"); err != nil {
+		t.Fatal(err)
+	}
+	w := &testWorld{c: c}
+	for i := 0; i < elements; i++ {
+		addHomeElement(t, w, i)
+	}
+	nodes, err := c.Replicate("set", replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForReplicaVersions(t, w, nodes)
+	return w, nodes
+}
+
+// waitForReplicaVersions blocks until every replica's digest has caught
+// up with the home's per-partition version vector — anti-entropy
+// convergence. A full push stamps the replica's whole vector with the
+// collection version, so "caught up" is >= per partition, not equality.
+func waitForReplicaVersions(t *testing.T, w *testWorld, nodes []netsim.NodeID) {
+	t.Helper()
+	ctx := context.Background()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		home, err := w.c.Client.Digest(ctx, nodes[0], "set")
+		synced := err == nil
+		for _, n := range nodes[1:] {
+			if !synced {
+				break
+			}
+			d, derr := w.c.Client.Digest(ctx, n, "set")
+			if derr != nil || d.Partitions != home.Partitions {
+				synced = false
+				break
+			}
+			for i, v := range home.Versions {
+				if i >= len(d.Versions) || d.Versions[i] < v {
+					synced = false
+					break
+				}
+			}
+		}
+		if synced {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replicas never converged with the home")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestClosestReplicaSelection places one replica much nearer the client
+// than the home and the other replica: the probe must rank it first and
+// reads must actually be served from it, with the staleness accounted.
+func TestClosestReplicaSelection(t *testing.T) {
+	// The scale must be real (not zero) so probe RTTs reflect the
+	// configured link latencies; 0.01 keeps the gaps two orders above
+	// scheduler noise (5ms -> 50us vs 100ms -> 1ms real one-way).
+	w, nodes := newReplicaWorld(t, 24, 3, sim.TimeScale(0.01))
+	near := nodes[1]
+	for _, n := range append([]netsim.NodeID{cluster.DirNode}, w.c.Storage...) {
+		w.c.Net.SetLinkLatency(cluster.HomeNode, n, sim.Fixed(100*time.Millisecond))
+	}
+	w.c.Net.SetLinkLatency(cluster.HomeNode, near, sim.Fixed(5*time.Millisecond))
+
+	rt := newReplicaRouter(w.c.Client, "set", ReplicaConfig{Nodes: nodes})
+	live := liveByRTT(rt.probe(context.Background()))
+	if len(live) != len(nodes) {
+		t.Fatalf("probe found %d live replicas, want %d", len(live), len(nodes))
+	}
+	if live[0].node != near {
+		t.Fatalf("closest replica = %s (rtt %v), want %s", live[0].node, live[0].rtt, near)
+	}
+
+	// A grow-only run routes its membership reads and batches through the
+	// router; with the near replica converged, reads land there and the
+	// report says so.
+	s := w.set(t, Options{Semantics: GrowOnly, Replicas: ReplicaConfig{Nodes: nodes}})
+	it, err := s.Elements(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for it.Next(context.Background()) {
+		n++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if n != 24 {
+		t.Fatalf("yielded %d elements, want 24", n)
+	}
+	wk := it.Weakness()
+	if wk.ReplicaServed == 0 {
+		t.Fatal("no reads served from a replica despite one being 20x closer")
+	}
+	if wk.ReplicaSkew != 0 {
+		t.Fatalf("converged replica reported skew %d", wk.ReplicaSkew)
+	}
+}
+
+// TestMarkDeadExcludesUntilReprobe kills a replica after it was probed
+// live: the first read that hits it marks it dead for the rest of the
+// probe interval, and a fresh probe restores it after restart.
+func TestMarkDeadExcludesUntilReprobe(t *testing.T) {
+	w, nodes := newReplicaWorld(t, 8, 2, 0)
+	rt := newReplicaRouter(w.c.Client, "set", ReplicaConfig{Nodes: nodes, ProbeTTL: time.Hour})
+	ctx := context.Background()
+	if live := liveByRTT(rt.probe(ctx)); len(live) != 2 {
+		t.Fatalf("want 2 live replicas, got %d", len(live))
+	}
+
+	w.c.Net.Crash(nodes[1])
+	rt.markDead(nodes[1])
+	live := liveByRTT(rt.probe(ctx)) // cached: must reflect the mark, not re-probe
+	if len(live) != 1 || live[0].node != nodes[0] {
+		t.Fatalf("dead replica still routed: %v", live)
+	}
+
+	// Reads keep completing from the home while the replica is dead.
+	if members, _, _, from, err := rt.listIfNew(ctx, 0); err != nil || len(members) != 8 {
+		t.Fatalf("listIfNew with dead replica: %d members, err %v", len(members), err)
+	} else if from.node != nodes[0] {
+		t.Fatalf("read served from %s, want home %s", from.node, nodes[0])
+	}
+
+	// Restart and force a fresh probe: the replica must rejoin routing.
+	w.c.Net.Restart(nodes[1])
+	rt.mu.Lock()
+	rt.probedAt = time.Time{}
+	rt.mu.Unlock()
+	if live := liveByRTT(rt.probe(ctx)); len(live) != 2 {
+		t.Fatalf("restarted replica never rejoined: %v", live)
+	}
+}
+
+// TestAntiEntropyConvergenceAfterPartition isolates a replica, grows the
+// set, heals, and requires the replica to converge via the background
+// ticker — at which point a replica-routed run must report zero skew.
+// Readers run concurrently with the repair to exercise the router and
+// ingest accounting under -race.
+func TestAntiEntropyConvergenceAfterPartition(t *testing.T) {
+	w, nodes := newReplicaWorld(t, 12, 3, 0)
+	w.c.Servers[cluster.DirNode].SetAntiEntropy(5 * time.Millisecond)
+	ctx := context.Background()
+
+	w.c.Net.Isolate(nodes[1])
+	for i := 12; i < 20; i++ {
+		addHomeElement(t, w, i)
+	}
+
+	// While the replica lags, concurrent replica-routed readers must all
+	// still complete (home and the healthy replica carry the reads).
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := NewSet(w.c.ClientAt(cluster.HomeNode), cluster.DirNode, "set", Options{
+				Semantics: GrowOnly,
+				Replicas:  ReplicaConfig{Nodes: nodes, ProbeTTL: time.Millisecond},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			elems, err := s.Collect(ctx)
+			if err != nil {
+				t.Errorf("collect during partition: %v", err)
+				return
+			}
+			if len(elems) < 12 {
+				t.Errorf("yielded %d elements, want >= 12", len(elems))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Heal; the ticker must converge the replica with no further writes.
+	w.c.Net.Rejoin(nodes[1])
+	waitForReplicaVersions(t, w, nodes)
+
+	s := w.set(t, Options{Semantics: GrowOnly, Replicas: ReplicaConfig{Nodes: nodes}})
+	it, err := s.Elements(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for it.Next(ctx) {
+		n++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if n != 20 {
+		t.Fatalf("yielded %d elements after repair, want 20", n)
+	}
+	if wk := it.Weakness(); wk.ReplicaSkew != 0 {
+		t.Fatalf("converged replicas reported skew %d", wk.ReplicaSkew)
+	}
+}
+
+// TestScatterSurvivesReplicaKill crashes a replica between two snapshot
+// runs sharing one (cached) probe: the second run's scatter still
+// believes the replica is live, so its share of partitions must be
+// reassigned to the survivors mid-stream and the run must stay complete.
+func TestScatterSurvivesReplicaKill(t *testing.T) {
+	w, nodes := newReplicaWorld(t, 40, 3, 0)
+	ctx := context.Background()
+	cfg := ReplicaConfig{Nodes: nodes, ProbeTTL: time.Hour}
+
+	s := w.set(t, Options{Semantics: Immutable, Replicas: cfg})
+	elems, err := s.Collect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elems) != 40 {
+		t.Fatalf("healthy scatter yielded %d elements, want 40", len(elems))
+	}
+
+	// Same Set, same cached probe — the kill happens under the router's
+	// feet. Concurrent runs race their scatter streams against markDead.
+	w.c.Net.Crash(nodes[1])
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			it, err := s.Elements(ctx)
+			if err != nil {
+				t.Errorf("run %d: %v", r, err)
+				return
+			}
+			n := 0
+			for it.Next(ctx) {
+				n++
+			}
+			if it.Err() != nil {
+				t.Errorf("run %d after kill: %v", r, it.Err())
+				return
+			}
+			if n != 40 {
+				t.Errorf("run %d yielded %d elements after kill, want 40", r, n)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+// TestReplicaRouterConcurrentProbes hammers one router from many
+// goroutines while replicas flap, purely for the race detector: probes,
+// markDead, rotation and batch routing share the router's state.
+func TestReplicaRouterConcurrentProbes(t *testing.T) {
+	w, nodes := newReplicaWorld(t, 8, 3, 0)
+	rt := newReplicaRouter(w.c.Client, "set", ReplicaConfig{Nodes: nodes, ProbeTTL: time.Microsecond})
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var flapper sync.WaitGroup
+	flapper.Add(1)
+	go func() {
+		defer flapper.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			node := nodes[1+i%2]
+			w.c.Net.Crash(node)
+			time.Sleep(200 * time.Microsecond)
+			w.c.Net.Restart(node)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, _, _, _, err := rt.listIfNew(ctx, 0); err != nil {
+					t.Errorf("listIfNew with home up: %v", err)
+					return
+				}
+				rt.routeBatch(ctx, nodes[0])
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	flapper.Wait()
+}

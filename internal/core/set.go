@@ -61,6 +61,14 @@ type Options struct {
 	// value enables batching with the defaults; set Fetch.Disable for the
 	// one-Get-per-element baseline.
 	Fetch FetchOptions
+	// Replicas, when configured with the collection's replica set (home
+	// node first), routes reads to the closest live replica and scatters
+	// snapshot-opening listings across all of them — the replica-parallel
+	// read path. Staleness served from a lagging replica is accounted in
+	// the run's WeaknessReport (ReplicaSkew, GhostAge), never hidden.
+	// Quorum, when also configured, wins for current-state membership
+	// reads.
+	Replicas ReplicaConfig
 	// MonolithicListing makes snapshot-governed runs read their opening
 	// membership as one List round trip instead of the streamed,
 	// partition-at-a-time ListParts — the pre-partitioning baseline,
@@ -127,6 +135,11 @@ type Set struct {
 	name   string
 	opts   Options
 
+	// router is the replica read router, nil unless Options.Replicas
+	// names at least two nodes. Shared by every run of this set, so one
+	// probe's liveness/latency observations route many reads.
+	router *replicaRouter
+
 	// listings persists the last membership read across runs, but only
 	// when a lease state is attached: without push invalidation a stale
 	// cross-run listing would silently widen the staleness window, so the
@@ -167,7 +180,11 @@ func NewSet(client *repo.Client, dir netsim.NodeID, name string, opts Options) (
 	if opts.Semantics == ImmutablePerRun && opts.LockServer == "" {
 		return nil, fmt.Errorf("weakset %q: %s requires a LockServer", name, opts.Semantics)
 	}
-	return &Set{client: client, dir: dir, name: name, opts: opts.withDefaults()}, nil
+	s := &Set{client: client, dir: dir, name: name, opts: opts.withDefaults()}
+	if opts.Replicas.enabled() {
+		s.router = newReplicaRouter(client, name, opts.Replicas)
+	}
+	return s, nil
 }
 
 // Semantics reports the set's design-space point.
@@ -233,7 +250,7 @@ func (s *Set) Elements(ctx context.Context) (*Iterator, error) {
 	if !s.opts.Fetch.Disable {
 		// The prefetcher's background context carries the run's trace, so
 		// batches issued between Next calls still join it.
-		it.pf = newPrefetcher(it.traceCtx(context.Background()), s.client, s.opts.Fetch, s.opts.Tracer)
+		it.pf = newPrefetcher(it.traceCtx(context.Background()), s.client, s.router, s.opts.Fetch, s.opts.Tracer)
 	}
 	if err := it.setup(it.traceCtx(ctx)); err != nil {
 		werr := fmt.Errorf("%w: open %s elements on %q: %v", ErrFailure, s.opts.Semantics, s.name, err)

@@ -3,6 +3,8 @@ package httpgw
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
 	"sort"
 	"sync"
@@ -60,6 +62,18 @@ type clusterBody struct {
 	Collections []clusterCollectionInfo `json:"collections"`
 }
 
+// peerError classifies a peer fetch failure for the /cluster body. A
+// deadline hit is reported as an explicit timeout — the peer may be up
+// but drowning — while anything else (connection refused, DNS failure,
+// bad JSON) keeps the transport's own words, so operators can tell a
+// slow peer from a dead one at a glance.
+func peerError(err error, timeout time.Duration) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Sprintf("timeout: no /stats reply within %s", timeout)
+	}
+	return err.Error()
+}
+
 // fetchPeerStats GETs one peer's /stats and decodes the fields the
 // merge needs.
 func fetchPeerStats(ctx context.Context, url string) (statsBody, error) {
@@ -110,7 +124,7 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 			info := clusterNodeInfo{Name: p.name, URL: p.url}
 			body, err := fetchPeerStats(ctx, p.url)
 			if err != nil {
-				info.Error = err.Error()
+				info.Error = peerError(err, timeout)
 				results[i+1] = fetched{info: info}
 				return
 			}

@@ -60,6 +60,10 @@ type Gateway struct {
 	tracers  []*obs.Tracer
 	journal  *obs.Journal
 
+	// Per-collection replica sets for read routing, set by UseReplicas.
+	rmu      sync.Mutex
+	replicas map[string]core.ReplicaConfig
+
 	// Cluster scatter-gather wiring, set by AddPeer.
 	pmu   sync.Mutex
 	peers []clusterPeer
@@ -91,6 +95,28 @@ func (g *Gateway) AddTransport(name string, stats func() tcprpc.TransportStats) 
 func (g *Gateway) UseCache(cache *repo.Cache) {
 	g.cache = cache
 	g.client.UseCache(cache)
+}
+
+// UseReplicas registers a collection's replica set (home first, as
+// returned by cluster.Replicate) so /query runs on that collection route
+// reads to the closest live replica, scatter partition listings across
+// the set, and report replica staleness through the weakness registry.
+// Call once per replicated collection, before serving.
+func (g *Gateway) UseReplicas(coll string, nodes []netsim.NodeID) {
+	g.rmu.Lock()
+	defer g.rmu.Unlock()
+	if g.replicas == nil {
+		g.replicas = make(map[string]core.ReplicaConfig)
+	}
+	g.replicas[coll] = core.ReplicaConfig{Nodes: nodes}
+}
+
+// replicaConfig returns the registered replica set for a collection; the
+// zero config (no routing) when none was registered.
+func (g *Gateway) replicaConfig(coll string) core.ReplicaConfig {
+	g.rmu.Lock()
+	defer g.rmu.Unlock()
+	return g.replicas[coll]
 }
 
 // New builds a gateway reading through client, with collections hosted on
@@ -476,6 +502,7 @@ func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
 			LockServer: g.lockNode,
 			MaxBlock:   10 * time.Second,
 			Fetch:      core.FetchOptions{Batch: batch, Disable: batch == 1, Cache: g.cache},
+			Replicas:   g.replicaConfig(coll),
 		}
 	}
 

@@ -121,6 +121,9 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Counter("weaksets_weakness_cache_validated_hits_total", "Elements served from the cache after a NotModified validation.", float64(cw.CacheValidatedHits), l)
 		p.Counter("weaksets_weakness_lease_served_total", "Runs whose listing was served under a held lease, no revalidation RPC.", float64(cw.LeaseServed), l)
 		p.Gauge("weaksets_weakness_max_lease_age_seconds", "Oldest lease certification a served listing relied on.", obs.Seconds(cw.MaxLeaseAge), l)
+		p.Counter("weaksets_replica_served_total", "Runs (or batch fetches) served by a non-home replica.", float64(cw.ReplicaServed), l)
+		p.Counter("weaksets_replica_skew_total", "Listing versions the serving replicas lagged the freshest live replica by.", float64(cw.ReplicaSkew), l)
+		p.Gauge("weaksets_replica_max_ghost_age_seconds", "Oldest replica staleness (time since last anti-entropy push) a run was served under.", obs.Seconds(cw.MaxGhostAge), l)
 		p.Counter("weaksets_weakness_listing_skew_total", "Listing-version changes observed mid-run.", float64(cw.ListingSkew), l)
 		p.Counter("weaksets_weakness_partition_skew_total", "Listing partitions snapshotted after a mid-stream write.", float64(cw.PartitionSkew), l)
 		p.Counter("weaksets_weakness_fetch_failures_total", "Transport fetch/list failures survived.", float64(cw.FetchFailures), l)

@@ -59,8 +59,11 @@ type Config struct {
 	DefaultLatency sim.Dist
 	// DropProb is the probability that any single message is silently lost.
 	DropProb float64
-	// Scale maps virtual durations to wall-clock sleeps. Defaults to
-	// sim.DefaultScale (1000x compression). Set to 0 for logical-only tests.
+	// Scale maps virtual durations to wall-clock sleeps. The zero value
+	// sleeps nothing — latencies are recorded but never waited out, which
+	// is right for logical-only tests. Experiments that want wall-clock
+	// effects (queueing, timeouts, capacity) must set it explicitly, e.g.
+	// to sim.DefaultScale (1000x compression).
 	Scale sim.TimeScale
 	// DetectTimeout is how long (virtual) a sender waits before declaring a
 	// peer unreachable. Defaults to 200ms.

@@ -17,6 +17,8 @@ const (
 	EvCodecFallback = "codec.fallback"
 	EvReconnect     = "rpc.reconnect"
 	EvGhostGC       = "ghost.gc"
+	EvHandoff       = "replica.handoff"
+	EvRepair        = "replica.repair"
 )
 
 // Event is one structured journal entry. Seq and Time are assigned by

@@ -65,6 +65,18 @@ type WeaknessReport struct {
 	// scatter-gather form of membership skew, where partitions of one
 	// opening listing reflect different instants.
 	PartitionSkew int64 `json:"partitionSkew"`
+	// ReplicaSkew counts version steps the run's served listings were
+	// behind the freshest replica known at read time (the probe's
+	// baseline vector): the quantified staleness of reading from the
+	// closest replica instead of the home. Zero on a fully converged
+	// replica set.
+	ReplicaSkew int64 `json:"replicaSkew"`
+	// ReplicaServed counts reads (listing frames, membership reads,
+	// element batches) answered by a non-home replica this run.
+	ReplicaServed int64 `json:"replicaServed"`
+	// GhostAge bounds how stale the replica-served reads could be: the
+	// longest time since any serving replica last heard from the home.
+	GhostAge time.Duration `json:"ghostAgeNs"`
 	// SnapshotAge is how old the captured s_first snapshot was when the
 	// run closed (snapshot-governed semantics only).
 	SnapshotAge time.Duration `json:"snapshotAgeNs"`
@@ -92,9 +104,12 @@ type CollectionWeakness struct {
 	LeaseServed          int64         `json:"leaseServed"`
 	ListingSkew          int64         `json:"listingSkew"`
 	PartitionSkew        int64         `json:"partitionSkew"`
+	ReplicaSkew          int64         `json:"replicaSkew"`
+	ReplicaServed        int64         `json:"replicaServed"`
 	FetchFailures        int64         `json:"fetchFailures"`
 	MaxSnapshotAge       time.Duration `json:"maxSnapshotAgeNs"`
 	MaxLeaseAge          time.Duration `json:"maxLeaseAgeNs"`
+	MaxGhostAge          time.Duration `json:"maxGhostAgeNs"`
 	Blocked              time.Duration `json:"blockedNs"`
 	// Outcomes counts terminal states by name.
 	Outcomes map[string]int64 `json:"outcomes"`
@@ -115,6 +130,8 @@ func (cw *CollectionWeakness) Merge(other CollectionWeakness) {
 	cw.LeaseServed += other.LeaseServed
 	cw.ListingSkew += other.ListingSkew
 	cw.PartitionSkew += other.PartitionSkew
+	cw.ReplicaSkew += other.ReplicaSkew
+	cw.ReplicaServed += other.ReplicaServed
 	cw.FetchFailures += other.FetchFailures
 	cw.Blocked += other.Blocked
 	if other.MaxSnapshotAge > cw.MaxSnapshotAge {
@@ -122,6 +139,9 @@ func (cw *CollectionWeakness) Merge(other CollectionWeakness) {
 	}
 	if other.MaxLeaseAge > cw.MaxLeaseAge {
 		cw.MaxLeaseAge = other.MaxLeaseAge
+	}
+	if other.MaxGhostAge > cw.MaxGhostAge {
+		cw.MaxGhostAge = other.MaxGhostAge
 	}
 	if len(other.Outcomes) > 0 && cw.Outcomes == nil {
 		cw.Outcomes = make(map[string]int64, len(other.Outcomes))
@@ -227,6 +247,8 @@ func (r *Registry) Observe(rep WeaknessReport) {
 	cw.LeaseServed += rep.LeaseServed
 	cw.ListingSkew += rep.ListingSkew
 	cw.PartitionSkew += rep.PartitionSkew
+	cw.ReplicaSkew += rep.ReplicaSkew
+	cw.ReplicaServed += rep.ReplicaServed
 	cw.FetchFailures += rep.FetchFailures
 	cw.Blocked += rep.Blocked
 	if rep.SnapshotAge > cw.MaxSnapshotAge {
@@ -234,6 +256,9 @@ func (r *Registry) Observe(rep WeaknessReport) {
 	}
 	if rep.LeaseAge > cw.MaxLeaseAge {
 		cw.MaxLeaseAge = rep.LeaseAge
+	}
+	if rep.GhostAge > cw.MaxGhostAge {
+		cw.MaxGhostAge = rep.GhostAge
 	}
 	if rep.Outcome != "" {
 		cw.Outcomes[rep.Outcome]++
@@ -274,9 +299,13 @@ func (r *Registry) observeWindows(rep WeaknessReport) {
 	if rep.LeaseAge > 0 {
 		recs = append(recs, rec{WinLeaseAge, rep.LeaseAge})
 	}
+	if rep.GhostAge > 0 {
+		recs = append(recs, rec{WinGhostAge, rep.GhostAge})
+	}
 	recs = append(recs,
 		rec{WinListingSkew, time.Duration(rep.ListingSkew)},
 		rec{WinPartitionSkew, time.Duration(rep.PartitionSkew)},
+		rec{WinReplicaSkew, time.Duration(rep.ReplicaSkew)},
 		rec{WinGhosts, time.Duration(rep.GhostsServed)},
 		rec{WinDuplicates, time.Duration(rep.DuplicatesSuppressed)},
 		rec{WinUnreachable, time.Duration(rep.UnreachableSkipped)},

@@ -15,8 +15,10 @@ const (
 	WinLatency       = "latency"
 	WinSnapshotAge   = "snapshot_age"
 	WinLeaseAge      = "lease_age"
+	WinGhostAge      = "ghost_age"
 	WinListingSkew   = "listing_skew"
 	WinPartitionSkew = "partition_skew"
+	WinReplicaSkew   = "replica_skew"
 	WinGhosts        = "ghosts_served"
 	WinDuplicates    = "duplicates_suppressed"
 	WinUnreachable   = "unreachable_skipped"
@@ -24,11 +26,11 @@ const (
 
 // WindowSecondsMetrics are the duration-valued window metrics, in stable
 // exposition order.
-var WindowSecondsMetrics = []string{WinLatency, WinSnapshotAge, WinLeaseAge}
+var WindowSecondsMetrics = []string{WinLatency, WinSnapshotAge, WinLeaseAge, WinGhostAge}
 
 // WindowEventMetrics are the count-valued window metrics (per-run
 // counts, not seconds), in stable exposition order.
-var WindowEventMetrics = []string{WinListingSkew, WinPartitionSkew, WinGhosts, WinDuplicates, WinUnreachable}
+var WindowEventMetrics = []string{WinListingSkew, WinPartitionSkew, WinReplicaSkew, WinGhosts, WinDuplicates, WinUnreachable}
 
 // WindowConfig tunes rolling weakness windows. The zero value selects
 // the defaults: a 60 s sliding window of six 10 s buckets with a

@@ -201,10 +201,20 @@ func (c *Client) ListPinned(ctx context.Context, dir netsim.NodeID, name string,
 // of 1), so callers work unchanged across versions. A non-nil error
 // from fn abandons the stream and is returned as-is.
 func (c *Client) ListParts(ctx context.Context, dir netsim.NodeID, name string, pin int64, gates []uint64, fn func(PartListing) error) error {
-	out, _, err := c.bus.Call(ctx, c.node, dir, MethodListParts, ListPartsReq{Name: name, Pin: pin, IfVersions: gates, Stream: true})
+	return c.ListPartsSubset(ctx, dir, name, pin, gates, nil, fn)
+}
+
+// ListPartsSubset is ListParts restricted to a subset of listing
+// partitions — the scatter primitive for replica-parallel reads, where
+// each live replica serves its share of the partition space and the
+// shares interleave into one fold. A nil/empty parts requests them all.
+// The monolithic fallback for old peers only works for full reads, so a
+// subset request against such a peer fails with the original error.
+func (c *Client) ListPartsSubset(ctx context.Context, node netsim.NodeID, name string, pin int64, gates []uint64, parts []int, fn func(PartListing) error) error {
+	out, _, err := c.bus.Call(ctx, c.node, node, MethodListParts, ListPartsReq{Name: name, Pin: pin, IfVersions: gates, Stream: true, Parts: parts})
 	if err != nil {
-		if errors.Is(err, rpc.ErrNoMethod) {
-			return c.listPartsFallback(ctx, dir, name, pin, gates, fn)
+		if errors.Is(err, rpc.ErrNoMethod) && len(parts) == 0 {
+			return c.listPartsFallback(ctx, node, name, pin, gates, fn)
 		}
 		return err
 	}
@@ -358,4 +368,13 @@ func (c *Client) StoreStats(ctx context.Context, node netsim.NodeID) (store.Engi
 		return store.EngineStats{}, err
 	}
 	return resp.Stats, nil
+}
+
+// Digest fetches a node's anti-entropy digest for one collection: its
+// per-partition version vector and how long ago the home last pushed to
+// it (AgeMs; -1 when never, which is what the home itself answers). The
+// read path uses it both as a liveness/latency probe and as the
+// baseline for the staleness (ReplicaSkew) a scattered read reports.
+func (c *Client) Digest(ctx context.Context, node netsim.NodeID, name string) (DigestResp, error) {
+	return rpc.Invoke[DigestResp](ctx, c.bus, c.node, node, MethodSyncDigest, DigestReq{Name: name})
 }

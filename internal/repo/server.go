@@ -25,6 +25,12 @@ type Server struct {
 	tracer  *obs.Tracer
 	journal *obs.Journal
 	leases  *leaseHub
+	ae      *syncer
+
+	// lastSync tracks, per collection this node replicates, when the
+	// home last pushed a sync here (map[string]time.Time) — the staleness
+	// age a SyncDigest reports.
+	lastSync sync.Map
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -48,6 +54,7 @@ func NewServerWithStore(bus *rpc.Bus, node netsim.NodeID, st store.Store) (*Serv
 		leases: newLeaseHub(DefaultLeaseTTL),
 		closed: make(chan struct{}),
 	}
+	s.ae = newSyncer(s)
 	s.register()
 	st.OnListingChange(s.leases.invalidate)
 	if err := bus.Register(s.rpc); err != nil {
@@ -112,6 +119,8 @@ func (s *Server) register() {
 	s.rpc.Handle(MethodStats, s.renewing(s.handleStats))
 	s.rpc.Handle(MethodStoreStats, s.renewing(s.handleStoreStats))
 	s.rpc.Handle(MethodSync, s.renewing(s.handleSync))
+	s.rpc.Handle(MethodSyncPart, s.renewing(s.handleSyncPart))
+	s.rpc.Handle(MethodSyncDigest, s.renewing(s.handleSyncDigest))
 	s.rpc.Handle(MethodLease, s.handleLease)
 	s.rpc.Handle(MethodWatch, s.handleWatch)
 }
@@ -259,6 +268,9 @@ type partStream struct {
 	store store.Store
 	name  string
 	total int
+	// parts are the partition indices to serve, in order — all of them
+	// for a whole-listing read, a subset for a replica-scattered one.
+	parts []int
 	gates []uint64
 	// openVer is the collection version when the stream opened; a
 	// partition whose version exceeds it was snapshotted after a write
@@ -270,10 +282,10 @@ type partStream struct {
 }
 
 func (ps *partStream) Next() (any, bool) {
-	if ps.err != nil || ps.next >= ps.total {
+	if ps.err != nil || ps.next >= len(ps.parts) {
 		return nil, false
 	}
-	part := ps.next
+	part := ps.parts[ps.next]
 	ps.next++
 	var gate uint64
 	if part < len(ps.gates) {
@@ -297,7 +309,7 @@ func (ps *partStream) Next() (any, bool) {
 func (ps *partStream) Err() error { return ps.err }
 
 func (ps *partStream) Materialize() (any, error) {
-	resp := ListPartsResp{Parts: make([]PartListing, 0, ps.total)}
+	resp := ListPartsResp{Parts: make([]PartListing, 0, len(ps.parts))}
 	for {
 		chunk, ok := ps.Next()
 		if !ok {
@@ -346,6 +358,19 @@ func (s *Server) handleListParts(ctx context.Context, _ netsim.NodeID, req any) 
 		return nil, err
 	}
 	sp.SetInt("partitions", int64(total))
+	want := r.Parts
+	if len(want) == 0 {
+		want = make([]int, total)
+		for i := range want {
+			want[i] = i
+		}
+	} else {
+		for _, p := range want {
+			if p < 0 || p >= total {
+				return nil, fmt.Errorf("list %q partition %d of %d: %w", r.Name, p, total, store.ErrBadPartition)
+			}
+		}
+	}
 
 	var st rpc.Streamer
 	if r.Pin != 0 {
@@ -357,10 +382,10 @@ func (s *Server) handleListParts(ctx context.Context, _ netsim.NodeID, req any) 
 		if lerr != nil {
 			return nil, lerr
 		}
-		parts := make([]PartListing, total)
-		for i := range parts {
+		parts := make([]PartListing, 0, len(want))
+		for _, i := range want {
 			lo, hi := i*len(members)/total, (i+1)*len(members)/total
-			parts[i] = PartListing{Part: i, Partitions: total, Members: members[lo:hi], Version: version}
+			parts = append(parts, PartListing{Part: i, Partitions: total, Members: members[lo:hi], Version: version})
 		}
 		st = &sliceStream{parts: parts}
 	} else {
@@ -368,7 +393,7 @@ func (s *Server) handleListParts(ctx context.Context, _ netsim.NodeID, req any) 
 		if verr != nil {
 			return nil, verr
 		}
-		st = &partStream{store: s.store, name: r.Name, total: total, gates: r.IfVersions, openVer: openVer}
+		st = &partStream{store: s.store, name: r.Name, total: total, parts: want, gates: r.IfVersions, openVer: openVer}
 	}
 	if !r.Stream {
 		return st.Materialize()
@@ -387,7 +412,7 @@ func (s *Server) handleAdd(ctx context.Context, _ netsim.NodeID, req any) (any, 
 	if err != nil {
 		return nil, err
 	}
-	s.pushReplicas(r.Name)
+	s.ae.kick(r.Name)
 	return MutateResp{Version: v}, nil
 }
 
@@ -402,7 +427,7 @@ func (s *Server) handleRemove(ctx context.Context, _ netsim.NodeID, req any) (an
 	if err != nil {
 		return nil, err
 	}
-	s.pushReplicas(r.Name)
+	s.ae.kick(r.Name)
 	return RemoveResp{Deferred: deferred, Version: v}, nil
 }
 
@@ -456,7 +481,7 @@ func (s *Server) handleEndGrow(ctx context.Context, _ netsim.NodeID, req any) (a
 		s.asyncDelete(ref)
 	}
 	if len(reclaim) > 0 {
-		s.pushReplicas(r.Name)
+		s.ae.kick(r.Name)
 		s.journal.Record(obs.Event{
 			Type: obs.EvGhostGC, Node: string(s.node), Collection: r.Name,
 			Attrs: map[string]int64{"reclaimed": int64(len(reclaim))},
@@ -498,46 +523,34 @@ func (s *Server) handleSync(ctx context.Context, _ netsim.NodeID, req any) (any,
 	if !ok {
 		return nil, fmt.Errorf("repo: bad request type %T", req)
 	}
+	// Install replicated object data before exposing the membership that
+	// lists it, so a reader landing between the two finds the data.
+	for i := range r.Objects {
+		s.store.InstallObject(r.Objects[i])
+	}
 	s.store.ApplySync(r.Name, r.Members, r.Version)
+	s.lastSync.Store(r.Name, time.Now())
 	return struct{}{}, nil
 }
 
-// ReplicateCollection registers replica nodes for a collection and pushes
-// the current membership to them immediately.
+// ReplicateCollection registers replica nodes for a collection and
+// brings them up to date immediately; from then on every committed
+// mutation kicks an asynchronous anti-entropy round (see antientropy.go).
 func (s *Server) ReplicateCollection(name string, replicas []netsim.NodeID) error {
 	if err := s.store.SetReplicas(name, replicas); err != nil {
 		return err
 	}
-	s.pushReplicas(name)
+	s.ae.setReplicas(name, replicas)
+	s.ae.kick(name)
 	return nil
 }
 
-// pushReplicas asynchronously pushes the collection's live membership to
-// its replicas. Each push rides the simulated network, so replicas lag by
-// at least one link latency — the stale-read window the optimistic
-// semantics tolerate.
-func (s *Server) pushReplicas(name string) {
-	members, version, replicas, ok := s.store.SyncState(name)
-	if !ok || len(replicas) == 0 {
-		return
-	}
-	req := SyncReq{Name: name, Members: members, Version: version}
-
-	select {
-	case <-s.closed:
-		return
-	default:
-	}
-	for _, replica := range replicas {
-		replica := replica
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			// Best effort: a push lost to a partition simply leaves the
-			// replica stale until the next mutation.
-			_, _, _ = s.bus.Call(context.Background(), s.node, replica, MethodSync, req)
-		}()
-	}
+// SetAntiEntropy starts the background anti-entropy ticker: every
+// interval, each replicated collection gets a repair round even with no
+// write traffic, so a replica that missed pushes while partitioned
+// converges once healed. Call at most once, before Close.
+func (s *Server) SetAntiEntropy(interval time.Duration) {
+	s.ae.startTicker(interval)
 }
 
 // asyncDelete deletes object data, possibly on a remote node, without

@@ -31,6 +31,8 @@ const (
 	MethodStats      = "repo.CollStats"
 	MethodStoreStats = "repo.StoreStats"
 	MethodSync       = "repo.Sync"
+	MethodSyncPart   = "repo.SyncPart"
+	MethodSyncDigest = "repo.SyncDigest"
 	MethodLease      = "repo.Lease"
 	MethodWatch      = "repo.Watch"
 )
@@ -99,6 +101,10 @@ type (
 		Pin        int64
 		IfVersions []uint64
 		Stream     bool
+		// Parts optionally restricts the read to a subset of partition
+		// indices (empty means all) — how a replica-scattered read asks
+		// each replica for only the partitions assigned to it.
+		Parts []int
 	}
 	// PartListing is one listing partition: self-contained, so a client
 	// can start fetching this partition's elements while later ones are
@@ -180,11 +186,50 @@ type (
 	// StoreStatsResp carries the engine's per-operation counters and
 	// latency quantiles.
 	StoreStatsResp struct{ Stats store.EngineStats }
-	// SyncReq is the replication push: full membership at a version.
+	// SyncReq is the replication push: full membership at a version,
+	// plus the data of home-resident members so a fresh replica can
+	// serve batch reads immediately (per-partition rounds keep it
+	// current afterwards).
 	SyncReq struct {
 		Name    string
 		Members []Ref
 		Version uint64
+		Objects []Object
+	}
+	// SyncPartReq is the per-partition replication push: one partition's
+	// listed membership at a version, out of Partitions total. It carries
+	// the sender's partition count so a layout disagreement is detected
+	// and declined rather than misapplied.
+	SyncPartReq struct {
+		Name       string
+		Partitions int
+		Part       int
+		Members    []Ref
+		Version    uint64
+		// Objects carries the data of the pushed members that live on the
+		// home node itself, so replicas can answer GetBatch for them and a
+		// scattered read never has to detour back to the home for its own
+		// objects. Members homed elsewhere replicate by reference only.
+		Objects []Object
+	}
+	// SyncPartResp reports whether the push was applied; Applied=false
+	// asks the sender to fall back to a full SyncReq.
+	SyncPartResp struct {
+		Applied bool
+	}
+	// DigestReq asks a replica for its anti-entropy digest of one
+	// collection.
+	DigestReq struct {
+		Name string
+	}
+	// DigestResp is the replica's view: its per-partition version vector
+	// and how long ago the home last confirmed it (AgeMs, -1 when it has
+	// never been synced) — the staleness bound a scattered read reports
+	// as GhostAge instead of hiding.
+	DigestResp struct {
+		Partitions int
+		Versions   []uint64
+		AgeMs      int64
 	}
 	// LeaseReq asks the server to grant (or renew) listing-version
 	// leases on the named collections. A lease is a promise to push an

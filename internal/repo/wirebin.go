@@ -45,6 +45,10 @@ const (
 	wbLeaseGrant   = 11
 	wbWatchReq     = 12
 	wbInvalidation = 13
+	wbSyncPartReq  = 14
+	wbSyncPartResp = 15
+	wbDigestReq    = 16
+	wbDigestResp   = 17
 )
 
 func init() {
@@ -99,6 +103,22 @@ func init() {
 	wirebin.Register(wbInvalidation, Invalidation{},
 		func(buf []byte, v any) []byte { return appendInvalidation(buf, v.(Invalidation)) },
 		func(r *wirebin.Reader) any { return decodeInvalidation(r) },
+	)
+	wirebin.Register(wbSyncPartReq, SyncPartReq{},
+		func(buf []byte, v any) []byte { return appendSyncPartReq(buf, v.(SyncPartReq)) },
+		func(r *wirebin.Reader) any { return decodeSyncPartReq(r) },
+	)
+	wirebin.Register(wbSyncPartResp, SyncPartResp{},
+		func(buf []byte, v any) []byte { return wirebin.AppendBool(buf, v.(SyncPartResp).Applied) },
+		func(r *wirebin.Reader) any { return SyncPartResp{Applied: r.Bool()} },
+	)
+	wirebin.Register(wbDigestReq, DigestReq{},
+		func(buf []byte, v any) []byte { return wirebin.AppendString(buf, v.(DigestReq).Name) },
+		func(r *wirebin.Reader) any { return DigestReq{Name: r.String()} },
+	)
+	wirebin.Register(wbDigestResp, DigestResp{},
+		func(buf []byte, v any) []byte { return appendDigestResp(buf, v.(DigestResp)) },
+		func(r *wirebin.Reader) any { return decodeDigestResp(r) },
 	)
 }
 
@@ -293,7 +313,12 @@ func appendListPartsReq(buf []byte, v ListPartsReq) []byte {
 	for _, gate := range v.IfVersions {
 		buf = wirebin.AppendUvarint(buf, gate)
 	}
-	return wirebin.AppendBool(buf, v.Stream)
+	buf = wirebin.AppendBool(buf, v.Stream)
+	buf = wirebin.AppendUvarint(buf, uint64(len(v.Parts)))
+	for _, p := range v.Parts {
+		buf = wirebin.AppendVarint(buf, int64(p))
+	}
+	return buf
 }
 
 func decodeListPartsReq(r *wirebin.Reader) ListPartsReq {
@@ -312,6 +337,13 @@ func decodeListPartsReq(r *wirebin.Reader) ListPartsReq {
 		v.IfVersions = gates
 	}
 	v.Stream = r.Bool()
+	if n := r.Count(1); n > 0 && r.Err() == nil {
+		parts := make([]int, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			parts = append(parts, int(r.Varint()))
+		}
+		v.Parts = parts
+	}
 	return v
 }
 
@@ -447,4 +479,81 @@ func decodeInvalidation(r *wirebin.Reader) Invalidation {
 		Part:    int(r.Varint()),
 		Version: r.Uvarint(),
 	}
+}
+
+func appendSyncPartReq(buf []byte, v SyncPartReq) []byte {
+	buf = wirebin.AppendString(buf, v.Name)
+	buf = wirebin.AppendVarint(buf, int64(v.Partitions))
+	buf = wirebin.AppendVarint(buf, int64(v.Part))
+	buf = wirebin.AppendUvarint(buf, uint64(len(v.Members)))
+	for _, ref := range v.Members {
+		buf = wirebin.AppendString(buf, string(ref.ID))
+		buf = wirebin.AppendString(buf, string(ref.Node))
+	}
+	buf = wirebin.AppendUvarint(buf, v.Version)
+	buf = wirebin.AppendUvarint(buf, uint64(len(v.Objects)))
+	for i := range v.Objects {
+		buf = appendObject(buf, v.Objects[i])
+	}
+	return buf
+}
+
+func decodeSyncPartReq(r *wirebin.Reader) SyncPartReq {
+	var v SyncPartReq
+	v.Name = r.String()
+	v.Partitions = int(r.Varint())
+	v.Part = int(r.Varint())
+	n := r.Count(2)
+	if r.Err() != nil {
+		return v
+	}
+	if n > 0 {
+		members := make([]Ref, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			id := ObjectID(r.String())
+			node := netsim.NodeID(r.String())
+			members = append(members, Ref{ID: id, Node: node})
+		}
+		v.Members = members
+	}
+	v.Version = r.Uvarint()
+	n = r.Count(5)
+	if r.Err() != nil {
+		return v
+	}
+	if n > 0 {
+		objs := make([]Object, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			decodeObjectInto(r, &objs[i])
+		}
+		v.Objects = objs
+	}
+	return v
+}
+
+func appendDigestResp(buf []byte, v DigestResp) []byte {
+	buf = wirebin.AppendVarint(buf, int64(v.Partitions))
+	buf = wirebin.AppendUvarint(buf, uint64(len(v.Versions)))
+	for _, ver := range v.Versions {
+		buf = wirebin.AppendUvarint(buf, ver)
+	}
+	return wirebin.AppendVarint(buf, v.AgeMs)
+}
+
+func decodeDigestResp(r *wirebin.Reader) DigestResp {
+	var v DigestResp
+	v.Partitions = int(r.Varint())
+	n := r.Count(1)
+	if r.Err() != nil {
+		return v
+	}
+	if n > 0 {
+		versions := make([]uint64, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			versions = append(versions, r.Uvarint())
+		}
+		v.Versions = versions
+	}
+	v.AgeMs = r.Varint()
+	return v
 }

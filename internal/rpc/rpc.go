@@ -128,6 +128,8 @@ type Bus struct {
 
 	mu      sync.RWMutex
 	servers map[netsim.NodeID][]*Server
+	slots   map[netsim.NodeID]chan struct{}
+	svc     map[netsim.NodeID]time.Duration
 	stats   Stats
 	byMeth  map[string]int64
 }
@@ -137,8 +139,48 @@ func NewBus(n *netsim.Network) *Bus {
 	return &Bus{
 		net:     n,
 		servers: make(map[netsim.NodeID][]*Server),
+		slots:   make(map[netsim.NodeID]chan struct{}),
+		svc:     make(map[netsim.NodeID]time.Duration),
 		byMeth:  make(map[string]int64),
 	}
+}
+
+// SetServiceLimit bounds how many handler invocations may run on node at
+// once: calls beyond n queue (respecting the caller's context) until a
+// slot frees. The default — no limit — models an infinitely provisioned
+// server, which is right for correctness tests but hides the capacity
+// contention replication exists to relieve; capacity-sensitive benches
+// set a small n so "one hot node" versus "three replicas" is a fair
+// fight. n <= 0 removes the limit. Set it before traffic starts.
+func (b *Bus) SetServiceLimit(node netsim.NodeID, n int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= 0 {
+		delete(b.slots, node)
+		return
+	}
+	b.slots[node] = make(chan struct{}, n)
+}
+
+// SetServiceTime charges node a fixed virtual service cost per handler
+// invocation, slept at the network's time scale while the node's service
+// slot (if SetServiceLimit bounds one) is held. The default — zero —
+// models handlers that are free, which is right for correctness tests
+// but means a service limit alone creates almost no queueing: the
+// handlers here are microsecond-scale store operations, so slots turn
+// over as fast as callers arrive. Capacity-sensitive benches pair a
+// small limit with a realistic per-call cost so a node's throughput is
+// genuinely bounded by limit/serviceTime — the contention replication
+// exists to relieve. d <= 0 removes the cost. Set it before traffic
+// starts.
+func (b *Bus) SetServiceTime(node netsim.NodeID, d time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if d <= 0 {
+		delete(b.svc, node)
+		return
+	}
+	b.svc[node] = d
 }
 
 // Network exposes the underlying network (reachability oracle, time scale).
@@ -224,6 +266,8 @@ func (b *Bus) Call(ctx context.Context, from, to netsim.NodeID, method string, r
 
 	b.mu.RLock()
 	srvs := append([]*Server(nil), b.servers[to]...)
+	slot := b.slots[to]
+	svc := b.svc[to]
 	b.mu.RUnlock()
 	if len(srvs) == 0 {
 		return nil, latency, fmt.Errorf("rpc %s %s->%s: %w", method, from, to, ErrNoServer)
@@ -241,7 +285,28 @@ func (b *Bus) Call(ctx context.Context, from, to netsim.NodeID, method string, r
 		return nil, latency, fmt.Errorf("rpc %s %s->%s: %w", method, from, to, ErrNoMethod)
 	}
 
+	if slot != nil {
+		select {
+		case slot <- struct{}{}:
+		case <-ctx.Done():
+			return nil, latency, ctx.Err()
+		}
+	}
+	if svc > 0 {
+		// The service cost is spent while the slot is held: this is the
+		// time the node's bounded capacity is occupied by this call.
+		if !b.net.Scale().SleepCtx(ctx, svc) {
+			if slot != nil {
+				<-slot
+			}
+			return nil, latency, ctx.Err()
+		}
+		latency += svc
+	}
 	out, appErr := h(ctx, from, req)
+	if slot != nil {
+		<-slot
+	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, latency, err

@@ -285,6 +285,45 @@ func (c *collState) applySync(members []Ref, version uint64) bool {
 	return true
 }
 
+// partVersions copies the per-partition version vector.
+func (c *collState) partVersions() []uint64 {
+	out := make([]uint64, len(c.parts))
+	for pi := range c.parts {
+		out[pi] = c.parts[pi].version
+	}
+	return out
+}
+
+// applySyncPart applies a per-partition replication push and reports
+// whether it was accepted. The push carries the sender's partition count
+// so a layout disagreement is detected and declined (the caller falls
+// back to a full sync) instead of scattering members into the wrong
+// partitions; a push at or below the partition's own version is stale
+// and also declined. Accepted pushes replace only that partition's
+// listed membership and advance the collection version monotonically.
+func (c *collState) applySyncPart(partitions, part int, members []Ref, version uint64) bool {
+	if partitions != len(c.parts) || part < 0 || part >= len(c.parts) {
+		return false
+	}
+	p := &c.parts[part]
+	if version <= p.version {
+		return false
+	}
+	p.members = make(map[ObjectID]Ref, len(members))
+	p.ghosts = make(map[ObjectID]Ref)
+	for _, ref := range members {
+		p.members[ref.ID] = ref
+	}
+	p.version = version
+	if version > c.version {
+		c.version = version
+	}
+	if version > c.replicaVersion {
+		c.replicaVersion = version
+	}
+	return true
+}
+
 // exportState captures the durable image of the collection.
 func (c *collState) exportState() CollectionState {
 	return CollectionState{

@@ -111,6 +111,19 @@ func (s *Locked) PutObject(obj Object) (version uint64, err error) {
 	return stored.Version, nil
 }
 
+// InstallObject implements Store.
+func (s *Locked) InstallObject(obj Object) (applied bool) {
+	var err error
+	defer s.ins.observe(OpInstall, time.Now(), &err)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if obj.Version <= s.objects[obj.ID].Version || obj.Version <= s.floors[obj.ID] {
+		return false
+	}
+	s.objects[obj.ID] = obj.Clone()
+	return true
+}
+
 // DeleteObject implements Store.
 func (s *Locked) DeleteObject(id ObjectID) (err error) {
 	defer s.ins.observe(OpDelete, time.Now(), &err)
@@ -374,6 +387,38 @@ func (s *Locked) ApplySync(name string, members []Ref, version uint64) {
 		s.colls[name] = c
 	}
 	applied = c.applySync(members, version)
+}
+
+// PartVersions implements Store.
+func (s *Locked) PartVersions(name string) ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.coll(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.partVersions(), nil
+}
+
+// ApplySyncPart implements Store.
+func (s *Locked) ApplySyncPart(name string, partitions, part int, members []Ref, version uint64) bool {
+	var err error
+	defer s.ins.observe(OpSyncPart, time.Now(), &err)
+	var applied bool
+	defer func() {
+		if applied {
+			s.watch.fire(ChangeEvent{Coll: name, Part: part, Version: version})
+		}
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, found := s.colls[name]
+	if !found {
+		c = newCollState(name, s.partitions)
+		s.colls[name] = c
+	}
+	applied = c.applySyncPart(partitions, part, members, version)
+	return applied
 }
 
 // Export implements Store.

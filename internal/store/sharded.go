@@ -275,6 +275,20 @@ func (s *Sharded) PutObject(obj Object) (version uint64, err error) {
 	return stored.Version, nil
 }
 
+// InstallObject implements Store.
+func (s *Sharded) InstallObject(obj Object) (applied bool) {
+	var err error
+	defer s.ins.observe(OpInstall, time.Now(), &err)
+	sh := s.shardFor(obj.ID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if obj.Version <= sh.objects[obj.ID].Version || obj.Version <= sh.floors[obj.ID] {
+		return false
+	}
+	sh.objects[obj.ID] = obj.Clone()
+	return true
+}
+
 // DeleteObject implements Store.
 func (s *Sharded) DeleteObject(id ObjectID) (err error) {
 	defer s.ins.observe(OpDelete, time.Now(), &err)
@@ -536,6 +550,43 @@ func (s *Sharded) ApplySync(name string, members []Ref, version uint64) {
 	if applied {
 		s.watch.fire(ChangeEvent{Coll: name, Part: PartAll, Version: version})
 	}
+}
+
+// PartVersions implements Store. It is lock-free: the vector rides the
+// atomic per-partition mirrors maintained by writers.
+func (s *Sharded) PartVersions(name string) ([]uint64, error) {
+	c, err := s.coll(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(c.pver))
+	for i := range c.pver {
+		out[i] = c.pver[i].Load()
+	}
+	return out, nil
+}
+
+// ApplySyncPart implements Store.
+func (s *Sharded) ApplySyncPart(name string, partitions, part int, members []Ref, version uint64) bool {
+	var err error
+	defer s.ins.observe(OpSyncPart, time.Now(), &err)
+	s.collMu.Lock()
+	c, found := s.colls[name]
+	if !found {
+		c = newShardedColl(newCollState(name, s.partitions))
+		s.colls[name] = c
+	}
+	s.collMu.Unlock()
+	c.mu.Lock()
+	applied := c.st.applySyncPart(partitions, part, members, version)
+	if applied {
+		c.syncVersions()
+	}
+	c.mu.Unlock()
+	if applied {
+		s.watch.fire(ChangeEvent{Coll: name, Part: part, Version: version})
+	}
+	return applied
 }
 
 // Export implements Store.

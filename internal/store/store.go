@@ -94,6 +94,23 @@ type Store interface {
 	// needed and ignoring stale pushes (version <= last applied) — which
 	// is what makes replicas observably lag.
 	ApplySync(name string, members []Ref, version uint64)
+	// PartVersions reads the per-partition version vector — what an
+	// anti-entropy digest ships so the home can push only the partitions
+	// a replica is actually behind on.
+	PartVersions(name string) ([]uint64, error)
+	// ApplySyncPart applies a per-partition replication push: partition
+	// part's listed membership at the given version, out of `partitions`
+	// total. It reports false (declining the push) when the partition
+	// layouts disagree or the push is stale — the caller then falls back
+	// to a full ApplySync. The collection is created if needed.
+	ApplySyncPart(name string, partitions, part int, members []Ref, version uint64) (applied bool)
+
+	// InstallObject installs a replicated object at the version it
+	// carries — the replication counterpart of PutObject, which assigns
+	// versions. It applies only when the carried version is newer than
+	// both the stored copy and the id's delete floor, keeping per-id
+	// versions monotonic on replicas exactly as they are on the home.
+	InstallObject(obj Object) (applied bool)
 
 	// Change notification.
 
@@ -180,12 +197,15 @@ const (
 	OpBeginGrow
 	OpEndGrow
 	OpSync
+	OpSyncPart
+	OpInstall
 	opCount
 )
 
 var opNames = [opCount]string{
 	"get", "getBatch", "put", "delete", "list", "listPart", "listPinned",
 	"add", "remove", "pin", "unpin", "beginGrow", "endGrow", "sync",
+	"syncPart", "install",
 }
 
 func (o Op) String() string {

@@ -166,6 +166,10 @@ func registerWireTypes() {
 	gob.Register(repo.StoreStatsReq{})
 	gob.Register(repo.StoreStatsResp{})
 	gob.Register(repo.SyncReq{})
+	gob.Register(repo.SyncPartReq{})
+	gob.Register(repo.SyncPartResp{})
+	gob.Register(repo.DigestReq{})
+	gob.Register(repo.DigestResp{})
 	gob.Register(repo.LeaseReq{})
 	gob.Register(repo.LeaseGrant{})
 	gob.Register(repo.WatchReq{})
@@ -197,6 +201,8 @@ func RepoMethods() []string {
 		repo.MethodStats,
 		repo.MethodStoreStats,
 		repo.MethodSync,
+		repo.MethodSyncPart,
+		repo.MethodSyncDigest,
 		repo.MethodLease,
 		repo.MethodWatch,
 	}
